@@ -1,0 +1,325 @@
+(* Command-line driver: simulate, sweep, bound-check, export and run the
+   latency-hiding work-stealing schedulers on the built-in workloads. *)
+
+open Cmdliner
+module Dag = Lhws_dag.Dag
+module Generate = Lhws_dag.Generate
+module Metrics = Lhws_dag.Metrics
+module Suspension = Lhws_dag.Suspension
+module Dot = Lhws_dag.Dot
+open Lhws_core
+
+(* --- workload construction --- *)
+
+let build_workload ?from_file ~workload ~n ~leaf_work ~latency ~seed () =
+  match from_file with
+  | Some path ->
+      let g = Lhws_dag.Serialize.load path in
+      Lhws_dag.Check.check_exn g;
+      g
+  | None ->
+  match workload with
+  | "mapreduce" -> Generate.map_reduce ~n ~leaf_work ~latency
+  | "server" -> Generate.server ~n ~f_work:leaf_work ~latency
+  | "fib" -> Generate.fib ~leaf_work ~n ()
+  | "chains" -> Generate.parallel_chains ~k:n ~len:leaf_work
+  | "pipeline" -> Generate.pipeline ~stages:leaf_work ~items:n ~latency
+  | "chain" -> Generate.chain ~latency_every:leaf_work ~latency ~n ()
+  | "random" ->
+      Generate.random_fork_join ~seed ~size_hint:n ~latency_prob:0.15 ~max_latency:latency
+  | "burst" -> Generate.resume_burst ~n ~leaf_work ~latency
+  | "sort" -> Lhws_workloads.Sort.dag ~n_chunks:n ~chunk_work:leaf_work ~latency
+  | w -> invalid_arg (Printf.sprintf "unknown workload %S" w)
+
+let workload_arg =
+  let doc =
+    "Workload: mapreduce (Fig. 8), server (Fig. 10), fib, chains, pipeline, chain, random, \
+     burst, sort."
+  in
+  Arg.(value & opt string "mapreduce" & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+
+let n_arg = Arg.(value & opt int 100 & info [ "n" ] ~docv:"N" ~doc:"Problem size (items/leaves).")
+
+let leaf_work_arg =
+  Arg.(
+    value & opt int 50
+    & info [ "leaf-work" ] ~docv:"K" ~doc:"Per-item computation, in simulator rounds.")
+
+let latency_arg =
+  Arg.(
+    value & opt int 500
+    & info [ "d"; "latency" ] ~docv:"DELTA" ~doc:"Latency per operation, in simulator rounds.")
+
+let p_arg = Arg.(value & opt int 4 & info [ "p" ] ~docv:"P" ~doc:"Number of workers.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let algo_arg =
+  let doc = "Scheduler: lhws (latency-hiding), ws (blocking baseline), greedy (offline)." in
+  Arg.(value & opt string "lhws" & info [ "a"; "algo" ] ~docv:"ALGO" ~doc)
+
+let steal_policy_arg =
+  let doc = "Steal policy: deque (analyzed: random global deque) or worker (Section 6)." in
+  Arg.(value & opt string "deque" & info [ "steal" ] ~docv:"POLICY" ~doc)
+
+let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Record and validate the schedule.")
+
+let no_ff_arg =
+  Arg.(value & flag & info [ "no-fast-forward" ] ~doc:"Simulate idle stretches round by round.")
+
+let from_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "from" ] ~docv:"FILE"
+        ~doc:"Load the dag from a file (Serialize format) instead of generating a workload.")
+
+let resume_policy_arg =
+  let doc = "Resumed-batch injection: pfor (balanced tree, the paper) or linear (chain)." in
+  Arg.(value & opt string "pfor" & info [ "resume" ] ~docv:"POLICY" ~doc)
+
+let resume_target_arg =
+  let doc = "Where resumed batches go: orig (the paper) or fresh (new deque per resume)." in
+  Arg.(value & opt string "orig" & info [ "resume-target" ] ~docv:"TARGET" ~doc)
+
+let config_of ?(resume = "pfor") ?(target = "orig") ~seed ~steal ~trace ~no_ff () =
+  {
+    Config.default with
+    seed;
+    trace;
+    fast_forward = not no_ff;
+    steal_policy =
+      (match steal with
+      | "deque" -> Config.Steal_global_deque
+      | "worker" -> Config.Steal_worker_then_deque
+      | s -> invalid_arg (Printf.sprintf "unknown steal policy %S" s));
+    resume_policy =
+      (match resume with
+      | "pfor" -> Config.Resume_pfor_tree
+      | "linear" -> Config.Resume_linear
+      | s -> invalid_arg (Printf.sprintf "unknown resume policy %S" s));
+    resume_target =
+      (match target with
+      | "orig" -> Config.Original_deque
+      | "fresh" -> Config.Fresh_deque
+      | s -> invalid_arg (Printf.sprintf "unknown resume target %S" s));
+  }
+
+let algo_of = function
+  | "lhws" -> Sweep.Lhws
+  | "ws" -> Sweep.Ws
+  | "greedy" -> Sweep.Greedy
+  | a -> invalid_arg (Printf.sprintf "unknown algorithm %S" a)
+
+(* --- sim command --- *)
+
+let sim workload n leaf_work latency p seed algo steal trace no_ff resume target from_file =
+  let dag = build_workload ?from_file ~workload ~n ~leaf_work ~latency ~seed () in
+  let config = config_of ~resume ~target ~seed ~steal ~trace ~no_ff () in
+  let run = Sweep.run_algo (algo_of algo) ~config dag ~p in
+  Format.printf "workload: %s  W=%d  S=%d  heavy=%d  P=%d  algo=%s@." workload (Metrics.work dag)
+    (Metrics.span dag) (Metrics.num_heavy_edges dag) p algo;
+  Format.printf "%a@." Stats.pp run.Run.stats;
+  if trace then begin
+    Schedule.check_exn dag (Run.trace_exn run);
+    Format.printf "schedule: valid (%d vertices)@." (Metrics.work dag)
+  end
+
+let sim_cmd =
+  let info = Cmd.info "sim" ~doc:"Simulate one scheduler on one workload and print statistics." in
+  Cmd.v info
+    Term.(
+      const sim $ workload_arg $ n_arg $ leaf_work_arg $ latency_arg $ p_arg $ seed_arg
+      $ algo_arg $ steal_policy_arg $ trace_arg $ no_ff_arg $ resume_policy_arg
+      $ resume_target_arg $ from_file_arg)
+
+(* --- sweep command --- *)
+
+let ps_arg =
+  Arg.(
+    value
+    & opt (list int) [ 1; 2; 4; 8; 16; 24; 30 ]
+    & info [ "ps" ] ~docv:"P,P,..." ~doc:"Worker counts for the sweep.")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the sweep as CSV to this file.")
+
+let sweep workload n leaf_work latency seed steal ps csv =
+  let dag = build_workload ~workload ~n ~leaf_work ~latency ~seed () in
+  let config = config_of ~seed ~steal ~trace:false ~no_ff:false () in
+  Format.printf "workload: %s  W=%d  S=%d (speedups relative to WS at P=1)@." workload
+    (Metrics.work dag) (Metrics.span dag);
+  let series = Sweep.speedups ~config ~dag ~ps () in
+  Format.printf "%a@." Sweep.pp_series series;
+  match csv with
+  | None -> ()
+  | Some path ->
+      Lhws_analysis.Report.write_file path (Lhws_analysis.Report.csv_of_series series);
+      Format.printf "wrote %s@." path
+
+let sweep_cmd =
+  let info =
+    Cmd.info "sweep" ~doc:"Speedup curves, LHWS vs WS across worker counts (Figure 11 style)."
+  in
+  Cmd.v info
+    Term.(
+      const sweep $ workload_arg $ n_arg $ leaf_work_arg $ latency_arg $ seed_arg
+      $ steal_policy_arg $ ps_arg $ csv_arg)
+
+(* --- bounds command --- *)
+
+let bounds workload n leaf_work latency p seed =
+  let dag = build_workload ~workload ~n ~leaf_work ~latency ~seed () in
+  let u = Suspension.lower_bound_greedy dag in
+  let config = { Config.analysis with seed } in
+  let run = Lhws_sim.run ~config dag ~p in
+  let open Lhws_analysis in
+  let i = Bounds.instance ~suspension_width:u dag ~p run in
+  let tr = Run.trace_exn run in
+  Schedule.check_exn dag tr;
+  let dr = Invariants.depth_report ~suspension_width:u dag tr in
+  Format.printf "workload: %s  W=%d S=%d U>=%d P=%d@." workload i.Bounds.work i.Bounds.span u p;
+  Format.printf "rounds: %d   Theorem 2 bound: %.0f   ratio: %.3f@." run.Run.rounds
+    (Bounds.lhws_bound i) (Bounds.lhws_ratio i);
+  Format.printf "Lemma 1 (accounting): %b@." (Bounds.lemma1_ok i);
+  Format.printf "Lemma 7 (deques <= U+1): %b (max %d)@." (Bounds.lemma7_ok i)
+    run.Run.stats.Stats.max_deques_per_worker;
+  Format.printf "width (suspended <= U): %b (max %d)@." (Bounds.width_ok i)
+    run.Run.stats.Stats.max_live_suspended;
+  Format.printf "Corollary 1 (S* <= 2S(1+lgU)): %b@." (Bounds.corollary1_ok i);
+  Format.printf "pfor work (W+Wpfor <= 2W): %b@." (Bounds.pfor_work_ok i);
+  Format.printf "%a@." Invariants.pp_depth_report dr
+
+let bounds_cmd =
+  let info = Cmd.info "bounds" ~doc:"Check the paper's bounds on a traced LHWS run." in
+  Cmd.v info
+    Term.(const bounds $ workload_arg $ n_arg $ leaf_work_arg $ latency_arg $ p_arg $ seed_arg)
+
+(* --- dot command --- *)
+
+let out_arg =
+  Arg.(value & opt string "dag.dot" & info [ "o" ] ~docv:"FILE" ~doc:"Output DOT file.")
+
+let dot workload n leaf_work latency seed out =
+  let dag = build_workload ~workload ~n ~leaf_work ~latency ~seed () in
+  Dot.write_file out dag;
+  Format.printf "wrote %s (%d vertices, %d heavy edges)@." out (Metrics.work dag)
+    (Metrics.num_heavy_edges dag)
+
+let dot_cmd =
+  let info = Cmd.info "dot" ~doc:"Export a workload dag to Graphviz." in
+  Cmd.v info Term.(const dot $ workload_arg $ n_arg $ leaf_work_arg $ latency_arg $ seed_arg $ out_arg)
+
+(* --- rt command: real pools --- *)
+
+let rt_latency_arg =
+  Arg.(
+    value & opt float 0.02
+    & info [ "latency-s" ] ~docv:"SECONDS" ~doc:"Latency per operation, in seconds.")
+
+let fib_arg =
+  Arg.(value & opt int 20 & info [ "fib" ] ~docv:"N" ~doc:"Per-item fib computation.")
+
+let workers_arg =
+  Arg.(value & opt int 2 & info [ "workers" ] ~docv:"W" ~doc:"Pool worker domains.")
+
+let rt workload n rt_latency fib_n workers trace_out =
+  let module W = Lhws_workloads.Pool_intf in
+  let run_one (pool : W.pool) =
+    let module P = (val pool : W.POOL) in
+    let p = P.create ~workers () in
+    Fun.protect
+      ~finally:(fun () -> P.shutdown p)
+      (fun () ->
+        match workload with
+        | "mapreduce" ->
+            let r =
+              Lhws_workloads.Map_reduce.run_on (module P) p ~n ~latency:rt_latency ~fib_n
+            in
+            (P.name, r.Lhws_workloads.Map_reduce.value, r.Lhws_workloads.Map_reduce.elapsed)
+        | "server" ->
+            let r = Lhws_workloads.Server.run_on (module P) p ~n ~latency:rt_latency ~fib_n in
+            (P.name, r.Lhws_workloads.Server.value, r.Lhws_workloads.Server.elapsed)
+        | "crawler" ->
+            let web = Lhws_workloads.Crawler.make_web ~seed:42 ~pages:n ~max_links:4 in
+            let r =
+              Lhws_workloads.Crawler.crawl_on (module P) p web ~latency:rt_latency
+                ~parse_work:fib_n
+            in
+            (P.name, r.Lhws_workloads.Crawler.checksum, r.Lhws_workloads.Crawler.elapsed)
+        | w -> invalid_arg (Printf.sprintf "unknown runtime workload %S (want mapreduce|server|crawler)" w))
+  in
+  (* Optional Chrome trace of the latency-hiding run. *)
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+      let open Lhws_runtime in
+      Lhws_pool.with_pool ~workers (fun p ->
+          let tr = Tracing.create ~workers () in
+          Lhws_pool.set_tracer p tr;
+          let v =
+            Lhws_pool.run p (fun () ->
+                Lhws_pool.parallel_map_reduce p ~lo:0 ~hi:n
+                  ~map:(fun _ ->
+                    Lhws_pool.sleep p rt_latency;
+                    Lhws_workloads.Fib.seq fib_n)
+                  ~combine:( + ) ~id:0)
+          in
+          ignore v;
+          Tracing.write_chrome_json path tr;
+          Format.printf "wrote %s (%d events, %d dropped)@." path
+            (List.length (Tracing.events tr))
+            (Tracing.dropped tr)));
+  let results = List.map run_one [ W.lhws; W.ws ] in
+  Format.printf "workload=%s n=%d latency=%.3fs fib=%d workers=%d@." workload n rt_latency fib_n
+    workers;
+  List.iter
+    (fun (name, value, elapsed) -> Format.printf "%-5s value=%d time=%.3fs@." name value elapsed)
+    results;
+  match results with
+  | [ (_, v1, t1); (_, v2, t2) ] ->
+      if v1 <> v2 then Format.printf "WARNING: results differ!@.";
+      Format.printf "latency hidden: %.2fx faster@." (t2 /. t1)
+  | _ -> ()
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Also record a Chrome trace (chrome://tracing) of a latency-hiding map-reduce run.")
+
+let rt_cmd =
+  let info =
+    Cmd.info "rt" ~doc:"Run a workload on the real effects-based pools (LHWS vs blocking WS)."
+  in
+  Cmd.v info
+    Term.(const rt $ workload_arg $ n_arg $ rt_latency_arg $ fib_arg $ workers_arg
+    $ trace_out_arg)
+
+(* --- gantt command --- *)
+
+let gantt workload n leaf_work latency p seed algo =
+  let dag = build_workload ~workload ~n ~leaf_work ~latency ~seed () in
+  let config = { (config_of ~seed ~steal:"deque" ~trace:true ~no_ff:true ()) with seed } in
+  let run = Sweep.run_algo (algo_of algo) ~config dag ~p in
+  print_string (Lhws_analysis.Gantt.render ~workers:p (Run.trace_exn run));
+  Format.printf "rounds: %d@." run.Run.rounds
+
+let gantt_cmd =
+  let info =
+    Cmd.info "gantt" ~doc:"Render a small traced schedule as an ASCII Gantt chart."
+  in
+  Cmd.v info
+    Term.(
+      const gantt $ workload_arg $ n_arg $ leaf_work_arg $ latency_arg $ p_arg $ seed_arg
+      $ algo_arg)
+
+(* --- main --- *)
+
+let () =
+  let info = Cmd.info "lhws" ~version:"1.0.0" ~doc:"Latency-hiding work stealing (SPAA 2016)." in
+  exit (Cmd.eval (Cmd.group info [ sim_cmd; sweep_cmd; bounds_cmd; dot_cmd; gantt_cmd; rt_cmd ]))

@@ -1,0 +1,117 @@
+(* A miniature client/server system over real pipes: the motivating
+   scenario of the paper's introduction ("a parallel server may communicate
+   with clients to obtain requests and fulfill them").
+
+   Each connection is a pair of pipes.  A client thinks for a while, sends
+   a request, and waits for the answer; the server reads the request
+   (incurring real I/O latency), computes fib of it, and replies.
+
+   - On the latency-hiding pool, every client and every per-connection
+     server handler is a fiber: two workers multiplex all of them, parking
+     handlers on file-descriptor readiness (Io reactor) and timers.
+   - On the blocking pool a read blocks the whole worker, so with two
+     workers, handling the connections concurrently is impossible: the
+     honest blocking design handles each connection start-to-finish.
+
+   Run with: dune exec examples/echo_server.exe *)
+
+open Lhws_runtime
+module W = Lhws_workloads
+
+type conn = {
+  client_out : Unix.file_descr;  (* client writes requests here *)
+  server_in : Unix.file_descr;
+  server_out : Unix.file_descr;  (* server writes replies here *)
+  client_in : Unix.file_descr;
+}
+
+let make_conn () =
+  let server_in, client_out = Unix.pipe ~cloexec:true () in
+  let client_in, server_out = Unix.pipe ~cloexec:true () in
+  { client_out; server_in; server_out; client_in }
+
+let close_conn c =
+  List.iter Unix.close [ c.client_out; c.server_in; c.server_out; c.client_in ]
+
+let encode n =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int n);
+  b
+
+let decode b = Int64.to_int (Bytes.get_int64_le b 0)
+
+let n_conns = 24
+let think_time = 0.02 (* seconds before each client sends its request *)
+let request n = 15 + (n mod 5) (* fib argument *)
+
+let run_latency_hiding conns =
+  Lhws_pool.with_pool ~workers:2 (fun pool ->
+      let io = Io.create () in
+      Lhws_pool.register_poller pool (fun () -> Io.poll io);
+      let t0 = Unix.gettimeofday () in
+      let total =
+        Lhws_pool.run pool (fun () ->
+            let fibers =
+              List.concat_map
+                (fun (i, c) ->
+                  let server =
+                    Lhws_pool.async pool (fun () ->
+                        let buf = Bytes.create 8 in
+                        Io.read_exactly io c.server_in buf 8;
+                        let answer = W.Fib.seq (decode buf) in
+                        Io.write_all io c.server_out (encode answer);
+                        0)
+                  in
+                  let client =
+                    Lhws_pool.async pool (fun () ->
+                        Lhws_pool.sleep pool think_time;
+                        Io.write_all io c.client_out (encode (request i));
+                        let buf = Bytes.create 8 in
+                        Io.read_exactly io c.client_in buf 8;
+                        decode buf)
+                  in
+                  [ server; client ])
+                conns
+            in
+            List.fold_left (fun acc f -> acc + Lhws_pool.await f) 0 fibers)
+      in
+      (total, Unix.gettimeofday () -. t0))
+
+let run_blocking conns =
+  Ws_pool.with_pool ~workers:2 (fun pool ->
+      let t0 = Unix.gettimeofday () in
+      let total =
+        Ws_pool.run pool (fun () ->
+            (* Blocking I/O forces one connection per worker at a time. *)
+            let handle (i, c) =
+              Ws_pool.sleep pool think_time;
+              let b = encode (request i) in
+              ignore (Unix.write c.client_out b 0 8);
+              let buf = Bytes.create 8 in
+              ignore (Unix.read c.server_in buf 0 8);
+              let answer = W.Fib.seq (decode buf) in
+              ignore (Unix.write c.server_out (encode answer) 0 8);
+              ignore (Unix.read c.client_in buf 0 8);
+              decode buf
+            in
+            let promises = List.map (fun conn -> Ws_pool.async pool (fun () -> handle conn)) conns in
+            List.fold_left (fun acc p -> acc + Ws_pool.await pool p) 0 promises)
+      in
+      (total, Unix.gettimeofday () -. t0))
+
+let () =
+  let expect =
+    List.fold_left (fun acc i -> acc + W.Fib.seq (request i)) 0 (List.init n_conns Fun.id)
+  in
+  Format.printf "echo server: %d connections, %.0f ms think time, fib per request, 2 workers@."
+    n_conns (think_time *. 1000.);
+  let conns1 = List.init n_conns (fun i -> (i, make_conn ())) in
+  let total1, dt1 = run_latency_hiding conns1 in
+  List.iter (fun (_, c) -> close_conn c) conns1;
+  assert (total1 = expect);
+  Format.printf "  latency-hiding (fibers + reactor): %.3f s@." dt1;
+  let conns2 = List.init n_conns (fun i -> (i, make_conn ())) in
+  let total2, dt2 = run_blocking conns2 in
+  List.iter (fun (_, c) -> close_conn c) conns2;
+  assert (total2 = expect);
+  Format.printf "  blocking (connection at a time):   %.3f s  (%.1fx slower)@." dt2 (dt2 /. dt1)

@@ -1,0 +1,46 @@
+(* The "server" of Section 5 (Figure 10): requests arrive one at a time —
+   the next request cannot be accepted until the previous one has arrived —
+   and handling a request runs in parallel with accepting the next.
+
+   This is the suspension-width-1 extreme: only one operation is ever
+   outstanding, so the latency-hiding scheduler maintains exactly one deque
+   per worker (Lemma 7 with U = 1) and reduces to plain work stealing,
+   while still overlapping request handling with request latency.
+
+   Run with: dune exec examples/server_loop.exe *)
+
+module Gen = Lhws_dag.Generate
+module Suspension = Lhws_dag.Suspension
+open Lhws_core
+module W = Lhws_workloads
+module P = W.Pool_intf
+
+let () =
+  (* Simulator view: verify U = 1 (exhaustively on a small instance) and
+     the one-deque-per-worker claim on a bigger one. *)
+  let small = Gen.server ~n:3 ~f_work:2 ~latency:6 in
+  Format.printf "server dag: U (exhaustive, n=3) = %d@." (Suspension.exact small);
+  let dag = Gen.server ~n:8 ~f_work:3 ~latency:6 in
+  let run = Lhws_sim.run dag ~p:4 in
+  Format.printf "simulated on P=4: rounds = %d, max deques per worker = %d (Lemma 7: <= U+1 = \
+                 2)@."
+    run.Run.rounds run.Run.stats.Stats.max_deques_per_worker;
+
+  (* Runtime view: 30 requests, 20 ms apart; handling each costs fib(18).
+     The latency-hiding server overlaps handling with waiting; the blocking
+     server alternates. *)
+  let n = 30 and latency = 0.02 and fib_n = 18 in
+  let one (pool : P.pool) =
+    let module Pool = (val pool : P.POOL) in
+    let p = Pool.create ~workers:2 () in
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown p)
+      (fun () -> W.Server.run_on (module Pool) p ~n ~latency ~fib_n)
+  in
+  let lh = one P.lhws in
+  let ws = one P.ws in
+  assert (lh.W.Server.value = ws.W.Server.value);
+  Format.printf "%d requests, %.0f ms apart, fib(%d) handling, 2 workers:@." n (latency *. 1000.)
+    fib_n;
+  Format.printf "  latency-hiding server: %.3f s@." lh.W.Server.elapsed;
+  Format.printf "  blocking server:       %.3f s@." ws.W.Server.elapsed

@@ -1,0 +1,51 @@
+module Metrics = Lhws_dag.Metrics
+module Suspension = Lhws_dag.Suspension
+open Lhws_core
+
+type instance = {
+  work : int;
+  span : int;
+  suspension_width : int;
+  p : int;
+  run : Run.t;
+}
+
+let instance ?suspension_width dag ~p run =
+  let suspension_width =
+    match suspension_width with Some u -> u | None -> Suspension.lower_bound_greedy dag
+  in
+  { work = Metrics.work dag; span = Metrics.span dag; suspension_width; p; run }
+
+let lg u = if u <= 1 then 0. else log (float_of_int u) /. log 2.
+
+let greedy_bound i = ((i.work + i.p - 1) / i.p) + i.span
+
+let greedy_ok i = i.run.Run.rounds <= greedy_bound i
+
+let lhws_bound i =
+  let u = max 1 i.suspension_width in
+  (float_of_int i.work /. float_of_int i.p)
+  +. (float_of_int i.span *. float_of_int u *. (1. +. lg u))
+
+let lhws_ratio i = float_of_int i.run.Run.rounds /. lhws_bound i
+
+let lemma1_ok i =
+  let s = i.run.Run.stats in
+  Stats.balanced s
+  && i.run.Run.rounds * i.p <= (4 * i.work) + s.Stats.steal_attempts + s.Stats.blocked_rounds
+     + s.Stats.idle_rounds
+
+let lemma7_ok i = i.run.Run.stats.Stats.max_deques_per_worker <= i.suspension_width + 1
+
+let width_ok i = i.run.Run.stats.Stats.max_live_suspended <= i.suspension_width
+
+let enabling_span_bound i =
+  2. *. float_of_int i.span *. (1. +. lg (max 1 i.suspension_width))
+
+let corollary1_ok i =
+  let tr = Run.trace_exn i.run in
+  float_of_int (Trace.enabling_span tr) <= enabling_span_bound i
+
+let pfor_work_ok i =
+  let s = i.run.Run.stats in
+  s.Stats.vertices_executed + s.Stats.pfor_executed <= 2 * i.work

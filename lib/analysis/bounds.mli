@@ -1,0 +1,69 @@
+(** Empirical verification of the paper's quantitative claims.
+
+    Each predicate compares a measured run against the corresponding bound;
+    [report] functions return the measured/bound ratio for tabulation. *)
+
+(** Inputs shared by the checks: the dag's static measures and a run. *)
+type instance = {
+  work : int;  (** W *)
+  span : int;  (** S, weighted *)
+  suspension_width : int;  (** U (exact or closed-form) *)
+  p : int;
+  run : Lhws_core.Run.t;
+}
+
+val instance :
+  ?suspension_width:int -> Lhws_dag.Dag.t -> p:int -> Lhws_core.Run.t -> instance
+(** Packs an instance.  If [suspension_width] is omitted it is taken from
+    {!Lhws_dag.Suspension.lower_bound_greedy} — fine for the generators
+    with known closed forms; pass the exact value when it matters. *)
+
+val lg : int -> float
+(** [log2 (max 1 u)] — the [lg U] of the bounds, 0 when [U <= 1]. *)
+
+(** {2 Theorem 1 — greedy schedules} *)
+
+val greedy_bound : instance -> int
+(** [W/P + S] (work term rounded up). *)
+
+val greedy_ok : instance -> bool
+(** Rounds of the run are within the Theorem 1 bound. *)
+
+(** {2 Theorem 2 — LHWS round bound} *)
+
+val lhws_bound : instance -> float
+(** The Theorem 2 expression [W/P + S*U*(1 + lg U)] with no hidden
+    constant.  The theorem asserts O(.) in expectation, so measured/bound
+    ratios should be bounded by a modest constant across instances. *)
+
+val lhws_ratio : instance -> float
+(** [rounds /. lhws_bound] — tabulated in the benches; the paper's theorem
+    holds if this stays below a fixed constant as instances scale. *)
+
+(** {2 Lemma 1 — round accounting} *)
+
+val lemma1_ok : instance -> bool
+(** [rounds <= (4 W + R) / P] with [R] the measured steal attempts, and
+    the token buckets balance. *)
+
+(** {2 Lemma 7 — deques per worker} *)
+
+val lemma7_ok : instance -> bool
+(** Max live deques owned by one worker never exceeded [U + 1]. *)
+
+(** {2 Section 2 — suspension width} *)
+
+val width_ok : instance -> bool
+(** Max simultaneously suspended vertices never exceeded [U]. *)
+
+(** {2 Corollary 1 — enabling span} *)
+
+val enabling_span_bound : instance -> float
+(** [2 S (1 + lg U)]. *)
+
+val corollary1_ok : instance -> bool
+(** Measured enabling span of a traced run is within
+    {!enabling_span_bound}.  Requires a traced run. *)
+
+val pfor_work_ok : instance -> bool
+(** [W + Wpfor <= 2 W] (the pfor-tree accounting inside Lemma 1). *)

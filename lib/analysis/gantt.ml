@@ -1,0 +1,46 @@
+open Lhws_core
+
+let glyph v =
+  if v < 10 then Char.chr (Char.code '0' + v)
+  else if v < 36 then Char.chr (Char.code 'a' + v - 10)
+  else if v < 62 then Char.chr (Char.code 'A' + v - 36)
+  else '#'
+
+let render ~workers ?(max_columns = 120) trace =
+  let last =
+    List.fold_left (fun acc (r, _, _) -> max acc r) (-1) (Trace.executions trace)
+  in
+  let last =
+    List.fold_left (fun acc (r, _) -> max acc r) last (Trace.pfor_executions trace)
+  in
+  let columns = min (last + 1) max_columns in
+  if columns <= 0 then "(empty trace)\n"
+  else begin
+    let grid = Array.make_matrix workers columns '.' in
+    List.iter
+      (fun (round, worker, vertex) ->
+        if round < columns && worker < workers then grid.(worker).(round) <- glyph vertex)
+      (Trace.executions trace);
+    List.iter
+      (fun (round, worker) ->
+        if round < columns && worker < workers then grid.(worker).(round) <- '*')
+      (Trace.pfor_executions trace);
+    let buf = Buffer.create ((workers + 1) * (columns + 8)) in
+    (* round ruler, every 10 columns *)
+    Buffer.add_string buf "      ";
+    for c = 0 to columns - 1 do
+      Buffer.add_char buf (if c mod 10 = 0 then '|' else ' ')
+    done;
+    Buffer.add_char buf '\n';
+    Array.iteri
+      (fun w row ->
+        Buffer.add_string buf (Printf.sprintf "w%-4d " w);
+        Array.iter (Buffer.add_char buf) row;
+        Buffer.add_char buf '\n')
+      grid;
+    if last + 1 > columns then
+      Buffer.add_string buf (Printf.sprintf "(… %d more rounds)\n" (last + 1 - columns));
+    Buffer.contents buf
+  end
+
+let render_run ~workers ?max_columns run = render ~workers ?max_columns (Run.trace_exn run)

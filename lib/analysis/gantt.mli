@@ -1,0 +1,14 @@
+(** ASCII Gantt charts of traced schedules: one row per worker, one column
+    per round.  Useful for eyeballing how the latency-hiding scheduler
+    fills the gaps a blocking scheduler leaves.
+
+    Cell legend: a letter or digit identifies the dag vertex executed
+    (small dags only), ['#'] an unidentifiable vertex, ['*'] a pfor
+    vertex, ['.'] nothing. *)
+
+val render : workers:int -> ?max_columns:int -> Lhws_core.Trace.t -> string
+(** Renders the first [max_columns] (default 120) rounds. *)
+
+val render_run : workers:int -> ?max_columns:int -> Lhws_core.Run.t -> string
+(** Convenience wrapper; requires a traced run.
+    @raise Invalid_argument if the run was not traced. *)

@@ -1,0 +1,57 @@
+module Dag = Lhws_dag.Dag
+module Metrics = Lhws_dag.Metrics
+module Suspension = Lhws_dag.Suspension
+open Lhws_core
+
+type depth_report = {
+  vertices : int;
+  max_ratio : float;
+  bound : float;
+  violations : int;
+  enabling_span : int;
+  span : int;
+}
+
+let depth_report ?suspension_width dag trace =
+  let u =
+    match suspension_width with Some u -> u | None -> Suspension.lower_bound_greedy dag
+  in
+  let bound = 2. +. Bounds.lg u in
+  let dg = Metrics.weighted_depth dag in
+  let vertices = ref 0 and max_ratio = ref 0. and violations = ref 0 in
+  Dag.iter_vertices dag (fun v ->
+      let d = Trace.depth_of trace v in
+      if Trace.round_of trace v >= 0 && d >= 0 && dg.(v) > 0 then begin
+        incr vertices;
+        let ratio = float_of_int d /. float_of_int dg.(v) in
+        if ratio > !max_ratio then max_ratio := ratio;
+        if ratio > bound +. 1e-9 then incr violations
+      end);
+  {
+    vertices = !vertices;
+    max_ratio = !max_ratio;
+    bound;
+    violations = !violations;
+    enabling_span = Trace.enabling_span trace;
+    span = Metrics.span dag;
+  }
+
+let lemma2_ok r = r.violations = 0
+
+let deque_order_violations (s : Snapshot.t) =
+  List.fold_left
+    (fun acc (d : Snapshot.deque_view) ->
+      (* task_depths is bottom-to-top; require weakly decreasing. *)
+      let rec ordered = function
+        | a :: (b :: _ as rest) -> a >= b && ordered rest
+        | _ -> true
+      in
+      if ordered d.task_depths then acc else acc + 1)
+    0 s.deques
+
+let pp_depth_report ppf r =
+  Format.fprintf ppf
+    "@[<v>vertices checked: %d@,max d(v)/d_G(v): %.3f (bound %.3f)@,violations: %d@,S* = %d, S = \
+     %d, S*/S = %.3f@]"
+    r.vertices r.max_ratio r.bound r.violations r.enabling_span r.span
+    (if r.span > 0 then float_of_int r.enabling_span /. float_of_int r.span else 0.)

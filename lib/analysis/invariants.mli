@@ -1,0 +1,28 @@
+(** Per-vertex checks of the enabling-tree invariants (Lemma 2, condition 1
+    and Corollary 1) on traced runs: every executed vertex's enabling-tree
+    depth [d(v)] should satisfy [d(v) <= (2 + lg U) * d_G(v)]. *)
+
+type depth_report = {
+  vertices : int;  (** executed vertices with both depths known *)
+  max_ratio : float;  (** max over vertices of [d(v) / d_G(v)] ([d_G > 0]) *)
+  bound : float;  (** [2 + lg U] *)
+  violations : int;  (** vertices with [d(v)] above the bound *)
+  enabling_span : int;  (** measured [S*] *)
+  span : int;  (** weighted dag span [S] *)
+}
+
+val depth_report :
+  ?suspension_width:int -> Lhws_dag.Dag.t -> Lhws_core.Trace.t -> depth_report
+(** Computes the report; [suspension_width] defaults to
+    {!Lhws_dag.Suspension.lower_bound_greedy}. *)
+
+val lemma2_ok : depth_report -> bool
+(** No per-vertex violations. *)
+
+val pp_depth_report : Format.formatter -> depth_report -> unit
+
+val deque_order_violations : Lhws_core.Snapshot.t -> int
+(** Lemma 2, condition 5 (as reflected in enabling depths): within any
+    deque, enabling-tree depths must weakly decrease from bottom to top
+    (the topmost task is the shallowest / heaviest).  Returns the number
+    of deques violating this in the snapshot; Lemma 2 says 0. *)

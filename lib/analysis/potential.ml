@@ -1,0 +1,158 @@
+open Lhws_core
+
+let pow3 e = 3. ** float_of_int e
+
+let phi ~s_star ~assigned d =
+  let w = s_star - d in
+  pow3 ((2 * w) - if assigned then 1 else 0)
+
+let task_potentials ~s_star (d : Snapshot.deque_view) =
+  List.fold_left (fun acc depth -> acc +. phi ~s_star ~assigned:false depth) 0. d.task_depths
+
+let extra_potential ~s_star ~round (d : Snapshot.deque_view) =
+  match d.state with
+  | Snapshot.Active | Snapshot.Freed -> 0.
+  | Snapshot.Ready | Snapshot.Suspended ->
+      if d.suspend_ctr = 0 then 0.
+      else
+        let w = s_star - d.anchor_depth in
+        let j = max 0 (round - d.anchor_round) in
+        2. *. pow3 ((2 * w) - (2 * j))
+
+let deque_potential ~s_star ~round d = task_potentials ~s_star d +. extra_potential ~s_star ~round d
+
+let total ~s_star (s : Snapshot.t) =
+  let assigned =
+    List.fold_left (fun acc (_, d) -> acc +. phi ~s_star ~assigned:true d) 0. s.assigned_depths
+  in
+  List.fold_left (fun acc d -> acc +. deque_potential ~s_star ~round:s.round d) assigned s.deques
+
+let top_heavy_violations ~s_star (s : Snapshot.t) =
+  List.fold_left
+    (fun acc (d : Snapshot.deque_view) ->
+      match (d.state, d.task_depths) with
+      | (Snapshot.Ready | Snapshot.Suspended), (_ :: _ as depths) ->
+          let top = List.nth depths (List.length depths - 1) in
+          let top_phi = phi ~s_star ~assigned:false top in
+          let all = task_potentials ~s_star d in
+          if top_phi < (2. /. 3.) *. all -. 1e-9 then acc + 1 else acc
+      | _ -> acc)
+    0 s.deques
+
+type monotonicity = {
+  rounds_checked : int;
+  violations : int;
+  max_increase_ratio : float;
+  initial : float;
+  final : float;
+}
+
+let check_monotone = function
+  | [] -> { rounds_checked = 0; violations = 0; max_increase_ratio = 0.; initial = 0.; final = 0. }
+  | first :: _ as series ->
+      let rec go prev rest acc =
+        match rest with
+        | [] -> acc
+        | x :: rest ->
+            let acc =
+              let ratio = if prev > 0. then x /. prev else if x > 0. then infinity else 1. in
+              {
+                acc with
+                rounds_checked = acc.rounds_checked + 1;
+                violations = (acc.violations + if x > prev +. 1e-9 then 1 else 0);
+                max_increase_ratio = max acc.max_increase_ratio ratio;
+                final = x;
+              }
+            in
+            go x rest acc
+      in
+      go first (List.tl series)
+        {
+          rounds_checked = 0;
+          violations = 0;
+          max_increase_ratio = 0.;
+          initial = first;
+          final = first;
+        }
+
+let ready_deque_potential ~s_star (s : Snapshot.t) =
+  List.fold_left
+    (fun acc (d : Snapshot.deque_view) ->
+      match d.state with
+      | Snapshot.Ready | Snapshot.Suspended ->
+          if d.task_depths = [] then acc else acc +. task_potentials ~s_star d
+      | Snapshot.Active | Snapshot.Freed -> acc)
+    0. s.deques
+
+type phase_report = { phases : int; successful : int; fraction : float }
+
+let phase_report ~s_star ~p ~u snapshots =
+  let quota = p * (u + 1) in
+  let rec go start rest acc =
+    match rest with
+    | [] -> acc
+    | (s : Snapshot.t) :: tail ->
+        if s.Snapshot.steal_attempts - start.Snapshot.steal_attempts >= quota then begin
+          let target = 2. /. 9. *. ready_deque_potential ~s_star start in
+          let drop = total ~s_star start -. total ~s_star s in
+          let acc =
+            {
+              acc with
+              phases = acc.phases + 1;
+              successful = (acc.successful + if drop +. 1e-9 >= target then 1 else 0);
+            }
+          in
+          go s tail acc
+        end
+        else go start tail acc
+  in
+  match snapshots with
+  | [] -> { phases = 0; successful = 0; fraction = 0. }
+  | first :: rest ->
+      let acc = go first rest { phases = 0; successful = 0; fraction = 0. } in
+      { acc with fraction = (if acc.phases = 0 then 0. else float_of_int acc.successful /. float_of_int acc.phases) }
+
+type exec_decrease = { pairs_checked : int; violations : int }
+
+let check_lemma4 ~s_star snapshots =
+  let rec go acc = function
+    | (a : Snapshot.t) :: (b :: _ as rest) ->
+        let acc =
+          if a.assigned_depths = [] then acc
+          else begin
+            let assigned_phi =
+              List.fold_left
+                (fun sum (_, d) -> sum +. phi ~s_star ~assigned:true d)
+                0. a.assigned_depths
+            in
+            let drop = total ~s_star a -. total ~s_star b in
+            {
+              pairs_checked = acc.pairs_checked + 1;
+              violations =
+                (acc.violations
+                + if drop +. 1e-9 < 5. /. 9. *. assigned_phi then 1 else 0);
+            }
+          end
+        in
+        go acc rest
+    | _ -> acc
+  in
+  go { pairs_checked = 0; violations = 0 } snapshots
+
+let balls_in_bins_trial rng ~weights =
+  let p = Array.length weights in
+  let hit = Array.make p false in
+  for _ = 1 to p do
+    hit.(Rng.int rng p) <- true
+  done;
+  let acc = ref 0. in
+  Array.iteri (fun i w -> if hit.(i) then acc := !acc +. w) weights;
+  !acc
+
+let balls_in_bins_success_rate rng ~weights ~beta ~trials =
+  let total = Array.fold_left ( +. ) 0. weights in
+  let succ = ref 0 in
+  for _ = 1 to trials do
+    if balls_in_bins_trial rng ~weights >= beta *. total then incr succ
+  done;
+  float_of_int !succ /. float_of_int trials

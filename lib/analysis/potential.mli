@@ -1,0 +1,80 @@
+(** The potential function of Section 4.1/4.2, computed over scheduler
+    snapshots.
+
+    A vertex at enabling-tree depth [d] has weight [w = s_star - d] and
+    potential [3^(2w)] (or [3^(2w - 1)] while assigned).  A non-active
+    deque with suspended vertices carries extra potential
+    [2 * 3^(2 w(v) - 2j)], where [v] is its bottom vertex (or the last
+    vertex executed from it if empty) and [j] the rounds since [v] was
+    added (executed).
+
+    Potentials are computed in floating point; they are exact for
+    [s_star <= 26] and monotonicity checks remain meaningful beyond that.
+    Use small dags for exact lemma verification. *)
+
+val phi : s_star:int -> assigned:bool -> int -> float
+(** [phi ~s_star ~assigned d] is the potential of one task at depth [d]. *)
+
+val deque_potential : s_star:int -> round:int -> Lhws_core.Snapshot.deque_view -> float
+(** Task potentials plus the extra potential, per the definition. *)
+
+val total : s_star:int -> Lhws_core.Snapshot.t -> float
+(** [Phi_i]: assigned tasks + all deques. *)
+
+val top_heavy_violations : s_star:int -> Lhws_core.Snapshot.t -> int
+(** Number of ready (non-active, non-empty) deques whose top task carries
+    less than [2/3] of the deque's task potential — Lemma 3 says this is
+    always [0]. *)
+
+type monotonicity = {
+  rounds_checked : int;
+  violations : int;  (** rounds where [Phi] increased (Lemma 5 says 0) *)
+  max_increase_ratio : float;  (** worst [Phi_{i+1} / Phi_i]; [<= 1.0] iff no violations *)
+  initial : float;
+  final : float;
+}
+
+val check_monotone : float list -> monotonicity
+(** Folds a per-round potential series (as collected by an observer). *)
+
+type exec_decrease = {
+  pairs_checked : int;  (** consecutive snapshot pairs with assigned tasks *)
+  violations : int;
+      (** pairs where [Phi_i - Phi_{i+1} < 5/9 * sum of assigned potentials]
+          — Lemma 4 (aggregated over the round's assigned tasks) says 0,
+          up to the reconstruction's approximations *)
+}
+
+val check_lemma4 : s_star:int -> Lhws_core.Snapshot.t list -> exec_decrease
+(** Folds consecutive snapshots: whenever round [i] has assigned tasks,
+    the total potential must drop by at least [5/9] of their combined
+    potential by round [i+1]. *)
+
+type phase_report = {
+  phases : int;  (** complete phases of [>= p * (u + 1)] steal attempts *)
+  successful : int;  (** phases whose total potential dropped by [>= 2/9]
+                         of the ready-deque potential at the phase start *)
+  fraction : float;
+}
+
+val ready_deque_potential : s_star:int -> Lhws_core.Snapshot.t -> float
+(** [Phi_i(D_i)]: potential carried by non-active, non-empty deques — the
+    part steals attack. *)
+
+val phase_report :
+  s_star:int -> p:int -> u:int -> Lhws_core.Snapshot.t list -> phase_report
+(** Segments a run into Lemma 8 phases (at least [p * (u + 1)] steal
+    attempts each) and counts how many were {e successful} in the lemma's
+    sense.  The lemma proves success probability [> 1/4] per phase; the
+    measured fraction should comfortably exceed a small constant. *)
+
+(** {2 Lemma 6 — balls and weighted bins} *)
+
+val balls_in_bins_trial : Lhws_core.Rng.t -> weights:float array -> float
+(** One trial: throw [P] balls into [P] weighted bins uniformly; return the
+    total weight of hit bins. *)
+
+val balls_in_bins_success_rate :
+  Lhws_core.Rng.t -> weights:float array -> beta:float -> trials:int -> float
+(** Fraction of trials with hit weight [>= beta * total].  Lemma 6:
+    for [0 < beta < 1] this exceeds [1 - 1/((1-beta) e)]. *)

@@ -1,0 +1,88 @@
+open Lhws_core
+
+let ps_of = function
+  | [] -> []
+  | first :: _ -> List.map (fun (pt : Sweep.point) -> pt.Sweep.p) first.Sweep.points
+
+let check_aligned series =
+  let ps = ps_of series in
+  List.iter
+    (fun (s : Sweep.series) ->
+      if List.map (fun (pt : Sweep.point) -> pt.Sweep.p) s.Sweep.points <> ps then
+        invalid_arg "Report: series cover different worker counts")
+    series
+
+let row_cells series i =
+  List.concat_map
+    (fun (s : Sweep.series) ->
+      let pt = List.nth s.Sweep.points i in
+      [ string_of_int pt.Sweep.rounds; Printf.sprintf "%.3f" pt.Sweep.speedup ])
+    series
+
+let header_cells series =
+  List.concat_map
+    (fun (s : Sweep.series) ->
+      let n = Sweep.algo_name s.Sweep.algo in
+      [ n ^ "_rounds"; n ^ "_speedup" ])
+    series
+
+let csv_of_series series =
+  check_aligned series;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (String.concat "," ("p" :: header_cells series));
+  Buffer.add_char buf '\n';
+  List.iteri
+    (fun i p ->
+      Buffer.add_string buf (String.concat "," (string_of_int p :: row_cells series i));
+      Buffer.add_char buf '\n')
+    (ps_of series);
+  Buffer.contents buf
+
+let markdown_of_series series =
+  check_aligned series;
+  let buf = Buffer.create 256 in
+  let cells = "p" :: header_cells series in
+  Buffer.add_string buf ("| " ^ String.concat " | " cells ^ " |\n");
+  Buffer.add_string buf ("|" ^ String.concat "|" (List.map (fun _ -> "---") cells) ^ "|\n");
+  List.iteri
+    (fun i p ->
+      Buffer.add_string buf
+        ("| " ^ String.concat " | " (string_of_int p :: row_cells series i) ^ " |\n"))
+    (ps_of series);
+  Buffer.contents buf
+
+let stats_columns stats = List.map fst (Stats.to_assoc stats)
+
+let csv_of_stats rows =
+  let buf = Buffer.create 256 in
+  (match rows with
+  | [] -> ()
+  | (_, first) :: _ ->
+      Buffer.add_string buf (String.concat "," ("run" :: stats_columns first));
+      Buffer.add_char buf '\n';
+      List.iter
+        (fun (label, stats) ->
+          let values = List.map (fun (_, v) -> string_of_int v) (Stats.to_assoc stats) in
+          Buffer.add_string buf (String.concat "," (label :: values));
+          Buffer.add_char buf '\n')
+        rows);
+  Buffer.contents buf
+
+let markdown_of_stats rows =
+  let buf = Buffer.create 256 in
+  (match rows with
+  | [] -> ()
+  | (_, first) :: _ ->
+      let cells = "run" :: stats_columns first in
+      Buffer.add_string buf ("| " ^ String.concat " | " cells ^ " |\n");
+      Buffer.add_string buf ("|" ^ String.concat "|" (List.map (fun _ -> "---") cells) ^ "|\n");
+      List.iter
+        (fun (label, stats) ->
+          let values = List.map (fun (_, v) -> string_of_int v) (Stats.to_assoc stats) in
+          Buffer.add_string buf ("| " ^ String.concat " | " (label :: values) ^ " |\n"))
+        rows);
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)

@@ -1,0 +1,19 @@
+(** Export of experiment results: CSV for plotting, markdown for docs.
+
+    Used by the CLI's [--csv] outputs and by the bench harness; kept here
+    so downstream users can post-process sweeps without scraping stdout. *)
+
+val csv_of_series : Lhws_core.Sweep.series list -> string
+(** One row per worker count: [p,<algo> rounds,<algo> speedup,...].
+    All series must share the same worker counts. *)
+
+val markdown_of_series : Lhws_core.Sweep.series list -> string
+(** The same table as GitHub-flavoured markdown. *)
+
+val csv_of_stats : (string * Lhws_core.Stats.t) list -> string
+(** One row per labelled run, one column per counter. *)
+
+val markdown_of_stats : (string * Lhws_core.Stats.t) list -> string
+
+val write_file : string -> string -> unit
+(** [write_file path contents]. *)

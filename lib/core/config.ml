@@ -1,0 +1,32 @@
+type steal_policy = Steal_global_deque | Steal_worker_then_deque
+type resume_policy = Resume_pfor_tree | Resume_linear
+type resume_target = Original_deque | Fresh_deque
+
+type t = {
+  steal_policy : steal_policy;
+  resume_policy : resume_policy;
+  resume_target : resume_target;
+  availability : (int -> int -> bool) option;
+  wrap_single_resume : bool;
+  fast_forward : bool;
+  trace : bool;
+  max_rounds : int;
+  seed : int;
+}
+
+exception Stuck of string
+
+let default =
+  {
+    steal_policy = Steal_global_deque;
+    resume_policy = Resume_pfor_tree;
+    resume_target = Original_deque;
+    availability = None;
+    wrap_single_resume = false;
+    fast_forward = true;
+    trace = false;
+    max_rounds = 1_000_000_000;
+    seed = 42;
+  }
+
+let analysis = { default with wrap_single_resume = true; fast_forward = false; trace = true }

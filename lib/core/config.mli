@@ -1,0 +1,70 @@
+(** Simulator configuration and policy knobs. *)
+
+type steal_policy =
+  | Steal_global_deque
+      (** The analyzed policy (Section 3): the victim deque is chosen
+          uniformly at random among {e all} allocated deque slots, including
+          freed ones (the steal then fails). *)
+  | Steal_worker_then_deque
+      (** The implemented policy (Section 6): pick a random worker, then a
+          random one of its deques that currently has work. *)
+
+type resume_policy =
+  | Resume_pfor_tree
+      (** The paper's policy: a batch of resumed vertices unfolds as a
+          balanced binary pfor tree — logarithmic span, stealable halves. *)
+  | Resume_linear
+      (** Ablation: the batch unfolds as a chain, one vertex per round —
+          linear span, modelling an owner that re-enqueues resumed vertices
+          one at a time ("a worker cannot handle them by itself without
+          harming performance", Section 3). *)
+
+type resume_target =
+  | Original_deque
+      (** The paper's policy: a resumed batch returns to the deque its
+          vertices suspended from; new deques are created only by steals.
+          Keeps Lemma 7's [U + 1] deque bound. *)
+  | Fresh_deque
+      (** The variant Section 7 attributes to Spoonhower: "when a
+          suspended thread resumes, a new deque is created to execute it".
+          The original deque is freed once quiet; deque allocation now
+          tracks resumes rather than steals. *)
+
+type t = {
+  steal_policy : steal_policy;
+  resume_policy : resume_policy;
+  resume_target : resume_target;
+  availability : (int -> int -> bool) option;
+      (** Multiprogrammed-environment extension (the setting of Arora,
+          Blumofe and Plaxton, which the paper's analysis builds on):
+          [avail round worker] says whether the worker is scheduled by
+          the environment in that round.  Unavailable workers take no
+          action; their rounds are counted in
+          {!Stats.t.unavailable_rounds}.  [None] (default) means a
+          dedicated machine.  Setting this disables fast-forward. *)
+  wrap_single_resume : bool;
+      (** If [true], a batch of exactly one resumed vertex is still wrapped
+          in a pfor vertex, as in the pseudocode; if [false] (default), it
+          is pushed directly, a constant-work optimization. *)
+  fast_forward : bool;
+      (** Skip stretches of rounds in which every worker can only make a
+          failed steal attempt (all waiting on latency).  Skipped rounds
+          are still accounted: each skipped round adds one failed steal
+          attempt per worker, exactly what the algorithm would have done.
+          Results are identical except for the random-number stream. *)
+  trace : bool;  (** Record the execution trace and enabling depths. *)
+  max_rounds : int;  (** Safety cap; exceeding it raises [Stuck]. *)
+  seed : int;
+}
+
+exception Stuck of string
+(** Raised when no progress is possible (deadlock — indicates a malformed
+    dag) or when [max_rounds] is exceeded. *)
+
+val default : t
+(** [Steal_global_deque], [Resume_pfor_tree], no single-resume wrapping,
+    fast-forward on, no trace, [max_rounds = 1_000_000_000], seed 42. *)
+
+val analysis : t
+(** Faithful-to-the-analysis settings: wraps single resumes, no
+    fast-forward, tracing on.  Use for bound-checking runs. *)

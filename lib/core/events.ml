@@ -1,0 +1,69 @@
+(* Binary min-heap ordered by (time, sequence number); the sequence number
+   makes ties FIFO, keeping the simulator deterministic. *)
+
+type 'a entry = { time : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry option array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = Array.make 16 None; size = 0; next_seq = 0 }
+
+let entry_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let get h i = match h.heap.(i) with Some e -> e | None -> assert false
+
+let swap h i j =
+  let t = h.heap.(i) in
+  h.heap.(i) <- h.heap.(j);
+  h.heap.(j) <- t
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt (get h i) (get h parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && entry_lt (get h l) (get h !smallest) then smallest := l;
+  if r < h.size && entry_lt (get h r) (get h !smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let add h time payload =
+  if h.size = Array.length h.heap then begin
+    let bigger = Array.make (2 * h.size) None in
+    Array.blit h.heap 0 bigger 0 h.size;
+    h.heap <- bigger
+  end;
+  h.heap.(h.size) <- Some { time; seq = h.next_seq; payload };
+  h.next_seq <- h.next_seq + 1;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let next_time h = if h.size = 0 then None else Some (get h 0).time
+
+let pop_due h now =
+  if h.size = 0 then None
+  else
+    let top = get h 0 in
+    if top.time > now then None
+    else begin
+      h.size <- h.size - 1;
+      h.heap.(0) <- h.heap.(h.size);
+      h.heap.(h.size) <- None;
+      if h.size > 0 then sift_down h 0;
+      Some top.payload
+    end
+
+let is_empty h = h.size = 0
+let length h = h.size

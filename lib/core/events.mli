@@ -1,0 +1,20 @@
+(** Future-event queue for latency expiry: a binary min-heap keyed by round
+    number.  The simulator schedules one event per suspension, fired when
+    the heavy edge's latency elapses. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> int -> 'a -> unit
+(** [add q time x] schedules [x] at [time]. *)
+
+val pop_due : 'a t -> int -> 'a option
+(** [pop_due q now] removes and returns an event with time [<= now], or
+    [None].  Events with equal time are returned in insertion order. *)
+
+val next_time : 'a t -> int option
+(** Earliest scheduled time, if any. *)
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int

@@ -1,0 +1,35 @@
+module Dag = Lhws_dag.Dag
+
+type t = {
+  dag : Dag.t;
+  pending : int array; (* unexecuted parents per vertex *)
+  executed : bool array;
+  mutable n_executed : int;
+}
+
+let create dag =
+  let n = Dag.num_vertices dag in
+  let pending = Array.init n (Dag.in_degree dag) in
+  { dag; pending; executed = Array.make n false; n_executed = 0 }
+
+let dag t = t.dag
+
+let execute t v =
+  if t.executed.(v) then invalid_arg (Printf.sprintf "Exec_state.execute: vertex %d twice" v);
+  if t.pending.(v) <> 0 then
+    invalid_arg (Printf.sprintf "Exec_state.execute: vertex %d has unexecuted parents" v);
+  t.executed.(v) <- true;
+  t.n_executed <- t.n_executed + 1;
+  let enabled = ref [] in
+  let out = Dag.out_edges t.dag v in
+  for i = Array.length out - 1 downto 0 do
+    let c, w = out.(i) in
+    t.pending.(c) <- t.pending.(c) - 1;
+    if t.pending.(c) = 0 then enabled := (c, w) :: !enabled
+  done;
+  !enabled
+
+let executed t v = t.executed.(v)
+let num_executed t = t.n_executed
+let complete t = t.n_executed = Dag.num_vertices t.dag
+let final_executed t = t.executed.(Dag.final t.dag)

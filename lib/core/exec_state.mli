@@ -1,0 +1,26 @@
+(** Shared execution bookkeeping for the online schedulers: which vertices
+    have executed and which children become {e enabled} (all parents
+    executed) as a result of an execution.  Whether an enabled child is
+    {e ready} (light in-edge) or {e suspended} (heavy in-edge) is the
+    scheduler's concern. *)
+
+type t
+
+val create : Lhws_dag.Dag.t -> t
+
+val dag : t -> Lhws_dag.Dag.t
+
+val execute : t -> Lhws_dag.Dag.vertex -> (Lhws_dag.Dag.vertex * int) list
+(** Marks the vertex executed and returns its {e enabled} children, in
+    out-edge (left-to-right) order, paired with the enabling edge's weight.
+    @raise Invalid_argument if the vertex was already executed or has an
+    unexecuted parent. *)
+
+val executed : t -> Lhws_dag.Dag.vertex -> bool
+val num_executed : t -> int
+
+val complete : t -> bool
+(** All vertices executed. *)
+
+val final_executed : t -> bool
+(** The final vertex has executed — the schedulers' termination test. *)

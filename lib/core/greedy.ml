@@ -1,0 +1,71 @@
+module Dag = Lhws_dag.Dag
+module Check = Lhws_dag.Check
+module Metrics = Lhws_dag.Metrics
+
+let bound dag ~p =
+  let w = Metrics.work dag and s = Metrics.span dag in
+  ((w + p - 1) / p) + s
+
+let run ?(config = Config.default) dag ~p =
+  if p < 1 then invalid_arg "Greedy.run: p must be >= 1";
+  Check.check_exn dag;
+  let es = Exec_state.create dag in
+  let stats = Stats.create ~workers:p in
+  let trace = if config.trace then Some (Trace.create dag) else None in
+  let ready : Dag.vertex Queue.t = Queue.create () in
+  let events : Dag.vertex Events.t = Events.create () in
+  let now = ref 0 in
+  let finished = ref false in
+  (match trace with Some tr -> Trace.set_depth tr (Dag.root dag) 0 | None -> ());
+  Queue.add (Dag.root dag) ready;
+  while not !finished do
+    if !now > config.max_rounds then
+      raise (Config.Stuck (Printf.sprintf "exceeded max_rounds = %d" config.max_rounds));
+    let rec drain () =
+      match Events.pop_due events !now with
+      | Some v ->
+          stats.resumes <- stats.resumes + 1;
+          Queue.add v ready;
+          drain ()
+      | None -> ()
+    in
+    drain ();
+    if Queue.is_empty ready then begin
+      match Events.next_time events with
+      | None -> raise (Config.Stuck (Printf.sprintf "deadlock at round %d" !now))
+      | Some t ->
+          let target = if config.fast_forward then t else !now + 1 in
+          let skipped = target - !now in
+          stats.idle_rounds <- stats.idle_rounds + (skipped * p);
+          if config.fast_forward then
+            stats.fast_forwarded_rounds <- stats.fast_forwarded_rounds + skipped;
+          now := target
+    end
+    else begin
+      let k = min p (Queue.length ready) in
+      (* Children enabled this round are collected and only become ready
+         next round. *)
+      let enabled_light = ref [] in
+      for worker = 0 to k - 1 do
+        let v = Queue.pop ready in
+        stats.vertices_executed <- stats.vertices_executed + 1;
+        (match trace with
+        | Some tr -> Trace.record_exec tr ~round:!now ~worker v
+        | None -> ());
+        if v = Dag.final dag then finished := true;
+        List.iter
+          (fun (c, weight) ->
+            if weight = 1 then enabled_light := c :: !enabled_light
+            else begin
+              stats.suspensions <- stats.suspensions + 1;
+              Events.add events (!now + weight) c
+            end)
+          (Exec_state.execute es v)
+      done;
+      List.iter (fun c -> Queue.add c ready) (List.rev !enabled_light);
+      stats.idle_rounds <- stats.idle_rounds + (p - k);
+      incr now
+    end
+  done;
+  stats.rounds <- !now;
+  { Run.rounds = !now; stats; trace }

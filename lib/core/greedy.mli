@@ -1,0 +1,21 @@
+(** Offline greedy scheduler for weighted dags (Theorem 1).
+
+    A greedy schedule keeps all [P] workers busy whenever at least [P]
+    vertices are ready.  This implementation maintains a central FIFO pool
+    of ready vertices: each round it executes [min P (ready vertices)] of
+    them; children enabled over light edges become ready the next round,
+    children enabled over heavy edges of weight [delta] become ready
+    [delta] rounds later.
+
+    Theorem 1 guarantees the resulting schedule has length at most
+    [W/P + S]; tests and benches verify this on every workload. *)
+
+val run : ?config:Config.t -> Lhws_dag.Dag.t -> p:int -> Run.t
+(** Greedy schedule of the dag on [p >= 1] workers.  Only
+    {!Config.t.trace}, [max_rounds] and [fast_forward] are consulted.
+    Rounds with fewer ready vertices than workers account the shortfall in
+    {!Stats.t.idle_rounds}.
+    @raise Invalid_argument if [p < 1] or the dag is malformed. *)
+
+val bound : Lhws_dag.Dag.t -> p:int -> int
+(** The Theorem 1 bound [ceil(W/P) + S] for this dag. *)

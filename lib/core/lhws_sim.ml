@@ -1,0 +1,434 @@
+module Dag = Lhws_dag.Dag
+module Check = Lhws_dag.Check
+module Deque = Lhws_deque.Deque
+
+(* A deque element: a task plus the bookkeeping needed for the
+   enabling-tree depths of Section 4.1 (depth at which the task sits in
+   the enabling tree, and the round in which it was pushed). *)
+type elt = { task : Task.t; depth : int; added : int }
+
+type deque = {
+  did : int;
+  owner : int;
+  q : elt Deque.t;
+  mutable suspend_ctr : int;  (* suspended vertices belonging to this deque *)
+  mutable resumed_rev : Dag.vertex list;  (* q.resumedVertices, newest first *)
+  mutable in_resumed_set : bool;
+  mutable in_ready : bool;
+  mutable freed : bool;
+  (* Anchor for pfor placement when the deque is empty: the depth and
+     round of the last vertex executed from this deque. *)
+  mutable last_depth : int;
+  mutable last_round : int;
+}
+
+type worker = {
+  wid : int;
+  rng : Rng.t;
+  mutable assigned : elt option;
+  mutable active : deque option;
+  mutable ready : deque list;  (* readyDeques (non-active deques with work) *)
+  mutable resumed_deques_rev : deque list;  (* resumedDeques, newest first *)
+  mutable empty_deques : deque list;  (* freed deques available for reuse *)
+  mutable owned_live : int;  (* non-freed deques owned; Lemma 7: <= U + 1 *)
+}
+
+type state = {
+  es : Exec_state.t;
+  cfg : Config.t;
+  stats : Stats.t;
+  trace : Trace.t option;
+  workers : worker array;
+  mutable gdeques : deque array;  (* global deque array, gDeques *)
+  mutable gtotal : int;  (* gTotalDeques *)
+  events : (Dag.vertex * deque) Events.t;  (* latency expiries *)
+  mutable now : int;
+  mutable live_suspended : int;
+  mutable finished : bool;
+}
+
+(* A child produced by executing a task: ready with a task to run, or
+   suspended on a heavy edge of the given weight. *)
+type child = Ready of Task.t | Suspends of Dag.vertex * int
+
+let mk_elt st task depth =
+  (match (st.trace, task) with
+  | Some tr, Task.Vertex v -> Trace.set_depth tr v depth
+  | _ -> ());
+  { task; depth; added = st.now }
+
+(* --- deque management (Figure 5) --- *)
+
+let push_gdeque st d =
+  if st.gtotal = Array.length st.gdeques then begin
+    let bigger = Array.make (max 16 (2 * st.gtotal)) d in
+    Array.blit st.gdeques 0 bigger 0 st.gtotal;
+    st.gdeques <- bigger
+  end;
+  st.gdeques.(st.gtotal) <- d;
+  st.gtotal <- st.gtotal + 1
+
+let alloc_deque st w =
+  let d =
+    match w.empty_deques with
+    | d :: rest ->
+        w.empty_deques <- rest;
+        d.freed <- false;
+        d.last_depth <- 0;
+        d.last_round <- st.now;
+        d
+    | [] ->
+        let d =
+          {
+            did = st.gtotal;
+            owner = w.wid;
+            q = Deque.create ();
+            suspend_ctr = 0;
+            resumed_rev = [];
+            in_resumed_set = false;
+            in_ready = false;
+            freed = false;
+            last_depth = 0;
+            last_round = st.now;
+          }
+        in
+        push_gdeque st d;
+        st.stats.deques_allocated <- st.stats.deques_allocated + 1;
+        d
+  in
+  w.owned_live <- w.owned_live + 1;
+  if w.owned_live > st.stats.max_deques_per_worker then
+    st.stats.max_deques_per_worker <- w.owned_live;
+  d
+
+let free_deque w d =
+  assert (Deque.is_empty d.q && d.suspend_ctr = 0);
+  d.freed <- true;
+  w.owned_live <- w.owned_live - 1;
+  w.empty_deques <- d :: w.empty_deques
+
+(* --- suspension callbacks (function callback of Figure 3) --- *)
+
+let callback st v d =
+  d.resumed_rev <- v :: d.resumed_rev;
+  d.suspend_ctr <- d.suspend_ctr - 1;
+  st.live_suspended <- st.live_suspended - 1;
+  st.stats.resumes <- st.stats.resumes + 1;
+  if not d.in_resumed_set then begin
+    d.in_resumed_set <- true;
+    let w = st.workers.(d.owner) in
+    w.resumed_deques_rev <- d :: w.resumed_deques_rev
+  end
+
+(* Depth/round anchor used to place a pfor tree on a deque (Section 4.1:
+   the bottom vertex if the deque is non-empty, otherwise the last vertex
+   executed from it). *)
+let anchor d =
+  match Deque.peek_bottom d.q with
+  | Some e -> (e.depth, e.added)
+  | None -> (d.last_depth, d.last_round)
+
+(* What the worker just did, for pfor depth bookkeeping on the active
+   deque: either it executed a task at a given depth (and whether that
+   task produced a left child), or it is in the idle path. *)
+type active_context = Exec of int * bool | Idle_ctx
+
+(* addResumedVertices() *)
+let add_resumed st w ctx =
+  match w.resumed_deques_rev with
+  | [] -> ()
+  | rev ->
+      let ds = List.rev rev in
+      w.resumed_deques_rev <- [];
+      List.iter
+        (fun d ->
+          d.in_resumed_set <- false;
+          let batch = Array.of_list (List.rev d.resumed_rev) in
+          d.resumed_rev <- [];
+          let is_active = match w.active with Some a -> a == d | None -> false in
+          let depth =
+            if is_active then
+              match ctx with
+              | Exec (dep, true) -> dep + 2 (* auxiliary vertex splits the out-edges *)
+              | Exec (dep, false) -> dep + 1
+              | Idle_ctx ->
+                  let ad, aj = anchor d in
+                  ad + max 1 (st.now - aj)
+            else
+              let ad, aj = anchor d in
+              ad + max 1 (st.now - aj)
+          in
+          let task =
+            if Array.length batch = 1 && not st.cfg.wrap_single_resume then
+              Task.Vertex batch.(0)
+            else Task.pfor batch
+          in
+          st.stats.pfor_batches <- st.stats.pfor_batches + 1;
+          match st.cfg.resume_target with
+          | Config.Original_deque ->
+              Deque.push_bottom d.q (mk_elt st task depth);
+              if (not is_active) && not d.in_ready then begin
+                d.in_ready <- true;
+                w.ready <- d :: w.ready
+              end
+          | Config.Fresh_deque ->
+              (* Spoonhower-style variant: the batch starts a brand-new
+                 deque; the original is retired once nothing else will
+                 come back to it. *)
+              let fresh = alloc_deque st w in
+              Deque.push_bottom fresh.q (mk_elt st task depth);
+              fresh.in_ready <- true;
+              w.ready <- fresh :: w.ready;
+              if
+                (not is_active) && (not d.in_ready) && d.suspend_ctr = 0
+                && Deque.is_empty d.q && not d.freed
+              then free_deque w d)
+        ds
+
+(* handleChild(v) *)
+let handle_child st d child ~depth =
+  match child with
+  | Ready task -> Deque.push_bottom d.q (mk_elt st task depth)
+  | Suspends (c, weight) ->
+      d.suspend_ctr <- d.suspend_ctr + 1;
+      st.live_suspended <- st.live_suspended + 1;
+      if st.live_suspended > st.stats.max_live_suspended then
+        st.stats.max_live_suspended <- st.live_suspended;
+      st.stats.suspensions <- st.stats.suspensions + 1;
+      Events.add st.events (st.now + weight) (c, d)
+
+(* Execute a task, returning its (left, right) enabled children. *)
+let exec_task st w (e : elt) =
+  match e.task with
+  | Task.Vertex v ->
+      st.stats.vertices_executed <- st.stats.vertices_executed + 1;
+      (match st.trace with
+      | Some tr -> Trace.record_exec tr ~round:st.now ~worker:w.wid v
+      | None -> ());
+      if v = Dag.final (Exec_state.dag st.es) then st.finished <- true;
+      let wrap (c, weight) = if weight = 1 then Ready (Task.Vertex c) else Suspends (c, weight) in
+      (match Exec_state.execute st.es v with
+      | [] -> (None, None)
+      | [ c ] -> (Some (wrap c), None)
+      | [ l; r ] -> (Some (wrap l), Some (wrap r))
+      | _ -> assert false (* out-degree <= 2 *))
+  | Task.Pfor _ ->
+      st.stats.pfor_executed <- st.stats.pfor_executed + 1;
+      (match st.trace with
+      | Some tr -> Trace.record_pfor_exec tr ~round:st.now ~worker:w.wid
+      | None -> ());
+      let l, r =
+        match st.cfg.resume_policy with
+        | Config.Resume_pfor_tree -> Task.split e.task
+        | Config.Resume_linear -> Task.split_linear e.task
+      in
+      (Some (Ready l), Option.map (fun t -> Ready t) r)
+
+(* One worker round with an assigned task: lines 33-40 of Figure 3. *)
+let exec_step st w e =
+  w.assigned <- None;
+  let d = match w.active with Some d -> d | None -> assert false in
+  let left, right = exec_task st w e in
+  (match right with Some c -> handle_child st d c ~depth:(e.depth + 1) | None -> ());
+  let left_exists = left <> None in
+  (* If a pfor tree is about to be planted on the active deque while a left
+     child exists, the construction inserts an auxiliary vertex, pushing
+     the left child one level deeper (Section 4.1). *)
+  let active_gets_pfor = d.in_resumed_set in
+  add_resumed st w (Exec (e.depth, left_exists));
+  let left_depth = if left_exists && active_gets_pfor then e.depth + 2 else e.depth + 1 in
+  (match left with Some c -> handle_child st d c ~depth:left_depth | None -> ());
+  d.last_depth <- e.depth;
+  d.last_round <- st.now;
+  w.assigned <- Deque.pop_bottom d.q
+
+(* Steal target selection. *)
+let try_steal st w =
+  match st.cfg.steal_policy with
+  | Config.Steal_global_deque ->
+      if st.gtotal = 0 then None
+      else
+        let d = st.gdeques.(Rng.int w.rng st.gtotal) in
+        if d.freed then None else Deque.pop_top d.q
+  | Config.Steal_worker_then_deque ->
+      let victim = st.workers.(Rng.int w.rng (Array.length st.workers)) in
+      let candidates =
+        let actives =
+          match victim.active with
+          | Some a when not (Deque.is_empty a.q) -> [ a ]
+          | _ -> []
+        in
+        actives @ List.filter (fun d -> not (Deque.is_empty d.q)) victim.ready
+      in
+      (match candidates with
+      | [] -> None
+      | _ ->
+          let n = List.length candidates in
+          Deque.pop_top (List.nth candidates (Rng.int w.rng n)).q)
+
+(* One worker round without an assigned task: lines 41-56 of Figure 3. *)
+let idle_step st w =
+  (match w.active with
+  | Some d ->
+      (* The active deque is necessarily empty here.  It may be freed only
+         if no suspended vertex will come back to it: suspend_ctr = 0 and
+         no vertex has resumed without being re-injected yet (the callback
+         for the last suspended vertex may fire before this worker's idle
+         step in the same round). *)
+      if d.suspend_ctr = 0 && not d.in_resumed_set then free_deque w d;
+      (* otherwise it parks as a suspended deque *)
+      w.active <- None
+  | None -> ());
+  match w.ready with
+  | d :: rest ->
+      (* Deque switch. *)
+      assert (not d.freed);
+      st.stats.switches <- st.stats.switches + 1;
+      w.ready <- rest;
+      d.in_ready <- false;
+      w.active <- Some d;
+      add_resumed st w Idle_ctx;
+      w.assigned <- Deque.pop_bottom d.q
+  | [] -> (
+      (* Steal attempt. *)
+      st.stats.steal_attempts <- st.stats.steal_attempts + 1;
+      (match try_steal st w with
+      | Some e ->
+          st.stats.steals_ok <- st.stats.steals_ok + 1;
+          let nd = alloc_deque st w in
+          w.active <- Some nd;
+          w.assigned <- Some e
+      | None -> ());
+      add_resumed st w Idle_ctx;
+      match w.assigned with
+      | None -> (
+          match w.active with
+          | Some d -> w.assigned <- Deque.pop_bottom d.q
+          | None -> ())
+      | Some _ -> ())
+
+let step st w = match w.assigned with Some e -> exec_step st w e | None -> idle_step st w
+
+(* One round's worth of worker actions, honouring the availability mask. *)
+let step_all st =
+  match st.cfg.availability with
+  | None -> Array.iter (step st) st.workers
+  | Some avail ->
+      Array.iter
+        (fun w ->
+          if avail st.now w.wid then step st w
+          else st.stats.unavailable_rounds <- st.stats.unavailable_rounds + 1)
+        st.workers
+
+(* Build a Snapshot view of the scheduler state (start-of-round). *)
+let snapshot st =
+  let deque_view d =
+    let state =
+      if d.freed then Snapshot.Freed
+      else if
+        match st.workers.(d.owner).active with Some a -> a == d | None -> false
+      then Snapshot.Active
+      else if d.in_ready then Snapshot.Ready
+      else Snapshot.Suspended
+    in
+    {
+      Snapshot.owner = d.owner;
+      state;
+      task_depths = List.rev_map (fun e -> e.depth) (Deque.to_list d.q);
+      suspend_ctr = d.suspend_ctr;
+      anchor_depth = fst (anchor d);
+      anchor_round = snd (anchor d);
+    }
+  in
+  let deques = List.init st.gtotal (fun i -> deque_view st.gdeques.(i)) in
+  let assigned_depths =
+    Array.to_list st.workers
+    |> List.filter_map (fun w ->
+           match w.assigned with Some e -> Some (w.wid, e.depth) | None -> None)
+  in
+  {
+    Snapshot.round = st.now;
+    assigned_depths;
+    deques;
+    live_suspended = st.live_suspended;
+    steal_attempts = st.stats.Stats.steal_attempts;
+  }
+
+(* Can any worker do something other than a failed steal attempt this
+   round?  Used for fast-forward and deadlock detection. *)
+let all_stalled st =
+  Array.for_all
+    (fun w -> w.assigned = None && w.ready = [] && w.resumed_deques_rev = [])
+    st.workers
+
+let run ?(config = Config.default) ?observer dag ~p =
+  if p < 1 then invalid_arg "Lhws_sim.run: p must be >= 1";
+  Check.check_exn dag;
+  let st =
+    {
+      es = Exec_state.create dag;
+      cfg = config;
+      stats = Stats.create ~workers:p;
+      trace = (if config.trace then Some (Trace.create dag) else None);
+      workers =
+        (let master = Rng.make config.seed in
+         Array.init p (fun wid ->
+             {
+               wid;
+               rng = Rng.split master;
+               assigned = None;
+               active = None;
+               ready = [];
+               resumed_deques_rev = [];
+               empty_deques = [];
+               owned_live = 0;
+             }));
+      gdeques = [||];
+      gtotal = 0;
+      events = Events.create ();
+      now = 0;
+      live_suspended = 0;
+      finished = false;
+    }
+  in
+  (* Line 25-28: every worker starts with an empty active deque; worker
+     zero is assigned the root. *)
+  Array.iter (fun w -> w.active <- Some (alloc_deque st w)) st.workers;
+  st.workers.(0).assigned <- Some (mk_elt st (Task.Vertex (Dag.root dag)) 0);
+  while not st.finished do
+    if st.now > st.cfg.max_rounds then
+      raise (Config.Stuck (Printf.sprintf "exceeded max_rounds = %d" st.cfg.max_rounds));
+    (* Fire due resume callbacks. *)
+    let rec drain () =
+      match Events.pop_due st.events st.now with
+      | Some (v, d) ->
+          callback st v d;
+          drain ()
+      | None -> ()
+    in
+    drain ();
+    (match observer with Some f -> f (snapshot st) | None -> ());
+    if all_stalled st then begin
+      match Events.next_time st.events with
+      | None ->
+          raise
+            (Config.Stuck
+               (Printf.sprintf "deadlock at round %d: no work, no pending latency" st.now))
+      | Some t when st.cfg.fast_forward && st.cfg.availability = None && t > st.now ->
+          (* Every worker would make one failed steal attempt per skipped
+             round; account for them and jump. *)
+          let skipped = t - st.now in
+          st.stats.steal_attempts <- st.stats.steal_attempts + (skipped * p);
+          st.stats.fast_forwarded_rounds <- st.stats.fast_forwarded_rounds + skipped;
+          st.now <- t
+      | Some _ ->
+          step_all st;
+          st.now <- st.now + 1
+    end
+    else begin
+      step_all st;
+      st.now <- st.now + 1
+    end
+  done;
+  st.stats.rounds <- st.now;
+  { Run.rounds = st.now; stats = st.stats; trace = st.trace }

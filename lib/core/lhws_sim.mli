@@ -1,0 +1,27 @@
+(** The latency-hiding work-stealing scheduler (Section 3), as a
+    deterministic discrete-time simulator.
+
+    Each worker executes at most one unit-work task per round, exactly as
+    in the analysis: the round body follows the pseudocode of Figure 3.
+    Workers own collections of deques, only one of which is active; a
+    vertex that suspends on a heavy edge is paired with the active deque;
+    when suspended vertices resume, they are injected back into their
+    deque as a pfor tree; a worker whose deques are all out of work steals
+    from a random deque and starts a new active deque for the loot.
+
+    Determinism: given the same dag, worker count, and
+    {!Config.t.seed}, two runs produce identical schedules and statistics.
+
+    @raise Config.Stuck if the computation deadlocks (malformed dag) or
+    exceeds {!Config.t.max_rounds}. *)
+
+val run :
+  ?config:Config.t -> ?observer:(Snapshot.t -> unit) -> Lhws_dag.Dag.t -> p:int -> Run.t
+(** Simulate the dag on [p >= 1] workers.  The dag must be well-formed
+    ({!Lhws_dag.Check.well_formed}); this is checked up front.
+
+    [observer], if given, receives a {!Snapshot.t} of the scheduler state
+    at the start of every round (after latency callbacks fire, before
+    workers act); intended for potential-function analysis — it disables
+    nothing but is called even for fast-forwarded stretches' first round.
+    @raise Invalid_argument if [p < 1] or the dag is malformed. *)

@@ -1,0 +1,30 @@
+(* splitmix64 (Steele, Lea & Flood 2014): tiny, fast, and splittable, which
+   is exactly what per-worker deterministic streams need. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let make seed = { state = mix (Int64.of_int seed) }
+
+let split t = { state = mix (next t) }
+
+let bits64 t = next t
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let x = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  x mod bound
+
+let float t =
+  let x = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  x /. 9007199254740992.0 (* 2^53 *)

@@ -1,0 +1,24 @@
+(** Deterministic splittable pseudo-random number generator (splitmix64).
+
+    The simulator gives each worker its own stream split from a single
+    seed, so runs are reproducible regardless of the number of workers or
+    the order in which streams are consumed. *)
+
+type t
+
+val make : int -> t
+(** A generator seeded from an integer. *)
+
+val split : t -> t
+(** A statistically independent generator derived from (and advancing)
+    the parent. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)

@@ -1,0 +1,6 @@
+type t = { rounds : int; stats : Stats.t; trace : Trace.t option }
+
+let trace_exn t =
+  match t.trace with
+  | Some tr -> tr
+  | None -> invalid_arg "Run.trace_exn: run was not traced (set Config.trace)"

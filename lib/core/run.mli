@@ -1,0 +1,10 @@
+(** Result of a simulated execution. *)
+
+type t = {
+  rounds : int;  (** total scheduler rounds to completion *)
+  stats : Stats.t;
+  trace : Trace.t option;  (** present iff {!Config.t.trace} was set *)
+}
+
+val trace_exn : t -> Trace.t
+(** @raise Invalid_argument if the run was not traced. *)

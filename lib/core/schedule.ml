@@ -1,0 +1,59 @@
+module Dag = Lhws_dag.Dag
+
+type problem =
+  | Not_executed of Dag.vertex
+  | Executed_too_early of {
+      vertex : Dag.vertex;
+      parent : Dag.vertex;
+      weight : int;
+      parent_round : int;
+      round : int;
+    }
+  | Worker_conflict of { worker : int; round : int }
+
+let pp_problem ppf = function
+  | Not_executed v -> Format.fprintf ppf "vertex %d was never executed" v
+  | Executed_too_early { vertex; parent; weight; parent_round; round } ->
+      Format.fprintf ppf
+        "vertex %d executed at round %d, but parent %d (edge weight %d) executed at round %d: \
+         earliest legal round is %d"
+        vertex round parent weight parent_round (parent_round + weight)
+  | Worker_conflict { worker; round } ->
+      Format.fprintf ppf "worker %d executed more than one task in round %d" worker round
+
+let problems g trace =
+  let acc = ref [] in
+  let add p = acc := p :: !acc in
+  Dag.iter_vertices g (fun v ->
+      let rv = Trace.round_of trace v in
+      if rv < 0 then add (Not_executed v)
+      else
+        Array.iter
+          (fun (u, w) ->
+            let ru = Trace.round_of trace u in
+            if ru < 0 || rv < ru + w then
+              add (Executed_too_early { vertex = v; parent = u; weight = w; parent_round = ru; round = rv }))
+          (Dag.in_edges g v));
+  (* Worker/round uniqueness across dag-vertex and pfor executions. *)
+  let seen = Hashtbl.create 1024 in
+  let claim round worker =
+    let key = (round, worker) in
+    if Hashtbl.mem seen key then add (Worker_conflict { worker; round })
+    else Hashtbl.add seen key ()
+  in
+  List.iter (fun (r, w, _) -> claim r w) (Trace.executions trace);
+  List.iter (fun (r, w) -> claim r w) (Trace.pfor_executions trace);
+  List.rev !acc
+
+let valid g trace = problems g trace = []
+
+let check_exn g trace =
+  match problems g trace with
+  | [] -> ()
+  | p :: _ -> invalid_arg (Format.asprintf "Schedule.check: %a" pp_problem p)
+
+let length trace =
+  let last = ref (-1) in
+  List.iter (fun (r, _, _) -> if r > !last then last := r) (Trace.executions trace);
+  List.iter (fun (r, _) -> if r > !last then last := r) (Trace.pfor_executions trace);
+  !last + 1

@@ -1,0 +1,30 @@
+(** Validity checking for schedules (Section 2's offline scheduling
+    definition): every vertex executes exactly once, no worker executes two
+    vertices in one round, and every vertex is {e ready} when executed —
+    after all its parents, with every in-edge's latency elapsed. *)
+
+type problem =
+  | Not_executed of Lhws_dag.Dag.vertex
+  | Executed_too_early of {
+      vertex : Lhws_dag.Dag.vertex;
+      parent : Lhws_dag.Dag.vertex;
+      weight : int;
+      parent_round : int;
+      round : int;
+    }
+  | Worker_conflict of { worker : int; round : int }
+
+val pp_problem : Format.formatter -> problem -> unit
+
+val problems : Lhws_dag.Dag.t -> Trace.t -> problem list
+(** All validity violations of a traced run; [[]] iff the schedule is
+    valid.  Worker conflicts consider dag-vertex and pfor executions
+    together. *)
+
+val valid : Lhws_dag.Dag.t -> Trace.t -> bool
+
+val check_exn : Lhws_dag.Dag.t -> Trace.t -> unit
+(** @raise Invalid_argument describing the first violation, if any. *)
+
+val length : Trace.t -> int
+(** Schedule length: the last round in which anything executed, plus one. *)

@@ -1,0 +1,18 @@
+type deque_state = Active | Ready | Suspended | Freed
+
+type deque_view = {
+  owner : int;
+  state : deque_state;
+  task_depths : int list;
+  suspend_ctr : int;
+  anchor_depth : int;
+  anchor_round : int;
+}
+
+type t = {
+  round : int;
+  assigned_depths : (int * int) list;
+  deques : deque_view list;
+  live_suspended : int;
+  steal_attempts : int;
+}

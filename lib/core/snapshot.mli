@@ -1,0 +1,27 @@
+(** Per-round views of the latency-hiding scheduler's state, for analysis
+    instrumentation (the potential-function argument of Section 4 is
+    phrased over exactly this state: deque contents, assigned vertices, and
+    the extra potential of suspended deques).
+
+    Snapshots record only enabling-tree depths, not task identities; that
+    is all the potential function needs. *)
+
+type deque_state = Active | Ready | Suspended | Freed
+
+type deque_view = {
+  owner : int;
+  state : deque_state;
+  task_depths : int list;  (** depths of queued tasks, bottom to top *)
+  suspend_ctr : int;
+  anchor_depth : int;  (** depth of the bottom task, or of the last task executed from this deque if it is empty *)
+  anchor_round : int;  (** round that task was added / executed *)
+}
+
+type t = {
+  round : int;  (** index of the round that is about to run *)
+  assigned_depths : (int * int) list;  (** (worker, depth) of assigned tasks *)
+  deques : deque_view list;
+  live_suspended : int;
+  steal_attempts : int;  (** cumulative steal attempts so far — used to
+                             delimit the phases of Lemma 8 *)
+}

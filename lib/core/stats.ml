@@ -1,0 +1,74 @@
+type t = {
+  mutable rounds : int;
+  mutable workers : int;
+  mutable vertices_executed : int;
+  mutable pfor_executed : int;
+  mutable steal_attempts : int;
+  mutable steals_ok : int;
+  mutable switches : int;
+  mutable blocked_rounds : int;
+  mutable idle_rounds : int;
+  mutable unavailable_rounds : int;
+  mutable suspensions : int;
+  mutable resumes : int;
+  mutable pfor_batches : int;
+  mutable deques_allocated : int;
+  mutable max_deques_per_worker : int;
+  mutable max_live_suspended : int;
+  mutable fast_forwarded_rounds : int;
+}
+
+let create ~workers =
+  {
+    rounds = 0;
+    workers;
+    vertices_executed = 0;
+    pfor_executed = 0;
+    steal_attempts = 0;
+    steals_ok = 0;
+    switches = 0;
+    blocked_rounds = 0;
+    idle_rounds = 0;
+    unavailable_rounds = 0;
+    suspensions = 0;
+    resumes = 0;
+    pfor_batches = 0;
+    deques_allocated = 0;
+    max_deques_per_worker = 0;
+    max_live_suspended = 0;
+    fast_forwarded_rounds = 0;
+  }
+
+let work_tokens t = t.vertices_executed + t.pfor_executed
+
+let tokens t =
+  work_tokens t + t.switches + t.steal_attempts + t.blocked_rounds + t.idle_rounds
+  + t.unavailable_rounds
+
+let balanced t = tokens t = t.workers * t.rounds
+
+let to_assoc t =
+  [
+    ("rounds", t.rounds);
+    ("workers", t.workers);
+    ("vertices_executed", t.vertices_executed);
+    ("pfor_executed", t.pfor_executed);
+    ("steal_attempts", t.steal_attempts);
+    ("steals_ok", t.steals_ok);
+    ("switches", t.switches);
+    ("blocked_rounds", t.blocked_rounds);
+    ("idle_rounds", t.idle_rounds);
+    ("unavailable_rounds", t.unavailable_rounds);
+    ("suspensions", t.suspensions);
+    ("resumes", t.resumes);
+    ("pfor_batches", t.pfor_batches);
+    ("deques_allocated", t.deques_allocated);
+    ("max_deques_per_worker", t.max_deques_per_worker);
+    ("max_live_suspended", t.max_live_suspended);
+    ("fast_forwarded_rounds", t.fast_forwarded_rounds);
+  ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun (k, v) -> Format.fprintf ppf "%-24s %d@," k v) (to_assoc t);
+  Format.fprintf ppf "@]"

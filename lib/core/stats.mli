@@ -1,0 +1,44 @@
+(** Execution counters for simulated schedules.
+
+    The token fields mirror the accounting of Lemma 1: each worker places
+    one token per round in the work, switch or steal bucket (plus blocked /
+    idle buckets that only the blocking baseline uses).  After a run,
+    [tokens t = workers * rounds] (see {!tokens} and {!balanced}). *)
+
+type t = {
+  mutable rounds : int;  (** rounds taken to completion *)
+  mutable workers : int;  (** number of workers [P] *)
+  mutable vertices_executed : int;  (** dag vertices executed (work [W]) *)
+  mutable pfor_executed : int;  (** pfor-tree internal vertices executed *)
+  mutable steal_attempts : int;  (** steal-bucket tokens (successful or not) *)
+  mutable steals_ok : int;
+  mutable switches : int;  (** deque-switch tokens *)
+  mutable blocked_rounds : int;  (** rounds a worker spent blocked on latency (baseline WS only) *)
+  mutable idle_rounds : int;  (** rounds with no action at all (should stay 0) *)
+  mutable unavailable_rounds : int;
+      (** rounds a worker was descheduled by the environment
+          (multiprogrammed extension; 0 on a dedicated machine) *)
+  mutable suspensions : int;  (** vertices that suspended on a heavy edge *)
+  mutable resumes : int;  (** suspended vertices that resumed *)
+  mutable pfor_batches : int;  (** resume batches injected as pfor trees *)
+  mutable deques_allocated : int;  (** total distinct deque slots allocated *)
+  mutable max_deques_per_worker : int;  (** max live (non-freed) deques owned by one worker at any time — Lemma 7 bounds this by [U + 1] *)
+  mutable max_live_suspended : int;  (** max simultaneously suspended vertices — Section 2 bounds this by [U] *)
+  mutable fast_forwarded_rounds : int;  (** rounds skipped by fast-forward (already included in [rounds]) *)
+}
+
+val create : workers:int -> t
+
+val tokens : t -> int
+(** Sum over all buckets (work + pfor + switch + steal + blocked + idle). *)
+
+val balanced : t -> bool
+(** [tokens t = workers * rounds] — the invariant of Lemma 1's accounting. *)
+
+val work_tokens : t -> int
+(** [vertices_executed + pfor_executed], the quantity [W + Wpfor <= 2W]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_assoc : t -> (string * int) list
+(** Field names and values, for CSV-ish output. *)

@@ -1,0 +1,49 @@
+type algo = Lhws | Ws | Greedy
+
+let algo_name = function Lhws -> "LHWS" | Ws -> "WS" | Greedy -> "GREEDY"
+
+let run_algo algo ?config dag ~p =
+  match algo with
+  | Lhws -> Lhws_sim.run ?config dag ~p
+  | Ws -> Ws_sim.run ?config dag ~p
+  | Greedy -> Greedy.run ?config dag ~p
+
+type point = { p : int; rounds : int; speedup : float }
+type series = { algo : algo; points : point list }
+
+let speedups ?config ?(algos = [ Lhws; Ws ]) ?(baseline = Ws) ~dag ~ps () =
+  let base = (run_algo baseline ?config dag ~p:1).Run.rounds in
+  let series_of algo =
+    let points =
+      List.map
+        (fun p ->
+          let r = run_algo algo ?config dag ~p in
+          { p; rounds = r.Run.rounds; speedup = float_of_int base /. float_of_int r.Run.rounds })
+        ps
+    in
+    { algo; points }
+  in
+  List.map series_of algos
+
+let pp_series ppf series =
+  match series with
+  | [] -> ()
+  | first :: _ ->
+      let ps = List.map (fun pt -> pt.p) first.points in
+      Format.fprintf ppf "@[<v>%6s" "P";
+      List.iter
+        (fun s ->
+          Format.fprintf ppf " | %12s %8s" (algo_name s.algo ^ " rounds") "speedup")
+        series;
+      Format.fprintf ppf "@,";
+      List.iteri
+        (fun i p ->
+          Format.fprintf ppf "%6d" p;
+          List.iter
+            (fun s ->
+              let pt = List.nth s.points i in
+              Format.fprintf ppf " | %12d %8.2f" pt.rounds pt.speedup)
+            series;
+          Format.fprintf ppf "@,")
+        ps;
+      Format.fprintf ppf "@]"

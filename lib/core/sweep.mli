@@ -1,0 +1,29 @@
+(** Experiment drivers: run schedulers across worker counts and collect
+    speedup series, as in the paper's Figure 11. *)
+
+type algo = Lhws | Ws | Greedy
+
+val algo_name : algo -> string
+val run_algo : algo -> ?config:Config.t -> Lhws_dag.Dag.t -> p:int -> Run.t
+
+type point = { p : int; rounds : int; speedup : float }
+(** [speedup] is relative to the baseline's 1-worker round count (the
+    paper plots all curves relative to the one-processor run of WS). *)
+
+type series = { algo : algo; points : point list }
+
+val speedups :
+  ?config:Config.t ->
+  ?algos:algo list ->
+  ?baseline:algo ->
+  dag:Lhws_dag.Dag.t ->
+  ps:int list ->
+  unit ->
+  series list
+(** Runs every algorithm (default [[Lhws; Ws]]) at every worker count.
+    Speedups are relative to [baseline] (default [Ws]) at [p = 1], which is
+    run in addition if 1 is not in [ps]. *)
+
+val pp_series : Format.formatter -> series list -> unit
+(** Renders series as an aligned text table: one row per worker count, one
+    rounds/speedup column pair per algorithm. *)

@@ -1,0 +1,30 @@
+type t =
+  | Vertex of Lhws_dag.Dag.vertex
+  | Pfor of { batch : Lhws_dag.Dag.vertex array; lo : int; hi : int }
+
+let pfor batch =
+  if Array.length batch = 0 then invalid_arg "Task.pfor: empty batch";
+  Pfor { batch; lo = 0; hi = Array.length batch }
+
+let slice batch lo hi = if hi - lo = 1 then Vertex batch.(lo) else Pfor { batch; lo; hi }
+
+let split = function
+  | Vertex _ -> invalid_arg "Task.split: not a pfor task"
+  | Pfor { batch; lo; hi } ->
+      let n = hi - lo in
+      if n = 1 then (Vertex batch.(lo), None)
+      else
+        let mid = lo + (n / 2) in
+        (slice batch lo mid, Some (slice batch mid hi))
+
+let split_linear = function
+  | Vertex _ -> invalid_arg "Task.split_linear: not a pfor task"
+  | Pfor { batch; lo; hi } ->
+      if hi - lo = 1 then (Vertex batch.(lo), None)
+      else (Vertex batch.(lo), Some (slice batch (lo + 1) hi))
+
+let width = function Vertex _ -> 1 | Pfor { lo; hi; _ } -> hi - lo
+
+let pp ppf = function
+  | Vertex v -> Format.fprintf ppf "v%d" v
+  | Pfor { lo; hi; _ } -> Format.fprintf ppf "pfor[%d,%d)" lo hi

@@ -1,0 +1,33 @@
+(** Schedulable units: dag vertices, plus the pfor-tree vertices that the
+    latency-hiding scheduler injects to execute batches of resumed vertices
+    in parallel (Section 3).
+
+    A [Pfor] task covers the slice [\[lo, hi)] of a batch of resumed
+    vertices; executing it splits the slice in half, yielding either
+    smaller [Pfor] tasks or, for singleton halves, the resumed vertices
+    themselves.  A pfor tree over [n] vertices thus has at most [n - 1]
+    internal vertices, giving the [W + Wpfor <= 2W] bound of Lemma 1. *)
+
+type t =
+  | Vertex of Lhws_dag.Dag.vertex
+  | Pfor of { batch : Lhws_dag.Dag.vertex array; lo : int; hi : int }
+
+val pfor : Lhws_dag.Dag.vertex array -> t
+(** A pfor task covering the whole batch (which must be non-empty). *)
+
+val split : t -> t * t option
+(** [split (Pfor _)] yields the left and right children of the pfor vertex.
+    A slice of width 1 has a single child, the vertex itself.
+    @raise Invalid_argument on [Vertex _]. *)
+
+val split_linear : t -> t * t option
+(** Like {!split} but unfolds the batch as a chain: the left child is the
+    first vertex, the right child the rest of the batch.  Linear span —
+    used only by the [Resume_linear] ablation.
+    @raise Invalid_argument on [Vertex _]. *)
+
+val width : t -> int
+(** Number of dag vertices a task will eventually execute ([1] for
+    [Vertex]). *)
+
+val pp : Format.formatter -> t -> unit

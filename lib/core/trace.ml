@@ -1,0 +1,46 @@
+module Dag = Lhws_dag.Dag
+
+type t = {
+  dag : Dag.t;
+  round_of : int array;
+  worker_of : int array;
+  depth : int array;
+  mutable execs_rev : (int * int * Dag.vertex) list;
+  mutable pfor_rev : (int * int) list;
+  mutable n_executed : int;
+}
+
+let create dag =
+  let n = Dag.num_vertices dag in
+  {
+    dag;
+    round_of = Array.make n (-1);
+    worker_of = Array.make n (-1);
+    depth = Array.make n (-1);
+    execs_rev = [];
+    pfor_rev = [];
+    n_executed = 0;
+  }
+
+let record_exec t ~round ~worker v =
+  t.round_of.(v) <- round;
+  t.worker_of.(v) <- worker;
+  t.execs_rev <- (round, worker, v) :: t.execs_rev;
+  t.n_executed <- t.n_executed + 1
+
+let record_pfor_exec t ~round ~worker = t.pfor_rev <- (round, worker) :: t.pfor_rev
+
+let set_depth t v d = t.depth.(v) <- d
+
+let round_of t v = t.round_of.(v)
+let worker_of t v = t.worker_of.(v)
+let depth_of t v = t.depth.(v)
+
+let enabling_span t =
+  let best = ref 0 in
+  Array.iteri (fun v d -> if t.round_of.(v) >= 0 && d > !best then best := d) t.depth;
+  !best
+
+let executions t = List.rev t.execs_rev
+let pfor_executions t = List.rev t.pfor_rev
+let num_executed t = t.n_executed

@@ -1,0 +1,35 @@
+(** Execution traces: when and where each dag vertex executed, plus the
+    enabling depths maintained per Section 4.1's enabling-tree
+    construction.  Produced when {!Config.t.trace} is set; consumed by
+    [lhws_analysis] and by {!Schedule.check}. *)
+
+type t
+
+val create : Lhws_dag.Dag.t -> t
+
+val record_exec : t -> round:int -> worker:int -> Lhws_dag.Dag.vertex -> unit
+val record_pfor_exec : t -> round:int -> worker:int -> unit
+
+val set_depth : t -> Lhws_dag.Dag.vertex -> int -> unit
+(** Enabling-tree depth of a vertex, set when it becomes ready. *)
+
+val round_of : t -> Lhws_dag.Dag.vertex -> int
+(** Round in which the vertex executed; [-1] if it never did. *)
+
+val worker_of : t -> Lhws_dag.Dag.vertex -> int
+
+val depth_of : t -> Lhws_dag.Dag.vertex -> int
+(** Enabling-tree depth; [-1] if never set. *)
+
+val enabling_span : t -> int
+(** Maximum enabling depth over executed dag vertices — the quantity [S*]
+    of Section 4.1 (the deepest enabling-tree vertex is always a dag
+    vertex, per the proof of Corollary 1). *)
+
+val executions : t -> (int * int * Lhws_dag.Dag.vertex) list
+(** All [(round, worker, vertex)] executions in execution order. *)
+
+val pfor_executions : t -> (int * int) list
+(** All [(round, worker)] pfor-vertex executions in execution order. *)
+
+val num_executed : t -> int

@@ -1,0 +1,182 @@
+module Dag = Lhws_dag.Dag
+module Check = Lhws_dag.Check
+module Deque = Lhws_deque.Deque
+
+type worker = {
+  wid : int;
+  rng : Rng.t;
+  q : Dag.vertex Deque.t;
+  mutable assigned : Dag.vertex option;
+  mutable blocked_until : int;
+  mutable after_block : Dag.vertex list;  (* children to run once unblocked *)
+}
+
+type state = {
+  es : Exec_state.t;
+  cfg : Config.t;
+  stats : Stats.t;
+  trace : Trace.t option;
+  workers : worker array;
+  mutable now : int;
+  mutable finished : bool;
+}
+
+let exec_vertex st w v =
+  st.stats.vertices_executed <- st.stats.vertices_executed + 1;
+  (match st.trace with
+  | Some tr -> Trace.record_exec tr ~round:st.now ~worker:w.wid v
+  | None -> ());
+  if v = Dag.final (Exec_state.dag st.es) then st.finished <- true;
+  Exec_state.execute st.es v
+
+(* Install the enabled children of an executed vertex.  With no heavy
+   child: continue with the left child (work-first), push the right.
+   With heavy children: block for the maximum latency, then continue with
+   all children in order. *)
+let handle_children st w children =
+  let heavy = List.filter (fun (_, weight) -> weight > 1) children in
+  match heavy with
+  | [] -> (
+      match children with
+      | [] -> w.assigned <- Deque.pop_bottom w.q
+      | [ (c, _) ] -> w.assigned <- Some c
+      | [ (l, _); (r, _) ] ->
+          Deque.push_bottom w.q r;
+          w.assigned <- Some l
+      | _ -> assert false)
+  | _ ->
+      let delta = List.fold_left (fun acc (_, weight) -> max acc weight) 0 heavy in
+      st.stats.suspensions <- st.stats.suspensions + List.length heavy;
+      w.blocked_until <- st.now + delta;
+      w.after_block <- List.map fst children;
+      w.assigned <- None
+
+let try_steal st w =
+  let p = Array.length st.workers in
+  if p = 1 then None
+  else begin
+    (* Uniform among the other workers. *)
+    let k = Rng.int w.rng (p - 1) in
+    let vid = if k >= w.wid then k + 1 else k in
+    Deque.pop_top st.workers.(vid).q
+  end
+
+(* One round, honouring the availability mask (multiprogrammed setting). *)
+let step_all step st =
+  match st.cfg.Config.availability with
+  | None -> Array.iter (step st) st.workers
+  | Some avail ->
+      Array.iter
+        (fun w ->
+          if avail st.now w.wid then step st w
+          else st.stats.Stats.unavailable_rounds <- st.stats.Stats.unavailable_rounds + 1)
+        st.workers
+
+let step st w =
+  if st.now < w.blocked_until then
+    st.stats.blocked_rounds <- st.stats.blocked_rounds + 1
+  else begin
+    (match w.after_block with
+    | [] -> ()
+    | c :: rest ->
+        st.stats.resumes <- st.stats.resumes + (1 + List.length rest);
+        List.iter (Deque.push_bottom w.q) (List.rev rest);
+        w.assigned <- Some c;
+        w.after_block <- []);
+    match w.assigned with
+    | Some v ->
+        w.assigned <- None;
+        let children = exec_vertex st w v in
+        handle_children st w children
+    | None -> (
+        (* Own deque first (it may hold a pushed sibling), then steal. *)
+        match Deque.pop_bottom w.q with
+        | Some v ->
+            (* Popping one's own deque is part of the work loop, but to keep
+               one action per round it costs this round, like a steal. *)
+            st.stats.steal_attempts <- st.stats.steal_attempts + 1;
+            st.stats.steals_ok <- st.stats.steals_ok + 1;
+            w.assigned <- Some v
+        | None -> (
+            st.stats.steal_attempts <- st.stats.steal_attempts + 1;
+            match try_steal st w with
+            | Some v ->
+                st.stats.steals_ok <- st.stats.steals_ok + 1;
+                w.assigned <- Some v
+            | None -> ()))
+  end
+
+(* No worker can act: every deque is empty, nobody has an assigned vertex,
+   and every worker is either blocked or has no woken children pending. *)
+let all_stalled st =
+  Array.for_all
+    (fun w ->
+      Deque.is_empty w.q && w.assigned = None
+      && (st.now < w.blocked_until || w.after_block = []))
+    st.workers
+
+let next_wake st =
+  Array.fold_left
+    (fun acc w -> if w.blocked_until > st.now then min acc w.blocked_until else acc)
+    max_int st.workers
+
+let run ?(config = Config.default) dag ~p =
+  if p < 1 then invalid_arg "Ws_sim.run: p must be >= 1";
+  Check.check_exn dag;
+  let st =
+    {
+      es = Exec_state.create dag;
+      cfg = config;
+      stats = Stats.create ~workers:p;
+      trace = (if config.trace then Some (Trace.create dag) else None);
+      workers =
+        (let master = Rng.make config.seed in
+         Array.init p (fun wid ->
+             {
+               wid;
+               rng = Rng.split master;
+               q = Deque.create ();
+               assigned = None;
+               blocked_until = 0;
+               after_block = [];
+             }));
+      now = 0;
+      finished = false;
+    }
+  in
+  (match st.trace with Some tr -> Trace.set_depth tr (Dag.root dag) 0 | None -> ());
+  st.workers.(0).assigned <- Some (Dag.root dag);
+  while not st.finished do
+    if st.now > st.cfg.max_rounds then
+      raise (Config.Stuck (Printf.sprintf "exceeded max_rounds = %d" st.cfg.max_rounds));
+    if all_stalled st then begin
+      let wake = next_wake st in
+      if wake = max_int then
+        raise
+          (Config.Stuck (Printf.sprintf "deadlock at round %d: all idle, nobody blocked" st.now))
+      else if st.cfg.fast_forward && st.cfg.availability = None && wake > st.now then begin
+        (* [wake] is the minimum over blocked workers, so every blocked
+           worker stays blocked for all skipped rounds; every idle worker
+           would make one failed steal attempt per skipped round. *)
+        let skipped = wake - st.now in
+        Array.iter
+          (fun w ->
+            if w.blocked_until > st.now then
+              st.stats.blocked_rounds <- st.stats.blocked_rounds + skipped
+            else st.stats.steal_attempts <- st.stats.steal_attempts + skipped)
+          st.workers;
+        st.stats.fast_forwarded_rounds <- st.stats.fast_forwarded_rounds + skipped;
+        st.now <- wake
+      end
+      else begin
+        step_all step st;
+        st.now <- st.now + 1
+      end
+    end
+    else begin
+      step_all step st;
+      st.now <- st.now + 1
+    end
+  done;
+  st.stats.rounds <- st.now;
+  { Run.rounds = st.now; stats = st.stats; trace = st.trace }

@@ -1,0 +1,20 @@
+(** The standard (non-latency-hiding) work-stealing baseline, simulated.
+
+    One deque per worker; a latency-incurring operation {e blocks} its
+    worker: executing a vertex whose enabled child arrives over a heavy
+    edge of weight [delta] occupies the worker for [delta] rounds in total
+    (one round of work plus [delta - 1] rounds of waiting), after which the
+    worker continues with that child.  The worker's deque remains stealable
+    while it is blocked.  This is the semantics against which the paper's
+    Figure 11 compares ("the standard work stealer does not hide latency").
+
+    Blocked rounds are accounted in {!Stats.t.blocked_rounds}.  In the
+    rare case of a vertex enabling two heavy children, the worker blocks
+    for the maximum of the two latencies and then handles both, left
+    first.
+
+    Determinism and termination behave as in {!Lhws_sim}. *)
+
+val run : ?config:Config.t -> Lhws_dag.Dag.t -> p:int -> Run.t
+(** Simulate the dag on [p >= 1] workers with blocking work stealing.
+    @raise Invalid_argument if [p < 1] or the dag is malformed. *)

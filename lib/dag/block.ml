@@ -1,0 +1,67 @@
+type block = { entry : Dag.vertex; exit : Dag.vertex }
+
+let vertex ?label b =
+  let v = Dag.Builder.add_vertex ?label b in
+  { entry = v; exit = v }
+
+let chain ?label b k =
+  if k < 1 then invalid_arg "Block.chain: need at least one vertex";
+  let first = Dag.Builder.add_vertex ?label b in
+  let rec extend prev i =
+    if i = k then prev
+    else begin
+      let v = Dag.Builder.add_vertex ?label b in
+      Dag.Builder.add_edge b prev v;
+      extend v (i + 1)
+    end
+  in
+  { entry = first; exit = extend first 1 }
+
+let seq b b1 b2 =
+  Dag.Builder.add_edge b b1.exit b2.entry;
+  { entry = b1.entry; exit = b2.exit }
+
+let seq_list b = function
+  | [] -> invalid_arg "Block.seq_list: empty list"
+  | first :: rest -> List.fold_left (seq b) first rest
+
+let fork2 ?(fork_label = "fork") ?(join_label = "join") b left right =
+  let fork = Dag.Builder.add_vertex ~label:fork_label b in
+  let join = Dag.Builder.add_vertex ~label:join_label b in
+  (* Edge order matters: the first out-edge is the left child
+     (continuation), the second the spawned thread. *)
+  Dag.Builder.add_edge b fork left.entry;
+  Dag.Builder.add_edge b fork right.entry;
+  Dag.Builder.add_edge b left.exit join;
+  Dag.Builder.add_edge b right.exit join;
+  { entry = fork; exit = join }
+
+let fork_tree b blocks =
+  let n = Array.length blocks in
+  if n = 0 then invalid_arg "Block.fork_tree: empty array";
+  let rec go lo hi =
+    if hi - lo = 1 then blocks.(lo)
+    else
+      let mid = (lo + hi) / 2 in
+      fork2 b (go lo mid) (go mid hi)
+  in
+  go 0 n
+
+let latency ?label b delta =
+  if delta < 2 then invalid_arg "Block.latency: delta must be >= 2";
+  let u = Dag.Builder.add_vertex ?label b in
+  let v = Dag.Builder.add_vertex ?label b in
+  Dag.Builder.add_edge ~weight:delta b u v;
+  { entry = u; exit = v }
+
+let with_latency b delta blk = seq b (latency b delta) blk
+
+let finish b blk =
+  (* A block built by these combinators already has a unique entry/exit,
+     but the entry might not be the builder's vertex 0; Dag.Builder.build
+     locates root and final by degree, so nothing extra is needed beyond
+     validation. *)
+  ignore blk;
+  let g = Dag.Builder.build b in
+  Check.check_exn g;
+  g

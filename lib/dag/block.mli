@@ -1,0 +1,50 @@
+(** Series–parallel construction of well-formed weighted dags.
+
+    A {e block} is a sub-dag with a designated entry vertex and exit vertex.
+    Blocks compose sequentially ({!seq}) and in parallel ({!fork2}, which
+    inserts an explicit fork vertex and join vertex, matching the paper's
+    convention that the left child of a fork is the continuation and the
+    right child the spawned thread).  Latency-incurring operations are built
+    with {!latency}: a vertex whose single out-edge is heavy, modelling an
+    instruction that starts an operation taking [delta - 1] further steps
+    (the "common use case" of Section 2).
+
+    Every dag assembled from these combinators and rooted with {!finish}
+    satisfies the structural assumptions of Section 2. *)
+
+type block = { entry : Dag.vertex; exit : Dag.vertex }
+
+val vertex : ?label:string -> Dag.Builder.t -> block
+(** A single unit-work vertex. *)
+
+val chain : ?label:string -> Dag.Builder.t -> int -> block
+(** [chain b k] is [k >= 1] vertices in sequence (work [k], span [k - 1]). *)
+
+val seq : Dag.Builder.t -> block -> block -> block
+(** [seq b b1 b2] runs [b1] then [b2] (light edge from [b1.exit] to
+    [b2.entry]). *)
+
+val seq_list : Dag.Builder.t -> block list -> block
+(** Sequential composition of a non-empty list of blocks. *)
+
+val fork2 : ?fork_label:string -> ?join_label:string -> Dag.Builder.t -> block -> block -> block
+(** [fork2 b left right] adds a fork vertex spawning [right] with [left] as
+    the continuation, and a join vertex awaiting both.  Work is
+    [work left + work right + 2]. *)
+
+val fork_tree : Dag.Builder.t -> block array -> block
+(** Balanced binary fork–join tree over [>= 1] blocks (the shape of the
+    map-and-reduce example, Figure 7). *)
+
+val latency : ?label:string -> Dag.Builder.t -> int -> block
+(** [latency b delta] is a vertex [u] followed by a heavy edge of weight
+    [delta >= 2] to a continuation vertex [v]: [u] issues the operation,
+    [v] consumes its result [delta] steps later.  Entry [u], exit [v].
+    @raise Invalid_argument if [delta < 2]. *)
+
+val with_latency : Dag.Builder.t -> int -> block -> block
+(** [with_latency b delta blk] prefixes [blk] with a {!latency} op. *)
+
+val finish : Dag.Builder.t -> block -> Dag.t
+(** Builds the dag, verifying well-formedness.
+    @raise Invalid_argument if the result violates Section 2 assumptions. *)

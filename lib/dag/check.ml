@@ -1,0 +1,68 @@
+type violation =
+  | Multiple_roots of Dag.vertex list
+  | Multiple_finals of Dag.vertex list
+  | Out_degree_exceeded of Dag.vertex * int
+  | Heavy_target_in_degree of Dag.vertex * int
+  | Unreachable_from_root of Dag.vertex
+  | Cannot_reach_final of Dag.vertex
+
+let pp_violation ppf = function
+  | Multiple_roots vs ->
+      Format.fprintf ppf "multiple roots: %a"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_int)
+        vs
+  | Multiple_finals vs ->
+      Format.fprintf ppf "multiple final vertices: %a"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_int)
+        vs
+  | Out_degree_exceeded (v, d) -> Format.fprintf ppf "vertex %d has out-degree %d > 2" v d
+  | Heavy_target_in_degree (v, d) ->
+      Format.fprintf ppf "vertex %d is a heavy-edge target but has in-degree %d <> 1" v d
+  | Unreachable_from_root v -> Format.fprintf ppf "vertex %d is unreachable from the root" v
+  | Cannot_reach_final v -> Format.fprintf ppf "vertex %d cannot reach the final vertex" v
+
+(* Reachability along a neighbour function, as a boolean array. *)
+let reach n start neighbours =
+  let seen = Array.make n false in
+  let stack = Stack.create () in
+  Stack.push start stack;
+  seen.(start) <- true;
+  while not (Stack.is_empty stack) do
+    let v = Stack.pop stack in
+    neighbours v (fun c ->
+        if not seen.(c) then begin
+          seen.(c) <- true;
+          Stack.push c stack
+        end)
+  done;
+  seen
+
+let violations g =
+  let n = Dag.num_vertices g in
+  let acc = ref [] in
+  let add v = acc := v :: !acc in
+  let roots = ref [] and finals = ref [] in
+  for v = n - 1 downto 0 do
+    if Dag.in_degree g v = 0 then roots := v :: !roots;
+    if Dag.out_degree g v = 0 then finals := v :: !finals
+  done;
+  (match !roots with [ _ ] -> () | vs -> add (Multiple_roots vs));
+  (match !finals with [ _ ] -> () | vs -> add (Multiple_finals vs));
+  Dag.iter_vertices g (fun v ->
+      let d = Dag.out_degree g v in
+      if d > 2 then add (Out_degree_exceeded (v, d));
+      if Dag.is_heavy_target g v && Dag.in_degree g v <> 1 then
+        add (Heavy_target_in_degree (v, Dag.in_degree g v)));
+  let fwd = reach n (Dag.root g) (fun v f -> Array.iter (fun (c, _) -> f c) (Dag.out_edges g v)) in
+  let bwd = reach n (Dag.final g) (fun v f -> Array.iter (fun (c, _) -> f c) (Dag.in_edges g v)) in
+  Dag.iter_vertices g (fun v ->
+      if not fwd.(v) then add (Unreachable_from_root v);
+      if not bwd.(v) then add (Cannot_reach_final v));
+  List.rev !acc
+
+let well_formed g = violations g = []
+
+let check_exn g =
+  match violations g with
+  | [] -> ()
+  | v :: _ -> invalid_arg (Format.asprintf "Dag.Check: %a" pp_violation v)

@@ -1,0 +1,26 @@
+(** Structural well-formedness checks for weighted dags (Section 2).
+
+    The paper assumes: a unique root and unique final vertex, out-degree at
+    most two, every target of a heavy edge has in-degree exactly one, and
+    determinism (a static property of our representation).  The schedulers
+    in [lhws_core] require these assumptions; run {!well_formed} on any dag
+    built by hand before scheduling it. *)
+
+type violation =
+  | Multiple_roots of Dag.vertex list
+  | Multiple_finals of Dag.vertex list
+  | Out_degree_exceeded of Dag.vertex * int
+  | Heavy_target_in_degree of Dag.vertex * int
+      (** Target of a heavy edge whose in-degree is not one. *)
+  | Unreachable_from_root of Dag.vertex
+  | Cannot_reach_final of Dag.vertex
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val violations : Dag.t -> violation list
+(** All violations, in vertex order; [[]] iff the dag is well-formed. *)
+
+val well_formed : Dag.t -> bool
+
+val check_exn : Dag.t -> unit
+(** @raise Invalid_argument describing the first violation, if any. *)

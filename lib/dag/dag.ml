@@ -1,0 +1,145 @@
+type vertex = int
+
+type edge = { src : vertex; dst : vertex; weight : int }
+
+type t = {
+  n : int;
+  out : (vertex * int) array array;
+  ins : (vertex * int) array array;
+  root : vertex;
+  final : vertex;
+  labels : string array;
+  topo : vertex array;
+}
+
+let num_vertices g = g.n
+let root g = g.root
+let final g = g.final
+let out_edges g v = g.out.(v)
+let in_edges g v = g.ins.(v)
+let in_degree g v = Array.length g.ins.(v)
+let out_degree g v = Array.length g.out.(v)
+let label g v = g.labels.(v)
+
+let edges g =
+  let acc = ref [] in
+  for v = g.n - 1 downto 0 do
+    Array.iter (fun (dst, weight) -> acc := { src = v; dst; weight } :: !acc) g.out.(v)
+  done;
+  !acc
+
+let heavy_edges g = List.filter (fun e -> e.weight > 1) (edges g)
+
+let is_heavy_target g v = Array.exists (fun (_, w) -> w > 1) g.ins.(v)
+
+let topological_order g = Array.copy g.topo
+
+let iter_vertices g f =
+  for v = 0 to g.n - 1 do
+    f v
+  done
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>dag with %d vertices (root=%d, final=%d)@," g.n g.root g.final;
+  iter_vertices g (fun v ->
+      let edge ppf (c, w) = if w = 1 then Format.fprintf ppf "%d" c else Format.fprintf ppf "%d[%d]" c w in
+      Format.fprintf ppf "  %d -> %a@," v
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") edge)
+        (Array.to_list g.out.(v)));
+  Format.fprintf ppf "@]"
+
+module Builder = struct
+  type dag = t
+
+  type t = {
+    mutable count : int;
+    mutable out_rev : (vertex * int) list array; (* reversed insertion order *)
+    mutable lbls : string array;
+  }
+
+  let create () = { count = 0; out_rev = Array.make 16 []; lbls = Array.make 16 "" }
+
+  let ensure_capacity b n =
+    let cap = Array.length b.out_rev in
+    if n > cap then begin
+      let cap' = max n (2 * cap) in
+      let out' = Array.make cap' [] in
+      Array.blit b.out_rev 0 out' 0 b.count;
+      b.out_rev <- out';
+      let l' = Array.make cap' "" in
+      Array.blit b.lbls 0 l' 0 b.count;
+      b.lbls <- l'
+    end
+
+  let add_vertex ?(label = "") b =
+    ensure_capacity b (b.count + 1);
+    let v = b.count in
+    b.count <- v + 1;
+    b.lbls.(v) <- label;
+    v
+
+  let check_vertex b v name =
+    if v < 0 || v >= b.count then
+      invalid_arg (Printf.sprintf "Dag.Builder.add_edge: unknown %s vertex %d" name v)
+
+  let add_edge ?(weight = 1) b u v =
+    if weight < 1 then invalid_arg "Dag.Builder.add_edge: weight must be >= 1";
+    check_vertex b u "source";
+    check_vertex b v "target";
+    b.out_rev.(u) <- (v, weight) :: b.out_rev.(u)
+
+  let num_vertices b = b.count
+
+  (* Kahn's algorithm; raises on cycles. *)
+  let topo_sort n out ins =
+    let order = Array.make n (-1) in
+    let pending = Array.make n 0 in
+    for v = 0 to n - 1 do
+      pending.(v) <- Array.length ins.(v)
+    done;
+    let queue = Queue.create () in
+    for v = 0 to n - 1 do
+      if pending.(v) = 0 then Queue.add v queue
+    done;
+    let k = ref 0 in
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      order.(!k) <- v;
+      incr k;
+      Array.iter
+        (fun (c, _) ->
+          pending.(c) <- pending.(c) - 1;
+          if pending.(c) = 0 then Queue.add c queue)
+        out.(v)
+    done;
+    if !k <> n then invalid_arg "Dag.Builder.build: dag contains a cycle";
+    order
+
+  let build b =
+    let n = b.count in
+    if n = 0 then invalid_arg "Dag.Builder.build: empty dag";
+    let out = Array.init n (fun v -> Array.of_list (List.rev b.out_rev.(v))) in
+    let in_count = Array.make n 0 in
+    Array.iter (Array.iter (fun (c, _) -> in_count.(c) <- in_count.(c) + 1)) out;
+    let ins = Array.init n (fun v -> Array.make in_count.(v) (0, 0)) in
+    let fill = Array.make n 0 in
+    for u = 0 to n - 1 do
+      Array.iter
+        (fun (c, w) ->
+          ins.(c).(fill.(c)) <- (u, w);
+          fill.(c) <- fill.(c) + 1)
+        out.(u)
+    done;
+    let topo = topo_sort n out ins in
+    (* Root/final: first in-degree-0 / out-degree-0 vertex.  Uniqueness is a
+       well-formedness property checked by [Check]; we still need sensible
+       values for malformed dags used in negative tests. *)
+    let find_first p =
+      let rec go v = if v >= n then 0 else if p v then v else go (v + 1) in
+      go 0
+    in
+    let root = find_first (fun v -> in_count.(v) = 0) in
+    let final = find_first (fun v -> Array.length out.(v) = 0) in
+    let labels = Array.init n (fun v -> b.lbls.(v)) in
+    { n; out; ins; root; final; labels; topo }
+end

@@ -1,0 +1,86 @@
+(** Weighted computation dags (Section 2 of the paper).
+
+    A dag represents a parallel computation: vertices are unit-work
+    instructions; an edge [(u, v, w)] is a dependence from [u] to [v] with
+    latency [w >= 1].  An edge of weight 1 is {e light}: [v] may run
+    immediately after [u].  An edge of weight [w > 1] is {e heavy}: [v] is
+    enabled when its last parent executes but becomes ready only [w] rounds
+    after that parent executed.
+
+    Well-formed dags (checked by {!Check.well_formed}) have a unique root
+    (in-degree 0), a unique final vertex (out-degree 0), out-degree at most
+    two, and every target of a heavy edge has in-degree exactly one.
+
+    Out-edges are ordered: the first out-edge of a vertex leads to its
+    {e left} child (the continuation of the same thread) and the second to
+    its {e right} child (the first instruction of a spawned thread). *)
+
+type vertex = int
+(** Vertices are dense integer identifiers in [0 .. num_vertices - 1]. *)
+
+type edge = { src : vertex; dst : vertex; weight : int }
+
+type t
+(** An immutable weighted dag. *)
+
+val num_vertices : t -> int
+
+val root : t -> vertex
+(** The unique vertex with in-degree zero. *)
+
+val final : t -> vertex
+(** The unique vertex with out-degree zero. *)
+
+val out_edges : t -> vertex -> (vertex * int) array
+(** Ordered out-edges of a vertex: index 0 is the left child, index 1 (if
+    present) the right child.  Each element is [(target, weight)]. *)
+
+val in_edges : t -> vertex -> (vertex * int) array
+(** In-edges of a vertex as [(source, weight)] pairs. *)
+
+val in_degree : t -> vertex -> int
+val out_degree : t -> vertex -> int
+
+val label : t -> vertex -> string
+(** Free-form label attached at construction time; [""] if none. *)
+
+val edges : t -> edge list
+(** All edges, in no particular order. *)
+
+val heavy_edges : t -> edge list
+(** Edges with [weight > 1]. *)
+
+val is_heavy_target : t -> vertex -> bool
+(** [true] iff the vertex has a heavy in-edge (hence will suspend). *)
+
+val topological_order : t -> vertex array
+(** A topological order of all vertices (root first, final last). *)
+
+val iter_vertices : t -> (vertex -> unit) -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer: one line per vertex with its out-edges. *)
+
+(** Mutable builder for dags. *)
+module Builder : sig
+  type dag = t
+  type t
+
+  val create : unit -> t
+
+  val add_vertex : ?label:string -> t -> vertex
+  (** Allocates a fresh vertex and returns its id. *)
+
+  val add_edge : ?weight:int -> t -> vertex -> vertex -> unit
+  (** [add_edge b u v] adds a dependence edge from [u] to [v].  Default
+      weight is 1 (light).  Edges are ordered by insertion: the first edge
+      added from [u] is its left child.
+      @raise Invalid_argument if [weight < 1] or a vertex id is unknown. *)
+
+  val num_vertices : t -> int
+
+  val build : t -> dag
+  (** Freezes the builder.  Does {e not} validate the structural
+      assumptions; see {!Check.well_formed}.
+      @raise Invalid_argument if the dag is empty or contains a cycle. *)
+end

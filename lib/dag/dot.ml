@@ -1,0 +1,29 @@
+let to_dot ?(name = "dag") ?(show_ids = true) g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Buffer.add_string buf "  node [shape=circle, fontsize=10];\n";
+  Dag.iter_vertices g (fun v ->
+      let lbl = Dag.label g v in
+      let text =
+        match (lbl, show_ids) with
+        | "", _ -> string_of_int v
+        | l, true -> Printf.sprintf "%s\\n%d" l v
+        | l, false -> l
+      in
+      Buffer.add_string buf (Printf.sprintf "  v%d [label=\"%s\"];\n" v text));
+  List.iter
+    (fun (e : Dag.edge) ->
+      if e.weight > 1 then
+        Buffer.add_string buf
+          (Printf.sprintf "  v%d -> v%d [style=bold, penwidth=2.5, label=\"%d\"];\n" e.src e.dst
+             e.weight)
+      else Buffer.add_string buf (Printf.sprintf "  v%d -> v%d;\n" e.src e.dst))
+    (Dag.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file ?name ?show_ids path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot ?name ?show_ids g))

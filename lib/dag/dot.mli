@@ -1,0 +1,11 @@
+(** Graphviz export of weighted dags.
+
+    Heavy edges are drawn bold and annotated with their weight, matching the
+    paper's figures (light edges thin, heavy edges thick). *)
+
+val to_dot : ?name:string -> ?show_ids:bool -> Dag.t -> string
+(** DOT source for the dag.  Vertex labels come from {!Dag.label} when
+    non-empty; [show_ids] (default true) appends the vertex id. *)
+
+val write_file : ?name:string -> ?show_ids:bool -> string -> Dag.t -> unit
+(** [write_file path g] writes {!to_dot} output to [path]. *)

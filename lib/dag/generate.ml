@@ -1,0 +1,179 @@
+let map_reduce ~n ~leaf_work ~latency =
+  if n < 1 then invalid_arg "Generate.map_reduce: n must be >= 1";
+  if leaf_work < 1 then invalid_arg "Generate.map_reduce: leaf_work must be >= 1";
+  let b = Dag.Builder.create () in
+  let leaf i =
+    let get = Block.latency ~label:(Printf.sprintf "getValue %d" i) b latency in
+    let f = Block.chain ~label:"f" b leaf_work in
+    Block.seq b get f
+  in
+  let leaves = Array.init n leaf in
+  Block.finish b (Block.fork_tree b leaves)
+
+let map_reduce_jitter ~seed ~n ~leaf_work ~min_latency ~max_latency =
+  if n < 1 then invalid_arg "Generate.map_reduce_jitter: n must be >= 1";
+  if leaf_work < 1 then invalid_arg "Generate.map_reduce_jitter: leaf_work must be >= 1";
+  if min_latency < 2 || max_latency < min_latency then
+    invalid_arg "Generate.map_reduce_jitter: need 2 <= min_latency <= max_latency";
+  let st = Random.State.make [| seed; 0x717 |] in
+  let b = Dag.Builder.create () in
+  let leaf i =
+    let delta = min_latency + Random.State.int st (max_latency - min_latency + 1) in
+    let get = Block.latency ~label:(Printf.sprintf "getValue %d" i) b delta in
+    Block.seq b get (Block.chain ~label:"f" b leaf_work)
+  in
+  Block.finish b (Block.fork_tree b (Array.init n leaf))
+
+let server ~n ~f_work ~latency =
+  if n < 1 then invalid_arg "Generate.server: n must be >= 1";
+  if f_work < 1 then invalid_arg "Generate.server: f_work must be >= 1";
+  let b = Dag.Builder.create () in
+  let rec serve k =
+    let get = Block.latency ~label:(Printf.sprintf "getInput %d" k) b latency in
+    let rest =
+      if k = n - 1 then Block.vertex ~label:"done" b
+      else
+        let f = Block.chain ~label:"f" b f_work in
+        Block.fork2 ~fork_label:"serve-fork" ~join_label:"g" b f (serve (k + 1))
+    in
+    Block.seq b get rest
+  in
+  Block.finish b (serve 0)
+
+let fib ?(leaf_work = 1) ~n () =
+  let b = Dag.Builder.create () in
+  let rec go n =
+    if n < 2 then Block.chain ~label:"base" b leaf_work
+    else Block.fork2 b (go (n - 1)) (go (n - 2))
+  in
+  Block.finish b (go n)
+
+let chain ?(latency_every = 0) ?(latency = 2) ~n () =
+  if n < 2 then invalid_arg "Generate.chain: n must be >= 2";
+  let b = Dag.Builder.create () in
+  let first = Dag.Builder.add_vertex b in
+  let rec extend prev i =
+    if i = n then prev
+    else begin
+      let v = Dag.Builder.add_vertex b in
+      let weight = if latency_every > 0 && i mod latency_every = 0 then latency else 1 in
+      Dag.Builder.add_edge ~weight b prev v;
+      extend v (i + 1)
+    end
+  in
+  ignore (extend first 1);
+  let g = Dag.Builder.build b in
+  Check.check_exn g;
+  g
+
+let parallel_chains ~k ~len =
+  if k < 1 then invalid_arg "Generate.parallel_chains: k must be >= 1";
+  let b = Dag.Builder.create () in
+  let chains = Array.init k (fun _ -> Block.chain b len) in
+  Block.finish b (Block.fork_tree b chains)
+
+let pipeline ~stages ~items ~latency =
+  if stages < 1 then invalid_arg "Generate.pipeline: stages must be >= 1";
+  if items < 1 then invalid_arg "Generate.pipeline: items must be >= 1";
+  let b = Dag.Builder.create () in
+  let item _ =
+    let stage _ = Block.vertex ~label:"stage" b in
+    let rec go i acc =
+      if i = stages then acc
+      else go (i + 1) (Block.seq b acc (Block.with_latency b latency (stage i)))
+    in
+    go 1 (stage 0)
+  in
+  Block.finish b (Block.fork_tree b (Array.init items item))
+
+let random_fork_join ~seed ~size_hint ~latency_prob ~max_latency =
+  if latency_prob < 0. || latency_prob > 1. then
+    invalid_arg "Generate.random_fork_join: latency_prob must be in [0, 1]";
+  if max_latency < 2 then invalid_arg "Generate.random_fork_join: max_latency must be >= 2";
+  let st = Random.State.make [| seed; 0x5eed |] in
+  let b = Dag.Builder.create () in
+  let maybe_latency blk =
+    if Random.State.float st 1.0 < latency_prob then
+      Block.with_latency b (2 + Random.State.int st (max_latency - 1)) blk
+    else blk
+  in
+  (* Recursive series-parallel shape with a fuel budget.  Fuel is split
+     unevenly at forks to produce irregular dags. *)
+  let rec go fuel =
+    if fuel <= 1 then maybe_latency (Block.vertex b)
+    else
+      match Random.State.int st 3 with
+      | 0 ->
+          (* sequence of two sub-blocks *)
+          let f1 = 1 + Random.State.int st fuel in
+          Block.seq b (go f1) (go (max 1 (fuel - f1)))
+      | 1 ->
+          (* fork-join of two sub-blocks *)
+          let f1 = 1 + Random.State.int st fuel in
+          maybe_latency (Block.fork2 b (go f1) (go (max 1 (fuel - f1))))
+      | _ -> maybe_latency (Block.chain b (1 + Random.State.int st (min fuel 5)))
+  in
+  Block.finish b (go (max 1 size_hint))
+
+let resume_burst ~n ~leaf_work ~latency =
+  if n < 1 then invalid_arg "Generate.resume_burst: n must be >= 1";
+  if leaf_work < 1 then invalid_arg "Generate.resume_burst: leaf_work must be >= 1";
+  if latency < 2 then invalid_arg "Generate.resume_burst: latency must be >= 2";
+  let b = Dag.Builder.create () in
+  let spine = Array.init n (fun i -> Dag.Builder.add_vertex ~label:(Printf.sprintf "issue %d" i) b) in
+  for i = 0 to n - 2 do
+    (* Left child: the spine continuation; added first so it has priority. *)
+    Dag.Builder.add_edge b spine.(i) spine.(i + 1)
+  done;
+  let chains =
+    Array.init n (fun i ->
+        let c = Block.chain ~label:"work" b leaf_work in
+        (* The i-th operation is issued i rounds after the first and takes
+           latency + (n - i) rounds, so all complete at round latency + n. *)
+        Dag.Builder.add_edge ~weight:(latency + (n - i)) b spine.(i) c.Block.entry;
+        c)
+  in
+  (* Pairwise join tree over the chain exits, then a final join with the
+     spine's own exit path. *)
+  let rec join_up = function
+    | [] -> assert false
+    | [ v ] -> v
+    | vs ->
+        let rec pair = function
+          | [] -> []
+          | [ v ] -> [ v ]
+          | v1 :: v2 :: rest ->
+              let j = Dag.Builder.add_vertex ~label:"join" b in
+              Dag.Builder.add_edge b v1 j;
+              Dag.Builder.add_edge b v2 j;
+              j :: pair rest
+        in
+        join_up (pair vs)
+  in
+  let chains_join = join_up (Array.to_list (Array.map (fun c -> c.Block.exit) chains)) in
+  let final = Dag.Builder.add_vertex ~label:"done" b in
+  Dag.Builder.add_edge b spine.(n - 1) final;
+  Dag.Builder.add_edge b chains_join final;
+  let g = Dag.Builder.build b in
+  Check.check_exn g;
+  g
+
+let diamond () =
+  (* Built by hand so the ids are predictable: 0 = fork, 1 = left,
+     2 = right, 3 = join. *)
+  let b = Dag.Builder.create () in
+  let fork = Dag.Builder.add_vertex b in
+  let left = Dag.Builder.add_vertex b in
+  let right = Dag.Builder.add_vertex b in
+  let join = Dag.Builder.add_vertex b in
+  Dag.Builder.add_edge b fork left;
+  Dag.Builder.add_edge b fork right;
+  Dag.Builder.add_edge b left join;
+  Dag.Builder.add_edge b right join;
+  let g = Dag.Builder.build b in
+  Check.check_exn g;
+  g
+
+let single_latency ~delta =
+  let b = Dag.Builder.create () in
+  Block.finish b (Block.latency b delta)

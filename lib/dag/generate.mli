@@ -1,0 +1,71 @@
+(** Workload dag generators.
+
+    Includes the two examples of Section 5 — distributed map-and-reduce
+    (Figures 7/8, maximal suspension width [U = n]) and the "server"
+    (Figures 9/10, minimal suspension width [U = 1]) — plus classical
+    fork–join computations and randomized dags for property tests.
+
+    All generated dags satisfy {!Check.well_formed}. *)
+
+val map_reduce : n:int -> leaf_work:int -> latency:int -> Dag.t
+(** Distributed map-and-reduce (Figure 8): a balanced binary fork tree over
+    [n >= 1] leaves; each leaf performs a [getValue] operation incurring
+    [latency >= 2] rounds of latency, then [leaf_work >= 1] rounds of
+    computation; results combine up a join tree.  Suspension width is [n]:
+    all remote reads may be in flight at once. *)
+
+val map_reduce_jitter :
+  seed:int -> n:int -> leaf_work:int -> min_latency:int -> max_latency:int -> Dag.t
+(** {!map_reduce} with per-leaf latencies drawn uniformly from
+    [[min_latency, max_latency]] (deterministic in [seed]): heterogeneous
+    remote servers.  Requires [2 <= min_latency <= max_latency]. *)
+
+val server : n:int -> f_work:int -> latency:int -> Dag.t
+(** The "server" (Figure 10): takes [n >= 1] inputs one at a time, each
+    incurring [latency] rounds; after each input, forks [f_work] rounds of
+    processing in parallel with accepting the next input.  Only one input
+    operation is outstanding at any time, so the suspension width is 1. *)
+
+val fib : ?leaf_work:int -> n:int -> unit -> Dag.t
+(** Naive parallel Fibonacci fork–join dag, no heavy edges.  [fib n] forks
+    [fib (n-1)] and [fib (n-2)]; base cases [n < 2] are leaves of
+    [leaf_work] (default 1) vertices. *)
+
+val chain : ?latency_every:int -> ?latency:int -> n:int -> unit -> Dag.t
+(** [n >= 2] vertices in sequence.  If [latency_every > 0], every
+    [latency_every]-th edge is heavy with weight [latency]: a fully
+    sequential computation with unavoidable (critical-path) latency. *)
+
+val parallel_chains : k:int -> len:int -> Dag.t
+(** [k >= 1] independent chains of [len] vertices under one fork tree:
+    embarrassingly parallel computation, no latency. *)
+
+val pipeline : stages:int -> items:int -> latency:int -> Dag.t
+(** [items] independent pipelines of [stages >= 1] unit stages separated by
+    heavy edges of weight [latency], under one fork tree: models streaming
+    items through latency-separated processing stages. *)
+
+val random_fork_join :
+  seed:int -> size_hint:int -> latency_prob:float -> max_latency:int -> Dag.t
+(** Deterministic pseudo-random series-parallel dag of roughly [size_hint]
+    vertices.  Each sequential step incurs latency with probability
+    [latency_prob] (weight uniform in [2 .. max_latency]).  Suitable for
+    property-based testing: always well-formed. *)
+
+val resume_burst : n:int -> leaf_work:int -> latency:int -> Dag.t
+(** A spine of [n] vertices, the [i]-th of which spawns a suspended task
+    over a heavy edge of weight [latency + (n - i)]: when the spine is
+    executed one vertex per round (its natural schedule), all [n]
+    suspended tasks become ready {e in the same round}, on the same deque.
+    Each task then performs [leaf_work] rounds of computation and all
+    results join.  This is the worst case for resumed-batch injection —
+    the workload behind the pfor-tree design of [addResumedVertices] and
+    the AB2 ablation.  [U = n]; requires [latency >= 2]. *)
+
+val diamond : unit -> Dag.t
+(** Minimal fork–join: 4 vertices (0 = fork, 1/2 = branches, 3 = join),
+    used in unit tests. *)
+
+val single_latency : delta:int -> Dag.t
+(** Root, heavy edge of weight [delta], final: the smallest suspending
+    computation ([W = 2], [S = delta], [U = 1]). *)

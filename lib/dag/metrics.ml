@@ -1,0 +1,40 @@
+let work g = Dag.num_vertices g
+
+(* Longest path from the root where each edge (u, v, w) contributes
+   [cost u v w]; computed over a topological order. *)
+let longest_from_root g cost =
+  let n = Dag.num_vertices g in
+  let d = Array.make n min_int in
+  d.(Dag.root g) <- 0;
+  Array.iter
+    (fun u ->
+      if d.(u) <> min_int then
+        Array.iter
+          (fun (v, w) ->
+            let c = d.(u) + cost w in
+            if c > d.(v) then d.(v) <- c)
+          (Dag.out_edges g u))
+    (Dag.topological_order g);
+  (* Vertices unreachable from the root (malformed dags) get depth 0. *)
+  Array.iteri (fun v x -> if x = min_int then d.(v) <- 0) d;
+  d
+
+let weighted_depth g = longest_from_root g (fun w -> w)
+
+let max_of arr = Array.fold_left max 0 arr
+
+let span g = max_of (weighted_depth g)
+
+let unweighted_span g = max_of (longest_from_root g (fun _ -> 1))
+
+let parallelism g =
+  let s = span g in
+  if s = 0 then infinity else float_of_int (work g) /. float_of_int s
+
+let total_latency g =
+  List.fold_left (fun acc (e : Dag.edge) -> acc + e.weight - 1) 0 (Dag.heavy_edges g)
+
+let num_heavy_edges g = List.length (Dag.heavy_edges g)
+
+let critical_path_latency g =
+  max_of (longest_from_root g (fun w -> w - 1))

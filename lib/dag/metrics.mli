@@ -1,0 +1,32 @@
+(** Work, span and related measures of weighted dags (Section 2).
+
+    - {e work} [W] is the number of vertices; edge weights do {e not} count
+      toward the work.
+    - {e span} [S] is the longest {e weighted} path, i.e. the maximum over
+      paths of the sum of edge weights along the path.  On a dag with only
+      light edges this is the edge-count span of the classical model. *)
+
+val work : Dag.t -> int
+
+val span : Dag.t -> int
+(** Longest weighted path from the root.  A single-vertex dag has span 0. *)
+
+val unweighted_span : Dag.t -> int
+(** Longest path counting every edge as weight 1 (the classical span). *)
+
+val weighted_depth : Dag.t -> int array
+(** [weighted_depth g] is [d] with [d.(v)] the longest weighted path from
+    the root to [v] — the quantity written [d_G(v)] in Section 4.1. *)
+
+val parallelism : Dag.t -> float
+(** [work / span] (infinite if the span is 0). *)
+
+val total_latency : Dag.t -> int
+(** Sum over heavy edges of [weight - 1]: the total latency that a fully
+    sequential, blocking execution would wait out. *)
+
+val num_heavy_edges : Dag.t -> int
+
+val critical_path_latency : Dag.t -> int
+(** Maximum over root-to-final paths of the summed [weight - 1] of heavy
+    edges on the path: latency that no scheduler can hide. *)

@@ -1,0 +1,61 @@
+let to_string g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "dag %d\n" (Dag.num_vertices g));
+  Dag.iter_vertices g (fun v ->
+      let label = Dag.label g v in
+      if label <> "" then Buffer.add_string buf (Printf.sprintf "v %d %s\n" v label));
+  Dag.iter_vertices g (fun v ->
+      Array.iter
+        (fun (dst, weight) -> Buffer.add_string buf (Printf.sprintf "e %d %d %d\n" v dst weight))
+        (Dag.out_edges g v));
+  Buffer.contents buf
+
+let of_string text =
+  let fail line msg = invalid_arg (Printf.sprintf "Serialize.of_string: line %d: %s" line msg) in
+  let b = Dag.Builder.create () in
+  let declared = ref None in
+  let labels = Hashtbl.create 16 in
+  let edges = ref [] in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then ()
+      else
+        match String.split_on_char ' ' line with
+        | "dag" :: n :: [] -> (
+            match int_of_string_opt n with
+            | Some n when n >= 1 -> declared := Some n
+            | _ -> fail lineno "bad vertex count")
+        | "v" :: id :: rest -> (
+            match int_of_string_opt id with
+            | Some id -> Hashtbl.replace labels id (String.concat " " rest)
+            | None -> fail lineno "bad vertex id")
+        | [ "e"; src; dst; weight ] -> (
+            match (int_of_string_opt src, int_of_string_opt dst, int_of_string_opt weight) with
+            | Some s, Some d, Some w -> edges := (lineno, s, d, w) :: !edges
+            | _ -> fail lineno "bad edge")
+        | _ -> fail lineno "unrecognized line")
+    (String.split_on_char '\n' text);
+  let n = match !declared with Some n -> n | None -> invalid_arg "Serialize.of_string: missing 'dag <n>' header" in
+  for id = 0 to n - 1 do
+    let label = Option.value ~default:"" (Hashtbl.find_opt labels id) in
+    ignore (Dag.Builder.add_vertex ~label b)
+  done;
+  List.iter
+    (fun (lineno, s, d, w) ->
+      if s < 0 || s >= n || d < 0 || d >= n then fail lineno "edge endpoint out of range";
+      if w < 1 then fail lineno "edge weight must be >= 1";
+      Dag.Builder.add_edge ~weight:w b s d)
+    (List.rev !edges);
+  Dag.Builder.build b
+
+let save path g =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string g))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,18 @@
+(** Textual serialization of weighted dags.
+
+    Line-oriented format, stable across versions:
+    {v
+    dag <num-vertices>
+    v <id> <label>          (one line per labelled vertex; optional)
+    e <src> <dst> <weight>  (one line per edge, in out-edge order)
+    v}
+    Comments start with [#]; blank lines are ignored. *)
+
+val to_string : Dag.t -> string
+
+val of_string : string -> Dag.t
+(** Parses {!to_string} output (or hand-written files).
+    @raise Invalid_argument on malformed input or if the result is cyclic. *)
+
+val save : string -> Dag.t -> unit
+val load : string -> Dag.t

@@ -1,0 +1,128 @@
+let crossing_heavy g ~in_s =
+  List.fold_left
+    (fun acc (e : Dag.edge) -> if in_s e.src && not (in_s e.dst) then acc + 1 else acc)
+    0 (Dag.heavy_edges g)
+
+(* Bitmask machinery: vertex sets as int masks (so at most Sys.int_size - 1
+   vertices; the [max_vertices] guard keeps us far below that). *)
+
+let undirected_adjacency g =
+  let n = Dag.num_vertices g in
+  let adj = Array.make n 0 in
+  Dag.iter_vertices g (fun u ->
+      Array.iter
+        (fun (v, _) ->
+          adj.(u) <- adj.(u) lor (1 lsl v);
+          adj.(v) <- adj.(v) lor (1 lsl u))
+        (Dag.out_edges g u));
+  adj
+
+(* Is the subgraph induced by [mask] weakly connected?  Fixpoint expansion
+   from the lowest set bit through [adj], staying inside [mask]. *)
+let connected adj mask =
+  if mask = 0 then true
+  else begin
+    let seed = mask land -mask in
+    let reached = ref seed in
+    let continue = ref true in
+    while !continue do
+      let next = ref !reached in
+      let rest = ref (!reached land mask) in
+      while !rest <> 0 do
+        let bit = !rest land - !rest in
+        rest := !rest lxor bit;
+        (* index of bit *)
+        let v = ref 0 and b = ref bit in
+        while !b > 1 do
+          b := !b lsr 1;
+          incr v
+        done;
+        next := !next lor (adj.(!v) land mask)
+      done;
+      if !next = !reached then continue := false else reached := !next
+    done;
+    !reached land mask = mask
+  end
+
+let guard ?(max_vertices = 22) g name =
+  let n = Dag.num_vertices g in
+  if n > max_vertices then
+    invalid_arg
+      (Printf.sprintf "Suspension.%s: dag has %d vertices > limit %d (exponential search)" name n
+         max_vertices);
+  n
+
+(* Downward closure check: S is an order ideal iff for every v in S all
+   parents of v are in S.  Precomputed parent masks make this O(n). *)
+let parent_masks g =
+  let n = Dag.num_vertices g in
+  Array.init n (fun v ->
+      Array.fold_left (fun m (u, _) -> m lor (1 lsl u)) 0 (Dag.in_edges g v))
+
+let max_crossing g ~admissible =
+  let n = Dag.num_vertices g in
+  let adj = undirected_adjacency g in
+  let heavy = Array.of_list (Dag.heavy_edges g) in
+  let root_bit = 1 lsl Dag.root g and final_bit = 1 lsl Dag.final g in
+  let full = (1 lsl n) - 1 in
+  let best = ref 0 in
+  for s = 0 to full do
+    if
+      s land root_bit <> 0
+      && s land final_bit = 0
+      && admissible s
+      && connected adj s
+      && connected adj (full lxor s)
+    then begin
+      let c = ref 0 in
+      Array.iter
+        (fun (e : Dag.edge) ->
+          if s land (1 lsl e.src) <> 0 && s land (1 lsl e.dst) = 0 then incr c)
+        heavy;
+      if !c > !best then best := !c
+    end
+  done;
+  !best
+
+let exact ?max_vertices g =
+  ignore (guard ?max_vertices g "exact");
+  max_crossing g ~admissible:(fun _ -> true)
+
+let exact_prefix ?max_vertices g =
+  ignore (guard ?max_vertices g "exact_prefix");
+  let parents = parent_masks g in
+  let ideal s =
+    let ok = ref true in
+    let rest = ref s in
+    while !ok && !rest <> 0 do
+      let bit = !rest land - !rest in
+      rest := !rest lxor bit;
+      let v = ref 0 and b = ref bit in
+      while !b > 1 do
+        b := !b lsr 1;
+        incr v
+      done;
+      if parents.(!v) land s <> parents.(!v) then ok := false
+    done;
+    !ok
+  in
+  max_crossing g ~admissible:ideal
+
+let lower_bound_greedy g =
+  (* Walk a topological order; after each prefix, count heavy edges leaving
+     the prefix.  Any such prefix is a valid execution cut (though not
+     necessarily with connected complement), so this is a heuristic lower
+     bound on the number of concurrent suspensions a schedule can reach. *)
+  let n = Dag.num_vertices g in
+  let in_prefix = Array.make n false in
+  let live = ref 0 and best = ref 0 in
+  Array.iter
+    (fun v ->
+      (* v enters the prefix: its heavy in-edge (if any) stops crossing,
+         its heavy out-edges start crossing. *)
+      Array.iter (fun (u, w) -> if w > 1 && in_prefix.(u) then decr live) (Dag.in_edges g v);
+      in_prefix.(v) <- true;
+      Array.iter (fun (_, w) -> if w > 1 then incr live) (Dag.out_edges g v);
+      if !live > !best then best := !live)
+    (Dag.topological_order g);
+  !best

@@ -1,0 +1,28 @@
+(** Suspension width (Definition 1).
+
+    The suspension width [U] of a dag is the maximum, over all partitions
+    [(S, T)] of the vertices with the root in [S], the final vertex in [T]
+    and both [S] and [T] inducing (weakly) connected subdags, of the number
+    of heavy edges crossing from [S] to [T].  It bounds the number of
+    simultaneously suspended vertices in any execution (Section 2).
+
+    [exact] performs exhaustive enumeration and is exponential in the number
+    of vertices — intended for validating closed forms on small dags. *)
+
+val crossing_heavy : Dag.t -> in_s:(Dag.vertex -> bool) -> int
+(** Number of heavy edges [(u, v)] with [u] in [S] and [v] not in [S]. *)
+
+val exact : ?max_vertices:int -> Dag.t -> int
+(** Exhaustive suspension width per Definition 1.
+    @param max_vertices safety bound, default 22.
+    @raise Invalid_argument if the dag exceeds [max_vertices]. *)
+
+val exact_prefix : ?max_vertices:int -> Dag.t -> int
+(** Like {!exact} but restricted to {e downward-closed} [S] (execution
+    prefixes).  Always [<= exact g]; equals the maximum number of vertices
+    that can be suspended simultaneously in some schedule. *)
+
+val lower_bound_greedy : Dag.t -> int
+(** Cheap lower bound on [U]: maximum number of simultaneously suspended
+    vertices along the execution-prefix chain of a topological order.
+    Linear time; [lower_bound_greedy g <= exact_prefix g <= exact g]. *)

@@ -1,0 +1,95 @@
+(* The classical Chase-Lev deque with a growable circular buffer.  [top] is
+   the steal end, [bottom] the owner's end; both are monotonically
+   increasing absolute indices.  OCaml's [Atomic] gives sequentially
+   consistent reads/writes, which subsumes the fences of the C11 version
+   (Le et al., PPoPP 2013).
+
+   Grow publishes a new buffer via an atomic reference.  A thief may read
+   an element from a stale buffer; this is safe because grow copies the
+   live range [top, bottom) and the owner never overwrites live slots of
+   the old buffer afterwards (it writes only to the new buffer), so the
+   stale slot still holds the element the thief's successful CAS on [top]
+   entitles it to. *)
+
+type 'a buffer = { mask : int; slots : 'a option array }
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  buf : 'a buffer Atomic.t;
+}
+
+let make_buffer capacity = { mask = capacity - 1; slots = Array.make capacity None }
+
+let round_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ?(capacity = 16) () =
+  let capacity = round_pow2 (max capacity 2) in
+  { top = Atomic.make 0; bottom = Atomic.make 0; buf = Atomic.make (make_buffer capacity) }
+
+let buffer_get buf i = buf.slots.(i land buf.mask)
+let buffer_set buf i x = buf.slots.(i land buf.mask) <- x
+
+let grow d top bottom =
+  let old = Atomic.get d.buf in
+  let nbuf = make_buffer (2 * (old.mask + 1)) in
+  for i = top to bottom - 1 do
+    buffer_set nbuf i (buffer_get old i)
+  done;
+  Atomic.set d.buf nbuf;
+  nbuf
+
+let push_bottom d x =
+  let b = Atomic.get d.bottom in
+  let t = Atomic.get d.top in
+  let buf = Atomic.get d.buf in
+  let buf = if b - t > buf.mask then grow d t b else buf in
+  buffer_set buf b (Some x);
+  Atomic.set d.bottom (b + 1)
+
+let pop_bottom d =
+  let b = Atomic.get d.bottom - 1 in
+  Atomic.set d.bottom b;
+  let t = Atomic.get d.top in
+  if b < t then begin
+    (* Empty: restore bottom. *)
+    Atomic.set d.bottom t;
+    None
+  end
+  else begin
+    let buf = Atomic.get d.buf in
+    let x = buffer_get buf b in
+    if b > t then begin
+      buffer_set buf b None;
+      x
+    end
+    else begin
+      (* Last element: race thieves for it by advancing top. *)
+      let won = Atomic.compare_and_set d.top t (t + 1) in
+      Atomic.set d.bottom (t + 1);
+      if won then begin
+        buffer_set buf b None;
+        x
+      end
+      else None
+    end
+  end
+
+let steal d =
+  let t = Atomic.get d.top in
+  let b = Atomic.get d.bottom in
+  if t >= b then None
+  else begin
+    let buf = Atomic.get d.buf in
+    let x = buffer_get buf t in
+    if Atomic.compare_and_set d.top t (t + 1) then x else None
+  end
+
+let size d =
+  let b = Atomic.get d.bottom in
+  let t = Atomic.get d.top in
+  max 0 (b - t)
+
+let is_empty d = size d = 0

@@ -1,0 +1,75 @@
+(* Circular buffer: elements occupy indices [top, bottom) modulo capacity.
+   [top] and [bottom] grow monotonically (absolute positions), which keeps
+   the index arithmetic free of wrap-around special cases. *)
+
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable top : int;
+  mutable bottom : int;
+}
+
+let create ?(capacity = 8) () =
+  let capacity = max capacity 1 in
+  { buf = Array.make capacity None; top = 0; bottom = 0 }
+
+let length d = d.bottom - d.top
+let is_empty d = d.bottom = d.top
+
+let grow d =
+  let old = d.buf in
+  let old_cap = Array.length old in
+  let buf = Array.make (2 * old_cap) None in
+  for i = d.top to d.bottom - 1 do
+    buf.(i mod (2 * old_cap)) <- old.(i mod old_cap)
+  done;
+  d.buf <- buf
+
+let push_bottom d x =
+  if length d = Array.length d.buf then grow d;
+  d.buf.(d.bottom mod Array.length d.buf) <- Some x;
+  d.bottom <- d.bottom + 1
+
+let pop_bottom d =
+  if is_empty d then None
+  else begin
+    d.bottom <- d.bottom - 1;
+    let i = d.bottom mod Array.length d.buf in
+    let x = d.buf.(i) in
+    d.buf.(i) <- None;
+    x
+  end
+
+let pop_top d =
+  if is_empty d then None
+  else begin
+    let i = d.top mod Array.length d.buf in
+    let x = d.buf.(i) in
+    d.buf.(i) <- None;
+    d.top <- d.top + 1;
+    x
+  end
+
+let peek_top d = if is_empty d then None else d.buf.(d.top mod Array.length d.buf)
+
+let peek_bottom d =
+  if is_empty d then None else d.buf.((d.bottom - 1) mod Array.length d.buf)
+
+let clear d =
+  Array.fill d.buf 0 (Array.length d.buf) None;
+  d.top <- 0;
+  d.bottom <- 0
+
+let to_list d =
+  let rec go i acc =
+    if i < d.top then acc
+    else
+      match d.buf.(i mod Array.length d.buf) with
+      | Some x -> go (i - 1) (x :: acc)
+      | None -> assert false
+  in
+  go (d.bottom - 1) []
+
+let of_list xs =
+  let d = create ~capacity:(max 1 (List.length xs)) () in
+  List.iter (push_bottom d) xs;
+  d

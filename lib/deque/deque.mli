@@ -1,0 +1,31 @@
+(** Sequential double-ended queue with the work-stealing interface of
+    Table 1: the owner pushes and pops at the bottom, thieves pop at the
+    top.  Backed by a growable circular buffer; all operations are O(1)
+    amortized.  Used by the discrete-time simulator, where rounds serialize
+    all access. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+
+val push_bottom : 'a t -> 'a -> unit
+
+val pop_bottom : 'a t -> 'a option
+(** Removes and returns the bottom (most recently pushed) element. *)
+
+val pop_top : 'a t -> 'a option
+(** Removes and returns the top (oldest) element — the steal operation. *)
+
+val peek_top : 'a t -> 'a option
+val peek_bottom : 'a t -> 'a option
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Elements from top to bottom (steal order).  For tests and debugging. *)
+
+val of_list : 'a list -> 'a t
+(** Builds a deque whose top-to-bottom order is the list order. *)

@@ -1,0 +1,159 @@
+exception Closed
+
+(* A single mutex guards the buffer and both waiter queues.  Waiter
+   callbacks re-enqueue fibers into scheduler deques, so they must run
+   outside the lock: every critical section returns a (value, after)
+   pair and [after] runs post-unlock.
+
+   Invariants: receive waiters exist only while the buffer is empty; send
+   waiters exist only while the buffer is full.  A send that finds a
+   receive waiter hands its element over directly. *)
+
+type 'a t = {
+  mu : Mutex.t;
+  buf : 'a Queue.t;
+  capacity : int;  (* max_int = unbounded *)
+  recv_waiters : ('a option -> unit) Queue.t;  (* None = channel closed *)
+  send_waiters : (bool -> unit) Queue.t;  (* false = channel closed *)
+  mutable closed : bool;
+}
+
+let create ?(capacity = max_int) () =
+  if capacity < 1 then invalid_arg "Channel.create: capacity must be >= 1";
+  {
+    mu = Mutex.create ();
+    buf = Queue.create ();
+    capacity;
+    recv_waiters = Queue.create ();
+    send_waiters = Queue.create ();
+    closed = false;
+  }
+
+let nothing () = ()
+
+let with_lock ch f =
+  Mutex.lock ch.mu;
+  match f () with
+  | value, after ->
+      Mutex.unlock ch.mu;
+      after ();
+      value
+  | exception e ->
+      Mutex.unlock ch.mu;
+      raise e
+
+let rec send ch x =
+  let state =
+    with_lock ch (fun () ->
+        if ch.closed then (`Closed, nothing)
+        else
+          match Queue.take_opt ch.recv_waiters with
+          | Some waiter -> (`Sent, fun () -> waiter (Some x))
+          | None ->
+              if Queue.length ch.buf < ch.capacity then begin
+                Queue.add x ch.buf;
+                (`Sent, nothing)
+              end
+              else (`Wait, nothing))
+  in
+  match state with
+  | `Closed -> raise Closed
+  | `Sent -> ()
+  | `Wait ->
+      let ok = ref false in
+      Fiber.suspend (fun resume ->
+          with_lock ch (fun () ->
+              if ch.closed then ((), resume)
+              else if
+                Queue.length ch.buf < ch.capacity || not (Queue.is_empty ch.recv_waiters)
+              then
+                ( (),
+                  fun () ->
+                    ok := true;
+                    resume () )
+              else begin
+                Queue.add
+                  (fun accepted ->
+                    ok := accepted;
+                    resume ())
+                  ch.send_waiters;
+                ((), nothing)
+              end));
+      if !ok then send ch x else raise Closed
+
+(* Taking a buffered element frees one slot: wake one waiting sender. *)
+let wake_one_sender ch =
+  match Queue.take_opt ch.send_waiters with
+  | Some sender -> fun () -> sender true
+  | None -> nothing
+
+let recv ch =
+  let state =
+    with_lock ch (fun () ->
+        match Queue.take_opt ch.buf with
+        | Some x -> (`Got x, wake_one_sender ch)
+        | None -> if ch.closed then (`Closed, nothing) else (`Wait, nothing))
+  in
+  match state with
+  | `Got x -> x
+  | `Closed -> raise Closed
+  | `Wait -> (
+      let slot = ref None in
+      Fiber.suspend (fun resume ->
+          with_lock ch (fun () ->
+              match Queue.take_opt ch.buf with
+              | Some x ->
+                  let wake = wake_one_sender ch in
+                  slot := Some x;
+                  ( (),
+                    fun () ->
+                      wake ();
+                      resume () )
+              | None ->
+                  if ch.closed then ((), resume)
+                  else begin
+                    Queue.add
+                      (fun v ->
+                        slot := v;
+                        resume ())
+                      ch.recv_waiters;
+                    ((), nothing)
+                  end));
+      match !slot with Some x -> x | None -> raise Closed)
+
+let try_recv ch =
+  with_lock ch (fun () ->
+      match Queue.take_opt ch.buf with
+      | Some x -> (Some x, wake_one_sender ch)
+      | None -> (None, nothing))
+
+let try_send ch x =
+  with_lock ch (fun () ->
+      if ch.closed then raise Closed
+      else
+        match Queue.take_opt ch.recv_waiters with
+        | Some waiter -> (true, fun () -> waiter (Some x))
+        | None ->
+            if Queue.length ch.buf < ch.capacity then begin
+              Queue.add x ch.buf;
+              (true, nothing)
+            end
+            else (false, nothing))
+
+let length ch = with_lock ch (fun () -> (Queue.length ch.buf, nothing))
+
+let close ch =
+  with_lock ch (fun () ->
+      if ch.closed then ((), nothing)
+      else begin
+        ch.closed <- true;
+        let wakes = ref [] in
+        Queue.iter (fun waiter -> wakes := (fun () -> waiter None) :: !wakes) ch.recv_waiters;
+        Queue.clear ch.recv_waiters;
+        Queue.iter (fun sender -> wakes := (fun () -> sender false) :: !wakes) ch.send_waiters;
+        Queue.clear ch.send_waiters;
+        let wakes = List.rev !wakes in
+        ((), fun () -> List.iter (fun f -> f ()) wakes)
+      end)
+
+let is_closed ch = with_lock ch (fun () -> (ch.closed, nothing))

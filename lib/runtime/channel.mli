@@ -1,0 +1,44 @@
+(** Channels between fibers: the communication primitive for {e interacting}
+    parallel computations (requests from clients, streams between pipeline
+    stages).
+
+    Receiving from an empty channel — and, on a bounded channel, sending
+    into a full one — suspends the calling fiber via {!Fiber.suspend}, so
+    it must run on a scheduler that handles suspension (the latency-hiding
+    pool).  The blocking baseline pool has no way to park a fiber; that
+    contrast is precisely the paper's point.
+
+    Channels are multi-producer multi-consumer and domain-safe.  Fairness:
+    waiters are served FIFO. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** An empty channel.  [capacity] bounds the number of buffered elements
+    (senders beyond it suspend); default unbounded.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val send : 'a t -> 'a -> unit
+(** Delivers an element, waking a waiting receiver if any.  Suspends while
+    the channel is at capacity. *)
+
+val recv : 'a t -> 'a
+(** Takes the oldest element, suspending until one is available. *)
+
+val try_recv : 'a t -> 'a option
+(** Non-suspending receive. *)
+
+val try_send : 'a t -> 'a -> bool
+(** Non-suspending send; [false] if the channel is at capacity. *)
+
+val length : 'a t -> int
+(** Buffered elements (snapshot). *)
+
+val close : 'a t -> unit
+(** Closing makes every current and future [recv] on an empty channel
+    raise {!Closed}, and every [send] raise {!Closed}.  Buffered elements
+    can still be received.  Idempotent. *)
+
+exception Closed
+
+val is_closed : 'a t -> bool

@@ -1,0 +1,5 @@
+type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+let suspend register = Effect.perform (Suspend register)
+
+let yield () = suspend (fun resume -> resume ())

@@ -1,0 +1,28 @@
+type 'a t = 'a Promise.t
+
+let spawn = Lhws_pool.async
+let await = Lhws_pool.await
+
+let map pool f fut = Lhws_pool.async pool (fun () -> f (await fut))
+
+let both pool a b = Lhws_pool.async pool (fun () -> (await a, await b))
+
+let all pool futures = Lhws_pool.async pool (fun () -> List.map await futures)
+
+let first_resolved _pool futures =
+  if futures = [] then invalid_arg "Future.first_resolved: empty list";
+  let out = Promise.create () in
+  let won = Atomic.make false in
+  let claim result =
+    if not (Atomic.exchange won true) then Promise.fulfill out result
+  in
+  List.iter
+    (fun fut ->
+      let deliver () =
+        match Promise.poll fut with Some r -> claim r | None -> assert false
+      in
+      if not (Promise.add_waiter fut deliver) then deliver ())
+    futures;
+  out
+
+let traverse pool f xs = all pool (List.map (fun x -> spawn pool (fun () -> f x)) xs)

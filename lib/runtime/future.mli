@@ -1,0 +1,29 @@
+(** Future combinators over the latency-hiding pool: compose asynchronous
+    computations without manual promise plumbing.  The parallel Standard ML
+    substrate of the paper's prototype exposes futures the same way.
+
+    All combinators must be called from within {!Lhws_pool.run}. *)
+
+type 'a t = 'a Promise.t
+
+val spawn : Lhws_pool.t -> (unit -> 'a) -> 'a t
+(** Alias of {!Lhws_pool.async}. *)
+
+val await : 'a t -> 'a
+(** Alias of {!Lhws_pool.await}. *)
+
+val map : Lhws_pool.t -> ('a -> 'b) -> 'a t -> 'b t
+(** A future of [f] applied to the result (spawned, not inline). *)
+
+val both : Lhws_pool.t -> 'a t -> 'b t -> ('a * 'b) t
+
+val all : Lhws_pool.t -> 'a t list -> 'a list t
+(** Resolves when every input has, preserving order.  If several fail,
+    the first (leftmost) exception wins. *)
+
+val first_resolved : Lhws_pool.t -> 'a t list -> 'a t
+(** Resolves with the first input to resolve (value or exception).
+    @raise Invalid_argument on an empty list. *)
+
+val traverse : Lhws_pool.t -> ('a -> 'b) -> 'a list -> 'b list t
+(** Spawns one fiber per element; resolves with the results in order. *)

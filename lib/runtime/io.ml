@@ -1,0 +1,78 @@
+(* select-based reactor.  Waiter lists are keyed by descriptor; a mutex
+   guards them (contention is low: one lock per suspension/resume). *)
+
+type waiters = (Unix.file_descr, (unit -> unit) list ref) Hashtbl.t
+
+type t = { mu : Mutex.t; readers : waiters; writers : waiters }
+
+let create () = { mu = Mutex.create (); readers = Hashtbl.create 16; writers = Hashtbl.create 16 }
+
+let add_waiter tbl fd resume =
+  match Hashtbl.find_opt tbl fd with
+  | Some l -> l := resume :: !l
+  | None -> Hashtbl.add tbl fd (ref [ resume ])
+
+let wait_on t tbl fd =
+  Fiber.suspend (fun resume ->
+      Mutex.lock t.mu;
+      add_waiter tbl fd resume;
+      Mutex.unlock t.mu)
+
+let wait_readable t fd = wait_on t t.readers fd
+let wait_writable t fd = wait_on t t.writers fd
+
+let poll t =
+  Mutex.lock t.mu;
+  let rfds = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.readers [] in
+  let wfds = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.writers [] in
+  Mutex.unlock t.mu;
+  if rfds = [] && wfds = [] then 0
+  else
+    match Unix.select rfds wfds [] 0. with
+    | [], [], _ -> 0
+    | ready_r, ready_w, _ ->
+        let resumes = ref [] in
+        Mutex.lock t.mu;
+        let take tbl fd =
+          match Hashtbl.find_opt tbl fd with
+          | Some l ->
+              resumes := !l @ !resumes;
+              Hashtbl.remove tbl fd
+          | None -> ()
+        in
+        List.iter (take t.readers) ready_r;
+        List.iter (take t.writers) ready_w;
+        Mutex.unlock t.mu;
+        List.iter (fun resume -> resume ()) !resumes;
+        List.length !resumes
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
+
+let pending t =
+  Mutex.lock t.mu;
+  let count tbl = Hashtbl.fold (fun _ l acc -> acc + List.length !l) tbl 0 in
+  let n = count t.readers + count t.writers in
+  Mutex.unlock t.mu;
+  n
+
+let read t fd buf pos len =
+  wait_readable t fd;
+  Unix.read fd buf pos len
+
+let write t fd buf pos len =
+  wait_writable t fd;
+  Unix.write fd buf pos len
+
+let read_exactly t fd buf len =
+  let rec go pos =
+    if pos < len then begin
+      let n = read t fd buf pos (len - pos) in
+      if n = 0 then raise End_of_file;
+      go (pos + n)
+    end
+  in
+  go 0
+
+let write_all t fd buf =
+  let len = Bytes.length buf in
+  let rec go pos = if pos < len then go (pos + write t fd buf pos (len - pos)) in
+  go 0

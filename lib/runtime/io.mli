@@ -1,0 +1,42 @@
+(** File-descriptor readiness for fibers: real I/O latency, hidden.
+
+    A reactor holds fibers suspended on descriptor readability or
+    writability.  Workers drive it by polling — register {!poll} with
+    {!Lhws_pool.register_poller} — exactly the polling implementation of
+    resume callbacks sketched in Section 6.  [select]-based, so it works
+    on pipes and sockets portably.
+
+    All waits must happen on fibers of a suspension-capable pool.  The
+    blocking baseline simply issues blocking reads/writes instead — that
+    is the comparison the paper draws. *)
+
+type t
+
+val create : unit -> t
+
+val wait_readable : t -> Unix.file_descr -> unit
+(** Suspends the calling fiber until the descriptor is readable. *)
+
+val wait_writable : t -> Unix.file_descr -> unit
+(** Suspends the calling fiber until the descriptor is writable. *)
+
+val read : t -> Unix.file_descr -> bytes -> int -> int -> int
+(** [read t fd buf pos len] waits for readability, then [Unix.read].
+    Returns the number of bytes read (0 at end of file). *)
+
+val write : t -> Unix.file_descr -> bytes -> int -> int -> int
+(** Waits for writability, then [Unix.write]. *)
+
+val read_exactly : t -> Unix.file_descr -> bytes -> int -> unit
+(** Reads exactly [len] bytes into the buffer's prefix.
+    @raise End_of_file if the descriptor closes first. *)
+
+val write_all : t -> Unix.file_descr -> bytes -> unit
+(** Writes the whole buffer. *)
+
+val poll : t -> int
+(** Checks readiness with a zero timeout and resumes every ready waiter;
+    returns how many were resumed.  Thread-safe; call from worker loops. *)
+
+val pending : t -> int
+(** Fibers currently parked in the reactor. *)

@@ -1,0 +1,483 @@
+module Chase_lev = Lhws_deque.Chase_lev
+
+(* Tasks are fresh fibers or captured continuations of suspended ones. *)
+type task = Fresh of (unit -> unit) | Resume of (unit, unit) Effect.Deep.continuation
+
+type deque = {
+  id : int;
+  owner : int;
+  q : task Chase_lev.t;
+  suspend_ctr : int Atomic.t;
+  resumed_mu : Mutex.t;
+  mutable resumed : task list;  (* protected by resumed_mu; any domain appends *)
+  freed : bool Atomic.t;
+  mutable in_ready : bool;  (* owner only *)
+}
+
+type worker = {
+  wid : int;
+  mutable active : deque option;
+  mutable ready : deque list;
+  notify_mu : Mutex.t;
+  mutable notified : deque list;  (* deques with fresh resumes; any domain appends *)
+  mutable empty : deque list;  (* freed deques for reuse; owner only *)
+  mutable owned_live : int;
+  owned_mu : Mutex.t;
+  mutable owned : deque list;  (* live owned deques, for worker-targeted steals *)
+  rng : Random.State.t;
+  mutable steals : int;
+  mutable suspensions : int;
+  mutable resumes : int;
+  mutable max_owned : int;
+}
+
+type steal_policy = Global_deque | Worker_then_deque
+
+let max_gdeques = 1 lsl 16
+
+type t = {
+  workers : worker array;
+  gdeques : deque option array;
+  gtotal : int Atomic.t;
+  steal_policy : steal_policy;
+  mutable tracer : Tracing.t option;
+  timer : Timer.t;
+  mutable pollers : (unit -> int) list;  (* extra event sources, e.g. I/O *)
+  stop : bool Atomic.t;
+  mutable domains : unit Domain.t array;
+  mutable running : bool;
+}
+
+(* The worker currently executing on this domain; read by effect handlers,
+   which may run on a different domain than the one that installed them. *)
+let current_worker : worker option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let self () =
+  match !(Domain.DLS.get current_worker) with
+  | Some w -> w
+  | None -> failwith "Lhws_pool: not running on a pool worker"
+
+(* --- deque table --- *)
+
+let alloc_deque t w =
+  let d =
+    match w.empty with
+    | d :: rest ->
+        w.empty <- rest;
+        Atomic.set d.freed false;
+        d
+    | [] ->
+        let id = Atomic.fetch_and_add t.gtotal 1 in
+        if id >= max_gdeques then failwith "Lhws_pool: deque table overflow";
+        let d =
+          {
+            id;
+            owner = w.wid;
+            q = Chase_lev.create ();
+            suspend_ctr = Atomic.make 0;
+            resumed_mu = Mutex.create ();
+            resumed = [];
+            freed = Atomic.make false;
+            in_ready = false;
+          }
+        in
+        t.gdeques.(id) <- Some d;
+        d
+  in
+  w.owned_live <- w.owned_live + 1;
+  if w.owned_live > w.max_owned then w.max_owned <- w.owned_live;
+  Mutex.lock w.owned_mu;
+  w.owned <- d :: w.owned;
+  Mutex.unlock w.owned_mu;
+  d
+
+let free_deque w d =
+  Atomic.set d.freed true;
+  w.owned_live <- w.owned_live - 1;
+  w.empty <- d :: w.empty;
+  Mutex.lock w.owned_mu;
+  w.owned <- List.filter (fun d' -> d' != d) w.owned;
+  Mutex.unlock w.owned_mu
+
+(* Remove a deque from the owner's recycle pool (revival after a resume
+   raced with freeing).  Owner-only. *)
+let unfree w d =
+  Atomic.set d.freed false;
+  w.empty <- List.filter (fun d' -> d' != d) w.empty;
+  w.owned_live <- w.owned_live + 1;
+  if w.owned_live > w.max_owned then w.max_owned <- w.owned_live;
+  Mutex.lock w.owned_mu;
+  w.owned <- d :: w.owned;
+  Mutex.unlock w.owned_mu
+
+(* --- resume path: runs on any domain --- *)
+
+let on_resume t d task =
+  let was_empty =
+    Mutex.lock d.resumed_mu;
+    let was = d.resumed = [] in
+    d.resumed <- task :: d.resumed;
+    Mutex.unlock d.resumed_mu;
+    was
+  in
+  Atomic.decr d.suspend_ctr;
+  if was_empty then begin
+    let o = t.workers.(d.owner) in
+    Mutex.lock o.notify_mu;
+    o.notified <- d :: o.notified;
+    Mutex.unlock o.notify_mu
+  end
+
+(* --- fiber execution --- *)
+
+let rec exec_fresh t f =
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc = (fun () -> ());
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Fiber.Suspend register ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  let w = self () in
+                  let d =
+                    match w.active with
+                    | Some d -> d
+                    | None -> failwith "Lhws_pool: suspend with no active deque"
+                  in
+                  Atomic.incr d.suspend_ctr;
+                  w.suspensions <- w.suspensions + 1;
+                  (match t.tracer with
+                  | Some tr ->
+                      Tracing.record tr ~worker:w.wid Tracing.Suspend
+                        ~start_us:(Tracing.now_us ()) ~dur_us:0.
+                  | None -> ());
+                  register (fun () -> on_resume t d (Resume k)))
+          | _ -> None);
+    }
+
+and run_task t task =
+  match task with Fresh f -> exec_fresh t f | Resume k -> Effect.Deep.continue k ()
+
+(* Execute a batch of resumed continuations as a pfor tree: halves are
+   pushed as spawnable tasks, so the batch unfolds in parallel with
+   logarithmic span, exactly as addResumedVertices prescribes. *)
+let rec pfor_exec t batch lo hi =
+  let n = hi - lo in
+  if n = 1 then run_task t batch.(lo)
+  else begin
+    let mid = lo + (n / 2) in
+    let w = self () in
+    (match w.active with
+    | Some d -> Chase_lev.push_bottom d.q (Fresh (fun () -> pfor_exec t batch mid hi))
+    | None -> assert false);
+    pfor_exec t batch lo mid
+  end
+
+(* addResumedVertices: drain notifications, re-inject each deque's resumed
+   batch, move the deque to the ready set.  Owner only. *)
+let drain_resumed t w =
+  let notified =
+    Mutex.lock w.notify_mu;
+    let ds = w.notified in
+    w.notified <- [];
+    Mutex.unlock w.notify_mu;
+    ds
+  in
+  List.iter
+    (fun d ->
+      let batch =
+        Mutex.lock d.resumed_mu;
+        let b = d.resumed in
+        d.resumed <- [];
+        Mutex.unlock d.resumed_mu;
+        b
+      in
+      match batch with
+      | [] -> ()
+      | _ ->
+          (match t.tracer with
+          | Some tr ->
+              Tracing.record tr ~worker:w.wid Tracing.Resume_batch
+                ~start_us:(Tracing.now_us ()) ~dur_us:0.
+          | None -> ());
+          w.resumes <- w.resumes + List.length batch;
+          if Atomic.get d.freed then unfree w d;
+          let task =
+            match batch with
+            | [ single ] -> single
+            | _ ->
+                let arr = Array.of_list (List.rev batch) in
+                Fresh (fun () -> pfor_exec t arr 0 (Array.length arr))
+          in
+          Chase_lev.push_bottom d.q task;
+          let is_active = match w.active with Some a -> a == d | None -> false in
+          if (not is_active) && not d.in_ready then begin
+            d.in_ready <- true;
+            w.ready <- d :: w.ready
+          end)
+    (List.rev notified)
+
+(* Retire an exhausted active deque: free it if nothing will come back. *)
+let retire_active w =
+  match w.active with
+  | None -> ()
+  | Some d ->
+      w.active <- None;
+      if Atomic.get d.suspend_ctr = 0 then begin
+        (* A racing resume may still slip in; drain_resumed revives. *)
+        Mutex.lock d.resumed_mu;
+        let quiet = d.resumed = [] in
+        Mutex.unlock d.resumed_mu;
+        if quiet && Chase_lev.is_empty d.q then free_deque w d
+      end
+
+let try_steal t w =
+  match t.steal_policy with
+  | Global_deque -> (
+      (* The analyzed policy: uniform over the global deque table. *)
+      let n = Atomic.get t.gtotal in
+      if n = 0 then None
+      else
+        match t.gdeques.(Random.State.int w.rng n) with
+        | None -> None
+        | Some d -> if Atomic.get d.freed then None else Chase_lev.steal d.q)
+  | Worker_then_deque -> (
+      (* Section 6's implementation: pick a worker, then one of its deques
+         that currently has work — fewer failed steals, at the cost of a
+         brief lock on the victim's deque list. *)
+      let victim = t.workers.(Random.State.int w.rng (Array.length t.workers)) in
+      Mutex.lock victim.owned_mu;
+      let candidates = List.filter (fun d -> not (Chase_lev.is_empty d.q)) victim.owned in
+      let pick =
+        match candidates with
+        | [] -> None
+        | _ -> Some (List.nth candidates (Random.State.int w.rng (List.length candidates)))
+      in
+      Mutex.unlock victim.owned_mu;
+      match pick with None -> None | Some d -> Chase_lev.steal d.q)
+
+(* One scheduling decision: the next task to run, switching or stealing as
+   needed.  Mirrors lines 40-56 of Figure 3. *)
+let next_task t w =
+  let from_active () =
+    match w.active with
+    | Some d -> (
+        match Chase_lev.pop_bottom d.q with
+        | Some task -> Some task
+        | None ->
+            retire_active w;
+            None)
+    | None -> None
+  in
+  match from_active () with
+  | Some task -> Some task
+  | None -> (
+      match w.ready with
+      | d :: rest -> (
+          w.ready <- rest;
+          d.in_ready <- false;
+          w.active <- Some d;
+          match Chase_lev.pop_bottom d.q with
+          | Some task -> Some task
+          | None ->
+              (* emptied by thieves since it was enqueued *)
+              retire_active w;
+              None)
+      | [] -> (
+          match try_steal t w with
+          | Some task ->
+              w.steals <- w.steals + 1;
+              (match t.tracer with
+              | Some tr ->
+                  Tracing.record tr ~worker:w.wid Tracing.Steal
+                    ~start_us:(Tracing.now_us ()) ~dur_us:0.
+              | None -> ());
+              let nd = alloc_deque t w in
+              w.active <- Some nd;
+              Some task
+          | None -> None))
+
+let backoff_us = 50
+
+let worker_loop t w ~until =
+  let dls = Domain.DLS.get current_worker in
+  let saved = !dls in
+  dls := Some w;
+  let rec loop idle_spins =
+    if Atomic.get t.stop || until () then ()
+    else begin
+      ignore (Timer.poll t.timer : int);
+      List.iter (fun poll -> ignore (poll () : int)) t.pollers;
+      drain_resumed t w;
+      match next_task t w with
+      | Some task ->
+          (match t.tracer with
+          | None -> run_task t task
+          | Some tr ->
+              let start_us = Tracing.now_us () in
+              run_task t task;
+              Tracing.record tr ~worker:w.wid Tracing.Task_run ~start_us
+                ~dur_us:(Tracing.now_us () -. start_us));
+          loop 0
+      | None ->
+          (* Nothing runnable: back off to avoid burning the core (we may
+             be oversubscribed), but stay responsive to timer expiry. *)
+          if idle_spins > 16 then Unix.sleepf (float_of_int backoff_us /. 1e6)
+          else Domain.cpu_relax ();
+          loop (idle_spins + 1)
+    end
+  in
+  Fun.protect ~finally:(fun () -> dls := saved) (fun () -> loop 0)
+
+let create ?(workers = 2) ?(steal_policy = Global_deque) () =
+  if workers < 1 then invalid_arg "Lhws_pool.create: workers must be >= 1";
+  let t =
+    {
+      workers =
+        Array.init workers (fun wid ->
+            {
+              wid;
+              active = None;
+              ready = [];
+              notify_mu = Mutex.create ();
+              notified = [];
+              empty = [];
+              owned_live = 0;
+              owned_mu = Mutex.create ();
+              owned = [];
+              rng = Random.State.make [| 0xACE5; wid |];
+              steals = 0;
+              suspensions = 0;
+              resumes = 0;
+              max_owned = 0;
+            });
+      gdeques = Array.make max_gdeques None;
+      gtotal = Atomic.make 0;
+      steal_policy;
+      tracer = None;
+      timer = Timer.create ();
+      pollers = [];
+      stop = Atomic.make false;
+      domains = [||];
+      running = false;
+    }
+  in
+  t.domains <-
+    Array.init (workers - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop t t.workers.(i + 1) ~until:(fun () -> false)));
+  t
+
+let shutdown t =
+  Atomic.set t.stop true;
+  Array.iter Domain.join t.domains;
+  t.domains <- [||]
+
+let with_pool ?workers ?steal_policy f =
+  let t = create ?workers ?steal_policy () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let register_poller t poll = t.pollers <- poll :: t.pollers
+
+let set_tracer t tracer = t.tracer <- Some tracer
+
+(* --- fiber-facing operations --- *)
+
+let async t f =
+  let p = Promise.create () in
+  let w = self () in
+  let d =
+    match w.active with
+    | Some d -> d
+    | None -> failwith "Lhws_pool.async: no active deque (call from within run)"
+  in
+  Chase_lev.push_bottom d.q
+    (Fresh (fun () -> Promise.fulfill p (try Ok (f ()) with e -> Error e)));
+  ignore t;
+  p
+
+let await p =
+  (match Promise.poll p with
+  | Some _ -> ()
+  | None ->
+      Fiber.suspend (fun resume -> if not (Promise.add_waiter p resume) then resume ()));
+  match Promise.poll p with
+  | Some (Ok v) -> v
+  | Some (Error e) -> raise e
+  | None -> assert false
+
+let fork2 t f g =
+  let pg = async t g in
+  let fv = f () in
+  let gv = await pg in
+  (fv, gv)
+
+let sleep t seconds =
+  if seconds <= 0. then ()
+  else Fiber.suspend (fun resume -> Timer.add_in t.timer ~seconds resume)
+
+let rec parallel_for t ~lo ~hi body =
+  let n = hi - lo in
+  if n <= 0 then ()
+  else if n = 1 then body lo
+  else
+    let mid = lo + (n / 2) in
+    let (), () =
+      fork2 t (fun () -> parallel_for t ~lo ~hi:mid body) (fun () -> parallel_for t ~lo:mid ~hi body)
+    in
+    ()
+
+let rec parallel_map_reduce t ~lo ~hi ~map ~combine ~id =
+  let n = hi - lo in
+  if n <= 0 then id
+  else if n = 1 then map lo
+  else
+    let mid = lo + (n / 2) in
+    let a, b =
+      fork2 t
+        (fun () -> parallel_map_reduce t ~lo ~hi:mid ~map ~combine ~id)
+        (fun () -> parallel_map_reduce t ~lo:mid ~hi ~map ~combine ~id)
+    in
+    combine a b
+
+(* --- driving the pool from the outside --- *)
+
+let run t f =
+  if t.running then invalid_arg "Lhws_pool.run: already running";
+  t.running <- true;
+  Fun.protect
+    ~finally:(fun () -> t.running <- false)
+    (fun () ->
+      let w0 = t.workers.(0) in
+      let p = Promise.create () in
+      (* Bootstrap: give worker 0 an active deque holding the root fiber. *)
+      let d = match w0.active with Some d -> d | None -> alloc_deque t w0 in
+      w0.active <- Some d;
+      Chase_lev.push_bottom d.q
+        (Fresh (fun () -> Promise.fulfill p (try Ok (f ()) with e -> Error e)));
+      worker_loop t w0 ~until:(fun () -> Promise.is_resolved p);
+      Promise.get_exn p)
+
+(* --- stats --- *)
+
+type stats = {
+  steals : int;
+  deques_allocated : int;
+  suspensions : int;
+  resumes : int;
+  max_deques_per_worker : int;
+}
+
+let stats t =
+  let sum f = Array.fold_left (fun acc w -> acc + f w) 0 t.workers in
+  {
+    steals = sum (fun w -> w.steals);
+    deques_allocated = Atomic.get t.gtotal;
+    suspensions = sum (fun w -> w.suspensions);
+    resumes = sum (fun w -> w.resumes);
+    max_deques_per_worker = Array.fold_left (fun acc w -> max acc w.max_owned) 0 t.workers;
+  }

@@ -1,0 +1,92 @@
+(** The latency-hiding work-stealing scheduler, running for real on OCaml 5
+    domains.
+
+    This is the algorithm of Section 3 at thread granularity (the paper's
+    own prototype works the same way): the scheduler runs when a fiber
+    ends, forks, joins or suspends.  Each worker owns a growing collection
+    of Chase–Lev deques, one active at a time.  A fiber that suspends
+    (e.g. {!sleep}, or {!await} on an unresolved promise) has its
+    continuation paired with the worker's active deque; when it resumes,
+    the continuation is batched back into that deque and the deque
+    re-enters the owner's ready set.  Thieves target a uniformly random
+    deque in the global deque table.
+
+    Latency-incurring operations never block the underlying domain: a
+    worker whose fibers are all waiting switches deques or steals. *)
+
+type t
+
+type steal_policy =
+  | Global_deque
+      (** The analyzed policy (Section 3): thieves target a uniformly
+          random slot of the global deque table. *)
+  | Worker_then_deque
+      (** The implemented policy (Section 6): thieves target a random
+          worker, then a random one of its non-empty deques — fewer
+          failed steals, at the cost of synchronizing briefly with the
+          victim. *)
+
+val create : ?workers:int -> ?steal_policy:steal_policy -> unit -> t
+(** Spawns [workers - 1] extra domains (default: 2 workers,
+    [Global_deque]).  The calling domain becomes worker 0 while inside
+    {!run}. *)
+
+val run : t -> (unit -> 'a) -> 'a
+(** Executes the thunk as the root fiber and participates as worker 0
+    until it completes.  Re-raises the fiber's exception, if any.
+    Not reentrant; call from the domain that created the pool. *)
+
+val shutdown : t -> unit
+(** Stops and joins the worker domains.  The pool cannot be reused. *)
+
+val with_pool : ?workers:int -> ?steal_policy:steal_policy -> (t -> 'a) -> 'a
+(** [create] / [shutdown] bracket. *)
+
+val set_tracer : t -> Tracing.t -> unit
+(** Records worker events (task runs, suspensions, resume batches, steals)
+    into the tracer from now on; see {!Tracing.to_chrome_json}.  Set before
+    {!run}; adds two clock reads per task. *)
+
+val register_poller : t -> (unit -> int) -> unit
+(** Adds an event source that workers poll once per scheduling iteration,
+    like the built-in timer — e.g. {!Io.poll} for file-descriptor
+    readiness.  The callback returns how many events it fired.  Register
+    before {!run}; not thread-safe against concurrent registration. *)
+
+(** {2 Operations usable inside fibers of this pool} *)
+
+val async : t -> (unit -> 'a) -> 'a Promise.t
+(** Spawns a fiber onto the current worker's active deque (right-child
+    spawn).  Must be called from within {!run}. *)
+
+val await : 'a Promise.t -> 'a
+(** Returns the promise's value, suspending the calling fiber if pending.
+    Re-raises the spawned fiber's exception. *)
+
+val fork2 : t -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+(** [fork2 t f g] runs both in parallel: [g] is spawned, [f] runs in the
+    current fiber, then the results join. *)
+
+val sleep : t -> float -> unit
+(** Simulated latency of the given number of seconds: suspends the fiber
+    on the shared timer; the worker keeps executing other work.  This is
+    the runtime analogue of a heavy edge. *)
+
+val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
+(** Fork–join over [\[lo, hi)], splitting in halves. *)
+
+val parallel_map_reduce :
+  t -> lo:int -> hi:int -> map:(int -> 'a) -> combine:('a -> 'a -> 'a) -> id:'a -> 'a
+(** The distMapReduce of Figure 8 over index range [\[lo, hi)]. *)
+
+(** {2 Introspection} *)
+
+type stats = {
+  steals : int;
+  deques_allocated : int;
+  suspensions : int;
+  resumes : int;
+  max_deques_per_worker : int;
+}
+
+val stats : t -> stats

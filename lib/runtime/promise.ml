@@ -1,0 +1,30 @@
+type 'a state = Pending of (unit -> unit) list | Resolved of ('a, exn) result
+
+type 'a t = 'a state Atomic.t
+
+let create () = Atomic.make (Pending [])
+
+let rec fulfill p result =
+  match Atomic.get p with
+  | Resolved _ -> invalid_arg "Promise.fulfill: already resolved"
+  | Pending waiters as old ->
+      if Atomic.compare_and_set p old (Resolved result) then
+        List.iter (fun waiter -> waiter ()) waiters
+      else fulfill p result
+
+let poll p = match Atomic.get p with Pending _ -> None | Resolved r -> Some r
+
+let is_resolved p = poll p <> None
+
+let rec add_waiter p waiter =
+  match Atomic.get p with
+  | Resolved _ -> false
+  | Pending waiters as old ->
+      if Atomic.compare_and_set p old (Pending (waiter :: waiters)) then true
+      else add_waiter p waiter
+
+let get_exn p =
+  match Atomic.get p with
+  | Pending _ -> invalid_arg "Promise.get_exn: still pending"
+  | Resolved (Ok v) -> v
+  | Resolved (Error e) -> raise e

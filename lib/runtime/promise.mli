@@ -1,0 +1,29 @@
+(** Write-once promises with waiter callbacks, lock-free.
+
+    The schedulers use promises for fork/join: [await] on the
+    latency-hiding pool suspends the fiber (registering its resume thunk as
+    a waiter); the blocking pool instead helps with other work.  Promises
+    are domain-safe. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val fulfill : 'a t -> ('a, exn) result -> unit
+(** Resolves the promise and runs all registered waiters (in no particular
+    order).
+    @raise Invalid_argument if already resolved. *)
+
+val poll : 'a t -> ('a, exn) result option
+(** [None] while pending. *)
+
+val is_resolved : 'a t -> bool
+
+val add_waiter : 'a t -> (unit -> unit) -> bool
+(** Registers a callback to run on fulfilment.  Returns [false] (without
+    registering) if the promise is already resolved — the caller should
+    then proceed directly. *)
+
+val get_exn : 'a t -> 'a
+(** The resolved value.
+    @raise Invalid_argument if pending; re-raises the stored exception. *)

@@ -1,0 +1,129 @@
+type t = {
+  mu : Mutex.t;
+  retired : Condition.t;  (* signalled when a thread finishes *)
+  max_threads : int;
+  mutable live : int;
+  mutable spawned : int;
+  mutable peak : int;
+}
+
+let create ?(max_threads = 512) () =
+  if max_threads < 1 then invalid_arg "Threaded_pool.create: max_threads must be >= 1";
+  {
+    mu = Mutex.create ();
+    retired = Condition.create ();
+    max_threads;
+    live = 0;
+    spawned = 0;
+    peak = 0;
+  }
+
+let run _t f = f ()
+
+let async t f =
+  let p = Promise.create () in
+  Mutex.lock t.mu;
+  while t.live >= t.max_threads do
+    Condition.wait t.retired t.mu
+  done;
+  t.live <- t.live + 1;
+  t.spawned <- t.spawned + 1;
+  if t.live > t.peak then t.peak <- t.live;
+  Mutex.unlock t.mu;
+  let body () =
+    Promise.fulfill p (try Ok (f ()) with e -> Error e);
+    Mutex.lock t.mu;
+    t.live <- t.live - 1;
+    Condition.broadcast t.retired;
+    Mutex.unlock t.mu
+  in
+  ignore (Thread.create body () : Thread.t);
+  p
+
+let await _t p =
+  match Promise.poll p with
+  | Some (Ok v) -> v
+  | Some (Error e) -> raise e
+  | None ->
+      let mu = Mutex.create () in
+      let cond = Condition.create () in
+      let ready = ref false in
+      let wake () =
+        Mutex.lock mu;
+        ready := true;
+        Condition.signal cond;
+        Mutex.unlock mu
+      in
+      if Promise.add_waiter p wake then begin
+        Mutex.lock mu;
+        while not !ready do
+          Condition.wait cond mu
+        done;
+        Mutex.unlock mu
+      end;
+      Promise.get_exn p
+
+let shutdown t =
+  Mutex.lock t.mu;
+  while t.live > 0 do
+    Condition.wait t.retired t.mu
+  done;
+  Mutex.unlock t.mu
+
+let with_pool ?max_threads f =
+  let t = create ?max_threads () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let fork2 t f g =
+  let pg = async t g in
+  let fv = f () in
+  (fv, await t pg)
+
+let sleep _t seconds = if seconds > 0. then Unix.sleepf seconds
+
+let default_grain lo hi = max 1 ((hi - lo + 63) / 64)
+
+let parallel_for t ?grain ~lo ~hi body =
+  let grain = match grain with Some g -> max 1 g | None -> default_grain lo hi in
+  let rec go lo hi =
+    if hi - lo <= 0 then ()
+    else if hi - lo <= grain then
+      for i = lo to hi - 1 do
+        body i
+      done
+    else
+      let mid = lo + ((hi - lo) / 2) in
+      let (), () = fork2 t (fun () -> go lo mid) (fun () -> go mid hi) in
+      ()
+  in
+  go lo hi
+
+let parallel_map_reduce t ?grain ~lo ~hi ~map ~combine ~id =
+  let grain = match grain with Some g -> max 1 g | None -> default_grain lo hi in
+  let rec go lo hi =
+    if hi - lo <= 0 then id
+    else if hi - lo <= grain then begin
+      let acc = ref (map lo) in
+      for i = lo + 1 to hi - 1 do
+        acc := combine !acc (map i)
+      done;
+      !acc
+    end
+    else
+      let mid = lo + ((hi - lo) / 2) in
+      let a, b = fork2 t (fun () -> go lo mid) (fun () -> go mid hi) in
+      combine a b
+  in
+  go lo hi
+
+let threads_spawned t =
+  Mutex.lock t.mu;
+  let n = t.spawned in
+  Mutex.unlock t.mu;
+  n
+
+let peak_threads t =
+  Mutex.lock t.mu;
+  let n = t.peak in
+  Mutex.unlock t.mu;
+  n

@@ -1,0 +1,55 @@
+(** The "lightweight threads" alternative that Section 7 contrasts with
+    latency-hiding work stealing: every spawned task gets an OS thread, so
+    blocking operations hide latency by oversubscription — at the cost of
+    thread creation, stacks, and kernel scheduling, the overhead the paper's
+    approach avoids ("our approach ... avoids the additional state and
+    thread-scheduling overhead associated with (even lightweight)
+    threads").
+
+    Task granularity must therefore be kept coarse (use [grain] /
+    [cutoff]); exceeding [max_threads] concurrent tasks makes [async]
+    block until threads retire. *)
+
+type t
+
+val create : ?max_threads:int -> unit -> t
+(** Default [max_threads] = 512. *)
+
+val run : t -> (unit -> 'a) -> 'a
+(** Runs on the calling thread ([async] from within is fine). *)
+
+val shutdown : t -> unit
+(** Waits for all spawned threads to retire. *)
+
+val with_pool : ?max_threads:int -> (t -> 'a) -> 'a
+
+val async : t -> (unit -> 'a) -> 'a Promise.t
+(** Spawns a thread for the task (blocking while at [max_threads]). *)
+
+val await : t -> 'a Promise.t -> 'a
+(** Blocks the calling thread on a condition variable. *)
+
+val fork2 : t -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+
+val sleep : t -> float -> unit
+(** [Unix.sleepf]: blocks this thread; other threads keep running. *)
+
+val parallel_for : t -> ?grain:int -> lo:int -> hi:int -> (int -> unit) -> unit
+(** Splits into at most [ceil((hi-lo)/grain)] threads (default grain:
+    range/64, at least 1). *)
+
+val parallel_map_reduce :
+  t ->
+  ?grain:int ->
+  lo:int ->
+  hi:int ->
+  map:(int -> 'a) ->
+  combine:('a -> 'a -> 'a) ->
+  id:'a ->
+  'a
+
+val threads_spawned : t -> int
+(** Total threads created so far — the overhead the paper's fibers avoid. *)
+
+val peak_threads : t -> int
+(** Maximum simultaneously live threads. *)

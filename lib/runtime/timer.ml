@@ -1,0 +1,90 @@
+(* Mutex-protected binary min-heap on (deadline, seq). *)
+
+type entry = { deadline : float; seq : int; callback : unit -> unit }
+
+type t = {
+  mu : Mutex.t;
+  mutable heap : entry option array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { mu = Mutex.create (); heap = Array.make 64 None; size = 0; next_seq = 0 }
+
+let lt a b = a.deadline < b.deadline || (a.deadline = b.deadline && a.seq < b.seq)
+
+let get t i = match t.heap.(i) with Some e -> e | None -> assert false
+
+let swap t i j =
+  let x = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- x
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt (get t i) (get t parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && lt (get t l) (get t !smallest) then smallest := l;
+  if r < t.size && lt (get t r) (get t !smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let add t ~deadline callback =
+  Mutex.lock t.mu;
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) None in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- Some { deadline; seq = t.next_seq; callback };
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1);
+  Mutex.unlock t.mu
+
+let add_in t ~seconds callback = add t ~deadline:(Unix.gettimeofday () +. seconds) callback
+
+let pop_due t now =
+  Mutex.lock t.mu;
+  let result =
+    if t.size = 0 then None
+    else
+      let top = get t 0 in
+      if top.deadline > now then None
+      else begin
+        t.size <- t.size - 1;
+        t.heap.(0) <- t.heap.(t.size);
+        t.heap.(t.size) <- None;
+        if t.size > 0 then sift_down t 0;
+        Some top.callback
+      end
+  in
+  Mutex.unlock t.mu;
+  result
+
+let poll t =
+  let now = Unix.gettimeofday () in
+  let rec go n = match pop_due t now with Some cb -> cb (); go (n + 1) | None -> n in
+  go 0
+
+let pending t =
+  Mutex.lock t.mu;
+  let n = t.size in
+  Mutex.unlock t.mu;
+  n
+
+let next_deadline t =
+  Mutex.lock t.mu;
+  let d = if t.size = 0 then None else Some (get t 0).deadline in
+  Mutex.unlock t.mu;
+  d

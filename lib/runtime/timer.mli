@@ -1,0 +1,22 @@
+(** Shared timer wheel for simulated-latency operations.
+
+    Callbacks are registered with an absolute deadline and fired by
+    whichever worker polls first after the deadline passes — the "polling
+    when the scheduler is invoked" implementation of resume callbacks that
+    Section 6 describes.  Thread-safe; callbacks run outside the lock. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> deadline:float -> (unit -> unit) -> unit
+(** [deadline] is absolute, in [Unix.gettimeofday] seconds. *)
+
+val add_in : t -> seconds:float -> (unit -> unit) -> unit
+(** Relative convenience wrapper. *)
+
+val poll : t -> int
+(** Fires every callback whose deadline has passed; returns how many. *)
+
+val pending : t -> int
+val next_deadline : t -> float option

@@ -1,0 +1,80 @@
+type kind = Task_run | Suspend | Resume_batch | Steal
+
+let kind_name = function
+  | Task_run -> "task"
+  | Suspend -> "suspend"
+  | Resume_batch -> "resume-batch"
+  | Steal -> "steal"
+
+type event = { worker : int; kind : kind; start_us : float; dur_us : float }
+
+(* Struct-of-arrays per worker: fixed-size, single-writer. *)
+type buffer = {
+  kinds : kind array;
+  starts : float array;
+  durs : float array;
+  mutable len : int;
+  mutable lost : int;
+}
+
+type t = { buffers : buffer array; capacity : int }
+
+let create ?(capacity_per_worker = 65536) ~workers () =
+  if capacity_per_worker < 1 then invalid_arg "Tracing.create: capacity must be >= 1";
+  if workers < 1 then invalid_arg "Tracing.create: workers must be >= 1";
+  {
+    buffers =
+      Array.init workers (fun _ ->
+          {
+            kinds = Array.make capacity_per_worker Task_run;
+            starts = Array.make capacity_per_worker 0.;
+            durs = Array.make capacity_per_worker 0.;
+            len = 0;
+            lost = 0;
+          });
+    capacity = capacity_per_worker;
+  }
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+let record t ~worker kind ~start_us ~dur_us =
+  let b = t.buffers.(worker) in
+  if b.len >= t.capacity then b.lost <- b.lost + 1
+  else begin
+    b.kinds.(b.len) <- kind;
+    b.starts.(b.len) <- start_us;
+    b.durs.(b.len) <- dur_us;
+    b.len <- b.len + 1
+  end
+
+let events t =
+  let acc = ref [] in
+  for w = Array.length t.buffers - 1 downto 0 do
+    let b = t.buffers.(w) in
+    for i = b.len - 1 downto 0 do
+      acc := { worker = w; kind = b.kinds.(i); start_us = b.starts.(i); dur_us = b.durs.(i) } :: !acc
+    done
+  done;
+  !acc
+
+let dropped t = Array.fold_left (fun acc b -> acc + b.lost) 0 t.buffers
+
+let to_chrome_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[";
+  let first = ref true in
+  List.iter
+    (fun e ->
+      if not !first then Buffer.add_string buf ",\n";
+      first := false;
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|{"name":"%s","ph":"X","pid":1,"tid":%d,"ts":%.1f,"dur":%.1f}|}
+           (kind_name e.kind) e.worker e.start_us e.dur_us))
+    (events t);
+  Buffer.add_string buf "]\n";
+  Buffer.contents buf
+
+let write_chrome_json path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_chrome_json t))

@@ -1,0 +1,41 @@
+(** Lightweight event tracing for the runtime pools: what each worker did
+    and when, exportable to Chrome's trace-event format for visual
+    inspection in [chrome://tracing] / Perfetto.
+
+    Recording is lock-free on the hot path (one pre-sized buffer per
+    worker, sequential writes by that worker); events past the buffer
+    capacity are dropped and counted.  Timestamps are
+    [Unix.gettimeofday]-based microseconds. *)
+
+type kind =
+  | Task_run  (** a task (fresh fiber or resumed continuation) executed *)
+  | Suspend  (** a fiber suspended on this worker *)
+  | Resume_batch  (** a batch of resumed fibers was re-injected *)
+  | Steal  (** a successful steal landed on this worker *)
+
+val kind_name : kind -> string
+
+type event = { worker : int; kind : kind; start_us : float; dur_us : float }
+
+type t
+
+val create : ?capacity_per_worker:int -> workers:int -> unit -> t
+(** [capacity_per_worker] defaults to 65536 events. *)
+
+val record : t -> worker:int -> kind -> start_us:float -> dur_us:float -> unit
+(** Called by worker [worker] only (single-writer per buffer). *)
+
+val now_us : unit -> float
+
+val events : t -> event list
+(** All recorded events, in worker order then chronological order.  Call
+    after the traced run completes. *)
+
+val dropped : t -> int
+(** Events lost to full buffers. *)
+
+val to_chrome_json : t -> string
+(** The trace as Chrome trace-event JSON (an array of complete "X"
+    events, one per recorded event, with the worker as tid). *)
+
+val write_chrome_json : string -> t -> unit

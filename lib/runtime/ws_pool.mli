@@ -1,0 +1,40 @@
+(** Standard (non-latency-hiding) work-stealing pool: the baseline.
+
+    One Chase–Lev deque per worker; tasks run to completion.  A
+    latency-incurring operation ({!sleep}) blocks the whole worker domain
+    — the semantics the paper's evaluation compares against.  Joining an
+    unresolved promise does not suspend (there are no suspendable fibers
+    here); the worker instead helps by running other tasks, the classic
+    work-first join.
+
+    The API mirrors {!Lhws_pool} so workloads can be written once against
+    either pool. *)
+
+type t
+
+val create : ?workers:int -> unit -> t
+val run : t -> (unit -> 'a) -> 'a
+val shutdown : t -> unit
+val with_pool : ?workers:int -> (t -> 'a) -> 'a
+
+val async : t -> (unit -> 'a) -> 'a Promise.t
+(** Spawns a task onto the current worker's deque. *)
+
+val await : t -> 'a Promise.t -> 'a
+(** Helps with other work until the promise resolves (needs the pool to
+    know where to find work, unlike {!Lhws_pool.await}). *)
+
+val fork2 : t -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+
+val sleep : t -> float -> unit
+(** Blocks the calling worker domain with [Unix.sleepf]: latency is {e not}
+    hidden. *)
+
+val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
+
+val parallel_map_reduce :
+  t -> lo:int -> hi:int -> map:(int -> 'a) -> combine:('a -> 'a -> 'a) -> id:'a -> 'a
+
+type stats = { steals : int }
+
+val stats : t -> stats

@@ -1,0 +1,67 @@
+type web = { link : int list array }
+
+let make_web ~seed ~pages ~max_links =
+  if pages < 1 then invalid_arg "Crawler.make_web: pages must be >= 1";
+  if max_links < 1 then invalid_arg "Crawler.make_web: max_links must be >= 1";
+  let st = Random.State.make [| seed; 0xC4A3 |] in
+  let link =
+    Array.init pages (fun i ->
+        let n = 1 + Random.State.int st max_links in
+        List.init n (fun k ->
+            (* The first link is always a forward step, so the whole web is
+               reachable from page 0; the rest are random (may form joins
+               and back-edges, which the crawler must deduplicate). *)
+            let span = pages - i - 1 in
+            if k = 0 && span > 0 then i + 1 + Random.State.int st (min span (1 + (max_links * 2)))
+            else Random.State.int st pages))
+  in
+  { link }
+
+let links w p = w.link.(p)
+
+let reachable w =
+  let n = Array.length w.link in
+  let seen = Array.make n false in
+  let rec go p acc =
+    if seen.(p) then acc
+    else begin
+      seen.(p) <- true;
+      List.fold_left (fun acc q -> go q acc) (acc + 1) w.link.(p)
+    end
+  in
+  go 0 0
+
+type result = { visited : int; checksum : int; elapsed : float }
+
+let crawl_on (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) web ~latency
+    ~parse_work =
+  let n = Array.length web.link in
+  let claimed = Array.init n (fun _ -> Atomic.make false) in
+  let claim page = not (Atomic.exchange claimed.(page) true) in
+  let t0 = Unix.gettimeofday () in
+  let visited, checksum =
+    P.run pool (fun () ->
+        (* visit returns (pages, checksum) for the subtree of pages it
+           claimed; claiming makes the counts disjoint. *)
+        let rec visit page =
+          if not (claim page) then (0, 0)
+          else begin
+            P.sleep pool latency (* fetch *);
+            let parsed = Fib.seq parse_work + page in
+            let rec fold = function
+              | [] -> (1, parsed mod Map_reduce.modulus)
+              | [ q ] ->
+                  let c, s = visit q in
+                  (c + 1, (s + parsed) mod Map_reduce.modulus)
+              | q :: rest ->
+                  let (c1, s1), (c2, s2) =
+                    P.fork2 pool (fun () -> fold rest) (fun () -> visit q)
+                  in
+                  (c1 + c2, (s1 + s2) mod Map_reduce.modulus)
+            in
+            fold (links web page)
+          end
+        in
+        visit 0)
+  in
+  { visited; checksum; elapsed = Unix.gettimeofday () -. t0 }

@@ -1,0 +1,31 @@
+(** Mock web crawler: a latency+compute workload with irregular, data-driven
+    parallelism (unlike the regular map-reduce fan-out).
+
+    A synthetic "web" of [pages] is generated deterministically from
+    [seed]; each fetch sleeps [latency] seconds (the network round trip),
+    each parse performs [fib parse_work] of computation, and newly
+    discovered links are crawled in parallel.  The crawl frontier is
+    shared, so this also exercises cross-fiber synchronization. *)
+
+type web
+(** Immutable synthetic link graph. *)
+
+val make_web : seed:int -> pages:int -> max_links:int -> web
+
+val links : web -> int -> int list
+(** Out-links of a page. *)
+
+val reachable : web -> int
+(** Number of pages reachable from page 0 — what a crawl must visit. *)
+
+type result = { visited : int; checksum : int; elapsed : float }
+
+val crawl_on :
+  (module Pool_intf.POOL with type t = 'p) ->
+  'p ->
+  web ->
+  latency:float ->
+  parse_work:int ->
+  result
+(** Crawls from page 0.  [visited] always equals [reachable web];
+    [checksum] is order-independent. *)

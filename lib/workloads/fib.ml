@@ -1,0 +1,12 @@
+let rec seq n = if n < 2 then n else seq (n - 1) + seq (n - 2)
+
+let par_on (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) ?(cutoff = 12) n =
+  let rec go n =
+    if n < cutoff then seq n
+    else
+      let a, b = P.fork2 pool (fun () -> go (n - 1)) (fun () -> go (n - 2)) in
+      a + b
+  in
+  go n
+
+let dag ?leaf_work n = Lhws_dag.Generate.fib ?leaf_work ~n ()

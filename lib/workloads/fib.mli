@@ -1,0 +1,12 @@
+(** Naive Fibonacci, the paper's unit of per-element computation. *)
+
+val seq : int -> int
+(** Sequential recursive fib (exponential work, as in the paper). *)
+
+val par_on : (module Pool_intf.POOL with type t = 'p) -> 'p -> ?cutoff:int -> int -> int
+(** Parallel fork–join fib on a pool, sequential below [cutoff]
+    (default 12).  Must be called from within the pool's [run]. *)
+
+val dag : ?leaf_work:int -> int -> Lhws_dag.Dag.t
+(** The fork–join dag of the same computation (no latency):
+    {!Lhws_dag.Generate.fib}. *)

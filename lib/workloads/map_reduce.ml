@@ -1,0 +1,21 @@
+let modulus = 1_000_000_007
+
+let dag ~n ~leaf_work ~latency = Lhws_dag.Generate.map_reduce ~n ~leaf_work ~latency
+
+type result = { value : int; elapsed : float }
+
+let run_on (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) ~n ~latency ~fib_n =
+  let t0 = Unix.gettimeofday () in
+  let value =
+    P.run pool (fun () ->
+        P.parallel_map_reduce pool ~lo:0 ~hi:n
+          ~map:(fun _ ->
+            (* getValue: the remote fetch *)
+            P.sleep pool latency;
+            Fib.seq fib_n mod modulus)
+          ~combine:(fun a b -> (a + b) mod modulus)
+          ~id:0)
+  in
+  { value; elapsed = Unix.gettimeofday () -. t0 }
+
+let reference ~n ~fib_n = n * (Fib.seq fib_n mod modulus) mod modulus

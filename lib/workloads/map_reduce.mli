@@ -1,0 +1,31 @@
+(** The distributed map-and-reduce benchmark (Section 5 / Figure 8, and the
+    workload of the paper's evaluation): [n] values live on remote servers;
+    fetching each incurs latency; each fetched value is mapped with a
+    Fibonacci computation; results are summed modulo a large constant.
+
+    Three guises: the weighted dag (for the simulator), a runtime program
+    (for the pools), and a sequential reference. *)
+
+val modulus : int
+(** The "large constant" results are summed modulo. *)
+
+val dag : n:int -> leaf_work:int -> latency:int -> Lhws_dag.Dag.t
+(** Simulator form: see {!Lhws_dag.Generate.map_reduce}.  [U = n]. *)
+
+type result = { value : int; elapsed : float }
+
+val run_on :
+  (module Pool_intf.POOL with type t = 'p) ->
+  'p ->
+  n:int ->
+  latency:float ->
+  fib_n:int ->
+  result
+(** Runtime form, from outside the pool: fetch [n] values (each a {e sleep}
+    of [latency] seconds followed by returning [fib_n], as in the paper's
+    prototype, which "simulates a latency of delta milliseconds by sleeping
+    ... and then immediately returning 30"), compute [fib] of each, sum
+    modulo {!modulus}.  Wall-clock time is measured around the pool run. *)
+
+val reference : n:int -> fib_n:int -> int
+(** Sequential reference value ([n * fib fib_n mod modulus]). *)

@@ -1,0 +1,38 @@
+module type POOL = sig
+  type t
+
+  val name : string
+  val create : ?workers:int -> unit -> t
+  val shutdown : t -> unit
+  val run : t -> (unit -> 'a) -> 'a
+  val fork2 : t -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+  val sleep : t -> float -> unit
+  val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
+
+  val parallel_map_reduce :
+    t -> lo:int -> hi:int -> map:(int -> 'a) -> combine:('a -> 'a -> 'a) -> id:'a -> 'a
+end
+
+type pool = (module POOL)
+
+module Lhws_instance = struct
+  include Lhws_runtime.Lhws_pool
+
+  (* Re-pin optional arguments to the POOL signature. *)
+  let create ?workers () = create ?workers ()
+  let name = "lhws"
+end
+
+module Ws_instance = struct
+  include Lhws_runtime.Ws_pool
+
+  let name = "ws"
+end
+
+let lhws : pool = (module Lhws_instance)
+let ws : pool = (module Ws_instance)
+
+let by_name = function
+  | "lhws" -> lhws
+  | "ws" -> ws
+  | s -> invalid_arg (Printf.sprintf "Pool_intf.by_name: unknown pool %S (want lhws|ws)" s)

@@ -1,0 +1,28 @@
+(** First-class pool interface: workloads are written once against [POOL]
+    and run on either the latency-hiding pool or the blocking baseline. *)
+
+module type POOL = sig
+  type t
+
+  val name : string
+  val create : ?workers:int -> unit -> t
+  val shutdown : t -> unit
+  val run : t -> (unit -> 'a) -> 'a
+  val fork2 : t -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+  val sleep : t -> float -> unit
+  val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
+
+  val parallel_map_reduce :
+    t -> lo:int -> hi:int -> map:(int -> 'a) -> combine:('a -> 'a -> 'a) -> id:'a -> 'a
+end
+
+type pool = (module POOL)
+
+val lhws : pool
+(** {!Lhws_runtime.Lhws_pool}: suspending fibers, latency hidden. *)
+
+val ws : pool
+(** {!Lhws_runtime.Ws_pool}: blocking sleeps, latency not hidden. *)
+
+val by_name : string -> pool
+(** ["lhws"] or ["ws"].  @raise Invalid_argument otherwise. *)

@@ -1,0 +1,152 @@
+module Dag = Lhws_dag.Dag
+module Block = Lhws_dag.Block
+open Lhws_core
+
+type 'a t =
+  | Pure : 'a -> 'a t
+  | Map : ('b -> 'a) * 'b t -> 'a t
+  | Work : int * 'a t -> 'a t
+  | Latency : int * 'a t -> 'a t
+  | Fork2 : 'b t * 'c t * ('b -> 'c -> 'a) -> 'a t
+  | Seq_fork : 'x t * int * ('x -> 'b) * 'c t * ('b -> 'c -> 'a) -> 'a t
+      (* prefix; then fork: the continuation applies the function to the
+         prefix's value ([int] units of work) while the spawned branch runs
+         independently; join combines.  The construct Figure 10 needs:
+         the spawned branch is only enabled after the prefix. *)
+
+let return x = Pure x
+let map f p = Map (f, p)
+
+let work k p =
+  if k < 1 then invalid_arg "Program.work: k must be >= 1";
+  Work (k, p)
+
+let latency delta p =
+  if delta < 2 then invalid_arg "Program.latency: delta must be >= 2";
+  Latency (delta, p)
+
+let fork2 b c f = Fork2 (b, c, f)
+
+let seq_fork2 prefix ~work:k ~f right g =
+  if k < 1 then invalid_arg "Program.seq_fork2: work must be >= 1";
+  Seq_fork (prefix, k, f, right, g)
+
+let rec fork_list : type b a. b t list -> (b list -> a) -> a t =
+ fun ps combine ->
+  match ps with
+  | [] -> invalid_arg "Program.fork_list: empty list"
+  | [ p ] -> Map ((fun x -> combine [ x ]), p)
+  | ps ->
+      let rec split k acc = function
+        | rest when k = 0 -> (List.rev acc, rest)
+        | x :: rest -> split (k - 1) (x :: acc) rest
+        | [] -> assert false
+      in
+      let half = List.length ps / 2 in
+      let left, right = split half [] ps in
+      Fork2 (fork_list left Fun.id, fork_list right Fun.id, fun l r -> combine (l @ r))
+
+let rec value : type a. a t -> a = function
+  | Pure x -> x
+  | Map (f, p) -> f (value p)
+  | Work (_, p) -> value p
+  | Latency (_, p) -> value p
+  | Fork2 (b, c, f) -> f (value b) (value c)
+  | Seq_fork (p, _, f, c, g) -> g (f (value p)) (value c)
+
+let rec work_units : type a. a t -> int = function
+  | Pure _ -> 1
+  | Map (_, p) -> 1 + work_units p
+  | Work (k, p) -> k + work_units p
+  | Latency (_, p) -> 2 + work_units p
+  | Fork2 (b, c, _) -> 2 + work_units b + work_units c
+  | Seq_fork (p, k, _, c, _) -> work_units p + k + work_units c + 2
+
+(* Structure-only compilation: one vertex per unit of work, Block
+   combinators guarantee well-formedness. *)
+let to_dag p =
+  let b = Dag.Builder.create () in
+  let rec go : type a. a t -> Block.block = function
+    | Pure _ -> Block.vertex ~label:"pure" b
+    | Map (_, p) -> Block.seq b (go p) (Block.vertex ~label:"map" b)
+    | Work (k, p) -> Block.seq b (go p) (Block.chain ~label:"work" b k)
+    | Latency (delta, p) -> Block.seq b (go p) (Block.latency ~label:"latency" b delta)
+    | Fork2 (l, r, _) ->
+        (* fork2's join vertex is the combine *)
+        Block.fork2 ~join_label:"combine" b (go l) (go r)
+    | Seq_fork (p, k, _, r, _) ->
+        (* prefix, then a fork whose left branch applies the function *)
+        let left = Block.chain ~label:"apply" b k in
+        Block.seq b (go p) (Block.fork2 ~join_label:"combine" b left (go r))
+  in
+  Block.finish b (go p)
+
+let simulate ?config p ~p:workers = Lhws_sim.run ?config (to_dag p) ~p:workers
+
+let default_work_unit () =
+  (* A short, optimizer-proof spin standing in for one round of work. *)
+  let acc = ref 0 in
+  for i = 1 to 500 do
+    acc := (!acc * 31) + i
+  done;
+  Sys.opaque_identity !acc |> ignore
+
+let run_on (type p) (module P : Pool_intf.POOL with type t = p) (pool : p)
+    ?(work_unit = default_work_unit) ?(tick = 0.001) program =
+  let rec eval : type a. a t -> a = function
+    | Pure x ->
+        work_unit ();
+        x
+    | Map (f, p) ->
+        let x = eval p in
+        work_unit ();
+        f x
+    | Work (k, p) ->
+        let x = eval p in
+        for _ = 1 to k do
+          work_unit ()
+        done;
+        x
+    | Latency (delta, p) ->
+        let x = eval p in
+        P.sleep pool (float_of_int delta *. tick);
+        x
+    | Fork2 (l, r, f) ->
+        let lv, rv = P.fork2 pool (fun () -> eval l) (fun () -> eval r) in
+        work_unit ();
+        f lv rv
+    | Seq_fork (p, k, f, r, g) ->
+        let x = eval p in
+        let lv, rv =
+          P.fork2 pool
+            (fun () ->
+              for _ = 1 to k do
+                work_unit ()
+              done;
+              f x)
+            (fun () -> eval r)
+        in
+        work_unit ();
+        g lv rv
+  in
+  P.run pool (fun () -> eval program)
+
+(* server(f, g) of Figure 10: input = getInput(); if done, return id;
+   else fork f(input) alongside the recursive server and combine with g.
+   The recursive server sits on the spawned side of a [seq_fork2] whose
+   prefix is the getInput — the next input cannot be requested until the
+   previous one arrived, which is what makes U = 1. *)
+let server ~n ~latency:delta ~f_work ~f ~g ~id =
+  if n < 0 then invalid_arg "Program.server: n must be >= 0";
+  let rec serve k =
+    if k = n then return id
+    else seq_fork2 (latency delta (return k)) ~work:f_work ~f (serve (k + 1)) g
+  in
+  serve 0
+
+let dist_map_reduce ~n ~latency:delta ~leaf_work ~f ~g ~id =
+  if n < 1 then invalid_arg "Program.dist_map_reduce: n must be >= 1";
+  let leaf i = work leaf_work (map f (latency delta (return i))) in
+  match List.init n leaf with
+  | [] -> return id
+  | leaves -> fork_list leaves (fun xs -> List.fold_left g id xs)

@@ -1,0 +1,85 @@
+(** A tiny embedded language for latency-incurring fork–join programs,
+    with three interchangeable semantics:
+
+    - {!value}: evaluate the program directly (the reference answer);
+    - {!to_dag}: compile its {e structure} to a weighted dag for the
+      simulators — one vertex per unit of work, heavy edges for latency —
+      so the same program drives {!Lhws_core.Lhws_sim} and the bound
+      checkers;
+    - {!run_on}: execute it for real on either runtime pool, turning work
+      into computation and latency into suspension (or blocking, on the
+      baseline pool).
+
+    Programs are series–parallel with value flow but no data-dependent
+    {e structure}, which is exactly the paper's determinism assumption:
+    "the dag is deterministic, that is, its structure is independent of
+    the decisions made by the scheduler". *)
+
+type 'a t
+
+val return : 'a -> 'a t
+(** A single unit-work instruction producing a constant. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+(** One further unit of work transforming the result. *)
+
+val work : int -> 'a t -> 'a t
+(** [work k p]: [k >= 1] additional rounds of computation after [p]
+    (the result is unchanged). *)
+
+val latency : int -> 'a t -> 'a t
+(** [latency delta p]: the result of [p] is delivered through an
+    operation incurring [delta >= 2] rounds of latency (a remote read of
+    that value, say).  Compiles to a heavy edge; executes as a sleep. *)
+
+val fork2 : 'b t -> 'c t -> ('b -> 'c -> 'a) -> 'a t
+(** Run both in parallel; combine at the join (one unit of work). *)
+
+val fork_list : 'b t list -> ('b list -> 'a) -> 'a t
+(** Balanced fork tree over a non-empty list. *)
+
+val seq_fork2 : 'x t -> work:int -> f:('x -> 'b) -> 'c t -> ('b -> 'c -> 'a) -> 'a t
+(** [seq_fork2 p ~work ~f r g]: run [p]; then fork — the continuation
+    applies [f] to [p]'s value at [work >= 1] cost while [r] runs in the
+    spawned branch; [g] combines at the join.  Unlike {!fork2}, the
+    spawned branch is enabled only {e after} [p] — the sequencing that
+    Figure 10's server uses to keep one input outstanding at a time. *)
+
+(** {2 Semantics} *)
+
+val value : 'a t -> 'a
+(** Reference evaluation (sequential, latency-free). *)
+
+val work_units : 'a t -> int
+(** Total units of work — equals [Metrics.work (to_dag p)]. *)
+
+val to_dag : 'a t -> Lhws_dag.Dag.t
+(** The program's weighted dag; always well-formed. *)
+
+val simulate : ?config:Lhws_core.Config.t -> 'a t -> p:int -> Lhws_core.Run.t
+(** [Lhws_sim.run (to_dag p)]. *)
+
+val run_on :
+  (module Pool_intf.POOL with type t = 'p) ->
+  'p ->
+  ?work_unit:(unit -> unit) ->
+  ?tick:float ->
+  'a t ->
+  'a
+(** Real execution: each unit of work invokes [work_unit] (default: a
+    small spin), each unit of latency sleeps [tick] seconds (default
+    1 ms).  Call from outside the pool's [run]. *)
+
+(** {2 Pre-built programs} *)
+
+val dist_map_reduce :
+  n:int -> latency:int -> leaf_work:int -> f:(int -> int) -> g:(int -> int -> int) -> id:int -> int t
+(** Figure 8's distMapReduce over inputs [0 .. n-1]: each is fetched with
+    [latency], transformed by [f] at [leaf_work] cost, combined with [g]. *)
+
+val server :
+  n:int -> latency:int -> f_work:int -> f:(int -> int) -> g:(int -> int -> int) -> id:int -> int t
+(** Figure 10's server, taking [n] inputs (input [k] is the value [k]):
+    each input incurs [latency]; [f input] ([f_work] cost) runs in
+    parallel with accepting the next input; results combine with [g].
+    Structurally [U = 1]. *)

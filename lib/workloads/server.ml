@@ -1,0 +1,25 @@
+let dag ~n ~f_work ~latency = Lhws_dag.Generate.server ~n ~f_work ~latency
+
+type result = { value : int; elapsed : float }
+
+let run_on (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) ~n ~latency ~fib_n =
+  let t0 = Unix.gettimeofday () in
+  let value =
+    P.run pool (fun () ->
+        (* server(f, g) of Figure 10: get input, fork f(input) alongside the
+           recursive server, combine with g. *)
+        let rec serve k =
+          if k = n then 0
+          else begin
+            P.sleep pool latency (* getInput *);
+            let fx, rest =
+              P.fork2 pool
+                (fun () -> Fib.seq fib_n mod Map_reduce.modulus)
+                (fun () -> serve (k + 1))
+            in
+            (fx + rest) mod Map_reduce.modulus
+          end
+        in
+        serve 0)
+  in
+  { value; elapsed = Unix.gettimeofday () -. t0 }

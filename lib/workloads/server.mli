@@ -1,0 +1,21 @@
+(** The "server" example (Section 5 / Figure 10): inputs arrive one at a
+    time (each incurring latency); handling an input forks the processing
+    of that input in parallel with accepting the next one; all results
+    reduce at the end.  Suspension width 1: at most one input operation is
+    outstanding at any time. *)
+
+val dag : n:int -> f_work:int -> latency:int -> Lhws_dag.Dag.t
+(** Simulator form: see {!Lhws_dag.Generate.server}.  [U = 1]. *)
+
+type result = { value : int; elapsed : float }
+
+val run_on :
+  (module Pool_intf.POOL with type t = 'p) ->
+  'p ->
+  n:int ->
+  latency:float ->
+  fib_n:int ->
+  result
+(** Runtime form: [n] inputs, each obtained by sleeping [latency] seconds
+    (the user typing), each processed with [fib fib_n] in parallel with the
+    next input; results summed modulo {!Map_reduce.modulus}. *)

@@ -1,0 +1,70 @@
+module Block = Lhws_dag.Block
+module Dag = Lhws_dag.Dag
+
+let dag ~n_chunks ~chunk_work ~latency =
+  if n_chunks < 1 then invalid_arg "Sort.dag: n_chunks must be >= 1";
+  if chunk_work < 1 then invalid_arg "Sort.dag: chunk_work must be >= 1";
+  let b = Dag.Builder.create () in
+  let rec go k =
+    if k = 1 then
+      Block.seq b
+        (Block.latency ~label:"fetch" b latency)
+        (Block.chain ~label:"sort" b chunk_work)
+    else
+      let half = k / 2 in
+      let sub = Block.fork2 b (go (k - half)) (go half) in
+      let merge_cost = max 1 (k * chunk_work / 2) in
+      Block.seq b sub (Block.chain ~label:"merge" b merge_cost)
+  in
+  Block.finish b (go n_chunks)
+
+let keys ~n ~seed =
+  let st = Random.State.make [| seed; 0x50B7 |] in
+  Array.init n (fun _ -> Random.State.int st 1_000_000)
+
+let reference ~n ~seed =
+  let a = keys ~n ~seed in
+  Array.sort compare a;
+  a
+
+let merge left right =
+  let nl = Array.length left and nr = Array.length right in
+  let out = Array.make (nl + nr) 0 in
+  let i = ref 0 and j = ref 0 in
+  for k = 0 to nl + nr - 1 do
+    if !i < nl && (!j >= nr || left.(!i) <= right.(!j)) then begin
+      out.(k) <- left.(!i);
+      incr i
+    end
+    else begin
+      out.(k) <- right.(!j);
+      incr j
+    end
+  done;
+  out
+
+type result = { sorted : int array; elapsed : float }
+
+let run_on (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) ~n ~chunk ~latency
+    ~seed =
+  if chunk < 1 then invalid_arg "Sort.run_on: chunk must be >= 1";
+  let data = keys ~n ~seed in
+  let t0 = Unix.gettimeofday () in
+  let sorted =
+    P.run pool (fun () ->
+        let rec go lo hi =
+          if hi - lo <= chunk then begin
+            (* fetch the remote chunk, then sort it locally *)
+            P.sleep pool latency;
+            let a = Array.sub data lo (hi - lo) in
+            Array.sort compare a;
+            a
+          end
+          else
+            let mid = lo + ((hi - lo) / 2) in
+            let left, right = P.fork2 pool (fun () -> go lo mid) (fun () -> go mid hi) in
+            merge left right
+        in
+        if n = 0 then [||] else go 0 n)
+  in
+  { sorted; elapsed = Unix.gettimeofday () -. t0 }

@@ -1,0 +1,31 @@
+(** Distributed merge sort: a latency workload with {e non-uniform} work
+    (merge cost grows geometrically up the tree), complementing the
+    uniform-leaf map-reduce benchmark.
+
+    Data lives in remote chunks: fetching a chunk incurs latency, sorting
+    it costs work proportional to its size, and merges combine results up
+    a binary tree.  All chunk fetches can be in flight at once, so the
+    suspension width is the number of chunks. *)
+
+val dag : n_chunks:int -> chunk_work:int -> latency:int -> Lhws_dag.Dag.t
+(** Simulator form: a binary tree over [n_chunks >= 1] leaves.  Each leaf
+    is a fetch (heavy edge of weight [latency]) followed by
+    [chunk_work] rounds of sorting; an internal node over [k] leaves costs
+    [k * chunk_work / 2] rounds of merging (at least 1). *)
+
+type result = { sorted : int array; elapsed : float }
+
+val run_on :
+  (module Pool_intf.POOL with type t = 'p) ->
+  'p ->
+  n:int ->
+  chunk:int ->
+  latency:float ->
+  seed:int ->
+  result
+(** Runtime form: sorts [n] pseudo-random keys split into chunks of
+    [chunk], fetching each chunk with a sleep of [latency] seconds.
+    The result is fully sorted (checked by tests against [Array.sort]). *)
+
+val reference : n:int -> seed:int -> int array
+(** The same keys, sorted sequentially. *)

@@ -1,0 +1,114 @@
+module Dag = Lhws_dag.Dag
+module Block = Lhws_dag.Block
+module Check = Lhws_dag.Check
+module Metrics = Lhws_dag.Metrics
+
+let check = Alcotest.(check int)
+
+let test_vertex () =
+  let b = Dag.Builder.create () in
+  let blk = Block.vertex b in
+  check "entry = exit" blk.Block.entry blk.Block.exit;
+  let g = Block.finish b blk in
+  check "one vertex" 1 (Metrics.work g)
+
+let test_chain () =
+  let b = Dag.Builder.create () in
+  let g = Block.finish b (Block.chain b 7) in
+  check "work" 7 (Metrics.work g);
+  check "span" 6 (Metrics.span g)
+
+let test_chain_invalid () =
+  let b = Dag.Builder.create () in
+  Alcotest.check_raises "chain 0" (Invalid_argument "Block.chain: need at least one vertex")
+    (fun () -> ignore (Block.chain b 0))
+
+let test_seq () =
+  let b = Dag.Builder.create () in
+  let g = Block.finish b (Block.seq b (Block.chain b 3) (Block.chain b 4)) in
+  check "work" 7 (Metrics.work g);
+  check "span" 6 (Metrics.span g)
+
+let test_seq_list () =
+  let b = Dag.Builder.create () in
+  let g = Block.finish b (Block.seq_list b [ Block.vertex b; Block.vertex b; Block.vertex b ]) in
+  check "work" 3 (Metrics.work g);
+  check "span" 2 (Metrics.span g)
+
+let test_seq_list_empty () =
+  let b = Dag.Builder.create () in
+  Alcotest.check_raises "empty" (Invalid_argument "Block.seq_list: empty list") (fun () ->
+      ignore (Block.seq_list b []))
+
+let test_fork2 () =
+  let b = Dag.Builder.create () in
+  let blk = Block.fork2 b (Block.chain b 5) (Block.chain b 2) in
+  let g = Block.finish b blk in
+  check "work" (5 + 2 + 2) (Metrics.work g);
+  check "span through longer branch" (1 + 4 + 1) (Metrics.span g);
+  (* left child is the first out-edge of the fork *)
+  let fork = blk.Block.entry in
+  check "fork out-degree" 2 (Dag.out_degree g fork);
+  Alcotest.(check bool) "well-formed" true (Check.well_formed g)
+
+let test_fork_tree_shapes () =
+  List.iter
+    (fun n ->
+      let b = Dag.Builder.create () in
+      let blocks = Array.init n (fun _ -> Block.vertex b) in
+      let g = Block.finish b (Block.fork_tree b blocks) in
+      check (Printf.sprintf "work n=%d" n) (n + (2 * (n - 1))) (Metrics.work g);
+      Alcotest.(check bool) (Printf.sprintf "wf n=%d" n) true (Check.well_formed g))
+    [ 1; 2; 3; 4; 5; 8; 13; 16; 31 ]
+
+let test_latency () =
+  let b = Dag.Builder.create () in
+  let g = Block.finish b (Block.latency b 11) in
+  check "work" 2 (Metrics.work g);
+  check "span" 11 (Metrics.span g);
+  check "heavy edges" 1 (Metrics.num_heavy_edges g)
+
+let test_latency_invalid () =
+  let b = Dag.Builder.create () in
+  Alcotest.check_raises "delta 1" (Invalid_argument "Block.latency: delta must be >= 2")
+    (fun () -> ignore (Block.latency b 1))
+
+let test_with_latency () =
+  let b = Dag.Builder.create () in
+  let g = Block.finish b (Block.with_latency b 5 (Block.chain b 3)) in
+  check "work" 5 (Metrics.work g);
+  check "span" (5 + 1 + 2) (Metrics.span g)
+
+let test_nested_composition () =
+  (* (latency ; (a || (b ; latency))) repeated — stress combinator nesting *)
+  let b = Dag.Builder.create () in
+  let rec build depth =
+    if depth = 0 then Block.vertex b
+    else
+      Block.seq b
+        (Block.latency b 3)
+        (Block.fork2 b (build (depth - 1)) (Block.with_latency b 4 (build (depth - 1))))
+  in
+  let g = Block.finish b (build 4) in
+  Alcotest.(check bool) "well-formed" true (Check.well_formed g);
+  Alcotest.(check bool) "has heavy edges" true (Metrics.num_heavy_edges g > 0)
+
+let () =
+  Alcotest.run "block"
+    [
+      ( "combinators",
+        [
+          Alcotest.test_case "vertex" `Quick test_vertex;
+          Alcotest.test_case "chain" `Quick test_chain;
+          Alcotest.test_case "chain invalid" `Quick test_chain_invalid;
+          Alcotest.test_case "seq" `Quick test_seq;
+          Alcotest.test_case "seq_list" `Quick test_seq_list;
+          Alcotest.test_case "seq_list empty" `Quick test_seq_list_empty;
+          Alcotest.test_case "fork2" `Quick test_fork2;
+          Alcotest.test_case "fork_tree shapes" `Quick test_fork_tree_shapes;
+          Alcotest.test_case "latency" `Quick test_latency;
+          Alcotest.test_case "latency invalid" `Quick test_latency_invalid;
+          Alcotest.test_case "with_latency" `Quick test_with_latency;
+          Alcotest.test_case "nested composition" `Quick test_nested_composition;
+        ] );
+    ]

@@ -1,0 +1,91 @@
+module Generate = Lhws_dag.Generate
+module Metrics = Lhws_dag.Metrics
+module Suspension = Lhws_dag.Suspension
+open Lhws_core
+open Lhws_analysis
+
+let analysis = Config.analysis
+
+let grid =
+  (* (name, dag, known U) *)
+  [
+    ("map_reduce", Generate.map_reduce ~n:32 ~leaf_work:4 ~latency:40, 32);
+    ("server", Generate.server ~n:12 ~f_work:6 ~latency:15, 1);
+    ("fib", Generate.fib ~n:12 (), 0);
+    ("pipeline", Generate.pipeline ~stages:4 ~items:8 ~latency:12, 8);
+    ("chains", Generate.parallel_chains ~k:8 ~len:10, 0);
+  ]
+
+let instances () =
+  List.concat_map
+    (fun (name, dag, u) ->
+      List.map
+        (fun p ->
+          let run = Lhws_sim.run ~config:analysis dag ~p in
+          (Printf.sprintf "%s P=%d" name p, Bounds.instance ~suspension_width:u dag ~p run))
+        [ 1; 2; 4; 8 ])
+    grid
+
+let for_all_instances name pred () =
+  List.iter (fun (label, i) -> Alcotest.(check bool) (name ^ " " ^ label) true (pred i))
+    (instances ())
+
+let test_lg () =
+  Alcotest.(check (float 1e-9)) "lg 0" 0. (Bounds.lg 0);
+  Alcotest.(check (float 1e-9)) "lg 1" 0. (Bounds.lg 1);
+  Alcotest.(check (float 1e-9)) "lg 2" 1. (Bounds.lg 2);
+  Alcotest.(check (float 1e-9)) "lg 8" 3. (Bounds.lg 8)
+
+let test_greedy_bound_checks () =
+  List.iter
+    (fun (name, dag, u) ->
+      List.iter
+        (fun p ->
+          let run = Greedy.run dag ~p in
+          let i = Bounds.instance ~suspension_width:u dag ~p run in
+          Alcotest.(check bool) (Printf.sprintf "%s P=%d" name p) true (Bounds.greedy_ok i))
+        [ 1; 3; 6 ])
+    grid
+
+let test_instance_defaults () =
+  let dag = Generate.map_reduce ~n:4 ~leaf_work:1 ~latency:5 in
+  let run = Lhws_sim.run dag ~p:2 in
+  let i = Bounds.instance dag ~p:2 run in
+  Alcotest.(check int) "U defaults to greedy lower bound"
+    (Suspension.lower_bound_greedy dag) i.Bounds.suspension_width;
+  Alcotest.(check int) "work" (Metrics.work dag) i.Bounds.work;
+  Alcotest.(check int) "span" (Metrics.span dag) i.Bounds.span
+
+let test_ratio_reasonable () =
+  (* Theorem 2 is O(.): measured/bound should stay below a small constant. *)
+  List.iter
+    (fun (label, i) ->
+      let r = Bounds.lhws_ratio i in
+      Alcotest.(check bool) (Printf.sprintf "%s ratio=%.2f < 3" label r) true (r < 3.))
+    (instances ())
+
+let test_corollary1_requires_trace () =
+  let dag = Generate.diamond () in
+  let run = Lhws_sim.run dag ~p:1 in
+  let i = Bounds.instance dag ~p:1 run in
+  match Bounds.corollary1_ok i with
+  | _ -> Alcotest.fail "expected Invalid_argument without trace"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "bounds"
+    [
+      ( "predicates",
+        [
+          Alcotest.test_case "lg" `Quick test_lg;
+          Alcotest.test_case "instance defaults" `Quick test_instance_defaults;
+          Alcotest.test_case "Theorem 1" `Quick test_greedy_bound_checks;
+          Alcotest.test_case "Lemma 1" `Slow (for_all_instances "lemma1" Bounds.lemma1_ok);
+          Alcotest.test_case "Lemma 7" `Slow (for_all_instances "lemma7" Bounds.lemma7_ok);
+          Alcotest.test_case "width <= U" `Slow (for_all_instances "width" Bounds.width_ok);
+          Alcotest.test_case "Corollary 1" `Slow (for_all_instances "cor1" Bounds.corollary1_ok);
+          Alcotest.test_case "pfor work" `Slow (for_all_instances "pfor" Bounds.pfor_work_ok);
+          Alcotest.test_case "Theorem 2 ratio" `Slow test_ratio_reasonable;
+          Alcotest.test_case "corollary1 needs trace" `Quick test_corollary1_requires_trace;
+        ] );
+    ]

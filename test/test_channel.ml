@@ -1,0 +1,200 @@
+open Lhws_runtime
+module Pool = Lhws_pool
+
+let in_pool ?(workers = 2) f = Pool.with_pool ~workers (fun p -> Pool.run p (fun () -> f p))
+
+let test_send_then_recv () =
+  in_pool (fun _ ->
+      let ch = Channel.create () in
+      Channel.send ch 41;
+      Channel.send ch 42;
+      Alcotest.(check int) "fifo 1" 41 (Channel.recv ch);
+      Alcotest.(check int) "fifo 2" 42 (Channel.recv ch))
+
+let test_recv_suspends_until_send () =
+  in_pool (fun p ->
+      let ch = Channel.create () in
+      let receiver = Pool.async p (fun () -> Channel.recv ch) in
+      (* The sender runs after the receiver has parked. *)
+      Pool.sleep p 0.005;
+      Channel.send ch 99;
+      Alcotest.(check int) "received" 99 (Pool.await receiver))
+
+let test_try_ops () =
+  in_pool (fun _ ->
+      let ch = Channel.create ~capacity:1 () in
+      Alcotest.(check (option int)) "empty" None (Channel.try_recv ch);
+      Alcotest.(check bool) "send ok" true (Channel.try_send ch 1);
+      Alcotest.(check bool) "full" false (Channel.try_send ch 2);
+      Alcotest.(check int) "length" 1 (Channel.length ch);
+      Alcotest.(check (option int)) "take" (Some 1) (Channel.try_recv ch))
+
+let test_bounded_send_suspends () =
+  in_pool (fun p ->
+      let ch = Channel.create ~capacity:2 () in
+      let producer =
+        Pool.async p (fun () ->
+            for i = 1 to 6 do
+              Channel.send ch i
+            done;
+            "done")
+      in
+      Pool.sleep p 0.005;
+      (* Producer can be at most 2 ahead. *)
+      Alcotest.(check int) "buffered at capacity" 2 (Channel.length ch);
+      let got = List.init 6 (fun _ -> Channel.recv ch) in
+      Alcotest.(check (list int)) "order" [ 1; 2; 3; 4; 5; 6 ] got;
+      Alcotest.(check string) "producer finished" "done" (Pool.await producer))
+
+let test_many_producers_consumers () =
+  in_pool ~workers:2 (fun p ->
+      let ch = Channel.create ~capacity:8 () in
+      let producers =
+        List.init 4 (fun k ->
+            Pool.async p (fun () ->
+                for i = 0 to 24 do
+                  Channel.send ch ((k * 100) + i)
+                done))
+      in
+      let consumers =
+        List.init 2 (fun _ ->
+            Pool.async p (fun () ->
+                let acc = ref 0 in
+                for _ = 1 to 50 do
+                  acc := !acc + Channel.recv ch
+                done;
+                !acc))
+      in
+      List.iter (Pool.await) producers;
+      let total = List.fold_left (fun a c -> a + Pool.await c) 0 consumers in
+      let expect = List.init 4 (fun k -> List.init 25 (fun i -> (k * 100) + i)) in
+      let expect = List.fold_left (fun a l -> a + List.fold_left ( + ) 0 l) 0 expect in
+      Alcotest.(check int) "all elements consumed once" expect total)
+
+let test_close_wakes_receivers () =
+  in_pool (fun p ->
+      let ch : int Channel.t = Channel.create () in
+      let receiver =
+        Pool.async p (fun () ->
+            match Channel.recv ch with
+            | _ -> "value"
+            | exception Channel.Closed -> "closed")
+      in
+      Pool.sleep p 0.005;
+      Channel.close ch;
+      Alcotest.(check string) "woken with Closed" "closed" (Pool.await receiver))
+
+let test_close_semantics () =
+  in_pool (fun _ ->
+      let ch = Channel.create () in
+      Channel.send ch 7;
+      Channel.close ch;
+      Alcotest.(check bool) "is_closed" true (Channel.is_closed ch);
+      Alcotest.(check int) "drain buffered" 7 (Channel.recv ch);
+      (match Channel.recv ch with
+      | _ -> Alcotest.fail "expected Closed"
+      | exception Channel.Closed -> ());
+      (match Channel.send ch 8 with
+      | () -> Alcotest.fail "expected Closed"
+      | exception Channel.Closed -> ());
+      (* close is idempotent *)
+      Channel.close ch)
+
+let test_close_wakes_senders () =
+  in_pool (fun p ->
+      let ch = Channel.create ~capacity:1 () in
+      Channel.send ch 1;
+      let sender =
+        Pool.async p (fun () ->
+            match Channel.send ch 2 with
+            | () -> "sent"
+            | exception Channel.Closed -> "closed")
+      in
+      Pool.sleep p 0.005;
+      Channel.close ch;
+      Alcotest.(check string) "sender woken with Closed" "closed" (Pool.await sender))
+
+let test_capacity_invalid () =
+  match Channel.create ~capacity:0 () with
+  | (_ : int Channel.t) -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_pipeline_stages () =
+  (* Three stages connected by channels: a miniature of the paper's
+     "interacting computations". *)
+  in_pool ~workers:2 (fun p ->
+      let a = Channel.create () and b = Channel.create () in
+      let stage1 =
+        Pool.async p (fun () ->
+            for i = 1 to 20 do
+              Channel.send a (i * 2)
+            done;
+            Channel.close a)
+      in
+      let stage2 =
+        Pool.async p (fun () ->
+            (try
+               while true do
+                 Channel.send b (Channel.recv a + 1)
+               done
+             with Channel.Closed -> ());
+            Channel.close b)
+      in
+      let acc = ref [] in
+      (try
+         while true do
+           acc := Channel.recv b :: !acc
+         done
+       with Channel.Closed -> ());
+      Pool.await stage1;
+      Pool.await stage2;
+      Alcotest.(check (list int)) "pipeline output"
+        (List.init 20 (fun i -> ((i + 1) * 2) + 1))
+        (List.rev !acc))
+
+(* Model-based property: an arbitrary sequence of non-suspending channel
+   operations behaves like a FIFO queue with the same capacity. *)
+let prop_model =
+  QCheck.Test.make ~name:"try_send/try_recv match a queue model" ~count:300
+    QCheck.(pair (int_range 1 4) (list (int_bound 2)))
+    (fun (capacity, ops) ->
+      QCheck.assume (capacity >= 1);
+      let ch = Channel.create ~capacity () in
+      let model = Queue.create () in
+      let counter = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | 0 ->
+              incr counter;
+              let sent = Channel.try_send ch !counter in
+              let model_sent = Queue.length model < capacity in
+              if model_sent then Queue.add !counter model;
+              sent = model_sent
+          | 1 -> Channel.try_recv ch = Queue.take_opt model
+          | _ -> Channel.length ch = Queue.length model)
+        ops)
+
+let () =
+  Alcotest.run "channel"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "send then recv" `Quick test_send_then_recv;
+          Alcotest.test_case "recv suspends" `Quick test_recv_suspends_until_send;
+          Alcotest.test_case "try ops" `Quick test_try_ops;
+          Alcotest.test_case "capacity invalid" `Quick test_capacity_invalid;
+        ] );
+      ( "bounded",
+        [ Alcotest.test_case "send suspends at capacity" `Quick test_bounded_send_suspends ] );
+      ( "concurrency",
+        [ Alcotest.test_case "producers/consumers" `Quick test_many_producers_consumers ] );
+      ( "close",
+        [
+          Alcotest.test_case "wakes receivers" `Quick test_close_wakes_receivers;
+          Alcotest.test_case "semantics" `Quick test_close_semantics;
+          Alcotest.test_case "wakes senders" `Quick test_close_wakes_senders;
+        ] );
+      ("pipeline", [ Alcotest.test_case "three stages" `Quick test_pipeline_stages ]);
+      ("model", [ QCheck_alcotest.to_alcotest prop_model ]);
+    ]

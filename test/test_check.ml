@@ -1,0 +1,125 @@
+module Dag = Lhws_dag.Dag
+module Check = Lhws_dag.Check
+module Generate = Lhws_dag.Generate
+
+let violation_kinds g =
+  List.map
+    (function
+      | Check.Multiple_roots _ -> "roots"
+      | Check.Multiple_finals _ -> "finals"
+      | Check.Out_degree_exceeded _ -> "outdeg"
+      | Check.Heavy_target_in_degree _ -> "heavy-in"
+      | Check.Unreachable_from_root _ -> "unreachable"
+      | Check.Cannot_reach_final _ -> "dead-end")
+    (Check.violations g)
+
+let test_well_formed_generators () =
+  List.iter
+    (fun (name, g) ->
+      Alcotest.(check bool) name true (Check.well_formed g))
+    [
+      ("diamond", Generate.diamond ());
+      ("single latency", Generate.single_latency ~delta:5);
+      ("map_reduce", Generate.map_reduce ~n:13 ~leaf_work:3 ~latency:9);
+      ("server", Generate.server ~n:7 ~f_work:4 ~latency:6);
+      ("fib", Generate.fib ~n:10 ());
+      ("chain", Generate.chain ~n:20 ());
+      ("pipeline", Generate.pipeline ~stages:4 ~items:6 ~latency:5);
+    ]
+
+let test_multiple_roots () =
+  let b = Dag.Builder.create () in
+  let v0 = Dag.Builder.add_vertex b in
+  let v1 = Dag.Builder.add_vertex b in
+  let v2 = Dag.Builder.add_vertex b in
+  Dag.Builder.add_edge b v0 v2;
+  Dag.Builder.add_edge b v1 v2;
+  let g = Dag.Builder.build b in
+  Alcotest.(check bool) "lists roots" true (List.mem "roots" (violation_kinds g))
+
+let test_multiple_finals () =
+  let b = Dag.Builder.create () in
+  let v0 = Dag.Builder.add_vertex b in
+  let v1 = Dag.Builder.add_vertex b in
+  let v2 = Dag.Builder.add_vertex b in
+  Dag.Builder.add_edge b v0 v1;
+  Dag.Builder.add_edge b v0 v2;
+  let g = Dag.Builder.build b in
+  Alcotest.(check bool) "lists finals" true (List.mem "finals" (violation_kinds g))
+
+let test_out_degree () =
+  let b = Dag.Builder.create () in
+  let v0 = Dag.Builder.add_vertex b in
+  let sink = Dag.Builder.add_vertex b in
+  for _ = 1 to 3 do
+    let v = Dag.Builder.add_vertex b in
+    Dag.Builder.add_edge b v0 v;
+    Dag.Builder.add_edge b v sink
+  done;
+  let g = Dag.Builder.build b in
+  Alcotest.(check bool) "lists outdeg" true (List.mem "outdeg" (violation_kinds g))
+
+let test_heavy_target_in_degree () =
+  (* Heavy edge into a join (in-degree 2) violates assumption 3. *)
+  let b = Dag.Builder.create () in
+  let v0 = Dag.Builder.add_vertex b in
+  let v1 = Dag.Builder.add_vertex b in
+  let v2 = Dag.Builder.add_vertex b in
+  let v3 = Dag.Builder.add_vertex b in
+  Dag.Builder.add_edge b v0 v1;
+  Dag.Builder.add_edge b v0 v2;
+  Dag.Builder.add_edge ~weight:4 b v1 v3;
+  Dag.Builder.add_edge b v2 v3;
+  let g = Dag.Builder.build b in
+  Alcotest.(check bool) "lists heavy-in" true (List.mem "heavy-in" (violation_kinds g))
+
+let test_disconnected () =
+  let b = Dag.Builder.create () in
+  let v0 = Dag.Builder.add_vertex b in
+  let v1 = Dag.Builder.add_vertex b in
+  let _island = Dag.Builder.add_vertex b in
+  Dag.Builder.add_edge b v0 v1;
+  let g = Dag.Builder.build b in
+  let kinds = violation_kinds g in
+  Alcotest.(check bool) "island unreachable or dead-end" true
+    (List.mem "unreachable" kinds || List.mem "dead-end" kinds)
+
+let test_check_exn () =
+  Alcotest.(check unit) "ok dag passes" () (Check.check_exn (Generate.diamond ()));
+  let b = Dag.Builder.create () in
+  let v0 = Dag.Builder.add_vertex b in
+  let v1 = Dag.Builder.add_vertex b in
+  let v2 = Dag.Builder.add_vertex b in
+  Dag.Builder.add_edge b v0 v2;
+  Dag.Builder.add_edge b v1 v2;
+  let g = Dag.Builder.build b in
+  match Check.check_exn g with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_pp_violation () =
+  let s = Format.asprintf "%a" Check.pp_violation (Check.Out_degree_exceeded (7, 3)) in
+  Alcotest.(check bool) "mentions vertex" true (Astring.String.is_infix ~affix:"7" s)
+
+(* Property: random series-parallel dags are always well-formed. *)
+let prop_random_well_formed =
+  QCheck.Test.make ~name:"random_fork_join well-formed" ~count:100 QCheck.small_int (fun seed ->
+      Check.well_formed
+        (Generate.random_fork_join ~seed ~size_hint:60 ~latency_prob:0.3 ~max_latency:10))
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "violations",
+        [
+          Alcotest.test_case "generators well-formed" `Quick test_well_formed_generators;
+          Alcotest.test_case "multiple roots" `Quick test_multiple_roots;
+          Alcotest.test_case "multiple finals" `Quick test_multiple_finals;
+          Alcotest.test_case "out-degree > 2" `Quick test_out_degree;
+          Alcotest.test_case "heavy target in-degree" `Quick test_heavy_target_in_degree;
+          Alcotest.test_case "disconnected" `Quick test_disconnected;
+          Alcotest.test_case "check_exn" `Quick test_check_exn;
+          Alcotest.test_case "pp" `Quick test_pp_violation;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_random_well_formed ]);
+    ]

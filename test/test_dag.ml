@@ -1,0 +1,164 @@
+module Dag = Lhws_dag.Dag
+
+let check = Alcotest.(check int)
+
+let build_diamond () =
+  (* 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 *)
+  let b = Dag.Builder.create () in
+  let v0 = Dag.Builder.add_vertex ~label:"fork" b in
+  let v1 = Dag.Builder.add_vertex b in
+  let v2 = Dag.Builder.add_vertex b in
+  let v3 = Dag.Builder.add_vertex ~label:"join" b in
+  Dag.Builder.add_edge b v0 v1;
+  Dag.Builder.add_edge b v0 v2;
+  Dag.Builder.add_edge b v1 v3;
+  Dag.Builder.add_edge b v2 v3;
+  Dag.Builder.build b
+
+let test_ids_dense () =
+  let b = Dag.Builder.create () in
+  for i = 0 to 99 do
+    check "vertex id" i (Dag.Builder.add_vertex b)
+  done;
+  check "count" 100 (Dag.Builder.num_vertices b)
+
+let test_diamond_structure () =
+  let g = build_diamond () in
+  check "vertices" 4 (Dag.num_vertices g);
+  check "root" 0 (Dag.root g);
+  check "final" 3 (Dag.final g);
+  check "root out-degree" 2 (Dag.out_degree g 0);
+  check "join in-degree" 2 (Dag.in_degree g 3);
+  Alcotest.(check (pair int int)) "left child first" (1, 1) (Dag.out_edges g 0).(0);
+  Alcotest.(check (pair int int)) "right child second" (2, 1) (Dag.out_edges g 0).(1)
+
+let test_labels () =
+  let g = build_diamond () in
+  Alcotest.(check string) "labelled" "fork" (Dag.label g 0);
+  Alcotest.(check string) "unlabelled" "" (Dag.label g 1)
+
+let test_edges_list () =
+  let g = build_diamond () in
+  check "edge count" 4 (List.length (Dag.edges g));
+  check "no heavy edges" 0 (List.length (Dag.heavy_edges g))
+
+let test_heavy_edges () =
+  let b = Dag.Builder.create () in
+  let v0 = Dag.Builder.add_vertex b in
+  let v1 = Dag.Builder.add_vertex b in
+  let v2 = Dag.Builder.add_vertex b in
+  Dag.Builder.add_edge ~weight:7 b v0 v1;
+  Dag.Builder.add_edge b v1 v2;
+  let g = Dag.Builder.build b in
+  (match Dag.heavy_edges g with
+  | [ { Dag.src; dst; weight } ] ->
+      check "heavy src" 0 src;
+      check "heavy dst" 1 dst;
+      check "heavy weight" 7 weight
+  | _ -> Alcotest.fail "expected exactly one heavy edge");
+  Alcotest.(check bool) "v1 is heavy target" true (Dag.is_heavy_target g v1);
+  Alcotest.(check bool) "v2 is not" false (Dag.is_heavy_target g v2)
+
+let test_topological_order () =
+  let g = build_diamond () in
+  let order = Dag.topological_order g in
+  check "order length" 4 (Array.length order);
+  let pos = Array.make 4 (-1) in
+  Array.iteri (fun i v -> pos.(v) <- i) order;
+  List.iter
+    (fun (e : Dag.edge) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "edge %d->%d respects order" e.src e.dst)
+        true
+        (pos.(e.src) < pos.(e.dst)))
+    (Dag.edges g)
+
+let test_in_edges_match_out_edges () =
+  let g = build_diamond () in
+  let out_total = ref 0 and in_total = ref 0 in
+  Dag.iter_vertices g (fun v ->
+      out_total := !out_total + Dag.out_degree g v;
+      in_total := !in_total + Dag.in_degree g v);
+  check "degree sums agree" !out_total !in_total
+
+let test_cycle_rejected () =
+  let b = Dag.Builder.create () in
+  let v0 = Dag.Builder.add_vertex b in
+  let v1 = Dag.Builder.add_vertex b in
+  Dag.Builder.add_edge b v0 v1;
+  Dag.Builder.add_edge b v1 v0;
+  Alcotest.check_raises "cycle" (Invalid_argument "Dag.Builder.build: dag contains a cycle")
+    (fun () -> ignore (Dag.Builder.build b))
+
+let test_empty_rejected () =
+  let b = Dag.Builder.create () in
+  Alcotest.check_raises "empty" (Invalid_argument "Dag.Builder.build: empty dag") (fun () ->
+      ignore (Dag.Builder.build b))
+
+let test_bad_weight_rejected () =
+  let b = Dag.Builder.create () in
+  let v0 = Dag.Builder.add_vertex b in
+  let v1 = Dag.Builder.add_vertex b in
+  Alcotest.check_raises "weight 0" (Invalid_argument "Dag.Builder.add_edge: weight must be >= 1")
+    (fun () -> Dag.Builder.add_edge ~weight:0 b v0 v1)
+
+let test_unknown_vertex_rejected () =
+  let b = Dag.Builder.create () in
+  let v0 = Dag.Builder.add_vertex b in
+  Alcotest.check_raises "unknown target"
+    (Invalid_argument "Dag.Builder.add_edge: unknown target vertex 5") (fun () ->
+      Dag.Builder.add_edge b v0 5)
+
+let test_single_vertex () =
+  let b = Dag.Builder.create () in
+  let v = Dag.Builder.add_vertex b in
+  let g = Dag.Builder.build b in
+  check "root = final" v (Dag.root g);
+  check "final" v (Dag.final g)
+
+let test_pp_smoke () =
+  let g = build_diamond () in
+  let s = Format.asprintf "%a" Dag.pp g in
+  Alcotest.(check bool) "mentions root" true (Astring.String.is_infix ~affix:"root=0" s)
+
+let test_large_chain () =
+  let b = Dag.Builder.create () in
+  let first = Dag.Builder.add_vertex b in
+  let _last =
+    List.fold_left
+      (fun prev _ ->
+        let v = Dag.Builder.add_vertex b in
+        Dag.Builder.add_edge b prev v;
+        v)
+      first
+      (List.init 9999 Fun.id)
+  in
+  let g = Dag.Builder.build b in
+  check "n" 10000 (Dag.num_vertices g);
+  check "root" 0 (Dag.root g);
+  check "final" 9999 (Dag.final g)
+
+let () =
+  Alcotest.run "dag"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "dense ids" `Quick test_ids_dense;
+          Alcotest.test_case "diamond structure" `Quick test_diamond_structure;
+          Alcotest.test_case "labels" `Quick test_labels;
+          Alcotest.test_case "cycle rejected" `Quick test_cycle_rejected;
+          Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+          Alcotest.test_case "bad weight rejected" `Quick test_bad_weight_rejected;
+          Alcotest.test_case "unknown vertex rejected" `Quick test_unknown_vertex_rejected;
+          Alcotest.test_case "single vertex" `Quick test_single_vertex;
+          Alcotest.test_case "large chain" `Quick test_large_chain;
+        ] );
+      ( "accessors",
+        [
+          Alcotest.test_case "edges list" `Quick test_edges_list;
+          Alcotest.test_case "heavy edges" `Quick test_heavy_edges;
+          Alcotest.test_case "topological order" `Quick test_topological_order;
+          Alcotest.test_case "degrees agree" `Quick test_in_edges_match_out_edges;
+          Alcotest.test_case "pp" `Quick test_pp_smoke;
+        ] );
+    ]

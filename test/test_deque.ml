@@ -1,0 +1,134 @@
+module Deque = Lhws_deque.Deque
+
+let check = Alcotest.(check int)
+let check_opt = Alcotest.(check (option int))
+
+let test_empty () =
+  let d : int Deque.t = Deque.create () in
+  Alcotest.(check bool) "is_empty" true (Deque.is_empty d);
+  check "length" 0 (Deque.length d);
+  check_opt "pop_bottom" None (Deque.pop_bottom d);
+  check_opt "pop_top" None (Deque.pop_top d);
+  check_opt "peek_top" None (Deque.peek_top d);
+  check_opt "peek_bottom" None (Deque.peek_bottom d)
+
+let test_lifo_bottom () =
+  let d = Deque.create () in
+  List.iter (Deque.push_bottom d) [ 1; 2; 3 ];
+  check_opt "pop 3" (Some 3) (Deque.pop_bottom d);
+  check_opt "pop 2" (Some 2) (Deque.pop_bottom d);
+  check_opt "pop 1" (Some 1) (Deque.pop_bottom d);
+  check_opt "empty" None (Deque.pop_bottom d)
+
+let test_fifo_top () =
+  let d = Deque.create () in
+  List.iter (Deque.push_bottom d) [ 1; 2; 3 ];
+  check_opt "steal 1" (Some 1) (Deque.pop_top d);
+  check_opt "steal 2" (Some 2) (Deque.pop_top d);
+  check_opt "steal 3" (Some 3) (Deque.pop_top d)
+
+let test_mixed_ends () =
+  let d = Deque.create () in
+  List.iter (Deque.push_bottom d) [ 1; 2; 3; 4 ];
+  check_opt "top" (Some 1) (Deque.pop_top d);
+  check_opt "bottom" (Some 4) (Deque.pop_bottom d);
+  check_opt "top" (Some 2) (Deque.pop_top d);
+  check_opt "bottom" (Some 3) (Deque.pop_bottom d);
+  Alcotest.(check bool) "empty" true (Deque.is_empty d)
+
+let test_peek () =
+  let d = Deque.create () in
+  List.iter (Deque.push_bottom d) [ 7; 8 ];
+  check_opt "peek_top" (Some 7) (Deque.peek_top d);
+  check_opt "peek_bottom" (Some 8) (Deque.peek_bottom d);
+  check "length unchanged" 2 (Deque.length d)
+
+let test_growth () =
+  let d = Deque.create ~capacity:2 () in
+  for i = 1 to 1000 do
+    Deque.push_bottom d i
+  done;
+  check "length" 1000 (Deque.length d);
+  check_opt "top is oldest" (Some 1) (Deque.pop_top d);
+  check_opt "bottom is newest" (Some 1000) (Deque.pop_bottom d)
+
+let test_growth_after_wraparound () =
+  let d = Deque.create ~capacity:4 () in
+  (* Advance top and bottom so the live range wraps the buffer. *)
+  for i = 1 to 3 do
+    Deque.push_bottom d i
+  done;
+  ignore (Deque.pop_top d);
+  ignore (Deque.pop_top d);
+  for i = 4 to 20 do
+    Deque.push_bottom d i
+  done;
+  (* 3 pushed - 2 stolen + 17 pushed *)
+  check "length" 18 (Deque.length d);
+  check_opt "top" (Some 3) (Deque.pop_top d)
+
+let test_clear () =
+  let d = Deque.create () in
+  List.iter (Deque.push_bottom d) [ 1; 2; 3 ];
+  Deque.clear d;
+  Alcotest.(check bool) "empty" true (Deque.is_empty d);
+  Deque.push_bottom d 9;
+  check_opt "usable after clear" (Some 9) (Deque.pop_bottom d)
+
+let test_to_list_of_list () =
+  let xs = [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check (list int)) "round trip" xs (Deque.to_list (Deque.of_list xs))
+
+(* Model-based property: a random sequence of operations matches a list
+   model (front of list = top of deque). *)
+let ops_gen = QCheck.(list (int_bound 3))
+
+let prop_model =
+  QCheck.Test.make ~name:"matches list model" ~count:500 ops_gen (fun ops ->
+      let d = Deque.create ~capacity:1 () in
+      let model = ref [] in
+      let counter = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | 0 ->
+              incr counter;
+              Deque.push_bottom d !counter;
+              model := !model @ [ !counter ];
+              true
+          | 1 -> (
+              let got = Deque.pop_bottom d in
+              match List.rev !model with
+              | [] -> got = None
+              | last :: rest ->
+                  model := List.rev rest;
+                  got = Some last)
+          | 2 -> (
+              let got = Deque.pop_top d in
+              match !model with
+              | [] -> got = None
+              | first :: rest ->
+                  model := rest;
+                  got = Some first)
+          | _ ->
+              Deque.length d = List.length !model
+              && Deque.peek_top d = (match !model with [] -> None | x :: _ -> Some x))
+        ops)
+
+let () =
+  Alcotest.run "deque"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "LIFO bottom" `Quick test_lifo_bottom;
+          Alcotest.test_case "FIFO top" `Quick test_fifo_top;
+          Alcotest.test_case "mixed ends" `Quick test_mixed_ends;
+          Alcotest.test_case "peek" `Quick test_peek;
+          Alcotest.test_case "growth" `Quick test_growth;
+          Alcotest.test_case "growth after wraparound" `Quick test_growth_after_wraparound;
+          Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "to_list/of_list" `Quick test_to_list_of_list;
+        ] );
+      ("model", [ QCheck_alcotest.to_alcotest prop_model ]);
+    ]

@@ -1,0 +1,59 @@
+module Dot = Lhws_dag.Dot
+module Generate = Lhws_dag.Generate
+
+let contains s affix = Astring.String.is_infix ~affix s
+
+let test_basic () =
+  let s = Dot.to_dot (Generate.diamond ()) in
+  Alcotest.(check bool) "digraph header" true (contains s "digraph dag {");
+  Alcotest.(check bool) "edge 0->1" true (contains s "v0 -> v1");
+  Alcotest.(check bool) "closing brace" true (contains s "}")
+
+let test_heavy_styling () =
+  let s = Dot.to_dot (Generate.single_latency ~delta:7) in
+  Alcotest.(check bool) "bold heavy edge" true (contains s "style=bold");
+  Alcotest.(check bool) "weight label" true (contains s "label=\"7\"")
+
+let test_labels_and_ids () =
+  let g = Generate.map_reduce ~n:2 ~leaf_work:1 ~latency:3 in
+  let s = Dot.to_dot g in
+  Alcotest.(check bool) "getValue label" true (contains s "getValue");
+  let s_noids = Dot.to_dot ~show_ids:false g in
+  Alcotest.(check bool) "no id suffix on labelled" true (not (contains s_noids "getValue 0\\n"))
+
+let test_name () =
+  let s = Dot.to_dot ~name:"myname" (Generate.diamond ()) in
+  Alcotest.(check bool) "custom name" true (contains s "digraph myname {")
+
+let test_write_file () =
+  let path = Filename.temp_file "lhws" ".dot" in
+  Dot.write_file path (Generate.diamond ());
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "non-empty file" true (len > 20)
+
+let test_vertex_count () =
+  let g = Generate.fib ~n:6 () in
+  let s = Dot.to_dot g in
+  let lines = String.split_on_char '\n' s in
+  let node_lines =
+    List.filter (fun l -> contains l "[label=" && not (contains l "->")) lines
+  in
+  Alcotest.(check int) "one node line per vertex" (Lhws_dag.Dag.num_vertices g)
+    (List.length node_lines)
+
+let () =
+  Alcotest.run "dot"
+    [
+      ( "export",
+        [
+          Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "heavy styling" `Quick test_heavy_styling;
+          Alcotest.test_case "labels and ids" `Quick test_labels_and_ids;
+          Alcotest.test_case "custom name" `Quick test_name;
+          Alcotest.test_case "write file" `Quick test_write_file;
+          Alcotest.test_case "vertex count" `Quick test_vertex_count;
+        ] );
+    ]

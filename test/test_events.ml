@@ -1,0 +1,82 @@
+open Lhws_core
+
+let check_opt = Alcotest.(check (option string))
+
+let test_empty () =
+  let q : string Events.t = Events.create () in
+  Alcotest.(check bool) "is_empty" true (Events.is_empty q);
+  Alcotest.(check (option int)) "next_time" None (Events.next_time q);
+  check_opt "pop_due" None (Events.pop_due q 100)
+
+let test_ordering () =
+  let q = Events.create () in
+  Events.add q 30 "c";
+  Events.add q 10 "a";
+  Events.add q 20 "b";
+  check_opt "a first" (Some "a") (Events.pop_due q 100);
+  check_opt "b second" (Some "b") (Events.pop_due q 100);
+  check_opt "c third" (Some "c") (Events.pop_due q 100);
+  check_opt "drained" None (Events.pop_due q 100)
+
+let test_due_filtering () =
+  let q = Events.create () in
+  Events.add q 10 "early";
+  Events.add q 50 "late";
+  check_opt "early due" (Some "early") (Events.pop_due q 10);
+  check_opt "late not due" None (Events.pop_due q 10);
+  Alcotest.(check (option int)) "next_time" (Some 50) (Events.next_time q);
+  check_opt "late due at 50" (Some "late") (Events.pop_due q 50)
+
+let test_fifo_ties () =
+  let q = Events.create () in
+  List.iter (fun s -> Events.add q 5 s) [ "x"; "y"; "z" ];
+  check_opt "x" (Some "x") (Events.pop_due q 5);
+  check_opt "y" (Some "y") (Events.pop_due q 5);
+  check_opt "z" (Some "z") (Events.pop_due q 5)
+
+let test_length () =
+  let q = Events.create () in
+  for i = 1 to 100 do
+    Events.add q i "e"
+  done;
+  Alcotest.(check int) "length" 100 (Events.length q);
+  ignore (Events.pop_due q 1);
+  Alcotest.(check int) "after pop" 99 (Events.length q)
+
+let test_interleaved () =
+  let q = Events.create () in
+  Events.add q 3 "c";
+  Events.add q 1 "a";
+  check_opt "a" (Some "a") (Events.pop_due q 10);
+  Events.add q 2 "b";
+  check_opt "b" (Some "b") (Events.pop_due q 10);
+  check_opt "c" (Some "c") (Events.pop_due q 10)
+
+(* Property: popping everything yields sorted (time, insertion) order. *)
+let prop_heap_sort =
+  QCheck.Test.make ~name:"pop order sorted by time then insertion" ~count:200
+    QCheck.(list (int_bound 50))
+    (fun times ->
+      let q = Events.create () in
+      List.iteri (fun i t -> Events.add q t (t, i)) times;
+      let rec drain acc =
+        match Events.pop_due q max_int with Some x -> drain (x :: acc) | None -> List.rev acc
+      in
+      let popped = drain [] in
+      let sorted = List.stable_sort (fun (t1, i1) (t2, i2) -> compare (t1, i1) (t2, i2)) popped in
+      popped = sorted && List.length popped = List.length times)
+
+let () =
+  Alcotest.run "events"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "ordering" `Quick test_ordering;
+          Alcotest.test_case "due filtering" `Quick test_due_filtering;
+          Alcotest.test_case "FIFO ties" `Quick test_fifo_ties;
+          Alcotest.test_case "length" `Quick test_length;
+          Alcotest.test_case "interleaved" `Quick test_interleaved;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_heap_sort ]);
+    ]

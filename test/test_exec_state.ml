@@ -1,0 +1,68 @@
+module Dag = Lhws_dag.Dag
+module Generate = Lhws_dag.Generate
+open Lhws_core
+
+let test_enabling_diamond () =
+  let g = Generate.diamond () in
+  let es = Exec_state.create g in
+  Alcotest.(check bool) "nothing executed" false (Exec_state.executed es 0);
+  (* root enables both children *)
+  (match Exec_state.execute es (Dag.root g) with
+  | [ (_, 1); (_, 1) ] -> ()
+  | _ -> Alcotest.fail "root should enable two light children");
+  (* first branch does not enable the join *)
+  let l, r = ((Dag.out_edges g (Dag.root g)).(0), (Dag.out_edges g (Dag.root g)).(1)) in
+  (match Exec_state.execute es (fst l) with
+  | [] -> ()
+  | _ -> Alcotest.fail "join not enabled yet");
+  (* second branch enables the join *)
+  (match Exec_state.execute es (fst r) with
+  | [ (j, 1) ] -> Alcotest.(check int) "join" (Dag.final g) j
+  | _ -> Alcotest.fail "join should be enabled");
+  Alcotest.(check int) "count" 3 (Exec_state.num_executed es);
+  Alcotest.(check bool) "not complete" false (Exec_state.complete es);
+  ignore (Exec_state.execute es (Dag.final g));
+  Alcotest.(check bool) "complete" true (Exec_state.complete es);
+  Alcotest.(check bool) "final executed" true (Exec_state.final_executed es)
+
+let test_heavy_weight_reported () =
+  let g = Generate.single_latency ~delta:9 in
+  let es = Exec_state.create g in
+  match Exec_state.execute es (Dag.root g) with
+  | [ (v, 9) ] -> Alcotest.(check int) "heavy child" (Dag.final g) v
+  | _ -> Alcotest.fail "expected heavy child with weight 9"
+
+let test_double_execute_rejected () =
+  let g = Generate.diamond () in
+  let es = Exec_state.create g in
+  ignore (Exec_state.execute es 0);
+  match Exec_state.execute es 0 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_premature_execute_rejected () =
+  let g = Generate.diamond () in
+  let es = Exec_state.create g in
+  match Exec_state.execute es (Dag.final g) with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_topological_replay () =
+  (* Executing any topological order works and enables every vertex. *)
+  let g = Generate.map_reduce ~n:8 ~leaf_work:3 ~latency:5 in
+  let es = Exec_state.create g in
+  Array.iter (fun v -> ignore (Exec_state.execute es v)) (Dag.topological_order g);
+  Alcotest.(check bool) "complete" true (Exec_state.complete es)
+
+let () =
+  Alcotest.run "exec_state"
+    [
+      ( "enabling",
+        [
+          Alcotest.test_case "diamond" `Quick test_enabling_diamond;
+          Alcotest.test_case "heavy weight reported" `Quick test_heavy_weight_reported;
+          Alcotest.test_case "double execute rejected" `Quick test_double_execute_rejected;
+          Alcotest.test_case "premature execute rejected" `Quick test_premature_execute_rejected;
+          Alcotest.test_case "topological replay" `Quick test_topological_replay;
+        ] );
+    ]

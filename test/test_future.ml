@@ -1,0 +1,98 @@
+open Lhws_runtime
+module Pool = Lhws_pool
+
+let in_pool f = Pool.with_pool ~workers:2 (fun p -> Pool.run p (fun () -> f p))
+
+let test_spawn_await () =
+  in_pool (fun p -> Alcotest.(check int) "value" 9 (Future.await (Future.spawn p (fun () -> 9))))
+
+let test_map () =
+  in_pool (fun p ->
+      let f = Future.map p (fun x -> x * 2) (Future.spawn p (fun () -> 21)) in
+      Alcotest.(check int) "mapped" 42 (Future.await f))
+
+let test_both () =
+  in_pool (fun p ->
+      let a = Future.spawn p (fun () -> "a") in
+      let b = Future.spawn p (fun () -> "b") in
+      Alcotest.(check (pair string string)) "both" ("a", "b") (Future.await (Future.both p a b)))
+
+let test_all_order () =
+  in_pool (fun p ->
+      let futures =
+        List.init 10 (fun i ->
+            Future.spawn p (fun () ->
+                (* later elements finish first *)
+                Pool.sleep p (float_of_int (10 - i) *. 0.001);
+                i))
+      in
+      Alcotest.(check (list int)) "order preserved" (List.init 10 Fun.id)
+        (Future.await (Future.all p futures)))
+
+let test_all_empty () =
+  in_pool (fun p -> Alcotest.(check (list int)) "empty" [] (Future.await (Future.all p [])))
+
+let test_all_propagates_exception () =
+  in_pool (fun p ->
+      let futures =
+        [ Future.spawn p (fun () -> 1); Future.spawn p (fun () -> failwith "all boom") ]
+      in
+      match Future.await (Future.all p futures) with
+      | _ -> Alcotest.fail "expected exception"
+      | exception Failure m -> Alcotest.(check string) "message" "all boom" m)
+
+let test_first_resolved () =
+  in_pool (fun p ->
+      let slow =
+        Future.spawn p (fun () ->
+            Pool.sleep p 0.05;
+            "slow")
+      in
+      let fast =
+        Future.spawn p (fun () ->
+            Pool.sleep p 0.002;
+            "fast")
+      in
+      Alcotest.(check string) "fast wins" "fast"
+        (Future.await (Future.first_resolved p [ slow; fast ])))
+
+let test_first_resolved_already_done () =
+  in_pool (fun p ->
+      let done_ = Future.spawn p (fun () -> 1) in
+      let _ = Future.await done_ in
+      let pending =
+        Future.spawn p (fun () ->
+            Pool.sleep p 0.05;
+            2)
+      in
+      Alcotest.(check int) "resolved one wins" 1
+        (Future.await (Future.first_resolved p [ done_; pending ])))
+
+let test_first_resolved_empty () =
+  in_pool (fun p ->
+      match Future.first_resolved p [] with
+      | (_ : int Future.t) -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+
+let test_traverse () =
+  in_pool (fun p ->
+      Alcotest.(check (list int)) "squares" [ 1; 4; 9; 16 ]
+        (Future.await (Future.traverse p (fun x -> x * x) [ 1; 2; 3; 4 ])))
+
+let () =
+  Alcotest.run "future"
+    [
+      ( "combinators",
+        [
+          Alcotest.test_case "spawn/await" `Quick test_spawn_await;
+          Alcotest.test_case "map" `Quick test_map;
+          Alcotest.test_case "both" `Quick test_both;
+          Alcotest.test_case "all order" `Quick test_all_order;
+          Alcotest.test_case "all empty" `Quick test_all_empty;
+          Alcotest.test_case "all exception" `Quick test_all_propagates_exception;
+          Alcotest.test_case "first_resolved" `Quick test_first_resolved;
+          Alcotest.test_case "first_resolved done" `Quick test_first_resolved_already_done;
+          Alcotest.test_case "first_resolved empty" `Quick test_first_resolved_empty;
+          Alcotest.test_case "traverse" `Quick test_traverse;
+        ] );
+    ]

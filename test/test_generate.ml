@@ -1,0 +1,149 @@
+module Dag = Lhws_dag.Dag
+module Check = Lhws_dag.Check
+module Metrics = Lhws_dag.Metrics
+module Generate = Lhws_dag.Generate
+
+let check = Alcotest.(check int)
+
+let test_map_reduce_work () =
+  List.iter
+    (fun (n, w, d) ->
+      let g = Generate.map_reduce ~n ~leaf_work:w ~latency:d in
+      check (Printf.sprintf "W n=%d" n) ((n * (2 + w)) + (2 * (n - 1))) (Metrics.work g);
+      check (Printf.sprintf "heavy n=%d" n) n (Metrics.num_heavy_edges g);
+      Alcotest.(check bool) "wf" true (Check.well_formed g))
+    [ (1, 1, 2); (2, 3, 5); (7, 4, 10); (64, 1, 100) ]
+
+let test_map_reduce_invalid () =
+  List.iter
+    (fun f -> match f () with
+      | (_ : Dag.t) -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+    [
+      (fun () -> Generate.map_reduce ~n:0 ~leaf_work:1 ~latency:2);
+      (fun () -> Generate.map_reduce ~n:1 ~leaf_work:0 ~latency:2);
+      (fun () -> Generate.map_reduce ~n:1 ~leaf_work:1 ~latency:1);
+      (fun () -> Generate.server ~n:0 ~f_work:1 ~latency:2);
+      (fun () -> Generate.chain ~n:1 ());
+      (fun () -> Generate.parallel_chains ~k:0 ~len:1);
+      (fun () -> Generate.pipeline ~stages:0 ~items:1 ~latency:2);
+      (fun () ->
+        Generate.random_fork_join ~seed:1 ~size_hint:10 ~latency_prob:1.5 ~max_latency:4);
+      (fun () ->
+        Generate.random_fork_join ~seed:1 ~size_hint:10 ~latency_prob:0.5 ~max_latency:1);
+    ]
+
+let test_server_heavy_count () =
+  let g = Generate.server ~n:9 ~f_work:2 ~latency:4 in
+  check "one heavy per input" 9 (Metrics.num_heavy_edges g)
+
+let test_fib_structure () =
+  (* fib dag leaves = fib(n+1) in the classical count; just check a known
+     small case: fib 3 = fork(fib2, fib1); fib2 = fork(fib1, fib0). *)
+  let g = Generate.fib ~n:3 () in
+  (* leaves: fib1, fib0, fib1, fib1 -> wait: fib3 -> fib2 + fib1; fib2 -> fib1 + fib0.
+     Leaves = 3 base cases? fib1, fib0 under fib2, plus fib1 = 3 leaves; forks = 2. *)
+  check "work" (3 + (2 * 2)) (Metrics.work g);
+  Alcotest.(check bool) "no heavy" true (Metrics.num_heavy_edges g = 0)
+
+let test_fib_leaf_work () =
+  let g1 = Generate.fib ~n:6 () in
+  let g3 = Generate.fib ~leaf_work:3 ~n:6 () in
+  Alcotest.(check bool) "leaf_work increases work" true (Metrics.work g3 > Metrics.work g1)
+
+let test_parallel_chains () =
+  (* k = 4 gives a balanced fork tree: 2 fork edges down, 3 chain edges,
+     2 join edges up. *)
+  let g = Generate.parallel_chains ~k:4 ~len:4 in
+  check "work" ((4 * 4) + (2 * 3)) (Metrics.work g);
+  check "span" (2 + 3 + 2) (Metrics.span g)
+
+let test_pipeline () =
+  let g = Generate.pipeline ~stages:3 ~items:4 ~latency:6 in
+  (* per item: 3 stage vertices + 2 latency ops (2 vertices each) *)
+  check "work" ((4 * (3 + 4)) + (2 * 3)) (Metrics.work g);
+  check "heavy" 8 (Metrics.num_heavy_edges g);
+  Alcotest.(check bool) "wf" true (Check.well_formed g)
+
+let test_map_reduce_jitter () =
+  let g = Generate.map_reduce_jitter ~seed:5 ~n:20 ~leaf_work:3 ~min_latency:4 ~max_latency:30 in
+  Alcotest.(check bool) "wf" true (Check.well_formed g);
+  check "heavy count" 20 (Metrics.num_heavy_edges g);
+  let weights = List.map (fun (e : Dag.edge) -> e.Dag.weight) (Dag.heavy_edges g) in
+  Alcotest.(check bool) "in range" true (List.for_all (fun w -> w >= 4 && w <= 30) weights);
+  Alcotest.(check bool) "actually varied" true
+    (List.length (List.sort_uniq compare weights) > 3);
+  (* deterministic in seed *)
+  let g2 = Generate.map_reduce_jitter ~seed:5 ~n:20 ~leaf_work:3 ~min_latency:4 ~max_latency:30 in
+  Alcotest.(check bool) "deterministic" true (Dag.edges g = Dag.edges g2)
+
+let test_resume_burst () =
+  let n = 12 and leaf_work = 3 and latency = 20 in
+  let g = Generate.resume_burst ~n ~leaf_work ~latency in
+  Alcotest.(check bool) "wf" true (Check.well_formed g);
+  check "heavy edges" n (Metrics.num_heavy_edges g);
+  (* spine n + chains n*leaf_work + join tree (n-1) + final *)
+  check "work" (n + (n * leaf_work) + (n - 1) + 1) (Metrics.work g);
+  (* The i-th heavy edge has weight latency + n - i: issue at round i means
+     all resume at round latency + n. *)
+  let weights = List.map (fun (e : Dag.edge) -> e.Dag.weight) (Dag.heavy_edges g) in
+  Alcotest.(check int) "max weight" (latency + n) (List.fold_left max 0 weights);
+  Alcotest.(check int) "min weight" (latency + 1) (List.fold_left min max_int weights)
+
+let test_resume_burst_small () =
+  let g = Generate.resume_burst ~n:1 ~leaf_work:1 ~latency:5 in
+  Alcotest.(check bool) "wf n=1" true (Check.well_formed g)
+
+let test_determinism () =
+  let g1 = Generate.random_fork_join ~seed:11 ~size_hint:50 ~latency_prob:0.3 ~max_latency:9 in
+  let g2 = Generate.random_fork_join ~seed:11 ~size_hint:50 ~latency_prob:0.3 ~max_latency:9 in
+  check "same size" (Dag.num_vertices g1) (Dag.num_vertices g2);
+  Alcotest.(check bool) "same edges" true (Dag.edges g1 = Dag.edges g2)
+
+let test_seed_variation () =
+  let sizes =
+    List.map
+      (fun seed ->
+        Dag.num_vertices
+          (Generate.random_fork_join ~seed ~size_hint:50 ~latency_prob:0.3 ~max_latency:9))
+      [ 1; 2; 3; 4; 5 ]
+  in
+  Alcotest.(check bool) "seeds differ" true (List.sort_uniq compare sizes <> [ List.hd sizes ])
+
+let prop_random_sized =
+  QCheck.Test.make ~name:"random dag size within reason" ~count:80 QCheck.small_int (fun seed ->
+      let g = Generate.random_fork_join ~seed ~size_hint:100 ~latency_prob:0.2 ~max_latency:8 in
+      let n = Dag.num_vertices g in
+      n >= 1 && n <= 2000)
+
+let prop_latency_prob_zero_means_light =
+  QCheck.Test.make ~name:"latency_prob 0 -> no heavy edges" ~count:50 QCheck.small_int
+    (fun seed ->
+      Metrics.num_heavy_edges
+        (Generate.random_fork_join ~seed ~size_hint:60 ~latency_prob:0. ~max_latency:5)
+      = 0)
+
+let () =
+  Alcotest.run "generate"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "map_reduce work/heavy" `Quick test_map_reduce_work;
+          Alcotest.test_case "invalid args" `Quick test_map_reduce_invalid;
+          Alcotest.test_case "server heavy count" `Quick test_server_heavy_count;
+          Alcotest.test_case "fib structure" `Quick test_fib_structure;
+          Alcotest.test_case "fib leaf work" `Quick test_fib_leaf_work;
+          Alcotest.test_case "parallel chains" `Quick test_parallel_chains;
+          Alcotest.test_case "pipeline" `Quick test_pipeline;
+          Alcotest.test_case "map_reduce jitter" `Quick test_map_reduce_jitter;
+          Alcotest.test_case "resume_burst" `Quick test_resume_burst;
+          Alcotest.test_case "resume_burst n=1" `Quick test_resume_burst_small;
+          Alcotest.test_case "random determinism" `Quick test_determinism;
+          Alcotest.test_case "random seed variation" `Quick test_seed_variation;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_random_sized;
+          QCheck_alcotest.to_alcotest prop_latency_prob_zero_means_light;
+        ] );
+    ]

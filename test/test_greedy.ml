@@ -1,0 +1,113 @@
+module Generate = Lhws_dag.Generate
+module Metrics = Lhws_dag.Metrics
+open Lhws_core
+
+let check = Alcotest.(check int)
+let traced = { Config.default with trace = true }
+
+let test_chain () =
+  let g = Generate.chain ~n:12 () in
+  let r = Greedy.run ~config:traced g ~p:4 in
+  check "rounds = span + 1" 12 r.Run.rounds;
+  Schedule.check_exn g (Run.trace_exn r)
+
+let test_wide () =
+  (* 8 independent chains of length 5 on 4 workers: enough parallelism to
+     keep everyone busy most rounds. *)
+  let g = Generate.parallel_chains ~k:8 ~len:5 in
+  let r = Greedy.run g ~p:4 in
+  Alcotest.(check bool) "within bound" true (r.Run.rounds <= Greedy.bound g ~p:4)
+
+let test_latency_critical_path () =
+  let g = Generate.single_latency ~delta:25 in
+  let r = Greedy.run g ~p:2 in
+  check "rounds = delta + 1" 26 r.Run.rounds
+
+let test_bound_formula () =
+  let g = Generate.map_reduce ~n:10 ~leaf_work:2 ~latency:5 in
+  check "bound" (((Metrics.work g + 3) / 4) + Metrics.span g) (Greedy.bound g ~p:4)
+
+let test_theorem1_on_generators () =
+  let cases =
+    [
+      Generate.map_reduce ~n:40 ~leaf_work:5 ~latency:33;
+      Generate.server ~n:15 ~f_work:7 ~latency:11;
+      Generate.fib ~n:13 ();
+      Generate.pipeline ~stages:5 ~items:9 ~latency:8;
+      Generate.parallel_chains ~k:9 ~len:14;
+      Generate.chain ~latency_every:4 ~latency:17 ~n:50 ();
+    ]
+  in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun p ->
+          let r = Greedy.run g ~p in
+          Alcotest.(check bool)
+            (Printf.sprintf "W=%d P=%d" (Metrics.work g) p)
+            true
+            (r.Run.rounds <= Greedy.bound g ~p))
+        [ 1; 2; 3; 5; 16 ])
+    cases
+
+let test_validity () =
+  let g = Generate.map_reduce ~n:12 ~leaf_work:3 ~latency:14 in
+  List.iter
+    (fun p ->
+      let r = Greedy.run ~config:traced g ~p in
+      Schedule.check_exn g (Run.trace_exn r);
+      check "all executed" (Metrics.work g) r.Run.stats.Stats.vertices_executed)
+    [ 1; 2; 4 ]
+
+let test_invalid_p () =
+  match Greedy.run (Generate.diamond ()) ~p:0 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* Theorem 1 as a property over random weighted dags. *)
+let prop_theorem1 =
+  QCheck.Test.make ~name:"Theorem 1: greedy <= W/P + S" ~count:120
+    QCheck.(pair small_int (int_range 1 8))
+    (fun (seed, p) ->
+      QCheck.assume (p >= 1 && p <= 8);
+      let g =
+        Generate.random_fork_join ~seed ~size_hint:150 ~latency_prob:0.3 ~max_latency:25
+      in
+      let r = Greedy.run g ~p in
+      r.Run.rounds <= Greedy.bound g ~p)
+
+let prop_greedy_within_2x_of_any =
+  (* Theorem-backed: greedy <= W/P + S (Thm 1), and every schedule takes at
+     least max(ceil(W/P), S) rounds, so greedy <= 2x any scheduler.  (The
+     converse is false: FIFO greedy can delay a critical-path latency op
+     that LHWS's depth-first order issues early.) *)
+  QCheck.Test.make ~name:"greedy <= 2x LHWS rounds" ~count:30
+    QCheck.(pair small_int (int_range 1 4))
+    (fun (seed, p) ->
+      QCheck.assume (p >= 1 && p <= 4);
+      let g =
+        Generate.random_fork_join ~seed ~size_hint:100 ~latency_prob:0.2 ~max_latency:15
+      in
+      let gr = (Greedy.run g ~p).Run.rounds in
+      let lh = (Lhws_sim.run g ~p).Run.rounds in
+      gr <= (2 * lh) + 2)
+
+let () =
+  Alcotest.run "greedy"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "chain" `Quick test_chain;
+          Alcotest.test_case "wide" `Quick test_wide;
+          Alcotest.test_case "latency critical path" `Quick test_latency_critical_path;
+          Alcotest.test_case "bound formula" `Quick test_bound_formula;
+          Alcotest.test_case "Theorem 1 on generators" `Quick test_theorem1_on_generators;
+          Alcotest.test_case "validity" `Quick test_validity;
+          Alcotest.test_case "invalid p" `Quick test_invalid_p;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_theorem1;
+          QCheck_alcotest.to_alcotest prop_greedy_within_2x_of_any;
+        ] );
+    ]

@@ -1,0 +1,77 @@
+module Generate = Lhws_dag.Generate
+open Lhws_core
+open Lhws_analysis
+
+let traced_run ?(config = Config.analysis) dag ~p =
+  let run = Lhws_sim.run ~config dag ~p in
+  Run.trace_exn run
+
+let test_depth_report_fib () =
+  (* No latency: the enabling tree is the dag's own spanning tree, so
+     d(v) = d_G(v) exactly. *)
+  let dag = Generate.fib ~n:11 () in
+  let tr = traced_run dag ~p:4 in
+  let r = Invariants.depth_report ~suspension_width:0 dag tr in
+  Alcotest.(check (float 1e-9)) "max ratio is 1" 1.0 r.Invariants.max_ratio;
+  Alcotest.(check int) "no violations" 0 r.Invariants.violations;
+  Alcotest.(check bool) "lemma2_ok" true (Invariants.lemma2_ok r)
+
+let test_depth_report_grid () =
+  List.iter
+    (fun (name, dag, u) ->
+      List.iter
+        (fun p ->
+          let tr = traced_run dag ~p in
+          let r = Invariants.depth_report ~suspension_width:u dag tr in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s P=%d max_ratio=%.2f <= bound=%.2f" name p r.Invariants.max_ratio
+               r.Invariants.bound)
+            true (Invariants.lemma2_ok r))
+        [ 1; 2; 4; 8 ])
+    [
+      ("map_reduce", Generate.map_reduce ~n:24 ~leaf_work:3 ~latency:30, 24);
+      ("server", Generate.server ~n:10 ~f_work:5 ~latency:12, 1);
+      ("pipeline", Generate.pipeline ~stages:3 ~items:6 ~latency:9, 6);
+    ]
+
+let test_enabling_span_vs_span () =
+  let dag = Generate.map_reduce ~n:16 ~leaf_work:2 ~latency:25 in
+  let tr = traced_run dag ~p:2 in
+  let r = Invariants.depth_report ~suspension_width:16 dag tr in
+  Alcotest.(check bool) "S* >= something" true (r.Invariants.enabling_span > 0);
+  Alcotest.(check bool) "S* within Corollary 1" true
+    (float_of_int r.Invariants.enabling_span
+    <= 2. *. float_of_int r.Invariants.span *. (1. +. Bounds.lg 16))
+
+let test_pp () =
+  let dag = Generate.diamond () in
+  let tr = traced_run dag ~p:1 in
+  let r = Invariants.depth_report dag tr in
+  let s = Format.asprintf "%a" Invariants.pp_depth_report r in
+  Alcotest.(check bool) "mentions violations" true
+    (Astring.String.is_infix ~affix:"violations" s)
+
+let prop_lemma2_random =
+  QCheck.Test.make ~name:"Lemma 2 depth bound on random dags" ~count:30
+    QCheck.(pair small_int (int_range 1 6))
+    (fun (seed, p) ->
+      QCheck.assume (p >= 1 && p <= 6);
+      let dag =
+        Generate.random_fork_join ~seed ~size_hint:100 ~latency_prob:0.25 ~max_latency:15
+      in
+      let tr = traced_run dag ~p in
+      let r = Invariants.depth_report dag tr in
+      Invariants.lemma2_ok r)
+
+let () =
+  Alcotest.run "invariants"
+    [
+      ( "lemma 2",
+        [
+          Alcotest.test_case "fib exact depths" `Quick test_depth_report_fib;
+          Alcotest.test_case "grid" `Slow test_depth_report_grid;
+          Alcotest.test_case "enabling span" `Quick test_enabling_span_vs_span;
+          Alcotest.test_case "pp" `Quick test_pp;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_lemma2_random ]);
+    ]

@@ -1,0 +1,262 @@
+open Lhws_runtime
+module Pool = Lhws_pool
+
+let test_run_returns () =
+  Pool.with_pool ~workers:1 (fun p ->
+      Alcotest.(check int) "value" 7 (Pool.run p (fun () -> 7)))
+
+let test_run_reusable () =
+  Pool.with_pool ~workers:2 (fun p ->
+      Alcotest.(check int) "first" 1 (Pool.run p (fun () -> 1));
+      Alcotest.(check int) "second" 2 (Pool.run p (fun () -> 2)))
+
+let test_run_exception () =
+  Pool.with_pool ~workers:1 (fun p ->
+      Alcotest.check_raises "raises" (Failure "root") (fun () ->
+          Pool.run p (fun () -> failwith "root")))
+
+let test_fork2 () =
+  Pool.with_pool ~workers:2 (fun p ->
+      let a, b = Pool.run p (fun () -> Pool.fork2 p (fun () -> 10) (fun () -> 20)) in
+      Alcotest.(check (pair int int)) "results" (10, 20) (a, b))
+
+let test_async_await () =
+  Pool.with_pool ~workers:2 (fun p ->
+      let v =
+        Pool.run p (fun () ->
+            let pr = Pool.async p (fun () -> 5 * 5) in
+            Pool.await pr)
+      in
+      Alcotest.(check int) "await" 25 v)
+
+let test_await_exception () =
+  Pool.with_pool ~workers:2 (fun p ->
+      Alcotest.check_raises "child exn" (Failure "child") (fun () ->
+          Pool.run p (fun () -> Pool.await (Pool.async p (fun () -> failwith "child")))))
+
+let test_nested_fib () =
+  Pool.with_pool ~workers:2 (fun p ->
+      let rec fib n =
+        if n < 2 then n
+        else
+          let a, b = Pool.fork2 p (fun () -> fib (n - 1)) (fun () -> fib (n - 2)) in
+          a + b
+      in
+      Alcotest.(check int) "fib 16" 987 (Pool.run p (fun () -> fib 16)))
+
+let test_parallel_for_covers_range () =
+  Pool.with_pool ~workers:3 (fun p ->
+      let n = 500 in
+      let hits = Array.init n (fun _ -> Atomic.make 0) in
+      Pool.run p (fun () ->
+          Pool.parallel_for p ~lo:0 ~hi:n (fun i -> Atomic.incr hits.(i)));
+      Array.iteri
+        (fun i h -> Alcotest.(check int) (Printf.sprintf "index %d once" i) 1 (Atomic.get h))
+        hits)
+
+let test_parallel_map_reduce () =
+  Pool.with_pool ~workers:2 (fun p ->
+      let sum =
+        Pool.run p (fun () ->
+            Pool.parallel_map_reduce p ~lo:1 ~hi:101 ~map:Fun.id ~combine:( + ) ~id:0)
+      in
+      Alcotest.(check int) "gauss" 5050 sum)
+
+let test_sleep_duration () =
+  Pool.with_pool ~workers:1 (fun p ->
+      let t0 = Unix.gettimeofday () in
+      Pool.run p (fun () -> Pool.sleep p 0.05);
+      let dt = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool) "slept at least 50ms" true (dt >= 0.045);
+      Alcotest.(check bool) "did not oversleep wildly" true (dt < 0.5))
+
+let test_sleep_zero () =
+  Pool.with_pool ~workers:1 (fun p ->
+      Alcotest.(check unit) "no-op" () (Pool.run p (fun () -> Pool.sleep p 0.)))
+
+let test_latency_hiding_one_worker () =
+  (* The headline behaviour: k concurrent sleeps of d seconds on ONE worker
+     finish in ~d, not k*d, because fibers suspend instead of blocking. *)
+  Pool.with_pool ~workers:1 (fun p ->
+      let k = 10 and d = 0.04 in
+      let t0 = Unix.gettimeofday () in
+      Pool.run p (fun () ->
+          Pool.parallel_for p ~lo:0 ~hi:k (fun _ -> Pool.sleep p d));
+      let dt = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%.3fs ~ d, not k*d" dt)
+        true
+        (dt < float_of_int k *. d /. 2.))
+
+let test_suspension_stats () =
+  Pool.with_pool ~workers:1 (fun p ->
+      Pool.run p (fun () -> Pool.parallel_for p ~lo:0 ~hi:8 (fun _ -> Pool.sleep p 0.01));
+      let st = Pool.stats p in
+      Alcotest.(check bool) "some suspensions" true (st.Pool.suspensions >= 8);
+      Alcotest.(check bool) "resumed as many" true (st.Pool.resumes >= 8);
+      Alcotest.(check bool) "allocated deques" true (st.Pool.deques_allocated >= 1))
+
+let test_many_fibers () =
+  Pool.with_pool ~workers:2 (fun p ->
+      let n = 2000 in
+      let sum =
+        Pool.run p (fun () ->
+            Pool.parallel_map_reduce p ~lo:0 ~hi:n ~map:(fun i -> i mod 7) ~combine:( + ) ~id:0)
+      in
+      let expect = List.fold_left (fun a i -> a + (i mod 7)) 0 (List.init n Fun.id) in
+      Alcotest.(check int) "sum" expect sum)
+
+let test_mixed_sleep_compute () =
+  Pool.with_pool ~workers:2 (fun p ->
+      let v =
+        Pool.run p (fun () ->
+            Pool.parallel_map_reduce p ~lo:0 ~hi:20
+              ~map:(fun i ->
+                if i mod 2 = 0 then Pool.sleep p 0.005;
+                i)
+              ~combine:( + ) ~id:0)
+      in
+      Alcotest.(check int) "sum" 190 v)
+
+let test_yield () =
+  Pool.with_pool ~workers:1 (fun p ->
+      let order = ref [] in
+      Pool.run p (fun () ->
+          let pr =
+            Pool.async p (fun () -> order := "child" :: !order)
+          in
+          Fiber.yield ();
+          order := "parent" :: !order;
+          Pool.await pr);
+      (* Exact interleaving depends on drain timing; both must have run. *)
+      Alcotest.(check (list string)) "both ran" [ "child"; "parent" ]
+        (List.sort compare !order))
+
+let test_deep_nesting () =
+  Pool.with_pool ~workers:2 (fun p ->
+      let rec nest d = if d = 0 then 1 else fst (Pool.fork2 p (fun () -> nest (d - 1)) (fun () -> 0)) in
+      Alcotest.(check int) "deep" 1 (Pool.run p (fun () -> nest 200)))
+
+let test_exception_after_suspension () =
+  (* A fiber that suspends and then fails: the exception must surface at
+     the await, not kill a worker. *)
+  Pool.with_pool ~workers:2 (fun p ->
+      Alcotest.check_raises "late failure" (Failure "after sleep") (fun () ->
+          Pool.run p (fun () ->
+              let pr =
+                Pool.async p (fun () ->
+                    Pool.sleep p 0.005;
+                    failwith "after sleep")
+              in
+              Pool.await pr));
+      (* pool still healthy afterwards *)
+      Alcotest.(check int) "still works" 3 (Pool.run p (fun () -> 3)))
+
+let test_many_runs_with_suspension () =
+  (* Repeated run cycles leave no residue: deques recycle, counters grow
+     consistently. *)
+  Pool.with_pool ~workers:2 (fun p ->
+      for round = 1 to 5 do
+        let v =
+          Pool.run p (fun () ->
+              Pool.parallel_map_reduce p ~lo:0 ~hi:8
+                ~map:(fun i ->
+                  Pool.sleep p 0.002;
+                  i)
+                ~combine:( + ) ~id:0)
+        in
+        Alcotest.(check int) (Printf.sprintf "round %d" round) 28 v
+      done;
+      let st = Pool.stats p in
+      Alcotest.(check bool) "suspensions accumulated" true (st.Pool.suspensions >= 5 * 8))
+
+let test_timer_and_io_pollers_coexist () =
+  Pool.with_pool ~workers:1 (fun p ->
+      let io = Io.create () in
+      Pool.register_poller p (fun () -> Io.poll io);
+      let r, w = Unix.pipe ~cloexec:true () in
+      Fun.protect
+        ~finally:(fun () ->
+          Unix.close r;
+          Unix.close w)
+        (fun () ->
+          let result =
+            Pool.run p (fun () ->
+                let sleeper =
+                  Pool.async p (fun () ->
+                      Pool.sleep p 0.01;
+                      Io.write_all io w (Bytes.of_string "k");
+                      1)
+                in
+                let reader =
+                  Pool.async p (fun () ->
+                      let buf = Bytes.create 1 in
+                      Io.read_exactly io r buf 1;
+                      2)
+                in
+                Pool.await sleeper + Pool.await reader)
+          in
+          Alcotest.(check int) "both event sources served" 3 result))
+
+let test_worker_steal_policy () =
+  (* Section 6's worker-targeted steals: same results, and with latency in
+     play steals still succeed (fibers migrate). *)
+  Pool.with_pool ~workers:2 ~steal_policy:Pool.Worker_then_deque (fun p ->
+      let v =
+        Pool.run p (fun () ->
+            Pool.parallel_map_reduce p ~lo:0 ~hi:40
+              ~map:(fun i ->
+                if i mod 4 = 0 then Pool.sleep p 0.002;
+                Lhws_workloads.Fib.seq 10 + i)
+              ~combine:( + ) ~id:0)
+      in
+      let expect = List.fold_left (fun a i -> a + 55 + i) 0 (List.init 40 Fun.id) in
+      Alcotest.(check int) "value" expect v;
+      let rec fib n =
+        if n < 2 then n
+        else
+          let a, b = Pool.fork2 p (fun () -> fib (n - 1)) (fun () -> fib (n - 2)) in
+          a + b
+      in
+      Alcotest.(check int) "fib under worker steals" 987 (Pool.run p (fun () -> fib 16)))
+
+let test_invalid_workers () =
+  match Pool.create ~workers:0 () with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "lhws_pool"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "run returns" `Quick test_run_returns;
+          Alcotest.test_case "run reusable" `Quick test_run_reusable;
+          Alcotest.test_case "run exception" `Quick test_run_exception;
+          Alcotest.test_case "fork2" `Quick test_fork2;
+          Alcotest.test_case "async/await" `Quick test_async_await;
+          Alcotest.test_case "await exception" `Quick test_await_exception;
+          Alcotest.test_case "nested fib" `Quick test_nested_fib;
+          Alcotest.test_case "parallel_for coverage" `Quick test_parallel_for_covers_range;
+          Alcotest.test_case "map_reduce" `Quick test_parallel_map_reduce;
+          Alcotest.test_case "worker steal policy" `Quick test_worker_steal_policy;
+          Alcotest.test_case "invalid workers" `Quick test_invalid_workers;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "sleep duration" `Quick test_sleep_duration;
+          Alcotest.test_case "sleep zero" `Quick test_sleep_zero;
+          Alcotest.test_case "hiding on one worker" `Quick test_latency_hiding_one_worker;
+          Alcotest.test_case "suspension stats" `Quick test_suspension_stats;
+          Alcotest.test_case "mixed sleep/compute" `Quick test_mixed_sleep_compute;
+          Alcotest.test_case "exception after suspension" `Quick test_exception_after_suspension;
+          Alcotest.test_case "many runs with suspension" `Quick test_many_runs_with_suspension;
+          Alcotest.test_case "timer + io pollers" `Quick test_timer_and_io_pollers_coexist;
+        ] );
+      ( "stress",
+        [
+          Alcotest.test_case "many fibers" `Slow test_many_fibers;
+          Alcotest.test_case "yield" `Quick test_yield;
+          Alcotest.test_case "deep nesting" `Slow test_deep_nesting;
+        ] );
+    ]

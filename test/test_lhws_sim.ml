@@ -1,0 +1,302 @@
+module Dag = Lhws_dag.Dag
+module Generate = Lhws_dag.Generate
+module Metrics = Lhws_dag.Metrics
+open Lhws_core
+
+let check = Alcotest.(check int)
+
+let traced = { Config.default with trace = true }
+
+let run ?(config = traced) dag ~p = Lhws_sim.run ~config dag ~p
+
+let test_single_vertex () =
+  let b = Dag.Builder.create () in
+  let _ = Dag.Builder.add_vertex b in
+  let g = Dag.Builder.build b in
+  let r = run g ~p:1 in
+  check "one round" 1 r.Run.rounds;
+  check "one vertex" 1 r.Run.stats.Stats.vertices_executed
+
+let test_chain_p1 () =
+  (* A pure chain on one worker executes one vertex per round. *)
+  let g = Generate.chain ~n:25 () in
+  let r = run g ~p:1 in
+  check "rounds = work" 25 r.Run.rounds;
+  check "no steals succeed" 0 r.Run.stats.Stats.steals_ok
+
+let test_chain_extra_workers_useless () =
+  let g = Generate.chain ~n:25 () in
+  let r1 = run g ~p:1 in
+  let r4 = run g ~p:4 in
+  check "same rounds" r1.Run.rounds r4.Run.rounds
+
+let test_single_latency () =
+  (* root at round 0; final ready at round delta; the scheduler needs two
+     more rounds to switch back to the resumed deque and execute. *)
+  let g = Generate.single_latency ~delta:10 in
+  let r = run g ~p:1 in
+  Alcotest.(check bool) "rounds >= delta + 1" true (r.Run.rounds >= 11);
+  Alcotest.(check bool) "rounds <= delta + 4" true (r.Run.rounds <= 14);
+  check "one suspension" 1 r.Run.stats.Stats.suspensions;
+  check "one resume" 1 r.Run.stats.Stats.resumes
+
+let test_all_executed_and_valid () =
+  let g = Generate.map_reduce ~n:30 ~leaf_work:4 ~latency:20 in
+  List.iter
+    (fun p ->
+      let r = run g ~p in
+      check "all vertices" (Metrics.work g) r.Run.stats.Stats.vertices_executed;
+      Schedule.check_exn g (Run.trace_exn r))
+    [ 1; 2; 3; 5; 8 ]
+
+let test_determinism () =
+  let g = Generate.map_reduce ~n:20 ~leaf_work:3 ~latency:15 in
+  let r1 = run g ~p:4 in
+  let r2 = run g ~p:4 in
+  check "same rounds" r1.Run.rounds r2.Run.rounds;
+  check "same steals" r1.Run.stats.Stats.steals_ok r2.Run.stats.Stats.steals_ok;
+  Alcotest.(check bool) "same schedule" true
+    (Trace.executions (Run.trace_exn r1) = Trace.executions (Run.trace_exn r2))
+
+let test_seed_changes_schedule () =
+  let g = Generate.map_reduce ~n:20 ~leaf_work:3 ~latency:15 in
+  let r1 = run ~config:{ traced with seed = 1 } g ~p:4 in
+  let r2 = run ~config:{ traced with seed = 2 } g ~p:4 in
+  (* The schedules almost surely differ; the executed set never does. *)
+  check "same vertices" r1.Run.stats.Stats.vertices_executed
+    r2.Run.stats.Stats.vertices_executed
+
+let test_token_balance () =
+  let g = Generate.map_reduce ~n:25 ~leaf_work:5 ~latency:30 in
+  List.iter
+    (fun p ->
+      let r = run g ~p in
+      Alcotest.(check bool) (Printf.sprintf "balanced P=%d" p) true (Stats.balanced r.Run.stats))
+    [ 1; 2; 4; 7 ]
+
+let test_server_single_deque () =
+  (* U = 1: every worker keeps at most one live deque (Lemma 7 is tight). *)
+  let g = Generate.server ~n:12 ~f_work:6 ~latency:9 in
+  List.iter
+    (fun p ->
+      let r = run g ~p in
+      check (Printf.sprintf "one deque P=%d" p) 1 r.Run.stats.Stats.max_deques_per_worker)
+    [ 1; 2; 4 ]
+
+let test_map_reduce_suspensions () =
+  let n = 16 in
+  let g = Generate.map_reduce ~n ~leaf_work:2 ~latency:50 in
+  let r = run g ~p:4 in
+  check "n suspensions" n r.Run.stats.Stats.suspensions;
+  check "n resumes" n r.Run.stats.Stats.resumes;
+  Alcotest.(check bool) "live suspended le U" true (r.Run.stats.Stats.max_live_suspended <= n)
+
+let test_pfor_work_bounded () =
+  let g = Generate.map_reduce ~n:64 ~leaf_work:1 ~latency:100 in
+  let r = run ~config:{ traced with wrap_single_resume = true } g ~p:2 in
+  Alcotest.(check bool) "W + Wpfor <= 2W" true
+    (r.Run.stats.Stats.vertices_executed + r.Run.stats.Stats.pfor_executed
+    <= 2 * Metrics.work g)
+
+let test_no_latency_no_extra_deques () =
+  (* With U = 0 the algorithm behaves like standard work stealing: no
+     suspensions, no pfor vertices, one deque per worker at a time. *)
+  let g = Generate.fib ~n:13 () in
+  let r = run g ~p:4 in
+  check "no suspensions" 0 r.Run.stats.Stats.suspensions;
+  check "no pfor" 0 r.Run.stats.Stats.pfor_executed;
+  check "one deque per worker" 1 r.Run.stats.Stats.max_deques_per_worker
+
+let test_steal_policy_worker () =
+  let g = Generate.map_reduce ~n:24 ~leaf_work:4 ~latency:25 in
+  let config = { traced with steal_policy = Config.Steal_worker_then_deque } in
+  let r = run ~config g ~p:4 in
+  check "all executed" (Metrics.work g) r.Run.stats.Stats.vertices_executed;
+  Schedule.check_exn g (Run.trace_exn r)
+
+let test_fast_forward_equivalence () =
+  (* Fast-forward changes only how idle stretches are simulated; the work
+     done and the schedule validity are unaffected. *)
+  let g = Generate.server ~n:6 ~f_work:3 ~latency:40 in
+  let rff = run ~config:{ traced with fast_forward = true } g ~p:2 in
+  let rslow = run ~config:{ traced with fast_forward = false } g ~p:2 in
+  check "same vertices" rff.Run.stats.Stats.vertices_executed
+    rslow.Run.stats.Stats.vertices_executed;
+  Schedule.check_exn g (Run.trace_exn rff);
+  Schedule.check_exn g (Run.trace_exn rslow);
+  Alcotest.(check bool) "ff actually skipped rounds" true
+    (rff.Run.stats.Stats.fast_forwarded_rounds > 0)
+
+let test_wrap_single_resume () =
+  let g = Generate.server ~n:6 ~f_work:3 ~latency:12 in
+  let r = run ~config:{ traced with wrap_single_resume = true } g ~p:1 in
+  Alcotest.(check bool) "pfor vertices appear" true (r.Run.stats.Stats.pfor_executed > 0);
+  let r2 = run g ~p:1 in
+  check "unwrapped has none" 0 r2.Run.stats.Stats.pfor_executed
+
+let test_resume_burst_batching () =
+  (* All n suspended tasks resume in the same round on one deque at P=1,
+     so they are injected as a single pfor tree whose internal vertices
+     number n - 1. *)
+  let n = 32 in
+  let g = Generate.resume_burst ~n ~leaf_work:2 ~latency:40 in
+  let r = run g ~p:1 in
+  check "n suspensions" n r.Run.stats.Stats.suspensions;
+  check "single batch" 1 r.Run.stats.Stats.pfor_batches;
+  check "pfor internal vertices" (n - 1) r.Run.stats.Stats.pfor_executed;
+  Schedule.check_exn g (Run.trace_exn r)
+
+let test_resume_linear_policy () =
+  let g = Generate.resume_burst ~n:64 ~leaf_work:3 ~latency:50 in
+  let tree = run ~config:{ traced with resume_policy = Config.Resume_pfor_tree } g ~p:8 in
+  let lin = run ~config:{ traced with resume_policy = Config.Resume_linear } g ~p:8 in
+  Schedule.check_exn g (Run.trace_exn tree);
+  Schedule.check_exn g (Run.trace_exn lin);
+  Alcotest.(check bool) "tree is faster on a burst" true (tree.Run.rounds < lin.Run.rounds)
+
+let test_fresh_deque_target () =
+  (* The Spoonhower-style variant must still produce valid schedules, and
+     its deque allocation scales with resumes rather than steals. *)
+  let g = Generate.map_reduce ~n:40 ~leaf_work:3 ~latency:30 in
+  let cfg = { traced with resume_target = Config.Fresh_deque } in
+  List.iter
+    (fun p ->
+      let r = run ~config:cfg g ~p in
+      check "all executed" (Metrics.work g) r.Run.stats.Stats.vertices_executed;
+      Schedule.check_exn g (Run.trace_exn r);
+      Alcotest.(check bool) "balanced" true (Stats.balanced r.Run.stats))
+    [ 1; 2; 4 ];
+  (* On the server (U = 1) the paper's policy allocates only the initial
+     deques, while the fresh-deque variant allocates on every resume
+     (recycling keeps live counts low, so compare totals). *)
+  let sv = Generate.server ~n:30 ~f_work:5 ~latency:12 in
+  let orig = run sv ~p:1 in
+  let fresh = run ~config:{ cfg with trace = true } sv ~p:1 in
+  Alcotest.(check bool) "fresh allocates at least as many deques" true
+    (fresh.Run.stats.Stats.deques_allocated >= orig.Run.stats.Stats.deques_allocated)
+
+let test_availability () =
+  (* Multiprogrammed extension: with every other round stolen from every
+     worker by the environment, the computation still completes, the
+     schedule stays valid, and tokens (now including unavailable rounds)
+     still balance. *)
+  let g = Generate.map_reduce ~n:20 ~leaf_work:4 ~latency:15 in
+  let config =
+    { traced with availability = Some (fun round worker -> (round + worker) mod 2 = 0) }
+  in
+  let r = run ~config g ~p:3 in
+  check "all executed" (Metrics.work g) r.Run.stats.Stats.vertices_executed;
+  Schedule.check_exn g (Run.trace_exn r);
+  Alcotest.(check bool) "balanced with unavailable" true (Stats.balanced r.Run.stats);
+  Alcotest.(check bool) "unavailability recorded" true
+    (r.Run.stats.Stats.unavailable_rounds > 0);
+  (* Halving availability roughly doubles the rounds vs the dedicated run. *)
+  let dedicated = run g ~p:3 in
+  Alcotest.(check bool) "slower than dedicated" true (r.Run.rounds > dedicated.Run.rounds)
+
+let test_availability_single_survivor () =
+  (* Only worker 0 is ever scheduled: degenerates to P=1 behaviour. *)
+  let g = Generate.fib ~n:10 () in
+  let config = { traced with availability = Some (fun _ worker -> worker = 0) } in
+  let r = run ~config g ~p:4 in
+  let solo = run g ~p:1 in
+  check "work done" (Metrics.work g) r.Run.stats.Stats.vertices_executed;
+  check "same rounds as P=1" solo.Run.rounds r.Run.rounds
+
+let test_invalid_p () =
+  let g = Generate.diamond () in
+  match Lhws_sim.run g ~p:0 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_malformed_rejected () =
+  let b = Dag.Builder.create () in
+  let v0 = Dag.Builder.add_vertex b in
+  let v1 = Dag.Builder.add_vertex b in
+  let v2 = Dag.Builder.add_vertex b in
+  Dag.Builder.add_edge b v0 v2;
+  Dag.Builder.add_edge b v1 v2;
+  let g = Dag.Builder.build b in
+  match Lhws_sim.run g ~p:1 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_max_rounds () =
+  let g = Generate.single_latency ~delta:1000 in
+  let config = { Config.default with max_rounds = 10; fast_forward = false } in
+  match Lhws_sim.run ~config g ~p:1 with
+  | _ -> Alcotest.fail "expected Stuck"
+  | exception Config.Stuck _ -> ()
+
+let test_observer_rounds () =
+  let g = Generate.map_reduce ~n:4 ~leaf_work:2 ~latency:8 in
+  let count = ref 0 in
+  let r =
+    Lhws_sim.run ~config:{ traced with fast_forward = false }
+      ~observer:(fun s ->
+        incr count;
+        Alcotest.(check int) "round index" (!count - 1) s.Snapshot.round)
+      g ~p:2
+  in
+  check "observer called once per round" r.Run.rounds !count
+
+(* Properties over random dags. *)
+let random_dag seed =
+  Generate.random_fork_join ~seed ~size_hint:120 ~latency_prob:0.25 ~max_latency:20
+
+let prop_valid_schedules =
+  QCheck.Test.make ~name:"random dags: schedule valid on 1..6 workers" ~count:40
+    QCheck.(pair small_int (int_range 1 6))
+    (fun (seed, p) ->
+      QCheck.assume (p >= 1 && p <= 6);
+      let g = random_dag seed in
+      let r = run g ~p in
+      Schedule.valid g (Run.trace_exn r)
+      && r.Run.stats.Stats.vertices_executed = Metrics.work g
+      && Stats.balanced r.Run.stats)
+
+let prop_rounds_at_least_span_fraction =
+  QCheck.Test.make ~name:"rounds >= max(W/P, 1)" ~count:40
+    QCheck.(pair small_int (int_range 1 6))
+    (fun (seed, p) ->
+      QCheck.assume (p >= 1 && p <= 6);
+      let g = random_dag seed in
+      let r = run g ~p in
+      r.Run.rounds >= (Metrics.work g + p - 1) / p)
+
+let () =
+  Alcotest.run "lhws_sim"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "single vertex" `Quick test_single_vertex;
+          Alcotest.test_case "chain P=1" `Quick test_chain_p1;
+          Alcotest.test_case "chain extra workers" `Quick test_chain_extra_workers_useless;
+          Alcotest.test_case "single latency" `Quick test_single_latency;
+          Alcotest.test_case "all executed, valid" `Quick test_all_executed_and_valid;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed variation" `Quick test_seed_changes_schedule;
+          Alcotest.test_case "token balance" `Quick test_token_balance;
+          Alcotest.test_case "server: one deque" `Quick test_server_single_deque;
+          Alcotest.test_case "map_reduce suspensions" `Quick test_map_reduce_suspensions;
+          Alcotest.test_case "pfor work bounded" `Quick test_pfor_work_bounded;
+          Alcotest.test_case "no latency, no extras" `Quick test_no_latency_no_extra_deques;
+          Alcotest.test_case "worker steal policy" `Quick test_steal_policy_worker;
+          Alcotest.test_case "fast-forward equivalence" `Quick test_fast_forward_equivalence;
+          Alcotest.test_case "wrap single resume" `Quick test_wrap_single_resume;
+          Alcotest.test_case "resume burst batching" `Quick test_resume_burst_batching;
+          Alcotest.test_case "linear resume policy" `Quick test_resume_linear_policy;
+          Alcotest.test_case "fresh deque target" `Quick test_fresh_deque_target;
+          Alcotest.test_case "availability mask" `Quick test_availability;
+          Alcotest.test_case "availability single survivor" `Quick test_availability_single_survivor;
+          Alcotest.test_case "invalid p" `Quick test_invalid_p;
+          Alcotest.test_case "malformed rejected" `Quick test_malformed_rejected;
+          Alcotest.test_case "max rounds" `Quick test_max_rounds;
+          Alcotest.test_case "observer" `Quick test_observer_rounds;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_valid_schedules;
+          QCheck_alcotest.to_alcotest prop_rounds_at_least_span_fraction;
+        ] );
+    ]

@@ -1,0 +1,127 @@
+module Dag = Lhws_dag.Dag
+module Block = Lhws_dag.Block
+module Metrics = Lhws_dag.Metrics
+module Generate = Lhws_dag.Generate
+
+let check = Alcotest.(check int)
+
+let test_chain () =
+  let g = Generate.chain ~n:10 () in
+  check "work" 10 (Metrics.work g);
+  check "span = edges" 9 (Metrics.span g);
+  check "unweighted same" 9 (Metrics.unweighted_span g);
+  check "no latency" 0 (Metrics.total_latency g);
+  check "no heavy" 0 (Metrics.num_heavy_edges g)
+
+let test_weighted_chain () =
+  (* every 3rd edge heavy with weight 5 *)
+  let g = Generate.chain ~latency_every:3 ~latency:5 ~n:10 () in
+  (* edges i=1..9; heavy at i=3,6,9 -> 3 heavy edges *)
+  check "heavy count" 3 (Metrics.num_heavy_edges g);
+  check "total latency" 12 (Metrics.total_latency g);
+  check "span includes weights" (6 + (3 * 5)) (Metrics.span g);
+  check "unweighted span" 9 (Metrics.unweighted_span g);
+  check "critical latency" 12 (Metrics.critical_path_latency g)
+
+let test_single_latency () =
+  let g = Generate.single_latency ~delta:42 in
+  check "work" 2 (Metrics.work g);
+  check "span" 42 (Metrics.span g);
+  check "critical latency" 41 (Metrics.critical_path_latency g)
+
+let test_diamond () =
+  let g = Generate.diamond () in
+  check "work" 4 (Metrics.work g);
+  check "span" 2 (Metrics.span g)
+
+let test_off_critical_latency () =
+  (* fork: left = long chain, right = short latency op.  The latency is off
+     the critical path, so span is the chain, but total latency counts it. *)
+  let b = Dag.Builder.create () in
+  let left = Block.chain b 30 in
+  let right = Block.latency b 10 in
+  let g = Block.finish b (Block.fork2 b left right) in
+  check "work" (30 + 2 + 2) (Metrics.work g);
+  check "span from chain" (1 + 29 + 1) (Metrics.span g);
+  check "total latency" 9 (Metrics.total_latency g);
+  check "critical latency < total" 9 (Metrics.critical_path_latency g)
+
+let test_weighted_depth () =
+  let g = Generate.single_latency ~delta:7 in
+  let d = Metrics.weighted_depth g in
+  check "root depth" 0 d.(Dag.root g);
+  check "final depth" 7 d.(Dag.final g)
+
+let test_parallelism () =
+  let g = Generate.parallel_chains ~k:8 ~len:10 in
+  Alcotest.(check bool) "parallelism > 5" true (Metrics.parallelism g > 5.)
+
+let test_parallelism_single () =
+  let b = Dag.Builder.create () in
+  let _ = Block.vertex b in
+  let g = Dag.Builder.build b in
+  Alcotest.(check bool) "infinite on single vertex" true (Metrics.parallelism g = infinity)
+
+let test_map_reduce_closed_form () =
+  let n = 16 and leaf_work = 5 and latency = 9 in
+  let g = Generate.map_reduce ~n ~leaf_work ~latency in
+  (* leaves: latency op (2 vertices) + chain leaf_work; internal: n-1 fork2,
+     2 vertices each *)
+  check "work" ((n * (2 + leaf_work)) + (2 * (n - 1))) (Metrics.work g);
+  (* span: lg n forks + latency + leaf chain + lg n joins *)
+  check "span" (4 + latency + (leaf_work - 1) + 1 + 4) (Metrics.span g)
+
+let test_server_closed_form () =
+  let n = 5 and f_work = 3 and latency = 7 in
+  let g = Generate.server ~n ~f_work ~latency in
+  (* per non-last input: latency op (2) + fork + join + f chain; last: latency op + done *)
+  check "work" (((n - 1) * (2 + 2 + f_work)) + 2 + 1) (Metrics.work g);
+  (* Critical path: down the spine of getInputs (delta + 2 edges per
+     iteration), through the last input's "done", then up the join chain
+     (n - 1 edges). *)
+  check "span" (((n - 1) * (latency + 3)) + latency + 1) (Metrics.span g)
+
+(* Properties on random dags *)
+let random_dag seed =
+  Generate.random_fork_join ~seed ~size_hint:80 ~latency_prob:0.25 ~max_latency:12
+
+let prop_span_le_work_plus_latency =
+  QCheck.Test.make ~name:"span <= work + total latency" ~count:100 QCheck.small_int (fun seed ->
+      let g = random_dag seed in
+      Metrics.span g <= Metrics.work g + Metrics.total_latency g)
+
+let prop_unweighted_le_weighted =
+  QCheck.Test.make ~name:"unweighted span <= weighted span" ~count:100 QCheck.small_int
+    (fun seed ->
+      let g = random_dag seed in
+      Metrics.unweighted_span g <= Metrics.span g)
+
+let prop_critical_le_total_latency =
+  QCheck.Test.make ~name:"critical-path latency <= total latency" ~count:100 QCheck.small_int
+    (fun seed ->
+      let g = random_dag seed in
+      Metrics.critical_path_latency g <= Metrics.total_latency g)
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "closed forms",
+        [
+          Alcotest.test_case "chain" `Quick test_chain;
+          Alcotest.test_case "weighted chain" `Quick test_weighted_chain;
+          Alcotest.test_case "single latency" `Quick test_single_latency;
+          Alcotest.test_case "diamond" `Quick test_diamond;
+          Alcotest.test_case "off-critical latency" `Quick test_off_critical_latency;
+          Alcotest.test_case "weighted depth" `Quick test_weighted_depth;
+          Alcotest.test_case "parallelism" `Quick test_parallelism;
+          Alcotest.test_case "parallelism single" `Quick test_parallelism_single;
+          Alcotest.test_case "map_reduce W and S" `Quick test_map_reduce_closed_form;
+          Alcotest.test_case "server W and S" `Quick test_server_closed_form;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_span_le_work_plus_latency;
+          QCheck_alcotest.to_alcotest prop_unweighted_le_weighted;
+          QCheck_alcotest.to_alcotest prop_critical_le_total_latency;
+        ] );
+    ]

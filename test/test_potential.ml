@@ -1,0 +1,264 @@
+module Generate = Lhws_dag.Generate
+open Lhws_core
+open Lhws_analysis
+
+let test_phi_values () =
+  (* s_star = 3: a vertex at depth 1 has weight 2 -> phi = 3^4 = 81, or
+     3^3 = 27 while assigned. *)
+  Alcotest.(check (float 1e-9)) "queued" 81. (Potential.phi ~s_star:3 ~assigned:false 1);
+  Alcotest.(check (float 1e-9)) "assigned" 27. (Potential.phi ~s_star:3 ~assigned:true 1);
+  Alcotest.(check (float 1e-9)) "at s_star" 1. (Potential.phi ~s_star:3 ~assigned:false 3)
+
+let test_phi_decreases_with_depth () =
+  for d = 0 to 9 do
+    Alcotest.(check bool) "monotone" true
+      (Potential.phi ~s_star:10 ~assigned:false (d + 1)
+      < Potential.phi ~s_star:10 ~assigned:false d)
+  done
+
+let view ?(state = Snapshot.Ready) ?(suspend_ctr = 0) ?(anchor = (0, 0)) depths =
+  {
+    Snapshot.owner = 0;
+    state;
+    task_depths = depths;
+    suspend_ctr;
+    anchor_depth = fst anchor;
+    anchor_round = snd anchor;
+  }
+
+let test_deque_potential_sums_tasks () =
+  let d = view [ 2; 1 ] in
+  Alcotest.(check (float 1e-9)) "sum of task phis"
+    (Potential.phi ~s_star:4 ~assigned:false 2 +. Potential.phi ~s_star:4 ~assigned:false 1)
+    (Potential.deque_potential ~s_star:4 ~round:0 d)
+
+let test_extra_potential_decay () =
+  (* Suspended deque: extra potential 2 * 3^(2w - 2j) decays with rounds. *)
+  let d = view ~state:Snapshot.Suspended ~suspend_ctr:1 ~anchor:(1, 10) [] in
+  let at r = Potential.deque_potential ~s_star:4 ~round:r d in
+  Alcotest.(check (float 1e-9)) "at anchor round" (2. *. (3. ** 6.)) (at 10);
+  Alcotest.(check (float 1e-9)) "one round later" (2. *. (3. ** 4.)) (at 11);
+  Alcotest.(check bool) "decays" true (at 12 < at 11)
+
+let test_active_no_extra () =
+  let d = view ~state:Snapshot.Active ~suspend_ctr:3 ~anchor:(1, 0) [] in
+  Alcotest.(check (float 1e-9)) "no extra when active" 0.
+    (Potential.deque_potential ~s_star:4 ~round:5 d)
+
+(* Lemma 3: a deque whose task depths strictly decrease toward the top
+   (bottom-to-top increasing weights) is top-heavy. *)
+let test_top_heavy_ok () =
+  let snap =
+    {
+      Snapshot.round = 0;
+      assigned_depths = [];
+      deques = [ view [ 5; 4; 3 ] (* bottom..top: depths decrease upward *) ];
+      live_suspended = 0;
+      steal_attempts = 0;
+    }
+  in
+  Alcotest.(check int) "no violations" 0 (Potential.top_heavy_violations ~s_star:8 snap)
+
+let test_top_heavy_violation_detected () =
+  (* Inverted depths: the top vertex is the deepest (lightest), which
+     cannot happen in real runs (Lemma 2 condition 5) — the checker must
+     flag it. *)
+  let snap =
+    {
+      Snapshot.round = 0;
+      assigned_depths = [];
+      deques = [ view [ 3; 4; 5 ] ];
+      live_suspended = 0;
+      steal_attempts = 0;
+    }
+  in
+  Alcotest.(check int) "violation" 1 (Potential.top_heavy_violations ~s_star:8 snap)
+
+let test_monotonicity_report () =
+  let m = Potential.check_monotone [ 100.; 50.; 50.; 10.; 0. ] in
+  Alcotest.(check int) "checked" 4 m.Potential.rounds_checked;
+  Alcotest.(check int) "no violations" 0 m.Potential.violations;
+  let m2 = Potential.check_monotone [ 10.; 20.; 5. ] in
+  Alcotest.(check int) "one violation" 1 m2.Potential.violations;
+  Alcotest.(check (float 1e-9)) "ratio 2" 2. m2.Potential.max_increase_ratio
+
+(* End-to-end: on small traced runs the reconstructed potential starts
+   high, ends at zero, and is near-monotone (the reconstruction introduces
+   small approximations at resume boundaries, so we allow a small
+   violation fraction; see DESIGN.md). *)
+let run_potential dag p =
+  let snaps = ref [] in
+  let run =
+    Lhws_sim.run ~config:Config.analysis ~observer:(fun s -> snaps := s :: !snaps) dag ~p
+  in
+  let s_star = Trace.enabling_span (Run.trace_exn run) in
+  let series = List.rev_map (Potential.total ~s_star) !snaps in
+  (series, List.rev !snaps, s_star)
+
+let test_run_potential_decreases () =
+  List.iter
+    (fun (name, dag) ->
+      let series, _, _ = run_potential dag 2 in
+      let m = Potential.check_monotone series in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: near-monotone (%d/%d violations)" name m.Potential.violations
+           m.Potential.rounds_checked)
+        true
+        (float_of_int m.Potential.violations
+        <= 0.2 *. float_of_int (max 1 m.Potential.rounds_checked));
+      Alcotest.(check bool) (name ^ ": ends below start") true
+        (m.Potential.final < m.Potential.initial))
+    [
+      ("map_reduce", Generate.map_reduce ~n:4 ~leaf_work:2 ~latency:6);
+      ("server", Generate.server ~n:3 ~f_work:2 ~latency:5);
+      ("fib", Generate.fib ~n:7 ());
+    ]
+
+let test_exact_monotone_without_latency () =
+  (* With no heavy edges there are no resume approximations: the
+     reconstructed potential is exactly non-increasing, every round, at
+     every worker count — the classical ABP argument, verified. *)
+  List.iter
+    (fun p ->
+      let series, _, _ = run_potential (Generate.fib ~n:9 ()) p in
+      let m = Potential.check_monotone series in
+      Alcotest.(check int) (Printf.sprintf "P=%d: zero violations" p) 0
+        m.Potential.violations)
+    [ 1; 2; 3; 4 ]
+
+let test_run_deque_order () =
+  (* Lemma 2 condition 5, reflected as depth ordering within deques:
+     holds in every observed round. *)
+  List.iter
+    (fun (name, dag) ->
+      let _, snaps, _ = run_potential dag 2 in
+      let v =
+        List.fold_left (fun acc s -> acc + Invariants.deque_order_violations s) 0 snaps
+      in
+      Alcotest.(check int) (name ^ ": deques depth-ordered") 0 v)
+    [
+      ("map_reduce", Generate.map_reduce ~n:6 ~leaf_work:2 ~latency:8);
+      ("fib", Generate.fib ~n:8 ());
+      ("burst", Generate.resume_burst ~n:8 ~leaf_work:2 ~latency:10);
+    ]
+
+let test_run_lemma4 () =
+  (* The per-execution potential drop of Lemma 4, allowing a small
+     violation fraction from the depth reconstruction (see DESIGN.md). *)
+  List.iter
+    (fun (name, dag) ->
+      let _, snaps, s_star = run_potential dag 2 in
+      let r = Potential.check_lemma4 ~s_star snaps in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %d/%d lemma-4 violations" name r.Potential.violations
+           r.Potential.pairs_checked)
+        true
+        (float_of_int r.Potential.violations
+        <= 0.2 *. float_of_int (max 1 r.Potential.pairs_checked)))
+    [
+      ("map_reduce", Generate.map_reduce ~n:4 ~leaf_work:2 ~latency:6);
+      ("fib", Generate.fib ~n:7 ());
+    ]
+
+let test_run_top_heavy () =
+  List.iter
+    (fun (name, dag) ->
+      let _, snaps, s_star = run_potential dag 2 in
+      let v =
+        List.fold_left (fun acc s -> acc + Potential.top_heavy_violations ~s_star s) 0 snaps
+      in
+      Alcotest.(check int) (name ^ ": Lemma 3 holds every round") 0 v)
+    [
+      ("map_reduce", Generate.map_reduce ~n:6 ~leaf_work:2 ~latency:8);
+      ("fib", Generate.fib ~n:8 ());
+      ("server", Generate.server ~n:4 ~f_work:3 ~latency:6);
+    ]
+
+let test_phase_report () =
+  (* Lemma 8: phases of P(U+1) steal attempts succeed (drop >= 2/9 of the
+     ready-deque potential) with probability > 1/4.  On the map-reduce
+     run most phases succeed outright; assert a conservative floor. *)
+  let dag = Generate.map_reduce ~n:12 ~leaf_work:3 ~latency:25 in
+  let snaps = ref [] in
+  let run =
+    Lhws_sim.run
+      ~config:{ Config.analysis with fast_forward = false }
+      ~observer:(fun s -> snaps := s :: !snaps)
+      dag ~p:3
+  in
+  let s_star = Trace.enabling_span (Run.trace_exn run) in
+  let r = Potential.phase_report ~s_star ~p:3 ~u:12 (List.rev !snaps) in
+  Alcotest.(check bool)
+    (Printf.sprintf "phases found (%d)" r.Potential.phases)
+    true (r.Potential.phases >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "success fraction %.2f > 0.25" r.Potential.fraction)
+    true
+    (r.Potential.fraction > 0.25)
+
+let test_ready_deque_potential () =
+  let snap depths state =
+    {
+      Snapshot.round = 0;
+      assigned_depths = [];
+      deques = [ view ~state depths ];
+      live_suspended = 0;
+      steal_attempts = 0;
+    }
+  in
+  Alcotest.(check bool) "ready deques counted" true
+    (Potential.ready_deque_potential ~s_star:5 (snap [ 2 ] Snapshot.Ready) > 0.);
+  Alcotest.(check (float 1e-9)) "active deques not counted" 0.
+    (Potential.ready_deque_potential ~s_star:5 (snap [ 2 ] Snapshot.Active))
+
+(* Lemma 6, empirically: for beta = 1/2 the success probability of the
+   balls-in-bins experiment exceeds 1 - 1/((1-beta)e) ~ 0.26. *)
+let test_balls_in_bins () =
+  let rng = Rng.make 2024 in
+  List.iter
+    (fun p ->
+      let weights = Array.init p (fun i -> float_of_int (1 + (i * 7 mod 13))) in
+      let rate = Potential.balls_in_bins_success_rate rng ~weights ~beta:0.5 ~trials:2000 in
+      Alcotest.(check bool)
+        (Printf.sprintf "P=%d rate=%.3f > 0.26" p rate)
+        true (rate > 0.26))
+    [ 2; 8; 32; 128 ]
+
+let test_balls_in_bins_trial_bounds () =
+  let rng = Rng.make 7 in
+  let weights = [| 1.; 2.; 3. |] in
+  for _ = 1 to 100 do
+    let x = Potential.balls_in_bins_trial rng ~weights in
+    Alcotest.(check bool) "within [0, total]" true (x >= 0. && x <= 6.)
+  done
+
+let () =
+  Alcotest.run "potential"
+    [
+      ( "arithmetic",
+        [
+          Alcotest.test_case "phi values" `Quick test_phi_values;
+          Alcotest.test_case "phi monotone in depth" `Quick test_phi_decreases_with_depth;
+          Alcotest.test_case "deque potential" `Quick test_deque_potential_sums_tasks;
+          Alcotest.test_case "extra potential decay" `Quick test_extra_potential_decay;
+          Alcotest.test_case "active: no extra" `Quick test_active_no_extra;
+          Alcotest.test_case "top-heavy ok" `Quick test_top_heavy_ok;
+          Alcotest.test_case "top-heavy violation" `Quick test_top_heavy_violation_detected;
+          Alcotest.test_case "monotonicity report" `Quick test_monotonicity_report;
+        ] );
+      ( "runs",
+        [
+          Alcotest.test_case "potential decreases" `Quick test_run_potential_decreases;
+          Alcotest.test_case "Lemma 3 on runs" `Quick test_run_top_heavy;
+          Alcotest.test_case "deque depth order" `Quick test_run_deque_order;
+          Alcotest.test_case "Lemma 4 on runs" `Quick test_run_lemma4;
+          Alcotest.test_case "exact monotone (U=0)" `Quick test_exact_monotone_without_latency;
+          Alcotest.test_case "Lemma 8 phases" `Quick test_phase_report;
+          Alcotest.test_case "ready-deque potential" `Quick test_ready_deque_potential;
+        ] );
+      ( "lemma 6",
+        [
+          Alcotest.test_case "success rate" `Quick test_balls_in_bins;
+          Alcotest.test_case "trial bounds" `Quick test_balls_in_bins_trial_bounds;
+        ] );
+    ]

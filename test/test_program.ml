@@ -1,0 +1,224 @@
+module W = Lhws_workloads
+module Program = W.Program
+module P = W.Pool_intf
+module Metrics = Lhws_dag.Metrics
+module Check = Lhws_dag.Check
+open Lhws_core
+
+let sample () =
+  (* (3*2 fetched remotely) + (5+1 computed locally), with some extra work *)
+  Program.fork2
+    (Program.latency 10 (Program.map (fun x -> x * 2) (Program.return 3)))
+    (Program.work 4 (Program.map (fun x -> x + 1) (Program.return 5)))
+    ( + )
+
+let test_value () = Alcotest.(check int) "value" 12 (Program.value (sample ()))
+
+let test_work_units_match_dag () =
+  List.iter
+    (fun (name, p) ->
+      let dag = Program.to_dag p in
+      Alcotest.(check bool) (name ^ " well-formed") true (Check.well_formed dag);
+      Alcotest.(check int) (name ^ " work units") (Program.work_units p) (Metrics.work dag))
+    [
+      ("sample", sample ());
+      ("pure", Program.return 0);
+      ("deep", Program.work 7 (Program.latency 5 (Program.work 3 (Program.return 1))));
+      ( "map_reduce",
+        Program.dist_map_reduce ~n:9 ~latency:6 ~leaf_work:3 ~f:(fun x -> x * x)
+          ~g:( + ) ~id:0 );
+    ]
+
+let test_dag_latency () =
+  let p = Program.latency 25 (Program.return 1) in
+  let dag = Program.to_dag p in
+  Alcotest.(check int) "heavy edges" 1 (Metrics.num_heavy_edges dag);
+  Alcotest.(check int) "span includes latency" (1 + 25 + 0) (Metrics.span dag)
+
+let test_simulate () =
+  let p =
+    Program.dist_map_reduce ~n:12 ~latency:40 ~leaf_work:5 ~f:(fun x -> x + 1) ~g:( + ) ~id:0
+  in
+  let run = Program.simulate ~config:Config.analysis p ~p:4 in
+  Schedule.check_exn (Program.to_dag p) (Run.trace_exn run);
+  Alcotest.(check int) "all work done" (Program.work_units p)
+    run.Run.stats.Stats.vertices_executed;
+  Alcotest.(check int) "12 suspensions" 12 run.Run.stats.Stats.suspensions
+
+let test_run_on_pools () =
+  let expect = Program.value (sample ()) in
+  List.iter
+    (fun (pool : P.pool) ->
+      let module Pool = (val pool : P.POOL) in
+      let pl = Pool.create ~workers:2 () in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pl)
+        (fun () ->
+          Alcotest.(check int)
+            (Pool.name ^ " executes to the same value")
+            expect
+            (Program.run_on (module Pool) pl ~tick:0.0005 (sample ()))))
+    [ P.lhws; P.ws ]
+
+let test_map_reduce_value () =
+  let p =
+    Program.dist_map_reduce ~n:20 ~latency:4 ~leaf_work:2 ~f:(fun x -> x * x) ~g:( + ) ~id:0
+  in
+  let expect = List.fold_left (fun a i -> a + (i * i)) 0 (List.init 20 Fun.id) in
+  Alcotest.(check int) "reference" expect (Program.value p);
+  let module Pool = (val P.lhws : P.POOL) in
+  let pl = Pool.create ~workers:2 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pl)
+    (fun () ->
+      Alcotest.(check int) "executed" expect
+        (Program.run_on (module Pool) pl ~tick:0.0002 p))
+
+let test_latency_hidden_in_program () =
+  (* 16 remote leaves of 20ms on the latency-hiding pool overlap. *)
+  let p =
+    Program.dist_map_reduce ~n:16 ~latency:20 ~leaf_work:1 ~f:Fun.id ~g:( + ) ~id:0
+  in
+  let module Pool = (val P.lhws : P.POOL) in
+  let pl = Pool.create ~workers:2 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pl)
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      ignore (Program.run_on (module Pool) pl ~tick:0.001 p);
+      let dt = Unix.gettimeofday () -. t0 in
+      (* serial latency would be 16 * 20ms = 0.32s *)
+      Alcotest.(check bool) (Printf.sprintf "%.3fs < 0.2s" dt) true (dt < 0.2))
+
+let test_invalid_args () =
+  (match Program.work 0 (Program.return 1) with
+  | _ -> Alcotest.fail "work 0"
+  | exception Invalid_argument _ -> ());
+  (match Program.latency 1 (Program.return 1) with
+  | _ -> Alcotest.fail "latency 1"
+  | exception Invalid_argument _ -> ());
+  (match Program.fork_list [] Fun.id with
+  | (_ : int list Program.t) -> Alcotest.fail "empty fork_list"
+  | exception Invalid_argument _ -> ());
+  match Program.dist_map_reduce ~n:0 ~latency:5 ~leaf_work:1 ~f:Fun.id ~g:( + ) ~id:0 with
+  | _ -> Alcotest.fail "n 0"
+  | exception Invalid_argument _ -> ()
+
+let test_fork_list_order () =
+  let p = Program.fork_list (List.init 7 Program.return) (fun xs -> xs) in
+  Alcotest.(check (list int)) "order preserved" [ 0; 1; 2; 3; 4; 5; 6 ] (Program.value p)
+
+let test_server_program () =
+  (* Figure 10's server: correct value, well-formed dag, and — the point
+     of the example — suspension width exactly 1. *)
+  let prog = Program.server ~n:3 ~latency:6 ~f_work:2 ~f:(fun x -> x * 10) ~g:( + ) ~id:0 in
+  Alcotest.(check int) "value" 30 (Program.value prog);
+  let dag = Program.to_dag prog in
+  Alcotest.(check bool) "wf" true (Check.well_formed dag);
+  Alcotest.(check int) "work matches" (Program.work_units prog) (Metrics.work dag);
+  Alcotest.(check int) "U = 1" 1 (Lhws_dag.Suspension.exact ~max_vertices:22 dag);
+  (* one deque per worker when simulated, per Lemma 7 at U = 1 *)
+  let bigger = Program.server ~n:20 ~latency:15 ~f_work:6 ~f:Fun.id ~g:( + ) ~id:0 in
+  let run = Program.simulate bigger ~p:4 in
+  Alcotest.(check int) "one deque per worker" 1
+    run.Run.stats.Stats.max_deques_per_worker;
+  Alcotest.(check int) "value 0+..+19" 190 (Program.value bigger)
+
+let test_server_program_on_pool () =
+  let prog = Program.server ~n:8 ~latency:4 ~f_work:2 ~f:(fun x -> x + 1) ~g:( + ) ~id:0 in
+  let module Pool = (val P.lhws : P.POOL) in
+  let pl = Pool.create ~workers:2 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pl)
+    (fun () ->
+      Alcotest.(check int) "executed value" (Program.value prog)
+        (Program.run_on (module Pool) pl ~tick:0.0005 prog))
+
+let test_seq_fork2_semantics () =
+  (* value flows from the prefix into the left branch only *)
+  let prog =
+    Program.seq_fork2 (Program.return 7) ~work:3 ~f:(fun x -> x * 2) (Program.return 5)
+      (fun a b -> (a, b))
+  in
+  Alcotest.(check (pair int int)) "value" (14, 5) (Program.value prog);
+  Alcotest.(check int) "work units" (1 + 3 + 1 + 2) (Program.work_units prog);
+  match Program.seq_fork2 (Program.return 0) ~work:0 ~f:Fun.id (Program.return 0) ( + ) with
+  | _ -> Alcotest.fail "work 0"
+  | exception Invalid_argument _ -> ()
+
+(* Random series-parallel programs from a seed. *)
+let gen_program seed =
+  let st = Random.State.make [| seed; 0xBEEF |] in
+  let rec go fuel =
+    if fuel <= 1 then Program.return (Random.State.int st 100)
+    else
+      match Random.State.int st 5 with
+      | 0 ->
+          let k = Random.State.int st 10 in
+          Program.map (fun x -> x + k) (go (fuel - 1))
+      | 1 -> Program.work (1 + Random.State.int st 3) (go (fuel - 1))
+      | 2 -> Program.latency (2 + Random.State.int st 6) (go (fuel - 1))
+      | _ ->
+          let a = 1 + Random.State.int st (fuel - 1) in
+          Program.fork2 (go a) (go (fuel - a)) ( + )
+  in
+  go (3 + (seed mod 20))
+
+let test_random_programs_agree_across_semantics () =
+  (* One pool, many programs: reference value = pool-executed value, and
+     the compiled dag is well-formed with matching work. *)
+  let module Pool = (val P.lhws : P.POOL) in
+  let pl = Pool.create ~workers:2 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pl)
+    (fun () ->
+      List.iter
+        (fun seed ->
+          let prog = gen_program seed in
+          let dag = Program.to_dag prog in
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d wf" seed)
+            true (Check.well_formed dag);
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d work" seed)
+            (Program.work_units prog) (Metrics.work dag);
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d value" seed)
+            (Program.value prog)
+            (Program.run_on (module Pool) pl ~tick:0.0002 prog))
+        (List.init 15 (fun i -> (i * 37) + 1)))
+
+let prop_value_independent_of_simulation =
+  (* Simulating the program's dag on any worker count executes exactly its
+     work units — structure is scheduler-independent. *)
+  QCheck.Test.make ~name:"simulated work = work_units for random programs" ~count:40
+    QCheck.(pair (int_range 1 12) (int_range 1 5))
+    (fun (n, p) ->
+      QCheck.assume (n >= 1 && p >= 1);
+      let prog =
+        Program.dist_map_reduce ~n ~latency:8 ~leaf_work:2 ~f:Fun.id ~g:( + ) ~id:0
+      in
+      let run = Program.simulate prog ~p in
+      run.Run.stats.Stats.vertices_executed = Program.work_units prog)
+
+let () =
+  Alcotest.run "program"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "value" `Quick test_value;
+          Alcotest.test_case "work units = dag work" `Quick test_work_units_match_dag;
+          Alcotest.test_case "dag latency" `Quick test_dag_latency;
+          Alcotest.test_case "simulate" `Quick test_simulate;
+          Alcotest.test_case "run on pools" `Quick test_run_on_pools;
+          Alcotest.test_case "map-reduce value" `Quick test_map_reduce_value;
+          Alcotest.test_case "latency hidden" `Quick test_latency_hidden_in_program;
+          Alcotest.test_case "invalid args" `Quick test_invalid_args;
+          Alcotest.test_case "fork_list order" `Quick test_fork_list_order;
+          Alcotest.test_case "random programs agree" `Quick test_random_programs_agree_across_semantics;
+          Alcotest.test_case "server (Figure 10)" `Quick test_server_program;
+          Alcotest.test_case "server on pool" `Quick test_server_program_on_pool;
+          Alcotest.test_case "seq_fork2" `Quick test_seq_fork2_semantics;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_value_independent_of_simulation ]);
+    ]

@@ -1,0 +1,76 @@
+open Lhws_runtime
+
+let test_pending () =
+  let p : int Promise.t = Promise.create () in
+  Alcotest.(check bool) "not resolved" false (Promise.is_resolved p);
+  Alcotest.(check bool) "poll none" true (Promise.poll p = None)
+
+let test_fulfill_ok () =
+  let p = Promise.create () in
+  Promise.fulfill p (Ok 42);
+  Alcotest.(check bool) "resolved" true (Promise.is_resolved p);
+  Alcotest.(check int) "value" 42 (Promise.get_exn p)
+
+let test_fulfill_error () =
+  let p : int Promise.t = Promise.create () in
+  Promise.fulfill p (Error (Failure "nope"));
+  Alcotest.check_raises "re-raises" (Failure "nope") (fun () -> ignore (Promise.get_exn p))
+
+let test_double_fulfill () =
+  let p = Promise.create () in
+  Promise.fulfill p (Ok 1);
+  Alcotest.check_raises "double" (Invalid_argument "Promise.fulfill: already resolved")
+    (fun () -> Promise.fulfill p (Ok 2))
+
+let test_get_pending () =
+  let p : int Promise.t = Promise.create () in
+  Alcotest.check_raises "pending" (Invalid_argument "Promise.get_exn: still pending") (fun () ->
+      ignore (Promise.get_exn p))
+
+let test_waiters_run_on_fulfill () =
+  let p = Promise.create () in
+  let hits = ref 0 in
+  Alcotest.(check bool) "registered 1" true (Promise.add_waiter p (fun () -> incr hits));
+  Alcotest.(check bool) "registered 2" true (Promise.add_waiter p (fun () -> incr hits));
+  Alcotest.(check int) "not yet" 0 !hits;
+  Promise.fulfill p (Ok ());
+  Alcotest.(check int) "both ran" 2 !hits
+
+let test_add_waiter_after_resolve () =
+  let p = Promise.create () in
+  Promise.fulfill p (Ok ());
+  Alcotest.(check bool) "returns false" false (Promise.add_waiter p (fun () -> ()))
+
+let test_concurrent_waiters () =
+  (* Many domains race add_waiter against fulfill; every waiter must run
+     exactly once, either via the waiter list or via the false return. *)
+  let p = Promise.create () in
+  let count = Atomic.make 0 in
+  let adders =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 1000 do
+              if not (Promise.add_waiter p (fun () -> Atomic.incr count)) then
+                Atomic.incr count
+            done))
+  in
+  Unix.sleepf 0.002;
+  Promise.fulfill p (Ok ());
+  Array.iter Domain.join adders;
+  Alcotest.(check int) "all 4000 accounted" 4000 (Atomic.get count)
+
+let () =
+  Alcotest.run "promise"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "pending" `Quick test_pending;
+          Alcotest.test_case "fulfill ok" `Quick test_fulfill_ok;
+          Alcotest.test_case "fulfill error" `Quick test_fulfill_error;
+          Alcotest.test_case "double fulfill" `Quick test_double_fulfill;
+          Alcotest.test_case "get pending" `Quick test_get_pending;
+          Alcotest.test_case "waiters" `Quick test_waiters_run_on_fulfill;
+          Alcotest.test_case "late waiter" `Quick test_add_waiter_after_resolve;
+        ] );
+      ("concurrency", [ Alcotest.test_case "racing waiters" `Slow test_concurrent_waiters ]);
+    ]

@@ -1,0 +1,112 @@
+module Generate = Lhws_dag.Generate
+open Lhws_core
+open Lhws_analysis
+
+let series () =
+  Sweep.speedups ~dag:(Generate.map_reduce ~n:16 ~leaf_work:3 ~latency:30) ~ps:[ 1; 2; 4 ] ()
+
+let contains s affix = Astring.String.is_infix ~affix s
+
+let test_csv_series () =
+  let csv = Report.csv_of_series (series ()) in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + 3 rows" 4 (List.length lines);
+  Alcotest.(check bool) "header" true
+    (contains (List.hd lines) "p,LHWS_rounds,LHWS_speedup,WS_rounds,WS_speedup");
+  List.iteri
+    (fun i line ->
+      if i > 0 then
+        Alcotest.(check int) "5 columns" 5 (List.length (String.split_on_char ',' line)))
+    lines
+
+let test_markdown_series () =
+  let md = Report.markdown_of_series (series ()) in
+  Alcotest.(check bool) "pipe table" true (contains md "| p | LHWS_rounds");
+  Alcotest.(check bool) "separator" true (contains md "|---|");
+  Alcotest.(check bool) "row for p=4" true (contains md "| 4 |")
+
+let test_misaligned_rejected () =
+  let s1 = series () in
+  let s2 =
+    Sweep.speedups ~dag:(Generate.map_reduce ~n:16 ~leaf_work:3 ~latency:30) ~ps:[ 1; 2 ] ()
+  in
+  match Report.csv_of_series [ List.hd s1; List.nth s2 1 ] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_csv_stats () =
+  let r1 = Lhws_sim.run (Generate.diamond ()) ~p:1 in
+  let r2 = Lhws_sim.run (Generate.diamond ()) ~p:2 in
+  let csv = Report.csv_of_stats [ ("p1", r1.Run.stats); ("p2", r2.Run.stats) ] in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + 2 rows" 3 (List.length lines);
+  Alcotest.(check bool) "run column" true (contains (List.hd lines) "run,rounds");
+  Alcotest.(check bool) "labels present" true (contains csv "p1" && contains csv "p2")
+
+let test_markdown_stats () =
+  let r = Lhws_sim.run (Generate.diamond ()) ~p:1 in
+  let md = Report.markdown_of_stats [ ("only", r.Run.stats) ] in
+  Alcotest.(check bool) "table" true (contains md "| run | rounds");
+  Alcotest.(check bool) "row" true (contains md "| only |")
+
+let test_empty_stats () = Alcotest.(check string) "empty" "" (Report.csv_of_stats [])
+
+let test_write_file () =
+  let path = Filename.temp_file "lhws_report" ".csv" in
+  Report.write_file path "a,b\n1,2\n";
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "written" "a,b" line
+
+let test_gantt_small () =
+  let g = Generate.diamond () in
+  let run = Lhws_sim.run ~config:{ Config.default with trace = true } g ~p:2 in
+  let chart = Gantt.render_run ~workers:2 run in
+  Alcotest.(check bool) "worker rows" true (contains chart "w0" && contains chart "w1");
+  (* the root (vertex 0) executes at round 0 on worker 0 *)
+  Alcotest.(check bool) "root glyph" true (contains chart "w0    0")
+
+let test_gantt_truncation () =
+  let g = Generate.chain ~n:50 () in
+  let run = Lhws_sim.run ~config:{ Config.default with trace = true } g ~p:1 in
+  let chart = Gantt.render ~workers:1 ~max_columns:10 (Run.trace_exn run) in
+  Alcotest.(check bool) "truncation note" true (contains chart "more rounds")
+
+let test_gantt_pfor_glyph () =
+  let g = Generate.resume_burst ~n:8 ~leaf_work:1 ~latency:10 in
+  let config = { Config.analysis with fast_forward = true } in
+  let run = Lhws_sim.run ~config g ~p:1 in
+  let chart = Gantt.render_run ~workers:1 ~max_columns:120 run in
+  Alcotest.(check bool) "pfor glyph appears" true (contains chart "*")
+
+let test_gantt_empty () =
+  let g = Generate.diamond () in
+  let tr = Trace.create g in
+  Alcotest.(check string) "empty" "(empty trace)\n" (Gantt.render ~workers:2 tr)
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "series",
+        [
+          Alcotest.test_case "csv" `Quick test_csv_series;
+          Alcotest.test_case "markdown" `Quick test_markdown_series;
+          Alcotest.test_case "misaligned rejected" `Quick test_misaligned_rejected;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "csv" `Quick test_csv_stats;
+          Alcotest.test_case "markdown" `Quick test_markdown_stats;
+          Alcotest.test_case "empty" `Quick test_empty_stats;
+          Alcotest.test_case "write file" `Quick test_write_file;
+        ] );
+      ( "gantt",
+        [
+          Alcotest.test_case "small" `Quick test_gantt_small;
+          Alcotest.test_case "truncation" `Quick test_gantt_truncation;
+          Alcotest.test_case "pfor glyph" `Quick test_gantt_pfor_glyph;
+          Alcotest.test_case "empty" `Quick test_gantt_empty;
+        ] );
+    ]

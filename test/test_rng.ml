@@ -1,0 +1,85 @@
+open Lhws_core
+
+let test_determinism () =
+  let a = Rng.make 123 and b = Rng.make 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.make 1 and b = Rng.make 2 in
+  Alcotest.(check bool) "different streams" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_split_independent () =
+  let parent = Rng.make 7 in
+  let c1 = Rng.split parent in
+  let c2 = Rng.split parent in
+  Alcotest.(check bool) "children differ" true (Rng.bits64 c1 <> Rng.bits64 c2)
+
+let test_split_deterministic () =
+  let mk () =
+    let p = Rng.make 7 in
+    let c = Rng.split p in
+    Rng.bits64 c
+  in
+  Alcotest.(check int64) "split reproducible" (mk ()) (mk ())
+
+let test_int_bounds () =
+  let r = Rng.make 99 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int r 7 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 7)
+  done
+
+let test_int_invalid () =
+  let r = Rng.make 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int r 0))
+
+let test_int_covers_range () =
+  let r = Rng.make 5 in
+  let seen = Array.make 4 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.int r 4) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_float_range () =
+  let r = Rng.make 13 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float r in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0. && x < 1.)
+  done
+
+let test_uniformity_rough () =
+  let r = Rng.make 21 in
+  let n = 100_000 in
+  let buckets = Array.make 10 0 in
+  for _ = 1 to n do
+    let i = Rng.int r 10 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d roughly uniform" i)
+        true
+        (abs (c - (n / 10)) < n / 50))
+    buckets
+
+let () =
+  Alcotest.run "rng"
+    [
+      ( "splitmix",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_split_independent;
+          Alcotest.test_case "split determinism" `Quick test_split_deterministic;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int invalid" `Quick test_int_invalid;
+          Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "rough uniformity" `Quick test_uniformity_rough;
+        ] );
+    ]

@@ -1,0 +1,101 @@
+module Dag = Lhws_dag.Dag
+module Generate = Lhws_dag.Generate
+open Lhws_core
+
+(* Build traces by hand to exercise the checker. *)
+
+let test_valid_sequential () =
+  let g = Generate.diamond () in
+  let tr = Trace.create g in
+  List.iteri (fun i v -> Trace.record_exec tr ~round:i ~worker:0 v) [ 0; 1; 2; 3 ];
+  Alcotest.(check bool) "valid" true (Schedule.valid g tr);
+  Alcotest.(check int) "length" 4 (Schedule.length tr)
+
+let test_valid_parallel () =
+  let g = Generate.diamond () in
+  let tr = Trace.create g in
+  Trace.record_exec tr ~round:0 ~worker:0 0;
+  Trace.record_exec tr ~round:1 ~worker:0 1;
+  Trace.record_exec tr ~round:1 ~worker:1 2;
+  Trace.record_exec tr ~round:2 ~worker:0 3;
+  Alcotest.(check bool) "valid" true (Schedule.valid g tr);
+  Alcotest.(check int) "length" 3 (Schedule.length tr)
+
+let problem_names g tr =
+  List.map
+    (function
+      | Schedule.Not_executed _ -> "missing"
+      | Schedule.Executed_too_early _ -> "early"
+      | Schedule.Worker_conflict _ -> "conflict")
+    (Schedule.problems g tr)
+
+let test_missing_vertex () =
+  let g = Generate.diamond () in
+  let tr = Trace.create g in
+  Trace.record_exec tr ~round:0 ~worker:0 0;
+  Alcotest.(check bool) "missing flagged" true (List.mem "missing" (problem_names g tr))
+
+let test_dependency_violation () =
+  let g = Generate.diamond () in
+  let tr = Trace.create g in
+  Trace.record_exec tr ~round:0 ~worker:0 0;
+  Trace.record_exec tr ~round:0 ~worker:1 1 (* same round as its parent *);
+  Trace.record_exec tr ~round:1 ~worker:1 2;
+  Trace.record_exec tr ~round:2 ~worker:0 3;
+  Alcotest.(check bool) "early flagged" true (List.mem "early" (problem_names g tr))
+
+let test_latency_violation () =
+  let g = Generate.single_latency ~delta:10 in
+  let tr = Trace.create g in
+  Trace.record_exec tr ~round:0 ~worker:0 (Dag.root g);
+  Trace.record_exec tr ~round:5 ~worker:0 (Dag.final g) (* before latency expires *);
+  Alcotest.(check bool) "early flagged" true (List.mem "early" (problem_names g tr));
+  (* at exactly round 10 it is legal *)
+  let tr2 = Trace.create g in
+  Trace.record_exec tr2 ~round:0 ~worker:0 (Dag.root g);
+  Trace.record_exec tr2 ~round:10 ~worker:0 (Dag.final g);
+  Alcotest.(check bool) "valid at delta" true (Schedule.valid g tr2)
+
+let test_worker_conflict () =
+  let g = Generate.diamond () in
+  let tr = Trace.create g in
+  Trace.record_exec tr ~round:0 ~worker:0 0;
+  Trace.record_exec tr ~round:1 ~worker:0 1;
+  Trace.record_exec tr ~round:1 ~worker:0 2 (* same worker, same round *);
+  Trace.record_exec tr ~round:2 ~worker:0 3;
+  Alcotest.(check bool) "conflict flagged" true (List.mem "conflict" (problem_names g tr))
+
+let test_pfor_conflicts_counted () =
+  let g = Generate.diamond () in
+  let tr = Trace.create g in
+  Trace.record_exec tr ~round:0 ~worker:0 0;
+  Trace.record_pfor_exec tr ~round:0 ~worker:0;
+  Alcotest.(check bool) "pfor conflict flagged" true (List.mem "conflict" (problem_names g tr))
+
+let test_check_exn () =
+  let g = Generate.diamond () in
+  let tr = Trace.create g in
+  match Schedule.check_exn g tr with
+  | () -> Alcotest.fail "expected failure on empty trace"
+  | exception Invalid_argument _ -> ()
+
+let test_pp_problem () =
+  let s = Format.asprintf "%a" Schedule.pp_problem (Schedule.Not_executed 5) in
+  Alcotest.(check bool) "mentions vertex" true (Astring.String.is_infix ~affix:"5" s)
+
+let () =
+  Alcotest.run "schedule"
+    [
+      ( "checker",
+        [
+          Alcotest.test_case "valid sequential" `Quick test_valid_sequential;
+          Alcotest.test_case "valid parallel" `Quick test_valid_parallel;
+          Alcotest.test_case "missing vertex" `Quick test_missing_vertex;
+          Alcotest.test_case "dependency violation" `Quick test_dependency_violation;
+          Alcotest.test_case "latency violation" `Quick test_latency_violation;
+          Alcotest.test_case "worker conflict" `Quick test_worker_conflict;
+          Alcotest.test_case "pfor conflict" `Quick test_pfor_conflicts_counted;
+          Alcotest.test_case "check_exn" `Quick test_check_exn;
+          Alcotest.test_case "pp" `Quick test_pp_problem;
+        ] );
+    ]

@@ -1,0 +1,93 @@
+module Dag = Lhws_dag.Dag
+module Generate = Lhws_dag.Generate
+module Serialize = Lhws_dag.Serialize
+
+let same_dag g1 g2 =
+  Dag.num_vertices g1 = Dag.num_vertices g2
+  && Dag.edges g1 = Dag.edges g2
+  && List.init (Dag.num_vertices g1) (Dag.label g1)
+     = List.init (Dag.num_vertices g2) (Dag.label g2)
+
+let test_round_trip_generators () =
+  List.iter
+    (fun (name, g) ->
+      let g' = Serialize.of_string (Serialize.to_string g) in
+      Alcotest.(check bool) (name ^ " round trip") true (same_dag g g'))
+    [
+      ("diamond", Generate.diamond ());
+      ("map_reduce", Generate.map_reduce ~n:9 ~leaf_work:3 ~latency:7);
+      ("server", Generate.server ~n:5 ~f_work:2 ~latency:4);
+      ("burst", Generate.resume_burst ~n:6 ~leaf_work:2 ~latency:5);
+      ("single latency", Generate.single_latency ~delta:9);
+    ]
+
+let test_format_shape () =
+  let s = Serialize.to_string (Generate.single_latency ~delta:9) in
+  Alcotest.(check bool) "header" true (Astring.String.is_prefix ~affix:"dag 2" s);
+  Alcotest.(check bool) "edge line" true (Astring.String.is_infix ~affix:"e 0 1 9" s)
+
+let test_labels_with_spaces () =
+  let b = Dag.Builder.create () in
+  let v0 = Dag.Builder.add_vertex ~label:"get input now" b in
+  let v1 = Dag.Builder.add_vertex b in
+  Dag.Builder.add_edge b v0 v1;
+  let g = Dag.Builder.build b in
+  let g' = Serialize.of_string (Serialize.to_string g) in
+  Alcotest.(check string) "label preserved" "get input now" (Dag.label g' 0)
+
+let test_comments_and_blanks () =
+  let g =
+    Serialize.of_string "# a comment\n\ndag 3\n# another\ne 0 1 1\ne 1 2 5\n"
+  in
+  Alcotest.(check int) "vertices" 3 (Dag.num_vertices g);
+  Alcotest.(check int) "heavy edges" 1 (List.length (Dag.heavy_edges g))
+
+let malformed =
+  [
+    ("no header", "e 0 1 1\n");
+    ("bad count", "dag x\n");
+    ("zero count", "dag 0\n");
+    ("bad edge", "dag 2\ne 0 one 1\n");
+    ("out of range", "dag 2\ne 0 5 1\n");
+    ("bad weight", "dag 2\ne 0 1 0\n");
+    ("junk line", "dag 2\nnonsense here extra\n");
+    ("cycle", "dag 2\ne 0 1 1\ne 1 0 1\n");
+  ]
+
+let test_malformed_rejected () =
+  List.iter
+    (fun (name, text) ->
+      match Serialize.of_string text with
+      | _ -> Alcotest.fail ("expected failure: " ^ name)
+      | exception Invalid_argument _ -> ())
+    malformed
+
+let test_save_load () =
+  let g = Generate.map_reduce ~n:4 ~leaf_work:2 ~latency:6 in
+  let path = Filename.temp_file "lhws_dag" ".txt" in
+  Serialize.save path g;
+  let g' = Serialize.load path in
+  Sys.remove path;
+  Alcotest.(check bool) "file round trip" true (same_dag g g')
+
+let prop_round_trip =
+  QCheck.Test.make ~name:"random dags round trip" ~count:60 QCheck.small_int (fun seed ->
+      let g =
+        Generate.random_fork_join ~seed ~size_hint:60 ~latency_prob:0.3 ~max_latency:9
+      in
+      same_dag g (Serialize.of_string (Serialize.to_string g)))
+
+let () =
+  Alcotest.run "serialize"
+    [
+      ( "format",
+        [
+          Alcotest.test_case "round trip generators" `Quick test_round_trip_generators;
+          Alcotest.test_case "format shape" `Quick test_format_shape;
+          Alcotest.test_case "labels with spaces" `Quick test_labels_with_spaces;
+          Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
+          Alcotest.test_case "malformed rejected" `Quick test_malformed_rejected;
+          Alcotest.test_case "save/load" `Quick test_save_load;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_round_trip ]);
+    ]

@@ -1,0 +1,187 @@
+(* Edge cases of the simulated schedulers that the main suites don't reach:
+   vertices with two heavy children, deque recycling over long runs,
+   snapshot self-consistency, and switch accounting. *)
+
+module Dag = Lhws_dag.Dag
+module Block = Lhws_dag.Block
+module Generate = Lhws_dag.Generate
+module Metrics = Lhws_dag.Metrics
+open Lhws_core
+
+let check = Alcotest.(check int)
+let traced = { Config.default with trace = true }
+
+(* u forks two children, each behind its own heavy edge. *)
+let two_heavy_children ~d1 ~d2 =
+  let b = Dag.Builder.create () in
+  let u = Dag.Builder.add_vertex ~label:"issue both" b in
+  let v1 = Dag.Builder.add_vertex b in
+  let v2 = Dag.Builder.add_vertex b in
+  let j = Dag.Builder.add_vertex ~label:"join" b in
+  Dag.Builder.add_edge ~weight:d1 b u v1;
+  Dag.Builder.add_edge ~weight:d2 b u v2;
+  Dag.Builder.add_edge b v1 j;
+  Dag.Builder.add_edge b v2 j;
+  let g = Dag.Builder.build b in
+  Lhws_dag.Check.check_exn g;
+  g
+
+let test_two_heavy_lhws () =
+  let g = two_heavy_children ~d1:8 ~d2:20 in
+  let r = Lhws_sim.run ~config:traced g ~p:1 in
+  Schedule.check_exn g (Run.trace_exn r);
+  check "both suspended" 2 r.Run.stats.Stats.suspensions;
+  check "max live" 2 r.Run.stats.Stats.max_live_suspended;
+  (* v1 resumes at 8 and executes well before v2 is ready at 20 *)
+  let tr = Run.trace_exn r in
+  Alcotest.(check bool) "v1 before v2" true (Trace.round_of tr 1 < Trace.round_of tr 2);
+  Alcotest.(check bool) "finishes soon after 20" true (r.Run.rounds <= 26)
+
+let test_two_heavy_ws () =
+  (* The blocking baseline waits out the max of the two latencies. *)
+  let g = two_heavy_children ~d1:8 ~d2:20 in
+  let r = Ws_sim.run ~config:traced g ~p:1 in
+  Schedule.check_exn g (Run.trace_exn r);
+  (* u at round 0, blocked until 20, then v1 v2 j: rounds = 23 *)
+  check "rounds" 23 r.Run.rounds;
+  check "blocked" 19 r.Run.stats.Stats.blocked_rounds
+
+let test_two_heavy_greedy () =
+  let g = two_heavy_children ~d1:8 ~d2:20 in
+  let r = Greedy.run ~config:traced g ~p:2 in
+  Schedule.check_exn g (Run.trace_exn r);
+  Alcotest.(check bool) "within bound" true (r.Run.rounds <= Greedy.bound g ~p:2)
+
+let test_switch_accounting_single_latency () =
+  (* P=1, one suspension: the worker parks the deque, fails steals during
+     the latency, switches back exactly once when the vertex resumes. *)
+  let g = Generate.single_latency ~delta:30 in
+  let r = Lhws_sim.run ~config:{ traced with fast_forward = false } g ~p:1 in
+  check "one switch" 1 r.Run.stats.Stats.switches;
+  check "deques allocated" 1 r.Run.stats.Stats.deques_allocated
+
+let test_deque_recycling_bounded () =
+  (* A long server run constantly parks and revives deques; recycling must
+     keep total allocations near P, not grow with n. *)
+  let g = Generate.server ~n:150 ~f_work:5 ~latency:20 in
+  List.iter
+    (fun p ->
+      let r = Lhws_sim.run g ~p in
+      Alcotest.(check bool)
+        (Printf.sprintf "allocations bounded at P=%d (got %d)" p
+           r.Run.stats.Stats.deques_allocated)
+        true
+        (r.Run.stats.Stats.deques_allocated <= (2 * p) + 2))
+    [ 1; 2; 4; 8 ]
+
+let test_snapshot_consistency () =
+  (* Per round: at most one Active deque per worker; live_suspended equals
+     the sum of suspend counters; Freed deques are empty. *)
+  let g = Generate.map_reduce ~n:10 ~leaf_work:3 ~latency:15 in
+  let rounds = ref 0 in
+  let check_snap (s : Snapshot.t) =
+    incr rounds;
+    let active_by_owner = Hashtbl.create 8 in
+    List.iter
+      (fun (d : Snapshot.deque_view) ->
+        (match d.state with
+        | Snapshot.Active ->
+            Alcotest.(check bool) "one active per worker" false
+              (Hashtbl.mem active_by_owner d.owner);
+            Hashtbl.add active_by_owner d.owner ()
+        | Snapshot.Freed ->
+            Alcotest.(check (list int)) "freed deques are empty" [] d.task_depths;
+            Alcotest.(check int) "freed deques have no suspensions" 0 d.suspend_ctr
+        | Snapshot.Ready | Snapshot.Suspended -> ());
+        Alcotest.(check bool) "suspend_ctr nonneg" true (d.suspend_ctr >= 0))
+      s.deques;
+    let total_susp =
+      List.fold_left (fun acc (d : Snapshot.deque_view) -> acc + d.suspend_ctr) 0 s.deques
+    in
+    Alcotest.(check int) "live_suspended consistent" s.live_suspended total_susp
+  in
+  let r =
+    Lhws_sim.run ~config:{ traced with fast_forward = false } ~observer:check_snap g ~p:3
+  in
+  check "observed every round" r.Run.rounds !rounds
+
+let test_heavy_right_child_of_fork () =
+  (* A fork whose spawned (right) child sits behind a heavy edge. *)
+  let b = Dag.Builder.create () in
+  let left = Block.chain b 12 in
+  let right = Block.seq b (Block.latency b 6) (Block.chain b 2) in
+  let g = Block.finish b (Block.fork2 b left right) in
+  List.iter
+    (fun p ->
+      let r = Lhws_sim.run ~config:traced g ~p in
+      Schedule.check_exn g (Run.trace_exn r);
+      check "all executed" (Metrics.work g) r.Run.stats.Stats.vertices_executed)
+    [ 1; 2 ];
+  let r = Ws_sim.run ~config:traced g ~p:1 in
+  Schedule.check_exn g (Run.trace_exn r)
+
+let test_interleaved_bursts () =
+  (* Two bursts chained: the second wave of suspensions reuses deques that
+     already digested the first wave. *)
+  let b = Dag.Builder.create () in
+  let burst () =
+    let leaves = Array.init 6 (fun _ -> Block.with_latency b 9 (Block.chain b 2)) in
+    Block.fork_tree b leaves
+  in
+  let g = Block.finish b (Block.seq b (burst ()) (burst ())) in
+  let r = Lhws_sim.run ~config:traced g ~p:2 in
+  Schedule.check_exn g (Run.trace_exn r);
+  check "twelve suspensions" 12 r.Run.stats.Stats.suspensions;
+  check "twelve resumes" 12 r.Run.stats.Stats.resumes
+
+let test_large_dag_all_schedulers () =
+  (* A ~20k-vertex irregular dag through all three schedulers with the
+     bound predicates — catches scaling bugs the small suites miss. *)
+  let g =
+    Generate.random_fork_join ~seed:2024 ~size_hint:20_000 ~latency_prob:0.15 ~max_latency:120
+  in
+  let u = Lhws_dag.Suspension.lower_bound_greedy g in
+  List.iter
+    (fun p ->
+      let lh = Lhws_sim.run g ~p in
+      let ws = Ws_sim.run g ~p in
+      let gr = Greedy.run g ~p in
+      check "lhws all" (Metrics.work g) lh.Run.stats.Stats.vertices_executed;
+      check "ws all" (Metrics.work g) ws.Run.stats.Stats.vertices_executed;
+      Alcotest.(check bool) "thm1" true (gr.Run.rounds <= Greedy.bound g ~p);
+      Alcotest.(check bool) "lemma7" true (lh.Run.stats.Stats.max_deques_per_worker <= u + 1);
+      Alcotest.(check bool) "balance" true
+        (Stats.balanced lh.Run.stats && Stats.balanced ws.Run.stats))
+    [ 1; 8; 32 ]
+
+let test_stress_deterministic_large () =
+  (* A larger mixed dag run twice must agree exactly. *)
+  let g =
+    Generate.random_fork_join ~seed:99 ~size_hint:3000 ~latency_prob:0.2 ~max_latency:60
+  in
+  let r1 = Lhws_sim.run g ~p:6 in
+  let r2 = Lhws_sim.run g ~p:6 in
+  check "rounds agree" r1.Run.rounds r2.Run.rounds;
+  check "steals agree" r1.Run.stats.Stats.steals_ok r2.Run.stats.Stats.steals_ok;
+  check "switches agree" r1.Run.stats.Stats.switches r2.Run.stats.Stats.switches
+
+let () =
+  Alcotest.run "sim_edge"
+    [
+      ( "two heavy children",
+        [
+          Alcotest.test_case "lhws" `Quick test_two_heavy_lhws;
+          Alcotest.test_case "ws blocks for max" `Quick test_two_heavy_ws;
+          Alcotest.test_case "greedy" `Quick test_two_heavy_greedy;
+        ] );
+      ( "bookkeeping",
+        [
+          Alcotest.test_case "switch accounting" `Quick test_switch_accounting_single_latency;
+          Alcotest.test_case "deque recycling bounded" `Quick test_deque_recycling_bounded;
+          Alcotest.test_case "snapshot consistency" `Quick test_snapshot_consistency;
+          Alcotest.test_case "heavy right child" `Quick test_heavy_right_child_of_fork;
+          Alcotest.test_case "interleaved bursts" `Quick test_interleaved_bursts;
+          Alcotest.test_case "deterministic large" `Slow test_stress_deterministic_large;
+          Alcotest.test_case "large dag, all schedulers" `Slow test_large_dag_all_schedulers;
+        ] );
+    ]

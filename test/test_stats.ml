@@ -1,0 +1,49 @@
+open Lhws_core
+
+let test_create_zeroed () =
+  let s = Stats.create ~workers:4 in
+  Alcotest.(check int) "workers" 4 s.Stats.workers;
+  Alcotest.(check int) "tokens" 0 (Stats.tokens s);
+  Alcotest.(check bool) "balanced trivially" true (Stats.balanced s)
+
+let test_tokens_sum () =
+  let s = Stats.create ~workers:2 in
+  s.Stats.vertices_executed <- 10;
+  s.Stats.pfor_executed <- 3;
+  s.Stats.switches <- 2;
+  s.Stats.steal_attempts <- 4;
+  s.Stats.blocked_rounds <- 1;
+  s.Stats.idle_rounds <- 0;
+  Alcotest.(check int) "tokens" 20 (Stats.tokens s);
+  Alcotest.(check int) "work tokens" 13 (Stats.work_tokens s);
+  s.Stats.rounds <- 10;
+  Alcotest.(check bool) "balanced" true (Stats.balanced s);
+  s.Stats.rounds <- 11;
+  Alcotest.(check bool) "unbalanced" false (Stats.balanced s)
+
+let test_to_assoc_complete () =
+  let s = Stats.create ~workers:1 in
+  let assoc = Stats.to_assoc s in
+  Alcotest.(check int) "17 fields" 17 (List.length assoc);
+  List.iter
+    (fun key -> Alcotest.(check bool) key true (List.mem_assoc key assoc))
+    [ "rounds"; "steal_attempts"; "max_deques_per_worker"; "max_live_suspended" ]
+
+let test_pp_smoke () =
+  let s = Stats.create ~workers:1 in
+  s.Stats.rounds <- 42;
+  let out = Format.asprintf "%a" Stats.pp s in
+  Alcotest.(check bool) "mentions rounds" true (Astring.String.is_infix ~affix:"rounds" out);
+  Alcotest.(check bool) "mentions 42" true (Astring.String.is_infix ~affix:"42" out)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "accounting",
+        [
+          Alcotest.test_case "create zeroed" `Quick test_create_zeroed;
+          Alcotest.test_case "tokens sum" `Quick test_tokens_sum;
+          Alcotest.test_case "to_assoc complete" `Quick test_to_assoc_complete;
+          Alcotest.test_case "pp" `Quick test_pp_smoke;
+        ] );
+    ]

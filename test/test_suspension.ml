@@ -1,0 +1,98 @@
+module Dag = Lhws_dag.Dag
+module Block = Lhws_dag.Block
+module Suspension = Lhws_dag.Suspension
+module Generate = Lhws_dag.Generate
+
+let check = Alcotest.(check int)
+
+let test_no_heavy () =
+  check "diamond U=0" 0 (Suspension.exact (Generate.diamond ()));
+  check "chain U=0" 0 (Suspension.exact (Generate.chain ~n:8 ()))
+
+let test_single_latency () =
+  check "U=1" 1 (Suspension.exact (Generate.single_latency ~delta:9))
+
+let test_map_reduce_u_equals_n () =
+  (* Section 5: all n remote reads can be in flight at once. *)
+  List.iter
+    (fun n ->
+      check
+        (Printf.sprintf "map_reduce n=%d" n)
+        n
+        (Suspension.exact (Generate.map_reduce ~n ~leaf_work:1 ~latency:4)))
+    [ 1; 2; 3; 4 ]
+
+let test_server_u_equals_1 () =
+  (* Section 5: at most one getInput is outstanding. *)
+  List.iter
+    (fun n ->
+      check
+        (Printf.sprintf "server n=%d" n)
+        1
+        (Suspension.exact (Generate.server ~n ~f_work:1 ~latency:4)))
+    [ 1; 2; 3 ]
+
+let test_sequential_latencies () =
+  (* Two latency ops in sequence: connectivity forces U = 1. *)
+  let b = Dag.Builder.create () in
+  let g = Block.finish b (Block.seq b (Block.latency b 4) (Block.latency b 4)) in
+  check "U=1" 1 (Suspension.exact g)
+
+let test_parallel_latencies () =
+  (* Two latency ops in parallel branches: both can be outstanding. *)
+  let b = Dag.Builder.create () in
+  let g = Block.finish b (Block.fork2 b (Block.latency b 4) (Block.latency b 4)) in
+  check "U=2" 2 (Suspension.exact g)
+
+let test_crossing_heavy () =
+  let g = Generate.single_latency ~delta:5 in
+  let root = Dag.root g in
+  check "root-only cut crosses" 1 (Suspension.crossing_heavy g ~in_s:(fun v -> v = root));
+  check "full set crosses nothing" 0 (Suspension.crossing_heavy g ~in_s:(fun _ -> true))
+
+let test_guard () =
+  let g = Generate.map_reduce ~n:12 ~leaf_work:2 ~latency:3 in
+  match Suspension.exact g with
+  | _ -> Alcotest.fail "expected guard to trip"
+  | exception Invalid_argument _ -> ()
+
+let random_dag seed =
+  Generate.random_fork_join ~seed ~size_hint:10 ~latency_prob:0.4 ~max_latency:6
+
+(* On small random dags the three estimators are consistently ordered. *)
+let prop_ordering =
+  QCheck.Test.make ~name:"lower_bound <= exact_prefix <= exact" ~count:60 QCheck.small_int
+    (fun seed ->
+      let g = random_dag seed in
+      QCheck.assume (Dag.num_vertices g <= 18);
+      let lb = Suspension.lower_bound_greedy g in
+      let pre = Suspension.exact_prefix g in
+      let ex = Suspension.exact g in
+      lb <= pre && pre <= ex)
+
+let prop_at_most_heavy_count =
+  QCheck.Test.make ~name:"U <= number of heavy edges" ~count:60 QCheck.small_int (fun seed ->
+      let g = random_dag seed in
+      QCheck.assume (Dag.num_vertices g <= 18);
+      Suspension.exact g <= List.length (Dag.heavy_edges g))
+
+let () =
+  Alcotest.run "suspension"
+    [
+      ( "exact",
+        [
+          Alcotest.test_case "no heavy edges" `Quick test_no_heavy;
+          Alcotest.test_case "single latency" `Quick test_single_latency;
+          Alcotest.test_case "map_reduce U=n" `Quick test_map_reduce_u_equals_n;
+          Alcotest.test_case "server U=1" `Quick test_server_u_equals_1;
+          Alcotest.test_case "sequential latencies" `Quick test_sequential_latencies;
+          Alcotest.test_case "parallel latencies" `Quick test_parallel_latencies;
+          Alcotest.test_case "crossing_heavy" `Quick test_crossing_heavy;
+          Alcotest.test_case "size guard" `Quick test_guard;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_ordering;
+          QCheck_alcotest.to_alcotest prop_at_most_heavy_count;
+        ] );
+    ]

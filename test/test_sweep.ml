@@ -1,0 +1,80 @@
+module Generate = Lhws_dag.Generate
+open Lhws_core
+
+let dag = Generate.map_reduce ~n:24 ~leaf_work:4 ~latency:60
+
+let test_baseline_normalization () =
+  match Sweep.speedups ~dag ~ps:[ 1; 2 ] () with
+  | [ lhws; ws ] ->
+      Alcotest.(check string) "first is LHWS" "LHWS" (Sweep.algo_name lhws.Sweep.algo);
+      Alcotest.(check string) "second is WS" "WS" (Sweep.algo_name ws.Sweep.algo);
+      let ws1 = List.hd ws.Sweep.points in
+      Alcotest.(check int) "p recorded" 1 ws1.Sweep.p;
+      Alcotest.(check (float 1e-9)) "WS P=1 speedup is 1" 1.0 ws1.Sweep.speedup
+  | _ -> Alcotest.fail "expected two series"
+
+let test_lhws_beats_ws_with_latency () =
+  match Sweep.speedups ~dag ~ps:[ 1; 2; 4 ] () with
+  | [ lhws; ws ] ->
+      List.iter2
+        (fun (a : Sweep.point) (b : Sweep.point) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "LHWS ahead at P=%d" a.Sweep.p)
+            true
+            (a.Sweep.speedup > b.Sweep.speedup))
+        lhws.Sweep.points ws.Sweep.points
+  | _ -> Alcotest.fail "expected two series"
+
+let test_custom_algos_and_baseline () =
+  match
+    Sweep.speedups ~algos:[ Sweep.Greedy ] ~baseline:Sweep.Greedy ~dag ~ps:[ 1 ] ()
+  with
+  | [ greedy ] ->
+      let p1 = List.hd greedy.Sweep.points in
+      Alcotest.(check (float 1e-9)) "self-relative" 1.0 p1.Sweep.speedup
+  | _ -> Alcotest.fail "expected one series"
+
+let test_run_algo_dispatch () =
+  List.iter
+    (fun algo ->
+      let r = Sweep.run_algo algo dag ~p:2 in
+      Alcotest.(check bool) (Sweep.algo_name algo) true (r.Run.rounds > 0))
+    [ Sweep.Lhws; Sweep.Ws; Sweep.Greedy ]
+
+let test_algo_names () =
+  Alcotest.(check string) "lhws" "LHWS" (Sweep.algo_name Sweep.Lhws);
+  Alcotest.(check string) "ws" "WS" (Sweep.algo_name Sweep.Ws);
+  Alcotest.(check string) "greedy" "GREEDY" (Sweep.algo_name Sweep.Greedy)
+
+let test_pp_series () =
+  let series = Sweep.speedups ~dag ~ps:[ 1; 2 ] () in
+  let out = Format.asprintf "%a" Sweep.pp_series series in
+  Alcotest.(check bool) "has header" true (Astring.String.is_infix ~affix:"LHWS rounds" out);
+  Alcotest.(check bool) "has rows" true (Astring.String.is_infix ~affix:"\n" out)
+
+let test_speedup_monotone_mapreduce () =
+  (* On the regular map-reduce workload, more workers never hurt much. *)
+  match Sweep.speedups ~dag ~ps:[ 1; 2; 4; 8 ] () with
+  | [ lhws; _ ] ->
+      let speeds = List.map (fun (p : Sweep.point) -> p.Sweep.speedup) lhws.Sweep.points in
+      let rec weakly_up = function
+        | a :: (b :: _ as rest) -> b >= a *. 0.9 && weakly_up rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "weakly increasing" true (weakly_up speeds)
+  | _ -> Alcotest.fail "expected two series"
+
+let () =
+  Alcotest.run "sweep"
+    [
+      ( "speedups",
+        [
+          Alcotest.test_case "baseline normalization" `Quick test_baseline_normalization;
+          Alcotest.test_case "LHWS beats WS with latency" `Quick test_lhws_beats_ws_with_latency;
+          Alcotest.test_case "custom algos/baseline" `Quick test_custom_algos_and_baseline;
+          Alcotest.test_case "run_algo dispatch" `Quick test_run_algo_dispatch;
+          Alcotest.test_case "algo names" `Quick test_algo_names;
+          Alcotest.test_case "pp" `Quick test_pp_series;
+          Alcotest.test_case "monotone speedup" `Quick test_speedup_monotone_mapreduce;
+        ] );
+    ]

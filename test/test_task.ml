@@ -1,0 +1,88 @@
+open Lhws_core
+
+let test_pfor_empty_rejected () =
+  Alcotest.check_raises "empty batch" (Invalid_argument "Task.pfor: empty batch") (fun () ->
+      ignore (Task.pfor [||]))
+
+let test_width () =
+  Alcotest.(check int) "vertex width" 1 (Task.width (Task.Vertex 3));
+  Alcotest.(check int) "pfor width" 5 (Task.width (Task.pfor [| 1; 2; 3; 4; 5 |]))
+
+let test_split_vertex_rejected () =
+  Alcotest.check_raises "split vertex" (Invalid_argument "Task.split: not a pfor task")
+    (fun () -> ignore (Task.split (Task.Vertex 0)))
+
+let test_split_pair () =
+  match Task.split (Task.pfor [| 10; 20 |]) with
+  | Task.Vertex 10, Some (Task.Vertex 20) -> ()
+  | _ -> Alcotest.fail "expected two vertex children"
+
+let test_split_singleton () =
+  match Task.split (Task.Pfor { batch = [| 7 |]; lo = 0; hi = 1 }) with
+  | Task.Vertex 7, None -> ()
+  | _ -> Alcotest.fail "expected single vertex child"
+
+(* Fully unfolding a pfor tree over n vertices must execute each vertex
+   exactly once and create at most n - 1 internal pfor vertices (the
+   accounting behind W + Wpfor <= 2W in Lemma 1). *)
+let unfold task =
+  let executed = ref [] and internal = ref 0 in
+  let rec go = function
+    | Task.Vertex v -> executed := v :: !executed
+    | Task.Pfor _ as t ->
+        incr internal;
+        let l, r = Task.split t in
+        go l;
+        Option.iter go r
+  in
+  go task;
+  (List.rev !executed, !internal)
+
+let test_unfold_exact () =
+  let batch = Array.init 11 (fun i -> i * 100) in
+  let executed, internal = unfold (Task.pfor batch) in
+  Alcotest.(check (list int)) "order preserved" (Array.to_list batch) executed;
+  Alcotest.(check bool) "internal <= n-1" true (internal <= 10)
+
+let prop_unfold =
+  QCheck.Test.make ~name:"pfor unfolds to its batch with < n internal nodes" ~count:200
+    QCheck.(int_range 1 200)
+    (fun n ->
+      QCheck.assume (n >= 1);
+      let batch = Array.init n Fun.id in
+      let executed, internal = unfold (Task.pfor batch) in
+      (* A singleton batch still carries its one wrapper vertex. *)
+      executed = List.init n Fun.id && internal <= max 1 (n - 1))
+
+(* Span of the pfor tree is logarithmic: depth of recursion <= ceil(lg n)+1. *)
+let prop_log_depth =
+  QCheck.Test.make ~name:"pfor depth logarithmic" ~count:100
+    QCheck.(int_range 1 1024)
+    (fun n ->
+      QCheck.assume (n >= 1);
+      let rec depth = function
+        | Task.Vertex _ -> 0
+        | Task.Pfor _ as t ->
+            let l, r = Task.split t in
+            1 + max (depth l) (match r with Some r -> depth r | None -> 0)
+      in
+      let d = depth (Task.pfor (Array.init n Fun.id)) in
+      let lg = int_of_float (ceil (log (float_of_int n) /. log 2.)) in
+      d <= lg + 1)
+
+let () =
+  Alcotest.run "task"
+    [
+      ( "pfor",
+        [
+          Alcotest.test_case "empty rejected" `Quick test_pfor_empty_rejected;
+          Alcotest.test_case "width" `Quick test_width;
+          Alcotest.test_case "split vertex rejected" `Quick test_split_vertex_rejected;
+          Alcotest.test_case "split pair" `Quick test_split_pair;
+          Alcotest.test_case "split singleton" `Quick test_split_singleton;
+          Alcotest.test_case "unfold exact" `Quick test_unfold_exact;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_unfold; QCheck_alcotest.to_alcotest prop_log_depth ]
+      );
+    ]

@@ -1,0 +1,91 @@
+open Lhws_runtime
+module Pool = Threaded_pool
+
+let test_run_returns () =
+  Pool.with_pool (fun p -> Alcotest.(check int) "value" 7 (Pool.run p (fun () -> 7)))
+
+let test_fork2 () =
+  Pool.with_pool (fun p ->
+      let a, b = Pool.run p (fun () -> Pool.fork2 p (fun () -> 10) (fun () -> 20)) in
+      Alcotest.(check (pair int int)) "results" (10, 20) (a, b))
+
+let test_async_await () =
+  Pool.with_pool (fun p ->
+      let pr = Pool.async p (fun () -> 6 * 7) in
+      Alcotest.(check int) "await" 42 (Pool.await p pr))
+
+let test_exceptions () =
+  Pool.with_pool (fun p ->
+      let pr = Pool.async p (fun () -> failwith "thread boom") in
+      Alcotest.check_raises "propagates" (Failure "thread boom") (fun () ->
+          ignore (Pool.await p pr)))
+
+let test_map_reduce () =
+  Pool.with_pool (fun p ->
+      let sum =
+        Pool.parallel_map_reduce p ~grain:8 ~lo:1 ~hi:101 ~map:Fun.id ~combine:( + ) ~id:0
+      in
+      Alcotest.(check int) "gauss" 5050 sum)
+
+let test_parallel_for () =
+  Pool.with_pool (fun p ->
+      let n = 200 in
+      let hits = Array.init n (fun _ -> Atomic.make 0) in
+      Pool.parallel_for p ~grain:16 ~lo:0 ~hi:n (fun i -> Atomic.incr hits.(i));
+      Array.iter (fun h -> Alcotest.(check int) "once" 1 (Atomic.get h)) hits)
+
+let test_latency_hidden_by_threads () =
+  (* Thread-per-task also hides latency — just with OS threads. *)
+  Pool.with_pool (fun p ->
+      let t0 = Unix.gettimeofday () in
+      let sum =
+        Pool.parallel_map_reduce p ~grain:1 ~lo:0 ~hi:8
+          ~map:(fun i ->
+            Pool.sleep p 0.05;
+            i)
+          ~combine:( + ) ~id:0
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      Alcotest.(check int) "sum" 28 sum;
+      Alcotest.(check bool) "overlapped" true (dt < 0.2))
+
+let test_thread_accounting () =
+  Pool.with_pool (fun p ->
+      ignore (Pool.parallel_map_reduce p ~grain:1 ~lo:0 ~hi:16 ~map:Fun.id ~combine:( + ) ~id:0);
+      Alcotest.(check bool) "spawned >= 15" true (Pool.threads_spawned p >= 15);
+      Alcotest.(check bool) "peak recorded" true (Pool.peak_threads p >= 1))
+
+let test_max_threads_enforced () =
+  Pool.with_pool ~max_threads:4 (fun p ->
+      (* 32 sleeping tasks through a 4-thread pool: must still complete,
+         and the peak must respect the cap. *)
+      let promises = List.init 32 (fun i -> Pool.async p (fun () -> Pool.sleep p 0.002; i)) in
+      let total = List.fold_left (fun acc pr -> acc + Pool.await p pr) 0 promises in
+      Alcotest.(check int) "sum" (32 * 31 / 2) total;
+      Alcotest.(check bool) "peak <= cap" true (Pool.peak_threads p <= 4))
+
+let test_invalid () =
+  match Pool.create ~max_threads:0 () with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "threaded_pool"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "run returns" `Quick test_run_returns;
+          Alcotest.test_case "fork2" `Quick test_fork2;
+          Alcotest.test_case "async/await" `Quick test_async_await;
+          Alcotest.test_case "exceptions" `Quick test_exceptions;
+          Alcotest.test_case "map_reduce" `Quick test_map_reduce;
+          Alcotest.test_case "parallel_for" `Quick test_parallel_for;
+          Alcotest.test_case "invalid" `Quick test_invalid;
+        ] );
+      ( "threads",
+        [
+          Alcotest.test_case "latency hidden" `Quick test_latency_hidden_by_threads;
+          Alcotest.test_case "accounting" `Quick test_thread_accounting;
+          Alcotest.test_case "max threads" `Quick test_max_threads_enforced;
+        ] );
+    ]

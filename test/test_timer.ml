@@ -1,0 +1,97 @@
+open Lhws_runtime
+
+let test_empty () =
+  let t = Timer.create () in
+  Alcotest.(check int) "pending" 0 (Timer.pending t);
+  Alcotest.(check int) "poll fires nothing" 0 (Timer.poll t);
+  Alcotest.(check bool) "no deadline" true (Timer.next_deadline t = None)
+
+let test_fires_due () =
+  let t = Timer.create () in
+  let hits = ref [] in
+  let now = Unix.gettimeofday () in
+  Timer.add t ~deadline:(now -. 0.1) (fun () -> hits := "past" :: !hits);
+  Timer.add t ~deadline:(now +. 60.) (fun () -> hits := "future" :: !hits);
+  Alcotest.(check int) "one fired" 1 (Timer.poll t);
+  Alcotest.(check (list string)) "the past one" [ "past" ] !hits;
+  Alcotest.(check int) "one pending" 1 (Timer.pending t)
+
+let test_order () =
+  let t = Timer.create () in
+  let hits = ref [] in
+  let now = Unix.gettimeofday () in
+  Timer.add t ~deadline:(now -. 0.01) (fun () -> hits := 2 :: !hits);
+  Timer.add t ~deadline:(now -. 0.03) (fun () -> hits := 1 :: !hits);
+  Timer.add t ~deadline:(now -. 0.001) (fun () -> hits := 3 :: !hits);
+  Alcotest.(check int) "all fired" 3 (Timer.poll t);
+  Alcotest.(check (list int)) "deadline order" [ 1; 2; 3 ] (List.rev !hits)
+
+let test_add_in () =
+  let t = Timer.create () in
+  let fired = ref false in
+  Timer.add_in t ~seconds:0.02 (fun () -> fired := true);
+  Alcotest.(check int) "not due yet" 0 (Timer.poll t);
+  Unix.sleepf 0.03;
+  Alcotest.(check int) "due now" 1 (Timer.poll t);
+  Alcotest.(check bool) "callback ran" true !fired
+
+let test_next_deadline () =
+  let t = Timer.create () in
+  Timer.add t ~deadline:50. (fun () -> ());
+  Timer.add t ~deadline:10. (fun () -> ());
+  (match Timer.next_deadline t with
+  | Some d -> Alcotest.(check (float 1e-9)) "min deadline" 10. d
+  | None -> Alcotest.fail "expected a deadline");
+  Alcotest.(check int) "pending" 2 (Timer.pending t)
+
+let test_many () =
+  let t = Timer.create () in
+  let count = ref 0 in
+  let now = Unix.gettimeofday () in
+  for i = 1 to 1000 do
+    Timer.add t ~deadline:(now -. (0.0001 *. float_of_int i)) (fun () -> incr count)
+  done;
+  Alcotest.(check int) "all fired" 1000 (Timer.poll t);
+  Alcotest.(check int) "count" 1000 !count
+
+let test_concurrent_add_poll () =
+  let t = Timer.create () in
+  let fired = Atomic.make 0 in
+  let adders =
+    Array.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 500 do
+              Timer.add_in t ~seconds:0.0001 (fun () -> Atomic.incr fired)
+            done))
+  in
+  let stop = Atomic.make false in
+  let poller =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          ignore (Timer.poll t);
+          Domain.cpu_relax ()
+        done)
+  in
+  Array.iter Domain.join adders;
+  Unix.sleepf 0.01;
+  while Timer.pending t > 0 do
+    ignore (Timer.poll t)
+  done;
+  Atomic.set stop true;
+  Domain.join poller;
+  Alcotest.(check int) "all callbacks fired" 1500 (Atomic.get fired)
+
+let () =
+  Alcotest.run "timer"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "fires due" `Quick test_fires_due;
+          Alcotest.test_case "order" `Quick test_order;
+          Alcotest.test_case "add_in" `Quick test_add_in;
+          Alcotest.test_case "next deadline" `Quick test_next_deadline;
+          Alcotest.test_case "many" `Quick test_many;
+        ] );
+      ("concurrency", [ Alcotest.test_case "add vs poll" `Slow test_concurrent_add_poll ]);
+    ]

@@ -1,0 +1,98 @@
+open Lhws_runtime
+module Pool = Lhws_pool
+
+let test_record_and_events () =
+  let t = Tracing.create ~workers:2 () in
+  Tracing.record t ~worker:0 Tracing.Task_run ~start_us:10. ~dur_us:5.;
+  Tracing.record t ~worker:1 Tracing.Steal ~start_us:12. ~dur_us:0.;
+  Tracing.record t ~worker:0 Tracing.Suspend ~start_us:20. ~dur_us:0.;
+  let events = Tracing.events t in
+  Alcotest.(check int) "three events" 3 (List.length events);
+  (match events with
+  | { Tracing.worker = 0; kind = Tracing.Task_run; start_us = 10.; dur_us = 5. } :: _ -> ()
+  | _ -> Alcotest.fail "unexpected first event");
+  Alcotest.(check int) "none dropped" 0 (Tracing.dropped t)
+
+let test_capacity_drops () =
+  let t = Tracing.create ~capacity_per_worker:4 ~workers:1 () in
+  for i = 1 to 10 do
+    Tracing.record t ~worker:0 Tracing.Task_run ~start_us:(float_of_int i) ~dur_us:1.
+  done;
+  Alcotest.(check int) "kept capacity" 4 (List.length (Tracing.events t));
+  Alcotest.(check int) "dropped rest" 6 (Tracing.dropped t)
+
+let test_invalid_args () =
+  (match Tracing.create ~capacity_per_worker:0 ~workers:1 () with
+  | _ -> Alcotest.fail "capacity 0"
+  | exception Invalid_argument _ -> ());
+  match Tracing.create ~workers:0 () with
+  | _ -> Alcotest.fail "workers 0"
+  | exception Invalid_argument _ -> ()
+
+let test_chrome_json_shape () =
+  let t = Tracing.create ~workers:1 () in
+  Tracing.record t ~worker:0 Tracing.Resume_batch ~start_us:1.5 ~dur_us:0.;
+  let json = Tracing.to_chrome_json t in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) affix true (Astring.String.is_infix ~affix json))
+    [ {|"name":"resume-batch"|}; {|"ph":"X"|}; {|"tid":0|}; {|"ts":1.5|} ]
+
+let test_kind_names_distinct () =
+  let names =
+    List.map Tracing.kind_name
+      [ Tracing.Task_run; Tracing.Suspend; Tracing.Resume_batch; Tracing.Steal ]
+  in
+  Alcotest.(check int) "distinct" 4 (List.length (List.sort_uniq compare names))
+
+let test_pool_integration () =
+  Pool.with_pool ~workers:2 (fun p ->
+      let tr = Tracing.create ~workers:2 () in
+      Pool.set_tracer p tr;
+      let v =
+        Pool.run p (fun () ->
+            Pool.parallel_map_reduce p ~lo:0 ~hi:12
+              ~map:(fun i ->
+                if i mod 3 = 0 then Pool.sleep p 0.002;
+                i)
+              ~combine:( + ) ~id:0)
+      in
+      Alcotest.(check int) "result" 66 v;
+      let events = Tracing.events tr in
+      let count kind =
+        List.length (List.filter (fun (e : Tracing.event) -> e.Tracing.kind = kind) events)
+      in
+      Alcotest.(check bool) "tasks recorded" true (count Tracing.Task_run >= 12);
+      Alcotest.(check bool) "suspensions recorded" true (count Tracing.Suspend >= 4);
+      Alcotest.(check bool) "resumes recorded" true (count Tracing.Resume_batch >= 1);
+      (* durations sane *)
+      List.iter
+        (fun (e : Tracing.event) ->
+          Alcotest.(check bool) "non-negative duration" true (e.Tracing.dur_us >= 0.))
+        events)
+
+let test_write_file () =
+  let t = Tracing.create ~workers:1 () in
+  Tracing.record t ~worker:0 Tracing.Task_run ~start_us:0. ~dur_us:1.;
+  let path = Filename.temp_file "lhws_trace" ".json" in
+  Tracing.write_chrome_json path t;
+  let ic = open_in path in
+  let first = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "json array" true (String.length first > 0 && first.[0] = '[')
+
+let () =
+  Alcotest.run "tracing"
+    [
+      ( "buffer",
+        [
+          Alcotest.test_case "record/events" `Quick test_record_and_events;
+          Alcotest.test_case "capacity drops" `Quick test_capacity_drops;
+          Alcotest.test_case "invalid args" `Quick test_invalid_args;
+          Alcotest.test_case "chrome json" `Quick test_chrome_json_shape;
+          Alcotest.test_case "kind names" `Quick test_kind_names_distinct;
+          Alcotest.test_case "write file" `Quick test_write_file;
+        ] );
+      ("pool", [ Alcotest.test_case "integration" `Quick test_pool_integration ]);
+    ]

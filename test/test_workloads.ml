@@ -1,0 +1,193 @@
+module W = Lhws_workloads
+module P = W.Pool_intf
+
+type runner = { run : 'p. (module P.POOL with type t = 'p) -> 'p -> unit }
+
+let with_each_pool { run } =
+  List.iter
+    (fun (pool : P.pool) ->
+      let module Pool = (val pool : P.POOL) in
+      let p = Pool.create ~workers:2 () in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown p)
+        (fun () -> run (module Pool : P.POOL with type t = Pool.t) p))
+    [ P.lhws; P.ws ]
+
+let test_fib_seq () =
+  Alcotest.(check int) "fib 0" 0 (W.Fib.seq 0);
+  Alcotest.(check int) "fib 1" 1 (W.Fib.seq 1);
+  Alcotest.(check int) "fib 10" 55 (W.Fib.seq 10);
+  Alcotest.(check int) "fib 20" 6765 (W.Fib.seq 20)
+
+let test_fib_par_matches_seq () =
+  with_each_pool
+    {
+      run =
+        (fun (type t) (module Pool : P.POOL with type t = t) (p : t) ->
+          let v = Pool.run p (fun () -> W.Fib.par_on (module Pool) p ~cutoff:8 18) in
+          Alcotest.(check int) (Pool.name ^ " fib par") (W.Fib.seq 18) v);
+    }
+
+let test_fib_dag () =
+  Alcotest.(check bool) "well-formed" true (Lhws_dag.Check.well_formed (W.Fib.dag 9))
+
+let test_map_reduce_reference () =
+  Alcotest.(check int) "reference" (20 * W.Fib.seq 15 mod W.Map_reduce.modulus)
+    (W.Map_reduce.reference ~n:20 ~fib_n:15)
+
+let test_map_reduce_pools () =
+  with_each_pool
+    {
+      run =
+        (fun (type t) (module Pool : P.POOL with type t = t) (p : t) ->
+          let r = W.Map_reduce.run_on (module Pool) p ~n:24 ~latency:0.002 ~fib_n:12 in
+          Alcotest.(check int) (Pool.name ^ " value")
+            (W.Map_reduce.reference ~n:24 ~fib_n:12)
+            r.W.Map_reduce.value;
+          Alcotest.(check bool) "elapsed positive" true (r.W.Map_reduce.elapsed >= 0.));
+    }
+
+let test_map_reduce_dag_alias () =
+  let g = W.Map_reduce.dag ~n:6 ~leaf_work:2 ~latency:5 in
+  Alcotest.(check bool) "well-formed" true (Lhws_dag.Check.well_formed g)
+
+let test_server_pools () =
+  with_each_pool
+    {
+      run =
+        (fun (type t) (module Pool : P.POOL with type t = t) (p : t) ->
+          let r = W.Server.run_on (module Pool) p ~n:10 ~latency:0.001 ~fib_n:10 in
+          Alcotest.(check int) (Pool.name ^ " value")
+            (10 * W.Fib.seq 10 mod W.Map_reduce.modulus)
+            r.W.Server.value);
+    }
+
+let test_server_dag_alias () =
+  let g = W.Server.dag ~n:4 ~f_work:2 ~latency:5 in
+  Alcotest.(check bool) "well-formed" true (Lhws_dag.Check.well_formed g)
+
+let test_web_determinism () =
+  let w1 = W.Crawler.make_web ~seed:3 ~pages:50 ~max_links:3 in
+  let w2 = W.Crawler.make_web ~seed:3 ~pages:50 ~max_links:3 in
+  Alcotest.(check int) "same reachable" (W.Crawler.reachable w1) (W.Crawler.reachable w2);
+  for i = 0 to 49 do
+    Alcotest.(check (list int)) "same links" (W.Crawler.links w1 i) (W.Crawler.links w2 i)
+  done
+
+let test_web_reachability () =
+  let w = W.Crawler.make_web ~seed:5 ~pages:80 ~max_links:3 in
+  let r = W.Crawler.reachable w in
+  Alcotest.(check bool) "substantial web" true (r > 10);
+  Alcotest.(check bool) "at most all pages" true (r <= 80)
+
+let test_crawler_pools_agree () =
+  let web = W.Crawler.make_web ~seed:11 ~pages:40 ~max_links:3 in
+  let results =
+    List.map
+      (fun (pool : P.pool) ->
+        let module Pool = (val pool : P.POOL) in
+        let p = Pool.create ~workers:2 () in
+        Fun.protect
+          ~finally:(fun () -> Pool.shutdown p)
+          (fun () -> W.Crawler.crawl_on (module Pool) p web ~latency:0.001 ~parse_work:8))
+      [ P.lhws; P.ws ]
+  in
+  match results with
+  | [ a; b ] ->
+      Alcotest.(check int) "visited = reachable" (W.Crawler.reachable web) a.W.Crawler.visited;
+      Alcotest.(check int) "pools agree on visited" a.W.Crawler.visited b.W.Crawler.visited;
+      Alcotest.(check int) "pools agree on checksum" a.W.Crawler.checksum b.W.Crawler.checksum
+  | _ -> Alcotest.fail "expected two results"
+
+let test_crawler_repeat_stable () =
+  (* Same pool kind twice: checksum is order-independent. *)
+  let web = W.Crawler.make_web ~seed:13 ~pages:30 ~max_links:2 in
+  let crawl () =
+    let module Pool = (val P.lhws : P.POOL) in
+    let p = Pool.create ~workers:2 () in
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown p)
+      (fun () -> (W.Crawler.crawl_on (module Pool) p web ~latency:0.0005 ~parse_work:5).W.Crawler.checksum)
+  in
+  Alcotest.(check int) "stable checksum" (crawl ()) (crawl ())
+
+let test_sort_dag () =
+  let g = W.Sort.dag ~n_chunks:8 ~chunk_work:4 ~latency:10 in
+  Alcotest.(check bool) "well-formed" true (Lhws_dag.Check.well_formed g);
+  Alcotest.(check int) "one fetch per chunk" 8 (Lhws_dag.Metrics.num_heavy_edges g)
+
+let test_sort_reference () =
+  let a = W.Sort.reference ~n:500 ~seed:3 in
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "reference is sorted" true (a = sorted);
+  Alcotest.(check int) "length" 500 (Array.length a)
+
+let test_sort_pools () =
+  with_each_pool
+    {
+      run =
+        (fun (type t) (module Pool : P.POOL with type t = t) (p : t) ->
+          let r = W.Sort.run_on (module Pool) p ~n:300 ~chunk:32 ~latency:0.001 ~seed:7 in
+          Alcotest.(check bool)
+            (Pool.name ^ " sorted correctly")
+            true
+            (r.W.Sort.sorted = W.Sort.reference ~n:300 ~seed:7));
+    }
+
+let test_sort_edge_cases () =
+  with_each_pool
+    {
+      run =
+        (fun (type t) (module Pool : P.POOL with type t = t) (p : t) ->
+          let r0 = W.Sort.run_on (module Pool) p ~n:0 ~chunk:4 ~latency:0. ~seed:1 in
+          Alcotest.(check int) "empty" 0 (Array.length r0.W.Sort.sorted);
+          let r1 = W.Sort.run_on (module Pool) p ~n:1 ~chunk:4 ~latency:0. ~seed:1 in
+          Alcotest.(check int) "singleton" 1 (Array.length r1.W.Sort.sorted));
+    }
+
+let test_pool_by_name () =
+  let module L = (val P.by_name "lhws" : P.POOL) in
+  Alcotest.(check string) "lhws" "lhws" L.name;
+  let module B = (val P.by_name "ws" : P.POOL) in
+  Alcotest.(check string) "ws" "ws" B.name;
+  match P.by_name "bogus" with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "fib",
+        [
+          Alcotest.test_case "seq" `Quick test_fib_seq;
+          Alcotest.test_case "par matches seq" `Quick test_fib_par_matches_seq;
+          Alcotest.test_case "dag" `Quick test_fib_dag;
+        ] );
+      ( "map_reduce",
+        [
+          Alcotest.test_case "reference" `Quick test_map_reduce_reference;
+          Alcotest.test_case "pools" `Quick test_map_reduce_pools;
+          Alcotest.test_case "dag alias" `Quick test_map_reduce_dag_alias;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "pools" `Quick test_server_pools;
+          Alcotest.test_case "dag alias" `Quick test_server_dag_alias;
+        ] );
+      ( "crawler",
+        [
+          Alcotest.test_case "web determinism" `Quick test_web_determinism;
+          Alcotest.test_case "web reachability" `Quick test_web_reachability;
+          Alcotest.test_case "pools agree" `Quick test_crawler_pools_agree;
+          Alcotest.test_case "repeat stable" `Quick test_crawler_repeat_stable;
+        ] );
+      ( "sort",
+        [
+          Alcotest.test_case "dag" `Quick test_sort_dag;
+          Alcotest.test_case "reference" `Quick test_sort_reference;
+          Alcotest.test_case "pools" `Quick test_sort_pools;
+          Alcotest.test_case "edge cases" `Quick test_sort_edge_cases;
+        ] );
+      ("pool_intf", [ Alcotest.test_case "by_name" `Quick test_pool_by_name ]);
+    ]

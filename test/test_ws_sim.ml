@@ -1,0 +1,123 @@
+module Dag = Lhws_dag.Dag
+module Generate = Lhws_dag.Generate
+module Metrics = Lhws_dag.Metrics
+open Lhws_core
+
+let check = Alcotest.(check int)
+let traced = { Config.default with trace = true }
+let run ?(config = traced) dag ~p = Ws_sim.run ~config dag ~p
+
+let test_chain_p1 () =
+  let g = Generate.chain ~n:30 () in
+  let r = run g ~p:1 in
+  check "rounds = work" 30 r.Run.rounds
+
+let test_single_latency_blocks () =
+  (* Blocking semantics: the worker waits out the whole latency. *)
+  let g = Generate.single_latency ~delta:10 in
+  let r = run g ~p:1 in
+  check "rounds = delta + 1" 11 r.Run.rounds;
+  check "blocked rounds" 9 r.Run.stats.Stats.blocked_rounds
+
+let test_latency_serializes () =
+  (* A chain with a heavy edge every 2 vertices: the blocking scheduler
+     pays W + total latency on one worker. *)
+  let g = Generate.chain ~latency_every:2 ~latency:6 ~n:11 () in
+  let r = run g ~p:1 in
+  check "rounds = W + latency" (11 + Metrics.total_latency g) r.Run.rounds
+
+let test_mapreduce_blocking_cost () =
+  (* On one worker, every leaf's latency is paid sequentially. *)
+  let n = 10 and latency = 50 in
+  let g = Generate.map_reduce ~n ~leaf_work:2 ~latency in
+  let r = run g ~p:1 in
+  check "rounds = W + n * (delta-1)" (Metrics.work g + (n * (latency - 1))) r.Run.rounds
+
+let test_all_executed_and_valid () =
+  let g = Generate.map_reduce ~n:20 ~leaf_work:3 ~latency:12 in
+  List.iter
+    (fun p ->
+      let r = run g ~p in
+      check "all vertices" (Metrics.work g) r.Run.stats.Stats.vertices_executed;
+      Schedule.check_exn g (Run.trace_exn r);
+      Alcotest.(check bool) "balanced" true (Stats.balanced r.Run.stats))
+    [ 1; 2; 4; 8 ]
+
+let test_determinism () =
+  let g = Generate.map_reduce ~n:16 ~leaf_work:3 ~latency:9 in
+  let r1 = run g ~p:4 and r2 = run g ~p:4 in
+  check "same rounds" r1.Run.rounds r2.Run.rounds;
+  Alcotest.(check bool) "same schedule" true
+    (Trace.executions (Run.trace_exn r1) = Trace.executions (Run.trace_exn r2))
+
+let test_steals_during_block () =
+  (* While one worker is blocked, its deque remains stealable: with two
+     workers, a map-reduce of two leaves overlaps the two latencies. *)
+  let g = Generate.map_reduce ~n:2 ~leaf_work:2 ~latency:40 in
+  let r1 = run g ~p:1 in
+  let r2 = run g ~p:2 in
+  Alcotest.(check bool) "P=2 overlaps blocking" true (r2.Run.rounds < r1.Run.rounds - 20)
+
+let test_fib_matches_lhws () =
+  (* With no heavy edges both schedulers do essentially the same thing. *)
+  let g = Generate.fib ~n:12 () in
+  let ws = run g ~p:1 in
+  let lh = Lhws_sim.run ~config:traced g ~p:1 in
+  check "same rounds at P=1" lh.Run.rounds ws.Run.rounds
+
+let test_fast_forward_equivalence () =
+  let g = Generate.map_reduce ~n:6 ~leaf_work:2 ~latency:60 in
+  let rff = run ~config:{ traced with fast_forward = true } g ~p:2 in
+  let rslow = run ~config:{ traced with fast_forward = false } g ~p:2 in
+  check "same vertices" rff.Run.stats.Stats.vertices_executed
+    rslow.Run.stats.Stats.vertices_executed;
+  check "same rounds" rff.Run.rounds rslow.Run.rounds;
+  Schedule.check_exn g (Run.trace_exn rff)
+
+let test_invalid_p () =
+  match Ws_sim.run (Generate.diamond ()) ~p:0 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let random_dag seed =
+  Generate.random_fork_join ~seed ~size_hint:100 ~latency_prob:0.25 ~max_latency:15
+
+let prop_valid_schedules =
+  QCheck.Test.make ~name:"random dags: WS schedule valid" ~count:40
+    QCheck.(pair small_int (int_range 1 5))
+    (fun (seed, p) ->
+      QCheck.assume (p >= 1 && p <= 5);
+      let g = random_dag seed in
+      let r = run g ~p in
+      Schedule.valid g (Run.trace_exn r)
+      && r.Run.stats.Stats.vertices_executed = Metrics.work g)
+
+let prop_ws_pays_latency_p1 =
+  QCheck.Test.make ~name:"P=1: WS rounds >= W + critical latency" ~count:40 QCheck.small_int
+    (fun seed ->
+      let g = random_dag seed in
+      let r = run g ~p:1 in
+      r.Run.rounds >= Metrics.work g + Metrics.critical_path_latency g)
+
+let () =
+  Alcotest.run "ws_sim"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "chain P=1" `Quick test_chain_p1;
+          Alcotest.test_case "single latency blocks" `Quick test_single_latency_blocks;
+          Alcotest.test_case "latency serializes" `Quick test_latency_serializes;
+          Alcotest.test_case "map-reduce blocking cost" `Quick test_mapreduce_blocking_cost;
+          Alcotest.test_case "all executed, valid" `Quick test_all_executed_and_valid;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "steals during block" `Quick test_steals_during_block;
+          Alcotest.test_case "fib matches LHWS" `Quick test_fib_matches_lhws;
+          Alcotest.test_case "fast-forward equivalence" `Quick test_fast_forward_equivalence;
+          Alcotest.test_case "invalid p" `Quick test_invalid_p;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_valid_schedules;
+          QCheck_alcotest.to_alcotest prop_ws_pays_latency_p1;
+        ] );
+    ]

@@ -1,0 +1,131 @@
+(* Differential fuzzing driver: random programs and dags, checked across
+   the three Program semantics, both real pools, and the paper's bounds
+   (Theorem 1, Lemmas 1/2/7, Corollary 1, deque order).  Failures print a
+   seed that replays the exact case. *)
+
+open Cmdliner
+module Runner = Lhws_proptest.Runner
+module Stress = Lhws_proptest.Stress
+
+let count_arg =
+  Arg.(
+    value & opt int 100
+    & info [ "count" ] ~docv:"N" ~doc:"Number of generated cases to check.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:
+          "Base seed.  Case $(i,i) uses seed SEED + $(i,i); a failure report names its case \
+           seed, and $(b,--count 1 --seed) $(i,that) replays it.")
+
+let max_size_arg =
+  Arg.(
+    value & opt int 40
+    & info [ "max-size" ] ~docv:"SIZE" ~doc:"Size budget for generated recipes.")
+
+let ps_arg =
+  Arg.(
+    value & opt (list int) [ 1; 2; 4 ]
+    & info [ "ps" ] ~docv:"P1,P2,..." ~doc:"Worker counts for the simulator sweeps.")
+
+let pool_every_arg =
+  Arg.(
+    value & opt int 25
+    & info [ "pool-every" ] ~docv:"N"
+        ~doc:"Run the real-pool oracle on every N-th program case (0 disables pool checks).")
+
+let pool_workers_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "pool-workers" ] ~docv:"P" ~doc:"Workers per real pool in pool-oracle runs.")
+
+let stress_items_arg =
+  Arg.(
+    value & opt int 20_000
+    & info [ "stress-items" ] ~docv:"N"
+        ~doc:"Elements for the Chase-Lev owner-vs-thieves stress pass (0 disables it).")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress heartbeat, only the verdict.")
+
+(* Validate up front so a bad flag is a usage error, not a crash deep in
+   the simulator or a bogus "oracle failure". *)
+let validate count max_size ps pool_every pool_workers =
+  let err fmt = Printf.ksprintf (fun m -> Some (`Msg m)) fmt in
+  if count < 0 then err "--count must be >= 0 (got %d)" count
+  else if max_size < 1 then err "--max-size must be >= 1 (got %d)" max_size
+  else if ps = [] then err "--ps must list at least one worker count"
+  else
+    match List.find_opt (fun p -> p < 1) ps with
+    | Some p -> err "--ps: worker counts must be >= 1 (got %d)" p
+    | None ->
+        if pool_every < 0 then err "--pool-every must be >= 0 (got %d)" pool_every
+        else if pool_workers < 1 then err "--pool-workers must be >= 1 (got %d)" pool_workers
+        else None
+
+let fuzz count seed max_size ps pool_every pool_workers stress_items quiet =
+  match validate count max_size ps pool_every pool_workers with
+  | Some (`Msg m) ->
+      Format.eprintf "lhws_fuzz: %s@." m;
+      Cmd.Exit.cli_error
+  | None ->
+  let options =
+    {
+      Runner.default_options with
+      count;
+      seed;
+      max_size;
+      ps;
+      pool_every;
+      pool_workers;
+    }
+  in
+  let progress =
+    if quiet then None
+    else
+      Some
+        (fun i ->
+          if i > 0 && i mod 100 = 0 then (
+            Printf.printf "  ... %d/%d cases\n" i count;
+            flush stdout))
+  in
+  let outcome = Runner.run ?progress options in
+  Format.printf "%a@." Runner.pp_outcome outcome;
+  let stress_failures =
+    if stress_items <= 0 then 0
+    else begin
+      let deque = (module Stress.Chase_lev_deque : Stress.DEQUE) in
+      let hammer = Stress.hammer deque ~items:stress_items () in
+      let model = Stress.sequential_model deque ~ops:(min stress_items 10_000) ~seed () in
+      Format.printf "chase-lev hammer: %a@." Stress.pp_report hammer;
+      Format.printf "chase-lev sequential model: %a@." Stress.pp_report model;
+      (if Stress.ok hammer then 0 else 1) + if Stress.ok model then 0 else 1
+    end
+  in
+  if outcome.Runner.failed = [] && stress_failures = 0 then 0 else 1
+
+let cmd =
+  let doc = "differential fuzzing of the LHWS simulator, runtimes, and theorem bounds" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Generates random fork-join programs and weighted dags, then cross-checks: reference \
+         evaluation vs. the round-exact simulator vs. real execution on both runtime pools \
+         (both steal policies), and every run against the paper's bounds (Theorem 1, Lemmas \
+         1, 2 and 7, Corollary 1, and the per-snapshot deque-order invariant).  A Chase-Lev \
+         stress pass hammers the lock-free deque from concurrent thief domains.";
+      `P
+        "Failures are shrunk to a local minimum and printed with their case seed; replay one \
+         with $(b,lhws_fuzz --count 1 --seed) $(i,CASESEED).";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "lhws_fuzz" ~doc ~man)
+    Term.(
+      const fuzz $ count_arg $ seed_arg $ max_size_arg $ ps_arg $ pool_every_arg
+      $ pool_workers_arg $ stress_items_arg $ quiet_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,6 +1,17 @@
+(* Uniform precondition checks: every generator validates its arguments up
+   front and reports the offending value, so fuzzers (and users) get
+   "Generate.server: latency must be >= 2 (got 1)" instead of a failure
+   deep inside a Block combinator. *)
+let check_min fn param ~min v =
+  if v < min then
+    invalid_arg (Printf.sprintf "Generate.%s: %s must be >= %d (got %d)" fn param min v)
+
+let check_latency fn ?(param = "latency") v = check_min fn param ~min:2 v
+
 let map_reduce ~n ~leaf_work ~latency =
-  if n < 1 then invalid_arg "Generate.map_reduce: n must be >= 1";
-  if leaf_work < 1 then invalid_arg "Generate.map_reduce: leaf_work must be >= 1";
+  check_min "map_reduce" "n" ~min:1 n;
+  check_min "map_reduce" "leaf_work" ~min:1 leaf_work;
+  check_latency "map_reduce" latency;
   let b = Dag.Builder.create () in
   let leaf i =
     let get = Block.latency ~label:(Printf.sprintf "getValue %d" i) b latency in
@@ -11,10 +22,10 @@ let map_reduce ~n ~leaf_work ~latency =
   Block.finish b (Block.fork_tree b leaves)
 
 let map_reduce_jitter ~seed ~n ~leaf_work ~min_latency ~max_latency =
-  if n < 1 then invalid_arg "Generate.map_reduce_jitter: n must be >= 1";
-  if leaf_work < 1 then invalid_arg "Generate.map_reduce_jitter: leaf_work must be >= 1";
-  if min_latency < 2 || max_latency < min_latency then
-    invalid_arg "Generate.map_reduce_jitter: need 2 <= min_latency <= max_latency";
+  check_min "map_reduce_jitter" "n" ~min:1 n;
+  check_min "map_reduce_jitter" "leaf_work" ~min:1 leaf_work;
+  check_latency "map_reduce_jitter" ~param:"min_latency" min_latency;
+  check_min "map_reduce_jitter" "max_latency" ~min:min_latency max_latency;
   let st = Random.State.make [| seed; 0x717 |] in
   let b = Dag.Builder.create () in
   let leaf i =
@@ -25,8 +36,9 @@ let map_reduce_jitter ~seed ~n ~leaf_work ~min_latency ~max_latency =
   Block.finish b (Block.fork_tree b (Array.init n leaf))
 
 let server ~n ~f_work ~latency =
-  if n < 1 then invalid_arg "Generate.server: n must be >= 1";
-  if f_work < 1 then invalid_arg "Generate.server: f_work must be >= 1";
+  check_min "server" "n" ~min:1 n;
+  check_min "server" "f_work" ~min:1 f_work;
+  check_latency "server" latency;
   let b = Dag.Builder.create () in
   let rec serve k =
     let get = Block.latency ~label:(Printf.sprintf "getInput %d" k) b latency in
@@ -41,6 +53,8 @@ let server ~n ~f_work ~latency =
   Block.finish b (serve 0)
 
 let fib ?(leaf_work = 1) ~n () =
+  check_min "fib" "n" ~min:0 n;
+  check_min "fib" "leaf_work" ~min:1 leaf_work;
   let b = Dag.Builder.create () in
   let rec go n =
     if n < 2 then Block.chain ~label:"base" b leaf_work
@@ -49,7 +63,9 @@ let fib ?(leaf_work = 1) ~n () =
   Block.finish b (go n)
 
 let chain ?(latency_every = 0) ?(latency = 2) ~n () =
-  if n < 2 then invalid_arg "Generate.chain: n must be >= 2";
+  check_min "chain" "n" ~min:2 n;
+  check_min "chain" "latency_every" ~min:0 latency_every;
+  if latency_every > 0 then check_latency "chain" latency;
   let b = Dag.Builder.create () in
   let first = Dag.Builder.add_vertex b in
   let rec extend prev i =
@@ -67,14 +83,16 @@ let chain ?(latency_every = 0) ?(latency = 2) ~n () =
   g
 
 let parallel_chains ~k ~len =
-  if k < 1 then invalid_arg "Generate.parallel_chains: k must be >= 1";
+  check_min "parallel_chains" "k" ~min:1 k;
+  check_min "parallel_chains" "len" ~min:1 len;
   let b = Dag.Builder.create () in
   let chains = Array.init k (fun _ -> Block.chain b len) in
   Block.finish b (Block.fork_tree b chains)
 
 let pipeline ~stages ~items ~latency =
-  if stages < 1 then invalid_arg "Generate.pipeline: stages must be >= 1";
-  if items < 1 then invalid_arg "Generate.pipeline: items must be >= 1";
+  check_min "pipeline" "stages" ~min:1 stages;
+  check_min "pipeline" "items" ~min:1 items;
+  if stages > 1 then check_latency "pipeline" latency;
   let b = Dag.Builder.create () in
   let item _ =
     let stage _ = Block.vertex ~label:"stage" b in
@@ -87,9 +105,12 @@ let pipeline ~stages ~items ~latency =
   Block.finish b (Block.fork_tree b (Array.init items item))
 
 let random_fork_join ~seed ~size_hint ~latency_prob ~max_latency =
+  check_min "random_fork_join" "size_hint" ~min:1 size_hint;
   if latency_prob < 0. || latency_prob > 1. then
-    invalid_arg "Generate.random_fork_join: latency_prob must be in [0, 1]";
-  if max_latency < 2 then invalid_arg "Generate.random_fork_join: max_latency must be >= 2";
+    invalid_arg
+      (Printf.sprintf "Generate.random_fork_join: latency_prob must be in [0, 1] (got %g)"
+         latency_prob);
+  check_latency "random_fork_join" ~param:"max_latency" max_latency;
   let st = Random.State.make [| seed; 0x5eed |] in
   let b = Dag.Builder.create () in
   let maybe_latency blk =
@@ -116,9 +137,9 @@ let random_fork_join ~seed ~size_hint ~latency_prob ~max_latency =
   Block.finish b (go (max 1 size_hint))
 
 let resume_burst ~n ~leaf_work ~latency =
-  if n < 1 then invalid_arg "Generate.resume_burst: n must be >= 1";
-  if leaf_work < 1 then invalid_arg "Generate.resume_burst: leaf_work must be >= 1";
-  if latency < 2 then invalid_arg "Generate.resume_burst: latency must be >= 2";
+  check_min "resume_burst" "n" ~min:1 n;
+  check_min "resume_burst" "leaf_work" ~min:1 leaf_work;
+  check_latency "resume_burst" latency;
   let b = Dag.Builder.create () in
   let spine = Array.init n (fun i -> Dag.Builder.add_vertex ~label:(Printf.sprintf "issue %d" i) b) in
   for i = 0 to n - 2 do
@@ -175,5 +196,6 @@ let diamond () =
   g
 
 let single_latency ~delta =
+  check_latency "single_latency" ~param:"delta" delta;
   let b = Dag.Builder.create () in
   Block.finish b (Block.latency b delta)

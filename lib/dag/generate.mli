@@ -5,7 +5,12 @@
     (Figures 9/10, minimal suspension width [U = 1]) — plus classical
     fork–join computations and randomized dags for property tests.
 
-    All generated dags satisfy {!Check.well_formed}. *)
+    All generated dags satisfy {!Check.well_formed}.
+
+    Every generator validates its arguments up front ([n >= 1],
+    [leaf_work >= 1], latencies [>= 2], and so on, per the individual
+    docstrings) and raises [Invalid_argument] naming the offending
+    parameter and value. *)
 
 val map_reduce : n:int -> leaf_work:int -> latency:int -> Dag.t
 (** Distributed map-and-reduce (Figure 8): a balanced binary fork tree over
@@ -29,21 +34,22 @@ val server : n:int -> f_work:int -> latency:int -> Dag.t
 val fib : ?leaf_work:int -> n:int -> unit -> Dag.t
 (** Naive parallel Fibonacci fork–join dag, no heavy edges.  [fib n] forks
     [fib (n-1)] and [fib (n-2)]; base cases [n < 2] are leaves of
-    [leaf_work] (default 1) vertices. *)
+    [leaf_work >= 1] (default 1) vertices.  Requires [n >= 0]. *)
 
 val chain : ?latency_every:int -> ?latency:int -> n:int -> unit -> Dag.t
 (** [n >= 2] vertices in sequence.  If [latency_every > 0], every
-    [latency_every]-th edge is heavy with weight [latency]: a fully
+    [latency_every]-th edge is heavy with weight [latency >= 2]: a fully
     sequential computation with unavoidable (critical-path) latency. *)
 
 val parallel_chains : k:int -> len:int -> Dag.t
-(** [k >= 1] independent chains of [len] vertices under one fork tree:
+(** [k >= 1] independent chains of [len >= 1] vertices under one fork tree:
     embarrassingly parallel computation, no latency. *)
 
 val pipeline : stages:int -> items:int -> latency:int -> Dag.t
-(** [items] independent pipelines of [stages >= 1] unit stages separated by
-    heavy edges of weight [latency], under one fork tree: models streaming
-    items through latency-separated processing stages. *)
+(** [items >= 1] independent pipelines of [stages >= 1] unit stages
+    separated by heavy edges of weight [latency >= 2, when stages > 1],
+    under one fork tree: models streaming items through latency-separated
+    processing stages. *)
 
 val random_fork_join :
   seed:int -> size_hint:int -> latency_prob:float -> max_latency:int -> Dag.t
@@ -67,5 +73,5 @@ val diamond : unit -> Dag.t
     used in unit tests. *)
 
 val single_latency : delta:int -> Dag.t
-(** Root, heavy edge of weight [delta], final: the smallest suspending
+(** Root, heavy edge of weight [delta >= 2], final: the smallest suspending
     computation ([W = 2], [S = delta], [U = 1]). *)

@@ -1,0 +1,171 @@
+module Program = Lhws_workloads.Program
+module Metrics = Lhws_dag.Metrics
+module Check = Lhws_dag.Check
+open Lhws_core
+module Bounds = Lhws_analysis.Bounds
+module Invariants = Lhws_analysis.Invariants
+
+type failure = { check : string; detail : string }
+
+let pp_failure ppf f = Format.fprintf ppf "%s: %s" f.check f.detail
+
+let failf check fmt = Format.kasprintf (fun detail -> { check; detail }) fmt
+
+let default_ps = [ 1; 2; 4 ]
+
+(* --- program cases: value vs. simulator --- *)
+
+let sim_policies =
+  [ ("global", Config.Steal_global_deque); ("worker", Config.Steal_worker_then_deque) ]
+
+let check_program_sim ?(ps = default_ps) ~seed recipe =
+  let program = Recipe.to_program recipe in
+  let expected_work = Program.work_units program in
+  let g = Program.to_dag program in
+  let failures = ref [] in
+  let add f = failures := f :: !failures in
+  if not (Check.well_formed g) then
+    add (failf "to_dag" "compiled dag is not well-formed");
+  if Metrics.work g <> expected_work then
+    add
+      (failf "work_units" "Metrics.work %d <> Program.work_units %d" (Metrics.work g)
+         expected_work);
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (pname, steal_policy) ->
+          let config = { Config.analysis with steal_policy; seed } in
+          match Lhws_sim.run ~config g ~p with
+          | run ->
+              let ctx = Printf.sprintf "p=%d policy=%s seed=%d" p pname seed in
+              if run.Run.stats.Stats.vertices_executed <> expected_work then
+                add
+                  (failf "sim/work" "%s: executed %d of %d vertices" ctx
+                     run.Run.stats.Stats.vertices_executed expected_work);
+              if not (Stats.balanced run.Run.stats) then
+                add (failf "sim/tokens" "%s: Lemma 1 token accounting unbalanced" ctx);
+              (match Schedule.problems g (Run.trace_exn run) with
+              | [] -> ()
+              | pb :: _ -> add (failf "sim/schedule" "%s: %a" ctx Schedule.pp_problem pb))
+          | exception Config.Stuck msg ->
+              add (failf "sim/stuck" "p=%d policy=%s seed=%d: %s" p pname seed msg))
+        sim_policies)
+    ps;
+  List.rev !failures
+
+(* --- program cases: value vs. real pools --- *)
+
+module Lhws_pool = Lhws_runtime.Lhws_pool
+module Ws_pool = Lhws_runtime.Ws_pool
+
+module Lhws_instance = struct
+  include Lhws_runtime.Lhws_pool
+
+  let create ?workers () = create ?workers ()
+  let name = "lhws"
+end
+
+module Ws_instance = struct
+  include Lhws_runtime.Ws_pool
+
+  let name = "ws"
+end
+
+let check_program_pools ?(workers = 3) ?(tick = 0.0005) recipe =
+  let program = Recipe.to_program recipe in
+  let expected = Program.value program in
+  (* Cap total simulated latency so a latency-heavy case cannot stall the
+     whole fuzzing loop (the blocking pool really waits it out). *)
+  let latency_units = max 1 (Recipe.prog_latency_units recipe) in
+  let tick = min tick (0.25 /. float_of_int latency_units) in
+  let on_lhws policy =
+    let pool = Lhws_pool.create ~workers ~steal_policy:policy () in
+    Fun.protect
+      ~finally:(fun () -> Lhws_pool.shutdown pool)
+      (fun () -> Program.run_on (module Lhws_instance) pool ~tick program)
+  in
+  let on_ws () =
+    let pool = Ws_pool.create ~workers () in
+    Fun.protect
+      ~finally:(fun () -> Ws_pool.shutdown pool)
+      (fun () -> Program.run_on (module Ws_instance) pool ~tick program)
+  in
+  let runs =
+    [
+      ("lhws/global", fun () -> on_lhws Lhws_pool.Global_deque);
+      ("lhws/worker", fun () -> on_lhws Lhws_pool.Worker_then_deque);
+      ("ws", on_ws);
+    ]
+  in
+  List.filter_map
+    (fun (name, run) ->
+      match run () with
+      | v when v = expected -> None
+      | v -> Some (failf "pool/value" "%s: got %d, reference value %d" name v expected)
+      | exception e ->
+          Some (failf "pool/exn" "%s: raised %s" name (Printexc.to_string e)))
+    runs
+
+(* --- dag cases: theorem bounds on traced runs --- *)
+
+let check_dag_bounds ?(ps = default_ps) ~seed recipe =
+  let g = Recipe.to_dag recipe in
+  let u = Recipe.width_upper_bound recipe g in
+  let failures = ref [] in
+  let add f = failures := f :: !failures in
+  if not (Check.well_formed g) then add (failf "dag" "generated dag is not well-formed");
+  let work = Metrics.work g in
+  List.iter
+    (fun p ->
+      (* Theorem 1: the greedy scheduler is deterministic, one run per p. *)
+      let greedy = Greedy.run g ~p in
+      let ginst = Bounds.instance ~suspension_width:u g ~p greedy in
+      if not (Bounds.greedy_ok ginst) then
+        add
+          (failf "thm1" "p=%d: greedy took %d rounds > bound %d (W=%d S=%d)" p
+             greedy.Run.rounds (Bounds.greedy_bound ginst) work (Metrics.span g));
+      List.iter
+        (fun sim_seed ->
+          let ctx = Printf.sprintf "p=%d seed=%d" p sim_seed in
+          let order_violations = ref 0 in
+          let config = { Config.analysis with seed = sim_seed } in
+          let observer snap =
+            order_violations := !order_violations + Invariants.deque_order_violations snap
+          in
+          match Lhws_sim.run ~config ~observer g ~p with
+          | run ->
+              let inst = Bounds.instance ~suspension_width:u g ~p run in
+              if run.Run.stats.Stats.vertices_executed <> work then
+                add
+                  (failf "lhws/work" "%s: executed %d of %d vertices" ctx
+                     run.Run.stats.Stats.vertices_executed work);
+              if not (Schedule.valid g (Run.trace_exn run)) then
+                add (failf "lhws/schedule" "%s: invalid schedule" ctx);
+              if not (Bounds.lemma1_ok inst) then
+                add (failf "lemma1" "%s: token accounting outside (4W + R)/P" ctx);
+              if not (Bounds.lemma7_ok inst) then
+                add
+                  (failf "lemma7" "%s: max %d live deques on one worker > U + 1 = %d" ctx
+                     run.Run.stats.Stats.max_deques_per_worker (u + 1));
+              if not (Bounds.width_ok inst) then
+                add
+                  (failf "width" "%s: %d simultaneous suspensions > U = %d" ctx
+                     run.Run.stats.Stats.max_live_suspended u);
+              let report = Invariants.depth_report ~suspension_width:u g (Run.trace_exn run) in
+              if not (Invariants.lemma2_ok report) then
+                add
+                  (failf "lemma2" "%s: %d enabling depths above (2 + lg U) * d_G, max ratio %.3f > %.3f"
+                     ctx report.Invariants.violations report.Invariants.max_ratio
+                     report.Invariants.bound);
+              if not (Bounds.corollary1_ok inst) then
+                add
+                  (failf "corollary1" "%s: enabling span above 2 S (1 + lg U) = %.1f" ctx
+                     (Bounds.enabling_span_bound inst));
+              if !order_violations > 0 then
+                add
+                  (failf "deque-order" "%s: %d snapshots with non-monotone deque depths" ctx
+                     !order_violations)
+          | exception Config.Stuck msg -> add (failf "lhws/stuck" "%s: %s" ctx msg))
+        [ seed; seed + 0x9e37 ])
+    ps;
+  List.rev !failures

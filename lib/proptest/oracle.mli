@@ -1,0 +1,47 @@
+(** Cross-semantics and theorem-bound oracles for generated cases.
+
+    A {e program} case is checked across all three semantics of
+    {!Lhws_workloads.Program}: the reference {!Lhws_workloads.Program.value},
+    the compiled dag under {!Lhws_core.Lhws_sim} (which must execute
+    exactly the program's work, as a valid schedule), and — when pool
+    checks are enabled — real execution on the latency-hiding pool under
+    both steal policies and on the blocking baseline pool.
+
+    A {e dag} case is checked against the paper's bounds on traced runs:
+    Theorem 1 for the greedy scheduler, Lemma 1 token accounting, Lemma 7
+    deque counts, the Section 2 suspension-width bound, Lemma 2 /
+    Corollary 1 enabling-depth bounds, and the per-snapshot deque order
+    invariant.  All [U]-dependent bounds use {!Recipe.width_upper_bound},
+    which only ever weakens them, so a reported violation is a real one. *)
+
+type failure = { check : string; detail : string }
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val check_program_sim : ?ps:int list -> seed:int -> Recipe.prog -> failure list
+(** Value vs. simulator: for each worker count in [ps] (default
+    [[1; 2; 4]]) and both simulator steal policies, the compiled dag must
+    simulate to completion with a valid schedule executing exactly
+    [Program.work_units] vertices with balanced Lemma 1 tokens. *)
+
+val check_program_pools :
+  ?workers:int -> ?tick:float -> Recipe.prog -> failure list
+(** Value vs. real runtimes: runs the program on the latency-hiding pool
+    under [Global_deque] and [Worker_then_deque] steals and on the
+    blocking baseline pool ([workers] each, default 3), comparing every
+    result against {!Lhws_workloads.Program.value}.  [tick] (default
+    0.5 ms) is capped adaptively so latency-heavy programs cannot stall
+    the fuzzing loop. *)
+
+val check_dag_bounds : ?ps:int list -> seed:int -> Recipe.dag -> failure list
+(** Theorem-bound checks on traced runs of the recipe's dag, for each
+    worker count in [ps] (default [[1; 2; 4]]) and two simulator seeds
+    derived from [seed]:
+
+    - greedy schedule length within Theorem 1's [W/P + S];
+    - LHWS schedule valid, complete, Lemma 1 tokens balanced;
+    - live deques per worker within Lemma 7's [U + 1];
+    - simultaneous suspensions within [U] (Section 2);
+    - enabling depths within Lemma 2 / Corollary 1;
+    - deque depth order weakly decreasing bottom-to-top in every
+      per-round snapshot ({!Lhws_analysis.Invariants.deque_order_violations}). *)

@@ -1,0 +1,217 @@
+module Program = Lhws_workloads.Program
+module Generate = Lhws_dag.Generate
+module Suspension = Lhws_dag.Suspension
+module Metrics = Lhws_dag.Metrics
+module Dag = Lhws_dag.Dag
+module Rng = Lhws_core.Rng
+
+(* --- program recipes --- *)
+
+type prog =
+  | Ret of int
+  | Map_add of int * prog
+  | Work of int * prog
+  | Latency of int * prog
+  | Fork of prog * prog
+  | Seq_fork of prog * int * prog
+
+(* The combine functions are fixed, injective in each argument and
+   non-commutative: swapping fork branches, losing a value, or applying a
+   combine twice all change the final integer. *)
+let rec to_program = function
+  | Ret k -> Program.return k
+  | Map_add (k, p) -> Program.map (( + ) k) (to_program p)
+  | Work (k, p) -> Program.work k (to_program p)
+  | Latency (d, p) -> Program.latency d (to_program p)
+  | Fork (l, r) -> Program.fork2 (to_program l) (to_program r) (fun a b -> (2 * a) - b)
+  | Seq_fork (p, k, r) ->
+      Program.seq_fork2 (to_program p) ~work:k
+        ~f:(fun x -> (2 * x) + 1)
+        (to_program r)
+        (fun b c -> (3 * b) - c)
+
+let rec prog_nodes = function
+  | Ret _ -> 1
+  | Map_add (_, p) | Work (_, p) | Latency (_, p) -> 1 + prog_nodes p
+  | Fork (l, r) -> 1 + prog_nodes l + prog_nodes r
+  | Seq_fork (p, _, r) -> 1 + prog_nodes p + prog_nodes r
+
+let rec prog_latency_units = function
+  | Ret _ -> 0
+  | Map_add (_, p) | Work (_, p) -> prog_latency_units p
+  | Latency (d, p) -> d + prog_latency_units p
+  | Fork (l, r) -> prog_latency_units l + prog_latency_units r
+  | Seq_fork (p, _, r) -> prog_latency_units p + prog_latency_units r
+
+let rec pp_prog ppf = function
+  | Ret k -> Format.fprintf ppf "Ret %d" k
+  | Map_add (k, p) -> Format.fprintf ppf "Map_add (%d, %a)" k pp_prog p
+  | Work (k, p) -> Format.fprintf ppf "Work (%d, %a)" k pp_prog p
+  | Latency (d, p) -> Format.fprintf ppf "Latency (%d, %a)" d pp_prog p
+  | Fork (l, r) -> Format.fprintf ppf "Fork (%a,@ %a)" pp_prog l pp_prog r
+  | Seq_fork (p, k, r) -> Format.fprintf ppf "Seq_fork (%a,@ %d,@ %a)" pp_prog p k pp_prog r
+
+type prog_params = {
+  size : int;
+  max_latency : int;
+  latency_prob : float;
+  fork_prob : float;
+}
+
+let default_prog_params = { size = 40; max_latency = 12; latency_prob = 0.3; fork_prob = 0.45 }
+
+let gen_latency params rng = 2 + Rng.int rng (max 1 (params.max_latency - 1))
+
+(* Fuel-bounded recursive generation, like Generate.random_fork_join but
+   over recipes.  Fuel splits unevenly at forks for irregular shapes. *)
+let gen_prog ?(params = default_prog_params) rng =
+  let rec go fuel =
+    if fuel <= 1 then Ret (Rng.int rng 100)
+    else
+      let wrap_latency p =
+        if Rng.float rng < params.latency_prob then Latency (gen_latency params rng, p) else p
+      in
+      let split () =
+        let f1 = 1 + Rng.int rng (max 1 (fuel - 1)) in
+        (f1, max 1 (fuel - 1 - f1))
+      in
+      if Rng.float rng < params.fork_prob then
+        let f1, f2 = split () in
+        if Rng.int rng 3 = 0 then Seq_fork (go f1, 1 + Rng.int rng 3, go f2)
+        else wrap_latency (Fork (go f1, go f2))
+      else
+        match Rng.int rng 4 with
+        | 0 -> Map_add (Rng.int rng 50, go (fuel - 1))
+        | 1 -> Work (1 + Rng.int rng 4, go (fuel - 1))
+        | 2 -> Latency (gen_latency params rng, go (fuel - 1))
+        | _ ->
+            let f1, f2 = split () in
+            wrap_latency (Fork (go f1, go f2))
+  in
+  go (max 1 params.size)
+
+(* Shrinking: for every node, propose (a) replacing the whole recipe by a
+   direct subterm, (b) halving an integer parameter toward its minimum.
+   Candidates come out roughly smallest-step-first, which keeps greedy
+   descent fast and the final counterexample near-minimal. *)
+let shrink_int ~toward k = if k > toward then [ toward + ((k - toward) / 2) ] else []
+
+let rec shrink_prog = function
+  | Ret k -> if k <> 0 then [ Ret 0 ] else []
+  | Map_add (k, p) ->
+      (p :: List.map (fun k' -> Map_add (k', p)) (shrink_int ~toward:0 k))
+      @ List.map (fun p' -> Map_add (k, p')) (shrink_prog p)
+  | Work (k, p) ->
+      (p :: List.map (fun k' -> Work (k', p)) (shrink_int ~toward:1 k))
+      @ List.map (fun p' -> Work (k, p')) (shrink_prog p)
+  | Latency (d, p) ->
+      (p :: List.map (fun d' -> Latency (d', p)) (shrink_int ~toward:2 d))
+      @ List.map (fun p' -> Latency (d, p')) (shrink_prog p)
+  | Fork (l, r) ->
+      [ l; r ]
+      @ List.map (fun l' -> Fork (l', r)) (shrink_prog l)
+      @ List.map (fun r' -> Fork (l, r')) (shrink_prog r)
+  | Seq_fork (p, k, r) ->
+      [ p; r; Fork (p, r) ]
+      @ List.map (fun k' -> Seq_fork (p, k', r)) (shrink_int ~toward:1 k)
+      @ List.map (fun p' -> Seq_fork (p', k, r)) (shrink_prog p)
+      @ List.map (fun r' -> Seq_fork (p, k, r')) (shrink_prog r)
+
+(* --- dag recipes --- *)
+
+type dag =
+  | Sp of prog
+  | Map_reduce of { n : int; leaf_work : int; latency : int }
+  | Jitter of { seed : int; n : int; leaf_work : int; min_latency : int; max_latency : int }
+  | Server of { n : int; f_work : int; latency : int }
+  | Pipeline of { stages : int; items : int; latency : int }
+  | Resume_burst of { n : int; leaf_work : int; latency : int }
+
+let to_dag = function
+  | Sp p -> Program.to_dag (to_program p)
+  | Map_reduce { n; leaf_work; latency } -> Generate.map_reduce ~n ~leaf_work ~latency
+  | Jitter { seed; n; leaf_work; min_latency; max_latency } ->
+      Generate.map_reduce_jitter ~seed ~n ~leaf_work ~min_latency ~max_latency
+  | Server { n; f_work; latency } -> Generate.server ~n ~f_work ~latency
+  | Pipeline { stages; items; latency } -> Generate.pipeline ~stages ~items ~latency
+  | Resume_burst { n; leaf_work; latency } -> Generate.resume_burst ~n ~leaf_work ~latency
+
+(* Exhaustive width search is exponential; past this size the heavy-edge
+   count stands in as the upper bound. *)
+let exact_width_limit = 14
+
+let width_upper_bound recipe g =
+  match recipe with
+  | Map_reduce { n; _ } | Jitter { n; _ } | Resume_burst { n; _ } -> n
+  | Server _ -> 1
+  | Pipeline { items; _ } -> items
+  | Sp _ ->
+      if Dag.num_vertices g <= exact_width_limit then Suspension.exact g
+      else Metrics.num_heavy_edges g
+
+let pp_dag ppf = function
+  | Sp p -> Format.fprintf ppf "Sp (%a)" pp_prog p
+  | Map_reduce { n; leaf_work; latency } ->
+      Format.fprintf ppf "Map_reduce {n=%d; leaf_work=%d; latency=%d}" n leaf_work latency
+  | Jitter { seed; n; leaf_work; min_latency; max_latency } ->
+      Format.fprintf ppf "Jitter {seed=%d; n=%d; leaf_work=%d; min_latency=%d; max_latency=%d}"
+        seed n leaf_work min_latency max_latency
+  | Server { n; f_work; latency } ->
+      Format.fprintf ppf "Server {n=%d; f_work=%d; latency=%d}" n f_work latency
+  | Pipeline { stages; items; latency } ->
+      Format.fprintf ppf "Pipeline {stages=%d; items=%d; latency=%d}" stages items latency
+  | Resume_burst { n; leaf_work; latency } ->
+      Format.fprintf ppf "Resume_burst {n=%d; leaf_work=%d; latency=%d}" n leaf_work latency
+
+let gen_dag ?(params = default_prog_params) rng =
+  let scaled lo hi = lo + Rng.int rng (max 1 (min hi (max lo (params.size / 2)) - lo + 1)) in
+  let latency () = gen_latency params rng in
+  match Rng.int rng 6 with
+  | 0 -> Sp (gen_prog ~params rng)
+  | 1 -> Map_reduce { n = scaled 1 32; leaf_work = 1 + Rng.int rng 5; latency = latency () }
+  | 2 ->
+      let min_latency = latency () in
+      Jitter
+        {
+          seed = Rng.int rng 1_000_000;
+          n = scaled 1 32;
+          leaf_work = 1 + Rng.int rng 5;
+          min_latency;
+          max_latency = min_latency + Rng.int rng 10;
+        }
+  | 3 -> Server { n = scaled 1 24; f_work = 1 + Rng.int rng 6; latency = latency () }
+  | 4 ->
+      Pipeline
+        { stages = 1 + Rng.int rng 5; items = scaled 1 16; latency = latency () }
+  | _ -> Resume_burst { n = scaled 1 16; leaf_work = 1 + Rng.int rng 4; latency = latency () }
+
+let shrink_dag = function
+  | Sp p -> List.map (fun p' -> Sp p') (shrink_prog p)
+  | Map_reduce { n; leaf_work; latency } ->
+      List.map (fun n -> Map_reduce { n; leaf_work; latency }) (shrink_int ~toward:1 n)
+      @ List.map (fun leaf_work -> Map_reduce { n; leaf_work; latency }) (shrink_int ~toward:1 leaf_work)
+      @ List.map (fun latency -> Map_reduce { n; leaf_work; latency }) (shrink_int ~toward:2 latency)
+  | Jitter { seed; n; leaf_work; min_latency; max_latency } ->
+      [ Map_reduce { n; leaf_work; latency = min_latency } ]
+      @ List.map
+          (fun n -> Jitter { seed; n; leaf_work; min_latency; max_latency })
+          (shrink_int ~toward:1 n)
+      @ List.map
+          (fun max_latency -> Jitter { seed; n; leaf_work; min_latency; max_latency })
+          (shrink_int ~toward:min_latency max_latency)
+  | Server { n; f_work; latency } ->
+      List.map (fun n -> Server { n; f_work; latency }) (shrink_int ~toward:1 n)
+      @ List.map (fun f_work -> Server { n; f_work; latency }) (shrink_int ~toward:1 f_work)
+      @ List.map (fun latency -> Server { n; f_work; latency }) (shrink_int ~toward:2 latency)
+  | Pipeline { stages; items; latency } ->
+      List.map (fun stages -> Pipeline { stages; items; latency }) (shrink_int ~toward:1 stages)
+      @ List.map (fun items -> Pipeline { stages; items; latency }) (shrink_int ~toward:1 items)
+      @ List.map (fun latency -> Pipeline { stages; items; latency }) (shrink_int ~toward:2 latency)
+  | Resume_burst { n; leaf_work; latency } ->
+      List.map (fun n -> Resume_burst { n; leaf_work; latency }) (shrink_int ~toward:1 n)
+      @ List.map
+          (fun leaf_work -> Resume_burst { n; leaf_work; latency })
+          (shrink_int ~toward:1 leaf_work)
+      @ List.map
+          (fun latency -> Resume_burst { n; leaf_work; latency })
+          (shrink_int ~toward:2 latency)

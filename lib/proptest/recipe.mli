@@ -1,0 +1,88 @@
+(** Random test-case generation with shrinking.
+
+    Cases are first-order {e recipes} — plain data describing either a
+    fork–join program or a weighted dag — rather than the values
+    themselves.  Recipes print, compare, and shrink structurally; the
+    oracle rebuilds the real {!Lhws_workloads.Program.t} or
+    {!Lhws_dag.Dag.t} from the recipe on every evaluation, so a shrunk
+    counterexample is always replayable from its printed form.
+
+    All generation is driven by {!Lhws_core.Rng} (splitmix64): the same
+    seed and size parameters produce the same recipe on every platform. *)
+
+(** {2 Program recipes} *)
+
+(** Mirrors the constructors of {!Lhws_workloads.Program}, specialised to
+    [int] values with fixed non-commutative combine functions, so that a
+    branch swap or a dropped unit of value flow changes the result. *)
+type prog =
+  | Ret of int
+  | Map_add of int * prog  (** [map (( + ) k)] *)
+  | Work of int * prog  (** [work k], [k >= 1] *)
+  | Latency of int * prog  (** [latency delta], [delta >= 2] *)
+  | Fork of prog * prog  (** [fork2 l r (fun a b -> (2 * a) - b)] *)
+  | Seq_fork of prog * int * prog
+      (** [seq_fork2 p ~work:k ~f:(fun x -> (2 * x) + 1) r (fun b c -> (3 * b) - c)] *)
+
+val to_program : prog -> int Lhws_workloads.Program.t
+
+val prog_nodes : prog -> int
+(** Number of recipe constructors — the size that generation and
+    shrinking control. *)
+
+val prog_latency_units : prog -> int
+(** Sum of all [Latency] weights, an upper bound on the sleeping a real
+    execution performs. *)
+
+val pp_prog : Format.formatter -> prog -> unit
+(** Valid OCaml-ish rendering, stable across runs. *)
+
+(** Knobs for {!gen_prog}: bigger [size] means more constructors;
+    [latency_prob] and [max_latency] control how latency-heavy the
+    program is; [fork_prob] its fan-out. *)
+type prog_params = {
+  size : int;
+  max_latency : int;
+  latency_prob : float;
+  fork_prob : float;
+}
+
+val default_prog_params : prog_params
+(** size 40, max_latency 12, latency_prob 0.3, fork_prob 0.45. *)
+
+val gen_prog : ?params:prog_params -> Lhws_core.Rng.t -> prog
+
+val shrink_prog : prog -> prog list
+(** Strictly smaller candidate recipes (subterms, halved constants),
+    nearest-first.  [[]] when minimal. *)
+
+(** {2 Dag recipes} *)
+
+(** Either the dag of a program recipe (series–parallel with latency) or
+    a parameterised instance of one of the {!Lhws_dag.Generate} families,
+    covering the paper's named workloads (and their known suspension
+    widths). *)
+type dag =
+  | Sp of prog
+  | Map_reduce of { n : int; leaf_work : int; latency : int }
+  | Jitter of { seed : int; n : int; leaf_work : int; min_latency : int; max_latency : int }
+  | Server of { n : int; f_work : int; latency : int }
+  | Pipeline of { stages : int; items : int; latency : int }
+  | Resume_burst of { n : int; leaf_work : int; latency : int }
+
+val to_dag : dag -> Lhws_dag.Dag.t
+(** Always well-formed. *)
+
+val width_upper_bound : dag -> Lhws_dag.Dag.t -> int
+(** A sound upper bound on the suspension width [U]: the closed form for
+    the named families, {!Lhws_dag.Suspension.exact} for small
+    series–parallel dags, and the heavy-edge count otherwise (every cut
+    crosses at most all heavy edges).  Safe to use in the [<= f U]
+    direction of every bound check. *)
+
+val pp_dag : Format.formatter -> dag -> unit
+
+val gen_dag : ?params:prog_params -> Lhws_core.Rng.t -> dag
+(** Picks a family at random; sizes are scaled from [params.size]. *)
+
+val shrink_dag : dag -> dag list

@@ -1,0 +1,131 @@
+module Rng = Lhws_core.Rng
+
+type case = Program_case of Recipe.prog | Dag_case of Recipe.dag
+
+let generate_case ?(params = Recipe.default_prog_params) case_seed =
+  let rng = Rng.make case_seed in
+  (* Even seeds draw a program, odd seeds a dag, so the two populations
+     stay balanced regardless of the base seed. *)
+  if case_seed land 1 = 0 then Program_case (Recipe.gen_prog ~params rng)
+  else Dag_case (Recipe.gen_dag ~params rng)
+
+type case_failure = {
+  case_seed : int;
+  case : case;
+  shrink_steps : int;
+  failures : Oracle.failure list;
+}
+
+type options = {
+  count : int;
+  seed : int;
+  max_size : int;
+  ps : int list;
+  pool_every : int;
+  pool_workers : int;
+  max_shrink_steps : int;
+}
+
+let default_options =
+  {
+    count = 100;
+    seed = 42;
+    max_size = 40;
+    ps = [ 1; 2; 4 ];
+    pool_every = 25;
+    pool_workers = 3;
+    max_shrink_steps = 400;
+  }
+
+type outcome = {
+  cases : int;
+  program_cases : int;
+  dag_cases : int;
+  pool_checked : int;
+  failed : case_failure list;
+}
+
+let pp_case ppf = function
+  | Program_case p -> Format.fprintf ppf "program %a" Recipe.pp_prog p
+  | Dag_case d -> Format.fprintf ppf "dag %a" Recipe.pp_dag d
+
+let pp_case_failure ppf f =
+  Format.fprintf ppf "@[<v 2>case seed %d (shrunk %d steps): %a@,%a@,replay: lhws_fuzz --count 1 --seed %d@]"
+    f.case_seed f.shrink_steps pp_case f.case
+    (Format.pp_print_list Oracle.pp_failure)
+    f.failures f.case_seed
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "%d cases (%d program, %d dag, %d pool-checked): " o.cases
+    o.program_cases o.dag_cases o.pool_checked;
+  match o.failed with
+  | [] -> Format.fprintf ppf "all passed"
+  | fs ->
+      Format.fprintf ppf "%d FAILED@,%a" (List.length fs)
+        (Format.pp_print_list pp_case_failure)
+        fs
+
+(* Greedy shrink descent: repeatedly move to the first shrink candidate
+   that still fails (re-running only the oracles that failed, which keeps
+   descent cheap when only the pool oracle tripped). *)
+let shrink ~check ~shrink_candidates ~max_steps case0 failures0 =
+  let rec go case failures steps =
+    if steps >= max_steps then (case, failures, steps)
+    else
+      let rec first = function
+        | [] -> None
+        | candidate :: rest -> (
+            match check candidate with
+            | [] -> first rest
+            | fs -> Some (candidate, fs))
+      in
+      match first (shrink_candidates case) with
+      | None -> (case, failures, steps)
+      | Some (smaller, fs) -> go smaller fs (steps + 1)
+  in
+  go case0 failures0 0
+
+let check_program ~options ~with_pools ~case_seed prog =
+  Oracle.check_program_sim ~ps:options.ps ~seed:case_seed prog
+  @ (if with_pools then Oracle.check_program_pools ~workers:options.pool_workers prog else [])
+
+let run ?progress options =
+  let params = { Recipe.default_prog_params with size = max 1 options.max_size } in
+  let program_cases = ref 0 and dag_cases = ref 0 and pool_checked = ref 0 in
+  let failed = ref [] in
+  for i = 0 to options.count - 1 do
+    (match progress with Some f -> f i | None -> ());
+    let case_seed = options.seed + i in
+    match generate_case ~params case_seed with
+    | Program_case prog ->
+        incr program_cases;
+        let with_pools = options.pool_every > 0 && !program_cases mod options.pool_every = 0 in
+        if with_pools then incr pool_checked;
+        let check = check_program ~options ~with_pools ~case_seed in
+        (match check prog with
+        | [] -> ()
+        | failures ->
+            let prog, failures, shrink_steps =
+              shrink ~check ~shrink_candidates:Recipe.shrink_prog
+                ~max_steps:options.max_shrink_steps prog failures
+            in
+            failed := { case_seed; case = Program_case prog; shrink_steps; failures } :: !failed)
+    | Dag_case dag ->
+        incr dag_cases;
+        let check = Oracle.check_dag_bounds ~ps:options.ps ~seed:case_seed in
+        (match check dag with
+        | [] -> ()
+        | failures ->
+            let dag, failures, shrink_steps =
+              shrink ~check ~shrink_candidates:Recipe.shrink_dag
+                ~max_steps:options.max_shrink_steps dag failures
+            in
+            failed := { case_seed; case = Dag_case dag; shrink_steps; failures } :: !failed)
+  done;
+  {
+    cases = options.count;
+    program_cases = !program_cases;
+    dag_cases = !dag_cases;
+    pool_checked = !pool_checked;
+    failed = List.rev !failed;
+  }

@@ -1,0 +1,49 @@
+(** Seed-driven fuzzing loop with deterministic replay and shrinking.
+
+    Case [i] of a run with base seed [s] uses case seed [s + i]; a
+    failure is reported with its case seed, so
+    [lhws_fuzz --count 1 --seed <case seed>] regenerates and re-checks
+    exactly the failing case (case 0 of a run seeded with the case
+    seed is the same case). *)
+
+type case = Program_case of Recipe.prog | Dag_case of Recipe.dag
+
+val generate_case : ?params:Recipe.prog_params -> int -> case
+(** The case a given case seed denotes.  Deterministic. *)
+
+type case_failure = {
+  case_seed : int;
+  case : case;  (** shrunk to a local minimum that still fails *)
+  shrink_steps : int;
+  failures : Oracle.failure list;  (** of the shrunk case *)
+}
+
+type options = {
+  count : int;
+  seed : int;
+  max_size : int;  (** recipe size budget, {!Recipe.prog_params.size} *)
+  ps : int list;  (** worker counts for the simulator sweeps *)
+  pool_every : int;  (** real-pool oracle every n-th program case; 0 disables *)
+  pool_workers : int;
+  max_shrink_steps : int;
+}
+
+val default_options : options
+(** count 100, seed 42, max_size 40, ps [1; 2; 4], pool_every 25,
+    pool_workers 3, max_shrink_steps 400. *)
+
+type outcome = {
+  cases : int;
+  program_cases : int;
+  dag_cases : int;
+  pool_checked : int;
+  failed : case_failure list;  (** empty iff the run passed *)
+}
+
+val pp_case : Format.formatter -> case -> unit
+val pp_case_failure : Format.formatter -> case_failure -> unit
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val run : ?progress:(int -> unit) -> options -> outcome
+(** Runs [count] cases.  [progress], if given, is called with each case
+    index before the case is checked (for CLI heartbeat output). *)

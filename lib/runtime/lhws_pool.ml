@@ -447,6 +447,7 @@ let rec parallel_map_reduce t ~lo ~hi ~map ~combine ~id =
 (* --- driving the pool from the outside --- *)
 
 let run t f =
+  if Atomic.get t.stop then invalid_arg "Lhws_pool.run: pool is shut down";
   if t.running then invalid_arg "Lhws_pool.run: already running";
   t.running <- true;
   Fun.protect

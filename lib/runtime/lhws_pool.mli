@@ -34,10 +34,15 @@ val create : ?workers:int -> ?steal_policy:steal_policy -> unit -> t
 val run : t -> (unit -> 'a) -> 'a
 (** Executes the thunk as the root fiber and participates as worker 0
     until it completes.  Re-raises the fiber's exception, if any.
-    Not reentrant; call from the domain that created the pool. *)
+    Not reentrant; call from the domain that created the pool.
+    @raise Invalid_argument if called while another [run] is in progress
+    or after {!shutdown}. *)
 
 val shutdown : t -> unit
-(** Stops and joins the worker domains.  The pool cannot be reused. *)
+(** Stops and joins the worker domains.  The pool cannot be reused:
+    subsequent {!run} calls raise [Invalid_argument].  Idempotent —
+    a second [shutdown] is a no-op.  Safe to call after a root fiber
+    raised: the workers are still joined cleanly. *)
 
 val with_pool : ?workers:int -> ?steal_policy:steal_policy -> (t -> 'a) -> 'a
 (** [create] / [shutdown] bracket. *)

@@ -1,0 +1,149 @@
+(* The fuzzing harness's own guarantees: the generators are deterministic
+   in the seed (the replay contract), shrinking terminates and descends,
+   and a run of the full oracle stack over a few hundred cases is clean. *)
+
+module Recipe = Lhws_proptest.Recipe
+module Oracle = Lhws_proptest.Oracle
+module Runner = Lhws_proptest.Runner
+module Rng = Lhws_core.Rng
+
+let quick_options =
+  (* Small budget: the long-haul budget lives in `lhws_fuzz --count 1000`
+     (CI) — this keeps `dune runtest` snappy while still crossing every
+     oracle, including one real-pool case. *)
+  { Runner.default_options with count = 60; pool_every = 20 }
+
+let test_runner_clean () =
+  let outcome = Runner.run quick_options in
+  (match outcome.Runner.failed with
+  | [] -> ()
+  | f :: _ -> Alcotest.failf "unexpected failure: %a" (fun ppf -> Runner.pp_case_failure ppf) f);
+  Alcotest.(check int) "all cases ran" quick_options.Runner.count outcome.Runner.cases;
+  Alcotest.(check bool) "program cases present" true (outcome.Runner.program_cases > 0);
+  Alcotest.(check bool) "dag cases present" true (outcome.Runner.dag_cases > 0);
+  Alcotest.(check bool) "a pool case ran" true (outcome.Runner.pool_checked > 0)
+
+let test_generate_case_deterministic () =
+  for seed = 0 to 40 do
+    let a = Runner.generate_case seed and b = Runner.generate_case seed in
+    Alcotest.(check bool) (Printf.sprintf "seed %d stable" seed) true (a = b)
+  done
+
+let test_runner_deterministic () =
+  let opts = { quick_options with count = 30; pool_every = 0 } in
+  let a = Runner.run opts and b = Runner.run opts in
+  Alcotest.(check bool) "same outcome" true (a = b)
+
+let test_case_seed_replay () =
+  (* The replay contract: case i of a run seeded s is case 0 of a run
+     seeded s + i. *)
+  let base = 42 in
+  for i = 0 to 10 do
+    Alcotest.(check bool)
+      (Printf.sprintf "case %d" i)
+      true
+      (Runner.generate_case (base + i) = Runner.generate_case (base + i + 0))
+  done
+
+(* Shrinking termination: every candidate strictly decreases this measure,
+   so greedy descent cannot cycle. *)
+let rec prog_measure = function
+  | Recipe.Ret k -> 1 + abs k
+  | Recipe.Map_add (k, p) | Recipe.Work (k, p) | Recipe.Latency (k, p) ->
+      1 + abs k + prog_measure p
+  | Recipe.Fork (l, r) -> 1 + prog_measure l + prog_measure r
+  | Recipe.Seq_fork (p, k, r) -> 2 + abs k + prog_measure p + prog_measure r
+
+let test_shrink_prog_decreases () =
+  for seed = 0 to 30 do
+    let p = Recipe.gen_prog (Rng.make seed) in
+    let m = prog_measure p in
+    List.iter
+      (fun p' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d candidate smaller" seed)
+          true
+          (prog_measure p' < m))
+      (Recipe.shrink_prog p)
+  done
+
+let test_shrink_prog_reaches_minimum () =
+  (* With an always-failing predicate, greedy descent must bottom out at
+     the minimal recipe. *)
+  let rec descend p steps =
+    if steps > 10_000 then Alcotest.fail "shrink descent did not terminate"
+    else
+      match Recipe.shrink_prog p with
+      | [] -> (p, steps)
+      | p' :: _ -> descend p' (steps + 1)
+  in
+  let p = Recipe.gen_prog (Rng.make 7) in
+  let minimal, _ = descend p 0 in
+  Alcotest.(check bool) "minimal is Ret 0" true (minimal = Recipe.Ret 0)
+
+let test_recipes_well_formed () =
+  for seed = 0 to 60 do
+    let rng = Rng.make seed in
+    let d = Recipe.gen_dag rng in
+    let g = Recipe.to_dag d in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d wf" seed)
+      true
+      (Lhws_dag.Check.well_formed g);
+    let u = Recipe.width_upper_bound d g in
+    Alcotest.(check bool) (Printf.sprintf "seed %d width bound sane" seed) true (u >= 0)
+  done
+
+let test_width_upper_bound_sound () =
+  (* Against the exhaustive Definition 1 search on small dags. *)
+  let checked = ref 0 in
+  for seed = 0 to 200 do
+    let d = Recipe.gen_dag (Rng.make seed) in
+    let g = Recipe.to_dag d in
+    if Lhws_dag.Dag.num_vertices g <= 14 then begin
+      incr checked;
+      let exact = Lhws_dag.Suspension.exact g in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: ub >= exact" seed)
+        true
+        (Recipe.width_upper_bound d g >= exact)
+    end
+  done;
+  Alcotest.(check bool) "covered some small dags" true (!checked > 5)
+
+let test_oracle_program_clean_known () =
+  (* A hand-picked program touching every constructor. *)
+  let open Recipe in
+  let p =
+    Seq_fork
+      ( Latency (3, Ret 5),
+        2,
+        Fork (Map_add (10, Ret 1), Work (2, Latency (2, Ret 4))) )
+  in
+  Alcotest.(check (list string)) "sim oracle clean" []
+    (List.map (fun f -> f.Oracle.check) (Oracle.check_program_sim ~seed:1 p));
+  Alcotest.(check (list string)) "pool oracle clean" []
+    (List.map (fun f -> f.Oracle.check) (Oracle.check_program_pools ~workers:2 p))
+
+let () =
+  Alcotest.run "prop"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "generators deterministic" `Quick test_generate_case_deterministic;
+          Alcotest.test_case "runner deterministic" `Quick test_runner_deterministic;
+          Alcotest.test_case "case-seed replay" `Quick test_case_seed_replay;
+          Alcotest.test_case "oracles clean on 60 cases" `Slow test_runner_clean;
+        ] );
+      ( "shrinking",
+        [
+          Alcotest.test_case "candidates decrease" `Quick test_shrink_prog_decreases;
+          Alcotest.test_case "descent reaches minimum" `Quick test_shrink_prog_reaches_minimum;
+        ] );
+      ( "recipes",
+        [
+          Alcotest.test_case "dags well-formed" `Quick test_recipes_well_formed;
+          Alcotest.test_case "width upper bound sound" `Quick test_width_upper_bound_sound;
+          Alcotest.test_case "known program clean" `Quick test_oracle_program_clean_known;
+        ] );
+    ]

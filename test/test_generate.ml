@@ -23,14 +23,51 @@ let test_map_reduce_invalid () =
       (fun () -> Generate.map_reduce ~n:0 ~leaf_work:1 ~latency:2);
       (fun () -> Generate.map_reduce ~n:1 ~leaf_work:0 ~latency:2);
       (fun () -> Generate.map_reduce ~n:1 ~leaf_work:1 ~latency:1);
+      (fun () ->
+        Generate.map_reduce_jitter ~seed:1 ~n:1 ~leaf_work:1 ~min_latency:1 ~max_latency:4);
+      (fun () ->
+        Generate.map_reduce_jitter ~seed:1 ~n:1 ~leaf_work:1 ~min_latency:5 ~max_latency:4);
       (fun () -> Generate.server ~n:0 ~f_work:1 ~latency:2);
+      (fun () -> Generate.server ~n:1 ~f_work:1 ~latency:1);
+      (fun () -> Generate.fib ~n:(-1) ());
+      (fun () -> Generate.fib ~leaf_work:0 ~n:3 ());
       (fun () -> Generate.chain ~n:1 ());
+      (fun () -> Generate.chain ~latency_every:(-1) ~n:4 ());
+      (fun () -> Generate.chain ~latency_every:2 ~latency:1 ~n:4 ());
       (fun () -> Generate.parallel_chains ~k:0 ~len:1);
+      (fun () -> Generate.parallel_chains ~k:1 ~len:0);
       (fun () -> Generate.pipeline ~stages:0 ~items:1 ~latency:2);
+      (fun () -> Generate.pipeline ~stages:1 ~items:0 ~latency:2);
+      (fun () -> Generate.pipeline ~stages:2 ~items:1 ~latency:1);
+      (fun () -> Generate.resume_burst ~n:0 ~leaf_work:1 ~latency:2);
+      (fun () -> Generate.resume_burst ~n:1 ~leaf_work:1 ~latency:1);
+      (fun () -> Generate.single_latency ~delta:1);
+      (fun () ->
+        Generate.random_fork_join ~seed:1 ~size_hint:0 ~latency_prob:0.5 ~max_latency:4);
       (fun () ->
         Generate.random_fork_join ~seed:1 ~size_hint:10 ~latency_prob:1.5 ~max_latency:4);
       (fun () ->
         Generate.random_fork_join ~seed:1 ~size_hint:10 ~latency_prob:0.5 ~max_latency:1);
+    ]
+
+let test_invalid_message_names_value () =
+  (* The fuzzer relies on precondition failures being self-describing. *)
+  List.iter
+    (fun (f, expected) ->
+      match f () with
+      | (_ : Dag.t) -> Alcotest.fail ("expected Invalid_argument for " ^ expected)
+      | exception Invalid_argument msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%S in %S" expected msg)
+            true
+            (Astring.String.is_infix ~affix:expected msg))
+    [
+      ((fun () -> Generate.map_reduce ~n:0 ~leaf_work:1 ~latency:2), "n must be >= 1 (got 0)");
+      ( (fun () -> Generate.server ~n:3 ~f_work:1 ~latency:1),
+        "latency must be >= 2 (got 1)" );
+      ((fun () -> Generate.fib ~n:(-2) ()), "n must be >= 0 (got -2)");
+      ( (fun () -> Generate.single_latency ~delta:0),
+        "delta must be >= 2 (got 0)" );
     ]
 
 let test_server_heavy_count () =
@@ -130,6 +167,7 @@ let () =
         [
           Alcotest.test_case "map_reduce work/heavy" `Quick test_map_reduce_work;
           Alcotest.test_case "invalid args" `Quick test_map_reduce_invalid;
+          Alcotest.test_case "invalid args name the value" `Quick test_invalid_message_names_value;
           Alcotest.test_case "server heavy count" `Quick test_server_heavy_count;
           Alcotest.test_case "fib structure" `Quick test_fib_structure;
           Alcotest.test_case "fib leaf work" `Quick test_fib_leaf_work;

@@ -225,6 +225,52 @@ let test_invalid_workers () =
   | _ -> Alcotest.fail "expected Invalid_argument"
   | exception Invalid_argument _ -> ()
 
+(* --- shutdown paths --- *)
+
+let test_shutdown_after_root_exception () =
+  (* A root fiber that raises (after actually suspending) must not wedge
+     the workers: shutdown still joins every domain promptly. *)
+  let p = Pool.create ~workers:3 () in
+  (try
+     Pool.run p (fun () ->
+         Pool.parallel_for p ~lo:0 ~hi:4 (fun _ -> Pool.sleep p 0.002);
+         failwith "boom")
+   with Failure _ -> ());
+  Pool.shutdown p;
+  Alcotest.(check pass) "joined cleanly" () ()
+
+let test_double_shutdown () =
+  let p = Pool.create ~workers:2 () in
+  Alcotest.(check int) "works" 1 (Pool.run p (fun () -> 1));
+  Pool.shutdown p;
+  Pool.shutdown p;
+  Alcotest.(check pass) "second shutdown is a no-op" () ()
+
+let test_run_after_shutdown_raises () =
+  let p = Pool.create ~workers:2 () in
+  Pool.shutdown p;
+  Alcotest.check_raises "run after shutdown"
+    (Invalid_argument "Lhws_pool.run: pool is shut down") (fun () ->
+      ignore (Pool.run p (fun () -> 0)))
+
+let test_with_pool_propagates_and_shuts_down () =
+  (* with_pool must shut the pool down even when the body raises, and the
+     body's exception wins. *)
+  Alcotest.check_raises "body exception surfaces" (Failure "body") (fun () ->
+      Pool.with_pool ~workers:2 (fun p ->
+          ignore (Pool.run p (fun () -> 1));
+          failwith "body"))
+
+let test_shutdown_timely () =
+  (* Domains with nothing to do are spinning thieves; shutdown must not
+     wait on timers or sleeps to stop them. *)
+  let p = Pool.create ~workers:4 () in
+  ignore (Pool.run p (fun () -> 0));
+  let t0 = Unix.gettimeofday () in
+  Pool.shutdown p;
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) (Printf.sprintf "shutdown took %.3fs" dt) true (dt < 1.0)
+
 let () =
   Alcotest.run "lhws_pool"
     [
@@ -258,5 +304,14 @@ let () =
           Alcotest.test_case "many fibers" `Slow test_many_fibers;
           Alcotest.test_case "yield" `Quick test_yield;
           Alcotest.test_case "deep nesting" `Slow test_deep_nesting;
+        ] );
+      ( "shutdown",
+        [
+          Alcotest.test_case "after root exception" `Quick test_shutdown_after_root_exception;
+          Alcotest.test_case "double shutdown" `Quick test_double_shutdown;
+          Alcotest.test_case "run after shutdown raises" `Quick test_run_after_shutdown_raises;
+          Alcotest.test_case "with_pool on body exception" `Quick
+            test_with_pool_propagates_and_shuts_down;
+          Alcotest.test_case "shutdown is timely" `Quick test_shutdown_timely;
         ] );
     ]

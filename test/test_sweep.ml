@@ -64,6 +64,63 @@ let test_speedup_monotone_mapreduce () =
       Alcotest.(check bool) "weakly increasing" true (weakly_up speeds)
   | _ -> Alcotest.fail "expected two series"
 
+(* --- determinism: same seed + config must reproduce runs exactly --- *)
+
+let test_speedups_deterministic () =
+  let go () =
+    Sweep.speedups ~config:{ Config.default with seed = 1234 } ~dag ~ps:[ 1; 2; 4 ] ()
+  in
+  let s1 = go () and s2 = go () in
+  Alcotest.(check bool) "identical series" true (s1 = s2)
+
+let test_run_algo_stats_identical () =
+  let config = { Config.default with seed = 77 } in
+  List.iter
+    (fun algo ->
+      let r1 = Sweep.run_algo algo ~config dag ~p:3 in
+      let r2 = Sweep.run_algo algo ~config dag ~p:3 in
+      let name = Sweep.algo_name algo in
+      Alcotest.(check int) (name ^ " rounds") r1.Run.rounds r2.Run.rounds;
+      Alcotest.(check bool)
+        (name ^ " stats byte-identical")
+        true
+        (Marshal.to_string r1.Run.stats [] = Marshal.to_string r2.Run.stats []);
+      Alcotest.(check (list (pair string int)))
+        (name ^ " stats assoc")
+        (Stats.to_assoc r1.Run.stats)
+        (Stats.to_assoc r2.Run.stats))
+    [ Sweep.Lhws; Sweep.Ws; Sweep.Greedy ]
+
+let test_snapshot_stream_deterministic () =
+  (* The observer sees the full per-round scheduler state; two runs with
+     the same seed must produce byte-identical snapshot streams. *)
+  let collect () =
+    let snaps = ref [] in
+    let r =
+      Lhws_sim.run
+        ~config:{ Config.analysis with seed = 9 }
+        ~observer:(fun s -> snaps := s :: !snaps)
+        dag ~p:4
+    in
+    (r.Run.rounds, List.rev !snaps)
+  in
+  let rounds1, snaps1 = collect () in
+  let rounds2, snaps2 = collect () in
+  Alcotest.(check int) "rounds" rounds1 rounds2;
+  Alcotest.(check int) "one snapshot per round" rounds1 (List.length snaps1);
+  Alcotest.(check bool) "snapshot streams identical" true (snaps1 = snaps2)
+
+let test_seed_changes_schedule () =
+  (* Sanity check on the other direction: the seed is actually feeding the
+     scheduler's steal choices, so across many seeds the steal statistics
+     can't all coincide. *)
+  let steal_attempts seed =
+    let r = Sweep.run_algo Sweep.Lhws ~config:{ Config.default with seed } dag ~p:4 in
+    List.assoc "steal_attempts" (Stats.to_assoc r.Run.stats)
+  in
+  let xs = List.map steal_attempts [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  Alcotest.(check bool) "seeds vary steals" true (List.length (List.sort_uniq compare xs) > 1)
+
 let () =
   Alcotest.run "sweep"
     [
@@ -76,5 +133,12 @@ let () =
           Alcotest.test_case "algo names" `Quick test_algo_names;
           Alcotest.test_case "pp" `Quick test_pp_series;
           Alcotest.test_case "monotone speedup" `Quick test_speedup_monotone_mapreduce;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "speedups reproducible" `Quick test_speedups_deterministic;
+          Alcotest.test_case "run_algo stats identical" `Quick test_run_algo_stats_identical;
+          Alcotest.test_case "snapshot stream identical" `Quick test_snapshot_stream_deterministic;
+          Alcotest.test_case "seed feeds the scheduler" `Quick test_seed_changes_schedule;
         ] );
     ]

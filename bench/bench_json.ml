@@ -1,0 +1,71 @@
+(* Machine-readable benchmark samples, written as a JSON array alongside
+   the human-readable tables and CSVs.  Hand-rolled serialization: the
+   schema is flat and the repo takes no JSON dependency. *)
+
+type sample = {
+  scenario : string;
+  pool : string;  (* "lhws", "ws", "threads", "lhws-sim", "ws-sim", "greedy" *)
+  workers : int;
+  wall_s : float option;  (* real pools: elapsed wall-clock *)
+  rounds : int option;  (* simulator runs: schedule length *)
+  speedup : float option;
+  counters : (string * int) list;  (* unified pool stats, sim stats, ... *)
+}
+
+let samples : sample list ref = ref []
+
+let record ?wall_s ?rounds ?speedup ?(counters = []) ~scenario ~pool ~workers () =
+  samples := { scenario; pool; workers; wall_s; rounds; speedup; counters } :: !samples
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_field name v = Printf.sprintf {|"%s":%.6g|} name v
+let int_field name v = Printf.sprintf {|"%s":%d|} name v
+
+let sample_to_json s =
+  let fields =
+    [
+      Printf.sprintf {|"scenario":"%s"|} (escape s.scenario);
+      Printf.sprintf {|"pool":"%s"|} (escape s.pool);
+      int_field "workers" s.workers;
+    ]
+    @ (match s.wall_s with Some v -> [ float_field "wall_s" v ] | None -> [])
+    @ (match s.rounds with Some v -> [ int_field "rounds" v ] | None -> [])
+    @ (match s.speedup with Some v -> [ float_field "speedup" v ] | None -> [])
+    @
+    match s.counters with
+    | [] -> []
+    | cs ->
+        [
+          Printf.sprintf {|"counters":{%s}|}
+            (String.concat "," (List.map (fun (k, v) -> int_field (escape k) v) cs));
+        ]
+  in
+  "{" ^ String.concat "," fields ^ "}"
+
+let to_json () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf ("  " ^ sample_to_json s))
+    (List.rev !samples);
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
+let write ~path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_json ()))
+
+let count () = List.length !samples

@@ -1,574 +1,43 @@
-(* Benchmark harness: regenerates every experiment in DESIGN.md's index.
+(* Benchmark driver: regenerates every experiment in DESIGN.md's index.
 
-   Sections F11a-c reproduce the paper's Figure 11 (self-speedup of
-   latency-hiding vs. standard work stealing on distributed map-and-reduce
-   at three latencies); the T/L/C sections tabulate the quantitative
-   claims of Theorems 1-2, Lemmas 1/7, Corollary 1 and the U = 1
-   reduction; RT runs the real effects-based pools; AB1/AB2 are the
-   policy ablations.  A final bechamel section micro-benchmarks the data
-   structures and scheduler kernels backing each table.
+   The scenarios live in the lhws_bench library (scenarios_*.ml), each
+   registered into Registry and scaled by the chosen profile; this
+   executable just picks the profile, runs them in order, and writes the
+   machine-readable sample log.
 
-   Run with: dune exec bench/main.exe            (all sections)
-             dune exec bench/main.exe -- quick   (skip bechamel + RT)
+   Run with: dune exec bench/main.exe            (all sections, full sizes)
+             dune exec bench/main.exe -- quick   (skip bechamel + real-pool sections)
+             dune exec bench/main.exe -- smoke   (everything tiny; CI)
 *)
 
-module Generate = Lhws_dag.Generate
-module Metrics = Lhws_dag.Metrics
-module Suspension = Lhws_dag.Suspension
-open Lhws_core
-module Bounds = Lhws_analysis.Bounds
-module Invariants = Lhws_analysis.Invariants
-module W = Lhws_workloads
-
-(* Any bound that fails anywhere in the harness increments this; the DONE
-   footer turns it into a visible verdict so the bench doubles as a
-   regression check. *)
-let bound_failures = ref 0
-
-let expect ok = if not ok then incr bound_failures
-
-let section title =
-  Printf.printf "\n================================================================\n";
-  Printf.printf "%s\n" title;
-  Printf.printf "================================================================\n%!"
-
-(* ----------------------------------------------------------------- *)
-(* Figure 11: speedup curves.  The paper: n = 5000 remote inputs, each
-   mapped with fib(30), latency delta in {500ms, 50ms, 1ms}, P = 1..30,
-   speedup relative to the 1-processor WS run.  In simulator units one
-   round is ~1ms of computation, so a fib(30) leaf is ~50 rounds of work
-   and the three latencies are 500, 50 and 2 rounds; n = 5000 as in the
-   paper. *)
-
-let figure11 () =
-  let n = 5000 and leaf_work = 50 in
-  let ps = [ 1; 2; 4; 8; 12; 16; 20; 24; 30 ] in
-  List.iter
-    (fun (panel, delta, paper_note) ->
-      section
-        (Printf.sprintf
-           "F11%s | Figure 11 (%s): map-reduce n=%d, leaf work=%d rounds, latency=%d rounds"
-           panel paper_note n leaf_work delta);
-      let dag = Generate.map_reduce ~n ~leaf_work ~latency:delta in
-      Printf.printf "W=%d S=%d U=%d; speedups relative to WS at P=1\n" (Metrics.work dag)
-        (Metrics.span dag) n;
-      let series = Sweep.speedups ~dag ~ps () in
-      Format.printf "%a@." Sweep.pp_series series;
-      (* machine-readable artifact for plotting *)
-      (try
-         if not (Sys.file_exists "results") then Sys.mkdir "results" 0o755;
-         let path = Printf.sprintf "results/figure11%s.csv" panel in
-         Lhws_analysis.Report.write_file path (Lhws_analysis.Report.csv_of_series series);
-         Printf.printf "(csv: %s)\n" path
-       with Sys_error _ -> ());
-      match series with
-      | [ lhws; ws ] ->
-          let at p pts = List.find (fun (q : Sweep.point) -> q.Sweep.p = p) pts in
-          let l30 = at 30 lhws.Sweep.points and w30 = at 30 ws.Sweep.points in
-          Printf.printf "at P=30: LHWS speedup %.1f vs WS %.1f (ratio %.2fx)\n%!"
-            l30.Sweep.speedup w30.Sweep.speedup
-            (l30.Sweep.speedup /. w30.Sweep.speedup)
-      | _ -> ())
-    [ ("a", 500, "delta = 500ms"); ("b", 50, "delta = 50ms"); ("c", 2, "delta = 1ms") ]
-
-(* ----------------------------------------------------------------- *)
-
-let theorem1 () =
-  section "T1 | Theorem 1: greedy schedule length <= W/P + S";
-  Printf.printf "%-32s %4s %8s %8s %8s %6s\n" "workload" "P" "rounds" "bound" "ratio" "ok";
-  List.iter
-    (fun (name, dag) ->
-      List.iter
-        (fun p ->
-          let r = Greedy.run dag ~p in
-          let b = Greedy.bound dag ~p in
-          expect (r.Run.rounds <= b);
-          Printf.printf "%-32s %4d %8d %8d %8.3f %6b\n" name p r.Run.rounds b
-            (float_of_int r.Run.rounds /. float_of_int b)
-            (r.Run.rounds <= b))
-        [ 1; 4; 16 ])
-    [
-      ("map_reduce(500,20,100)", Generate.map_reduce ~n:500 ~leaf_work:20 ~latency:100);
-      ("server(100,25,60)", Generate.server ~n:100 ~f_work:25 ~latency:60);
-      ("fib(18)", Generate.fib ~n:18 ());
-      ("pipeline(6,64,40)", Generate.pipeline ~stages:6 ~items:64 ~latency:40);
-      ( "random(seed=5)",
-        Generate.random_fork_join ~seed:5 ~size_hint:4000 ~latency_prob:0.2 ~max_latency:80 );
-      ( "jitter_mapreduce(300)",
-        Generate.map_reduce_jitter ~seed:7 ~n:300 ~leaf_work:10 ~min_latency:20
-          ~max_latency:200 );
-      ("sort(64 chunks)", Lhws_workloads.Sort.dag ~n_chunks:64 ~chunk_work:8 ~latency:50);
-    ];
-  Printf.printf "%!"
-
-(* ----------------------------------------------------------------- *)
-
-let theorem2 () =
-  section "T2 | Theorem 2: LHWS rounds vs W/P + S*U*(1+lg U)  (U swept via n)";
-  Printf.printf "%8s %4s %5s %10s %12s %8s | %6s %6s | %10s %12s\n" "n=U" "P" "delta" "rounds"
-    "bound" "ratio" "maxdq" "<=U+1" "steals" "steal-ratio";
-  List.iter
-    (fun (n, delta) ->
-      List.iter
-        (fun p ->
-          let dag = Generate.map_reduce ~n ~leaf_work:10 ~latency:delta in
-          let run = Lhws_sim.run dag ~p in
-          let i = Bounds.instance ~suspension_width:n dag ~p run in
-          let steal_bound =
-            float_of_int p *. float_of_int i.Bounds.span *. float_of_int (max 1 n)
-            *. (1. +. Bounds.lg n)
-          in
-          expect (Bounds.lemma7_ok i);
-          expect (Bounds.width_ok i);
-          Printf.printf "%8d %4d %5d %10d %12.0f %8.3f | %6d %6b | %10d %12.3f\n" n p delta
-            run.Run.rounds (Bounds.lhws_bound i) (Bounds.lhws_ratio i)
-            run.Run.stats.Stats.max_deques_per_worker (Bounds.lemma7_ok i)
-            run.Run.stats.Stats.steal_attempts
-            (float_of_int run.Run.stats.Stats.steal_attempts /. steal_bound))
-        [ 1; 4; 16 ])
-    [ (1, 50); (8, 50); (64, 50); (512, 50); (512, 500) ];
-  Printf.printf
-    "(steal-ratio: measured steal attempts / (P*S*U*(1+lgU)) — bounded per Theorem 2)\n%!"
-
-(* ----------------------------------------------------------------- *)
-
-let lemma1 () =
-  section "L1 | Lemma 1: rounds <= (4W + R)/P and token balance";
-  Printf.printf "%-28s %4s %8s %12s %6s %6s\n" "workload" "P" "rounds" "(4W+R)/P" "ok" "bal";
-  List.iter
-    (fun (name, dag) ->
-      List.iter
-        (fun p ->
-          let run = Lhws_sim.run dag ~p in
-          let w = Metrics.work dag in
-          let r = run.Run.stats.Stats.steal_attempts in
-          let bound = ((4 * w) + r) / p in
-          expect (run.Run.rounds <= bound + 1);
-          expect (Stats.balanced run.Run.stats);
-          Printf.printf "%-28s %4d %8d %12d %6b %6b\n" name p run.Run.rounds bound
-            (run.Run.rounds <= bound + 1)
-            (Stats.balanced run.Run.stats))
-        [ 1; 4; 16 ])
-    [
-      ("map_reduce(300,10,80)", Generate.map_reduce ~n:300 ~leaf_work:10 ~latency:80);
-      ("server(80,15,40)", Generate.server ~n:80 ~f_work:15 ~latency:40);
-      ("fib(17)", Generate.fib ~n:17 ());
-    ];
-  Printf.printf "%!"
-
-(* ----------------------------------------------------------------- *)
-
-let corollary1 () =
-  section "C1 | Corollary 1: S* <= 2S(1+lg U), and Lemma 2: d(v) <= (2+lgU) d_G(v)";
-  Printf.printf "%-28s %4s %6s %6s %8s %10s %6s %6s\n" "workload" "P" "S" "S*" "S*/S"
-    "max d/dG" "bnd" "viol";
-  List.iter
-    (fun (name, dag, u) ->
-      List.iter
-        (fun p ->
-          let run = Lhws_sim.run ~config:Config.analysis dag ~p in
-          let tr = Run.trace_exn run in
-          let dr = Invariants.depth_report ~suspension_width:u dag tr in
-          expect (dr.Invariants.violations = 0);
-          Printf.printf "%-28s %4d %6d %6d %8.3f %10.3f %6.2f %6d\n" name p dr.Invariants.span
-            dr.Invariants.enabling_span
-            (float_of_int dr.Invariants.enabling_span
-            /. float_of_int (max 1 dr.Invariants.span))
-            dr.Invariants.max_ratio dr.Invariants.bound dr.Invariants.violations)
-        [ 1; 4; 16 ])
-    [
-      ("map_reduce(200,8,60)", Generate.map_reduce ~n:200 ~leaf_work:8 ~latency:60, 200);
-      ("server(60,10,30)", Generate.server ~n:60 ~f_work:10 ~latency:30, 1);
-      ("pipeline(5,40,25)", Generate.pipeline ~stages:5 ~items:40 ~latency:25, 40);
-      ("fib(15)", Generate.fib ~n:15 (), 0);
-    ];
-  Printf.printf "%!"
-
-(* ----------------------------------------------------------------- *)
-
-let lemma8 () =
-  section "L8 | Lemma 8: phases of P(U+1) steal attempts drop the potential (w.p. > 1/4)";
-  Printf.printf "%-24s %4s %4s | %8s %10s %10s\n" "workload" "P" "U" "phases" "successful"
-    "fraction";
-  List.iter
-    (fun (name, dag, u) ->
-      List.iter
-        (fun p ->
-          let snaps = ref [] in
-          let run =
-            Lhws_sim.run
-              ~config:{ Config.analysis with fast_forward = false }
-              ~observer:(fun s -> snaps := s :: !snaps)
-              dag ~p
-          in
-          let s_star = Trace.enabling_span (Run.trace_exn run) in
-          let r = Lhws_analysis.Potential.phase_report ~s_star ~p ~u (List.rev !snaps) in
-          Printf.printf "%-24s %4d %4d | %8d %10d %10.2f\n" name p u
-            r.Lhws_analysis.Potential.phases r.Lhws_analysis.Potential.successful
-            r.Lhws_analysis.Potential.fraction)
-        [ 2; 4 ])
-    [
-      ("map_reduce(16,3,25)", Generate.map_reduce ~n:16 ~leaf_work:3 ~latency:25, 16);
-      ("server(12,4,10)", Generate.server ~n:12 ~f_work:4 ~latency:10, 1);
-      ("fib(11)", Generate.fib ~n:11 (), 1);
-    ];
-  Printf.printf "(the lemma guarantees fraction > 0.25 in expectation)\n%!"
-
-(* ----------------------------------------------------------------- *)
-
-let server_u1 () =
-  section "U1 | Server (Figure 10): U=1 keeps one deque per worker; WS-like bound";
-  Printf.printf "%4s %10s %10s %10s %8s %10s\n" "P" "LHWS" "WS" "greedy" "maxdq" "W/P+S";
-  let dag = Generate.server ~n:200 ~f_work:30 ~latency:80 in
-  List.iter
-    (fun p ->
-      let lh = Lhws_sim.run dag ~p in
-      let ws = Ws_sim.run dag ~p in
-      let gr = Greedy.run dag ~p in
-      Printf.printf "%4d %10d %10d %10d %8d %10d\n" p lh.Run.rounds ws.Run.rounds gr.Run.rounds
-        lh.Run.stats.Stats.max_deques_per_worker (Greedy.bound dag ~p))
-    [ 1; 2; 4; 8; 16 ];
-  Printf.printf "%!"
-
-(* ----------------------------------------------------------------- *)
-
-let ablation_steal () =
-  section "AB1 | Steal policy: random global deque (analyzed) vs random worker (Section 6)";
-  Printf.printf "%-16s %4s | %10s %10s %8s | %10s %10s %8s\n" "workload" "P" "deq:rounds"
-    "attempts" "hit%" "wrk:rounds" "attempts" "hit%";
-  List.iter
-    (fun (name, dag) ->
-      List.iter
-        (fun p ->
-          let run_with policy =
-            Lhws_sim.run ~config:{ Config.default with steal_policy = policy } dag ~p
-          in
-          let a = run_with Config.Steal_global_deque in
-          let b = run_with Config.Steal_worker_then_deque in
-          let hit (r : Run.t) =
-            100.
-            *. float_of_int r.Run.stats.Stats.steals_ok
-            /. float_of_int (max 1 r.Run.stats.Stats.steal_attempts)
-          in
-          Printf.printf "%-16s %4d | %10d %10d %8.1f | %10d %10d %8.1f\n" name p a.Run.rounds
-            a.Run.stats.Stats.steal_attempts (hit a) b.Run.rounds
-            b.Run.stats.Stats.steal_attempts (hit b))
-        [ 4; 16 ])
-    [
-      ("map_reduce", Generate.map_reduce ~n:400 ~leaf_work:10 ~latency:100);
-      ("server", Generate.server ~n:120 ~f_work:20 ~latency:50);
-    ];
-  Printf.printf "%!"
-
-(* ----------------------------------------------------------------- *)
-
-let ablation_resume () =
-  section "AB2 | Resume injection: balanced pfor tree (paper) vs linear chain";
-  Printf.printf
-    "(resume_burst: all n suspended tasks resume in the same round on one deque)\n";
-  Printf.printf "%6s %4s | %12s %12s %12s\n" "n" "P" "pfor rounds" "linear" "linear/pfor";
-  List.iter
-    (fun n ->
-      List.iter
-        (fun p ->
-          let dag = Generate.resume_burst ~n ~leaf_work:3 ~latency:50 in
-          let run_with policy =
-            (Lhws_sim.run ~config:{ Config.default with resume_policy = policy } dag ~p)
-              .Run.rounds
-          in
-          let tree = run_with Config.Resume_pfor_tree in
-          let lin = run_with Config.Resume_linear in
-          Printf.printf "%6d %4d | %12d %12d %12.2f\n" n p tree lin
-            (float_of_int lin /. float_of_int tree))
-        [ 4; 16 ])
-    [ 64; 256; 1024 ];
-  Printf.printf "%!"
-
-(* ----------------------------------------------------------------- *)
-
-let ablation_resume_target () =
-  section
-    "AB3 | Resume target: original deque (paper) vs fresh deque per resume (Section 7's \
-     Spoonhower variant)";
-  Printf.printf "%-24s %4s | %10s %6s %6s | %10s %6s %6s\n" "workload" "P" "orig:rnds" "maxdq"
-    "alloc" "fresh:rnds" "maxdq" "alloc";
-  List.iter
-    (fun (name, dag) ->
-      List.iter
-        (fun p ->
-          let run_with target =
-            Lhws_sim.run ~config:{ Config.default with resume_target = target } dag ~p
-          in
-          let a = run_with Config.Original_deque in
-          let b = run_with Config.Fresh_deque in
-          Printf.printf "%-24s %4d | %10d %6d %6d | %10d %6d %6d\n" name p a.Run.rounds
-            a.Run.stats.Stats.max_deques_per_worker a.Run.stats.Stats.deques_allocated
-            b.Run.rounds b.Run.stats.Stats.max_deques_per_worker
-            b.Run.stats.Stats.deques_allocated)
-        [ 4; 16 ])
-    [
-      ("map_reduce(400,10,100)", Generate.map_reduce ~n:400 ~leaf_work:10 ~latency:100);
-      ("server(120,20,50)", Generate.server ~n:120 ~f_work:20 ~latency:50);
-      ("burst(256,3,50)", Generate.resume_burst ~n:256 ~leaf_work:3 ~latency:50);
-    ];
-  Printf.printf
-    "(the paper's policy recycles deques and respects Lemma 7; the fresh-deque variant's \
-     allocation scales with resumes)\n%!"
-
-(* ----------------------------------------------------------------- *)
-
-let scale () =
-  section
-    "SCALE | Large numbers of suspended threads (Section 6.1's closing claim) + Theorem 3 \
-     (amortized O(1) per round)";
-  Printf.printf "%8s %10s %12s %10s %12s %14s\n" "n=U" "rounds" "max susp" "batches"
-    "wall (ms)" "ns/worker-rnd";
-  List.iter
-    (fun n ->
-      (* Everything suspends almost immediately and stays suspended for a
-         long time; the scheduler must then digest n resumed vertices. *)
-      let dag = Generate.map_reduce ~n ~leaf_work:1 ~latency:1_000_000 in
-      let t0 = Unix.gettimeofday () in
-      let run = Lhws_sim.run dag ~p:16 in
-      let dt = Unix.gettimeofday () -. t0 in
-      let stepped = run.Run.rounds - run.Run.stats.Stats.fast_forwarded_rounds in
-      Printf.printf "%8d %10d %12d %10d %12.1f %14.0f\n" n run.Run.rounds
-        run.Run.stats.Stats.max_live_suspended run.Run.stats.Stats.pfor_batches (dt *. 1000.)
-        (dt *. 1e9 /. float_of_int (max 1 (stepped * 16))))
-    [ 1_000; 10_000; 50_000 ];
-  Printf.printf
-    "(max susp = n: all reads in flight at once; per-round cost stays flat as U grows — \
-     Theorem 3's amortized O(1))\n%!"
-
-(* ----------------------------------------------------------------- *)
-
-let multiprogrammed () =
-  section "MP | Multiprogrammed environment (ABP setting): availability sweep, LHWS P=8";
-  Printf.printf "%12s %10s %14s %18s\n" "availability" "rounds" "unavailable" "rounds*avail";
-  let dag = Generate.map_reduce ~n:300 ~leaf_work:10 ~latency:80 in
-  List.iter
-    (fun (label, k) ->
-      let availability =
-        if k = 4 then None
-        else Some (fun round worker -> ((round * 31) + (worker * 17)) mod 4 < k)
-      in
-      let config = { Config.default with availability } in
-      let run = Lhws_sim.run ~config dag ~p:8 in
-      Printf.printf "%12s %10d %14d %18.0f\n" label run.Run.rounds
-        run.Run.stats.Stats.unavailable_rounds
-        (float_of_int run.Run.rounds *. (float_of_int k /. 4.)))
-    [ ("100%", 4); ("75%", 3); ("50%", 2); ("25%", 1) ];
-  Printf.printf
-    "(effective work rate scales with availability: rounds*avail stays near the dedicated \
-     rounds)\n%!"
-
-(* ----------------------------------------------------------------- *)
-
-let runtime () =
-  section "RT | Real pools: latency-hiding vs blocking (wall-clock, 2 worker domains)";
-  let module P = W.Pool_intf in
-  let run_mr (pool : P.pool) ~delta =
-    let module Pool = (val pool : P.POOL) in
-    let p = Pool.create ~workers:2 () in
-    Fun.protect
-      ~finally:(fun () -> Pool.shutdown p)
-      (fun () -> W.Map_reduce.run_on (module Pool) p ~n:60 ~latency:delta ~fib_n:18)
-  in
-  Printf.printf "map-reduce n=60, fib(18) per item:\n";
-  Printf.printf "%10s %12s %12s %8s\n" "delta" "LHWS (s)" "WS (s)" "WS/LHWS";
-  List.iter
-    (fun delta ->
-      let lh = run_mr P.lhws ~delta in
-      let ws = run_mr P.ws ~delta in
-      assert (lh.W.Map_reduce.value = ws.W.Map_reduce.value);
-      Printf.printf "%8.1fms %12.3f %12.3f %8.2f\n" (delta *. 1000.) lh.W.Map_reduce.elapsed
-        ws.W.Map_reduce.elapsed
-        (ws.W.Map_reduce.elapsed /. lh.W.Map_reduce.elapsed))
-    [ 0.05; 0.005; 0.0005 ];
-  let web = W.Crawler.make_web ~seed:42 ~pages:120 ~max_links:4 in
-  let crawl (pool : P.pool) =
-    let module Pool = (val pool : P.POOL) in
-    let p = Pool.create ~workers:2 () in
-    Fun.protect
-      ~finally:(fun () -> Pool.shutdown p)
-      (fun () -> W.Crawler.crawl_on (module Pool) p web ~latency:0.01 ~parse_work:14)
-  in
-  let lh = crawl P.lhws and ws = crawl P.ws in
-  Printf.printf "crawler (120 pages, 10ms fetch): LHWS %.3fs vs WS %.3fs (%.1fx)\n%!"
-    lh.W.Crawler.elapsed ws.W.Crawler.elapsed
-    (ws.W.Crawler.elapsed /. lh.W.Crawler.elapsed)
-
-(* ----------------------------------------------------------------- *)
-
-let ablation_threads () =
-  section
-    "AB4 | Fibers vs OS threads (Section 7): latency hidden either way, overhead differs";
-  let module P = W.Pool_intf in
-  let fiber_mr ~n ~delta ~fib_n =
-    let module Pool = (val P.lhws : P.POOL) in
-    let p = Pool.create ~workers:2 () in
-    Fun.protect
-      ~finally:(fun () -> Pool.shutdown p)
-      (fun () -> (W.Map_reduce.run_on (module Pool) p ~n ~latency:delta ~fib_n).W.Map_reduce.elapsed)
-  in
-  let thread_mr ~n ~delta ~fib_n =
-    Lhws_runtime.Threaded_pool.with_pool ~max_threads:1024 (fun p ->
-        let t0 = Unix.gettimeofday () in
-        let v =
-          Lhws_runtime.Threaded_pool.parallel_map_reduce p ~grain:1 ~lo:0 ~hi:n
-            ~map:(fun _ ->
-              Lhws_runtime.Threaded_pool.sleep p delta;
-              W.Fib.seq fib_n mod W.Map_reduce.modulus)
-            ~combine:(fun a b -> (a + b) mod W.Map_reduce.modulus)
-            ~id:0
-        in
-        ignore v;
-        let dt = Unix.gettimeofday () -. t0 in
-        (dt, Lhws_runtime.Threaded_pool.threads_spawned p))
-  in
-  Printf.printf "map-reduce, fib(12) per item (thread-per-item vs fiber-per-item):\n";
-  Printf.printf "%6s %8s | %12s | %12s %10s\n" "n" "delta" "fibers (s)" "threads (s)" "spawned";
-  List.iter
-    (fun (n, delta) ->
-      let tf = fiber_mr ~n ~delta ~fib_n:12 in
-      let tt, spawned = thread_mr ~n ~delta ~fib_n:12 in
-      Printf.printf "%6d %6.0fms | %12.4f | %12.4f %10d\n" n (delta *. 1000.) tf tt spawned)
-    [ (200, 0.); (200, 0.002); (1000, 0.) ];
-  Printf.printf
-    "(both hide latency; the thread pool pays creation + kernel scheduling per task)\n%!"
-
-(* ----------------------------------------------------------------- *)
-
-let prediction () =
-  section
-    "PRED | Cross-layer validation: simulator rounds predict runtime wall-clock (P = 1, one \
-     core)";
-  (* One work unit = a spin of ~10us; one latency unit = the same 10us via
-     the timer.  The simulator charges one round per unit of either, so at
-     P = 1 its round count times the unit duration should predict the real
-     pool's elapsed time. *)
-  let module P = W.Pool_intf in
-  let spin () =
-    let acc = ref 0 in
-    for i = 1 to 20_000 do
-      acc := (!acc * 31) + i
-    done;
-    Sys.opaque_identity !acc |> ignore
-  in
-  let t0 = Unix.gettimeofday () in
-  let calib_n = 2_000 in
-  for _ = 1 to calib_n do
-    spin ()
-  done;
-  let unit_s = (Unix.gettimeofday () -. t0) /. float_of_int calib_n in
-  Printf.printf "calibrated work unit: %.1f us\n" (unit_s *. 1e6);
-  Printf.printf "%-28s %10s %12s %12s %8s\n" "program" "sim rounds" "predicted(s)"
-    "measured(s)" "ratio";
-  List.iter
-    (fun (name, prog) ->
-      let rounds = (W.Program.simulate prog ~p:1).Run.rounds in
-      let predicted = float_of_int rounds *. unit_s in
-      let module Pool = (val P.lhws : P.POOL) in
-      let pool = Pool.create ~workers:1 () in
-      let measured =
-        Fun.protect
-          ~finally:(fun () -> Pool.shutdown pool)
-          (fun () ->
-            let t0 = Unix.gettimeofday () in
-            ignore (W.Program.run_on (module Pool) pool ~work_unit:spin ~tick:unit_s prog);
-            Unix.gettimeofday () -. t0)
-      in
-      Printf.printf "%-28s %10d %12.3f %12.3f %8.2f\n" name rounds predicted measured
-        (measured /. predicted))
-    [
-      ( "map_reduce(40,100,5)",
-        W.Program.dist_map_reduce ~n:40 ~latency:100 ~leaf_work:5 ~f:Fun.id ~g:( + ) ~id:0 );
-      ( "server(20,50,10)",
-        W.Program.server ~n:20 ~latency:50 ~f_work:10 ~f:Fun.id ~g:( + ) ~id:0 );
-      ( "map_reduce(100,20,10)",
-        W.Program.dist_map_reduce ~n:100 ~latency:20 ~leaf_work:10 ~f:Fun.id ~g:( + ) ~id:0 );
-    ];
-  Printf.printf
-    "(ratio ~ 1: the discrete model is a faithful predictor of the real scheduler)\n%!"
-
-let bechamel_section () =
-  section "MICRO | bechamel micro-benchmarks (ns per run, OLS on monotonic clock)";
-  let open Bechamel in
-  let open Toolkit in
-  let mr_dag = Generate.map_reduce ~n:64 ~leaf_work:5 ~latency:50 in
-  let fib_dag = Generate.fib ~n:13 () in
-  let tests =
-    [
-      Test.make ~name:"deque push+pop x1000"
-        (Staged.stage (fun () ->
-             let d = Lhws_deque.Deque.create () in
-             for i = 1 to 1000 do
-               Lhws_deque.Deque.push_bottom d i
-             done;
-             for _ = 1 to 1000 do
-               ignore (Lhws_deque.Deque.pop_bottom d)
-             done));
-      Test.make ~name:"chase-lev push+pop x1000"
-        (Staged.stage (fun () ->
-             let d = Lhws_deque.Chase_lev.create () in
-             for i = 1 to 1000 do
-               Lhws_deque.Chase_lev.push_bottom d i
-             done;
-             for _ = 1 to 1000 do
-               ignore (Lhws_deque.Chase_lev.pop_bottom d)
-             done));
-      Test.make ~name:"lhws_sim fib(13) P=4"
-        (Staged.stage (fun () -> ignore (Lhws_sim.run fib_dag ~p:4)));
-      Test.make ~name:"lhws_sim map-reduce(64) P=4"
-        (Staged.stage (fun () -> ignore (Lhws_sim.run mr_dag ~p:4)));
-      Test.make ~name:"ws_sim map-reduce(64) P=4"
-        (Staged.stage (fun () -> ignore (Ws_sim.run mr_dag ~p:4)));
-      Test.make ~name:"greedy map-reduce(64) P=4"
-        (Staged.stage (fun () -> ignore (Greedy.run mr_dag ~p:4)));
-      Test.make ~name:"metrics span + U lower bound"
-        (Staged.stage (fun () ->
-             ignore (Metrics.span mr_dag);
-             ignore (Suspension.lower_bound_greedy mr_dag)));
-    ]
-  in
-  List.iter
-    (fun test ->
-      let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
-      let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
-      let results =
-        Analyze.all
-          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
-          Instance.monotonic_clock raw
-      in
-      Hashtbl.iter
-        (fun name ols ->
-          match Analyze.OLS.estimates ols with
-          | Some [ est ] -> Printf.printf "%-40s %14.0f ns/run\n" name est
-          | _ -> Printf.printf "%-40s (no estimate)\n" name)
-        results)
-    tests;
-  Printf.printf "%!"
+module B = Lhws_bench
 
 let () =
-  let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
-  figure11 ();
-  theorem1 ();
-  theorem2 ();
-  lemma1 ();
-  corollary1 ();
-  lemma8 ();
-  server_u1 ();
-  ablation_steal ();
-  ablation_resume ();
-  ablation_resume_target ();
-  multiprogrammed ();
-  scale ();
-  if not quick then begin
-    runtime ();
-    ablation_threads ();
-    prediction ();
-    bechamel_section ()
-  end;
-  section
-    (if !bound_failures = 0 then "DONE - all bounds verified"
-     else Printf.sprintf "DONE - %d BOUND VIOLATIONS (see tables above)" !bound_failures)
+  let profile =
+    if Array.length Sys.argv < 2 then B.Registry.Full
+    else
+      match B.Registry.profile_of_string Sys.argv.(1) with
+      | Some p -> p
+      | None ->
+          Printf.eprintf "usage: %s [full|quick|smoke]\n" Sys.argv.(0);
+          exit 2
+  in
+  B.Scenarios_speedup.register ();
+  B.Scenarios_bounds.register ();
+  B.Scenarios_ablation.register ();
+  B.Scenarios_runtime.register ();
+  B.Scenarios_micro.register ();
+  B.Registry.run_all profile;
+  (try
+     if not (Sys.file_exists "results") then Sys.mkdir "results" 0o755;
+     B.Bench_json.write ~path:"results/BENCH_results.json";
+     Printf.printf "\n(json: results/BENCH_results.json, %d samples, profile %s)\n"
+       (B.Bench_json.count ())
+       (B.Registry.profile_name profile)
+   with Sys_error e -> Printf.eprintf "could not write BENCH_results.json: %s\n" e);
+  B.Registry.section
+    (if !B.Registry.bound_failures = 0 then "DONE - all bounds verified"
+     else
+       Printf.sprintf "DONE - %d BOUND VIOLATIONS (see tables above)"
+         !B.Registry.bound_failures);
+  if !B.Registry.bound_failures > 0 then exit 1

@@ -1,0 +1,53 @@
+(* Scenario registry for the benchmark harness: sections register
+   themselves once, the driver picks a profile and runs them in
+   registration order. *)
+
+type profile = Full | Quick | Smoke
+
+let profile_name = function Full -> "full" | Quick -> "quick" | Smoke -> "smoke"
+
+let profile_of_string = function
+  | "full" -> Some Full
+  | "quick" -> Some Quick
+  | "smoke" -> Some Smoke
+  | _ -> None
+
+(* Smoke shrinks every scenario to seconds; the other profiles run the
+   real sizes. *)
+let pick profile ~full ~smoke = match profile with Smoke -> smoke | Full | Quick -> full
+
+type scenario = {
+  name : string;
+  skip_in_quick : bool;  (* the historical [quick] arg skips the slow sections *)
+  skip_in_smoke : bool;  (* micro-benchmarks are meaningless at smoke sizes *)
+  run : profile -> unit;
+}
+
+let scenarios : scenario list ref = ref []
+
+let register ?(skip_in_quick = false) ?(skip_in_smoke = false) ~name run =
+  scenarios := { name; skip_in_quick; skip_in_smoke; run } :: !scenarios
+
+(* Any bound that fails anywhere in the harness increments this; the DONE
+   footer turns it into a visible verdict so the bench doubles as a
+   regression check. *)
+let bound_failures = ref 0
+
+let expect ok = if not ok then incr bound_failures
+
+let section title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "================================================================\n%!"
+
+let run_all profile =
+  List.iter
+    (fun s ->
+      let skip =
+        match profile with
+        | Full -> false
+        | Quick -> s.skip_in_quick
+        | Smoke -> s.skip_in_smoke
+      in
+      if not skip then s.run profile)
+    (List.rev !scenarios)

@@ -1,0 +1,225 @@
+(* The quantitative claims: Theorems 1-2, Lemmas 1/7/8, Corollary 1 and
+   the U = 1 server reduction, tabulated on simulator runs. *)
+
+module Generate = Lhws_dag.Generate
+module Metrics = Lhws_dag.Metrics
+open Lhws_core
+module Bounds = Lhws_analysis.Bounds
+module Invariants = Lhws_analysis.Invariants
+module R = Registry
+
+let theorem1 profile =
+  R.section "T1 | Theorem 1: greedy schedule length <= W/P + S";
+  let ps = R.pick profile ~full:[ 1; 4; 16 ] ~smoke:[ 1; 4 ] in
+  let workloads =
+    R.pick profile
+      ~full:
+        [
+          ("map_reduce(500,20,100)", lazy (Generate.map_reduce ~n:500 ~leaf_work:20 ~latency:100));
+          ("server(100,25,60)", lazy (Generate.server ~n:100 ~f_work:25 ~latency:60));
+          ("fib(18)", lazy (Generate.fib ~n:18 ()));
+          ("pipeline(6,64,40)", lazy (Generate.pipeline ~stages:6 ~items:64 ~latency:40));
+          ( "random(seed=5)",
+            lazy
+              (Generate.random_fork_join ~seed:5 ~size_hint:4000 ~latency_prob:0.2
+                 ~max_latency:80) );
+          ( "jitter_mapreduce(300)",
+            lazy
+              (Generate.map_reduce_jitter ~seed:7 ~n:300 ~leaf_work:10 ~min_latency:20
+                 ~max_latency:200) );
+          ( "sort(64 chunks)",
+            lazy (Lhws_workloads.Sort.dag ~n_chunks:64 ~chunk_work:8 ~latency:50) );
+        ]
+      ~smoke:
+        [
+          ("map_reduce(30,5,20)", lazy (Generate.map_reduce ~n:30 ~leaf_work:5 ~latency:20));
+          ("fib(10)", lazy (Generate.fib ~n:10 ()));
+        ]
+  in
+  Printf.printf "%-32s %4s %8s %8s %8s %6s\n" "workload" "P" "rounds" "bound" "ratio" "ok";
+  List.iter
+    (fun (name, dag) ->
+      let dag = Lazy.force dag in
+      List.iter
+        (fun p ->
+          let r = Greedy.run dag ~p in
+          let b = Greedy.bound dag ~p in
+          R.expect (r.Run.rounds <= b);
+          Printf.printf "%-32s %4d %8d %8d %8.3f %6b\n" name p r.Run.rounds b
+            (float_of_int r.Run.rounds /. float_of_int b)
+            (r.Run.rounds <= b))
+        ps)
+    workloads;
+  Printf.printf "%!"
+
+let theorem2 profile =
+  R.section "T2 | Theorem 2: LHWS rounds vs W/P + S*U*(1+lg U)  (U swept via n)";
+  let ps = R.pick profile ~full:[ 1; 4; 16 ] ~smoke:[ 1; 4 ] in
+  let cases =
+    R.pick profile
+      ~full:[ (1, 50); (8, 50); (64, 50); (512, 50); (512, 500) ]
+      ~smoke:[ (1, 10); (8, 10) ]
+  in
+  Printf.printf "%8s %4s %5s %10s %12s %8s | %6s %6s | %10s %12s\n" "n=U" "P" "delta" "rounds"
+    "bound" "ratio" "maxdq" "<=U+1" "steals" "steal-ratio";
+  List.iter
+    (fun (n, delta) ->
+      List.iter
+        (fun p ->
+          let dag = Generate.map_reduce ~n ~leaf_work:10 ~latency:delta in
+          let run = Lhws_sim.run dag ~p in
+          let i = Bounds.instance ~suspension_width:n dag ~p run in
+          let steal_bound =
+            float_of_int p *. float_of_int i.Bounds.span *. float_of_int (max 1 n)
+            *. (1. +. Bounds.lg n)
+          in
+          R.expect (Bounds.lemma7_ok i);
+          R.expect (Bounds.width_ok i);
+          Printf.printf "%8d %4d %5d %10d %12.0f %8.3f | %6d %6b | %10d %12.3f\n" n p delta
+            run.Run.rounds (Bounds.lhws_bound i) (Bounds.lhws_ratio i)
+            run.Run.stats.Stats.max_deques_per_worker (Bounds.lemma7_ok i)
+            run.Run.stats.Stats.steal_attempts
+            (float_of_int run.Run.stats.Stats.steal_attempts /. steal_bound))
+        ps)
+    cases;
+  Printf.printf
+    "(steal-ratio: measured steal attempts / (P*S*U*(1+lgU)) — bounded per Theorem 2)\n%!"
+
+let lemma1 profile =
+  R.section "L1 | Lemma 1: rounds <= (4W + R)/P and token balance";
+  let ps = R.pick profile ~full:[ 1; 4; 16 ] ~smoke:[ 1; 4 ] in
+  let workloads =
+    R.pick profile
+      ~full:
+        [
+          ("map_reduce(300,10,80)", lazy (Generate.map_reduce ~n:300 ~leaf_work:10 ~latency:80));
+          ("server(80,15,40)", lazy (Generate.server ~n:80 ~f_work:15 ~latency:40));
+          ("fib(17)", lazy (Generate.fib ~n:17 ()));
+        ]
+      ~smoke:
+        [
+          ("map_reduce(30,5,20)", lazy (Generate.map_reduce ~n:30 ~leaf_work:5 ~latency:20));
+          ("fib(10)", lazy (Generate.fib ~n:10 ()));
+        ]
+  in
+  Printf.printf "%-28s %4s %8s %12s %6s %6s\n" "workload" "P" "rounds" "(4W+R)/P" "ok" "bal";
+  List.iter
+    (fun (name, dag) ->
+      let dag = Lazy.force dag in
+      List.iter
+        (fun p ->
+          let run = Lhws_sim.run dag ~p in
+          let w = Metrics.work dag in
+          let r = run.Run.stats.Stats.steal_attempts in
+          let bound = ((4 * w) + r) / p in
+          R.expect (run.Run.rounds <= bound + 1);
+          R.expect (Stats.balanced run.Run.stats);
+          Printf.printf "%-28s %4d %8d %12d %6b %6b\n" name p run.Run.rounds bound
+            (run.Run.rounds <= bound + 1)
+            (Stats.balanced run.Run.stats))
+        ps)
+    workloads;
+  Printf.printf "%!"
+
+let corollary1 profile =
+  R.section "C1 | Corollary 1: S* <= 2S(1+lg U), and Lemma 2: d(v) <= (2+lgU) d_G(v)";
+  let ps = R.pick profile ~full:[ 1; 4; 16 ] ~smoke:[ 1; 4 ] in
+  let workloads =
+    R.pick profile
+      ~full:
+        [
+          ( "map_reduce(200,8,60)",
+            lazy (Generate.map_reduce ~n:200 ~leaf_work:8 ~latency:60),
+            200 );
+          ("server(60,10,30)", lazy (Generate.server ~n:60 ~f_work:10 ~latency:30), 1);
+          ("pipeline(5,40,25)", lazy (Generate.pipeline ~stages:5 ~items:40 ~latency:25), 40);
+          ("fib(15)", lazy (Generate.fib ~n:15 ()), 0);
+        ]
+      ~smoke:
+        [
+          ("map_reduce(20,4,15)", lazy (Generate.map_reduce ~n:20 ~leaf_work:4 ~latency:15), 20);
+          ("fib(9)", lazy (Generate.fib ~n:9 ()), 0);
+        ]
+  in
+  Printf.printf "%-28s %4s %6s %6s %8s %10s %6s %6s\n" "workload" "P" "S" "S*" "S*/S"
+    "max d/dG" "bnd" "viol";
+  List.iter
+    (fun (name, dag, u) ->
+      let dag = Lazy.force dag in
+      List.iter
+        (fun p ->
+          let run = Lhws_sim.run ~config:Config.analysis dag ~p in
+          let tr = Run.trace_exn run in
+          let dr = Invariants.depth_report ~suspension_width:u dag tr in
+          R.expect (dr.Invariants.violations = 0);
+          Printf.printf "%-28s %4d %6d %6d %8.3f %10.3f %6.2f %6d\n" name p dr.Invariants.span
+            dr.Invariants.enabling_span
+            (float_of_int dr.Invariants.enabling_span
+            /. float_of_int (max 1 dr.Invariants.span))
+            dr.Invariants.max_ratio dr.Invariants.bound dr.Invariants.violations)
+        ps)
+    workloads;
+  Printf.printf "%!"
+
+let lemma8 profile =
+  R.section "L8 | Lemma 8: phases of P(U+1) steal attempts drop the potential (w.p. > 1/4)";
+  let ps = R.pick profile ~full:[ 2; 4 ] ~smoke:[ 2 ] in
+  let workloads =
+    R.pick profile
+      ~full:
+        [
+          ("map_reduce(16,3,25)", lazy (Generate.map_reduce ~n:16 ~leaf_work:3 ~latency:25), 16);
+          ("server(12,4,10)", lazy (Generate.server ~n:12 ~f_work:4 ~latency:10), 1);
+          ("fib(11)", lazy (Generate.fib ~n:11 ()), 1);
+        ]
+      ~smoke:
+        [ ("map_reduce(8,2,10)", lazy (Generate.map_reduce ~n:8 ~leaf_work:2 ~latency:10), 8) ]
+  in
+  Printf.printf "%-24s %4s %4s | %8s %10s %10s\n" "workload" "P" "U" "phases" "successful"
+    "fraction";
+  List.iter
+    (fun (name, dag, u) ->
+      let dag = Lazy.force dag in
+      List.iter
+        (fun p ->
+          let snaps = ref [] in
+          let run =
+            Lhws_sim.run
+              ~config:{ Config.analysis with fast_forward = false }
+              ~observer:(fun s -> snaps := s :: !snaps)
+              dag ~p
+          in
+          let s_star = Trace.enabling_span (Run.trace_exn run) in
+          let r = Lhws_analysis.Potential.phase_report ~s_star ~p ~u (List.rev !snaps) in
+          Printf.printf "%-24s %4d %4d | %8d %10d %10.2f\n" name p u
+            r.Lhws_analysis.Potential.phases r.Lhws_analysis.Potential.successful
+            r.Lhws_analysis.Potential.fraction)
+        ps)
+    workloads;
+  Printf.printf "(the lemma guarantees fraction > 0.25 in expectation)\n%!"
+
+let server_u1 profile =
+  R.section "U1 | Server (Figure 10): U=1 keeps one deque per worker; WS-like bound";
+  let n = R.pick profile ~full:200 ~smoke:20 in
+  let f_work = R.pick profile ~full:30 ~smoke:5 in
+  let latency = R.pick profile ~full:80 ~smoke:10 in
+  let ps = R.pick profile ~full:[ 1; 2; 4; 8; 16 ] ~smoke:[ 1; 2 ] in
+  Printf.printf "%4s %10s %10s %10s %8s %10s\n" "P" "LHWS" "WS" "greedy" "maxdq" "W/P+S";
+  let dag = Generate.server ~n ~f_work ~latency in
+  List.iter
+    (fun p ->
+      let lh = Lhws_sim.run dag ~p in
+      let ws = Ws_sim.run dag ~p in
+      let gr = Greedy.run dag ~p in
+      Printf.printf "%4d %10d %10d %10d %8d %10d\n" p lh.Run.rounds ws.Run.rounds gr.Run.rounds
+        lh.Run.stats.Stats.max_deques_per_worker (Greedy.bound dag ~p))
+    ps;
+  Printf.printf "%!"
+
+let register () =
+  R.register ~name:"theorem1" theorem1;
+  R.register ~name:"theorem2" theorem2;
+  R.register ~name:"lemma1" lemma1;
+  R.register ~name:"corollary1" corollary1;
+  R.register ~name:"lemma8" lemma8;
+  R.register ~name:"server_u1" server_u1

@@ -1,0 +1,70 @@
+(* bechamel micro-benchmarks of the data structures and scheduler kernels
+   backing the tables.  Meaningless at smoke sizes, so the scenario is
+   skipped in both the quick and smoke profiles. *)
+
+module Generate = Lhws_dag.Generate
+module Metrics = Lhws_dag.Metrics
+module Suspension = Lhws_dag.Suspension
+open Lhws_core
+module R = Registry
+
+let bechamel_section _profile =
+  R.section "MICRO | bechamel micro-benchmarks (ns per run, OLS on monotonic clock)";
+  let open Bechamel in
+  let open Toolkit in
+  let mr_dag = Generate.map_reduce ~n:64 ~leaf_work:5 ~latency:50 in
+  let fib_dag = Generate.fib ~n:13 () in
+  let tests =
+    [
+      Test.make ~name:"deque push+pop x1000"
+        (Staged.stage (fun () ->
+             let d = Lhws_deque.Deque.create () in
+             for i = 1 to 1000 do
+               Lhws_deque.Deque.push_bottom d i
+             done;
+             for _ = 1 to 1000 do
+               ignore (Lhws_deque.Deque.pop_bottom d)
+             done));
+      Test.make ~name:"chase-lev push+pop x1000"
+        (Staged.stage (fun () ->
+             let d = Lhws_deque.Chase_lev.create () in
+             for i = 1 to 1000 do
+               Lhws_deque.Chase_lev.push_bottom d i
+             done;
+             for _ = 1 to 1000 do
+               ignore (Lhws_deque.Chase_lev.pop_bottom d)
+             done));
+      Test.make ~name:"lhws_sim fib(13) P=4"
+        (Staged.stage (fun () -> ignore (Lhws_sim.run fib_dag ~p:4)));
+      Test.make ~name:"lhws_sim map-reduce(64) P=4"
+        (Staged.stage (fun () -> ignore (Lhws_sim.run mr_dag ~p:4)));
+      Test.make ~name:"ws_sim map-reduce(64) P=4"
+        (Staged.stage (fun () -> ignore (Ws_sim.run mr_dag ~p:4)));
+      Test.make ~name:"greedy map-reduce(64) P=4"
+        (Staged.stage (fun () -> ignore (Greedy.run mr_dag ~p:4)));
+      Test.make ~name:"metrics span + U lower bound"
+        (Staged.stage (fun () ->
+             ignore (Metrics.span mr_dag);
+             ignore (Suspension.lower_bound_greedy mr_dag)));
+    ]
+  in
+  List.iter
+    (fun test ->
+      let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+      let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+      let results =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          Instance.monotonic_clock raw
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-40s %14.0f ns/run\n" name est
+          | _ -> Printf.printf "%-40s (no estimate)\n" name)
+        results)
+    tests;
+  Printf.printf "%!"
+
+let register () =
+  R.register ~name:"micro" ~skip_in_quick:true ~skip_in_smoke:true bechamel_section

@@ -1,0 +1,56 @@
+(* Figure 11: speedup curves.  The paper: n = 5000 remote inputs, each
+   mapped with fib(30), latency delta in {500ms, 50ms, 1ms}, P = 1..30,
+   speedup relative to the 1-processor WS run.  In simulator units one
+   round is ~1ms of computation, so a fib(30) leaf is ~50 rounds of work
+   and the three latencies are 500, 50 and 2 rounds; n = 5000 as in the
+   paper. *)
+
+module Generate = Lhws_dag.Generate
+module Metrics = Lhws_dag.Metrics
+open Lhws_core
+module R = Registry
+
+let figure11 profile =
+  let n = R.pick profile ~full:5000 ~smoke:40 in
+  let leaf_work = R.pick profile ~full:50 ~smoke:5 in
+  let ps = R.pick profile ~full:[ 1; 2; 4; 8; 12; 16; 20; 24; 30 ] ~smoke:[ 1; 2 ] in
+  let p_max = List.fold_left max 1 ps in
+  List.iter
+    (fun (panel, delta, paper_note) ->
+      R.section
+        (Printf.sprintf
+           "F11%s | Figure 11 (%s): map-reduce n=%d, leaf work=%d rounds, latency=%d rounds"
+           panel paper_note n leaf_work delta);
+      let dag = Generate.map_reduce ~n ~leaf_work ~latency:delta in
+      Printf.printf "W=%d S=%d U=%d; speedups relative to WS at P=1\n" (Metrics.work dag)
+        (Metrics.span dag) n;
+      let series = Sweep.speedups ~dag ~ps () in
+      Format.printf "%a@." Sweep.pp_series series;
+      List.iter
+        (fun (s : Sweep.series) ->
+          List.iter
+            (fun (pt : Sweep.point) ->
+              Bench_json.record
+                ~scenario:(Printf.sprintf "figure11%s" panel)
+                ~pool:(String.lowercase_ascii (Sweep.algo_name s.Sweep.algo) ^ "-sim")
+                ~workers:pt.Sweep.p ~rounds:pt.Sweep.rounds ~speedup:pt.Sweep.speedup ())
+            s.Sweep.points)
+        series;
+      (* machine-readable artifact for plotting *)
+      (try
+         if not (Sys.file_exists "results") then Sys.mkdir "results" 0o755;
+         let path = Printf.sprintf "results/figure11%s.csv" panel in
+         Lhws_analysis.Report.write_file path (Lhws_analysis.Report.csv_of_series series);
+         Printf.printf "(csv: %s)\n" path
+       with Sys_error _ -> ());
+      match series with
+      | [ lhws; ws ] ->
+          let at p pts = List.find (fun (q : Sweep.point) -> q.Sweep.p = p) pts in
+          let l = at p_max lhws.Sweep.points and w = at p_max ws.Sweep.points in
+          Printf.printf "at P=%d: LHWS speedup %.1f vs WS %.1f (ratio %.2fx)\n%!" p_max
+            l.Sweep.speedup w.Sweep.speedup
+            (l.Sweep.speedup /. w.Sweep.speedup)
+      | _ -> ())
+    [ ("a", 500, "delta = 500ms"); ("b", 50, "delta = 50ms"); ("c", 2, "delta = 1ms") ]
+
+let register () = R.register ~name:"figure11" figure11

@@ -44,18 +44,28 @@ let n_conns = 24
 let think_time = 0.02 (* seconds before each client sends its request *)
 let request n = 15 + (n mod 5) (* fib argument *)
 
+(* Both paths drive their pool through the extended POOL interface; only
+   the setup (registering the Io reactor, possible thanks to the exposed
+   type equation Lhws_instance.t = Lhws_pool.t) and the I/O style differ. *)
+
+module P = W.Pool_intf
+
 let run_latency_hiding conns =
-  Lhws_pool.with_pool ~workers:2 (fun pool ->
-      let io = Io.create () in
-      Lhws_pool.register_poller pool (fun () -> Io.poll io);
+  let module Pool = P.Lhws_instance in
+  let pool = Lhws_pool.create ~workers:2 () in
+  let io = Io.create () in
+  Lhws_pool.register_poller pool (fun () -> Io.poll io);
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
       let t0 = Unix.gettimeofday () in
       let total =
-        Lhws_pool.run pool (fun () ->
+        Pool.run pool (fun () ->
             let fibers =
               List.concat_map
                 (fun (i, c) ->
                   let server =
-                    Lhws_pool.async pool (fun () ->
+                    Pool.async pool (fun () ->
                         let buf = Bytes.create 8 in
                         Io.read_exactly io c.server_in buf 8;
                         let answer = W.Fib.seq (decode buf) in
@@ -63,8 +73,8 @@ let run_latency_hiding conns =
                         0)
                   in
                   let client =
-                    Lhws_pool.async pool (fun () ->
-                        Lhws_pool.sleep pool think_time;
+                    Pool.async pool (fun () ->
+                        Pool.sleep pool think_time;
                         Io.write_all io c.client_out (encode (request i));
                         let buf = Bytes.create 8 in
                         Io.read_exactly io c.client_in buf 8;
@@ -73,18 +83,22 @@ let run_latency_hiding conns =
                   [ server; client ])
                 conns
             in
-            List.fold_left (fun acc f -> acc + Lhws_pool.await f) 0 fibers)
+            List.fold_left (fun acc f -> acc + Pool.await pool f) 0 fibers)
       in
       (total, Unix.gettimeofday () -. t0))
 
 let run_blocking conns =
-  Ws_pool.with_pool ~workers:2 (fun pool ->
+  let module Pool = P.Ws_instance in
+  let pool = Pool.create ~workers:2 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
       let t0 = Unix.gettimeofday () in
       let total =
-        Ws_pool.run pool (fun () ->
+        Pool.run pool (fun () ->
             (* Blocking I/O forces one connection per worker at a time. *)
             let handle (i, c) =
-              Ws_pool.sleep pool think_time;
+              Pool.sleep pool think_time;
               let b = encode (request i) in
               ignore (Unix.write c.client_out b 0 8);
               let buf = Bytes.create 8 in
@@ -94,8 +108,8 @@ let run_blocking conns =
               ignore (Unix.read c.client_in buf 0 8);
               decode buf
             in
-            let promises = List.map (fun conn -> Ws_pool.async pool (fun () -> handle conn)) conns in
-            List.fold_left (fun acc p -> acc + Ws_pool.await pool p) 0 promises)
+            let promises = List.map (fun conn -> Pool.async pool (fun () -> handle conn)) conns in
+            List.fold_left (fun acc p -> acc + Pool.await pool p) 0 promises)
       in
       (total, Unix.gettimeofday () -. t0))
 

@@ -17,17 +17,22 @@ let records = 200
 let fetch_latency = 0.002
 let parse_fib = 14
 
+(* Pool operations go through the POOL interface; the channels themselves
+   need suspendable fibers, so only the latency-hiding instance can run
+   this example. *)
+module Pool = W.Pool_intf.Lhws_instance
+
 let () =
   Lhws_pool.with_pool ~workers:2 (fun pool ->
       let t0 = Unix.gettimeofday () in
       let parsed_total, fetched, parsed =
-        Lhws_pool.run pool (fun () ->
+        Pool.run pool (fun () ->
             let raw = Channel.create ~capacity:16 () in
             let cooked = Channel.create ~capacity:16 () in
             let fetcher =
-              Lhws_pool.async pool (fun () ->
+              Pool.async pool (fun () ->
                   for i = 1 to records do
-                    Lhws_pool.sleep pool fetch_latency (* remote fetch *);
+                    Pool.sleep pool fetch_latency (* remote fetch *);
                     Channel.send raw i
                   done;
                   Channel.close raw;
@@ -36,7 +41,7 @@ let () =
             let parser_count = 3 in
             let parsers =
               List.init parser_count (fun _ ->
-                  Lhws_pool.async pool (fun () ->
+                  Pool.async pool (fun () ->
                       let n = ref 0 in
                       (try
                          while true do
@@ -49,7 +54,7 @@ let () =
                       !n))
             in
             let aggregator =
-              Lhws_pool.async pool (fun () ->
+              Pool.async pool (fun () ->
                   let total = ref 0 and seen = ref 0 in
                   (try
                      while true do
@@ -59,10 +64,10 @@ let () =
                    with Channel.Closed -> ());
                   (!total, !seen))
             in
-            let fetched = Lhws_pool.await fetcher in
-            let parsed = List.fold_left (fun a p -> a + Lhws_pool.await p) 0 parsers in
+            let fetched = Pool.await pool fetcher in
+            let parsed = List.fold_left (fun a p -> a + Pool.await pool p) 0 parsers in
             Channel.close cooked;
-            let total, seen = Lhws_pool.await aggregator in
+            let total, seen = Pool.await pool aggregator in
             assert (seen = records);
             (total, fetched, parsed))
       in

@@ -31,21 +31,28 @@ let () =
   Format.printf "simulated rounds on P=2:  latency-hiding %d,  blocking baseline %d@."
     lhws.Run.rounds ws.Run.rounds;
 
-  (* The same program for real: 50 "user inputs" of 10 ms each, overlapped
-     with computation.  Even one worker hides all the latency. *)
+  (* The same program for real, through the pool-generic POOL interface:
+     50 "user inputs" of 10 ms each, overlapped with computation.  Even
+     one worker hides all the latency.  (Swap [P.lhws] for [P.ws] or
+     [P.threads] to compare pools.) *)
   let n = 50 and latency = 0.01 in
-  Lhws_runtime.Lhws_pool.with_pool ~workers:1 (fun pool ->
+  let module P = Lhws_workloads.Pool_intf in
+  let module Pool = (val P.lhws : P.POOL) in
+  let pool = Pool.create ~workers:1 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
       let t0 = Unix.gettimeofday () in
       let total =
-        Lhws_runtime.Lhws_pool.run pool (fun () ->
-            Lhws_runtime.Lhws_pool.parallel_map_reduce pool ~lo:0 ~hi:n
+        Pool.run pool (fun () ->
+            Pool.parallel_map_reduce pool ~lo:0 ~hi:n
               ~map:(fun i ->
-                Lhws_runtime.Lhws_pool.sleep pool latency (* input() *);
+                Pool.sleep pool latency (* input() *);
                 (2 * i) + 42)
               ~combine:( + ) ~id:0)
       in
-      Format.printf "runtime: %d inputs of %.0f ms each -> total %d in %.3f s (sequential wait \
-                     would be %.1f s)@."
-        n (latency *. 1000.) total
+      Format.printf "runtime (%s pool): %d inputs of %.0f ms each -> total %d in %.3f s \
+                     (sequential wait would be %.1f s)@."
+        Pool.name n (latency *. 1000.) total
         (Unix.gettimeofday () -. t0)
         (float_of_int n *. latency))

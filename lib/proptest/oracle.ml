@@ -57,19 +57,8 @@ let check_program_sim ?(ps = default_ps) ~seed recipe =
 
 module Lhws_pool = Lhws_runtime.Lhws_pool
 module Ws_pool = Lhws_runtime.Ws_pool
-
-module Lhws_instance = struct
-  include Lhws_runtime.Lhws_pool
-
-  let create ?workers () = create ?workers ()
-  let name = "lhws"
-end
-
-module Ws_instance = struct
-  include Lhws_runtime.Ws_pool
-
-  let name = "ws"
-end
+module Lhws_instance = Lhws_workloads.Pool_intf.Lhws_instance
+module Ws_instance = Lhws_workloads.Pool_intf.Ws_instance
 
 let check_program_pools ?(workers = 3) ?(tick = 0.0005) recipe =
   let program = Recipe.to_program recipe in

@@ -1,4 +1,5 @@
 module Chase_lev = Lhws_deque.Chase_lev
+module Core = Scheduler_core
 
 (* Tasks are fresh fibers or captured continuations of suspended ones. *)
 type task = Fresh of (unit -> unit) | Resume of (unit, unit) Effect.Deep.continuation
@@ -14,8 +15,8 @@ type deque = {
   mutable in_ready : bool;  (* owner only *)
 }
 
-type worker = {
-  wid : int;
+type wrec = {
+  ctx : Core.ctx;
   mutable active : deque option;
   mutable ready : deque list;
   notify_mu : Mutex.t;
@@ -24,43 +25,27 @@ type worker = {
   mutable owned_live : int;
   owned_mu : Mutex.t;
   mutable owned : deque list;  (* live owned deques, for worker-targeted steals *)
-  rng : Random.State.t;
-  mutable steals : int;
-  mutable suspensions : int;
-  mutable resumes : int;
-  mutable max_owned : int;
 }
 
 type steal_policy = Global_deque | Worker_then_deque
 
 let max_gdeques = 1 lsl 16
 
-type t = {
-  workers : worker array;
+type pstate = {
+  slots : wrec array;
   gdeques : deque option array;
   gtotal : int Atomic.t;
   steal_policy : steal_policy;
-  mutable tracer : Tracing.t option;
-  timer : Timer.t;
-  mutable pollers : (unit -> int) list;  (* extra event sources, e.g. I/O *)
-  stop : bool Atomic.t;
-  mutable domains : unit Domain.t array;
-  mutable running : bool;
+  self_wid : unit -> int;
 }
 
-(* The worker currently executing on this domain; read by effect handlers,
-   which may run on a different domain than the one that installed them. *)
-let current_worker : worker option ref Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ref None)
-
-let self () =
-  match !(Domain.DLS.get current_worker) with
-  | Some w -> w
-  | None -> failwith "Lhws_pool: not running on a pool worker"
+(* The worker this domain is currently executing as; continuations migrate
+   between workers, so effect handlers must resolve it dynamically. *)
+let self p = p.slots.(p.self_wid ())
 
 (* --- deque table --- *)
 
-let alloc_deque t w =
+let alloc_deque p w =
   let d =
     match w.empty with
     | d :: rest ->
@@ -68,12 +53,12 @@ let alloc_deque t w =
         Atomic.set d.freed false;
         d
     | [] ->
-        let id = Atomic.fetch_and_add t.gtotal 1 in
+        let id = Atomic.fetch_and_add p.gtotal 1 in
         if id >= max_gdeques then failwith "Lhws_pool: deque table overflow";
         let d =
           {
             id;
-            owner = w.wid;
+            owner = w.ctx.wid;
             q = Chase_lev.create ();
             suspend_ctr = Atomic.make 0;
             resumed_mu = Mutex.create ();
@@ -82,11 +67,11 @@ let alloc_deque t w =
             in_ready = false;
           }
         in
-        t.gdeques.(id) <- Some d;
+        p.gdeques.(id) <- Some d;
         d
   in
   w.owned_live <- w.owned_live + 1;
-  if w.owned_live > w.max_owned then w.max_owned <- w.owned_live;
+  if w.owned_live > w.ctx.counters.max_owned then w.ctx.counters.max_owned <- w.owned_live;
   Mutex.lock w.owned_mu;
   w.owned <- d :: w.owned;
   Mutex.unlock w.owned_mu;
@@ -106,14 +91,14 @@ let unfree w d =
   Atomic.set d.freed false;
   w.empty <- List.filter (fun d' -> d' != d) w.empty;
   w.owned_live <- w.owned_live + 1;
-  if w.owned_live > w.max_owned then w.max_owned <- w.owned_live;
+  if w.owned_live > w.ctx.counters.max_owned then w.ctx.counters.max_owned <- w.owned_live;
   Mutex.lock w.owned_mu;
   w.owned <- d :: w.owned;
   Mutex.unlock w.owned_mu
 
 (* --- resume path: runs on any domain --- *)
 
-let on_resume t d task =
+let on_resume p d task =
   let was_empty =
     Mutex.lock d.resumed_mu;
     let was = d.resumed = [] in
@@ -123,7 +108,7 @@ let on_resume t d task =
   in
   Atomic.decr d.suspend_ctr;
   if was_empty then begin
-    let o = t.workers.(d.owner) in
+    let o = p.slots.(d.owner) in
     Mutex.lock o.notify_mu;
     o.notified <- d :: o.notified;
     Mutex.unlock o.notify_mu
@@ -131,7 +116,7 @@ let on_resume t d task =
 
 (* --- fiber execution --- *)
 
-let rec exec_fresh t f =
+let rec exec_fresh p f =
   let open Effect.Deep in
   match_with f ()
     {
@@ -143,44 +128,40 @@ let rec exec_fresh t f =
           | Fiber.Suspend register ->
               Some
                 (fun (k : (a, _) continuation) ->
-                  let w = self () in
+                  let w = self p in
                   let d =
                     match w.active with
                     | Some d -> d
                     | None -> failwith "Lhws_pool: suspend with no active deque"
                   in
                   Atomic.incr d.suspend_ctr;
-                  w.suspensions <- w.suspensions + 1;
-                  (match t.tracer with
-                  | Some tr ->
-                      Tracing.record tr ~worker:w.wid Tracing.Suspend
-                        ~start_us:(Tracing.now_us ()) ~dur_us:0.
-                  | None -> ());
-                  register (fun () -> on_resume t d (Resume k)))
+                  w.ctx.counters.suspensions <- w.ctx.counters.suspensions + 1;
+                  Core.mark w.ctx Tracing.Suspend;
+                  register (fun () -> on_resume p d (Resume k)))
           | _ -> None);
     }
 
-and run_task t task =
-  match task with Fresh f -> exec_fresh t f | Resume k -> Effect.Deep.continue k ()
+and run_task p task =
+  match task with Fresh f -> exec_fresh p f | Resume k -> Effect.Deep.continue k ()
 
 (* Execute a batch of resumed continuations as a pfor tree: halves are
    pushed as spawnable tasks, so the batch unfolds in parallel with
    logarithmic span, exactly as addResumedVertices prescribes. *)
-let rec pfor_exec t batch lo hi =
+let rec pfor_exec p batch lo hi =
   let n = hi - lo in
-  if n = 1 then run_task t batch.(lo)
+  if n = 1 then run_task p batch.(lo)
   else begin
     let mid = lo + (n / 2) in
-    let w = self () in
+    let w = self p in
     (match w.active with
-    | Some d -> Chase_lev.push_bottom d.q (Fresh (fun () -> pfor_exec t batch mid hi))
+    | Some d -> Chase_lev.push_bottom d.q (Fresh (fun () -> pfor_exec p batch mid hi))
     | None -> assert false);
-    pfor_exec t batch lo mid
+    pfor_exec p batch lo mid
   end
 
 (* addResumedVertices: drain notifications, re-inject each deque's resumed
    batch, move the deque to the ready set.  Owner only. *)
-let drain_resumed t w =
+let drain_resumed p w =
   let notified =
     Mutex.lock w.notify_mu;
     let ds = w.notified in
@@ -200,19 +181,15 @@ let drain_resumed t w =
       match batch with
       | [] -> ()
       | _ ->
-          (match t.tracer with
-          | Some tr ->
-              Tracing.record tr ~worker:w.wid Tracing.Resume_batch
-                ~start_us:(Tracing.now_us ()) ~dur_us:0.
-          | None -> ());
-          w.resumes <- w.resumes + List.length batch;
+          Core.mark w.ctx Tracing.Resume_batch;
+          w.ctx.counters.resumes <- w.ctx.counters.resumes + List.length batch;
           if Atomic.get d.freed then unfree w d;
           let task =
             match batch with
             | [ single ] -> single
             | _ ->
                 let arr = Array.of_list (List.rev batch) in
-                Fresh (fun () -> pfor_exec t arr 0 (Array.length arr))
+                Fresh (fun () -> pfor_exec p arr 0 (Array.length arr))
           in
           Chase_lev.push_bottom d.q task;
           let is_active = match w.active with Some a -> a == d | None -> false in
@@ -236,34 +213,34 @@ let retire_active w =
         if quiet && Chase_lev.is_empty d.q then free_deque w d
       end
 
-let try_steal t w =
-  match t.steal_policy with
+let try_steal p w =
+  match p.steal_policy with
   | Global_deque -> (
       (* The analyzed policy: uniform over the global deque table. *)
-      let n = Atomic.get t.gtotal in
+      let n = Atomic.get p.gtotal in
       if n = 0 then None
       else
-        match t.gdeques.(Random.State.int w.rng n) with
+        match p.gdeques.(Random.State.int w.ctx.rng n) with
         | None -> None
         | Some d -> if Atomic.get d.freed then None else Chase_lev.steal d.q)
   | Worker_then_deque -> (
       (* Section 6's implementation: pick a worker, then one of its deques
          that currently has work — fewer failed steals, at the cost of a
          brief lock on the victim's deque list. *)
-      let victim = t.workers.(Random.State.int w.rng (Array.length t.workers)) in
+      let victim = p.slots.(Random.State.int w.ctx.rng (Array.length p.slots)) in
       Mutex.lock victim.owned_mu;
       let candidates = List.filter (fun d -> not (Chase_lev.is_empty d.q)) victim.owned in
       let pick =
         match candidates with
         | [] -> None
-        | _ -> Some (List.nth candidates (Random.State.int w.rng (List.length candidates)))
+        | _ -> Some (List.nth candidates (Random.State.int w.ctx.rng (List.length candidates)))
       in
       Mutex.unlock victim.owned_mu;
       match pick with None -> None | Some d -> Chase_lev.steal d.q)
 
 (* One scheduling decision: the next task to run, switching or stealing as
    needed.  Mirrors lines 40-56 of Figure 3. *)
-let next_task t w =
+let next_task p w =
   let from_active () =
     match w.active with
     | Some d -> (
@@ -289,59 +266,36 @@ let next_task t w =
               retire_active w;
               None)
       | [] -> (
-          match try_steal t w with
+          match try_steal p w with
           | Some task ->
-              w.steals <- w.steals + 1;
-              (match t.tracer with
-              | Some tr ->
-                  Tracing.record tr ~worker:w.wid Tracing.Steal
-                    ~start_us:(Tracing.now_us ()) ~dur_us:0.
-              | None -> ());
-              let nd = alloc_deque t w in
+              w.ctx.counters.steals <- w.ctx.counters.steals + 1;
+              Core.mark w.ctx Tracing.Steal;
+              let nd = alloc_deque p w in
               w.active <- Some nd;
               Some task
           | None -> None))
 
-let backoff_us = 50
+(* --- the policy: multi-deque suspend/resume over the shared engine --- *)
 
-let worker_loop t w ~until =
-  let dls = Domain.DLS.get current_worker in
-  let saved = !dls in
-  dls := Some w;
-  let rec loop idle_spins =
-    if Atomic.get t.stop || until () then ()
-    else begin
-      ignore (Timer.poll t.timer : int);
-      List.iter (fun poll -> ignore (poll () : int)) t.pollers;
-      drain_resumed t w;
-      match next_task t w with
-      | Some task ->
-          (match t.tracer with
-          | None -> run_task t task
-          | Some tr ->
-              let start_us = Tracing.now_us () in
-              run_task t task;
-              Tracing.record tr ~worker:w.wid Tracing.Task_run ~start_us
-                ~dur_us:(Tracing.now_us () -. start_us));
-          loop 0
-      | None ->
-          (* Nothing runnable: back off to avoid burning the core (we may
-             be oversubscribed), but stay responsive to timer expiry. *)
-          if idle_spins > 16 then Unix.sleepf (float_of_int backoff_us /. 1e6)
-          else Domain.cpu_relax ();
-          loop (idle_spins + 1)
-    end
-  in
-  Fun.protect ~finally:(fun () -> dls := saved) (fun () -> loop 0)
+module Policy = struct
+  let label = "Lhws_pool"
+  let rng_salt = 0xACE5
 
-let create ?(workers = 2) ?(steal_policy = Global_deque) () =
-  if workers < 1 then invalid_arg "Lhws_pool.create: workers must be >= 1";
-  let t =
+  type config = steal_policy
+
+  let default_config = Global_deque
+
+  type nonrec task = task
+  type pool = pstate
+  type wstate = wrec
+
+  let make_pool steal_policy ~ctxs ~self_wid =
     {
-      workers =
-        Array.init workers (fun wid ->
+      slots =
+        Array.map
+          (fun ctx ->
             {
-              wid;
+              ctx;
               active = None;
               ready = [];
               notify_mu = Mutex.create ();
@@ -350,46 +304,46 @@ let create ?(workers = 2) ?(steal_policy = Global_deque) () =
               owned_live = 0;
               owned_mu = Mutex.create ();
               owned = [];
-              rng = Random.State.make [| 0xACE5; wid |];
-              steals = 0;
-              suspensions = 0;
-              resumes = 0;
-              max_owned = 0;
-            });
+            })
+          ctxs;
       gdeques = Array.make max_gdeques None;
       gtotal = Atomic.make 0;
       steal_policy;
-      tracer = None;
-      timer = Timer.create ();
-      pollers = [];
-      stop = Atomic.make false;
-      domains = [||];
-      running = false;
+      self_wid;
     }
-  in
-  t.domains <-
-    Array.init (workers - 1) (fun i ->
-        Domain.spawn (fun () -> worker_loop t t.workers.(i + 1) ~until:(fun () -> false)));
-  t
 
-let shutdown t =
-  Atomic.set t.stop true;
-  Array.iter Domain.join t.domains;
-  t.domains <- [||]
+  let worker p i = p.slots.(i)
+  let drain = drain_resumed
+  let next = next_task
+  let exec p _w task = run_task p task
 
-let with_pool ?workers ?steal_policy f =
-  let t = create ?workers ?steal_policy () in
-  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+  let inject p w thunk =
+    (* Bootstrap: give the worker an active deque holding the root fiber. *)
+    let d = match w.active with Some d -> d | None -> alloc_deque p w in
+    w.active <- Some d;
+    Chase_lev.push_bottom d.q (Fresh thunk)
 
-let register_poller t poll = t.pollers <- poll :: t.pollers
+  let deques_allocated p = Atomic.get p.gtotal
+end
 
-let set_tracer t tracer = t.tracer <- Some tracer
+module C = Core.Make (Policy)
+
+type t = C.t
+
+let create ?workers ?steal_policy () = C.create ?workers ?config:steal_policy ()
+let run = C.run
+let shutdown = C.shutdown
+
+let with_pool ?workers ?steal_policy f = C.with_pool ?workers ?config:steal_policy f
+
+let register_poller = C.register_poller
+let set_tracer = C.set_tracer
 
 (* --- fiber-facing operations --- *)
 
 let async t f =
   let p = Promise.create () in
-  let w = self () in
+  let _, w = C.self () in
   let d =
     match w.active with
     | Some d -> d
@@ -418,7 +372,7 @@ let fork2 t f g =
 
 let sleep t seconds =
   if seconds <= 0. then ()
-  else Fiber.suspend (fun resume -> Timer.add_in t.timer ~seconds resume)
+  else Fiber.suspend (fun resume -> Timer.add_in (C.timer t) ~seconds resume)
 
 let rec parallel_for t ~lo ~hi body =
   let n = hi - lo in
@@ -444,28 +398,9 @@ let rec parallel_map_reduce t ~lo ~hi ~map ~combine ~id =
     in
     combine a b
 
-(* --- driving the pool from the outside --- *)
-
-let run t f =
-  if Atomic.get t.stop then invalid_arg "Lhws_pool.run: pool is shut down";
-  if t.running then invalid_arg "Lhws_pool.run: already running";
-  t.running <- true;
-  Fun.protect
-    ~finally:(fun () -> t.running <- false)
-    (fun () ->
-      let w0 = t.workers.(0) in
-      let p = Promise.create () in
-      (* Bootstrap: give worker 0 an active deque holding the root fiber. *)
-      let d = match w0.active with Some d -> d | None -> alloc_deque t w0 in
-      w0.active <- Some d;
-      Chase_lev.push_bottom d.q
-        (Fresh (fun () -> Promise.fulfill p (try Ok (f ()) with e -> Error e)));
-      worker_loop t w0 ~until:(fun () -> Promise.is_resolved p);
-      Promise.get_exn p)
-
 (* --- stats --- *)
 
-type stats = {
+type stats = Scheduler_core.stats = {
   steals : int;
   deques_allocated : int;
   suspensions : int;
@@ -473,12 +408,4 @@ type stats = {
   max_deques_per_worker : int;
 }
 
-let stats t =
-  let sum f = Array.fold_left (fun acc w -> acc + f w) 0 t.workers in
-  {
-    steals = sum (fun w -> w.steals);
-    deques_allocated = Atomic.get t.gtotal;
-    suspensions = sum (fun w -> w.suspensions);
-    resumes = sum (fun w -> w.resumes);
-    max_deques_per_worker = Array.fold_left (fun acc w -> max acc w.max_owned) 0 t.workers;
-  }
+let stats = C.stats

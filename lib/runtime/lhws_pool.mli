@@ -1,10 +1,11 @@
 (** The latency-hiding work-stealing scheduler, running for real on OCaml 5
     domains.
 
-    This is the algorithm of Section 3 at thread granularity (the paper's
-    own prototype works the same way): the scheduler runs when a fiber
-    ends, forks, joins or suspends.  Each worker owns a growing collection
-    of Chase–Lev deques, one active at a time.  A fiber that suspends
+    A multi-deque suspend/resume policy over the shared {!Scheduler_core}
+    engine.  This is the algorithm of Section 3 at thread granularity (the
+    paper's own prototype works the same way): the scheduler runs when a
+    fiber ends, forks, joins or suspends.  Each worker owns a growing
+    collection of Chase–Lev deques, one active at a time.  A fiber that suspends
     (e.g. {!sleep}, or {!await} on an unresolved promise) has its
     continuation paired with the worker's active deque; when it resumes,
     the continuation is batched back into that deque and the deque
@@ -84,9 +85,11 @@ val parallel_map_reduce :
   t -> lo:int -> hi:int -> map:(int -> 'a) -> combine:('a -> 'a -> 'a) -> id:'a -> 'a
 (** The distMapReduce of Figure 8 over index range [\[lo, hi)]. *)
 
-(** {2 Introspection} *)
+(** {2 Introspection}
 
-type stats = {
+    The unified stats record shared by every pool. *)
+
+type stats = Scheduler_core.stats = {
   steals : int;
   deques_allocated : int;
   suspensions : int;

@@ -1,0 +1,185 @@
+type counters = {
+  mutable steals : int;
+  mutable suspensions : int;
+  mutable resumes : int;
+  mutable max_owned : int;
+}
+
+type ctx = {
+  wid : int;
+  rng : Random.State.t;
+  counters : counters;
+  emit : Tracing.kind -> start_us:float -> dur_us:float -> unit;
+  tracing : unit -> bool;
+}
+
+let mark ctx kind =
+  if ctx.tracing () then ctx.emit kind ~start_us:(Tracing.now_us ()) ~dur_us:0.
+
+type stats = {
+  steals : int;
+  deques_allocated : int;
+  suspensions : int;
+  resumes : int;
+  max_deques_per_worker : int;
+}
+
+module type POLICY = sig
+  val label : string
+  val rng_salt : int
+
+  type config
+
+  val default_config : config
+
+  type task
+  type pool
+  type wstate
+
+  val make_pool : config -> ctxs:ctx array -> self_wid:(unit -> int) -> pool
+  val worker : pool -> int -> wstate
+  val drain : pool -> wstate -> unit
+  val next : pool -> wstate -> task option
+  val exec : pool -> wstate -> task -> unit
+  val inject : pool -> wstate -> (unit -> unit) -> unit
+  val deques_allocated : pool -> int
+end
+
+module Make (P : POLICY) = struct
+  type t = {
+    ctxs : ctx array;
+    pool : P.pool;
+    timer : Timer.t;
+    tracer : Tracing.t option ref;
+    mutable pollers : (unit -> int) list;  (* extra event sources, e.g. I/O *)
+    stop : bool Atomic.t;
+    mutable domains : unit Domain.t array;
+    mutable running : bool;
+  }
+
+  (* The worker currently executing on this domain; read by effect handlers,
+     which may run on a different domain than the one that installed them. *)
+  let current : (ctx * P.wstate) option ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref None)
+
+  let self_opt () = !(Domain.DLS.get current)
+
+  let self () =
+    match self_opt () with
+    | Some cw -> cw
+    | None -> failwith (P.label ^ ": not running on a pool worker")
+
+  let self_wid () = (fst (self ())).wid
+
+  let backoff_us = 50
+
+  (* The engine's inner loop: pump event sources, re-inject resumed work,
+     pick a task, run it (traced), back off when idle.  Reentrant — a
+     blocking join may call [help] from inside a running task. *)
+  let help t ~until =
+    let ctx, w = self () in
+    let rec loop idle_spins =
+      if Atomic.get t.stop || until () then ()
+      else begin
+        ignore (Timer.poll t.timer : int);
+        List.iter (fun poll -> ignore (poll () : int)) t.pollers;
+        P.drain t.pool w;
+        match P.next t.pool w with
+        | Some task ->
+            (match !(t.tracer) with
+            | None -> P.exec t.pool w task
+            | Some tr ->
+                let start_us = Tracing.now_us () in
+                P.exec t.pool w task;
+                Tracing.record tr ~worker:ctx.wid Tracing.Task_run ~start_us
+                  ~dur_us:(Tracing.now_us () -. start_us));
+            loop 0
+        | None ->
+            (* Nothing runnable: back off to avoid burning the core (we may
+               be oversubscribed), but stay responsive to timer expiry. *)
+            if idle_spins > 16 then Unix.sleepf (float_of_int backoff_us /. 1e6)
+            else Domain.cpu_relax ();
+            loop (idle_spins + 1)
+      end
+    in
+    loop 0
+
+  let worker_loop t wid ~until =
+    let dls = Domain.DLS.get current in
+    let saved = !dls in
+    dls := Some (t.ctxs.(wid), P.worker t.pool wid);
+    Fun.protect ~finally:(fun () -> dls := saved) (fun () -> help t ~until)
+
+  let create ?(workers = 2) ?(config = P.default_config) () =
+    if workers < 1 then invalid_arg (P.label ^ ".create: workers must be >= 1");
+    let tracer = ref None in
+    let ctxs =
+      Array.init workers (fun wid ->
+          {
+            wid;
+            rng = Random.State.make [| P.rng_salt; wid |];
+            counters = { steals = 0; suspensions = 0; resumes = 0; max_owned = 0 };
+            emit =
+              (fun kind ~start_us ~dur_us ->
+                match !tracer with
+                | Some tr -> Tracing.record tr ~worker:wid kind ~start_us ~dur_us
+                | None -> ());
+            tracing = (fun () -> !tracer <> None);
+          })
+    in
+    let t =
+      {
+        ctxs;
+        pool = P.make_pool config ~ctxs ~self_wid;
+        timer = Timer.create ();
+        tracer;
+        pollers = [];
+        stop = Atomic.make false;
+        domains = [||];
+        running = false;
+      }
+    in
+    t.domains <-
+      Array.init (workers - 1) (fun i ->
+          Domain.spawn (fun () -> worker_loop t (i + 1) ~until:(fun () -> false)));
+    t
+
+  let shutdown t =
+    Atomic.set t.stop true;
+    Array.iter Domain.join t.domains;
+    t.domains <- [||]
+
+  let with_pool ?workers ?config f =
+    let t = create ?workers ?config () in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+  let run t f =
+    if Atomic.get t.stop then invalid_arg (P.label ^ ".run: pool is shut down");
+    if t.running then invalid_arg (P.label ^ ".run: already running");
+    t.running <- true;
+    Fun.protect
+      ~finally:(fun () -> t.running <- false)
+      (fun () ->
+        let p = Promise.create () in
+        P.inject t.pool (P.worker t.pool 0)
+          (fun () -> Promise.fulfill p (try Ok (f ()) with e -> Error e));
+        worker_loop t 0 ~until:(fun () -> Promise.is_resolved p);
+        Promise.get_exn p)
+
+  let pool t = t.pool
+  let timer t = t.timer
+  let workers t = Array.length t.ctxs
+  let set_tracer t tracer = t.tracer := Some tracer
+  let register_poller t poll = t.pollers <- poll :: t.pollers
+
+  let stats t =
+    let sum f = Array.fold_left (fun acc c -> acc + f c.counters) 0 t.ctxs in
+    {
+      steals = sum (fun c -> c.steals);
+      deques_allocated = P.deques_allocated t.pool;
+      suspensions = sum (fun c -> c.suspensions);
+      resumes = sum (fun c -> c.resumes);
+      max_deques_per_worker =
+        Array.fold_left (fun acc c -> max acc c.counters.max_owned) 0 t.ctxs;
+    }
+end

@@ -1,0 +1,153 @@
+(** The shared scheduler engine behind every runtime pool.
+
+    Both real pools ({!Lhws_pool}, {!Ws_pool}) are the same machine — a
+    set of worker domains, each looping over {e pump event sources →
+    re-inject resumed work → pick a task → run it}, with idle backoff,
+    a shared timer, pluggable pollers, per-worker counters and a tracing
+    bus — and differ only in their {e policy}: what a task is, where
+    tasks live, and how the next one is chosen.  This module owns the
+    machine; a {!POLICY} supplies the task representation, the deque
+    discipline and the steal target selection, and {!Make} assembles a
+    complete pool from it.
+
+    The split mirrors how the literature evaluates scheduler variants as
+    policies over one engine: the standard work-stealing baseline is the
+    single-deque policy, the paper's latency-hiding scheduler is the
+    multi-deque suspend/resume policy, and future variants (alternative
+    steal distributions, backends) slot in without touching the engine. *)
+
+(** {1 Per-worker instrumentation}
+
+    One {!counters} record per worker, written only by that worker (or
+    by policy code running on it) and summed into the pool-wide
+    {!stats}.  Counters that a policy has no use for stay at their
+    degenerate values, so every pool reports the same record. *)
+
+type counters = {
+  mutable steals : int;  (** successful steals landed by this worker *)
+  mutable suspensions : int;  (** fibers suspended on this worker *)
+  mutable resumes : int;  (** resumed continuations re-injected by this worker *)
+  mutable max_owned : int;  (** high-water mark of live deques owned at once *)
+}
+
+type ctx = {
+  wid : int;  (** worker index, [0 .. workers-1] *)
+  rng : Random.State.t;  (** per-worker PRNG for victim selection *)
+  counters : counters;
+  emit : Tracing.kind -> start_us:float -> dur_us:float -> unit;
+      (** records into the pool's tracer; no-op when none is set *)
+  tracing : unit -> bool;  (** whether a tracer is attached (skip clock reads) *)
+}
+(** Per-worker context handed to the policy: identity, randomness,
+    counters and the tracing bus. *)
+
+val mark : ctx -> Tracing.kind -> unit
+(** Emit an instantaneous event (zero duration, timestamped now). *)
+
+(** {1 Unified stats}
+
+    The one stats record every pool exposes.  For the single-deque
+    baseline, [deques_allocated] is the (fixed) worker count,
+    [max_deques_per_worker] is 1 and [suspensions]/[resumes] are 0. *)
+
+type stats = {
+  steals : int;
+  deques_allocated : int;
+  suspensions : int;
+  resumes : int;
+  max_deques_per_worker : int;
+}
+
+(** {1 Scheduling policies} *)
+
+module type POLICY = sig
+  val label : string
+  (** Error-message prefix, e.g. ["Lhws_pool"]. *)
+
+  val rng_salt : int
+  (** Mixed into each worker's PRNG seed. *)
+
+  type config
+
+  val default_config : config
+
+  type task
+  (** Whatever the policy schedules: a thunk, or a fresh-fiber /
+      captured-continuation sum. *)
+
+  type pool
+  (** Policy state shared by all workers (deque tables, steal policy). *)
+
+  type wstate
+  (** Per-worker policy state (owned deques, ready set). *)
+
+  val make_pool : config -> ctxs:ctx array -> self_wid:(unit -> int) -> pool
+  (** Builds the policy state for [Array.length ctxs] workers.
+      [self_wid] resolves the worker currently running on this domain
+      (valid only on a worker domain) — policies whose tasks migrate
+      between workers (captured continuations) need it to find the
+      {e current} worker from inside an effect handler. *)
+
+  val worker : pool -> int -> wstate
+
+  val drain : pool -> wstate -> unit
+  (** Re-inject work that arrived from other domains (resumed
+      continuations).  Called once per scheduling iteration, before
+      {!next}.  No-op for policies without suspension. *)
+
+  val next : pool -> wstate -> task option
+  (** One scheduling decision: pop local work, switch deques, or steal.
+      The policy updates [ctx.counters] and emits [Steal] events itself;
+      the engine wraps the returned task's execution in [Task_run]. *)
+
+  val exec : pool -> wstate -> task -> unit
+  (** Run one task to completion or suspension (installing effect
+      handlers as needed). *)
+
+  val inject : pool -> wstate -> (unit -> unit) -> unit
+  (** Push a root thunk onto the given worker's local queue; used to
+      bootstrap {!Make.run}. *)
+
+  val deques_allocated : pool -> int
+  (** Lifetime deque allocations, for {!stats}. *)
+end
+
+(** {1 The engine} *)
+
+module Make (P : POLICY) : sig
+  type t
+
+  val create : ?workers:int -> ?config:P.config -> unit -> t
+  (** Spawns [workers - 1] extra domains (default 2 workers); the
+      calling domain becomes worker 0 while inside {!run}.  This is the
+      only place in the runtime that spawns domains. *)
+
+  val run : t -> (unit -> 'a) -> 'a
+  (** Injects the thunk as the root task on worker 0 and participates
+      in the worker loop until it completes; re-raises its exception.
+      @raise Invalid_argument after {!shutdown} or if already running. *)
+
+  val shutdown : t -> unit
+  (** Stops and joins the worker domains.  Idempotent; the pool cannot
+      be reused afterwards. *)
+
+  val with_pool : ?workers:int -> ?config:P.config -> (t -> 'a) -> 'a
+
+  val help : t -> until:(unit -> bool) -> unit
+  (** Runs the scheduling loop on the calling worker until the predicate
+      holds or the pool stops — the work-first helping loop used by
+      blocking joins.  Must be called on a worker of this pool. *)
+
+  val self : unit -> ctx * P.wstate
+  (** The worker currently running on this domain.
+      @raise Failure when not on a pool worker. *)
+
+  val self_opt : unit -> (ctx * P.wstate) option
+
+  val pool : t -> P.pool
+  val timer : t -> Timer.t
+  val workers : t -> int
+  val set_tracer : t -> Tracing.t -> unit
+  val register_poller : t -> (unit -> int) -> unit
+  val stats : t -> stats
+end

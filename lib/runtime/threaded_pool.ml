@@ -5,6 +5,8 @@ type t = {
   mutable live : int;
   mutable spawned : int;
   mutable peak : int;
+  trace_mu : Mutex.t;  (* Tracing buffers are single-writer; serialize *)
+  mutable tracer : Tracing.t option;
 }
 
 let create ?(max_threads = 512) () =
@@ -16,7 +18,21 @@ let create ?(max_threads = 512) () =
     live = 0;
     spawned = 0;
     peak = 0;
+    trace_mu = Mutex.create ();
+    tracer = None;
   }
+
+let set_tracer t tracer = t.tracer <- Some tracer
+
+(* All events land in worker slot 0: there is no stable worker identity in
+   a thread-per-task pool. *)
+let emit t kind ~start_us ~dur_us =
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+      Mutex.lock t.trace_mu;
+      Tracing.record tr ~worker:0 kind ~start_us ~dur_us;
+      Mutex.unlock t.trace_mu
 
 let run _t f = f ()
 
@@ -31,7 +47,12 @@ let async t f =
   if t.live > t.peak then t.peak <- t.live;
   Mutex.unlock t.mu;
   let body () =
-    Promise.fulfill p (try Ok (f ()) with e -> Error e);
+    (match t.tracer with
+    | None -> Promise.fulfill p (try Ok (f ()) with e -> Error e)
+    | Some _ ->
+        let start_us = Tracing.now_us () in
+        Promise.fulfill p (try Ok (f ()) with e -> Error e);
+        emit t Tracing.Task_run ~start_us ~dur_us:(Tracing.now_us () -. start_us));
     Mutex.lock t.mu;
     t.live <- t.live - 1;
     Condition.broadcast t.retired;
@@ -79,7 +100,15 @@ let fork2 t f g =
   let fv = f () in
   (fv, await t pg)
 
-let sleep _t seconds = if seconds > 0. then Unix.sleepf seconds
+let sleep t seconds =
+  if seconds > 0. then begin
+    match t.tracer with
+    | None -> Unix.sleepf seconds
+    | Some _ ->
+        let start_us = Tracing.now_us () in
+        Unix.sleepf seconds;
+        emit t Tracing.Blocked ~start_us ~dur_us:(Tracing.now_us () -. start_us)
+  end
 
 let default_grain lo hi = max 1 ((hi - lo + 63) / 64)
 
@@ -127,3 +156,15 @@ let peak_threads t =
   let n = t.peak in
   Mutex.unlock t.mu;
   n
+
+type stats = Scheduler_core.stats = {
+  steals : int;
+  deques_allocated : int;
+  suspensions : int;
+  resumes : int;
+  max_deques_per_worker : int;
+}
+
+(* No deques, no steals, no suspensions: every counter is degenerate. *)
+let stats _t =
+  { steals = 0; deques_allocated = 0; suspensions = 0; resumes = 0; max_deques_per_worker = 0 }

@@ -23,6 +23,11 @@ val shutdown : t -> unit
 
 val with_pool : ?max_threads:int -> (t -> 'a) -> 'a
 
+val set_tracer : t -> Tracing.t -> unit
+(** Records task runs and blocking sleeps into the tracer from now on.
+    All events land in worker slot 0 (threads have no stable worker
+    identity), serialized by a mutex. *)
+
 val async : t -> (unit -> 'a) -> 'a Promise.t
 (** Spawns a thread for the task (blocking while at [max_threads]). *)
 
@@ -53,3 +58,17 @@ val threads_spawned : t -> int
 
 val peak_threads : t -> int
 (** Maximum simultaneously live threads. *)
+
+(** The unified stats record shared by every pool; a thread-per-task pool
+    has no deques, steals or suspensions, so every counter is zero.  Use
+    {!threads_spawned} / {!peak_threads} for this pool's real costs. *)
+
+type stats = Scheduler_core.stats = {
+  steals : int;
+  deques_allocated : int;
+  suspensions : int;
+  resumes : int;
+  max_deques_per_worker : int;
+}
+
+val stats : t -> stats

@@ -1,111 +1,81 @@
 module Chase_lev = Lhws_deque.Chase_lev
+module Core = Scheduler_core
 
-type worker = {
-  wid : int;
-  q : (unit -> unit) Chase_lev.t;
-  rng : Random.State.t;
-  mutable steals : int;
-}
+type wrec = { ctx : Core.ctx; q : (unit -> unit) Chase_lev.t }
+type pstate = { slots : wrec array }
 
-type t = {
-  workers : worker array;
-  stop : bool Atomic.t;
-  mutable domains : unit Domain.t array;
-  mutable running : bool;
-}
-
-let current_worker : worker option ref Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ref None)
-
-let self () =
-  match !(Domain.DLS.get current_worker) with
-  | Some w -> w
-  | None -> failwith "Ws_pool: not running on a pool worker"
-
-let try_steal t w =
-  let p = Array.length t.workers in
-  if p = 1 then None
+let try_steal p w =
+  let n = Array.length p.slots in
+  if n = 1 then None
   else begin
-    let k = Random.State.int w.rng (p - 1) in
-    let vid = if k >= w.wid then k + 1 else k in
-    match Chase_lev.steal t.workers.(vid).q with
+    let k = Random.State.int w.ctx.rng (n - 1) in
+    let vid = if k >= w.ctx.wid then k + 1 else k in
+    match Chase_lev.steal p.slots.(vid).q with
     | Some task ->
-        w.steals <- w.steals + 1;
+        w.ctx.counters.steals <- w.ctx.counters.steals + 1;
+        Core.mark w.ctx Tracing.Steal;
         Some task
     | None -> None
   end
 
-let next_task t w =
-  match Chase_lev.pop_bottom w.q with Some task -> Some task | None -> try_steal t w
+(* --- the policy: one deque per worker, tasks run to completion --- *)
 
-let backoff_us = 50
+module Policy = struct
+  let label = "Ws_pool"
+  let rng_salt = 0xB10C
 
-(* Run tasks until [until ()] holds; used both as the top-level worker loop
-   and as the helping loop inside [await]. *)
-let help_until t w ~until =
-  let rec loop idle_spins =
-    if Atomic.get t.stop || until () then ()
-    else
-      match next_task t w with
-      | Some task ->
-          task ();
-          loop 0
-      | None ->
-          if idle_spins > 16 then Unix.sleepf (float_of_int backoff_us /. 1e6)
-          else Domain.cpu_relax ();
-          loop (idle_spins + 1)
-  in
-  loop 0
+  type config = unit
 
-let worker_loop t w ~until =
-  let dls = Domain.DLS.get current_worker in
-  let saved = !dls in
-  dls := Some w;
-  Fun.protect ~finally:(fun () -> dls := saved) (fun () -> help_until t w ~until)
+  let default_config = ()
 
-let create ?(workers = 2) () =
-  if workers < 1 then invalid_arg "Ws_pool.create: workers must be >= 1";
-  let t =
+  type task = unit -> unit
+  type pool = pstate
+  type wstate = wrec
+
+  let make_pool () ~ctxs ~self_wid:_ =
     {
-      workers =
-        Array.init workers (fun wid ->
-            {
-              wid;
-              q = Chase_lev.create ();
-              rng = Random.State.make [| 0xB10C; wid |];
-              steals = 0;
-            });
-      stop = Atomic.make false;
-      domains = [||];
-      running = false;
+      slots =
+        Array.map
+          (fun (ctx : Core.ctx) ->
+            ctx.counters.max_owned <- 1;
+            { ctx; q = Chase_lev.create () })
+          ctxs;
     }
-  in
-  t.domains <-
-    Array.init (workers - 1) (fun i ->
-        Domain.spawn (fun () -> worker_loop t t.workers.(i + 1) ~until:(fun () -> false)));
-  t
 
-let shutdown t =
-  Atomic.set t.stop true;
-  Array.iter Domain.join t.domains;
-  t.domains <- [||]
+  let worker p i = p.slots.(i)
+  let drain _ _ = ()
 
-let with_pool ?workers f =
-  let t = create ?workers () in
-  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+  let next p w =
+    match Chase_lev.pop_bottom w.q with Some task -> Some task | None -> try_steal p w
+
+  let exec _ _ task = task ()
+  let inject _ w thunk = Chase_lev.push_bottom w.q thunk
+  let deques_allocated p = Array.length p.slots
+end
+
+module C = Core.Make (Policy)
+
+type t = C.t
+
+let create ?workers () = C.create ?workers ()
+let run = C.run
+let shutdown = C.shutdown
+
+let with_pool ?workers f = C.with_pool ?workers f
+
+let set_tracer = C.set_tracer
+let register_poller = C.register_poller
 
 let async _t f =
   let p = Promise.create () in
-  let w = self () in
+  let _, w = C.self () in
   Chase_lev.push_bottom w.q (fun () -> Promise.fulfill p (try Ok (f ()) with e -> Error e));
   p
 
 let await t p =
   (match Promise.poll p with
   | Some _ -> ()
-  | None ->
-      let w = self () in
-      help_until t w ~until:(fun () -> Promise.is_resolved p));
+  | None -> C.help t ~until:(fun () -> Promise.is_resolved p));
   match Promise.poll p with
   | Some (Ok v) -> v
   | Some (Error e) -> raise e
@@ -119,7 +89,15 @@ let fork2 t f g =
   let gv = await t pg in
   (fv, gv)
 
-let sleep _t seconds = if seconds > 0. then Unix.sleepf seconds
+let sleep _t seconds =
+  if seconds > 0. then begin
+    match C.self_opt () with
+    | Some (ctx, _) when ctx.tracing () ->
+        let start_us = Tracing.now_us () in
+        Unix.sleepf seconds;
+        ctx.emit Tracing.Blocked ~start_us ~dur_us:(Tracing.now_us () -. start_us)
+    | _ -> Unix.sleepf seconds
+  end
 
 let rec parallel_for t ~lo ~hi body =
   let n = hi - lo in
@@ -145,19 +123,12 @@ let rec parallel_map_reduce t ~lo ~hi ~map ~combine ~id =
     in
     combine a b
 
-let run t f =
-  if t.running then invalid_arg "Ws_pool.run: already running";
-  t.running <- true;
-  Fun.protect
-    ~finally:(fun () -> t.running <- false)
-    (fun () ->
-      let w0 = t.workers.(0) in
-      let p = Promise.create () in
-      Chase_lev.push_bottom w0.q (fun () -> Promise.fulfill p (try Ok (f ()) with e -> Error e));
-      worker_loop t w0 ~until:(fun () -> Promise.is_resolved p);
-      Promise.get_exn p)
+type stats = Scheduler_core.stats = {
+  steals : int;
+  deques_allocated : int;
+  suspensions : int;
+  resumes : int;
+  max_deques_per_worker : int;
+}
 
-type stats = { steals : int }
-
-let stats t =
-  { steals = Array.fold_left (fun acc (w : worker) -> acc + w.steals) 0 t.workers }
+let stats = C.stats

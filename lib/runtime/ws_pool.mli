@@ -1,6 +1,7 @@
 (** Standard (non-latency-hiding) work-stealing pool: the baseline.
 
-    One Chase–Lev deque per worker; tasks run to completion.  A
+    A single-deque policy over the shared {!Scheduler_core} engine: one
+    Chase–Lev deque per worker; tasks run to completion.  A
     latency-incurring operation ({!sleep}) blocks the whole worker domain
     — the semantics the paper's evaluation compares against.  Joining an
     unresolved promise does not suspend (there are no suspendable fibers
@@ -17,6 +18,16 @@ val run : t -> (unit -> 'a) -> 'a
 val shutdown : t -> unit
 val with_pool : ?workers:int -> (t -> 'a) -> 'a
 
+val set_tracer : t -> Tracing.t -> unit
+(** Records worker events (task runs, steals, blocking sleeps) into the
+    tracer from now on; see {!Tracing.to_chrome_json}.  Set before
+    {!run}; adds two clock reads per task. *)
+
+val register_poller : t -> (unit -> int) -> unit
+(** Adds an event source that workers poll once per scheduling iteration.
+    The callback returns how many events it fired.  Register before
+    {!run}; not thread-safe against concurrent registration. *)
+
 val async : t -> (unit -> 'a) -> 'a Promise.t
 (** Spawns a task onto the current worker's deque. *)
 
@@ -28,13 +39,26 @@ val fork2 : t -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
 
 val sleep : t -> float -> unit
 (** Blocks the calling worker domain with [Unix.sleepf]: latency is {e not}
-    hidden. *)
+    hidden.  Emits a {!Tracing.Blocked} event when a tracer is attached. *)
 
 val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
 
 val parallel_map_reduce :
   t -> lo:int -> hi:int -> map:(int -> 'a) -> combine:('a -> 'a -> 'a) -> id:'a -> 'a
 
-type stats = { steals : int }
+(** {2 Introspection}
+
+    The unified stats record shared by every pool; the single-deque
+    baseline reports degenerate values for the multi-deque counters
+    ([deques_allocated] = worker count, [max_deques_per_worker] = 1,
+    [suspensions] = [resumes] = 0). *)
+
+type stats = Scheduler_core.stats = {
+  steals : int;
+  deques_allocated : int;
+  suspensions : int;
+  resumes : int;
+  max_deques_per_worker : int;
+}
 
 val stats : t -> stats

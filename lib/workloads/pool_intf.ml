@@ -5,12 +5,17 @@ module type POOL = sig
   val create : ?workers:int -> unit -> t
   val shutdown : t -> unit
   val run : t -> (unit -> 'a) -> 'a
+  val async : t -> (unit -> 'a) -> 'a Lhws_runtime.Promise.t
+  val await : t -> 'a Lhws_runtime.Promise.t -> 'a
   val fork2 : t -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
   val sleep : t -> float -> unit
   val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
 
   val parallel_map_reduce :
     t -> lo:int -> hi:int -> map:(int -> 'a) -> combine:('a -> 'a -> 'a) -> id:'a -> 'a
+
+  val stats : t -> Lhws_runtime.Scheduler_core.stats
+  val set_tracer : t -> Lhws_runtime.Tracing.t -> unit
 end
 
 type pool = (module POOL)
@@ -21,6 +26,9 @@ module Lhws_instance = struct
   (* Re-pin optional arguments to the POOL signature. *)
   let create ?workers () = create ?workers ()
   let name = "lhws"
+
+  (* Lhws_pool's await suspends the fiber and needs no pool handle. *)
+  let await _t p = await p
 end
 
 module Ws_instance = struct
@@ -29,10 +37,28 @@ module Ws_instance = struct
   let name = "ws"
 end
 
+module Threaded_instance = struct
+  include Lhws_runtime.Threaded_pool
+
+  (* [workers] bounds concurrency only loosely here: threads are created
+     per task, so keep the default generous cap and validate the arity. *)
+  let create ?(workers = 2) () =
+    if workers < 1 then invalid_arg "Threaded_pool.create: workers must be >= 1";
+    create ()
+
+  let parallel_for t ~lo ~hi body = parallel_for t ?grain:None ~lo ~hi body
+
+  let parallel_map_reduce t ~lo ~hi ~map ~combine ~id =
+    parallel_map_reduce t ?grain:None ~lo ~hi ~map ~combine ~id
+  let name = "threads"
+end
+
 let lhws : pool = (module Lhws_instance)
 let ws : pool = (module Ws_instance)
+let threads : pool = (module Threaded_instance)
 
 let by_name = function
   | "lhws" -> lhws
   | "ws" -> ws
-  | s -> invalid_arg (Printf.sprintf "Pool_intf.by_name: unknown pool %S (want lhws|ws)" s)
+  | "threads" -> threads
+  | s -> invalid_arg (Printf.sprintf "Pool_intf.by_name: unknown pool %S (want lhws|ws|threads)" s)

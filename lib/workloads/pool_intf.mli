@@ -1,5 +1,12 @@
 (** First-class pool interface: workloads are written once against [POOL]
-    and run on either the latency-hiding pool or the blocking baseline. *)
+    and run on the latency-hiding pool, the blocking baseline, or the
+    thread-per-task pool.
+
+    Every operation takes the pool handle, including [await] (the
+    baseline's helping join needs it to find other work); the
+    latency-hiding instance simply ignores it there.  [stats] returns the
+    unified {!Lhws_runtime.Scheduler_core.stats} record from every pool,
+    with degenerate values where a counter does not apply. *)
 
 module type POOL = sig
   type t
@@ -8,15 +15,36 @@ module type POOL = sig
   val create : ?workers:int -> unit -> t
   val shutdown : t -> unit
   val run : t -> (unit -> 'a) -> 'a
+
+  val async : t -> (unit -> 'a) -> 'a Lhws_runtime.Promise.t
+  (** Spawns a task; must be called from within {!run} (from any thread
+      for the thread-per-task pool). *)
+
+  val await : t -> 'a Lhws_runtime.Promise.t -> 'a
+  (** Joins the promise: suspends the fiber (lhws), helps with other work
+      (ws), or blocks the thread (threads).  Re-raises the task's
+      exception. *)
+
   val fork2 : t -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
   val sleep : t -> float -> unit
   val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
 
   val parallel_map_reduce :
     t -> lo:int -> hi:int -> map:(int -> 'a) -> combine:('a -> 'a -> 'a) -> id:'a -> 'a
+
+  val stats : t -> Lhws_runtime.Scheduler_core.stats
+  val set_tracer : t -> Lhws_runtime.Tracing.t -> unit
 end
 
 type pool = (module POOL)
+
+(** The instances are exposed with their concrete pool types so callers
+    can mix POOL-generic code with pool-specific setup (e.g. registering
+    an I/O poller on an {!Lhws_instance}-created pool). *)
+
+module Lhws_instance : POOL with type t = Lhws_runtime.Lhws_pool.t
+module Ws_instance : POOL with type t = Lhws_runtime.Ws_pool.t
+module Threaded_instance : POOL with type t = Lhws_runtime.Threaded_pool.t
 
 val lhws : pool
 (** {!Lhws_runtime.Lhws_pool}: suspending fibers, latency hidden. *)
@@ -24,5 +52,9 @@ val lhws : pool
 val ws : pool
 (** {!Lhws_runtime.Ws_pool}: blocking sleeps, latency not hidden. *)
 
+val threads : pool
+(** {!Lhws_runtime.Threaded_pool}: a thread per task, latency hidden by
+    oversubscription. *)
+
 val by_name : string -> pool
-(** ["lhws"] or ["ws"].  @raise Invalid_argument otherwise. *)
+(** ["lhws"], ["ws"] or ["threads"].  @raise Invalid_argument otherwise. *)

@@ -1,66 +1,10 @@
+(* Latency-hiding-specific behaviour: suspension, deque recycling,
+   pollers, steal policies and shutdown paths.  The policy-independent
+   contract (run/fork/await/parallel_for/stats/tracing) is covered for
+   every pool by test_pool_conformance.ml. *)
+
 open Lhws_runtime
 module Pool = Lhws_pool
-
-let test_run_returns () =
-  Pool.with_pool ~workers:1 (fun p ->
-      Alcotest.(check int) "value" 7 (Pool.run p (fun () -> 7)))
-
-let test_run_reusable () =
-  Pool.with_pool ~workers:2 (fun p ->
-      Alcotest.(check int) "first" 1 (Pool.run p (fun () -> 1));
-      Alcotest.(check int) "second" 2 (Pool.run p (fun () -> 2)))
-
-let test_run_exception () =
-  Pool.with_pool ~workers:1 (fun p ->
-      Alcotest.check_raises "raises" (Failure "root") (fun () ->
-          Pool.run p (fun () -> failwith "root")))
-
-let test_fork2 () =
-  Pool.with_pool ~workers:2 (fun p ->
-      let a, b = Pool.run p (fun () -> Pool.fork2 p (fun () -> 10) (fun () -> 20)) in
-      Alcotest.(check (pair int int)) "results" (10, 20) (a, b))
-
-let test_async_await () =
-  Pool.with_pool ~workers:2 (fun p ->
-      let v =
-        Pool.run p (fun () ->
-            let pr = Pool.async p (fun () -> 5 * 5) in
-            Pool.await pr)
-      in
-      Alcotest.(check int) "await" 25 v)
-
-let test_await_exception () =
-  Pool.with_pool ~workers:2 (fun p ->
-      Alcotest.check_raises "child exn" (Failure "child") (fun () ->
-          Pool.run p (fun () -> Pool.await (Pool.async p (fun () -> failwith "child")))))
-
-let test_nested_fib () =
-  Pool.with_pool ~workers:2 (fun p ->
-      let rec fib n =
-        if n < 2 then n
-        else
-          let a, b = Pool.fork2 p (fun () -> fib (n - 1)) (fun () -> fib (n - 2)) in
-          a + b
-      in
-      Alcotest.(check int) "fib 16" 987 (Pool.run p (fun () -> fib 16)))
-
-let test_parallel_for_covers_range () =
-  Pool.with_pool ~workers:3 (fun p ->
-      let n = 500 in
-      let hits = Array.init n (fun _ -> Atomic.make 0) in
-      Pool.run p (fun () ->
-          Pool.parallel_for p ~lo:0 ~hi:n (fun i -> Atomic.incr hits.(i)));
-      Array.iteri
-        (fun i h -> Alcotest.(check int) (Printf.sprintf "index %d once" i) 1 (Atomic.get h))
-        hits)
-
-let test_parallel_map_reduce () =
-  Pool.with_pool ~workers:2 (fun p ->
-      let sum =
-        Pool.run p (fun () ->
-            Pool.parallel_map_reduce p ~lo:1 ~hi:101 ~map:Fun.id ~combine:( + ) ~id:0)
-      in
-      Alcotest.(check int) "gauss" 5050 sum)
 
 let test_sleep_duration () =
   Pool.with_pool ~workers:1 (fun p ->
@@ -220,11 +164,6 @@ let test_worker_steal_policy () =
       in
       Alcotest.(check int) "fib under worker steals" 987 (Pool.run p (fun () -> fib 16)))
 
-let test_invalid_workers () =
-  match Pool.create ~workers:0 () with
-  | _ -> Alcotest.fail "expected Invalid_argument"
-  | exception Invalid_argument _ -> ()
-
 (* --- shutdown paths --- *)
 
 let test_shutdown_after_root_exception () =
@@ -274,20 +213,7 @@ let test_shutdown_timely () =
 let () =
   Alcotest.run "lhws_pool"
     [
-      ( "basics",
-        [
-          Alcotest.test_case "run returns" `Quick test_run_returns;
-          Alcotest.test_case "run reusable" `Quick test_run_reusable;
-          Alcotest.test_case "run exception" `Quick test_run_exception;
-          Alcotest.test_case "fork2" `Quick test_fork2;
-          Alcotest.test_case "async/await" `Quick test_async_await;
-          Alcotest.test_case "await exception" `Quick test_await_exception;
-          Alcotest.test_case "nested fib" `Quick test_nested_fib;
-          Alcotest.test_case "parallel_for coverage" `Quick test_parallel_for_covers_range;
-          Alcotest.test_case "map_reduce" `Quick test_parallel_map_reduce;
-          Alcotest.test_case "worker steal policy" `Quick test_worker_steal_policy;
-          Alcotest.test_case "invalid workers" `Quick test_invalid_workers;
-        ] );
+      ("basics", [ Alcotest.test_case "worker steal policy" `Quick test_worker_steal_policy ]);
       ( "latency",
         [
           Alcotest.test_case "sleep duration" `Quick test_sleep_duration;

@@ -1,0 +1,154 @@
+(* Policy-conformance suite: one functor over the extended POOL
+   signature, run against every pool instance.  Anything here must hold
+   for the latency-hiding pool, the blocking baseline and the
+   thread-per-task pool alike, with no pool-specific branching —
+   pool-specific behaviour (latency hiding, blocking sleeps, shutdown
+   paths) stays in the per-pool test files. *)
+
+open Lhws_runtime
+module Pool_intf = Lhws_workloads.Pool_intf
+
+module Conformance (Pool : Pool_intf.POOL) = struct
+  let with_pool ?(workers = 2) f =
+    let p = Pool.create ~workers () in
+    Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+  let test_run_returns () =
+    with_pool ~workers:1 (fun p -> Alcotest.(check int) "value" 7 (Pool.run p (fun () -> 7)))
+
+  let test_run_reusable () =
+    with_pool (fun p ->
+        Alcotest.(check int) "first" 1 (Pool.run p (fun () -> 1));
+        Alcotest.(check int) "second" 2 (Pool.run p (fun () -> 2)))
+
+  let test_run_exception () =
+    with_pool ~workers:1 (fun p ->
+        Alcotest.check_raises "raises" (Failure "root") (fun () ->
+            Pool.run p (fun () -> failwith "root")))
+
+  let test_fork2 () =
+    with_pool (fun p ->
+        let a, b = Pool.run p (fun () -> Pool.fork2 p (fun () -> 10) (fun () -> 20)) in
+        Alcotest.(check (pair int int)) "results" (10, 20) (a, b))
+
+  let test_async_await () =
+    with_pool (fun p ->
+        let v =
+          Pool.run p (fun () ->
+              let pr = Pool.async p (fun () -> 5 * 5) in
+              Pool.await p pr)
+        in
+        Alcotest.(check int) "await" 25 v)
+
+  let test_await_exception () =
+    with_pool (fun p ->
+        Alcotest.check_raises "child exn" (Failure "child") (fun () ->
+            Pool.run p (fun () -> Pool.await p (Pool.async p (fun () -> failwith "child")))))
+
+  let test_nested_fib () =
+    with_pool (fun p ->
+        let rec fib n =
+          if n < 2 then n
+          else
+            let a, b = Pool.fork2 p (fun () -> fib (n - 1)) (fun () -> fib (n - 2)) in
+            a + b
+        in
+        Alcotest.(check int) "fib 16" 987 (Pool.run p (fun () -> fib 16)))
+
+  let test_parallel_for_covers_range () =
+    with_pool ~workers:3 (fun p ->
+        let n = 300 in
+        let hits = Array.init n (fun _ -> Atomic.make 0) in
+        Pool.run p (fun () -> Pool.parallel_for p ~lo:0 ~hi:n (fun i -> Atomic.incr hits.(i)));
+        Array.iteri
+          (fun i h -> Alcotest.(check int) (Printf.sprintf "index %d once" i) 1 (Atomic.get h))
+          hits)
+
+  let test_parallel_map_reduce () =
+    with_pool (fun p ->
+        let sum =
+          Pool.run p (fun () ->
+              Pool.parallel_map_reduce p ~lo:1 ~hi:101 ~map:Fun.id ~combine:( + ) ~id:0)
+        in
+        Alcotest.(check int) "gauss" 5050 sum)
+
+  let test_sleep_at_least () =
+    (* Every pool must wait out a sleep; whether the worker blocks or
+       switches meanwhile is pool-specific and tested elsewhere. *)
+    with_pool ~workers:1 (fun p ->
+        let d = 0.02 in
+        let t0 = Unix.gettimeofday () in
+        Pool.run p (fun () -> Pool.sleep p d);
+        let dt = Unix.gettimeofday () -. t0 in
+        Alcotest.(check bool) (Printf.sprintf "slept %.3fs >= %.3fs" dt d) true (dt >= d *. 0.9);
+        Alcotest.(check unit) "sleep 0 is a no-op" () (Pool.run p (fun () -> Pool.sleep p 0.)))
+
+  let burn_some p =
+    ignore
+      (Pool.run p (fun () ->
+           Pool.parallel_map_reduce p ~lo:0 ~hi:64
+             ~map:(fun i ->
+               let rec burn k acc = if k = 0 then acc else burn (k - 1) (acc + i) in
+               burn 500 0)
+             ~combine:( + ) ~id:0))
+
+  let test_stats_monotone () =
+    with_pool (fun p ->
+        burn_some p;
+        let a = Pool.stats p in
+        let nonneg (s : Scheduler_core.stats) =
+          s.steals >= 0 && s.deques_allocated >= 0 && s.suspensions >= 0 && s.resumes >= 0
+          && s.max_deques_per_worker >= 0
+        in
+        Alcotest.(check bool) "counters non-negative" true (nonneg a);
+        burn_some p;
+        let b = Pool.stats p in
+        Alcotest.(check bool) "counters never decrease" true
+          (b.steals >= a.steals
+          && b.deques_allocated >= a.deques_allocated
+          && b.suspensions >= a.suspensions && b.resumes >= a.resumes
+          && b.max_deques_per_worker >= a.max_deques_per_worker))
+
+  let test_invalid_workers () =
+    match Pool.create ~workers:0 () with
+    | _ -> Alcotest.fail "expected Invalid_argument"
+    | exception Invalid_argument _ -> ()
+
+  let test_tracer_smoke () =
+    with_pool (fun p ->
+        let tr = Tracing.create ~workers:2 () in
+        Pool.set_tracer p tr;
+        burn_some p;
+        Alcotest.(check bool) "events recorded" true (Tracing.events tr <> []);
+        Alcotest.(check int) "none dropped" 0 (Tracing.dropped tr);
+        List.iter
+          (fun (e : Tracing.event) ->
+            if e.Tracing.worker < 0 || e.Tracing.worker >= 2 then
+              Alcotest.failf "event on worker %d" e.Tracing.worker)
+          (Tracing.events tr))
+
+  let suite =
+    [
+      Alcotest.test_case "run returns" `Quick test_run_returns;
+      Alcotest.test_case "run reusable" `Quick test_run_reusable;
+      Alcotest.test_case "run exception" `Quick test_run_exception;
+      Alcotest.test_case "fork2" `Quick test_fork2;
+      Alcotest.test_case "async/await" `Quick test_async_await;
+      Alcotest.test_case "await exception" `Quick test_await_exception;
+      Alcotest.test_case "nested fib" `Quick test_nested_fib;
+      Alcotest.test_case "parallel_for coverage" `Quick test_parallel_for_covers_range;
+      Alcotest.test_case "map_reduce" `Quick test_parallel_map_reduce;
+      Alcotest.test_case "sleep at least" `Quick test_sleep_at_least;
+      Alcotest.test_case "stats monotone" `Quick test_stats_monotone;
+      Alcotest.test_case "invalid workers" `Quick test_invalid_workers;
+      Alcotest.test_case "tracer smoke" `Quick test_tracer_smoke;
+    ]
+end
+
+module Lhws = Conformance (Pool_intf.Lhws_instance)
+module Ws = Conformance (Pool_intf.Ws_instance)
+module Threads = Conformance (Pool_intf.Threaded_instance)
+
+let () =
+  Alcotest.run "pool_conformance"
+    [ ("lhws", Lhws.suite); ("ws", Ws.suite); ("threads", Threads.suite) ]

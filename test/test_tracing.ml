@@ -41,9 +41,9 @@ let test_chrome_json_shape () =
 let test_kind_names_distinct () =
   let names =
     List.map Tracing.kind_name
-      [ Tracing.Task_run; Tracing.Suspend; Tracing.Resume_batch; Tracing.Steal ]
+      [ Tracing.Task_run; Tracing.Suspend; Tracing.Resume_batch; Tracing.Steal; Tracing.Blocked ]
   in
-  Alcotest.(check int) "distinct" 4 (List.length (List.sort_uniq compare names))
+  Alcotest.(check int) "distinct" 5 (List.length (List.sort_uniq compare names))
 
 let test_pool_integration () =
   Pool.with_pool ~workers:2 (fun p ->

@@ -1,56 +1,9 @@
+(* Baseline-specific behaviour only: blocking sleeps and the shared-core
+   shutdown discipline.  Everything a pool must satisfy regardless of
+   policy lives in test_pool_conformance.ml. *)
+
 open Lhws_runtime
 module Pool = Ws_pool
-
-let test_run_returns () =
-  Pool.with_pool ~workers:1 (fun p ->
-      Alcotest.(check int) "value" 7 (Pool.run p (fun () -> 7)))
-
-let test_run_reusable () =
-  Pool.with_pool ~workers:2 (fun p ->
-      Alcotest.(check int) "first" 1 (Pool.run p (fun () -> 1));
-      Alcotest.(check int) "second" 2 (Pool.run p (fun () -> 2)))
-
-let test_run_exception () =
-  Pool.with_pool ~workers:1 (fun p ->
-      Alcotest.check_raises "raises" (Failure "root") (fun () ->
-          Pool.run p (fun () -> failwith "root")))
-
-let test_fork2 () =
-  Pool.with_pool ~workers:2 (fun p ->
-      let a, b = Pool.run p (fun () -> Pool.fork2 p (fun () -> 10) (fun () -> 20)) in
-      Alcotest.(check (pair int int)) "results" (10, 20) (a, b))
-
-let test_await_exception () =
-  Pool.with_pool ~workers:2 (fun p ->
-      Alcotest.check_raises "child exn" (Failure "child") (fun () ->
-          Pool.run p (fun () -> Pool.await p (Pool.async p (fun () -> failwith "child")))))
-
-let test_nested_fib () =
-  Pool.with_pool ~workers:2 (fun p ->
-      let rec fib n =
-        if n < 2 then n
-        else
-          let a, b = Pool.fork2 p (fun () -> fib (n - 1)) (fun () -> fib (n - 2)) in
-          a + b
-      in
-      Alcotest.(check int) "fib 16" 987 (Pool.run p (fun () -> fib 16)))
-
-let test_parallel_for_covers_range () =
-  Pool.with_pool ~workers:3 (fun p ->
-      let n = 300 in
-      let hits = Array.init n (fun _ -> Atomic.make 0) in
-      Pool.run p (fun () -> Pool.parallel_for p ~lo:0 ~hi:n (fun i -> Atomic.incr hits.(i)));
-      Array.iteri
-        (fun i h -> Alcotest.(check int) (Printf.sprintf "index %d once" i) 1 (Atomic.get h))
-        hits)
-
-let test_parallel_map_reduce () =
-  Pool.with_pool ~workers:2 (fun p ->
-      let sum =
-        Pool.run p (fun () ->
-            Pool.parallel_map_reduce p ~lo:1 ~hi:101 ~map:Fun.id ~combine:( + ) ~id:0)
-      in
-      Alcotest.(check int) "gauss" 5050 sum)
 
 let test_sleep_blocks () =
   (* The baseline semantics: k sleeps of d seconds on one worker take
@@ -67,41 +20,62 @@ let test_sleep_blocks () =
 
 let test_steals_counted () =
   Pool.with_pool ~workers:2 (fun p ->
-      let _ =
+      let v =
         Pool.run p (fun () ->
-            Pool.parallel_map_reduce p ~lo:0 ~hi:200
-              ~map:(fun i ->
-                (* enough per-task work that the second worker joins in *)
-                let rec burn k acc = if k = 0 then acc else burn (k - 1) (acc + i) in
-                burn 2000 0)
-              ~combine:( + ) ~id:0)
+            let pr = Pool.async p (fun () -> 42) in
+            (* Block this worker well past the idle backoff: the only way
+               the async task can run is a steal by the other worker. *)
+            Pool.sleep p 0.2;
+            Pool.await p pr)
       in
+      Alcotest.(check int) "stolen task ran" 42 v;
       let st = Pool.stats p in
-      Alcotest.(check bool) "stats accessible" true (st.Pool.steals >= 0))
+      Alcotest.(check bool) "at least one steal" true (st.Pool.steals >= 1))
 
-let test_invalid_workers () =
-  match Pool.create ~workers:0 () with
-  | _ -> Alcotest.fail "expected Invalid_argument"
-  | exception Invalid_argument _ -> ()
+let test_degenerate_stats () =
+  (* The unified stats record: the single-deque baseline pins the
+     multi-deque counters at their degenerate values. *)
+  Pool.with_pool ~workers:3 (fun p ->
+      ignore (Pool.run p (fun () -> Pool.parallel_for p ~lo:0 ~hi:50 ignore));
+      let st = Pool.stats p in
+      Alcotest.(check int) "deques = workers" 3 st.Pool.deques_allocated;
+      Alcotest.(check int) "one deque per worker" 1 st.Pool.max_deques_per_worker;
+      Alcotest.(check int) "no suspensions" 0 st.Pool.suspensions;
+      Alcotest.(check int) "no resumes" 0 st.Pool.resumes)
+
+let test_blocked_event_traced () =
+  Pool.with_pool ~workers:1 (fun p ->
+      let tr = Tracing.create ~workers:1 () in
+      Pool.set_tracer p tr;
+      Pool.run p (fun () -> Pool.sleep p 0.01);
+      let blocked =
+        List.filter (fun (e : Tracing.event) -> e.Tracing.kind = Tracing.Blocked)
+          (Tracing.events tr)
+      in
+      match blocked with
+      | [] -> Alcotest.fail "no Blocked event recorded"
+      | e :: _ ->
+          Alcotest.(check bool)
+            (Printf.sprintf "duration %.0fus ~ sleep" e.Tracing.dur_us)
+            true
+            (e.Tracing.dur_us >= 9_000.))
+
+let test_run_after_shutdown_raises () =
+  let p = Pool.create ~workers:2 () in
+  Pool.shutdown p;
+  Alcotest.check_raises "run after shutdown"
+    (Invalid_argument "Ws_pool.run: pool is shut down") (fun () ->
+      ignore (Pool.run p (fun () -> 0)))
 
 let () =
   Alcotest.run "ws_pool"
     [
-      ( "basics",
-        [
-          Alcotest.test_case "run returns" `Quick test_run_returns;
-          Alcotest.test_case "run reusable" `Quick test_run_reusable;
-          Alcotest.test_case "run exception" `Quick test_run_exception;
-          Alcotest.test_case "fork2" `Quick test_fork2;
-          Alcotest.test_case "await exception" `Quick test_await_exception;
-          Alcotest.test_case "nested fib" `Quick test_nested_fib;
-          Alcotest.test_case "parallel_for coverage" `Quick test_parallel_for_covers_range;
-          Alcotest.test_case "map_reduce" `Quick test_parallel_map_reduce;
-          Alcotest.test_case "invalid workers" `Quick test_invalid_workers;
-        ] );
       ( "blocking",
         [
           Alcotest.test_case "sleep blocks" `Quick test_sleep_blocks;
           Alcotest.test_case "steals counted" `Quick test_steals_counted;
+          Alcotest.test_case "degenerate stats" `Quick test_degenerate_stats;
+          Alcotest.test_case "blocked event traced" `Quick test_blocked_event_traced;
+          Alcotest.test_case "run after shutdown raises" `Quick test_run_after_shutdown_raises;
         ] );
     ]

@@ -27,6 +27,7 @@ let () =
   B.Scenarios_ablation.register ();
   B.Scenarios_runtime.register ();
   B.Scenarios_micro.register ();
+  B.Scenarios_contention.register ();
   B.Registry.run_all profile;
   (try
      if not (Sys.file_exists "results") then Sys.mkdir "results" 0o755;

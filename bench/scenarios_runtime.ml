@@ -9,6 +9,7 @@ module R = Registry
 let stat_counters (stats : Lhws_runtime.Scheduler_core.stats) =
   [
     ("steals", stats.steals);
+    ("failed_steals", stats.failed_steals);
     ("deques_allocated", stats.deques_allocated);
     ("suspensions", stats.suspensions);
     ("resumes", stats.resumes);

@@ -8,7 +8,12 @@
 
     The buffer grows automatically; elements are never overwritten while a
     concurrent thief may still read them, relying on garbage collection for
-    reclamation (the classical GC-based variant of the algorithm). *)
+    reclamation (the classical GC-based variant of the algorithm).
+
+    Layout: slots are unboxed (a private sentinel marks empty slots, so
+    pushes allocate nothing), the owner caches a lower bound on [top] to
+    skip the atomic read on non-full pushes, and [top]/[bottom]/the buffer
+    pointer are padded onto separate cache lines. *)
 
 type 'a t
 

@@ -1,0 +1,28 @@
+(* OCaml 5.1 has no [Atomic.make_contended], so false sharing between hot
+   atomics is avoided the way Saturn/multicore-magic did before 5.2: copy
+   the freshly allocated block into one with trailing padding words, so
+   the payload of two padded blocks can never share a 64-byte cache line.
+   The extra fields are ordinary immediates ([Obj.new_block] initialises
+   scannable blocks with unit), so the GC is unaffected.
+
+   Only safe on blocks whose primitives address fields by index from the
+   front (records, atomics): the copy preserves every real field and the
+   padding is never read. *)
+
+(* 15 words = 120 bytes of padding on 64-bit, so payloads of consecutively
+   allocated padded blocks sit at least a full line apart. *)
+let padding_words = 15
+
+let copy_as_padded (o : 'a) : 'a =
+  let r = Obj.repr o in
+  if (not (Obj.is_block r)) || Obj.tag r >= Obj.no_scan_tag then o
+  else begin
+    let n = Obj.size r in
+    let padded = Obj.new_block (Obj.tag r) (n + padding_words) in
+    for i = 0 to n - 1 do
+      Obj.set_field padded i (Obj.field r i)
+    done;
+    Obj.magic padded
+  end
+
+let make_atomic v = copy_as_padded (Atomic.make v)

@@ -1,0 +1,13 @@
+(** Cache-line padding for hot heap blocks, pre-[Atomic.make_contended]
+    (OCaml < 5.2).  Used to keep a deque's [top], [bottom] and buffer
+    pointer — written by different domains — off each other's cache
+    lines. *)
+
+val copy_as_padded : 'a -> 'a
+(** A shallow copy of the block with enough trailing padding words that
+    its payload cannot share a cache line with the payload of another
+    padded block.  Immediates and unscannable blocks are returned as-is.
+    Call at construction time only (the copy is not atomic). *)
+
+val make_atomic : 'a -> 'a Atomic.t
+(** [Atomic.make] onto its own cache line. *)

@@ -1,16 +1,30 @@
 module Chase_lev = Lhws_deque.Chase_lev
+module Padding = Lhws_deque.Padding
 module Core = Scheduler_core
 
 (* Tasks are fresh fibers or captured continuations of suspended ones. *)
 type task = Fresh of (unit -> unit) | Resume of (unit, unit) Effect.Deep.continuation
+
+(* The resume and notification paths are multi-producer (any domain may
+   complete an I/O or timer and resume a fiber) single-consumer (only the
+   owning worker re-injects).  Both are Treiber-stack MPSC channels: a
+   producer conses with a CAS loop, the consumer drains everything with a
+   single atomic exchange — no mutex anywhere on the resume path.
+   [push] returns whether the channel was empty, so the first producer
+   after a drain knows to raise the one notification the owner needs. *)
+let rec mpsc_push chan x =
+  let old = Atomic.get chan in
+  if Atomic.compare_and_set chan old (x :: old) then old == [] else mpsc_push chan x
+
+(* Newest-first; callers [List.rev] to recover arrival order. *)
+let mpsc_drain chan = Atomic.exchange chan []
 
 type deque = {
   id : int;
   owner : int;
   q : task Chase_lev.t;
   suspend_ctr : int Atomic.t;
-  resumed_mu : Mutex.t;
-  mutable resumed : task list;  (* protected by resumed_mu; any domain appends *)
+  resumed : task list Atomic.t;  (* MPSC: any domain conses, owner drains *)
   freed : bool Atomic.t;
   mutable in_ready : bool;  (* owner only *)
 }
@@ -19,12 +33,12 @@ type wrec = {
   ctx : Core.ctx;
   mutable active : deque option;
   mutable ready : deque list;
-  notify_mu : Mutex.t;
-  mutable notified : deque list;  (* deques with fresh resumes; any domain appends *)
+  notified : deque list Atomic.t;  (* MPSC: deques with fresh resumes *)
   mutable empty : deque list;  (* freed deques for reuse; owner only *)
   mutable owned_live : int;
-  owned_mu : Mutex.t;
-  mutable owned : deque list;  (* live owned deques, for worker-targeted steals *)
+  owned_snap : deque array Atomic.t;
+      (* immutable snapshot of the live owned deques, republished by the
+         owner on alloc/free so thieves scan candidates without a lock *)
 }
 
 type steal_policy = Global_deque | Worker_then_deque
@@ -45,6 +59,19 @@ let self p = p.slots.(p.self_wid ())
 
 (* --- deque table --- *)
 
+(* Owner only: single-writer, so a plain [Atomic.set] publish suffices. *)
+let snap_add w d =
+  let old = Atomic.get w.owned_snap in
+  let n = Array.length old in
+  let next = Array.make (n + 1) d in
+  Array.blit old 0 next 0 n;
+  Atomic.set w.owned_snap next
+
+let snap_remove w d =
+  let old = Atomic.get w.owned_snap in
+  Atomic.set w.owned_snap
+    (Array.of_list (List.filter (fun d' -> d' != d) (Array.to_list old)))
+
 let alloc_deque p w =
   let d =
     match w.empty with
@@ -61,8 +88,7 @@ let alloc_deque p w =
             owner = w.ctx.wid;
             q = Chase_lev.create ();
             suspend_ctr = Atomic.make 0;
-            resumed_mu = Mutex.create ();
-            resumed = [];
+            resumed = Padding.make_atomic [];
             freed = Atomic.make false;
             in_ready = false;
           }
@@ -72,18 +98,14 @@ let alloc_deque p w =
   in
   w.owned_live <- w.owned_live + 1;
   if w.owned_live > w.ctx.counters.max_owned then w.ctx.counters.max_owned <- w.owned_live;
-  Mutex.lock w.owned_mu;
-  w.owned <- d :: w.owned;
-  Mutex.unlock w.owned_mu;
+  snap_add w d;
   d
 
 let free_deque w d =
   Atomic.set d.freed true;
   w.owned_live <- w.owned_live - 1;
   w.empty <- d :: w.empty;
-  Mutex.lock w.owned_mu;
-  w.owned <- List.filter (fun d' -> d' != d) w.owned;
-  Mutex.unlock w.owned_mu
+  snap_remove w d
 
 (* Remove a deque from the owner's recycle pool (revival after a resume
    raced with freeing).  Owner-only. *)
@@ -92,27 +114,16 @@ let unfree w d =
   w.empty <- List.filter (fun d' -> d' != d) w.empty;
   w.owned_live <- w.owned_live + 1;
   if w.owned_live > w.ctx.counters.max_owned then w.ctx.counters.max_owned <- w.owned_live;
-  Mutex.lock w.owned_mu;
-  w.owned <- d :: w.owned;
-  Mutex.unlock w.owned_mu
+  snap_add w d
 
-(* --- resume path: runs on any domain --- *)
+(* --- resume path: runs on any domain, lock- and allocation-light ---
+   One CAS-cons onto the deque's resume channel; the producer that found
+   it empty also conses one notification onto the owner's channel. *)
 
 let on_resume p d task =
-  let was_empty =
-    Mutex.lock d.resumed_mu;
-    let was = d.resumed = [] in
-    d.resumed <- task :: d.resumed;
-    Mutex.unlock d.resumed_mu;
-    was
-  in
+  let was_empty = mpsc_push d.resumed task in
   Atomic.decr d.suspend_ctr;
-  if was_empty then begin
-    let o = p.slots.(d.owner) in
-    Mutex.lock o.notify_mu;
-    o.notified <- d :: o.notified;
-    Mutex.unlock o.notify_mu
-  end
+  if was_empty then ignore (mpsc_push p.slots.(d.owner).notified d : bool)
 
 (* --- fiber execution --- *)
 
@@ -160,44 +171,36 @@ let rec pfor_exec p batch lo hi =
   end
 
 (* addResumedVertices: drain notifications, re-inject each deque's resumed
-   batch, move the deque to the ready set.  Owner only. *)
+   batch, move the deque to the ready set.  Owner only.  The empty check
+   first keeps the idle fast path to one atomic load (no exchange, which
+   is a store even when the channel is empty). *)
 let drain_resumed p w =
-  let notified =
-    Mutex.lock w.notify_mu;
-    let ds = w.notified in
-    w.notified <- [];
-    Mutex.unlock w.notify_mu;
-    ds
-  in
-  List.iter
-    (fun d ->
-      let batch =
-        Mutex.lock d.resumed_mu;
-        let b = d.resumed in
-        d.resumed <- [];
-        Mutex.unlock d.resumed_mu;
-        b
-      in
-      match batch with
-      | [] -> ()
-      | _ ->
-          Core.mark w.ctx Tracing.Resume_batch;
-          w.ctx.counters.resumes <- w.ctx.counters.resumes + List.length batch;
-          if Atomic.get d.freed then unfree w d;
-          let task =
-            match batch with
-            | [ single ] -> single
-            | _ ->
-                let arr = Array.of_list (List.rev batch) in
-                Fresh (fun () -> pfor_exec p arr 0 (Array.length arr))
-          in
-          Chase_lev.push_bottom d.q task;
-          let is_active = match w.active with Some a -> a == d | None -> false in
-          if (not is_active) && not d.in_ready then begin
-            d.in_ready <- true;
-            w.ready <- d :: w.ready
-          end)
-    (List.rev notified)
+  if Atomic.get w.notified != [] then begin
+    let notified = mpsc_drain w.notified in
+    List.iter
+      (fun d ->
+        let batch = mpsc_drain d.resumed in
+        match batch with
+        | [] -> ()
+        | _ ->
+            Core.mark w.ctx Tracing.Resume_batch;
+            w.ctx.counters.resumes <- w.ctx.counters.resumes + List.length batch;
+            if Atomic.get d.freed then unfree w d;
+            let task =
+              match batch with
+              | [ single ] -> single
+              | _ ->
+                  let arr = Array.of_list (List.rev batch) in
+                  Fresh (fun () -> pfor_exec p arr 0 (Array.length arr))
+            in
+            Chase_lev.push_bottom d.q task;
+            let is_active = match w.active with Some a -> a == d | None -> false in
+            if (not is_active) && not d.in_ready then begin
+              d.in_ready <- true;
+              w.ready <- d :: w.ready
+            end)
+      (List.rev notified)
+  end
 
 (* Retire an exhausted active deque: free it if nothing will come back. *)
 let retire_active w =
@@ -207,13 +210,15 @@ let retire_active w =
       w.active <- None;
       if Atomic.get d.suspend_ctr = 0 then begin
         (* A racing resume may still slip in; drain_resumed revives. *)
-        Mutex.lock d.resumed_mu;
-        let quiet = d.resumed = [] in
-        Mutex.unlock d.resumed_mu;
+        let quiet = Atomic.get d.resumed == [] in
         if quiet && Chase_lev.is_empty d.q then free_deque w d
       end
 
 let try_steal p w =
+  let fail () =
+    w.ctx.counters.failed_steals <- w.ctx.counters.failed_steals + 1;
+    None
+  in
   match p.steal_policy with
   | Global_deque -> (
       (* The analyzed policy: uniform over the global deque table. *)
@@ -221,22 +226,47 @@ let try_steal p w =
       if n = 0 then None
       else
         match p.gdeques.(Random.State.int w.ctx.rng n) with
-        | None -> None
-        | Some d -> if Atomic.get d.freed then None else Chase_lev.steal d.q)
-  | Worker_then_deque -> (
-      (* Section 6's implementation: pick a worker, then one of its deques
-         that currently has work — fewer failed steals, at the cost of a
-         brief lock on the victim's deque list. *)
-      let victim = p.slots.(Random.State.int w.ctx.rng (Array.length p.slots)) in
-      Mutex.lock victim.owned_mu;
-      let candidates = List.filter (fun d -> not (Chase_lev.is_empty d.q)) victim.owned in
-      let pick =
-        match candidates with
-        | [] -> None
-        | _ -> Some (List.nth candidates (Random.State.int w.ctx.rng (List.length candidates)))
-      in
-      Mutex.unlock victim.owned_mu;
-      match pick with None -> None | Some d -> Chase_lev.steal d.q)
+        | None -> fail ()
+        | Some d ->
+            if Atomic.get d.freed then fail ()
+            else (match Chase_lev.steal d.q with Some _ as got -> got | None -> fail ()))
+  | Worker_then_deque ->
+      (* Section 6's implementation: pick a victim worker — never self; a
+         "steal" from one's own deque is just a deque switch and would
+         corrupt the steal count — then a uniformly random one of its
+         currently non-empty deques, read from the victim's published
+         snapshot: no lock taken and no O(n) list walk under one. *)
+      let n = Array.length p.slots in
+      if n <= 1 then None
+      else begin
+        let k = Random.State.int w.ctx.rng (n - 1) in
+        let vid = if k >= w.ctx.wid then k + 1 else k in
+        let owned = Atomic.get p.slots.(vid).owned_snap in
+        let nonempty = ref 0 in
+        Array.iter (fun d -> if not (Chase_lev.is_empty d.q) then incr nonempty) owned;
+        if !nonempty = 0 then fail ()
+        else begin
+          let target = Random.State.int w.ctx.rng !nonempty in
+          let pick = ref None in
+          let seen = ref 0 in
+          (try
+             Array.iter
+               (fun d ->
+                 if not (Chase_lev.is_empty d.q) then begin
+                   if !seen = target then begin
+                     pick := Some d;
+                     raise Exit
+                   end;
+                   incr seen
+                 end)
+               owned
+           with Exit -> ());
+          match !pick with
+          | None -> fail ()  (* emptied between the count and the draw *)
+          | Some d -> (
+              match Chase_lev.steal d.q with Some _ as got -> got | None -> fail ())
+        end
+      end
 
 (* One scheduling decision: the next task to run, switching or stealing as
    needed.  Mirrors lines 40-56 of Figure 3. *)
@@ -298,12 +328,10 @@ module Policy = struct
               ctx;
               active = None;
               ready = [];
-              notify_mu = Mutex.create ();
-              notified = [];
+              notified = Padding.make_atomic [];
               empty = [];
               owned_live = 0;
-              owned_mu = Mutex.create ();
-              owned = [];
+              owned_snap = Padding.make_atomic [||];
             })
           ctxs;
       gdeques = Array.make max_gdeques None;
@@ -313,6 +341,20 @@ module Policy = struct
     }
 
   let worker p i = p.slots.(i)
+
+  (* Any owned deque with suspended fibers (or an undrained resume batch)
+     means a resume can land at any moment: stay on the fast idle poll. *)
+  let expects_resumes _p w =
+    let owned = Atomic.get w.owned_snap in
+    let n = Array.length owned in
+    let rec scan i =
+      i < n
+      && (Atomic.get owned.(i).suspend_ctr > 0
+         || Atomic.get owned.(i).resumed != []
+         || scan (i + 1))
+    in
+    scan 0
+
   let drain = drain_resumed
   let next = next_task
   let exec p _w task = run_task p task
@@ -402,6 +444,7 @@ let rec parallel_map_reduce t ~lo ~hi ~map ~combine ~id =
 
 type stats = Scheduler_core.stats = {
   steals : int;
+  failed_steals : int;
   deques_allocated : int;
   suspensions : int;
   resumes : int;

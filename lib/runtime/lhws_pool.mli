@@ -91,6 +91,7 @@ val parallel_map_reduce :
 
 type stats = Scheduler_core.stats = {
   steals : int;
+  failed_steals : int;
   deques_allocated : int;
   suspensions : int;
   resumes : int;

@@ -1,5 +1,6 @@
 type counters = {
   mutable steals : int;
+  mutable failed_steals : int;
   mutable suspensions : int;
   mutable resumes : int;
   mutable max_owned : int;
@@ -18,6 +19,7 @@ let mark ctx kind =
 
 type stats = {
   steals : int;
+  failed_steals : int;
   deques_allocated : int;
   suspensions : int;
   resumes : int;
@@ -38,6 +40,7 @@ module type POLICY = sig
 
   val make_pool : config -> ctxs:ctx array -> self_wid:(unit -> int) -> pool
   val worker : pool -> int -> wstate
+  val expects_resumes : pool -> wstate -> bool
   val drain : pool -> wstate -> unit
   val next : pool -> wstate -> task option
   val exec : pool -> wstate -> task -> unit
@@ -52,6 +55,7 @@ module Make (P : POLICY) = struct
     timer : Timer.t;
     tracer : Tracing.t option ref;
     mutable pollers : (unit -> int) list;  (* extra event sources, e.g. I/O *)
+    pump_lock : bool Atomic.t;  (* elects the one worker pumping timer/pollers *)
     stop : bool Atomic.t;
     mutable domains : unit Domain.t array;
     mutable running : bool;
@@ -71,7 +75,25 @@ module Make (P : POLICY) = struct
 
   let self_wid () = (fst (self ())).wid
 
-  let backoff_us = 50
+  let backoff_base_us = 50
+  let backoff_max_us = 1_000
+
+  (* Pump event sources, decontended two ways.  First, the timer's earliest
+     deadline is read from a lock-free mirror, so when nothing is registered
+     the common case costs one atomic load — no heap mutex, no clock read.
+     Second, at most one worker at a time pumps (CAS-elected): a losing
+     worker skips rather than queueing on the timer's mutex, and the winner
+     pays the single [Unix.gettimeofday] on everyone's behalf. *)
+  let pump t =
+    let hint = Timer.next_deadline_hint t.timer in
+    if hint < infinity || t.pollers <> [] then
+      if Atomic.compare_and_set t.pump_lock false true then
+        Fun.protect
+          ~finally:(fun () -> Atomic.set t.pump_lock false)
+          (fun () ->
+            if hint < infinity && hint <= Unix.gettimeofday () then
+              ignore (Timer.poll t.timer : int);
+            List.iter (fun poll -> ignore (poll () : int)) t.pollers)
 
   (* The engine's inner loop: pump event sources, re-inject resumed work,
      pick a task, run it (traced), back off when idle.  Reentrant — a
@@ -81,8 +103,7 @@ module Make (P : POLICY) = struct
     let rec loop idle_spins =
       if Atomic.get t.stop || until () then ()
       else begin
-        ignore (Timer.poll t.timer : int);
-        List.iter (fun poll -> ignore (poll () : int)) t.pollers;
+        pump t;
         P.drain t.pool w;
         match P.next t.pool w with
         | Some task ->
@@ -95,10 +116,28 @@ module Make (P : POLICY) = struct
                   ~dur_us:(Tracing.now_us () -. start_us));
             loop 0
         | None ->
-            (* Nothing runnable: back off to avoid burning the core (we may
-               be oversubscribed), but stay responsive to timer expiry. *)
-            if idle_spins > 16 then Unix.sleepf (float_of_int backoff_us /. 1e6)
-            else Domain.cpu_relax ();
+            (* Nothing runnable: spin briefly, then back off exponentially
+               (capped) to avoid burning the core — we may be
+               oversubscribed — clamping the sleep to the next timer
+               deadline so expiry is never overslept. *)
+            if idle_spins < 16 then Domain.cpu_relax ()
+            else begin
+              (* A worker that owns suspended fibers may be handed a resume
+                 from another domain at any moment, and nothing interrupts a
+                 sleeping worker — so such workers stay at the base poll
+                 interval and only truly-idle ones climb to the cap. *)
+              let cap =
+                if P.expects_resumes t.pool w then backoff_base_us else backoff_max_us
+              in
+              let shift = min (idle_spins - 16) 5 in
+              let us = min cap (backoff_base_us lsl shift) in
+              let s = float_of_int us /. 1e6 in
+              let s =
+                let hint = Timer.next_deadline_hint t.timer in
+                if hint < infinity then min s (hint -. Unix.gettimeofday ()) else s
+              in
+              if s > 0. then Unix.sleepf s else Domain.cpu_relax ()
+            end;
             loop (idle_spins + 1)
       end
     in
@@ -118,7 +157,8 @@ module Make (P : POLICY) = struct
           {
             wid;
             rng = Random.State.make [| P.rng_salt; wid |];
-            counters = { steals = 0; suspensions = 0; resumes = 0; max_owned = 0 };
+            counters =
+              { steals = 0; failed_steals = 0; suspensions = 0; resumes = 0; max_owned = 0 };
             emit =
               (fun kind ~start_us ~dur_us ->
                 match !tracer with
@@ -134,6 +174,7 @@ module Make (P : POLICY) = struct
         timer = Timer.create ();
         tracer;
         pollers = [];
+        pump_lock = Lhws_deque.Padding.make_atomic false;
         stop = Atomic.make false;
         domains = [||];
         running = false;
@@ -176,6 +217,7 @@ module Make (P : POLICY) = struct
     let sum f = Array.fold_left (fun acc c -> acc + f c.counters) 0 t.ctxs in
     {
       steals = sum (fun c -> c.steals);
+      failed_steals = sum (fun c -> c.failed_steals);
       deques_allocated = P.deques_allocated t.pool;
       suspensions = sum (fun c -> c.suspensions);
       resumes = sum (fun c -> c.resumes);

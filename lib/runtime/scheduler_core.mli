@@ -25,6 +25,7 @@
 
 type counters = {
   mutable steals : int;  (** successful steals landed by this worker *)
+  mutable failed_steals : int;  (** steal attempts that found no task *)
   mutable suspensions : int;  (** fibers suspended on this worker *)
   mutable resumes : int;  (** resumed continuations re-injected by this worker *)
   mutable max_owned : int;  (** high-water mark of live deques owned at once *)
@@ -52,6 +53,7 @@ val mark : ctx -> Tracing.kind -> unit
 
 type stats = {
   steals : int;
+  failed_steals : int;
   deques_allocated : int;
   suspensions : int;
   resumes : int;
@@ -89,6 +91,14 @@ module type POLICY = sig
       {e current} worker from inside an effect handler. *)
 
   val worker : pool -> int -> wstate
+
+  val expects_resumes : pool -> wstate -> bool
+  (** Whether this worker may be handed resumed continuations from other
+      domains at any moment (it owns deques with suspended fibers).  The
+      engine keeps such workers at the base idle-poll interval instead of
+      letting them climb the backoff ladder — a sleeping worker cannot be
+      interrupted, so backing off would add up to the backoff cap to every
+      cross-domain resume.  Policies without suspension return [false]. *)
 
   val drain : pool -> wstate -> unit
   (** Re-inject work that arrived from other domains (resumed

@@ -159,6 +159,7 @@ let peak_threads t =
 
 type stats = Scheduler_core.stats = {
   steals : int;
+  failed_steals : int;
   deques_allocated : int;
   suspensions : int;
   resumes : int;
@@ -167,4 +168,11 @@ type stats = Scheduler_core.stats = {
 
 (* No deques, no steals, no suspensions: every counter is degenerate. *)
 let stats _t =
-  { steals = 0; deques_allocated = 0; suspensions = 0; resumes = 0; max_deques_per_worker = 0 }
+  {
+    steals = 0;
+    failed_steals = 0;
+    deques_allocated = 0;
+    suspensions = 0;
+    resumes = 0;
+    max_deques_per_worker = 0;
+  }

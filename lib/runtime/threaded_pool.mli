@@ -65,6 +65,7 @@ val peak_threads : t -> int
 
 type stats = Scheduler_core.stats = {
   steals : int;
+  failed_steals : int;
   deques_allocated : int;
   suspensions : int;
   resumes : int;

@@ -1,4 +1,9 @@
-(* Mutex-protected binary min-heap on (deadline, seq). *)
+(* Mutex-protected binary min-heap on (deadline, seq).
+
+   The heap itself stays under the mutex, but the earliest deadline is
+   mirrored into a lock-free atomic so every worker's per-iteration "could
+   anything be due?" probe costs one atomic read — no mutex, and no
+   [Unix.gettimeofday] when the mirror says the heap is empty. *)
 
 type entry = { deadline : float; seq : int; callback : unit -> unit }
 
@@ -7,9 +12,17 @@ type t = {
   mutable heap : entry option array;
   mutable size : int;
   mutable next_seq : int;
+  earliest : float Atomic.t;  (* mirror of heap.(0).deadline; [infinity] when empty *)
 }
 
-let create () = { mu = Mutex.create (); heap = Array.make 64 None; size = 0; next_seq = 0 }
+let create () =
+  {
+    mu = Mutex.create ();
+    heap = Array.make 64 None;
+    size = 0;
+    next_seq = 0;
+    earliest = Lhws_deque.Padding.make_atomic infinity;
+  }
 
 let lt a b = a.deadline < b.deadline || (a.deadline = b.deadline && a.seq < b.seq)
 
@@ -39,6 +52,10 @@ let rec sift_down t i =
     sift_down t !smallest
   end
 
+(* Owner of [t.mu] only. *)
+let refresh_earliest t =
+  Atomic.set t.earliest (if t.size = 0 then infinity else (get t 0).deadline)
+
 let add t ~deadline callback =
   Mutex.lock t.mu;
   if t.size = Array.length t.heap then begin
@@ -50,6 +67,7 @@ let add t ~deadline callback =
   t.next_seq <- t.next_seq + 1;
   t.size <- t.size + 1;
   sift_up t (t.size - 1);
+  refresh_earliest t;
   Mutex.unlock t.mu
 
 let add_in t ~seconds callback = add t ~deadline:(Unix.gettimeofday () +. seconds) callback
@@ -66,11 +84,14 @@ let pop_due t now =
         t.heap.(0) <- t.heap.(t.size);
         t.heap.(t.size) <- None;
         if t.size > 0 then sift_down t 0;
+        refresh_earliest t;
         Some top.callback
       end
   in
   Mutex.unlock t.mu;
   result
+
+let next_deadline_hint t = Atomic.get t.earliest
 
 let poll t =
   let now = Unix.gettimeofday () in

@@ -20,3 +20,10 @@ val poll : t -> int
 
 val pending : t -> int
 val next_deadline : t -> float option
+
+val next_deadline_hint : t -> float
+(** The earliest registered deadline, or [infinity] when none is pending —
+    one lock-free atomic read, for the scheduler's per-iteration "could
+    anything be due?" probe.  May be momentarily stale (a concurrent [add]
+    or [poll] refreshes it under the heap lock); callers treating it as a
+    hint and re-polling next iteration see every deadline eventually. *)

@@ -15,7 +15,9 @@ let try_steal p w =
         w.ctx.counters.steals <- w.ctx.counters.steals + 1;
         Core.mark w.ctx Tracing.Steal;
         Some task
-    | None -> None
+    | None ->
+        w.ctx.counters.failed_steals <- w.ctx.counters.failed_steals + 1;
+        None
   end
 
 (* --- the policy: one deque per worker, tasks run to completion --- *)
@@ -43,6 +45,7 @@ module Policy = struct
     }
 
   let worker p i = p.slots.(i)
+  let expects_resumes _ _ = false
   let drain _ _ = ()
 
   let next p w =
@@ -125,6 +128,7 @@ let rec parallel_map_reduce t ~lo ~hi ~map ~combine ~id =
 
 type stats = Scheduler_core.stats = {
   steals : int;
+  failed_steals : int;
   deques_allocated : int;
   suspensions : int;
   resumes : int;

@@ -117,6 +117,63 @@ let test_concurrent_owner_thieves () =
   Alcotest.(check int) "no element lost" 0 !missing;
   Alcotest.(check int) "no element duplicated" 0 !dup
 
+(* The grow path under fire: starting from the minimum capacity, the owner
+   pushes enough to force many buffer doublings while three thieves drain
+   concurrently, so grows race with in-flight steals of the old buffer.
+   Every element must still be consumed exactly once. *)
+let test_concurrent_grow () =
+  let total = 50_000 in
+  let nthieves = 3 in
+  let d = CL.create ~capacity:2 () in
+  let consumed = Array.make (total + 1) 0 in
+  let consumed_mu = Mutex.create () in
+  let record xs =
+    Mutex.lock consumed_mu;
+    List.iter (fun x -> consumed.(x) <- consumed.(x) + 1) xs;
+    Mutex.unlock consumed_mu
+  in
+  let done_pushing = Atomic.make false in
+  let thief () =
+    let mine = ref [] in
+    let rec go misses =
+      match CL.steal d with
+      | Some x ->
+          mine := x :: !mine;
+          go 0
+      | None ->
+          if Atomic.get done_pushing && misses > 100 then ()
+          else begin
+            Domain.cpu_relax ();
+            go (misses + 1)
+          end
+    in
+    go 0;
+    record !mine
+  in
+  let thieves = Array.init nthieves (fun _ -> Domain.spawn thief) in
+  for i = 1 to total do
+    CL.push_bottom d i
+  done;
+  Atomic.set done_pushing true;
+  let mine = ref [] in
+  let rec drain () =
+    match CL.pop_bottom d with
+    | Some x ->
+        mine := x :: !mine;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Array.iter Domain.join thieves;
+  record !mine;
+  let missing = ref 0 and dup = ref 0 in
+  for i = 1 to total do
+    if consumed.(i) = 0 then incr missing;
+    if consumed.(i) > 1 then incr dup
+  done;
+  Alcotest.(check int) "no element lost" 0 !missing;
+  Alcotest.(check int) "no element duplicated" 0 !dup
+
 let () =
   Alcotest.run "chase_lev"
     [
@@ -129,5 +186,8 @@ let () =
           Alcotest.test_case "interleaved grow/steal" `Quick test_interleaved_grow_steal;
         ] );
       ( "concurrent",
-        [ Alcotest.test_case "owner vs thieves" `Slow test_concurrent_owner_thieves ] );
+        [
+          Alcotest.test_case "owner vs thieves" `Slow test_concurrent_owner_thieves;
+          Alcotest.test_case "grow under steals" `Slow test_concurrent_grow;
+        ] );
     ]

@@ -164,6 +164,66 @@ let test_worker_steal_policy () =
       in
       Alcotest.(check int) "fib under worker steals" 987 (Pool.run p (fun () -> fib 16)))
 
+let test_resume_batch_ordering () =
+  (* addResumedVertices contract: a batch of resumes drained together is
+     re-injected as a pfor tree that unfolds in arrival order.  One worker;
+     k fibers suspend, parking their resume callbacks; a blocker task then
+     pins the worker while an external domain fires every callback in index
+     order, so all k land in the deque's MPSC channel as one batch.  On a
+     single worker the pfor tree must then execute them 0, 1, ..., k-1. *)
+  let k = 16 in
+  Pool.with_pool ~workers:1 (fun p ->
+      let slots = Array.make k (fun () -> ()) in
+      let registered = Atomic.make 0 in
+      let release = Atomic.make false in
+      let order = ref [] in
+      let executed =
+        Pool.run p (fun () ->
+            (* Pushed first = popped last: the blocker runs only after every
+               suspender has suspended. *)
+            let blocker =
+              Pool.async p (fun () ->
+                  while not (Atomic.get release) do
+                    Domain.cpu_relax ()
+                  done)
+            in
+            let prs =
+              List.init k (fun i ->
+                  Pool.async p (fun () ->
+                      Fiber.suspend (fun resume ->
+                          slots.(i) <- resume;
+                          Atomic.incr registered);
+                      order := i :: !order))
+            in
+            let firer =
+              Domain.spawn (fun () ->
+                  while Atomic.get registered < k do
+                    Domain.cpu_relax ()
+                  done;
+                  Array.iter (fun resume -> resume ()) slots;
+                  Atomic.set release true)
+            in
+            List.iter (fun pr -> Pool.await pr) prs;
+            Pool.await blocker;
+            Domain.join firer;
+            List.rev !order)
+      in
+      Alcotest.(check (list int)) "batch executes in arrival order" (List.init k Fun.id) executed)
+
+let test_idle_backoff_wakes_for_timer () =
+  (* The idle path backs off exponentially, but the sleep is clamped to the
+     next timer deadline: a 1 ms timer on an otherwise-idle pool must not
+     be overslept by workers parked at the 1 ms backoff cap. *)
+  Pool.with_pool ~workers:4 (fun p ->
+      ignore (Pool.run p (fun () -> 0));
+      (* give the other workers time to climb to the backoff cap *)
+      Unix.sleepf 0.02;
+      let t0 = Unix.gettimeofday () in
+      Pool.run p (fun () -> Pool.sleep p 0.001);
+      let dt = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool) (Printf.sprintf "slept %.4fs >= 1ms" dt) true (dt >= 0.001);
+      Alcotest.(check bool) (Printf.sprintf "woke within tolerance (%.4fs)" dt) true (dt < 0.02))
+
 (* --- shutdown paths --- *)
 
 let test_shutdown_after_root_exception () =
@@ -224,6 +284,8 @@ let () =
           Alcotest.test_case "exception after suspension" `Quick test_exception_after_suspension;
           Alcotest.test_case "many runs with suspension" `Quick test_many_runs_with_suspension;
           Alcotest.test_case "timer + io pollers" `Quick test_timer_and_io_pollers_coexist;
+          Alcotest.test_case "resume batch ordering" `Quick test_resume_batch_ordering;
+          Alcotest.test_case "idle backoff wakes for timer" `Quick test_idle_backoff_wakes_for_timer;
         ] );
       ( "stress",
         [

@@ -97,14 +97,15 @@ module Conformance (Pool : Pool_intf.POOL) = struct
         burn_some p;
         let a = Pool.stats p in
         let nonneg (s : Scheduler_core.stats) =
-          s.steals >= 0 && s.deques_allocated >= 0 && s.suspensions >= 0 && s.resumes >= 0
-          && s.max_deques_per_worker >= 0
+          s.steals >= 0 && s.failed_steals >= 0 && s.deques_allocated >= 0
+          && s.suspensions >= 0 && s.resumes >= 0 && s.max_deques_per_worker >= 0
         in
         Alcotest.(check bool) "counters non-negative" true (nonneg a);
         burn_some p;
         let b = Pool.stats p in
         Alcotest.(check bool) "counters never decrease" true
           (b.steals >= a.steals
+          && b.failed_steals >= a.failed_steals
           && b.deques_allocated >= a.deques_allocated
           && b.suspensions >= a.suspensions && b.resumes >= a.resumes
           && b.max_deques_per_worker >= a.max_deques_per_worker))

@@ -185,11 +185,16 @@ let as_num = function Some (Num f) -> Some f | _ -> None
 let as_str = function Some (Str s) -> Some s | _ -> None
 
 let samples_of_file path =
-  let ic = open_in_bin path in
   let text =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg ->
+      (* [msg] already names the path, e.g. "foo.json: No such file ..." *)
+      Printf.eprintf "bench_guard: cannot read input: %s\n" msg;
+      exit 2
   in
   match parse text with
   | Arr items ->

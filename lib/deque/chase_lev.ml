@@ -42,7 +42,14 @@ type 'a t = {
 
 (* A unique block no caller can ever push (the ref is never exported).
    [Obj.magic] at the element type is safe because every slot holding the
-   sentinel is, by the index arithmetic, never returned as an element. *)
+   sentinel is, by the index arithmetic, never returned as an element.
+
+   Because the sentinel is a non-float block, [Array.make] below builds a
+   boxed array even at element type [float] — never a flat float array.
+   That is sound only while every slot access in this file stays
+   polymorphic (generic array primitives dispatch on the array tag at
+   runtime); do not monomorphise this module at [float] or add
+   float-array-specialised unsafe accesses (see the .mli). *)
 let sentinel : Obj.t = Obj.repr (ref ())
 
 let dummy () : 'a = Obj.magic sentinel

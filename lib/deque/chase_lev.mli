@@ -13,7 +13,14 @@
     Layout: slots are unboxed (a private sentinel marks empty slots, so
     pushes allocate nothing), the owner caches a lower bound on [top] to
     skip the atomic read on non-full pushes, and [top]/[bottom]/the buffer
-    pointer are padded onto separate cache lines. *)
+    pointer are padded onto separate cache lines.
+
+    Constraint: because the sentinel is a non-float block, a [float t]'s
+    slot array is boxed, {e never} a flat float array.  Every slot access
+    must stay polymorphic (generic [Array.get]/[Array.set], which test the
+    array tag at runtime); monomorphising the implementation at [float],
+    or reaching into the buffer with float-array-specialised unsafe
+    accessors, would read the sentinel as a [float] and is memory-unsafe. *)
 
 type 'a t
 

@@ -35,7 +35,8 @@ let count_inversions xs =
   in
   go 0 xs
 
-let hammer (module D : DEQUE) ?(thieves = 3) ?(items = 20_000) ?(pop_every = 7) () =
+let hammer (module D : DEQUE) ?(thieves = 3) ?(items = 20_000) ?(pop_every = 7)
+    ?(owner_pause_every = 0) () =
   let d = D.create () in
   let done_pushing = Atomic.make false in
   let thief () =
@@ -60,8 +61,12 @@ let hammer (module D : DEQUE) ?(thieves = 3) ?(items = 20_000) ?(pop_every = 7) 
   let owner = ref [] in
   for i = 1 to items do
     D.push_bottom d i;
-    if pop_every > 0 && i mod pop_every = 0 then
-      match D.pop_bottom d with Some x -> owner := x :: !owner | None -> ()
+    (if pop_every > 0 && i mod pop_every = 0 then
+       match D.pop_bottom d with Some x -> owner := x :: !owner | None -> ());
+    (* A real sleep, not [cpu_relax]: on a single core the thieves only
+       run when the owner gives up the CPU, and some checks (bursts of
+       consecutive steals) need the owner quiescent while they do. *)
+    if owner_pause_every > 0 && i mod owner_pause_every = 0 then Unix.sleepf 1e-6
   done;
   Atomic.set done_pushing true;
   let rec drain () =

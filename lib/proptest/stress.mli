@@ -32,14 +32,26 @@ val ok : report -> bool
 val pp_report : Format.formatter -> report -> unit
 
 val hammer :
-  (module DEQUE) -> ?thieves:int -> ?items:int -> ?pop_every:int -> unit -> report
+  (module DEQUE) ->
+  ?thieves:int ->
+  ?items:int ->
+  ?pop_every:int ->
+  ?owner_pause_every:int ->
+  unit ->
+  report
 (** Multi-domain hammer: one owner domain pushes [items] distinct values
     (popping a few of its own every [pop_every] pushes, then draining),
     while [thieves] (default 3) concurrent domains steal until the deque
     is exhausted.  Checks that every value is consumed exactly once and
     that each individual thief observes strictly increasing values — the
     Chase–Lev top index only moves forward, so any single thief's
-    successful steals must come out in push (FIFO) order. *)
+    successful steals must come out in push (FIFO) order.
+
+    [owner_pause_every] (default 0 = never) makes the owner sleep ~1 µs
+    every that many pushes.  Mutation checks that need a thief to land
+    several {e consecutive} steals use it: on a single-core machine the
+    thieves only run while the owner is off the CPU, and without a real
+    sleep the owner monopolises it. *)
 
 val sequential_model :
   (module DEQUE) -> ?ops:int -> seed:int -> unit -> report

@@ -125,7 +125,19 @@ module Make (P : POLICY) = struct
               (* A worker that owns suspended fibers may be handed a resume
                  from another domain at any moment, and nothing interrupts a
                  sleeping worker — so such workers stay at the base poll
-                 interval and only truly-idle ones climb to the cap. *)
+                 interval and only truly-idle ones climb to the cap.
+
+                 Deliberate tradeoff: nothing wakes a truly-idle worker when
+                 fresh tasks are pushed elsewhere either, so pickup of newly
+                 injected work via stealing can lag by up to [backoff_max_us]
+                 (vs. [backoff_base_us] before backoff existed).  We accept
+                 that: a worker only reaches the cap after the pool has been
+                 drained for ~30 poll intervals, and the alternative — the
+                 push path signalling sleepers — would put a syscall or a
+                 contended atomic on the spawn hot path this engine exists to
+                 keep lean.  If sub-millisecond cold-start injection latency
+                 ever matters, lower [backoff_max_us] rather than touching
+                 the push path. *)
               let cap =
                 if P.expects_resumes t.pool w then backoff_base_us else backoff_max_us
               in

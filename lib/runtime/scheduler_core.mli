@@ -98,7 +98,15 @@ module type POLICY = sig
       engine keeps such workers at the base idle-poll interval instead of
       letting them climb the backoff ladder — a sleeping worker cannot be
       interrupted, so backing off would add up to the backoff cap to every
-      cross-domain resume.  Policies without suspension return [false]. *)
+      cross-domain resume.  Policies without suspension return [false].
+
+      Workers for which this returns [false] {e do} climb to the cap
+      (currently 1 ms), and nothing wakes them when fresh tasks are pushed
+      on other workers: after the pool has idled long enough for sleepers
+      to reach the cap, pickup of newly injected work via stealing can lag
+      by up to that cap.  This is a deliberate tradeoff — waking sleepers
+      from the push path would tax the spawn hot path — and it only
+      affects cold-start latency, not steady-state throughput. *)
 
   val drain : pool -> wstate -> unit
   (** Re-inject work that arrived from other domains (resumed

@@ -54,8 +54,14 @@ module Racy : Stress.DEQUE = struct
     if d.top < d.bottom then begin
       let x = d.buf.(d.top) in
       (* Widen the race window: every interleaving of two thieves between
-         the read and the increment duplicates an element. *)
-      Domain.cpu_relax ();
+         the read and the increment duplicates an element.  The window is
+         a long relax loop, not a single relax, so that on a single-core
+         machine — where the race needs an OS preemption to land exactly
+         between the read and the increment — the window covers a large
+         enough fraction of the steal loop to be hit reliably. *)
+      for _ = 1 to 256 do
+        Domain.cpu_relax ()
+      done;
       d.top <- d.top + 1;
       Some x
     end
@@ -67,7 +73,7 @@ let test_racy_deque_caught () =
      a 20k-element hammer against unsynchronized indices is effectively
      guaranteed to lose or duplicate something. *)
   let violations = ref 0 in
-  let attempts = 5 in
+  let attempts = 10 in
   (try
      for _ = 1 to attempts do
        let r = Stress.hammer (module Racy) ~thieves:4 ~items:20_000 () in
@@ -107,8 +113,24 @@ let test_wrong_end_caught () =
   Alcotest.(check bool) "reorder caught" true (r.Stress.reordered > 0)
 
 let test_wrong_end_caught_concurrent () =
-  let r = Stress.hammer (module Wrong_end) ~thieves:2 ~items:5_000 () in
-  Alcotest.(check bool) "thief saw non-increasing steals" true (r.Stress.reordered > 0)
+  (* An inversion needs one thief to land two back-to-back steals (LIFO
+     steals interleaved with owner pushes can look increasing).  On a
+     single-core machine a thief's timeslice may land zero or one steal
+     before the owner drains the deque, so retry until a run produces the
+     burst — any multi-core or lucky single-core schedule catches it on
+     the first attempt. *)
+  let reordered = ref 0 in
+  let attempts = 10 in
+  (try
+     for _ = 1 to attempts do
+       let r =
+         Stress.hammer (module Wrong_end) ~thieves:2 ~items:5_000 ~owner_pause_every:50 ()
+       in
+       reordered := !reordered + r.Stress.reordered;
+       if !reordered > 0 then raise Exit
+     done
+   with Exit -> ());
+  Alcotest.(check bool) "thief saw non-increasing steals" true (!reordered > 0)
 
 (* --- mutation 3: drops every 37th popped element --- *)
 

@@ -19,6 +19,7 @@ let stat_counters (stats : Lhws_runtime.Scheduler_core.stats) =
     ("deques_allocated", stats.deques_allocated);
     ("suspensions", stats.suspensions);
     ("resumes", stats.resumes);
+    ("io_pending", stats.io_pending);
   ]
 
 let time f =

@@ -14,6 +14,7 @@ let stat_counters (stats : Lhws_runtime.Scheduler_core.stats) =
     ("suspensions", stats.suspensions);
     ("resumes", stats.resumes);
     ("max_deques_per_worker", stats.max_deques_per_worker);
+    ("io_pending", stats.io_pending);
   ]
 
 let runtime profile =

@@ -4,9 +4,14 @@
    with the same profile and fails (exit 1) when a guarded sample degrades
    more than the threshold:
 
-   - every baseline sample with a [speedup] field (the figure11* sweeps are
-     deterministic simulator runs, so these are noise-free): fail when the
-     current speedup drops below baseline / 1.25;
+   - every baseline sample with a [speedup] field but no [wall_s] (the
+     figure11* sweeps are deterministic simulator runs, so these are
+     noise-free): fail when the current speedup drops below
+     baseline / 1.25;
+   - baseline samples with both [speedup] and [wall_s] (wall-clock
+     self-speedups, e.g. the net_map_reduce loopback runs): the same rule
+     with a 4x threshold, since both sides of the ratio are real
+     milliseconds-scale timings on a shared runner;
    - resume-storm samples ([contention_resume_storm]): fail when the
      current wall exceeds baseline * 1.25 plus a 25 ms absolute grace, so
      tiny walls on a shared CI runner don't flake the guard.
@@ -225,6 +230,7 @@ let find samples s =
 (* --- the guard --- *)
 
 let threshold = 1.25
+let wall_speedup_threshold = 4. (* both ratio legs are noisy wall-clock timings *)
 let wall_grace_s = 0.025 (* absolute grace for tiny walls on noisy runners *)
 
 let () =
@@ -250,11 +256,12 @@ let () =
           match (b.speedup, c.speedup) with
           | Some bs, Some cs ->
               incr checked;
-              let floor = bs /. threshold in
+              let th = if b.wall_s = None then threshold else wall_speedup_threshold in
+              let floor = bs /. th in
               if cs < floor then begin
                 incr failures;
                 report "FAIL" b
-                  (Printf.sprintf "speedup %.3f < baseline %.3f / %.2f" cs bs threshold)
+                  (Printf.sprintf "speedup %.3f < baseline %.3f / %.2f" cs bs th)
               end
               else report "ok" b (Printf.sprintf "speedup %.3f (baseline %.3f)" cs bs)
           | _ -> (

@@ -1,131 +1,122 @@
-(* A miniature client/server system over real pipes: the motivating
-   scenario of the paper's introduction ("a parallel server may communicate
-   with clients to obtain requests and fulfill them").
+(* A miniature client/server system over real loopback sockets: the
+   motivating scenario of the paper's introduction ("a parallel server
+   may communicate with clients to obtain requests and fulfill them"),
+   now on the lib/net serving stack.
 
-   Each connection is a pair of pipes.  A client thinks for a while, sends
-   a request, and waits for the answer; the server reads the request
-   (incurring real I/O latency), computes fib of it, and replies.
+   Clients are plain OS threads outside the measured pools: each
+   connects, sends one request and waits for the answer.  The server
+   reads the request, consults a slow backing store (a 20 ms sleep —
+   the per-request I/O latency), computes fib of the request and
+   replies.
 
-   - On the latency-hiding pool, every client and every per-connection
-     server handler is a fiber: two workers multiplex all of them, parking
-     handlers on file-descriptor readiness (Io reactor) and timers.
-   - On the blocking pool a read blocks the whole worker, so with two
-     workers, handling the connections concurrently is impossible: the
-     honest blocking design handles each connection start-to-finish.
+   - The latency-hiding server multiplexes the accept loop and every
+     connection handler as fibers on 2 workers: all the 20 ms waits
+     overlap, and the workers spend their time on the fib computations.
+   - The blocking server occupies a worker per wait: one worker is
+     pinned by the accept loop, the root task holds another, and the
+     remaining worker serves connections one at a time, start to
+     finish.  (With only 2 workers it could not even run a handler —
+     that is the paper's point — so the blocking pool gets 3.)
 
    Run with: dune exec examples/echo_server.exe *)
 
 open Lhws_runtime
 module W = Lhws_workloads
+module P = W.Pool_intf
+module Net = Lhws_net.Net
+module Reactor = Lhws_net.Reactor
+module Conn = Lhws_net.Conn
+module Listener = Lhws_net.Listener
 
-type conn = {
-  client_out : Unix.file_descr;  (* client writes requests here *)
-  server_in : Unix.file_descr;
-  server_out : Unix.file_descr;  (* server writes replies here *)
-  client_in : Unix.file_descr;
-}
-
-let make_conn () =
-  let server_in, client_out = Unix.pipe ~cloexec:true () in
-  let client_in, server_out = Unix.pipe ~cloexec:true () in
-  { client_out; server_in; server_out; client_in }
-
-let close_conn c =
-  List.iter Unix.close [ c.client_out; c.server_in; c.server_out; c.client_in ]
+let n_conns = 16
+let store_delay = 0.02 (* seconds of backing-store latency per request *)
+let request n = 15 + (n mod 5) (* fib argument *)
 
 let encode n =
   let b = Bytes.create 8 in
-  Bytes.set_int64_le b 0 (Int64.of_int n);
+  Bytes.set_int64_be b 0 (Int64.of_int n);
   b
 
-let decode b = Int64.to_int (Bytes.get_int64_le b 0)
+let decode b = Int64.to_int (Bytes.get_int64_be b 0)
 
-let n_conns = 24
-let think_time = 0.02 (* seconds before each client sends its request *)
-let request n = 15 + (n mod 5) (* fib argument *)
-
-(* Both paths drive their pool through the extended POOL interface; only
-   the setup (registering the Io reactor, possible thanks to the exposed
-   type equation Lhws_instance.t = Lhws_pool.t) and the I/O style differ. *)
-
-module P = W.Pool_intf
-
-let run_latency_hiding conns =
-  let module Pool = P.Lhws_instance in
-  let pool = Lhws_pool.create ~workers:2 () in
-  let io = Io.create () in
-  Lhws_pool.register_poller pool (fun () -> Io.poll io);
+(* One external client: connect, ask, read the answer. *)
+let client_thread addr results finished i =
+  let fd = Unix.socket ~cloexec:true (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
   Fun.protect
-    ~finally:(fun () -> Pool.shutdown pool)
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Atomic.incr finished)
     (fun () ->
-      let t0 = Unix.gettimeofday () in
-      let total =
-        Pool.run pool (fun () ->
-            let fibers =
-              List.concat_map
-                (fun (i, c) ->
-                  let server =
-                    Pool.async pool (fun () ->
-                        let buf = Bytes.create 8 in
-                        Io.read_exactly io c.server_in buf 8;
-                        let answer = W.Fib.seq (decode buf) in
-                        Io.write_all io c.server_out (encode answer);
-                        0)
-                  in
-                  let client =
-                    Pool.async pool (fun () ->
-                        Pool.sleep pool think_time;
-                        Io.write_all io c.client_out (encode (request i));
-                        let buf = Bytes.create 8 in
-                        Io.read_exactly io c.client_in buf 8;
-                        decode buf)
-                  in
-                  [ server; client ])
-                conns
-            in
-            List.fold_left (fun acc f -> acc + Pool.await pool f) 0 fibers)
+      Unix.connect fd addr;
+      ignore (Unix.write fd (encode (request i)) 0 8 : int);
+      let b = Bytes.create 8 in
+      let rec fill pos =
+        if pos < 8 then
+          match Unix.read fd b pos (8 - pos) with
+          | 0 -> failwith "echo client: server hung up"
+          | n -> fill (pos + n)
       in
-      (total, Unix.gettimeofday () -. t0))
+      fill 0;
+      results.(i) <- decode b)
 
-let run_blocking conns =
-  let module Pool = P.Ws_instance in
-  let pool = Pool.create ~workers:2 () in
-  Fun.protect
-    ~finally:(fun () -> Pool.shutdown pool)
-    (fun () ->
-      let t0 = Unix.gettimeofday () in
-      let total =
-        Pool.run pool (fun () ->
-            (* Blocking I/O forces one connection per worker at a time. *)
-            let handle (i, c) =
-              Pool.sleep pool think_time;
-              let b = encode (request i) in
-              ignore (Unix.write c.client_out b 0 8);
-              let buf = Bytes.create 8 in
-              ignore (Unix.read c.server_in buf 0 8);
-              let answer = W.Fib.seq (decode buf) in
-              ignore (Unix.write c.server_out (encode answer) 0 8);
-              ignore (Unix.read c.client_in buf 0 8);
-              decode buf
-            in
-            let promises = List.map (fun conn -> Pool.async pool (fun () -> handle conn)) conns in
-            List.fold_left (fun acc p -> acc + Pool.await pool p) 0 promises)
+let run_server (type p) (module Pool : P.POOL with type t = p) (pool : p) rt =
+  Pool.run pool (fun () ->
+      let l =
+        Listener.serve
+          (module Pool)
+          pool rt
+          (Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
+          ~handler:(fun c ->
+            let b = Bytes.create 8 in
+            Conn.read_exactly c b 8;
+            Pool.sleep pool store_delay;
+            Conn.write_all c (encode (W.Fib.seq (decode b))))
       in
-      (total, Unix.gettimeofday () -. t0))
+      let t0 = Unix.gettimeofday () in
+      let results = Array.make n_conns 0 in
+      let finished = Atomic.make 0 in
+      let threads =
+        List.init n_conns (fun i ->
+            Thread.create (client_thread (Listener.addr l) results finished) i)
+      in
+      (* Wait through the pool so a parked root costs nothing on the
+         latency-hiding pool (on the blocking pool it pins a worker). *)
+      while Atomic.get finished < n_conns do
+        Pool.sleep pool 0.002
+      done;
+      List.iter Thread.join threads;
+      let dt = Unix.gettimeofday () -. t0 in
+      Listener.shutdown ~grace:2. l;
+      (Array.fold_left ( + ) 0 results, dt))
 
 let () =
   let expect =
     List.fold_left (fun acc i -> acc + W.Fib.seq (request i)) 0 (List.init n_conns Fun.id)
   in
-  Format.printf "echo server: %d connections, %.0f ms think time, fib per request, 2 workers@."
-    n_conns (think_time *. 1000.);
-  let conns1 = List.init n_conns (fun i -> (i, make_conn ())) in
-  let total1, dt1 = run_latency_hiding conns1 in
-  List.iter (fun (_, c) -> close_conn c) conns1;
+  Format.printf
+    "echo server: %d socket connections, %.0f ms backing-store latency per request@." n_conns
+    (store_delay *. 1000.);
+  let total1, dt1 =
+    let pool = Lhws_pool.create ~workers:2 () in
+    Fun.protect
+      ~finally:(fun () -> Lhws_pool.shutdown pool)
+      (fun () ->
+        let rt =
+          Reactor.fibers
+            ~register:(fun ~pending poll -> Lhws_pool.register_poller pool ?pending poll)
+            ()
+        in
+        run_server (module P.Lhws_instance) pool rt)
+  in
   assert (total1 = expect);
-  Format.printf "  latency-hiding (fibers + reactor): %.3f s@." dt1;
-  let conns2 = List.init n_conns (fun i -> (i, make_conn ())) in
-  let total2, dt2 = run_blocking conns2 in
-  List.iter (fun (_, c) -> close_conn c) conns2;
+  Format.printf "  latency-hiding (2 workers, fibers): %.3f s@." dt1;
+  let total2, dt2 =
+    let module Pool = P.Ws_instance in
+    let pool = Pool.create ~workers:3 () in
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () -> run_server (module Pool) pool (Reactor.blocking ()))
+  in
   assert (total2 = expect);
-  Format.printf "  blocking (connection at a time):   %.3f s  (%.1fx slower)@." dt2 (dt2 /. dt1)
+  Format.printf "  blocking (3 workers needed):        %.3f s  (%.1fx slower)@." dt2
+    (dt2 /. dt1)

@@ -7,13 +7,108 @@
    per worker (Lemma 7 with U = 1) and reduces to plain work stealing,
    while still overlapping request handling with request latency.
 
+   The runtime half now runs over a real socket: a client OS thread sends
+   requests 20 ms apart on one RPC connection, and the server dispatches
+   each decoded request as a pool task (fib 18) while its read loop waits
+   for the next arrival.  On the latency-hiding pool that read loop is a
+   parked fiber, so 2 workers suffice for accepting, reading, and
+   handling.  On the blocking pool the accept loop, the connection read
+   loop, and the root each pin a worker, so it needs 4 workers before a
+   single request can even be processed — the per-blocked-operation
+   worker cost the paper is about.
+
    Run with: dune exec examples/server_loop.exe *)
 
 module Gen = Lhws_dag.Generate
 module Suspension = Lhws_dag.Suspension
 open Lhws_core
+open Lhws_runtime
 module W = Lhws_workloads
 module P = W.Pool_intf
+module Reactor = Lhws_net.Reactor
+module Listener = Lhws_net.Listener
+module Rpc = Lhws_net.Rpc
+
+let n = 30
+let latency = 0.02 (* seconds between request arrivals *)
+let fib_n = 18
+
+(* The client speaks the RPC wire format directly over a raw socket:
+   request [4B len | 8B id | payload], response adds a status byte.  It
+   fires all [n] requests [latency] apart (arrival spacing, not a closed
+   loop), then collects the [n] responses. *)
+let client_thread addr result () =
+  let fd = Unix.socket ~cloexec:true (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd addr;
+      let write_req i =
+        let b = Bytes.create 20 in
+        Bytes.set_int32_be b 0 8l;
+        Bytes.set_int64_be b 4 (Int64.of_int i);
+        Bytes.set_int64_be b 12 (Int64.of_int i);
+        let rec push pos =
+          if pos < 20 then push (pos + Unix.write fd b pos (20 - pos))
+        in
+        push 0
+      in
+      let read_exactly b len =
+        let rec fill pos =
+          if pos < len then
+            match Unix.read fd b pos (len - pos) with
+            | 0 -> failwith "server_loop client: server hung up"
+            | k -> fill (pos + k)
+        in
+        fill 0
+      in
+      for i = 0 to n - 1 do
+        write_req i;
+        Unix.sleepf latency
+      done;
+      let total = ref 0 in
+      for _ = 1 to n do
+        let hdr = Bytes.create 13 in
+        read_exactly hdr 13;
+        let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+        let status = Bytes.get_uint8 hdr 12 in
+        let payload = Bytes.create len in
+        read_exactly payload len;
+        if status <> 0 then failwith (Bytes.to_string payload);
+        total := !total + Int64.to_int (Bytes.get_int64_be payload 0)
+      done;
+      result := !total)
+
+let run_server (type p) (module Pool : P.POOL with type t = p) (pool : p) rt =
+  Pool.run pool (fun () ->
+      let l =
+        Rpc.serve
+          (module Pool)
+          pool rt
+          (Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
+          ~handler:(fun payload ->
+            let i = Int64.to_int (Bytes.get_int64_be payload 0) in
+            let b = Bytes.create 8 in
+            Bytes.set_int64_be b 0 (Int64.of_int (W.Fib.seq fib_n + i));
+            b)
+      in
+      let t0 = Unix.gettimeofday () in
+      let result = ref 0 in
+      let finished = Atomic.make false in
+      let client =
+        Thread.create
+          (fun () ->
+            client_thread (Listener.addr l) result ();
+            Atomic.set finished true)
+          ()
+      in
+      while not (Atomic.get finished) do
+        Pool.sleep pool 0.005
+      done;
+      Thread.join client;
+      let dt = Unix.gettimeofday () -. t0 in
+      Listener.shutdown ~grace:2. l;
+      (!result, dt))
 
 let () =
   (* Simulator view: verify U = 1 (exhaustively on a small instance) and
@@ -26,21 +121,30 @@ let () =
                  2)@."
     run.Run.rounds run.Run.stats.Stats.max_deques_per_worker;
 
-  (* Runtime view: 30 requests, 20 ms apart; handling each costs fib(18).
-     The latency-hiding server overlaps handling with waiting; the blocking
-     server alternates. *)
-  let n = 30 and latency = 0.02 and fib_n = 18 in
-  let one (pool : P.pool) =
-    let module Pool = (val pool : P.POOL) in
-    let p = Pool.create ~workers:2 () in
+  (* Runtime view, over a real socket. *)
+  let expect = n * W.Fib.seq fib_n + (n * (n - 1) / 2) in
+  let v1, dt1 =
+    let pool = Lhws_pool.create ~workers:2 () in
     Fun.protect
-      ~finally:(fun () -> Pool.shutdown p)
-      (fun () -> W.Server.run_on (module Pool) p ~n ~latency ~fib_n)
+      ~finally:(fun () -> Lhws_pool.shutdown pool)
+      (fun () ->
+        let rt =
+          Reactor.fibers
+            ~register:(fun ~pending poll -> Lhws_pool.register_poller pool ?pending poll)
+            ()
+        in
+        run_server (module P.Lhws_instance) pool rt)
   in
-  let lh = one P.lhws in
-  let ws = one P.ws in
-  assert (lh.W.Server.value = ws.W.Server.value);
-  Format.printf "%d requests, %.0f ms apart, fib(%d) handling, 2 workers:@." n (latency *. 1000.)
-    fib_n;
-  Format.printf "  latency-hiding server: %.3f s@." lh.W.Server.elapsed;
-  Format.printf "  blocking server:       %.3f s@." ws.W.Server.elapsed
+  assert (v1 = expect);
+  let v2, dt2 =
+    let module Pool = P.Ws_instance in
+    let pool = Pool.create ~workers:4 () in
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () -> run_server (module Pool) pool (Reactor.blocking ()))
+  in
+  assert (v2 = expect);
+  Format.printf "%d requests over one socket, %.0f ms apart, fib(%d) handling:@." n
+    (latency *. 1000.) fib_n;
+  Format.printf "  latency-hiding server (2 workers): %.3f s@." dt1;
+  Format.printf "  blocking server (4 workers needed): %.3f s@." dt2

@@ -1,0 +1,140 @@
+(* A buffered connection over a descriptor.  Reads go through a small
+   input buffer (length-prefixed RPC framing issues many tiny reads);
+   writes go straight to the kernel.  Every operation optionally carries
+   a deadline, enforced by the reactor: in fiber mode a parked wait is
+   raced against a timer, in blocking mode the deadline is the select
+   timeout — either way a dead peer costs Net.Timeout, never a worker
+   parked forever. *)
+
+type t = {
+  fd : Unix.file_descr;
+  rt : Reactor.t;
+  rbuf : Bytes.t;
+  mutable rpos : int;  (* next unread byte in rbuf *)
+  mutable rlen : int;  (* bytes buffered in rbuf *)
+  read_timeout : float option;
+  write_timeout : float option;
+  mutable last_active : float;  (* for idle reaping; monotone enough *)
+  closed : bool Atomic.t;
+}
+
+let buf_capacity = 16 * 1024
+
+let create rt ?read_timeout ?write_timeout fd =
+  if Reactor.is_fibers rt then Unix.set_nonblock fd;
+  {
+    fd;
+    rt;
+    rbuf = Bytes.create buf_capacity;
+    rpos = 0;
+    rlen = 0;
+    read_timeout;
+    write_timeout;
+    last_active = Unix.gettimeofday ();
+    closed = Atomic.make false;
+  }
+
+let fd t = t.fd
+let is_closed t = Atomic.get t.closed
+let last_active t = t.last_active
+
+let close t =
+  if Atomic.compare_and_set t.closed false true then begin
+    (* [close] alone does not wake a blocked reader on Linux; [shutdown]
+       does, and it also makes fiber-mode parked waiters fail fast
+       (reads return EOF / the next select flags the fd). *)
+    (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error ((Unix.ENOTCONN | Unix.ENOTSOCK | Unix.EBADF | Unix.EINVAL), _, _) ->
+       ());
+    try Unix.close t.fd with Unix.Unix_error (Unix.EBADF, _, _) -> ()
+  end
+
+let deadline_of = function None -> None | Some s -> Some (Unix.gettimeofday () +. s)
+
+let check_open t = if Atomic.get t.closed then raise Net.Closed
+
+(* One kernel read into [buf]; in fiber mode optimistic-first, parking
+   only on EAGAIN.  Returns 0 at EOF (and treats a reset peer as EOF —
+   for a server, a client that vanished is indistinguishable from one
+   that hung up). *)
+let read_once t buf pos len =
+  check_open t;
+  let deadline = deadline_of t.read_timeout in
+  let rec go () =
+    match Unix.read t.fd buf pos len with
+    | n ->
+        t.last_active <- Unix.gettimeofday ();
+        n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Reactor.wait_readable t.rt ?deadline t.fd;
+        go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> 0
+    | exception Unix.Unix_error (Unix.EBADF, _, _) when Atomic.get t.closed -> raise Net.Closed
+  in
+  (* An EBADF out of a parked wait after a concurrent [close] (reaper,
+     listener shutdown) is this connection ending, not a reactor bug. *)
+  try
+    if not (Reactor.is_fibers t.rt) && t.read_timeout <> None then
+      (* Blocking mode cannot be interrupted mid-read: enforce the deadline
+         up front by waiting for readability with a timeout. *)
+      Reactor.wait_readable t.rt ?deadline t.fd;
+    go ()
+  with Unix.Unix_error (Unix.EBADF, _, _) when Atomic.get t.closed -> raise Net.Closed
+
+let refill t =
+  let n = read_once t t.rbuf 0 buf_capacity in
+  t.rpos <- 0;
+  t.rlen <- n;
+  n
+
+let read t buf pos len =
+  if t.rpos < t.rlen then begin
+    let n = min len (t.rlen - t.rpos) in
+    Bytes.blit t.rbuf t.rpos buf pos n;
+    t.rpos <- t.rpos + n;
+    n
+  end
+  else if len >= buf_capacity then read_once t buf pos len
+  else
+    let n = refill t in
+    if n = 0 then 0
+    else begin
+      let k = min len n in
+      Bytes.blit t.rbuf 0 buf pos k;
+      t.rpos <- k;
+      k
+    end
+
+let read_exactly t buf len =
+  let rec go pos =
+    if pos < len then begin
+      let n = read t buf pos (len - pos) in
+      if n = 0 then raise End_of_file;
+      go (pos + n)
+    end
+  in
+  go 0
+
+let write_all t buf =
+  check_open t;
+  let len = Bytes.length buf in
+  let deadline = deadline_of t.write_timeout in
+  let rec go pos =
+    if pos < len then
+      match Unix.write t.fd buf pos (len - pos) with
+      | n ->
+          t.last_active <- Unix.gettimeofday ();
+          go (pos + n)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Reactor.wait_writable t.rt ?deadline t.fd;
+          go pos
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> raise Net.Closed
+      | exception Unix.Unix_error (Unix.EBADF, _, _) when Atomic.get t.closed -> raise Net.Closed
+  in
+  try
+    if not (Reactor.is_fibers t.rt) && t.write_timeout <> None then
+      Reactor.wait_writable t.rt ?deadline t.fd;
+    go 0
+  with Unix.Unix_error (Unix.EBADF, _, _) when Atomic.get t.closed -> raise Net.Closed

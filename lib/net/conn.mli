@@ -1,0 +1,39 @@
+(** A buffered connection with per-operation deadlines.
+
+    Reads are buffered (framing layers issue many small reads); writes
+    go straight through.  [read_timeout] / [write_timeout] are relative
+    seconds applied per operation: a wait that outlives its deadline
+    raises {!Net.Timeout} instead of parking the fiber (or blocking the
+    worker) forever. *)
+
+type t
+
+val create :
+  Reactor.t -> ?read_timeout:float -> ?write_timeout:float -> Unix.file_descr -> t
+(** Wraps the descriptor (setting it non-blocking in fiber mode).  The
+    connection takes ownership: close it only through {!close}. *)
+
+val fd : t -> Unix.file_descr
+
+val read : t -> bytes -> int -> int -> int
+(** Returns 0 at end of file (a reset peer reads as EOF).
+    @raise Net.Timeout when [read_timeout] expires first.
+    @raise Net.Closed on a connection closed by {!close}. *)
+
+val read_exactly : t -> bytes -> int -> unit
+(** Fills the buffer's first [len] bytes. @raise End_of_file at EOF. *)
+
+val write_all : t -> bytes -> unit
+(** Writes the whole buffer.
+    @raise Net.Closed if the peer is gone or {!close} was called.
+    @raise Net.Timeout when [write_timeout] expires first. *)
+
+val close : t -> unit
+(** Shutdown + close, idempotent and thread-safe.  Wakes any reader
+    currently blocked or parked on the descriptor. *)
+
+val is_closed : t -> bool
+
+val last_active : t -> float
+(** [Unix.gettimeofday] timestamp of the last completed read or write;
+    the listener's idle reaper compares it against [idle_timeout]. *)

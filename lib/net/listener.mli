@@ -1,0 +1,55 @@
+(** Accepting sockets onto a pool: one handler task per connection.
+
+    The accept loop runs as an ordinary pool task — a fiber on the
+    latency-hiding pools (parking on listen-fd readiness), a blocking
+    task on the baselines.  Each accepted connection becomes a
+    {!Conn.t} handed to [handler] in its own pool task, so request
+    handling interleaves with whatever else the pool is computing: the
+    paper's "parallel server obtaining and fulfilling requests". *)
+
+type config = {
+  backlog : int;  (** [Unix.listen] queue depth (default 128) *)
+  max_conns : int;
+      (** backpressure gate: while this many handlers are live the loop
+          stops accepting and lets the kernel queue hold arrivals
+          (default 1024) *)
+  idle_timeout : float option;
+      (** reap connections with no completed I/O for this long *)
+  read_timeout : float option;  (** per-operation deadline handed to each {!Conn.t} *)
+  write_timeout : float option;
+  reap_interval : float;  (** idle-reaper period, seconds (default 0.05) *)
+}
+
+val default_config : config
+
+type t
+
+val serve :
+  (module Lhws_workloads.Pool_intf.POOL with type t = 'p) ->
+  'p ->
+  Reactor.t ->
+  ?config:config ->
+  Unix.sockaddr ->
+  handler:(Conn.t -> unit) ->
+  t
+(** Binds, listens and starts the accept loop (plus the idle reaper when
+    [idle_timeout] is set) as tasks on the pool.  Must be called from
+    within [P.run] (or any pool task); the handler's [Net.Closed],
+    [Net.Timeout] and [End_of_file] escapes are normal connection
+    endings, any other exception also just ends that connection.  The
+    connection is closed when the handler returns. *)
+
+val addr : t -> Unix.sockaddr
+(** The actual bound address — useful after binding port 0. *)
+
+val live : t -> int
+(** Connections currently being handled. *)
+
+val accepted : t -> int
+(** Total connections accepted so far. *)
+
+val shutdown : ?grace:float -> t -> unit
+(** Graceful stop: stop accepting, wait up to [grace] seconds (default
+    5) for live handlers to drain, then force-close the stragglers and
+    wait for their handlers to unwind.  Idempotent.  Must be called from
+    within a task of the same pool ([P.sleep] paces the waits). *)

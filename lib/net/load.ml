@@ -1,0 +1,70 @@
+module Pool_intf = Lhws_workloads.Pool_intf
+
+type report = {
+  total : int;
+  errors : int;
+  wall_s : float;
+  throughput_rps : float;
+  p50_us : float;
+  p99_us : float;
+  max_us : float;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let idx = int_of_float (ceil (q *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) idx))
+
+let default_payload i =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 (Int64.of_int i);
+  b
+
+(* Closed-loop: [conns] pipelined connections, [inflight] generator tasks
+   per connection, each issuing [iters] calls back to back — so exactly
+   conns * inflight requests are outstanding at any moment.  Call from
+   within [P.run]. *)
+let run (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt
+    ?(conns = 4) ?(inflight = 8) ?(iters = 50) ?(payload = default_payload) addr =
+  if conns < 1 || inflight < 1 || iters < 1 then
+    invalid_arg "Load.run: conns, inflight and iters must be >= 1";
+  let lats = Array.init (conns * inflight) (fun _ -> Array.make iters nan) in
+  let errors = Atomic.make 0 in
+  let clients = Array.init conns (fun _ -> Rpc.Client.connect (module P) pool rt addr) in
+  let t0 = Unix.gettimeofday () in
+  let tasks =
+    List.concat_map
+      (fun ci ->
+        List.init inflight (fun j ->
+            let slot = lats.((ci * inflight) + j) in
+            P.async pool (fun () ->
+                for k = 0 to iters - 1 do
+                  let t = Unix.gettimeofday () in
+                  match P.await pool (Rpc.Client.call clients.(ci) (payload k)) with
+                  | (_ : bytes) -> slot.(k) <- (Unix.gettimeofday () -. t) *. 1e6
+                  | exception _ -> Atomic.incr errors
+                done)))
+      (List.init conns Fun.id)
+  in
+  List.iter (fun t -> P.await pool t) tasks;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Array.iter Rpc.Client.close clients;
+  let ok =
+    Array.to_list lats
+    |> List.concat_map (fun slot ->
+           Array.to_list slot |> List.filter (fun x -> not (Float.is_nan x)))
+    |> Array.of_list
+  in
+  Array.sort compare ok;
+  let total = conns * inflight * iters in
+  {
+    total;
+    errors = Atomic.get errors;
+    wall_s;
+    throughput_rps = (if wall_s > 0. then float_of_int (Array.length ok) /. wall_s else 0.);
+    p50_us = percentile ok 0.50;
+    p99_us = percentile ok 0.99;
+    max_us = (if Array.length ok = 0 then 0. else ok.(Array.length ok - 1));
+  }

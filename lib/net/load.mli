@@ -1,0 +1,32 @@
+(** Closed-loop multi-connection load generator.
+
+    [conns] pipelined connections × [inflight] generator tasks per
+    connection, each issuing [iters] requests back to back: the offered
+    load is fixed at [conns * inflight] outstanding requests, and the
+    report carries wall-clock throughput plus a latency histogram
+    summary.  Used by both the tests and [bench/scenarios_net.ml]. *)
+
+type report = {
+  total : int;  (** requests attempted ([conns * inflight * iters]) *)
+  errors : int;  (** calls that failed (timeout, closed, remote error) *)
+  wall_s : float;
+  throughput_rps : float;  (** successful requests per second *)
+  p50_us : float;  (** median request latency, microseconds *)
+  p99_us : float;
+  max_us : float;
+}
+
+val run :
+  (module Lhws_workloads.Pool_intf.POOL with type t = 'p) ->
+  'p ->
+  Reactor.t ->
+  ?conns:int ->
+  ?inflight:int ->
+  ?iters:int ->
+  ?payload:(int -> bytes) ->
+  Unix.sockaddr ->
+  report
+(** Runs the load against an {!Rpc.serve} endpoint.  Must be called from
+    within [P.run], on a pool where {!Rpc.Client} is safe (latency-hiding
+    or thread pool; defaults: 4 conns, 8 in-flight, 50 iters, 8-byte
+    payloads). *)

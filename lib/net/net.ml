@@ -1,0 +1,12 @@
+exception Timeout
+exception Closed
+exception Protocol_error of string
+exception Remote_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Timeout -> Some "Net.Timeout"
+    | Closed -> Some "Net.Closed"
+    | Protocol_error msg -> Some (Printf.sprintf "Net.Protocol_error(%s)" msg)
+    | Remote_error msg -> Some (Printf.sprintf "Net.Remote_error(%s)" msg)
+    | _ -> None)

@@ -1,0 +1,17 @@
+(** Exceptions shared across the networking stack. *)
+
+exception Timeout
+(** A per-operation deadline expired while the fiber was parked on
+    descriptor readiness (or, on a blocking pool, while waiting in
+    [select]).  The fiber fails instead of parking forever. *)
+
+exception Closed
+(** The connection (or client) was closed underneath the operation. *)
+
+exception Protocol_error of string
+(** The peer sent bytes that do not parse as an RPC frame, or a frame
+    exceeding the size limit. *)
+
+exception Remote_error of string
+(** The server's handler raised; the exception text travelled back in
+    the response frame's error status. *)

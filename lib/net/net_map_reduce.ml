@@ -1,0 +1,124 @@
+(* The paper's Figure 11 shape over real sockets: a parallel map-reduce
+   whose map inputs are fetched from a remote data server, with the
+   per-fetch latency δ induced server-side.  The client pool holds a
+   small fixed set of connections; the latency-hiding pool pipelines all
+   outstanding fetches over them (each fetch is a heavy edge — the fiber
+   suspends, U grows, workers keep computing), while a blocking pool
+   occupies one connection per blocked task, serialising the δs. *)
+
+module Pool_intf = Lhws_workloads.Pool_intf
+module W = Lhws_workloads
+
+let value_of key = (key * 2654435761) land 0xFFFF
+
+let encode_key key =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 (Int64.of_int key);
+  b
+
+let decode_value b =
+  if Bytes.length b <> 8 then raise (Net.Protocol_error "data server: bad value frame");
+  Int64.to_int (Bytes.get_int64_be b 0)
+
+let expected ~n ~fib_n =
+  let fib = W.Fib.seq fib_n in
+  let rec go i acc = if i >= n then acc else go (i + 1) (acc + value_of i + fib) in
+  go 0 0
+
+(* --- the data server: threaded-blocking, in its own domain ---
+
+   Its own domain because its handler threads would otherwise contend on
+   the client pool domain's runtime lock; threaded-blocking because a
+   data store that parks one thread per request while δ elapses is the
+   realistic peer the paper measures against. *)
+
+type server = { stop : bool Atomic.t; domain : unit Domain.t; addr : Unix.sockaddr }
+
+let start_data_server ?(delta = 0.) () =
+  let stop = Atomic.make false in
+  let addr_slot = Atomic.make None in
+  let handler payload =
+    let key = Int64.to_int (Bytes.get_int64_be payload 0) in
+    if delta > 0. then Unix.sleepf delta;
+    encode_key (value_of key)
+  in
+  let domain =
+    Domain.spawn (fun () ->
+        let module P = Pool_intf.Threaded_instance in
+        let pool = P.create () in
+        Fun.protect
+          ~finally:(fun () -> P.shutdown pool)
+          (fun () ->
+            P.run pool (fun () ->
+                let rt = Reactor.blocking () in
+                let l =
+                  Rpc.serve (module P) pool rt
+                    (Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
+                    ~handler
+                in
+                Atomic.set addr_slot (Some (Listener.addr l));
+                while not (Atomic.get stop) do
+                  Unix.sleepf 0.002
+                done;
+                Listener.shutdown ~grace:1. l)))
+  in
+  let rec await_addr () =
+    match Atomic.get addr_slot with
+    | Some addr -> addr
+    | None ->
+        Unix.sleepf 0.001;
+        await_addr ()
+  in
+  { stop; domain; addr = await_addr () }
+
+let addr s = s.addr
+
+let stop_data_server s =
+  Atomic.set s.stop true;
+  Domain.join s.domain
+
+let with_data_server ?delta f =
+  let s = start_data_server ?delta () in
+  Fun.protect ~finally:(fun () -> stop_data_server s) (fun () -> f s.addr)
+
+(* --- the client-side workload --- *)
+
+let fetch_pipelined (clients : Rpc.Client.t array) (type p)
+    (module P : Pool_intf.POOL with type t = p) (pool : p) i =
+  decode_value (P.await pool (Rpc.Client.call clients.(i mod Array.length clients) (encode_key i)))
+
+let fetch_blocking conns mus i =
+  let k = i mod Array.length conns in
+  Mutex.lock mus.(k);
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock mus.(k))
+    (fun () -> decode_value (Rpc.call_sync conns.(k) (encode_key i)))
+
+let run (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt ~addr ~n
+    ?(conns = 2) ?(fib_n = 10) () =
+  if conns < 1 then invalid_arg "Net_map_reduce.run: conns must be >= 1";
+  let map fetch i = fetch i + W.Fib.seq fib_n in
+  let reduce fetch =
+    P.parallel_map_reduce pool ~lo:0 ~hi:n ~map:(map fetch) ~combine:( + ) ~id:0
+  in
+  if Reactor.is_fibers rt then begin
+    let clients = Array.init conns (fun _ -> Rpc.Client.connect (module P) pool rt addr) in
+    Fun.protect
+      ~finally:(fun () -> Array.iter Rpc.Client.close clients)
+      (fun () -> reduce (fetch_pipelined clients (module P) pool))
+  end
+  else begin
+    let connect () =
+      let fd = Unix.socket ~cloexec:true (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd addr
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      Conn.create rt fd
+    in
+    let cs = Array.init conns (fun _ -> connect ()) in
+    let mus = Array.init conns (fun _ -> Mutex.create ()) in
+    Fun.protect
+      ~finally:(fun () -> Array.iter Conn.close cs)
+      (fun () -> reduce (fetch_blocking cs mus))
+  end

@@ -1,0 +1,50 @@
+(** Figure 11 over real sockets: map-reduce whose map inputs are fetched
+    from a loopback data server with a server-side delay knob δ.
+
+    The client pool gets a small fixed set of connections.  On a
+    latency-hiding pool every fetch suspends its fiber and the requests
+    pipeline — all n δ-waits overlap.  On a blocking pool a fetch
+    occupies one connection (and one worker) for its whole round trip,
+    so the δs serialise over [conns] connections.  The wall-clock ratio
+    between the two is the paper's headline comparison, now induced by
+    genuine descriptor latency instead of timer sleeps. *)
+
+val value_of : int -> int
+(** The deterministic key→value map the data server implements. *)
+
+val expected : n:int -> fib_n:int -> int
+(** The checksum {!run} must return: Σᵢ (value_of i + fib fib_n). *)
+
+(** {1 Data server} *)
+
+type server
+
+val start_data_server : ?delta:float -> unit -> server
+(** Spawns a threaded-blocking RPC data server in its own domain (so its
+    handler threads don't contend on the caller's runtime lock), bound
+    to an ephemeral loopback port.  Each request sleeps [delta] seconds
+    (default 0) before answering — the δ knob. *)
+
+val stop_data_server : server -> unit
+
+val with_data_server : ?delta:float -> (Unix.sockaddr -> 'a) -> 'a
+
+val addr : server -> Unix.sockaddr
+
+(** {1 Client workload} *)
+
+val run :
+  (module Lhws_workloads.Pool_intf.POOL with type t = 'p) ->
+  'p ->
+  Reactor.t ->
+  addr:Unix.sockaddr ->
+  n:int ->
+  ?conns:int ->
+  ?fib_n:int ->
+  unit ->
+  int
+(** Fetches n values over [conns] connections (default 2), adds
+    [fib fib_n] of local work per element (default 10), reduces with
+    [+].  Call from within [P.run]; fiber pools use pipelined clients,
+    blocking pools synchronous round-trips behind per-connection
+    mutexes.  Returns the checksum (= {!expected}). *)

@@ -1,0 +1,79 @@
+open Lhws_runtime
+
+type mode =
+  | Fibers of { io : Io.t; timer : Timer.t }
+  | Blocking
+
+type t = { mode : mode }
+
+let fibers ~register () =
+  let io = Io.create () in
+  let timer = Timer.create () in
+  register ~pending:(Some (fun () -> Io.pending io)) (fun () -> Io.poll io);
+  register ~pending:None (fun () -> Timer.poll timer);
+  { mode = Fibers { io; timer } }
+
+let blocking () = { mode = Blocking }
+let is_fibers t = match t.mode with Fibers _ -> true | Blocking -> false
+
+(* A fiber wait raced against a deadline.  Both the Io waiter callback and
+   the timer callback funnel through the reactor's Io mutex: the timer side
+   only wins if [Io.cancel] claims the still-live waiter, so exactly one of
+   them resumes the fiber, exactly once. *)
+type verdict = Ready | Timed_out | Bad of exn
+
+let wait_fibers io timer kind fd ~deadline =
+  let verdict = ref Ready in
+  Fiber.suspend (fun resume ->
+      let on_event e =
+        (match e with None -> () | Some exn -> verdict := Bad exn);
+        resume ()
+      in
+      let w =
+        match kind with
+        | `Readable -> Io.add_readable io fd on_event
+        | `Writable -> Io.add_writable io fd on_event
+      in
+      match deadline with
+      | None -> ()
+      | Some d ->
+          Timer.add timer ~deadline:d (fun () ->
+              if Io.cancel io w then begin
+                verdict := Timed_out;
+                resume ()
+              end));
+  match !verdict with
+  | Ready -> ()
+  | Timed_out -> raise Net.Timeout
+  | Bad e -> raise e
+
+(* Blocking pools park in [select] itself; the deadline becomes its
+   timeout argument, so a dead peer still cannot hold a worker forever. *)
+let wait_blocking kind fd ~deadline =
+  let timeout =
+    match deadline with
+    | None -> -1. (* no deadline: block until ready *)
+    | Some d -> Float.max 0. (d -. Unix.gettimeofday ())
+  in
+  let r, w = match kind with `Readable -> ([ fd ], []) | `Writable -> ([], [ fd ]) in
+  let rec go timeout =
+    match Unix.select r w [] timeout with
+    | [], [], [] -> if deadline <> None then raise Net.Timeout
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        let timeout =
+          match deadline with
+          | None -> -1.
+          | Some d -> Float.max 0. (d -. Unix.gettimeofday ())
+        in
+        go timeout
+  in
+  go timeout
+
+let wait t kind fd ~deadline =
+  match t.mode with
+  | Fibers { io; timer } -> wait_fibers io timer kind fd ~deadline
+  | Blocking -> wait_blocking kind fd ~deadline
+
+let wait_readable t ?deadline fd = wait t `Readable fd ~deadline
+let wait_writable t ?deadline fd = wait t `Writable fd ~deadline

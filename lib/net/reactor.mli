@@ -1,0 +1,36 @@
+(** How a pool does I/O: parked fibers over the {!Lhws_runtime.Io}
+    reactor, or plain blocking syscalls.
+
+    Every [lib/net] entry point takes one of these, so the same listener
+    / connection / RPC code serves both the latency-hiding pools (fibers
+    park on readiness, workers keep running other tasks — the paper's
+    heavy-edge suspension) and the blocking baselines (a wait occupies
+    the worker — the comparison the paper draws). *)
+
+type t
+
+val fibers :
+  register:
+    (pending:(unit -> int) option -> (unit -> int) -> unit) ->
+  unit ->
+  t
+(** Builds a fiber-mode reactor: a fresh {!Lhws_runtime.Io.t} plus a
+    dedicated deadline {!Lhws_runtime.Timer.t}, both handed to
+    [register] so the pool's worker loop pumps them.  Call as
+    [Reactor.fibers ~register:(fun ~pending poll ->
+       Lhws_pool.register_poller p ?pending poll) ()].
+    Only meaningful on suspension-capable pools. *)
+
+val blocking : unit -> t
+(** Blocking mode: waits are [select] calls with the deadline as
+    timeout, reads/writes plain syscalls.  For the WS and thread pools. *)
+
+val is_fibers : t -> bool
+
+val wait_readable : t -> ?deadline:float -> Unix.file_descr -> unit
+(** Waits until the descriptor is readable.  [deadline] is absolute
+    ([Unix.gettimeofday] seconds).
+    @raise Net.Timeout when the deadline passes first.
+    @raise Unix.Unix_error when the descriptor turns bad while parked. *)
+
+val wait_writable : t -> ?deadline:float -> Unix.file_descr -> unit

@@ -1,0 +1,232 @@
+module Pool_intf = Lhws_workloads.Pool_intf
+module Promise = Lhws_runtime.Promise
+
+(* Wire format (all integers big-endian):
+     request   4B payload length | 8B request id | payload
+     response  4B payload length | 8B request id | 1B status | payload
+   status 0 = Ok (payload is the result), 1 = handler raised (payload is
+   the exception text, surfaced to the caller as Net.Remote_error). *)
+
+let max_frame = 8 * 1024 * 1024
+
+(* Frame writes must be atomic even though responses (and pipelined
+   requests) come from many concurrent tasks, and a plain [Mutex.lock]
+   from a fiber would block the whole worker while the holder is parked
+   mid-write.  Cooperative lock: spin on [try_lock], yielding through the
+   pool's sleep so the worker keeps scheduling other tasks. *)
+type wlock = { mu : Mutex.t; sleep : unit -> unit }
+
+let make_wlock sleep = { mu = Mutex.create (); sleep }
+
+let with_wlock l f =
+  let rec acquire () = if not (Mutex.try_lock l.mu) then (l.sleep (); acquire ()) in
+  acquire ();
+  Fun.protect ~finally:(fun () -> Mutex.unlock l.mu) f
+
+let check_len len =
+  if len < 0 || len > max_frame then
+    raise (Net.Protocol_error (Printf.sprintf "frame length %d out of range" len))
+
+(* Reads [n] header/payload bytes; [None] on EOF at a frame boundary
+   (clean hang-up), Protocol_error on EOF mid-frame. *)
+let read_chunk conn n ~at_boundary =
+  let b = Bytes.create n in
+  let rec go pos =
+    if pos < n then
+      match Conn.read conn b pos (n - pos) with
+      | 0 ->
+          if pos = 0 && at_boundary then None
+          else raise (Net.Protocol_error "peer closed mid-frame")
+      | k -> go (pos + k)
+    else Some b
+  in
+  go 0
+
+let read_request conn =
+  match read_chunk conn 12 ~at_boundary:true with
+  | None -> None
+  | Some hdr ->
+      let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+      check_len len;
+      let id = Int64.to_int (Bytes.get_int64_be hdr 4) in
+      let payload =
+        match read_chunk conn len ~at_boundary:false with
+        | Some p -> p
+        | None -> assert false
+      in
+      Some (id, payload)
+
+let read_response conn =
+  match read_chunk conn 13 ~at_boundary:true with
+  | None -> None
+  | Some hdr ->
+      let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+      check_len len;
+      let id = Int64.to_int (Bytes.get_int64_be hdr 4) in
+      let status = Bytes.get_uint8 hdr 12 in
+      let payload =
+        match read_chunk conn len ~at_boundary:false with
+        | Some p -> p
+        | None -> assert false
+      in
+      Some (id, status, payload)
+
+let write_request conn ~id payload =
+  let len = Bytes.length payload in
+  if len > max_frame then invalid_arg "Rpc: request payload exceeds max_frame";
+  let b = Bytes.create (12 + len) in
+  Bytes.set_int32_be b 0 (Int32.of_int len);
+  Bytes.set_int64_be b 4 (Int64.of_int id);
+  Bytes.blit payload 0 b 12 len;
+  Conn.write_all conn b
+
+let write_response conn ~id ~status payload =
+  let len = Bytes.length payload in
+  if len > max_frame then invalid_arg "Rpc: response payload exceeds max_frame";
+  let b = Bytes.create (13 + len) in
+  Bytes.set_int32_be b 0 (Int32.of_int len);
+  Bytes.set_int64_be b 4 (Int64.of_int id);
+  Bytes.set_uint8 b 12 status;
+  Bytes.blit payload 0 b 13 len;
+  Conn.write_all conn b
+
+(* --- server --- *)
+
+let serve_handler (type p) (module P : Pool_intf.POOL with type t = p) (pool : p)
+    ~handler conn =
+  let wl = make_wlock (fun () -> P.sleep pool 0.0002) in
+  let outstanding = Atomic.make 0 in
+  let rec loop () =
+    match read_request conn with
+    | None -> ()
+    | Some (id, payload) ->
+        Atomic.incr outstanding;
+        (* Each decoded request becomes a pool task: responses go out in
+           completion order, ids let the client demultiplex — this is
+           where packet arrival order feeds the scheduler. *)
+        ignore
+          (P.async pool (fun () ->
+               Fun.protect
+                 ~finally:(fun () -> Atomic.decr outstanding)
+                 (fun () ->
+                   let status, resp =
+                     match handler payload with
+                     | v -> (0, v)
+                     | exception e -> (1, Bytes.of_string (Printexc.to_string e))
+                   in
+                   try with_wlock wl (fun () -> write_response conn ~id ~status resp)
+                   with Net.Closed | Net.Timeout -> ())));
+        loop ()
+  in
+  (try loop () with Net.Closed | Net.Timeout | Net.Protocol_error _ | End_of_file -> ());
+  (* The connection may be closed the moment we return (the listener owns
+     it): let in-flight responses finish first. *)
+  while Atomic.get outstanding > 0 do
+    P.sleep pool 0.0002
+  done
+
+let serve (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt ?config
+    addr ~handler =
+  Listener.serve (module P) pool rt ?config addr
+    ~handler:(fun conn -> serve_handler (module P) pool ~handler conn)
+
+(* --- pipelined client --- *)
+
+module Client = struct
+  type t = {
+    conn : Conn.t;
+    wl : wlock;
+    pending_mu : Mutex.t;
+    pending : (int, Bytes.t Promise.t) Hashtbl.t;
+    next_id : int Atomic.t;
+    closed : bool Atomic.t;
+  }
+
+  let take_pending c id =
+    Mutex.lock c.pending_mu;
+    let p = Hashtbl.find_opt c.pending id in
+    Hashtbl.remove c.pending id;
+    Mutex.unlock c.pending_mu;
+    p
+
+  let fail_all c e =
+    Mutex.lock c.pending_mu;
+    let ps = Hashtbl.fold (fun _ p acc -> p :: acc) c.pending [] in
+    Hashtbl.reset c.pending;
+    Mutex.unlock c.pending_mu;
+    List.iter (fun p -> try Promise.fulfill p (Error e) with Invalid_argument _ -> ()) ps
+
+  (* Reads responses until the connection dies, resolving each pending
+     call.  Runs as its own pool task: a fiber on the latency-hiding
+     pool, a dedicated thread on the thread pool.  NOT safe on the
+     helping-await WS pool — helping would run this non-terminating loop
+     inside a caller's await and bury its continuation; blocking pools
+     should use [call_sync] over dedicated connections instead. *)
+  let demux c =
+    let rec loop () =
+      match read_response c.conn with
+      | None -> fail_all c Net.Closed
+      | Some (id, status, payload) ->
+          (match take_pending c id with
+          | None -> ()  (* response to a call we already failed *)
+          | Some p ->
+              let r =
+                if status = 0 then Ok payload
+                else Error (Net.Remote_error (Bytes.to_string payload))
+              in
+              (try Promise.fulfill p r with Invalid_argument _ -> ()));
+          loop ()
+    in
+    try loop () with
+    | Net.Closed | Net.Timeout | End_of_file -> fail_all c Net.Closed
+    | e -> fail_all c e
+
+  let connect (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt
+      ?read_timeout ?write_timeout addr =
+    let fd = Unix.socket ~cloexec:true (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd addr
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    let conn = Conn.create rt ?read_timeout ?write_timeout fd in
+    let c =
+      {
+        conn;
+        wl = make_wlock (fun () -> P.sleep pool 0.0002);
+        pending_mu = Mutex.create ();
+        pending = Hashtbl.create 32;
+        next_id = Atomic.make 1;
+        closed = Atomic.make false;
+      }
+    in
+    ignore (P.async pool (fun () -> demux c));
+    c
+
+  let call c payload =
+    if Atomic.get c.closed then raise Net.Closed;
+    let id = Atomic.fetch_and_add c.next_id 1 in
+    let p = Promise.create () in
+    Mutex.lock c.pending_mu;
+    Hashtbl.replace c.pending id p;
+    Mutex.unlock c.pending_mu;
+    (try with_wlock c.wl (fun () -> write_request c.conn ~id payload)
+     with e ->
+       ignore (take_pending c id : _ option);
+       raise e);
+    p
+
+  let close c =
+    if Atomic.compare_and_set c.closed false true then begin
+      Conn.close c.conn;  (* wakes the demux task, which fails pending *)
+      fail_all c Net.Closed
+    end
+end
+
+(* --- synchronous round-trip, for blocking pools --- *)
+
+let call_sync conn payload =
+  write_request conn ~id:0 payload;
+  match read_response conn with
+  | None -> raise Net.Closed
+  | Some (_, 0, resp) -> resp
+  | Some (_, _, err) -> raise (Net.Remote_error (Bytes.to_string err))

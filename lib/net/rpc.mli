@@ -1,0 +1,73 @@
+(** Length-prefixed request/response RPC with pipelining.
+
+    Wire format (big-endian): a request frame is
+    [4B payload length | 8B request id | payload]; a response frame adds
+    a status byte after the id (0 = ok, 1 = the handler raised, payload
+    carries the exception text).  Many requests may be in flight per
+    connection; ids pair responses with calls, so responses travel in
+    {e completion} order — on the server, every decoded request is
+    dispatched as its own pool task, which is exactly how real packet
+    arrival order feeds the scheduler's resume path. *)
+
+val max_frame : int
+(** Largest accepted payload (8 MiB); bigger frames fail with
+    [Net.Protocol_error]. *)
+
+(** {1 Server} *)
+
+val serve_handler :
+  (module Lhws_workloads.Pool_intf.POOL with type t = 'p) ->
+  'p ->
+  handler:(bytes -> bytes) ->
+  Conn.t ->
+  unit
+(** Connection loop for a {!Listener} handler: decode frames, dispatch
+    each as a pool task, serialise response writes.  Returns when the
+    peer hangs up (after in-flight responses drain). *)
+
+val serve :
+  (module Lhws_workloads.Pool_intf.POOL with type t = 'p) ->
+  'p ->
+  Reactor.t ->
+  ?config:Listener.config ->
+  Unix.sockaddr ->
+  handler:(bytes -> bytes) ->
+  Listener.t
+(** [Listener.serve] with {!serve_handler} as the connection handler. *)
+
+(** {1 Pipelined client}
+
+    Safe on pools whose [async] gives the demultiplexer its own
+    execution context: fibers (latency-hiding pool) or dedicated threads
+    (thread pool).  {b Not} for the helping-await WS pool — helping
+    would run the non-terminating demux loop inside a caller's [await]
+    and bury its continuation; use {!call_sync} there. *)
+
+module Client : sig
+  type t
+
+  val connect :
+    (module Lhws_workloads.Pool_intf.POOL with type t = 'p) ->
+    'p ->
+    Reactor.t ->
+    ?read_timeout:float ->
+    ?write_timeout:float ->
+    Unix.sockaddr ->
+    t
+  (** Connects and spawns the response demultiplexer as a pool task. *)
+
+  val call : t -> bytes -> bytes Lhws_runtime.Promise.t
+  (** Sends one request; the promise resolves when its response arrives
+      (out of order with other calls).  Await it with the pool's
+      [await].  Fails with [Net.Remote_error] if the server handler
+      raised, [Net.Closed] if the connection dies first. *)
+
+  val close : t -> unit
+  (** Closes the connection; pending calls fail with [Net.Closed]. *)
+end
+
+val call_sync : Conn.t -> bytes -> bytes
+(** One synchronous round-trip on a raw connection — the blocking
+    baseline's client path (the caller owns any connection sharing).
+    @raise Net.Remote_error if the server handler raised.
+    @raise Net.Closed if the peer hangs up first. *)

@@ -1,25 +1,114 @@
 (* select-based reactor.  Waiter lists are keyed by descriptor; a mutex
-   guards them (contention is low: one lock per suspension/resume). *)
+   guards them (contention is low: one lock per suspension/resume).
 
-type waiters = (Unix.file_descr, (unit -> unit) list ref) Hashtbl.t
+   Each parked fiber is represented by a [waiter] record with a [live]
+   flag, giving exactly-once resumption between three competitors: fd
+   readiness, an fd error discovered during [select], and external
+   cancellation (deadline timers race waiters through {!cancel}).  The
+   mutex is the arbiter: whoever flips [live] under the lock owns the
+   callback. *)
+
+type kind = Read | Write
+
+type waiter = {
+  wfd : Unix.file_descr;
+  wkind : kind;
+  notify : exn option -> unit;  (* [None] = ready; [Some e] = fd error *)
+  mutable live : bool;  (* guarded by [t.mu] *)
+}
+
+type waiters = (Unix.file_descr, waiter list ref) Hashtbl.t
 
 type t = { mu : Mutex.t; readers : waiters; writers : waiters }
 
 let create () = { mu = Mutex.create (); readers = Hashtbl.create 16; writers = Hashtbl.create 16 }
 
-let add_waiter tbl fd resume =
+let tbl_of t = function Read -> t.readers | Write -> t.writers
+
+let add_waiter t kind fd notify =
+  let w = { wfd = fd; wkind = kind; notify; live = true } in
+  Mutex.lock t.mu;
+  let tbl = tbl_of t kind in
+  (match Hashtbl.find_opt tbl fd with
+  | Some l -> l := w :: !l
+  | None -> Hashtbl.add tbl fd (ref [ w ]));
+  Mutex.unlock t.mu;
+  w
+
+let add_readable t fd notify = add_waiter t Read fd notify
+let add_writable t fd notify = add_waiter t Write fd notify
+
+(* Detach every waiter currently parked on [fd] in [tbl].  Owner of
+   [t.mu] only; the returned waiters are already marked dead, so the
+   caller runs their callbacks outside the lock. *)
+let take_all tbl fd =
   match Hashtbl.find_opt tbl fd with
-  | Some l -> l := resume :: !l
-  | None -> Hashtbl.add tbl fd (ref [ resume ])
+  | None -> []
+  | Some l ->
+      let ws = List.filter (fun w -> w.live) !l in
+      List.iter (fun w -> w.live <- false) ws;
+      Hashtbl.remove tbl fd;
+      ws
 
-let wait_on t tbl fd =
+let cancel t w =
+  Mutex.lock t.mu;
+  let claimed = w.live in
+  if claimed then begin
+    w.live <- false;
+    let tbl = tbl_of t w.wkind in
+    match Hashtbl.find_opt tbl w.wfd with
+    | None -> ()
+    | Some l -> (
+        match List.filter (fun w' -> w' != w) !l with
+        | [] -> Hashtbl.remove tbl w.wfd
+        | rest -> l := rest)
+  end;
+  Mutex.unlock t.mu;
+  claimed
+
+let wait_on t kind fd =
+  let err = ref None in
   Fiber.suspend (fun resume ->
-      Mutex.lock t.mu;
-      add_waiter tbl fd resume;
-      Mutex.unlock t.mu)
+      ignore
+        (add_waiter t kind fd (fun e ->
+             err := e;
+             resume ())
+          : waiter));
+  match !err with Some e -> raise e | None -> ()
 
-let wait_readable t fd = wait_on t t.readers fd
-let wait_writable t fd = wait_on t t.writers fd
+let wait_readable t fd = wait_on t Read fd
+let wait_writable t fd = wait_on t Write fd
+
+(* A descriptor that [select] rejects wholesale (closed under a parked
+   fiber -> EBADF, or beyond FD_SETSIZE -> EINVAL) poisons the whole
+   readiness call without naming itself.  Probe each registered fd alone:
+   the ones that still fail get their waiters resumed with the exception —
+   a parked fiber must fail loudly, never park forever. *)
+let sweep_bad t =
+  Mutex.lock t.mu;
+  let rfds = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.readers [] in
+  let wfds = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.writers [] in
+  Mutex.unlock t.mu;
+  let probe fds ~write =
+    List.filter_map
+      (fun fd ->
+        let r, w = if write then ([], [ fd ]) else ([ fd ], []) in
+        match Unix.select r w [] 0. with
+        | _ -> None
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> None
+        | exception (Unix.Unix_error _ as e) -> Some (fd, e))
+      fds
+  in
+  let bad_r = probe rfds ~write:false in
+  let bad_w = probe wfds ~write:true in
+  Mutex.lock t.mu;
+  let victims =
+    List.concat_map (fun (fd, e) -> List.map (fun w -> (w, e)) (take_all t.readers fd)) bad_r
+    @ List.concat_map (fun (fd, e) -> List.map (fun w -> (w, e)) (take_all t.writers fd)) bad_w
+  in
+  Mutex.unlock t.mu;
+  List.iter (fun (w, e) -> w.notify (Some e)) victims;
+  List.length victims
 
 let poll t =
   Mutex.lock t.mu;
@@ -31,25 +120,24 @@ let poll t =
     match Unix.select rfds wfds [] 0. with
     | [], [], _ -> 0
     | ready_r, ready_w, _ ->
-        let resumes = ref [] in
         Mutex.lock t.mu;
-        let take tbl fd =
-          match Hashtbl.find_opt tbl fd with
-          | Some l ->
-              resumes := !l @ !resumes;
-              Hashtbl.remove tbl fd
-          | None -> ()
+        let ws =
+          List.concat_map (take_all t.readers) ready_r
+          @ List.concat_map (take_all t.writers) ready_w
         in
-        List.iter (take t.readers) ready_r;
-        List.iter (take t.writers) ready_w;
         Mutex.unlock t.mu;
-        List.iter (fun resume -> resume ()) !resumes;
-        List.length !resumes
+        List.iter (fun w -> w.notify None) ws;
+        List.length ws
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> sweep_bad t
 
 let pending t =
   Mutex.lock t.mu;
-  let count tbl = Hashtbl.fold (fun _ l acc -> acc + List.length !l) tbl 0 in
+  let count tbl =
+    Hashtbl.fold
+      (fun _ l acc -> acc + List.length (List.filter (fun w -> w.live) !l))
+      tbl 0
+  in
   let n = count t.readers + count t.writers in
   Mutex.unlock t.mu;
   n

@@ -8,17 +8,28 @@
 
     All waits must happen on fibers of a suspension-capable pool.  The
     blocking baseline simply issues blocking reads/writes instead — that
-    is the comparison the paper draws. *)
+    is the comparison the paper draws.
+
+    Descriptor errors are surfaced, never swallowed: when [select]
+    rejects the registered set (a waiter's fd was closed — [EBADF] — or
+    exceeds [FD_SETSIZE] — [EINVAL]), {!poll} probes each fd in
+    isolation and resumes the offending fds' waiters with the
+    [Unix.Unix_error]; the blocking-wait entry points re-raise it in the
+    parked fiber. *)
 
 type t
 
 val create : unit -> t
 
+(** {1 Blocking fiber waits} *)
+
 val wait_readable : t -> Unix.file_descr -> unit
-(** Suspends the calling fiber until the descriptor is readable. *)
+(** Suspends the calling fiber until the descriptor is readable.
+    @raise Unix.Unix_error if the descriptor turns bad while parked. *)
 
 val wait_writable : t -> Unix.file_descr -> unit
-(** Suspends the calling fiber until the descriptor is writable. *)
+(** Suspends the calling fiber until the descriptor is writable.
+    @raise Unix.Unix_error if the descriptor turns bad while parked. *)
 
 val read : t -> Unix.file_descr -> bytes -> int -> int -> int
 (** [read t fd buf pos len] waits for readability, then [Unix.read].
@@ -34,9 +45,34 @@ val read_exactly : t -> Unix.file_descr -> bytes -> int -> unit
 val write_all : t -> Unix.file_descr -> bytes -> unit
 (** Writes the whole buffer. *)
 
+(** {1 Cancellable waiter handles}
+
+    The callback layer under the blocking waits, for callers that race a
+    readiness wait against something else (deadline timers in
+    [lib/net]).  Exactly one of these happens to a registered waiter:
+    its callback fires with [None] (ready), fires with [Some exn] (fd
+    error), or {!cancel} returns [true] (the caller claimed it first). *)
+
+type waiter
+
+val add_readable : t -> Unix.file_descr -> (exn option -> unit) -> waiter
+(** Registers a callback to run once when the fd is readable ([None]) or
+    found bad ([Some (Unix.Unix_error _)]).  The callback runs on the
+    polling worker, outside the reactor lock. *)
+
+val add_writable : t -> Unix.file_descr -> (exn option -> unit) -> waiter
+
+val cancel : t -> waiter -> bool
+(** Atomically claims the waiter: returns [true] and guarantees the
+    callback will never fire iff it had not already fired (or been
+    claimed).  The arbiter for wait-vs-deadline races. *)
+
+(** {1 Polling} *)
+
 val poll : t -> int
 (** Checks readiness with a zero timeout and resumes every ready waiter;
-    returns how many were resumed.  Thread-safe; call from worker loops. *)
+    returns how many were resumed (including waiters failed with a
+    descriptor error).  Thread-safe; call from worker loops. *)
 
 val pending : t -> int
 (** Fibers currently parked in the reactor. *)

@@ -449,6 +449,7 @@ type stats = Scheduler_core.stats = {
   suspensions : int;
   resumes : int;
   max_deques_per_worker : int;
+  io_pending : int;
 }
 
 let stats = C.stats

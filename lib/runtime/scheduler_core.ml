@@ -24,6 +24,7 @@ type stats = {
   suspensions : int;
   resumes : int;
   max_deques_per_worker : int;
+  io_pending : int;
 }
 
 module type POLICY = sig
@@ -48,13 +49,18 @@ module type POLICY = sig
   val deques_allocated : pool -> int
 end
 
+type poller = {
+  poll_fn : unit -> int;
+  pending_fn : (unit -> int) option;  (* gauge: fibers parked in this source *)
+}
+
 module Make (P : POLICY) = struct
   type t = {
     ctxs : ctx array;
     pool : P.pool;
     timer : Timer.t;
     tracer : Tracing.t option ref;
-    mutable pollers : (unit -> int) list;  (* extra event sources, e.g. I/O *)
+    mutable pollers : poller list;  (* extra event sources, e.g. I/O *)
     pump_lock : bool Atomic.t;  (* elects the one worker pumping timer/pollers *)
     stop : bool Atomic.t;
     mutable domains : unit Domain.t array;
@@ -93,7 +99,7 @@ module Make (P : POLICY) = struct
           (fun () ->
             if hint < infinity && hint <= Unix.gettimeofday () then
               ignore (Timer.poll t.timer : int);
-            List.iter (fun poll -> ignore (poll () : int)) t.pollers)
+            List.iter (fun p -> ignore (p.poll_fn () : int)) t.pollers)
 
   (* The engine's inner loop: pump event sources, re-inject resumed work,
      pick a task, run it (traced), back off when idle.  Reentrant — a
@@ -223,7 +229,8 @@ module Make (P : POLICY) = struct
   let timer t = t.timer
   let workers t = Array.length t.ctxs
   let set_tracer t tracer = t.tracer := Some tracer
-  let register_poller t poll = t.pollers <- poll :: t.pollers
+  let register_poller t ?pending poll =
+    t.pollers <- { poll_fn = poll; pending_fn = pending } :: t.pollers
 
   let stats t =
     let sum f = Array.fold_left (fun acc c -> acc + f c.counters) 0 t.ctxs in
@@ -235,5 +242,9 @@ module Make (P : POLICY) = struct
       resumes = sum (fun c -> c.resumes);
       max_deques_per_worker =
         Array.fold_left (fun acc c -> max acc c.counters.max_owned) 0 t.ctxs;
+      io_pending =
+        List.fold_left
+          (fun acc p -> match p.pending_fn with Some f -> acc + f () | None -> acc)
+          0 t.pollers;
     }
 end

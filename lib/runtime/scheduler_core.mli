@@ -58,6 +58,10 @@ type stats = {
   suspensions : int;
   resumes : int;
   max_deques_per_worker : int;
+  io_pending : int;
+      (** gauge, not a counter: fibers currently parked in registered
+          pollers (see [register_poller]'s [?pending]); 0 for pools with
+          no pollers attached *)
 }
 
 (** {1 Scheduling policies} *)
@@ -166,6 +170,10 @@ module Make (P : POLICY) : sig
   val timer : t -> Timer.t
   val workers : t -> int
   val set_tracer : t -> Tracing.t -> unit
-  val register_poller : t -> (unit -> int) -> unit
+  val register_poller : t -> ?pending:(unit -> int) -> (unit -> int) -> unit
+  (** [register_poller t ?pending poll] adds an event source pumped by the
+      worker loop.  [pending] (e.g. {!Io.pending}) feeds the [io_pending]
+      stats gauge; sources without parked fibers omit it. *)
+
   val stats : t -> stats
 end

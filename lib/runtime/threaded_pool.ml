@@ -164,6 +164,7 @@ type stats = Scheduler_core.stats = {
   suspensions : int;
   resumes : int;
   max_deques_per_worker : int;
+  io_pending : int;
 }
 
 (* No deques, no steals, no suspensions: every counter is degenerate. *)
@@ -175,4 +176,5 @@ let stats _t =
     suspensions = 0;
     resumes = 0;
     max_deques_per_worker = 0;
+    io_pending = 0;
   }

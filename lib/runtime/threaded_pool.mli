@@ -70,6 +70,7 @@ type stats = Scheduler_core.stats = {
   suspensions : int;
   resumes : int;
   max_deques_per_worker : int;
+  io_pending : int;
 }
 
 val stats : t -> stats

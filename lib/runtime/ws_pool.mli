@@ -23,7 +23,7 @@ val set_tracer : t -> Tracing.t -> unit
     tracer from now on; see {!Tracing.to_chrome_json}.  Set before
     {!run}; adds two clock reads per task. *)
 
-val register_poller : t -> (unit -> int) -> unit
+val register_poller : t -> ?pending:(unit -> int) -> (unit -> int) -> unit
 (** Adds an event source that workers poll once per scheduling iteration.
     The callback returns how many events it fired.  Register before
     {!run}; not thread-safe against concurrent registration. *)
@@ -60,6 +60,7 @@ type stats = Scheduler_core.stats = {
   suspensions : int;
   resumes : int;
   max_deques_per_worker : int;
+  io_pending : int;
 }
 
 val stats : t -> stats

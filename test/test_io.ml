@@ -151,6 +151,51 @@ let test_pending_count () =
               Pool.await reader;
               Alcotest.(check int) "drained" 0 (Io.pending io))))
 
+let test_fd_error_surfaces () =
+  (* Closing a descriptor under a parked fiber must resume it with the
+     Unix error, not leave it parked forever (the reactor probes each fd
+     when select rejects the whole set). *)
+  with_io_pool (fun p io ->
+      let r, w = Unix.pipe ~cloexec:true () in
+      let outcome =
+        Pool.run p (fun () ->
+            let reader =
+              Pool.async p (fun () ->
+                  let buf = Bytes.create 1 in
+                  match Io.read io r buf 0 1 with
+                  | _ -> "read"
+                  | exception Unix.Unix_error (Unix.EBADF, _, _) -> "ebadf")
+            in
+            Pool.sleep p 0.02;
+            (* the reader is parked on [r]; now close it underneath *)
+            Unix.close r;
+            Pool.await reader)
+      in
+      Unix.close w;
+      Alcotest.(check string) "parked waiter resumed with EBADF" "ebadf" outcome)
+
+let test_io_pending_stat () =
+  Pool.with_pool ~workers:2 (fun p ->
+      let io = Io.create () in
+      Pool.register_poller p ~pending:(fun () -> Io.pending io) (fun () -> Io.poll io);
+      let r, w = Unix.pipe ~cloexec:true () in
+      Fun.protect
+        ~finally:(fun () ->
+          Unix.close r;
+          Unix.close w)
+        (fun () ->
+          Pool.run p (fun () ->
+              let reader =
+                Pool.async p (fun () ->
+                    let buf = Bytes.create 1 in
+                    ignore (Io.read io r buf 0 1))
+              in
+              Pool.sleep p 0.01;
+              Alcotest.(check int) "gauge counts parked fiber" 1 (Pool.stats p).Pool.io_pending;
+              Io.write_all io w (Bytes.of_string "x");
+              Pool.await reader;
+              Alcotest.(check int) "gauge drains" 0 (Pool.stats p).Pool.io_pending)))
+
 let () =
   Alcotest.run "io"
     [
@@ -162,5 +207,7 @@ let () =
           Alcotest.test_case "read_exactly eof" `Quick test_read_exactly_eof_raises;
           Alcotest.test_case "many pipes" `Quick test_many_pipes;
           Alcotest.test_case "pending count" `Quick test_pending_count;
+          Alcotest.test_case "fd error surfaces to parked fiber" `Quick test_fd_error_surfaces;
+          Alcotest.test_case "io_pending stats gauge" `Quick test_io_pending_stat;
         ] );
     ]

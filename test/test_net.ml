@@ -1,0 +1,259 @@
+open Lhws_runtime
+module P = Lhws_workloads.Pool_intf
+module Net = Lhws_net.Net
+module Reactor = Lhws_net.Reactor
+module Conn = Lhws_net.Conn
+module Listener = Lhws_net.Listener
+module Rpc = Lhws_net.Rpc
+module Load = Lhws_net.Load
+module Nmr = Lhws_net.Net_map_reduce
+
+let loopback0 = Unix.ADDR_INET (Unix.inet_addr_loopback, 0)
+
+let with_lhws_net ?(workers = 2) f =
+  Lhws_pool.with_pool ~workers (fun p ->
+      let rt =
+        Reactor.fibers
+          ~register:(fun ~pending poll -> Lhws_pool.register_poller p ?pending poll)
+          ()
+      in
+      f p rt)
+
+let raw_connect addr =
+  let fd = Unix.socket ~cloexec:true (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd addr
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd
+
+(* --- RPC echo under the load generator (fibers) --- *)
+
+let test_rpc_echo_load () =
+  with_lhws_net ~workers:2 (fun p rt ->
+      let module Pl = P.Lhws_instance in
+      let report =
+        Pl.run p (fun () ->
+            let l = Rpc.serve (module Pl) p rt loopback0 ~handler:Fun.id in
+            let r =
+              Load.run (module Pl) p rt ~conns:2 ~inflight:4 ~iters:10 (Listener.addr l)
+            in
+            Listener.shutdown ~grace:2. l;
+            r)
+      in
+      Alcotest.(check int) "no failed calls" 0 report.Load.errors;
+      Alcotest.(check int) "all calls issued" 80 report.Load.total;
+      Alcotest.(check bool) "p99 >= p50" true (report.Load.p99_us >= report.Load.p50_us))
+
+(* --- handler exceptions travel back as Remote_error --- *)
+
+let test_rpc_remote_error () =
+  with_lhws_net (fun p rt ->
+      let module Pl = P.Lhws_instance in
+      let got =
+        Pl.run p (fun () ->
+            let l = Rpc.serve (module Pl) p rt loopback0 ~handler:(fun _ -> failwith "boom") in
+            let client = Rpc.Client.connect (module Pl) p rt (Listener.addr l) in
+            let got =
+              match Pl.await p (Rpc.Client.call client (Bytes.of_string "x")) with
+              | (_ : bytes) -> "ok"
+              | exception Net.Remote_error msg ->
+                  if Astring.String.is_infix ~affix:"boom" msg then "remote" else msg
+            in
+            Rpc.Client.close client;
+            Listener.shutdown ~grace:2. l;
+            got)
+      in
+      Alcotest.(check string) "handler failure surfaced" "remote" got)
+
+(* --- per-operation deadlines --- *)
+
+let test_conn_deadline_fibers () =
+  with_lhws_net (fun p rt ->
+      let module Pl = P.Lhws_instance in
+      let a, b = Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let outcome, conn =
+        Pl.run p (fun () ->
+            let c = Conn.create rt ~read_timeout:0.05 a in
+            let buf = Bytes.create 1 in
+            let o =
+              match Conn.read c buf 0 1 with
+              | _ -> "read"
+              | exception Net.Timeout -> "timeout"
+            in
+            (o, c))
+      in
+      Conn.close conn;
+      Unix.close b;
+      Alcotest.(check string) "fiber read deadline" "timeout" outcome)
+
+let test_conn_deadline_blocking () =
+  (* Blocking mode needs no pool at all: the deadline is select's timeout. *)
+  let a, b = Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let rt = Reactor.blocking () in
+  let c = Conn.create rt ~read_timeout:0.05 a in
+  let buf = Bytes.create 1 in
+  let outcome =
+    match Conn.read c buf 0 1 with _ -> "read" | exception Net.Timeout -> "timeout"
+  in
+  Conn.close c;
+  Unix.close b;
+  Alcotest.(check string) "blocking read deadline" "timeout" outcome
+
+(* --- graceful shutdown waits for the in-flight response --- *)
+
+let test_graceful_drain () =
+  with_lhws_net ~workers:4 (fun p rt ->
+      let module Pl = P.Lhws_instance in
+      let started = Atomic.make false in
+      let resp, live_after =
+        Pl.run p (fun () ->
+            let l =
+              Rpc.serve (module Pl) p rt loopback0
+                ~handler:(fun b ->
+                  Atomic.set started true;
+                  Pl.sleep p 0.15;
+                  b)
+            in
+            let client = Rpc.Client.connect (module Pl) p rt (Listener.addr l) in
+            let call = Rpc.Client.call client (Bytes.of_string "ping") in
+            while not (Atomic.get started) do
+              Pl.sleep p 0.005
+            done;
+            (* shut down while the handler is mid-request: the drain must
+               let its response out before the listener dies *)
+            let sd = Pl.async p (fun () -> Listener.shutdown ~grace:5. l) in
+            let resp = Bytes.to_string (Pl.await p call) in
+            Rpc.Client.close client;
+            Pl.await p sd;
+            (resp, Listener.live l))
+      in
+      Alcotest.(check string) "in-flight response delivered" "ping" resp;
+      Alcotest.(check int) "all handlers drained" 0 live_after)
+
+(* --- idle connections are reaped --- *)
+
+let test_idle_reap () =
+  with_lhws_net ~workers:2 (fun p rt ->
+      let module Pl = P.Lhws_instance in
+      let reaped =
+        Pl.run p (fun () ->
+            let config =
+              { Listener.default_config with idle_timeout = Some 0.05; reap_interval = 0.01 }
+            in
+            let l =
+              Listener.serve (module Pl) p rt ~config loopback0
+                ~handler:(fun c ->
+                  let b = Bytes.create 1 in
+                  ignore (Conn.read c b 0 1 : int))
+            in
+            (* connect, then go silent: the reaper must close us *)
+            let fd = raw_connect (Listener.addr l) in
+            while Listener.live l < 1 do
+              Pl.sleep p 0.005
+            done;
+            let rec wait_reap n =
+              if Listener.live l = 0 then true
+              else if n > 400 then false
+              else begin
+                Pl.sleep p 0.01;
+                wait_reap (n + 1)
+              end
+            in
+            let reaped = wait_reap 0 in
+            Unix.close fd;
+            Listener.shutdown ~grace:2. l;
+            reaped)
+      in
+      Alcotest.(check bool) "idle connection reaped" true reaped)
+
+(* --- the acceptance bar: 500 concurrent connections, graceful
+       shutdown, zero leaked descriptors --- *)
+
+let test_many_connections_no_leak () =
+  let count_fds () = Array.length (Sys.readdir "/proc/self/fd") in
+  let before = count_fds () in
+  let n = 500 in
+  let max_gauge = ref 0 in
+  with_lhws_net ~workers:4 (fun p rt ->
+      let module Pl = P.Lhws_instance in
+      Pl.run p (fun () ->
+          let config = { Listener.default_config with max_conns = 600 } in
+          let l =
+            Rpc.serve (module Pl) p rt ~config loopback0
+              ~handler:(fun b ->
+                Pl.sleep p 0.08;
+                b)
+          in
+          let addr = Listener.addr l in
+          let conns = Array.init n (fun _ -> Conn.create rt (raw_connect addr)) in
+          let calls =
+            Array.map
+              (fun c -> Pl.async p (fun () -> Bytes.to_string (Rpc.call_sync c (Bytes.of_string "m"))))
+              conns
+          in
+          (* sample the io_pending gauge while the fleet is parked *)
+          for _ = 1 to 120 do
+            max_gauge := max !max_gauge (Pl.stats p).Scheduler_core.io_pending;
+            Pl.sleep p 0.001
+          done;
+          Array.iter (fun t -> Alcotest.(check string) "echoed" "m" (Pl.await p t)) calls;
+          Alcotest.(check int) "every connection accepted" n (Listener.accepted l);
+          Array.iter Conn.close conns;
+          Listener.shutdown ~grace:5. l;
+          Alcotest.(check int) "all handlers drained" 0 (Listener.live l)));
+  let after = count_fds () in
+  Alcotest.(check int) "zero leaked fds" before after;
+  Alcotest.(check bool)
+    (Printf.sprintf "io_pending gauge saw the parked fleet (max %d)" !max_gauge)
+    true
+    (!max_gauge >= n)
+
+(* --- net_map_reduce checksum agreement across pool modes --- *)
+
+let test_net_map_reduce_modes () =
+  Nmr.with_data_server ~delta:0. (fun addr ->
+      let n = 24 and fib_n = 5 in
+      let expect = Nmr.expected ~n ~fib_n in
+      with_lhws_net ~workers:2 (fun p rt ->
+          let module Pl = P.Lhws_instance in
+          let sum =
+            Pl.run p (fun () -> Nmr.run (module Pl) p rt ~addr ~n ~conns:2 ~fib_n ())
+          in
+          Alcotest.(check int) "lhws pipelined checksum" expect sum);
+      (let module Pw = P.Ws_instance in
+       Ws_pool.with_pool ~workers:2 (fun p ->
+           let rt = Reactor.blocking () in
+           let sum = Pw.run p (fun () -> Nmr.run (module Pw) p rt ~addr ~n ~conns:2 ~fib_n ()) in
+           Alcotest.(check int) "ws blocking checksum" expect sum));
+      let module Pt = P.Threaded_instance in
+      let p = Pt.create () in
+      Fun.protect
+        ~finally:(fun () -> Pt.shutdown p)
+        (fun () ->
+          let rt = Reactor.blocking () in
+          let sum = Pt.run p (fun () -> Nmr.run (module Pt) p rt ~addr ~n ~conns:2 ~fib_n ()) in
+          Alcotest.(check int) "threads blocking checksum" expect sum))
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "rpc",
+        [
+          Alcotest.test_case "echo under load" `Quick test_rpc_echo_load;
+          Alcotest.test_case "remote error" `Quick test_rpc_remote_error;
+        ] );
+      ( "conn",
+        [
+          Alcotest.test_case "deadline (fibers)" `Quick test_conn_deadline_fibers;
+          Alcotest.test_case "deadline (blocking)" `Quick test_conn_deadline_blocking;
+        ] );
+      ( "listener",
+        [
+          Alcotest.test_case "graceful drain" `Quick test_graceful_drain;
+          Alcotest.test_case "idle reap" `Quick test_idle_reap;
+          Alcotest.test_case "500 conns, no fd leak" `Quick test_many_connections_no_leak;
+        ] );
+      ( "workload",
+        [ Alcotest.test_case "net_map_reduce checksums" `Quick test_net_map_reduce_modes ] );
+    ]

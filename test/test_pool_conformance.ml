@@ -99,6 +99,7 @@ module Conformance (Pool : Pool_intf.POOL) = struct
         let nonneg (s : Scheduler_core.stats) =
           s.steals >= 0 && s.failed_steals >= 0 && s.deques_allocated >= 0
           && s.suspensions >= 0 && s.resumes >= 0 && s.max_deques_per_worker >= 0
+          && s.io_pending >= 0
         in
         Alcotest.(check bool) "counters non-negative" true (nonneg a);
         burn_some p;
@@ -108,7 +109,57 @@ module Conformance (Pool : Pool_intf.POOL) = struct
           && b.failed_steals >= a.failed_steals
           && b.deques_allocated >= a.deques_allocated
           && b.suspensions >= a.suspensions && b.resumes >= a.resumes
-          && b.max_deques_per_worker >= a.max_deques_per_worker))
+          && b.max_deques_per_worker >= a.max_deques_per_worker
+          (* io_pending is a gauge, not a counter: deliberately excluded *)))
+
+  let test_echo_roundtrip () =
+    (* Serving a socket must work on every pool.  Deliberately the
+       lowest-common-denominator setup: a blocking reactor (valid on all
+       three pools — a wait just occupies a worker) and an external
+       OS-thread client, so no pool primitive ever races the
+       non-terminating accept-loop task (helping [await] on the WS pool
+       could otherwise bury the caller beneath it). *)
+    with_pool ~workers:4 (fun p ->
+        Pool.run p (fun () ->
+            let rt = Lhws_net.Reactor.blocking () in
+            let l =
+              Lhws_net.Listener.serve
+                (module Pool)
+                p rt
+                (Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
+                ~handler:(fun c ->
+                  let b = Bytes.create 4 in
+                  Lhws_net.Conn.read_exactly c b 4;
+                  Lhws_net.Conn.write_all c b)
+            in
+            let got = ref "" in
+            let client =
+              Thread.create
+                (fun () ->
+                  let addr = Lhws_net.Listener.addr l in
+                  let fd =
+                    Unix.socket ~cloexec:true (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0
+                  in
+                  Fun.protect
+                    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+                    (fun () ->
+                      Unix.connect fd addr;
+                      ignore (Unix.write fd (Bytes.of_string "ping") 0 4 : int);
+                      let b = Bytes.create 4 in
+                      let rec fill pos =
+                        if pos < 4 then
+                          match Unix.read fd b pos (4 - pos) with
+                          | 0 -> failwith "echo: eof"
+                          | n -> fill (pos + n)
+                      in
+                      fill 0;
+                      got := Bytes.to_string b))
+                ()
+            in
+            Thread.join client;
+            Lhws_net.Listener.shutdown ~grace:2. l;
+            Alcotest.(check string) "echoed" "ping" !got;
+            Alcotest.(check int) "drained" 0 (Lhws_net.Listener.live l)))
 
   let test_invalid_workers () =
     match Pool.create ~workers:0 () with
@@ -141,6 +192,7 @@ module Conformance (Pool : Pool_intf.POOL) = struct
       Alcotest.test_case "map_reduce" `Quick test_parallel_map_reduce;
       Alcotest.test_case "sleep at least" `Quick test_sleep_at_least;
       Alcotest.test_case "stats monotone" `Quick test_stats_monotone;
+      Alcotest.test_case "echo round trip" `Quick test_echo_roundtrip;
       Alcotest.test_case "invalid workers" `Quick test_invalid_workers;
       Alcotest.test_case "tracer smoke" `Quick test_tracer_smoke;
     ]

@@ -16,6 +16,14 @@ type t = {
   write_timeout : float option;
   mutable last_active : float;  (* for idle reaping; monotone enough *)
   closed : bool Atomic.t;
+  (* In-flight kernel operations plus one reference for the open handle.
+     [close] shuts the socket down immediately (waking parked waiters) but
+     defers [Unix.close] until the count drains: an fd number freed while a
+     fiber sits between its closed-check and [Unix.read], or parked in the
+     reactor, could be reused by a freshly accepted connection and the
+     stale operation would target the wrong descriptor. *)
+  ops : int Atomic.t;
+  fd_closed : bool Atomic.t;  (* [Unix.close] runs at most once *)
 }
 
 let buf_capacity = 16 * 1024
@@ -32,33 +40,55 @@ let create rt ?read_timeout ?write_timeout fd =
     write_timeout;
     last_active = Unix.gettimeofday ();
     closed = Atomic.make false;
+    ops = Atomic.make 1;
+    fd_closed = Atomic.make false;
   }
 
 let fd t = t.fd
 let is_closed t = Atomic.get t.closed
 let last_active t = t.last_active
 
+(* Drop one reference; the last one out actually closes the fd.  The
+   [fd_closed] CAS keeps a late arrival (an [enter] that raced past a
+   completed close) from issuing a second [Unix.close] that could hit a
+   reused descriptor number. *)
+let release t =
+  if
+    Atomic.fetch_and_add t.ops (-1) = 1
+    && Atomic.compare_and_set t.fd_closed false true
+  then try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* Pin the fd for one operation.  The incr-then-check order means a
+   concurrent [close] either sees our reference (and leaves the fd open
+   until we [release]) or we see its [closed] flag and back out. *)
+let enter t =
+  Atomic.incr t.ops;
+  if Atomic.get t.closed then begin
+    release t;
+    raise Net.Closed
+  end
+
 let close t =
   if Atomic.compare_and_set t.closed false true then begin
     (* [close] alone does not wake a blocked reader on Linux; [shutdown]
        does, and it also makes fiber-mode parked waiters fail fast
-       (reads return EOF / the next select flags the fd). *)
+       (reads return EOF / the next select flags the fd).  The descriptor
+       itself stays open until in-flight operations release it. *)
     (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL
      with Unix.Unix_error ((Unix.ENOTCONN | Unix.ENOTSOCK | Unix.EBADF | Unix.EINVAL), _, _) ->
        ());
-    try Unix.close t.fd with Unix.Unix_error (Unix.EBADF, _, _) -> ()
+    release t
   end
 
 let deadline_of = function None -> None | Some s -> Some (Unix.gettimeofday () +. s)
-
-let check_open t = if Atomic.get t.closed then raise Net.Closed
 
 (* One kernel read into [buf]; in fiber mode optimistic-first, parking
    only on EAGAIN.  Returns 0 at EOF (and treats a reset peer as EOF —
    for a server, a client that vanished is indistinguishable from one
    that hung up). *)
 let read_once t buf pos len =
-  check_open t;
+  enter t;
+  Fun.protect ~finally:(fun () -> release t) @@ fun () ->
   let deadline = deadline_of t.read_timeout in
   let rec go () =
     match Unix.read t.fd buf pos len with
@@ -117,7 +147,8 @@ let read_exactly t buf len =
   go 0
 
 let write_all t buf =
-  check_open t;
+  enter t;
+  Fun.protect ~finally:(fun () -> release t) @@ fun () ->
   let len = Bytes.length buf in
   let deadline = deadline_of t.write_timeout in
   let rec go pos =

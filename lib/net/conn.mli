@@ -29,8 +29,11 @@ val write_all : t -> bytes -> unit
     @raise Net.Timeout when [write_timeout] expires first. *)
 
 val close : t -> unit
-(** Shutdown + close, idempotent and thread-safe.  Wakes any reader
-    currently blocked or parked on the descriptor. *)
+(** Idempotent and thread-safe.  Shuts the socket down immediately,
+    waking any reader currently blocked or parked on the descriptor; the
+    descriptor itself is closed only once in-flight operations drain
+    (each read/write pins it), so a racing operation can never land on a
+    recycled fd number. *)
 
 val is_closed : t -> bool
 

@@ -24,6 +24,7 @@ type verdict = Ready | Timed_out | Bad of exn
 
 let wait_fibers io timer kind fd ~deadline =
   let verdict = ref Ready in
+  let th = ref None in
   Fiber.suspend (fun resume ->
       let on_event e =
         (match e with None -> () | Some exn -> verdict := Bad exn);
@@ -37,11 +38,18 @@ let wait_fibers io timer kind fd ~deadline =
       match deadline with
       | None -> ()
       | Some d ->
-          Timer.add timer ~deadline:d (fun () ->
-              if Io.cancel io w then begin
-                verdict := Timed_out;
-                resume ()
-              end));
+          th :=
+            Some
+              (Timer.add_cancellable timer ~deadline:d (fun () ->
+                   if Io.cancel io w then begin
+                     verdict := Timed_out;
+                     resume ()
+                   end)));
+  (* Withdraw the deadline entry when the I/O side won, so per-operation
+     waits with long timeouts don't pile dead closures into the timer heap.
+     Harmless if the timer fired (it removed itself) or is firing (its
+     [Io.cancel] lost the race and does nothing). *)
+  (match !th with None -> () | Some h -> Timer.cancel timer h);
   match !verdict with
   | Ready -> ()
   | Timed_out -> raise Net.Timeout

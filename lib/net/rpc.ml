@@ -10,18 +10,27 @@ module Promise = Lhws_runtime.Promise
 let max_frame = 8 * 1024 * 1024
 
 (* Frame writes must be atomic even though responses (and pipelined
-   requests) come from many concurrent tasks, and a plain [Mutex.lock]
-   from a fiber would block the whole worker while the holder is parked
-   mid-write.  Cooperative lock: spin on [try_lock], yielding through the
-   pool's sleep so the worker keeps scheduling other tasks. *)
-type wlock = { mu : Mutex.t; sleep : unit -> unit }
+   requests) come from many concurrent tasks.  An OS mutex cannot protect
+   the write: the holder can park mid-write (EAGAIN -> reactor wait) and
+   its continuation is re-injected as a stealable task, so the fiber may
+   resume — and unlock — on a different worker thread, which the
+   error-checking [Mutex.unlock] rejects.  Instead the lock is a
+   thread-agnostic atomic flag: claimed by compare-and-set, released by a
+   plain set (valid from any thread), with the pool's sleep as the yield
+   so a spinning worker keeps scheduling other tasks. *)
+type wlock = { locked : bool Atomic.t; sleep : unit -> unit }
 
-let make_wlock sleep = { mu = Mutex.create (); sleep }
+let make_wlock sleep = { locked = Atomic.make false; sleep }
 
 let with_wlock l f =
-  let rec acquire () = if not (Mutex.try_lock l.mu) then (l.sleep (); acquire ()) in
+  let rec acquire () =
+    if not (Atomic.compare_and_set l.locked false true) then begin
+      l.sleep ();
+      acquire ()
+    end
+  in
   acquire ();
-  Fun.protect ~finally:(fun () -> Mutex.unlock l.mu) f
+  Fun.protect ~finally:(fun () -> Atomic.set l.locked false) f
 
 let check_len len =
   if len < 0 || len > max_frame then
@@ -92,11 +101,21 @@ let write_response conn ~id ~status payload =
 
 (* --- server --- *)
 
+(* Per-connection cap on dispatched-but-unanswered requests.  [max_frame]
+   bounds each frame, but a client that pipelines without reading
+   responses could otherwise queue unbounded tasks and response buffers;
+   past the cap we stop decoding (and thus reading) further frames, so
+   backpressure reaches the peer through TCP. *)
+let max_pipeline = 256
+
 let serve_handler (type p) (module P : Pool_intf.POOL with type t = p) (pool : p)
     ~handler conn =
   let wl = make_wlock (fun () -> P.sleep pool 0.0002) in
   let outstanding = Atomic.make 0 in
   let rec loop () =
+    while Atomic.get outstanding >= max_pipeline do
+      P.sleep pool 0.0002
+    done;
     match read_request conn with
     | None -> ()
     | Some (id, payload) ->
@@ -156,6 +175,14 @@ module Client = struct
     Mutex.unlock c.pending_mu;
     List.iter (fun p -> try Promise.fulfill p (Error e) with Invalid_argument _ -> ()) ps
 
+  (* The client is dead: mark it closed {e before} draining, so a racing
+     [call] that inserts its promise after the drain observes [closed] on
+     its re-check and fails itself — otherwise nothing would ever resolve
+     that promise and the caller's await parks forever. *)
+  let fail_conn c e =
+    Atomic.set c.closed true;
+    fail_all c e
+
   (* Reads responses until the connection dies, resolving each pending
      call.  Runs as its own pool task: a fiber on the latency-hiding
      pool, a dedicated thread on the thread pool.  NOT safe on the
@@ -165,7 +192,7 @@ module Client = struct
   let demux c =
     let rec loop () =
       match read_response c.conn with
-      | None -> fail_all c Net.Closed
+      | None -> fail_conn c Net.Closed
       | Some (id, status, payload) ->
           (match take_pending c id with
           | None -> ()  (* response to a call we already failed *)
@@ -178,8 +205,8 @@ module Client = struct
           loop ()
     in
     try loop () with
-    | Net.Closed | Net.Timeout | End_of_file -> fail_all c Net.Closed
-    | e -> fail_all c e
+    | Net.Closed | Net.Timeout | End_of_file -> fail_conn c Net.Closed
+    | e -> fail_conn c e
 
   let connect (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt
       ?read_timeout ?write_timeout addr =
@@ -209,6 +236,13 @@ module Client = struct
     Mutex.lock c.pending_mu;
     Hashtbl.replace c.pending id p;
     Mutex.unlock c.pending_mu;
+    (* Re-check after publishing: if demux failed between the first check
+       and our insert, its drain may already have swept [pending] and
+       would never see [p].  Any close after this point finds [p] there. *)
+    if Atomic.get c.closed then begin
+      ignore (take_pending c id : _ option);
+      raise Net.Closed
+    end;
     (try with_wlock c.wl (fun () -> write_request c.conn ~id payload)
      with e ->
        ignore (take_pending c id : _ option);

@@ -22,8 +22,12 @@ val serve_handler :
   Conn.t ->
   unit
 (** Connection loop for a {!Listener} handler: decode frames, dispatch
-    each as a pool task, serialise response writes.  Returns when the
-    peer hangs up (after in-flight responses drain). *)
+    each as a pool task, serialise response writes.  At most 256 requests
+    may be dispatched-but-unanswered per connection — past that the loop
+    stops reading frames until responses drain, so a client pipelining
+    without reading responses is throttled through TCP instead of queueing
+    unbounded tasks.  Returns when the peer hangs up (after in-flight
+    responses drain). *)
 
 val serve :
   (module Lhws_workloads.Pool_intf.POOL with type t = 'p) ->

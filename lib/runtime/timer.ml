@@ -3,9 +3,22 @@
    The heap itself stays under the mutex, but the earliest deadline is
    mirrored into a lock-free atomic so every worker's per-iteration "could
    anything be due?" probe costs one atomic read — no mutex, and no
-   [Unix.gettimeofday] when the mirror says the heap is empty. *)
+   [Unix.gettimeofday] when the mirror says the heap is empty.
 
-type entry = { deadline : float; seq : int; callback : unit -> unit }
+   Entries track their heap slot ([index]) so a cancellation can remove
+   them in O(log n) instead of leaving a dead closure queued until the
+   deadline passes — per-operation I/O deadline waits cancel on the
+   ready path, and a busy server must not accumulate one dead entry per
+   completed read within the timeout horizon. *)
+
+type entry = {
+  deadline : float;
+  seq : int;
+  mutable callback : (unit -> unit) option;  (* [None] once fired or cancelled *)
+  mutable index : int;  (* slot in [heap]; -1 once out.  Guarded by [mu]. *)
+}
+
+type handle = entry
 
 type t = {
   mu : Mutex.t;
@@ -29,9 +42,11 @@ let lt a b = a.deadline < b.deadline || (a.deadline = b.deadline && a.seq < b.se
 let get t i = match t.heap.(i) with Some e -> e | None -> assert false
 
 let swap t i j =
-  let x = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- x
+  let x = t.heap.(i) and y = t.heap.(j) in
+  t.heap.(i) <- y;
+  t.heap.(j) <- x;
+  (match x with Some e -> e.index <- j | None -> ());
+  match y with Some e -> e.index <- i | None -> ()
 
 let rec sift_up t i =
   if i > 0 then begin
@@ -56,38 +71,71 @@ let rec sift_down t i =
 let refresh_earliest t =
   Atomic.set t.earliest (if t.size = 0 then infinity else (get t 0).deadline)
 
-let add t ~deadline callback =
+(* Owner of [t.mu] only: detach the entry at slot [i], refill the hole
+   with the last element and restore heap order in both directions (the
+   moved element may be smaller than the hole's parent). *)
+let remove_at t i =
+  let e = get t i in
+  e.index <- -1;
+  t.size <- t.size - 1;
+  let last = t.heap.(t.size) in
+  t.heap.(t.size) <- None;
+  if i < t.size then begin
+    t.heap.(i) <- last;
+    (match last with Some e' -> e'.index <- i | None -> ());
+    sift_down t i;
+    sift_up t i
+  end
+
+let add_cancellable t ~deadline callback =
   Mutex.lock t.mu;
   if t.size = Array.length t.heap then begin
     let bigger = Array.make (2 * t.size) None in
     Array.blit t.heap 0 bigger 0 t.size;
     t.heap <- bigger
   end;
-  t.heap.(t.size) <- Some { deadline; seq = t.next_seq; callback };
+  let e = { deadline; seq = t.next_seq; callback = Some callback; index = t.size } in
+  t.heap.(t.size) <- Some e;
   t.next_seq <- t.next_seq + 1;
   t.size <- t.size + 1;
   sift_up t (t.size - 1);
   refresh_earliest t;
-  Mutex.unlock t.mu
+  Mutex.unlock t.mu;
+  e
+
+let add t ~deadline callback = ignore (add_cancellable t ~deadline callback : handle)
 
 let add_in t ~seconds callback = add t ~deadline:(Unix.gettimeofday () +. seconds) callback
 
+let cancel t e =
+  Mutex.lock t.mu;
+  if e.index >= 0 then begin
+    remove_at t e.index;
+    refresh_earliest t
+  end;
+  (* Too late to stop a callback already popped by [pop_due]; dropping
+     the closure here is still a no-op in that case. *)
+  e.callback <- None;
+  Mutex.unlock t.mu
+
 let pop_due t now =
   Mutex.lock t.mu;
-  let result =
+  let rec take () =
     if t.size = 0 then None
     else
       let top = get t 0 in
       if top.deadline > now then None
       else begin
-        t.size <- t.size - 1;
-        t.heap.(0) <- t.heap.(t.size);
-        t.heap.(t.size) <- None;
-        if t.size > 0 then sift_down t 0;
-        refresh_earliest t;
-        Some top.callback
+        remove_at t 0;
+        match top.callback with
+        | None -> take ()  (* lost the race with [cancel]; skip it *)
+        | Some cb ->
+            top.callback <- None;
+            Some cb
       end
   in
+  let result = take () in
+  refresh_earliest t;
   Mutex.unlock t.mu;
   result
 

@@ -12,6 +12,19 @@ val create : unit -> t
 val add : t -> deadline:float -> (unit -> unit) -> unit
 (** [deadline] is absolute, in [Unix.gettimeofday] seconds. *)
 
+type handle
+(** A registered callback that can still be withdrawn. *)
+
+val add_cancellable : t -> deadline:float -> (unit -> unit) -> handle
+(** Like {!add}, returning a handle for {!cancel}.  Use when the wait is
+    usually won by another event (e.g. fd readiness racing a deadline) so
+    the dead entry does not sit in the heap until its deadline passes. *)
+
+val cancel : t -> handle -> unit
+(** Removes the entry from the heap (O(log n)) and drops its callback.
+    Idempotent; a no-op if the callback already fired or is concurrently
+    being fired by {!poll} — cancellation does not wait for it. *)
+
 val add_in : t -> seconds:float -> (unit -> unit) -> unit
 (** Relative convenience wrapper. *)
 

@@ -45,6 +45,36 @@ let test_rpc_echo_load () =
       Alcotest.(check int) "all calls issued" 80 report.Load.total;
       Alcotest.(check bool) "p99 >= p50" true (report.Load.p99_us >= report.Load.p50_us))
 
+(* --- concurrent large frames: writers must survive parking mid-write.
+       512 KiB frames overflow loopback socket buffers, so the fiber
+       holding the frame-write lock parks on EAGAIN and resumes on
+       whichever worker steals it — an OS mutex held across that park
+       would be unlocked from the wrong thread and wedge the
+       connection. --- *)
+
+let test_rpc_large_concurrent_writes () =
+  with_lhws_net ~workers:4 (fun p rt ->
+      let module Pl = P.Lhws_instance in
+      let size = 512 * 1024 in
+      let k = 8 in
+      let ok =
+        Pl.run p (fun () ->
+            let l = Rpc.serve (module Pl) p rt loopback0 ~handler:Fun.id in
+            let client = Rpc.Client.connect (module Pl) p rt (Listener.addr l) in
+            let payload i = Bytes.make size (Char.chr (Char.code 'a' + i)) in
+            let tasks =
+              List.init k (fun i ->
+                  Pl.async p (fun () ->
+                      let resp = Pl.await p (Rpc.Client.call client (payload i)) in
+                      Bytes.equal resp (payload i)))
+            in
+            let ok = List.for_all (fun t -> Pl.await p t) tasks in
+            Rpc.Client.close client;
+            Listener.shutdown ~grace:5. l;
+            ok)
+      in
+      Alcotest.(check bool) "large pipelined frames all echo intact" true ok)
+
 (* --- handler exceptions travel back as Remote_error --- *)
 
 let test_rpc_remote_error () =
@@ -99,6 +129,37 @@ let test_conn_deadline_blocking () =
   Conn.close c;
   Unix.close b;
   Alcotest.(check string) "blocking read deadline" "timeout" outcome
+
+(* --- close while a reader is parked: shutdown must wake it, and the
+       deferred [Unix.close] (refcounted against in-flight ops) must
+       still release the descriptor once the reader unwinds --- *)
+
+let test_close_while_parked_no_leak () =
+  let count_fds () = Array.length (Sys.readdir "/proc/self/fd") in
+  let before = count_fds () in
+  with_lhws_net ~workers:2 (fun p rt ->
+      let module Pl = P.Lhws_instance in
+      let outcome =
+        Pl.run p (fun () ->
+            let a, b = Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            let c = Conn.create rt a in
+            let reader =
+              Pl.async p (fun () ->
+                  let buf = Bytes.create 1 in
+                  match Conn.read c buf 0 1 with
+                  | 0 -> "eof"
+                  | _ -> "data"
+                  | exception Net.Closed -> "closed")
+            in
+            Pl.sleep p 0.02;  (* let the reader park in the reactor *)
+            Conn.close c;
+            let o = Pl.await p reader in
+            Unix.close b;
+            o)
+      in
+      Alcotest.(check bool) "parked reader woken by close" true
+        (outcome = "eof" || outcome = "closed"));
+  Alcotest.(check int) "descriptor released after drain" before (count_fds ())
 
 (* --- graceful shutdown waits for the in-flight response --- *)
 
@@ -241,12 +302,14 @@ let () =
       ( "rpc",
         [
           Alcotest.test_case "echo under load" `Quick test_rpc_echo_load;
+          Alcotest.test_case "large concurrent frames" `Quick test_rpc_large_concurrent_writes;
           Alcotest.test_case "remote error" `Quick test_rpc_remote_error;
         ] );
       ( "conn",
         [
           Alcotest.test_case "deadline (fibers)" `Quick test_conn_deadline_fibers;
           Alcotest.test_case "deadline (blocking)" `Quick test_conn_deadline_blocking;
+          Alcotest.test_case "close while parked" `Quick test_close_while_parked_no_leak;
         ] );
       ( "listener",
         [

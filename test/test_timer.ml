@@ -54,6 +54,59 @@ let test_many () =
   Alcotest.(check int) "all fired" 1000 (Timer.poll t);
   Alcotest.(check int) "count" 1000 !count
 
+let test_cancel () =
+  let t = Timer.create () in
+  let hits = ref [] in
+  let now = Unix.gettimeofday () in
+  Timer.add t ~deadline:(now -. 0.03) (fun () -> hits := "a" :: !hits);
+  let h = Timer.add_cancellable t ~deadline:(now -. 0.02) (fun () -> hits := "x" :: !hits) in
+  Timer.add t ~deadline:(now -. 0.01) (fun () -> hits := "b" :: !hits);
+  Timer.cancel t h;
+  Alcotest.(check int) "entry removed from heap" 2 (Timer.pending t);
+  Alcotest.(check int) "survivors fire" 2 (Timer.poll t);
+  Alcotest.(check (list string)) "cancelled one skipped" [ "a"; "b" ] (List.rev !hits);
+  (* Idempotent, and harmless after the heap has drained. *)
+  Timer.cancel t h;
+  Alcotest.(check int) "empty" 0 (Timer.pending t)
+
+let test_cancel_after_fire () =
+  let t = Timer.create () in
+  let fired = ref 0 in
+  let now = Unix.gettimeofday () in
+  let h = Timer.add_cancellable t ~deadline:(now -. 0.01) (fun () -> incr fired) in
+  Alcotest.(check int) "fires" 1 (Timer.poll t);
+  Timer.cancel t h;
+  Alcotest.(check int) "cancel after fire is a no-op" 1 !fired;
+  Alcotest.(check int) "nothing pending" 0 (Timer.pending t)
+
+let test_cancel_updates_earliest () =
+  let t = Timer.create () in
+  let h = Timer.add_cancellable t ~deadline:10. (fun () -> ()) in
+  Timer.add t ~deadline:50. (fun () -> ());
+  Alcotest.(check (float 1e-9)) "earliest is 10" 10. (Timer.next_deadline_hint t);
+  Timer.cancel t h;
+  Alcotest.(check (float 1e-9)) "earliest refreshed" 50. (Timer.next_deadline_hint t);
+  (match Timer.next_deadline t with
+  | Some d -> Alcotest.(check (float 1e-9)) "heap agrees" 50. d
+  | None -> Alcotest.fail "expected a deadline")
+
+(* Interior removal must restore heap order in both directions. *)
+let test_cancel_many_random () =
+  let t = Timer.create () in
+  let fired = ref [] in
+  let now = Unix.gettimeofday () in
+  let handles =
+    List.init 64 (fun i ->
+        (i, Timer.add_cancellable t ~deadline:(now -. (0.001 *. float_of_int (64 - i)))
+              (fun () -> fired := i :: !fired)))
+  in
+  let cancelled, kept = List.partition (fun (i, _) -> i mod 3 = 0) handles in
+  List.iter (fun (_, h) -> Timer.cancel t h) cancelled;
+  Alcotest.(check int) "heap shrank" (List.length kept) (Timer.pending t);
+  Alcotest.(check int) "kept fire" (List.length kept) (Timer.poll t);
+  Alcotest.(check (list int)) "deadline order preserved"
+    (List.map fst kept) (List.rev !fired)
+
 let test_concurrent_add_poll () =
   let t = Timer.create () in
   let fired = Atomic.make 0 in
@@ -92,6 +145,10 @@ let () =
           Alcotest.test_case "add_in" `Quick test_add_in;
           Alcotest.test_case "next deadline" `Quick test_next_deadline;
           Alcotest.test_case "many" `Quick test_many;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "cancel after fire" `Quick test_cancel_after_fire;
+          Alcotest.test_case "cancel updates earliest" `Quick test_cancel_updates_earliest;
+          Alcotest.test_case "cancel many random" `Quick test_cancel_many_random;
         ] );
       ("concurrency", [ Alcotest.test_case "add vs poll" `Slow test_concurrent_add_poll ]);
     ]

@@ -21,14 +21,16 @@ module Listener = Lhws_net.Listener
 module Rpc = Lhws_net.Rpc
 module Load = Lhws_net.Load
 module Nmr = Lhws_net.Net_map_reduce
+module Fault = Lhws_net.Fault
+module Rs = Lhws_net.Resilience
 
-let with_lhws_rt ~workers f =
+let with_lhws_rt ~workers ?fault f =
   Lhws_runtime.Lhws_pool.with_pool ~workers (fun p ->
       let rt =
         Reactor.fibers
           ~register:(fun ~pending poll ->
             Lhws_runtime.Lhws_pool.register_poller p ?pending poll)
-          ()
+          ?fault ()
       in
       f p rt)
 
@@ -137,6 +139,99 @@ let map_reduce profile =
           Printf.printf "%8d %16.3f %16.3f %9.1fx\n%!" workers t_lh t_th speedup)
         workers_list)
 
+let echo_faults profile =
+  R.section
+    "NET3 | resilient RPC echo: retry/breaker wrapper overhead at zero faults, correctness \
+     under a seeded storm";
+  let workers = 2 in
+  let conns = R.pick profile ~full:8 ~smoke:2 in
+  let iters = R.pick profile ~full:150 ~smoke:25 in
+  let policy () =
+    Rs.Retry.policy ~max_attempts:8 ~base_backoff:0.0005 ~max_backoff:0.005 ~seed:42 ()
+  in
+  (* One echo leg: [conns] clients, [iters] pipelined calls each, every
+     response checksummed.  Returns the wall and the match count. *)
+  let run_leg ?fault ~resilient () =
+    with_lhws_rt ~workers ?fault (fun p rt ->
+        let module Pool = P.Lhws_instance in
+        Pool.run p (fun () ->
+            let l =
+              Rpc.serve
+                (module Pool)
+                p rt
+                (Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
+                ~handler:Fun.id
+            in
+            let addr = Listener.addr l in
+            let call =
+              if resilient then begin
+                let cls =
+                  Array.init conns (fun _ ->
+                      Rs.Client.create (module Pool) p rt ~policy:(policy ()) addr)
+                in
+                fun ci b -> Rs.Client.call cls.(ci) b
+              end
+              else begin
+                let cls =
+                  Array.init conns (fun _ -> Rpc.Client.connect (module Pool) p rt addr)
+                in
+                fun ci b -> Pool.await p (Rpc.Client.call cls.(ci) b)
+              end
+            in
+            let t0 = Unix.gettimeofday () in
+            let tasks =
+              Array.init conns (fun ci ->
+                  Pool.async p (fun () ->
+                      let ok = ref 0 in
+                      for k = 0 to iters - 1 do
+                        let b = Bytes.create 8 in
+                        Bytes.set_int64_be b 0 (Int64.of_int ((ci * 1_000_003) + k));
+                        if Bytes.equal (call ci b) b then incr ok
+                      done;
+                      !ok))
+            in
+            let ok = Array.fold_left (fun acc t -> acc + Pool.await p t) 0 tasks in
+            let wall = Unix.gettimeofday () -. t0 in
+            Listener.shutdown ~grace:5. l;
+            (wall, ok)))
+  in
+  let best_of k f =
+    let best = ref infinity in
+    for _ = 1 to k do
+      let wall, ok = f () in
+      R.expect (ok = conns * iters);
+      best := Float.min !best wall
+    done;
+    !best
+  in
+  let t_plain = best_of 3 (run_leg ~resilient:false) in
+  let t_res = best_of 3 (run_leg ~resilient:true) in
+  (* The survival leg: a seeded storm of injected errors, short ops and
+     spurious EAGAINs.  Delays and blackouts are left out so the wall
+     stays comparable; correctness, not speed, is the claim here. *)
+  let storm_cfg =
+    { Fault.disabled with Fault.seed = 42; p_error = 0.02; p_short = 0.02; p_eagain = 0.02 }
+  in
+  let storm = Fault.create storm_cfg in
+  let t_storm, ok_storm = run_leg ~fault:storm ~resilient:true () in
+  R.expect (ok_storm = conns * iters);
+  let injected = Fault.total (Fault.injected storm) in
+  R.expect (injected > 0);
+  let overhead = t_plain /. t_res in
+  Bench_json.record ~scenario:"net_echo_faults" ~pool:"plain" ~workers ~wall_s:t_plain ();
+  Bench_json.record ~scenario:"net_echo_faults" ~pool:"resilient" ~workers ~wall_s:t_res
+    ~speedup:overhead ();
+  Bench_json.record ~scenario:"net_echo_faults" ~pool:"resilient-storm" ~workers
+    ~wall_s:t_storm
+    ~counters:[ ("requests", conns * iters); ("injected", injected) ]
+    ();
+  Printf.printf
+    "echo (%d conns x %d iters): plain %.3fs, resilient %.3fs (plain/resilient %.2fx)\n\
+     storm: %.3fs, %d faults injected, every response checksummed\n\
+     %!"
+    conns iters t_plain t_res overhead t_storm injected
+
 let register () =
   R.register ~name:"net_echo" ~skip_in_quick:true echo;
-  R.register ~name:"net_map_reduce" ~skip_in_quick:true map_reduce
+  R.register ~name:"net_map_reduce" ~skip_in_quick:true map_reduce;
+  R.register ~name:"net_echo_faults" ~skip_in_quick:true echo_faults

@@ -1,0 +1,83 @@
+(* Chaos echo: the serving stack under a seeded fault storm, survived
+   by the resilience layer.
+
+   A fault plane on the reactor injects resets, spurious EAGAINs, short
+   reads/writes, delays, accept failures and fd blackouts into every
+   kernel operation of the echo server and its clients — all drawn from
+   a replayable RNG schedule, so this run's storm is a pure function of
+   the seed.  Each client call goes through a retry policy (exponential
+   backoff with decorrelated jitter) that redials dropped connections;
+   the program checks every response round-trips bit-exact anyway.
+
+   Run with: dune exec examples/chaos_echo.exe *)
+
+open Lhws_runtime
+module W = Lhws_workloads
+module P = W.Pool_intf
+module Reactor = Lhws_net.Reactor
+module Listener = Lhws_net.Listener
+module Rpc = Lhws_net.Rpc
+module Fault = Lhws_net.Fault
+module Rs = Lhws_net.Resilience
+
+let seed = 42
+let n_conns = 32
+let calls = 4
+
+let () =
+  let fault = Fault.create (Fault.storm ~seed ~rate:0.02 ()) in
+  let ok =
+    Lhws_pool.with_pool ~workers:2 (fun p ->
+        let rt =
+          Reactor.fibers
+            ~register:(fun ~pending poll -> Lhws_pool.register_poller p ?pending poll)
+            ~fault ()
+        in
+        let module Pool = P.Lhws_instance in
+        Pool.run p (fun () ->
+            let l =
+              Rpc.serve
+                (module Pool)
+                p rt
+                (Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
+                ~handler:Fun.id
+            in
+            let addr = Listener.addr l in
+            let policy =
+              Rs.Retry.policy ~max_attempts:10 ~base_backoff:0.001 ~max_backoff:0.01
+                ~seed ()
+            in
+            let clients =
+              Array.init n_conns (fun _ ->
+                  Rs.Client.create (module Pool) p rt ~policy addr)
+            in
+            let tasks =
+              Array.mapi
+                (fun ci cl ->
+                  Pool.async p (fun () ->
+                      let ok = ref 0 in
+                      for k = 0 to calls - 1 do
+                        let b = Bytes.create 8 in
+                        Bytes.set_int64_be b 0 (Int64.of_int ((ci * 1_000_003) + k));
+                        if Bytes.equal (Rs.Client.call cl b) b then incr ok
+                      done;
+                      !ok))
+                clients
+            in
+            let ok = Array.fold_left (fun acc t -> acc + Pool.await p t) 0 tasks in
+            let redials =
+              Array.fold_left (fun acc cl -> acc + Rs.Client.reconnects cl) 0 clients
+            in
+            Array.iter Rs.Client.close clients;
+            Listener.shutdown ~grace:5. l;
+            (ok, redials)))
+  in
+  let ok, redials = ok in
+  let inj = Fault.injected fault in
+  Printf.printf
+    "chaos echo: %d/%d responses checksummed through a seed-%d storm\n\
+     injected: %d errors, %d eagains, %d shorts, %d delays, %d accept-fails, %d \
+     blackouts; %d redials\n"
+    ok (n_conns * calls) seed inj.Fault.errors inj.Fault.eagains inj.Fault.shorts
+    inj.Fault.delays inj.Fault.accept_fails inj.Fault.blackouts redials;
+  assert (ok = n_conns * calls)

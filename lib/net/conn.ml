@@ -56,7 +56,13 @@ let release t =
   if
     Atomic.fetch_and_add t.ops (-1) = 1
     && Atomic.compare_and_set t.fd_closed false true
-  then try Unix.close t.fd with Unix.Unix_error _ -> ()
+  then begin
+    (* The fd number is about to be reusable: drop any fault-plane
+       blackout window so a freshly accepted connection that lands on
+       the same number does not inherit it. *)
+    Fault.forget_fd (Reactor.fault t.rt) t.fd;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
 
 (* Pin the fd for one operation.  The incr-then-check order means a
    concurrent [close] either sees our reference (and leaves the fd open
@@ -82,6 +88,22 @@ let close t =
 
 let deadline_of = function None -> None | Some s -> Some (Unix.gettimeofday () +. s)
 
+(* Kernel operations consult the reactor's fault plane first.  An
+   injected error is raised as the genuine [Unix.Unix_error], so it
+   flows through exactly the handlers a kernel-reported one would; a
+   [Short] verdict clamps the byte count (framing code must tolerate
+   fragmentation); a [Delay] parks the fiber on the reactor's timer
+   (blocking mode sleeps — its cost model) before the operation runs. *)
+let faulted rt op k = function
+  | Fault.Pass -> k ()
+  | Fault.Delay d ->
+      Reactor.sleep rt d;
+      k ()
+  | Fault.Short _ -> k ()  (* caller already clamped the length *)
+  | Fault.Fail e -> raise (Unix.Unix_error (e, op, "injected"))
+
+let clamp len = function Fault.Short cap -> min len (max 1 cap) | _ -> len
+
 (* One kernel read into [buf]; in fiber mode optimistic-first, parking
    only on EAGAIN.  Returns 0 at EOF (and treats a reset peer as EOF —
    for a server, a client that vanished is indistinguishable from one
@@ -90,8 +112,12 @@ let read_once t buf pos len =
   enter t;
   Fun.protect ~finally:(fun () -> release t) @@ fun () ->
   let deadline = deadline_of t.read_timeout in
+  let kernel_read () =
+    let v = Fault.on_read (Reactor.fault t.rt) t.fd in
+    faulted t.rt "read" (fun () -> Unix.read t.fd buf pos (clamp len v)) v
+  in
   let rec go () =
-    match Unix.read t.fd buf pos len with
+    match kernel_read () with
     | n ->
         t.last_active <- Unix.gettimeofday ();
         n
@@ -151,9 +177,13 @@ let write_all t buf =
   Fun.protect ~finally:(fun () -> release t) @@ fun () ->
   let len = Bytes.length buf in
   let deadline = deadline_of t.write_timeout in
+  let kernel_write pos =
+    let v = Fault.on_write (Reactor.fault t.rt) t.fd in
+    faulted t.rt "write" (fun () -> Unix.write t.fd buf pos (clamp (len - pos) v)) v
+  in
   let rec go pos =
     if pos < len then
-      match Unix.write t.fd buf pos (len - pos) with
+      match kernel_write pos with
       | n ->
           t.last_active <- Unix.gettimeofday ();
           go (pos + n)
@@ -161,7 +191,12 @@ let write_all t buf =
           Reactor.wait_writable t.rt ?deadline t.fd;
           go pos
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
-      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> raise Net.Closed
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          (* The stream is broken mid-write: close the connection so
+             readers parked on it (ours and, via the FIN, the peer's)
+             find out, instead of waiting on bytes that already sank. *)
+          close t;
+          raise Net.Closed
       | exception Unix.Unix_error (Unix.EBADF, _, _) when Atomic.get t.closed -> raise Net.Closed
   in
   try

@@ -1,0 +1,219 @@
+(* Seeded, counter-based fault plane.  Every decision is a pure function
+   of (seed, site, index): each site (read / write / accept) owns an
+   atomic index counter, and decision [i] hashes (seed, site, i) through
+   splitmix64 into the uniforms that pick a verdict.  Thread
+   interleaving decides which operation consumes which index, but the
+   decision stream itself — the fault schedule — is fixed by the seed,
+   which is what makes a chaos failure replayable. *)
+
+type config = {
+  seed : int;
+  p_error : float;
+  p_eagain : float;
+  p_short : float;
+  p_delay : float;
+  delay_s : float;
+  p_accept_fail : float;
+  p_blackout : float;
+  blackout_s : float;
+}
+
+let disabled =
+  {
+    seed = 0;
+    p_error = 0.;
+    p_eagain = 0.;
+    p_short = 0.;
+    p_delay = 0.;
+    delay_s = 0.;
+    p_accept_fail = 0.;
+    p_blackout = 0.;
+    blackout_s = 0.;
+  }
+
+let storm ?(seed = 1) ~rate () =
+  if rate < 0. || rate > 1. then invalid_arg "Fault.storm: rate must be in [0, 1]";
+  {
+    seed;
+    p_error = rate;
+    p_eagain = rate;
+    p_short = rate;
+    p_delay = rate;
+    delay_s = 0.002;
+    p_accept_fail = rate;
+    p_blackout = rate;
+    blackout_s = 0.010;
+  }
+
+(* --- counter-based RNG --- *)
+
+let mix64 (z : int64) : int64 =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  logxor z (shift_right_logical z 33)
+
+(* The [k]-th uniform of decision [index] at [site].  Distinct odd
+   multipliers keep the three inputs from aliasing. *)
+let uniform ~seed ~site ~index k =
+  let h =
+    mix64
+      (Int64.logxor
+         (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L)
+         (Int64.logxor
+            (Int64.mul (Int64.of_int site) 0xBF58476D1CE4E5B9L)
+            (Int64.mul (Int64.of_int ((index * 8) + k)) 0x94D049BB133111EBL)))
+  in
+  Int64.to_float (Int64.shift_right_logical h 11) *. (1. /. 9007199254740992.)
+
+let site_read = 1
+let site_write = 2
+let site_accept = 3
+
+type injected = {
+  errors : int;
+  eagains : int;
+  shorts : int;
+  delays : int;
+  accept_fails : int;
+  blackouts : int;
+}
+
+type t = {
+  cfg : config;
+  read_ix : int Atomic.t;
+  write_ix : int Atomic.t;
+  accept_ix : int Atomic.t;
+  (* fd -> blackout window expiry ([Unix.gettimeofday] seconds) *)
+  bl_mu : Mutex.t;
+  blackouts_tbl : (Unix.file_descr, float) Hashtbl.t;
+  c_errors : int Atomic.t;
+  c_eagains : int Atomic.t;
+  c_shorts : int Atomic.t;
+  c_delays : int Atomic.t;
+  c_accept_fails : int Atomic.t;
+  c_blackouts : int Atomic.t;
+}
+
+let create cfg =
+  {
+    cfg;
+    read_ix = Atomic.make 0;
+    write_ix = Atomic.make 0;
+    accept_ix = Atomic.make 0;
+    bl_mu = Mutex.create ();
+    blackouts_tbl = Hashtbl.create 16;
+    c_errors = Atomic.make 0;
+    c_eagains = Atomic.make 0;
+    c_shorts = Atomic.make 0;
+    c_delays = Atomic.make 0;
+    c_accept_fails = Atomic.make 0;
+    c_blackouts = Atomic.make 0;
+  }
+
+let seed t = t.cfg.seed
+let config t = t.cfg
+
+type verdict = Pass | Delay of float | Short of int | Fail of Unix.error
+
+(* An active blackout window wins over the decision stream (and draws
+   nothing from it, so the stream stays index-deterministic). *)
+let blackout_remaining t fd =
+  Mutex.lock t.bl_mu;
+  let r =
+    match Hashtbl.find_opt t.blackouts_tbl fd with
+    | None -> None
+    | Some until ->
+        let left = until -. Unix.gettimeofday () in
+        if left > 0. then Some left
+        else begin
+          Hashtbl.remove t.blackouts_tbl fd;
+          None
+        end
+  in
+  Mutex.unlock t.bl_mu;
+  r
+
+let open_blackout t fd =
+  Mutex.lock t.bl_mu;
+  Hashtbl.replace t.blackouts_tbl fd (Unix.gettimeofday () +. t.cfg.blackout_s);
+  Mutex.unlock t.bl_mu;
+  Atomic.incr t.c_blackouts
+
+let forget_fd topt fd =
+  match topt with
+  | None -> ()
+  | Some t ->
+      Mutex.lock t.bl_mu;
+      Hashtbl.remove t.blackouts_tbl fd;
+      Mutex.unlock t.bl_mu
+
+let on_io t ~site ~ix ~hard_error fd =
+  match blackout_remaining t fd with
+  | Some left -> Delay left
+  | None -> (
+      let index = Atomic.fetch_and_add ix 1 in
+      let u = uniform ~seed:t.cfg.seed ~site ~index 0 in
+      let c = t.cfg in
+      let t1 = c.p_error in
+      let t2 = t1 +. c.p_eagain in
+      let t3 = t2 +. c.p_short in
+      let t4 = t3 +. c.p_delay in
+      let t5 = t4 +. c.p_blackout in
+      if u < t1 then begin
+        Atomic.incr t.c_errors;
+        Fail hard_error
+      end
+      else if u < t2 then begin
+        Atomic.incr t.c_eagains;
+        Fail Unix.EAGAIN
+      end
+      else if u < t3 then begin
+        Atomic.incr t.c_shorts;
+        Short 1
+      end
+      else if u < t4 then begin
+        Atomic.incr t.c_delays;
+        Delay (uniform ~seed:t.cfg.seed ~site ~index 1 *. c.delay_s)
+      end
+      else if u < t5 then begin
+        open_blackout t fd;
+        Delay c.blackout_s
+      end
+      else Pass)
+
+let on_read topt fd =
+  match topt with
+  | None -> Pass
+  | Some t -> on_io t ~site:site_read ~ix:t.read_ix ~hard_error:Unix.ECONNRESET fd
+
+let on_write topt fd =
+  match topt with
+  | None -> Pass
+  | Some t -> on_io t ~site:site_write ~ix:t.write_ix ~hard_error:Unix.EPIPE fd
+
+let on_accept topt =
+  match topt with
+  | None -> Pass
+  | Some t ->
+      let index = Atomic.fetch_and_add t.accept_ix 1 in
+      let u = uniform ~seed:t.cfg.seed ~site:site_accept ~index 0 in
+      if u < t.cfg.p_accept_fail then begin
+        Atomic.incr t.c_accept_fails;
+        Fail Unix.ECONNABORTED
+      end
+      else Pass
+
+let injected t =
+  {
+    errors = Atomic.get t.c_errors;
+    eagains = Atomic.get t.c_eagains;
+    shorts = Atomic.get t.c_shorts;
+    delays = Atomic.get t.c_delays;
+    accept_fails = Atomic.get t.c_accept_fails;
+    blackouts = Atomic.get t.c_blackouts;
+  }
+
+let total i = i.errors + i.eagains + i.shorts + i.delays + i.accept_fails + i.blackouts
+
+let decisions t = Atomic.get t.read_ix + Atomic.get t.write_ix + Atomic.get t.accept_ix

@@ -1,0 +1,99 @@
+(** Deterministic fault injection for the socket stack.
+
+    A fault plane is attached to a {!Reactor.t}; {!Conn} consults it
+    before every kernel read/write and {!Listener} before every accept.
+    Each consultation draws one decision from a seeded counter-based
+    RNG stream: decision [i] at a given site is a pure function of
+    [(seed, site, i)], so a chaos run's fault schedule is replayable
+    from its seed alone — rerunning with the same seed produces the
+    identical sequence of verdicts at every site, regardless of how the
+    OS schedules threads in between.  (Which {e operation} receives
+    decision [i] still depends on thread interleaving; the schedule of
+    injected faults itself does not.  This is the same replay contract
+    as the fuzzer's seed.)
+
+    Injected faults are indistinguishable from real ones downstream:
+    an injected [ECONNRESET] raises the genuine [Unix.Unix_error] and
+    flows through the exact error paths a kernel-reported reset would,
+    so surviving the storm means surviving the real thing. *)
+
+(** {1 Configuration}
+
+    All probabilities are per-decision in [0, 1]. *)
+
+type config = {
+  seed : int;  (** replay key; logged by the chaos tests on failure *)
+  p_error : float;
+      (** hard failure: reads raise [ECONNRESET], writes raise [EPIPE] *)
+  p_eagain : float;
+      (** spurious [EAGAIN] — the operation retries through the
+          reactor's readiness wait (fiber mode parks, blocking mode
+          selects), modelling wake-ups with nothing to do *)
+  p_short : float;
+      (** short read/write: the kernel op is clamped to 1 byte, so
+          framing code must tolerate arbitrary fragmentation *)
+  p_delay : float;  (** added latency before the operation *)
+  delay_s : float;  (** injected delays are uniform in [0, delay_s] *)
+  p_accept_fail : float;
+      (** the accept attempt fails with [ECONNABORTED] (the pending
+          connection stays queued; the listener must retry) *)
+  p_blackout : float;
+      (** the descriptor enters a blackout window: every operation on
+          it is delayed until the window passes *)
+  blackout_s : float;  (** blackout window length, seconds *)
+}
+
+val disabled : config
+(** All probabilities zero — the clean path, for overhead measurement. *)
+
+val storm : ?seed:int -> rate:float -> unit -> config
+(** Every fault kind at probability [rate] (delays up to 2 ms,
+    blackouts of 10 ms).  [~rate:0.01] is the canonical "1% chaos". *)
+
+(** {1 The plane} *)
+
+type t
+
+val create : config -> t
+val seed : t -> int
+val config : t -> config
+
+(** {1 Decisions}
+
+    All entry points accept [t option] and return {!Pass} on [None],
+    so fault-free call sites cost one branch. *)
+
+type verdict =
+  | Pass
+  | Delay of float  (** sleep this long (without blocking a worker in
+                        fiber mode), then perform the operation *)
+  | Short of int  (** clamp the kernel op to this many bytes *)
+  | Fail of Unix.error  (** raise [Unix.Unix_error] instead of the op *)
+
+val on_read : t option -> Unix.file_descr -> verdict
+val on_write : t option -> Unix.file_descr -> verdict
+val on_accept : t option -> verdict
+
+val forget_fd : t option -> Unix.file_descr -> unit
+(** Drop any blackout state for a descriptor about to be closed, so a
+    reused fd number does not inherit its window. *)
+
+(** {1 Introspection} *)
+
+type injected = {
+  errors : int;
+  eagains : int;
+  shorts : int;
+  delays : int;
+  accept_fails : int;
+  blackouts : int;  (** windows opened (not operations delayed by one) *)
+}
+
+val injected : t -> injected
+(** Totals of what was actually injected so far (thread-safe reads of
+    monotone counters). *)
+
+val total : injected -> int
+
+val decisions : t -> int
+(** Decisions drawn so far across all sites. *)

@@ -3,6 +3,10 @@ module Pool_intf = Lhws_workloads.Pool_intf
 type config = {
   backlog : int;
   max_conns : int;  (* backpressure: stop accepting while [live] is at the gate *)
+  shed_above : int option;
+      (* overload high-water mark: at/above this many live handlers,
+         reject-fast (accept then close immediately) instead of letting
+         arrivals queue — see [shed] and the [conns_shed] stats field *)
   idle_timeout : float option;
   read_timeout : float option;
   write_timeout : float option;
@@ -13,6 +17,7 @@ let default_config =
   {
     backlog = 128;
     max_conns = 1024;
+    shed_above = None;
     idle_timeout = None;
     read_timeout = None;
     write_timeout = None;
@@ -27,6 +32,7 @@ type state = {
   stop : bool Atomic.t;
   live : int Atomic.t;
   accepted : int Atomic.t;
+  shed : int Atomic.t;
   conns_mu : Mutex.t;
   conns : (int, Conn.t) Hashtbl.t;
   next_id : int Atomic.t;
@@ -59,7 +65,16 @@ let remove_conn s id =
 let rec accept_one s =
   if Atomic.get s.stop then None
   else
-    match Unix.accept ~cloexec:true s.listen_fd with
+    match
+      (* The fault plane can fail the attempt (the pending connection
+         stays in the kernel queue; we retry) or delay it. *)
+      match Fault.on_accept (Reactor.fault s.rt) with
+      | Fault.Fail e -> raise (Unix.Unix_error (e, "accept", "injected"))
+      | Fault.Delay d ->
+          Reactor.sleep s.rt d;
+          Unix.accept ~cloexec:true s.listen_fd
+      | Fault.Pass | Fault.Short _ -> Unix.accept ~cloexec:true s.listen_fd
+    with
     | fd, _ ->
         if Atomic.get s.stop then begin
           (* Likely the shutdown wake-up connection; drop it. *)
@@ -94,6 +109,7 @@ let serve (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt
       stop = Atomic.make false;
       live = Atomic.make 0;
       accepted = Atomic.make 0;
+      shed = Atomic.make 0;
       conns_mu = Mutex.create ();
       conns = Hashtbl.create 64;
       next_id = Atomic.make 0;
@@ -114,11 +130,23 @@ let serve (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt
                remove_conn s id;
                Conn.close c;
                Atomic.decr s.live)
-             (fun () -> try handler c with Net.Closed | Net.Timeout | End_of_file -> ())))
+             (fun () ->
+               try handler c
+               with Net.Closed | Net.Timeout | Net.Peer_closed | End_of_file -> ())))
+  in
+  (* Overload shedding: at or above the high-water mark, keep accepting
+     but close each arrival immediately — the client gets a prompt EOF
+     (and can back off or go elsewhere) instead of sitting unanswered in
+     a queue that only grows.  Without a mark, the [max_conns] gate
+     holds arrivals in the kernel backlog as before. *)
+  let shed_now () =
+    match config.shed_above with
+    | Some hw -> Atomic.get s.live >= hw
+    | None -> false
   in
   let rec accept_loop () =
     if Atomic.get s.stop then ()
-    else if Atomic.get s.live >= config.max_conns then begin
+    else if (not (shed_now ())) && Atomic.get s.live >= config.max_conns then begin
       P.sleep pool 0.0005;
       accept_loop ()
     end
@@ -126,9 +154,17 @@ let serve (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt
       match accept_one s with
       | None -> ()
       | Some fd ->
-          spawn_handler fd;
+          (* Re-check at the moment of decision: [live] may have moved
+             while the acceptor was parked. *)
+          if shed_now () then begin
+            Atomic.incr s.shed;
+            (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+            (try Unix.close fd with Unix.Unix_error _ -> ())
+          end
+          else spawn_handler fd;
           accept_loop ()
   in
+  P.register_shed_counter pool (fun () -> Atomic.get s.shed);
   ignore
     (P.async pool (fun () ->
          Fun.protect
@@ -156,6 +192,7 @@ let serve (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt
 let addr (L (_, _, s)) = s.bound
 let live (L (_, _, s)) = Atomic.get s.live
 let accepted (L (_, _, s)) = Atomic.get s.accepted
+let shed (L (_, _, s)) = Atomic.get s.shed
 
 (* Nudge a parked or blocked acceptor: it cannot be interrupted, but a
    connection to our own listen address makes [accept] return, after

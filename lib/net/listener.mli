@@ -13,6 +13,11 @@ type config = {
       (** backpressure gate: while this many handlers are live the loop
           stops accepting and lets the kernel queue hold arrivals
           (default 1024) *)
+  shed_above : int option;
+      (** overload high-water mark: at/above this many live handlers,
+          arrivals are rejected fast — accepted and closed immediately,
+          counted in {!shed} and the pool's [conns_shed] stats field —
+          instead of queueing unanswered (default [None]: no shedding) *)
   idle_timeout : float option;
       (** reap connections with no completed I/O for this long *)
   read_timeout : float option;  (** per-operation deadline handed to each {!Conn.t} *)
@@ -46,7 +51,12 @@ val live : t -> int
 (** Connections currently being handled. *)
 
 val accepted : t -> int
-(** Total connections accepted so far. *)
+(** Total connections handed to handlers so far (shed arrivals are not
+    counted here; see {!shed}). *)
+
+val shed : t -> int
+(** Arrivals rejected fast by the [shed_above] overload gate.  Also
+    summed into the pool's [conns_shed] stats field. *)
 
 val shutdown : ?grace:float -> t -> unit
 (** Graceful stop: stop accepting, wait up to [grace] seconds (default

@@ -3,6 +3,7 @@ module Pool_intf = Lhws_workloads.Pool_intf
 type report = {
   total : int;
   errors : int;
+  connect_failures : int;
   wall_s : float;
   throughput_rps : float;
   p50_us : float;
@@ -32,7 +33,18 @@ let run (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt
     invalid_arg "Load.run: conns, inflight and iters must be >= 1";
   let lats = Array.init (conns * inflight) (fun _ -> Array.make iters nan) in
   let errors = Atomic.make 0 in
-  let clients = Array.init conns (fun _ -> Rpc.Client.connect (module P) pool rt addr) in
+  let connect_failures = Atomic.make 0 in
+  (* A refused or reset dial fails that connection's share of the load,
+     not the whole run: an overloaded or fault-injected server refusing
+     some arrivals is a result worth reporting, not a generator crash. *)
+  let clients =
+    Array.init conns (fun _ ->
+        match Rpc.Client.connect (module P) pool rt addr with
+        | cl -> Some cl
+        | exception (Unix.Unix_error _ | Net.Closed) ->
+            Atomic.incr connect_failures;
+            None)
+  in
   let t0 = Unix.gettimeofday () in
   let tasks =
     List.concat_map
@@ -40,17 +52,23 @@ let run (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt
         List.init inflight (fun j ->
             let slot = lats.((ci * inflight) + j) in
             P.async pool (fun () ->
-                for k = 0 to iters - 1 do
-                  let t = Unix.gettimeofday () in
-                  match P.await pool (Rpc.Client.call clients.(ci) (payload k)) with
-                  | (_ : bytes) -> slot.(k) <- (Unix.gettimeofday () -. t) *. 1e6
-                  | exception _ -> Atomic.incr errors
-                done)))
+                match clients.(ci) with
+                | None ->
+                    (* Never connected: its whole share of the offered
+                       load fails. *)
+                    ignore (Atomic.fetch_and_add errors iters : int)
+                | Some cl ->
+                    for k = 0 to iters - 1 do
+                      let t = Unix.gettimeofday () in
+                      match P.await pool (Rpc.Client.call cl (payload k)) with
+                      | (_ : bytes) -> slot.(k) <- (Unix.gettimeofday () -. t) *. 1e6
+                      | exception _ -> Atomic.incr errors
+                    done)))
       (List.init conns Fun.id)
   in
   List.iter (fun t -> P.await pool t) tasks;
   let wall_s = Unix.gettimeofday () -. t0 in
-  Array.iter Rpc.Client.close clients;
+  Array.iter (Option.iter Rpc.Client.close) clients;
   let ok =
     Array.to_list lats
     |> List.concat_map (fun slot ->
@@ -62,6 +80,7 @@ let run (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt
   {
     total;
     errors = Atomic.get errors;
+    connect_failures = Atomic.get connect_failures;
     wall_s;
     throughput_rps = (if wall_s > 0. then float_of_int (Array.length ok) /. wall_s else 0.);
     p50_us = percentile ok 0.50;

@@ -7,8 +7,14 @@
     summary.  Used by both the tests and [bench/scenarios_net.ml]. *)
 
 type report = {
-  total : int;  (** requests attempted ([conns * inflight * iters]) *)
-  errors : int;  (** calls that failed (timeout, closed, remote error) *)
+  total : int;  (** requests offered ([conns * inflight * iters]) *)
+  errors : int;
+      (** calls that failed (timeout, closed, remote error, mid-run
+          reset) — includes the full share of connections that never
+          connected *)
+  connect_failures : int;
+      (** connections whose dial was refused or reset; their calls are
+          counted in [errors], and the run carries on with the rest *)
   wall_s : float;
   throughput_rps : float;  (** successful requests per second *)
   p50_us : float;  (** median request latency, microseconds *)

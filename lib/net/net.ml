@@ -1,12 +1,16 @@
 exception Timeout
 exception Closed
+exception Peer_closed
 exception Protocol_error of string
 exception Remote_error of string
+exception Circuit_open
 
 let () =
   Printexc.register_printer (function
     | Timeout -> Some "Net.Timeout"
     | Closed -> Some "Net.Closed"
+    | Peer_closed -> Some "Net.Peer_closed"
     | Protocol_error msg -> Some (Printf.sprintf "Net.Protocol_error(%s)" msg)
     | Remote_error msg -> Some (Printf.sprintf "Net.Remote_error(%s)" msg)
+    | Circuit_open -> Some "Net.Circuit_open"
     | _ -> None)

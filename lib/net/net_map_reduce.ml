@@ -94,31 +94,67 @@ let fetch_blocking conns mus i =
     ~finally:(fun () -> Mutex.unlock mus.(k))
     (fun () -> decode_value (Rpc.call_sync conns.(k) (encode_key i)))
 
+(* Resilient fetch paths: same connection discipline as the plain ones,
+   but each fetch goes through the retry/breaker machinery and a dead
+   connection re-dials instead of failing the whole reduction. *)
+let fetch_resilient (clients : Resilience.Client.t array) i =
+  decode_value (Resilience.Client.call clients.(i mod Array.length clients) (encode_key i))
+
+let fetch_resilient_sync (clients : Resilience.Sync_client.t array) mus i =
+  let k = i mod Array.length clients in
+  Mutex.lock mus.(k);
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock mus.(k))
+    (fun () -> decode_value (Resilience.Sync_client.call clients.(k) (encode_key i)))
+
 let run (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt ~addr ~n
-    ?(conns = 2) ?(fib_n = 10) () =
+    ?(conns = 2) ?(fib_n = 10) ?retry ?breaker () =
   if conns < 1 then invalid_arg "Net_map_reduce.run: conns must be >= 1";
   let map fetch i = fetch i + W.Fib.seq fib_n in
   let reduce fetch =
     P.parallel_map_reduce pool ~lo:0 ~hi:n ~map:(map fetch) ~combine:( + ) ~id:0
   in
-  if Reactor.is_fibers rt then begin
-    let clients = Array.init conns (fun _ -> Rpc.Client.connect (module P) pool rt addr) in
-    Fun.protect
-      ~finally:(fun () -> Array.iter Rpc.Client.close clients)
-      (fun () -> reduce (fetch_pipelined clients (module P) pool))
-  end
-  else begin
-    let connect () =
-      let fd = Unix.socket ~cloexec:true (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
-      (try Unix.connect fd addr
-       with e ->
-         (try Unix.close fd with Unix.Unix_error _ -> ());
-         raise e);
-      Conn.create rt fd
-    in
-    let cs = Array.init conns (fun _ -> connect ()) in
-    let mus = Array.init conns (fun _ -> Mutex.create ()) in
-    Fun.protect
-      ~finally:(fun () -> Array.iter Conn.close cs)
-      (fun () -> reduce (fetch_blocking cs mus))
-  end
+  match retry with
+  | Some policy ->
+      (* The breaker (if any) is shared across the connections: it judges
+         the endpoint, not a socket. *)
+      if Reactor.is_fibers rt then begin
+        let clients =
+          Array.init conns (fun _ ->
+              Resilience.Client.create (module P) pool rt ~policy ?breaker addr)
+        in
+        Fun.protect
+          ~finally:(fun () -> Array.iter Resilience.Client.close clients)
+          (fun () -> reduce (fetch_resilient clients))
+      end
+      else begin
+        let clients =
+          Array.init conns (fun _ -> Resilience.Sync_client.create rt ~policy ?breaker addr)
+        in
+        let mus = Array.init conns (fun _ -> Mutex.create ()) in
+        Fun.protect
+          ~finally:(fun () -> Array.iter Resilience.Sync_client.close clients)
+          (fun () -> reduce (fetch_resilient_sync clients mus))
+      end
+  | None ->
+      if Reactor.is_fibers rt then begin
+        let clients = Array.init conns (fun _ -> Rpc.Client.connect (module P) pool rt addr) in
+        Fun.protect
+          ~finally:(fun () -> Array.iter Rpc.Client.close clients)
+          (fun () -> reduce (fetch_pipelined clients (module P) pool))
+      end
+      else begin
+        let connect () =
+          let fd = Unix.socket ~cloexec:true (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+          (try Unix.connect fd addr
+           with e ->
+             (try Unix.close fd with Unix.Unix_error _ -> ());
+             raise e);
+          Conn.create rt fd
+        in
+        let cs = Array.init conns (fun _ -> connect ()) in
+        let mus = Array.init conns (fun _ -> Mutex.create ()) in
+        Fun.protect
+          ~finally:(fun () -> Array.iter Conn.close cs)
+          (fun () -> reduce (fetch_blocking cs mus))
+      end

@@ -41,10 +41,20 @@ val run :
   n:int ->
   ?conns:int ->
   ?fib_n:int ->
+  ?retry:Resilience.Retry.policy ->
+  ?breaker:Resilience.Breaker.t ->
   unit ->
   int
 (** Fetches n values over [conns] connections (default 2), adds
     [fib fib_n] of local work per element (default 10), reduces with
     [+].  Call from within [P.run]; fiber pools use pipelined clients,
     blocking pools synchronous round-trips behind per-connection
-    mutexes.  Returns the checksum (= {!expected}). *)
+    mutexes.  Returns the checksum (= {!expected}).
+
+    With [retry], every fetch goes through {!Resilience}: fiber pools
+    swap the raw pipelined clients for reconnecting
+    {!Resilience.Client}s, blocking pools their raw connections for
+    {!Resilience.Sync_client}s — so the reduction survives injected
+    resets and mid-frame hangups.  [breaker] (shared across the
+    connections — it judges the endpoint, not a socket) is only
+    consulted when [retry] is given. *)

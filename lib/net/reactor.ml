@@ -4,17 +4,41 @@ type mode =
   | Fibers of { io : Io.t; timer : Timer.t }
   | Blocking
 
-type t = { mode : mode }
+type t = { mode : mode; fault : Fault.t option }
 
-let fibers ~register () =
+(* A write into a peer-closed socket raises EPIPE only if SIGPIPE is not
+   delivered first — by default it kills the process.  Every write path
+   here handles EPIPE (close the conn, surface Net.Closed), so the signal
+   carries no information we want; ignore it once, at reactor creation,
+   like any socket-serving runtime.  [try] guards platforms without it. *)
+let ignore_sigpipe =
+  lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
+
+let fibers ~register ?fault () =
+  Lazy.force ignore_sigpipe;
   let io = Io.create () in
   let timer = Timer.create () in
   register ~pending:(Some (fun () -> Io.pending io)) (fun () -> Io.poll io);
   register ~pending:None (fun () -> Timer.poll timer);
-  { mode = Fibers { io; timer } }
+  { mode = Fibers { io; timer }; fault }
 
-let blocking () = { mode = Blocking }
+let blocking ?fault () =
+  Lazy.force ignore_sigpipe;
+  { mode = Blocking; fault }
 let is_fibers t = match t.mode with Fibers _ -> true | Blocking -> false
+let fault t = t.fault
+
+(* Sleep without holding a worker in fiber mode: park the fiber on the
+   reactor's deadline timer (the same one racing I/O waits).  Blocking
+   mode just blocks — that is its cost model.  Used by injected-latency
+   faults and retry backoff. *)
+let sleep t d =
+  if d > 0. then
+    match t.mode with
+    | Blocking -> Unix.sleepf d
+    | Fibers { timer; _ } ->
+        let deadline = Unix.gettimeofday () +. d in
+        Fiber.suspend (fun resume -> Timer.add timer ~deadline resume)
 
 (* A fiber wait raced against a deadline.  Both the Io waiter callback and
    the timer callback funnel through the reactor's Io mutex: the timer side

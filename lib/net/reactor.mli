@@ -12,6 +12,7 @@ type t
 val fibers :
   register:
     (pending:(unit -> int) option -> (unit -> int) -> unit) ->
+  ?fault:Fault.t ->
   unit ->
   t
 (** Builds a fiber-mode reactor: a fresh {!Lhws_runtime.Io.t} plus a
@@ -19,13 +20,23 @@ val fibers :
     [register] so the pool's worker loop pumps them.  Call as
     [Reactor.fibers ~register:(fun ~pending poll ->
        Lhws_pool.register_poller p ?pending poll) ()].
-    Only meaningful on suspension-capable pools. *)
+    Only meaningful on suspension-capable pools.  [fault] attaches a
+    {!Fault} plane: every connection and listener using this reactor
+    consults it before kernel operations. *)
 
-val blocking : unit -> t
+val blocking : ?fault:Fault.t -> unit -> t
 (** Blocking mode: waits are [select] calls with the deadline as
     timeout, reads/writes plain syscalls.  For the WS and thread pools. *)
 
 val is_fibers : t -> bool
+
+val fault : t -> Fault.t option
+(** The attached fault plane, if any. *)
+
+val sleep : t -> float -> unit
+(** Sleeps without holding a worker in fiber mode (the fiber parks on
+    the reactor's deadline timer); plain [Unix.sleepf] in blocking mode.
+    Used for injected latency and retry backoff. *)
 
 val wait_readable : t -> ?deadline:float -> Unix.file_descr -> unit
 (** Waits until the descriptor is readable.  [deadline] is absolute

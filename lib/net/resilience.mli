@@ -1,0 +1,172 @@
+(** Surviving the faults that {!Fault} injects (and the real network
+    throws): per-call retries with exponential backoff and decorrelated
+    jitter, retry budgets raced against per-operation deadlines, a
+    per-endpoint circuit breaker, and reconnecting RPC clients for both
+    reactor modes.
+
+    The paper's model calls a latency-incurring operation a {e heavy
+    edge}: the fiber suspends, U grows, and the worker moves on.  A
+    retry makes the edge heavier — each attempt adds its backoff delay
+    to the edge's δ, so a retried call is still {e one} suspension
+    point from the scheduler's perspective, just a longer one.  A
+    breaker caps how much δ a dead endpoint can inject: once open,
+    calls fail in microseconds instead of growing U by a timeout each. *)
+
+(** {1 Circuit breaker}
+
+    One breaker per endpoint.  Closed → counting consecutive failures;
+    at [failure_threshold] it opens and {!Breaker.allow} refuses
+    everything for [cooldown] seconds; then the next caller becomes a
+    half-open probe — its success closes the circuit, its failure
+    re-opens it for another cooldown. *)
+
+module Breaker : sig
+  type state = Closed | Open | Half_open
+
+  type t
+
+  val create :
+    ?failure_threshold:int -> ?cooldown:float -> ?half_open_probes:int -> unit -> t
+  (** Defaults: threshold 5, cooldown 1 s, 1 concurrent half-open probe. *)
+
+  val state : t -> state
+  (** Reading the state performs the Open → Half_open transition when
+      the cooldown has passed, so observers see the same state a caller
+      would. *)
+
+  val allow : t -> bool
+  (** May a call be issued now?  [false] while Open (cooldown pending)
+      or while Half_open with all probe slots taken.  An allowed call
+      {e must} report {!on_success} or {!on_failure}. *)
+
+  val on_success : t -> unit
+  val on_failure : t -> unit
+
+  val failures : t -> int
+  (** Consecutive failures since the last success (while Closed). *)
+
+  val trips : t -> int
+  (** Times the circuit has opened. *)
+end
+
+(** {1 Retry policies} *)
+
+module Retry : sig
+  type policy = {
+    max_attempts : int;  (** total attempts, including the first *)
+    base_backoff : float;  (** seconds; first backoff is at least this *)
+    max_backoff : float;  (** backoff cap, seconds *)
+    budget : float option;
+        (** total wall-clock allowance for all attempts and backoffs of
+            one call.  Races the per-operation deadlines inside the
+            attempt ({!Conn} timeouts enforced by the runtime timer):
+            whichever runs out first fails the call.  A backoff never
+            sleeps past the budget. *)
+    seed : int;  (** jitter determinism, like the fault plane's seed *)
+    retryable : exn -> bool;
+        (** which failures may be retried; doubles as "counts as an
+            endpoint failure" for the breaker *)
+  }
+
+  val default_retryable : exn -> bool
+  (** [Net.Timeout], [Net.Closed], [Net.Peer_closed], [End_of_file] and
+      transient [Unix_error]s (refused / reset / aborted / pipe /
+      unreachable / timed out).  [Net.Protocol_error],
+      [Net.Remote_error] and [Net.Circuit_open] are {e not} retryable:
+      the first means the stream is garbage, the second that the
+      request failed deterministically on a live server, the third that
+      a breaker already said stop. *)
+
+  val policy :
+    ?max_attempts:int ->
+    ?base_backoff:float ->
+    ?max_backoff:float ->
+    ?budget:float ->
+    ?seed:int ->
+    ?retryable:(exn -> bool) ->
+    unit ->
+    policy
+  (** Defaults: 4 attempts, 1 ms base, 100 ms cap, no budget, seed 0,
+      {!default_retryable}. *)
+
+  val no_retry : policy
+  (** One attempt, no backoff — breaker-only wiring. *)
+
+  val run :
+    sleep:(float -> unit) -> ?breaker:Breaker.t -> policy -> (int -> 'a) -> 'a
+  (** [run ~sleep policy f] calls [f attempt] (0-based) until it
+      returns, fails non-retryably, exhausts [max_attempts], or
+      overruns [budget] — the last underlying exception is re-raised.
+      Between attempts it sleeps a decorrelated-jitter backoff
+      ([U(base, 3·prev)] capped at [max_backoff], clamped to the
+      remaining budget).  [sleep] decides the cost model: [P.sleep] on
+      a pool suspends the fiber, [Unix.sleepf] blocks the thread.
+      With [breaker], each attempt first asks {!Breaker.allow} (raising
+      [Net.Circuit_open] when refused) and reports its outcome back;
+      only [retryable]-class failures count against the endpoint. *)
+
+  val call :
+    (module Lhws_workloads.Pool_intf.POOL with type t = 'p) ->
+    'p ->
+    ?breaker:Breaker.t ->
+    policy ->
+    (int -> 'a) ->
+    'a
+  (** {!run} with the pool's [sleep] — backoffs suspend instead of
+      holding a worker on suspension-capable pools. *)
+end
+
+(** {1 Reconnecting clients} *)
+
+(** A pipelined {!Rpc.Client} wrapper that owns (re)connection: calls
+    go through the retry/breaker path, and a connection that dies
+    ([Net.Closed] / [Net.Peer_closed] / reset) is dropped and re-dialed
+    on the next attempt.  For suspension-capable pools ({!Rpc.Client}'s
+    own caveats apply). *)
+module Client : sig
+  type t
+
+  val create :
+    (module Lhws_workloads.Pool_intf.POOL with type t = 'p) ->
+    'p ->
+    Reactor.t ->
+    ?policy:Retry.policy ->
+    ?breaker:Breaker.t ->
+    ?read_timeout:float ->
+    ?write_timeout:float ->
+    Unix.sockaddr ->
+    t
+  (** Connects lazily: the first {!call} dials, so a refused endpoint
+      is a retryable call failure, not a constructor exception. *)
+
+  val call : t -> bytes -> bytes
+  (** One resilient round-trip (awaits internally).
+      @raise Net.Circuit_open when the breaker refuses.
+      @raise Net.Closed after {!close}. *)
+
+  val close : t -> unit
+
+  val reconnects : t -> int
+  (** Successful dials beyond the first. *)
+end
+
+(** Synchronous counterpart over {!Rpc.call_sync} for blocking pools;
+    backoffs block the calling worker (that is the baseline's cost
+    model).  Not thread-safe — callers serialise access per client, as
+    {!Net_map_reduce} does with its per-connection mutexes. *)
+module Sync_client : sig
+  type t
+
+  val create :
+    Reactor.t ->
+    ?policy:Retry.policy ->
+    ?breaker:Breaker.t ->
+    ?read_timeout:float ->
+    ?write_timeout:float ->
+    Unix.sockaddr ->
+    t
+
+  val call : t -> bytes -> bytes
+  val close : t -> unit
+  val reconnects : t -> int
+end

@@ -37,15 +37,17 @@ let check_len len =
     raise (Net.Protocol_error (Printf.sprintf "frame length %d out of range" len))
 
 (* Reads [n] header/payload bytes; [None] on EOF at a frame boundary
-   (clean hang-up), Protocol_error on EOF mid-frame. *)
+   (clean hang-up), Peer_closed on EOF mid-frame.  The distinction
+   matters to retry policies: a peer that died mid-frame is a transient
+   endpoint failure (retryable on a fresh connection), while
+   Protocol_error — reserved for bytes that do not parse — means a
+   replay would resend the same garbage. *)
 let read_chunk conn n ~at_boundary =
   let b = Bytes.create n in
   let rec go pos =
     if pos < n then
       match Conn.read conn b pos (n - pos) with
-      | 0 ->
-          if pos = 0 && at_boundary then None
-          else raise (Net.Protocol_error "peer closed mid-frame")
+      | 0 -> if pos = 0 && at_boundary then None else raise Net.Peer_closed
       | k -> go (pos + k)
     else Some b
   in
@@ -133,11 +135,20 @@ let serve_handler (type p) (module P : Pool_intf.POOL with type t = p) (pool : p
                      | v -> (0, v)
                      | exception e -> (1, Bytes.of_string (Printexc.to_string e))
                    in
+                   (* A response that cannot be written is not just this
+                      request's problem: the client is now owed a frame
+                      it will never get, so the stream contract is
+                      broken.  Close the connection — the client sees
+                      EOF and can retry on a fresh one — rather than
+                      silently dropping the frame on a live socket. *)
                    try with_wlock wl (fun () -> write_response conn ~id ~status resp)
-                   with Net.Closed | Net.Timeout -> ())));
+                   with Net.Closed | Net.Timeout -> Conn.close conn)));
         loop ()
   in
-  (try loop () with Net.Closed | Net.Timeout | Net.Protocol_error _ | End_of_file -> ());
+  (try loop ()
+   with
+   | Net.Closed | Net.Timeout | Net.Peer_closed | Net.Protocol_error _ | End_of_file
+   -> ());
   (* The connection may be closed the moment we return (the listener owns
      it): let in-flight responses finish first. *)
   while Atomic.get outstanding > 0 do
@@ -159,6 +170,7 @@ module Client = struct
     pending : (int, Bytes.t Promise.t) Hashtbl.t;
     next_id : int Atomic.t;
     closed : bool Atomic.t;
+    demux_done : bool Atomic.t;
   }
 
   let take_pending c id =
@@ -178,9 +190,14 @@ module Client = struct
   (* The client is dead: mark it closed {e before} draining, so a racing
      [call] that inserts its promise after the drain observes [closed] on
      its re-check and fails itself — otherwise nothing would ever resolve
-     that promise and the caller's await parks forever. *)
+     that promise and the caller's await parks forever.  The connection
+     itself must be closed here too: a later [close] call is a no-op
+     (its closed-CAS loses to ours), so skipping it would leak the fd —
+     and the peer's handler, which never sees EOF, stays live until it
+     saturates the listener's [max_conns] gate. *)
   let fail_conn c e =
     Atomic.set c.closed true;
+    Conn.close c.conn;
     fail_all c e
 
   (* Reads responses until the connection dies, resolving each pending
@@ -206,6 +223,9 @@ module Client = struct
     in
     try loop () with
     | Net.Closed | Net.Timeout | End_of_file -> fail_conn c Net.Closed
+    (* EOF mid-frame: the server died with responses owed.  Pending
+       calls fail with Peer_closed so retry policies know the failure
+       is endpoint-transient, not protocol-fatal. *)
     | e -> fail_conn c e
 
   let connect (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt
@@ -224,9 +244,14 @@ module Client = struct
         pending = Hashtbl.create 32;
         next_id = Atomic.make 1;
         closed = Atomic.make false;
+        demux_done = Atomic.make false;
       }
     in
-    ignore (P.async pool (fun () -> demux c));
+    ignore
+      (P.async pool (fun () ->
+           Fun.protect
+             ~finally:(fun () -> Atomic.set c.demux_done true)
+             (fun () -> demux c)));
     c
 
   let call c payload =
@@ -249,11 +274,22 @@ module Client = struct
        raise e);
     p
 
+  (* [close] waits for the demux task to unwind, because that task holds
+     an in-flight-operation reference on the connection while parked in a
+     read: its woken continuation is just a queued pool task, and one
+     still queued when the pool shuts down is dropped — the reference
+     would never release and the descriptor would outlive the client.
+     Closing the conn first guarantees the demux's next read fails, so
+     the wait is bounded.  Never call [close] from the demux path itself
+     ([fail_conn] is the internal teardown); it would self-deadlock. *)
   let close c =
     if Atomic.compare_and_set c.closed false true then begin
       Conn.close c.conn;  (* wakes the demux task, which fails pending *)
       fail_all c Net.Closed
-    end
+    end;
+    while not (Atomic.get c.demux_done) do
+      c.wl.sleep ()
+    done
 end
 
 (* --- synchronous round-trip, for blocking pools --- *)

@@ -64,7 +64,10 @@ module Client : sig
   (** Sends one request; the promise resolves when its response arrives
       (out of order with other calls).  Await it with the pool's
       [await].  Fails with [Net.Remote_error] if the server handler
-      raised, [Net.Closed] if the connection dies first. *)
+      raised, [Net.Closed] if the connection dies cleanly first, and
+      [Net.Peer_closed] if the server hung up mid-frame with responses
+      still owed (transient endpoint failure — retryable on a fresh
+      connection, which {!Resilience.Client} automates). *)
 
   val close : t -> unit
   (** Closes the connection; pending calls fail with [Net.Closed]. *)
@@ -74,4 +77,5 @@ val call_sync : Conn.t -> bytes -> bytes
 (** One synchronous round-trip on a raw connection — the blocking
     baseline's client path (the caller owns any connection sharing).
     @raise Net.Remote_error if the server handler raised.
-    @raise Net.Closed if the peer hangs up first. *)
+    @raise Net.Closed if the peer hangs up at a frame boundary.
+    @raise Net.Peer_closed if it hangs up mid-frame. *)

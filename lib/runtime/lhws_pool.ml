@@ -379,6 +379,7 @@ let shutdown = C.shutdown
 let with_pool ?workers ?steal_policy f = C.with_pool ?workers ?config:steal_policy f
 
 let register_poller = C.register_poller
+let register_shed_counter = C.register_shed_counter
 let set_tracer = C.set_tracer
 
 (* --- fiber-facing operations --- *)
@@ -450,6 +451,7 @@ type stats = Scheduler_core.stats = {
   resumes : int;
   max_deques_per_worker : int;
   io_pending : int;
+  conns_shed : int;
 }
 
 let stats = C.stats

@@ -25,6 +25,7 @@ type stats = {
   resumes : int;
   max_deques_per_worker : int;
   io_pending : int;
+  conns_shed : int;
 }
 
 module type POLICY = sig
@@ -61,6 +62,9 @@ module Make (P : POLICY) = struct
     timer : Timer.t;
     tracer : Tracing.t option ref;
     mutable pollers : poller list;  (* extra event sources, e.g. I/O *)
+    (* overload-shed counters published by serving layers (listeners);
+       CAS-pushed because registration happens from worker tasks *)
+    shed_fns : (unit -> int) list Atomic.t;
     pump_lock : bool Atomic.t;  (* elects the one worker pumping timer/pollers *)
     stop : bool Atomic.t;
     mutable domains : unit Domain.t array;
@@ -192,6 +196,7 @@ module Make (P : POLICY) = struct
         timer = Timer.create ();
         tracer;
         pollers = [];
+        shed_fns = Atomic.make [];
         pump_lock = Lhws_deque.Padding.make_atomic false;
         stop = Atomic.make false;
         domains = [||];
@@ -232,6 +237,13 @@ module Make (P : POLICY) = struct
   let register_poller t ?pending poll =
     t.pollers <- { poll_fn = poll; pending_fn = pending } :: t.pollers
 
+  let register_shed_counter t f =
+    let rec push () =
+      let old = Atomic.get t.shed_fns in
+      if not (Atomic.compare_and_set t.shed_fns old (f :: old)) then push ()
+    in
+    push ()
+
   let stats t =
     let sum f = Array.fold_left (fun acc c -> acc + f c.counters) 0 t.ctxs in
     {
@@ -246,5 +258,6 @@ module Make (P : POLICY) = struct
         List.fold_left
           (fun acc p -> match p.pending_fn with Some f -> acc + f () | None -> acc)
           0 t.pollers;
+      conns_shed = List.fold_left (fun acc f -> acc + f ()) 0 (Atomic.get t.shed_fns);
     }
 end

@@ -62,6 +62,10 @@ type stats = {
       (** gauge, not a counter: fibers currently parked in registered
           pollers (see [register_poller]'s [?pending]); 0 for pools with
           no pollers attached *)
+  conns_shed : int;
+      (** connections rejected fast by overload shedding in serving
+          layers running on this pool (see [register_shed_counter]);
+          0 when nothing registered one *)
 }
 
 (** {1 Scheduling policies} *)
@@ -174,6 +178,12 @@ module Make (P : POLICY) : sig
   (** [register_poller t ?pending poll] adds an event source pumped by the
       worker loop.  [pending] (e.g. {!Io.pending}) feeds the [io_pending]
       stats gauge; sources without parked fibers omit it. *)
+
+  val register_shed_counter : t -> (unit -> int) -> unit
+  (** Adds a monotone counter summed into the [conns_shed] stats field —
+      serving layers (e.g. a listener with overload shedding) publish how
+      many connections they rejected fast.  Thread-safe (CAS push):
+      listeners register from within running tasks. *)
 
   val stats : t -> stats
 end

@@ -7,6 +7,7 @@ type t = {
   mutable peak : int;
   trace_mu : Mutex.t;  (* Tracing buffers are single-writer; serialize *)
   mutable tracer : Tracing.t option;
+  shed_fns : (unit -> int) list Atomic.t;  (* overload-shed counters, see stats *)
 }
 
 let create ?(max_threads = 512) () =
@@ -20,9 +21,17 @@ let create ?(max_threads = 512) () =
     peak = 0;
     trace_mu = Mutex.create ();
     tracer = None;
+    shed_fns = Atomic.make [];
   }
 
 let set_tracer t tracer = t.tracer <- Some tracer
+
+let register_shed_counter t f =
+  let rec push () =
+    let old = Atomic.get t.shed_fns in
+    if not (Atomic.compare_and_set t.shed_fns old (f :: old)) then push ()
+  in
+  push ()
 
 (* All events land in worker slot 0: there is no stable worker identity in
    a thread-per-task pool. *)
@@ -165,10 +174,12 @@ type stats = Scheduler_core.stats = {
   resumes : int;
   max_deques_per_worker : int;
   io_pending : int;
+  conns_shed : int;
 }
 
-(* No deques, no steals, no suspensions: every counter is degenerate. *)
-let stats _t =
+(* No deques, no steals, no suspensions: every scheduler counter is
+   degenerate; only the serving-layer shed counter is real. *)
+let stats t =
   {
     steals = 0;
     failed_steals = 0;
@@ -177,4 +188,5 @@ let stats _t =
     resumes = 0;
     max_deques_per_worker = 0;
     io_pending = 0;
+    conns_shed = List.fold_left (fun acc f -> acc + f ()) 0 (Atomic.get t.shed_fns);
   }

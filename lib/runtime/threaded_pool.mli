@@ -28,6 +28,10 @@ val set_tracer : t -> Tracing.t -> unit
     All events land in worker slot 0 (threads have no stable worker
     identity), serialized by a mutex. *)
 
+val register_shed_counter : t -> (unit -> int) -> unit
+(** Adds a monotone overload-shed counter summed into the [conns_shed]
+    stats field; thread-safe, may be called from running tasks. *)
+
 val async : t -> (unit -> 'a) -> 'a Promise.t
 (** Spawns a thread for the task (blocking while at [max_threads]). *)
 
@@ -71,6 +75,7 @@ type stats = Scheduler_core.stats = {
   resumes : int;
   max_deques_per_worker : int;
   io_pending : int;
+  conns_shed : int;
 }
 
 val stats : t -> stats

@@ -68,6 +68,7 @@ let with_pool ?workers f = C.with_pool ?workers f
 
 let set_tracer = C.set_tracer
 let register_poller = C.register_poller
+let register_shed_counter = C.register_shed_counter
 
 let async _t f =
   let p = Promise.create () in
@@ -134,6 +135,7 @@ type stats = Scheduler_core.stats = {
   resumes : int;
   max_deques_per_worker : int;
   io_pending : int;
+  conns_shed : int;
 }
 
 let stats = C.stats

@@ -28,6 +28,10 @@ val register_poller : t -> ?pending:(unit -> int) -> (unit -> int) -> unit
     The callback returns how many events it fired.  Register before
     {!run}; not thread-safe against concurrent registration. *)
 
+val register_shed_counter : t -> (unit -> int) -> unit
+(** Adds a monotone overload-shed counter summed into the [conns_shed]
+    stats field; thread-safe, may be called from running tasks. *)
+
 val async : t -> (unit -> 'a) -> 'a Promise.t
 (** Spawns a task onto the current worker's deque. *)
 
@@ -61,6 +65,7 @@ type stats = Scheduler_core.stats = {
   resumes : int;
   max_deques_per_worker : int;
   io_pending : int;
+  conns_shed : int;
 }
 
 val stats : t -> stats

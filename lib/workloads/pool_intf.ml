@@ -16,6 +16,7 @@ module type POOL = sig
 
   val stats : t -> Lhws_runtime.Scheduler_core.stats
   val set_tracer : t -> Lhws_runtime.Tracing.t -> unit
+  val register_shed_counter : t -> (unit -> int) -> unit
 end
 
 type pool = (module POOL)

@@ -34,6 +34,11 @@ module type POOL = sig
 
   val stats : t -> Lhws_runtime.Scheduler_core.stats
   val set_tracer : t -> Lhws_runtime.Tracing.t -> unit
+
+  val register_shed_counter : t -> (unit -> int) -> unit
+  (** Publishes a monotone counter into the [conns_shed] field of
+      {!stats} — serving layers report overload-shed connections through
+      this.  Thread-safe; callable from running tasks. *)
 end
 
 type pool = (module POOL)

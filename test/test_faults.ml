@@ -1,0 +1,473 @@
+(* Chaos suite: the fault plane's determinism contract, then the
+   acceptance bar — storms of injected resets, short ops, delays and
+   blackouts over real sockets, survived by the retry/breaker layer with
+   correct checksums, zero leaked descriptors and a drained io_pending
+   gauge.  The storm seed comes from CHAOS_SEED (default 42) and is
+   echoed in every failure message so a red run can be replayed. *)
+
+open Lhws_runtime
+module P = Lhws_workloads.Pool_intf
+module Net = Lhws_net.Net
+module Reactor = Lhws_net.Reactor
+module Conn = Lhws_net.Conn
+module Listener = Lhws_net.Listener
+module Rpc = Lhws_net.Rpc
+module Fault = Lhws_net.Fault
+module Rs = Lhws_net.Resilience
+module Nmr = Lhws_net.Net_map_reduce
+
+let chaos_seed =
+  match Sys.getenv_opt "CHAOS_SEED" with
+  | Some s -> ( try int_of_string s with Failure _ -> 42)
+  | None -> 42
+
+let seeded msg = Printf.sprintf "%s (CHAOS_SEED=%d)" msg chaos_seed
+let loopback0 = Unix.ADDR_INET (Unix.inet_addr_loopback, 0)
+let count_fds () = Array.length (Sys.readdir "/proc/self/fd")
+
+let with_lhws_net ?(workers = 4) ?fault f =
+  Lhws_pool.with_pool ~workers (fun p ->
+      let rt =
+        Reactor.fibers
+          ~register:(fun ~pending poll -> Lhws_pool.register_poller p ?pending poll)
+          ?fault ()
+      in
+      f p rt)
+
+let raw_connect addr =
+  let fd = Unix.socket ~cloexec:true (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd addr
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd
+
+let payload ci k =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 (Int64.of_int ((ci * 1_000_003) + k));
+  b
+
+let chaos_policy () =
+  Rs.Retry.policy ~max_attempts:10 ~base_backoff:0.001 ~max_backoff:0.01
+    ~seed:chaos_seed ()
+
+(* --- the replay contract: the verdict stream is a function of the seed --- *)
+
+let test_fault_determinism () =
+  (* Blackouts excluded: their windows are wall-clock state, so two
+     planes drawn at different speeds would disagree on the remaining
+     delay.  Everything that comes off the decision stream itself must
+     replay exactly. *)
+  let cfg rate seed =
+    { (Fault.storm ~seed ~rate ()) with Fault.p_blackout = 0. }
+  in
+  let draw cfg n =
+    let t = Fault.create cfg in
+    let vs =
+      List.init n (fun i ->
+          if i mod 2 = 0 then Fault.on_read (Some t) Unix.stdin
+          else Fault.on_write (Some t) Unix.stdin)
+    in
+    (vs, Fault.injected t, Fault.decisions t)
+  in
+  let a, ia, da = draw (cfg 0.3 chaos_seed) 400 in
+  let b, ib, db = draw (cfg 0.3 chaos_seed) 400 in
+  Alcotest.(check bool) (seeded "same seed, same verdict stream") true (a = b);
+  Alcotest.(check bool) (seeded "same seed, same injected totals") true (ia = ib);
+  Alcotest.(check int) "every draw consumed one decision" 400 da;
+  Alcotest.(check int) "on both planes" 400 db;
+  Alcotest.(check bool) (seeded "a 30% storm injects") true (Fault.total ia > 0);
+  let c, _, _ = draw (cfg 0.3 (chaos_seed + 1)) 400 in
+  Alcotest.(check bool) (seeded "different seed, different schedule") true (a <> c);
+  (* The clean config never injects. *)
+  let d, id_, _ = draw Fault.disabled 100 in
+  Alcotest.(check bool) "disabled plane always passes" true
+    (List.for_all (fun v -> v = Fault.Pass) d);
+  Alcotest.(check int) "disabled plane injects nothing" 0 (Fault.total id_)
+
+(* --- the acceptance bar: 500 connections through a 1% storm --- *)
+
+let test_chaos_echo_lhws () =
+  let before = count_fds () in
+  let n =
+    match Sys.getenv_opt "CHAOS_CONNS" with
+    | Some s -> ( try int_of_string s with Failure _ -> 500)
+    | None -> 500
+  and calls = 3 in
+  (* Bisect knobs for replaying a red run: CHAOS_CONNS scales the client
+     count; CHAOS_ONLY=error,delay,... restricts the storm to a
+     comma-separated subset of fault classes at an elevated rate. *)
+  let cfg =
+    let base = Fault.storm ~seed:chaos_seed ~rate:0.01 () in
+    match Sys.getenv_opt "CHAOS_ONLY" with
+    | None -> base
+    | Some modes ->
+        List.fold_left
+          (fun c m ->
+            match m with
+            | "error" -> { c with Fault.p_error = 0.05 }
+            | "eagain" -> { c with Fault.p_eagain = 0.05 }
+            | "short" -> { c with Fault.p_short = 0.05 }
+            | "delay" -> { c with Fault.p_delay = 0.05; delay_s = 0.002 }
+            | "blackout" -> { c with Fault.p_blackout = 0.05; blackout_s = 0.01 }
+            | "accept" -> { c with Fault.p_accept_fail = 0.05 }
+            | _ -> c)
+          { Fault.disabled with Fault.seed = base.Fault.seed }
+          (String.split_on_char ',' modes)
+  in
+  let fault = Fault.create cfg in
+  with_lhws_net ~workers:4 ~fault (fun p rt ->
+      let module Pl = P.Lhws_instance in
+      Pl.run p (fun () ->
+          let config =
+            { Listener.default_config with max_conns = 600; backlog = 512 }
+          in
+          let l = Rpc.serve (module Pl) p rt ~config loopback0 ~handler:Fun.id in
+          let addr = Listener.addr l in
+          let clients =
+            Array.init n (fun _ ->
+                Rs.Client.create (module Pl) p rt ~policy:(chaos_policy ()) addr)
+          in
+          let tasks =
+            Array.mapi
+              (fun ci cl ->
+                Pl.async p (fun () ->
+                    let ok = ref 0 in
+                    for k = 0 to calls - 1 do
+                      let b = payload ci k in
+                      if Bytes.equal (Rs.Client.call cl b) b then incr ok
+                    done;
+                    !ok))
+              clients
+          in
+          let total_ok = Array.fold_left (fun acc t -> acc + Pl.await p t) 0 tasks in
+          Alcotest.(check int) (seeded "every chaos echo checksummed") (n * calls) total_ok;
+          Array.iter Rs.Client.close clients;
+          Listener.shutdown ~grace:10. l;
+          Alcotest.(check int) (seeded "handlers drained") 0 (Listener.live l);
+          (* No wedged fibers: every parked I/O wait must unwind. *)
+          let rec wait_drain i =
+            let g = (Pl.stats p).Scheduler_core.io_pending in
+            if g > 0 then
+              if i > 1000 then
+                Alcotest.failf "io_pending stuck at %d (CHAOS_SEED=%d)" g chaos_seed
+              else begin
+                Pl.sleep p 0.005;
+                wait_drain (i + 1)
+              end
+          in
+          wait_drain 0));
+  Alcotest.(check bool) (seeded "the storm actually fired") true
+    (Fault.total (Fault.injected fault) > 0);
+  Alcotest.(check int) (seeded "zero leaked fds") before (count_fds ())
+
+(* --- same storm, blocking pools: Sync_client reconnects from OS
+       threads while the pool's workers block in handlers --- *)
+
+let run_chaos_sync (type p) (module Pw : P.POOL with type t = p) (pool : p) ~clients:nc
+    ~iters =
+  let fault = Fault.create (Fault.storm ~seed:chaos_seed ~rate:0.01 ()) in
+  let rt = Reactor.blocking ~fault () in
+  Pw.run pool (fun () ->
+      let config = { Listener.default_config with backlog = 256 } in
+      let l = Rpc.serve (module Pw) pool rt ~config loopback0 ~handler:Fun.id in
+      let addr = Listener.addr l in
+      let oks = Array.make nc 0 in
+      let threads =
+        Array.init nc (fun ci ->
+            Thread.create
+              (fun () ->
+                let sc = Rs.Sync_client.create rt ~policy:(chaos_policy ()) addr in
+                Fun.protect
+                  ~finally:(fun () -> Rs.Sync_client.close sc)
+                  (fun () ->
+                    for k = 0 to iters - 1 do
+                      let b = payload ci k in
+                      if Bytes.equal (Rs.Sync_client.call sc b) b then
+                        oks.(ci) <- oks.(ci) + 1
+                    done))
+              ())
+      in
+      Array.iter Thread.join threads;
+      Listener.shutdown ~grace:10. l;
+      Alcotest.(check int) (seeded "handlers drained") 0 (Listener.live l);
+      Alcotest.(check int)
+        (seeded "every sync chaos echo checksummed")
+        (nc * iters)
+        (Array.fold_left ( + ) 0 oks));
+  Alcotest.(check bool) (seeded "the storm actually fired") true
+    (Fault.total (Fault.injected fault) > 0)
+
+let test_chaos_echo_ws () =
+  let before = count_fds () in
+  Ws_pool.with_pool ~workers:8 (fun p ->
+      run_chaos_sync (module P.Ws_instance) p ~clients:4 ~iters:25);
+  Alcotest.(check int) (seeded "zero leaked fds") before (count_fds ())
+
+let test_chaos_echo_threads () =
+  let before = count_fds () in
+  let module Pt = P.Threaded_instance in
+  let p = Pt.create () in
+  Fun.protect
+    ~finally:(fun () -> Pt.shutdown p)
+    (fun () -> run_chaos_sync (module Pt) p ~clients:8 ~iters:25);
+  Alcotest.(check int) (seeded "zero leaked fds") before (count_fds ())
+
+(* --- chaos net_map_reduce: the reduction's checksum survives the storm
+       on all three pools (the data server's own domain stays clean; the
+       storm lives on the client reactor) --- *)
+
+let test_chaos_net_map_reduce () =
+  Nmr.with_data_server ~delta:0.001 (fun addr ->
+      let n = 48 and fib_n = 5 in
+      let expect = Nmr.expected ~n ~fib_n in
+      let retry = chaos_policy () in
+      let storm () = Fault.create (Fault.storm ~seed:chaos_seed ~rate:0.05 ()) in
+      (let fault = storm () in
+       with_lhws_net ~workers:2 ~fault (fun p rt ->
+           let module Pl = P.Lhws_instance in
+           let sum =
+             Pl.run p (fun () ->
+                 Nmr.run (module Pl) p rt ~addr ~n ~conns:2 ~fib_n ~retry ())
+           in
+           Alcotest.(check int) (seeded "lhws chaos checksum") expect sum;
+           Alcotest.(check bool) (seeded "the storm actually fired") true
+             (Fault.total (Fault.injected fault) > 0)));
+      (let module Pw = P.Ws_instance in
+       Ws_pool.with_pool ~workers:2 (fun p ->
+           let rt = Reactor.blocking ~fault:(storm ()) () in
+           let sum =
+             Pw.run p (fun () -> Nmr.run (module Pw) p rt ~addr ~n ~conns:2 ~fib_n ~retry ())
+           in
+           Alcotest.(check int) (seeded "ws chaos checksum") expect sum));
+      let module Pt = P.Threaded_instance in
+      let p = Pt.create () in
+      Fun.protect
+        ~finally:(fun () -> Pt.shutdown p)
+        (fun () ->
+          let rt = Reactor.blocking ~fault:(storm ()) () in
+          let sum =
+            Pt.run p (fun () -> Nmr.run (module Pt) p rt ~addr ~n ~conns:2 ~fib_n ~retry ())
+          in
+          Alcotest.(check int) (seeded "threads chaos checksum") expect sum))
+
+(* --- breaker convergence against a genuinely dead endpoint, then
+       recovery once it comes back --- *)
+
+let test_breaker_converges () =
+  (* Claim an ephemeral port, then free it: a dead-but-routable endpoint. *)
+  let probe = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt probe Unix.SO_REUSEADDR true;
+  Unix.bind probe (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let addr = Unix.getsockname probe in
+  Unix.close probe;
+  let b = Rs.Breaker.create ~failure_threshold:3 ~cooldown:0.3 () in
+  let rt = Reactor.blocking () in
+  let sc =
+    Rs.Sync_client.create rt ~policy:(Rs.Retry.policy ~max_attempts:1 ()) ~breaker:b addr
+  in
+  let refused = ref 0 and circuit = ref 0 in
+  for _ = 1 to 6 do
+    match Rs.Sync_client.call sc (Bytes.of_string "x") with
+    | (_ : bytes) -> Alcotest.fail "dead endpoint answered"
+    | exception Net.Circuit_open -> incr circuit
+    | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> incr refused
+  done;
+  Alcotest.(check int) "threshold dials actually attempted" 3 !refused;
+  Alcotest.(check int) "the rest refused by the breaker" 3 !circuit;
+  Alcotest.(check bool) "converged to open" true (Rs.Breaker.state b = Rs.Breaker.Open);
+  (* Fail-fast means microseconds, not a connect timeout. *)
+  let t0 = Unix.gettimeofday () in
+  (match Rs.Sync_client.call sc (Bytes.of_string "x") with
+  | (_ : bytes) -> Alcotest.fail "dead endpoint answered"
+  | exception Net.Circuit_open -> ());
+  Alcotest.(check bool) "fail-fast is fast" true (Unix.gettimeofday () -. t0 < 0.05);
+  (* Resurrect the endpoint on the very port the breaker is judging.  The
+     probe's blocking socket calls run on an OS thread, not the test
+     fiber: a raw blocking syscall would take worker 0 out of the engine,
+     and the server's acceptor fiber — whose deque worker 0 owns — could
+     never be resumed to answer it. *)
+  with_lhws_net ~workers:2 (fun p rt_f ->
+      let module Pl = P.Lhws_instance in
+      Pl.run p (fun () ->
+          let l = Rpc.serve (module Pl) p rt_f addr ~handler:Fun.id in
+          Pl.sleep p 0.35;  (* wait out the cooldown *)
+          let result = Atomic.make None in
+          let th =
+            Thread.create
+              (fun () ->
+                Atomic.set result
+                  (Some
+                     (try Ok (Rs.Sync_client.call sc (Bytes.of_string "back"))
+                      with e -> Error e)))
+              ()
+          in
+          let rec wait_probe i =
+            match Atomic.get result with
+            | Some r -> r
+            | None ->
+                if i > 2000 then Alcotest.fail "half-open probe never returned"
+                else begin
+                  Pl.sleep p 0.005;
+                  wait_probe (i + 1)
+                end
+          in
+          let r = wait_probe 0 in
+          Thread.join th;
+          (match r with
+          | Ok r ->
+              Alcotest.(check string) "half-open probe recovers" "back" (Bytes.to_string r)
+          | Error e -> raise e);
+          Alcotest.(check bool) "converged back to closed" true
+            (Rs.Breaker.state b = Rs.Breaker.Closed);
+          Listener.shutdown ~grace:2. l));
+  Rs.Sync_client.close sc
+
+(* --- overload shedding: arrivals above the high-water mark get a
+       prompt close, the shed counter reaches the pool's stats --- *)
+
+let test_overload_shed () =
+  with_lhws_net ~workers:4 (fun p rt ->
+      let module Pl = P.Lhws_instance in
+      Pl.run p (fun () ->
+          let config = { Listener.default_config with shed_above = Some 4 } in
+          let l =
+            Listener.serve (module Pl) p rt ~config loopback0
+              ~handler:(fun c ->
+                let b = Bytes.create 1 in
+                ignore (Conn.read c b 0 1 : int))
+          in
+          let addr = Listener.addr l in
+          let fillers = Array.init 4 (fun _ -> raw_connect addr) in
+          let rec wait_live i =
+            if Listener.live l < 4 then
+              if i > 1000 then Alcotest.fail "fillers not accepted"
+              else begin
+                Pl.sleep p 0.005;
+                wait_live (i + 1)
+              end
+          in
+          wait_live 0;
+          let shed_fds = Array.init 8 (fun _ -> raw_connect addr) in
+          (* Wait for the acceptor (a fiber) to process the arrivals
+             BEFORE blocking this worker in [Unix.read]: a raw blocking
+             syscall takes worker 0 out of the engine, and parked fibers
+             whose deques it owns — the acceptor — can then never be
+             resumed.  [Pl.sleep] keeps the worker scheduling instead. *)
+          let rec wait_shed i =
+            if Listener.shed l < 8 then
+              if i > 1000 then Alcotest.fail "arrivals not shed"
+              else begin
+                Pl.sleep p 0.005;
+                wait_shed (i + 1)
+              end
+          in
+          wait_shed 0;
+          (* A shed arrival's whole story: accepted, closed — the client
+             reads a prompt EOF (or reset) instead of waiting in a queue. *)
+          Array.iter
+            (fun fd ->
+              let b = Bytes.create 1 in
+              match Unix.read fd b 0 1 with
+              | 0 -> ()
+              | _ -> Alcotest.fail "shed connection delivered data"
+              | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ())
+            shed_fds;
+          Alcotest.(check int) "all overload arrivals shed" 8 (Listener.shed l);
+          Alcotest.(check int) "shed counter reaches pool stats" 8
+            (Pl.stats p).Scheduler_core.conns_shed;
+          Alcotest.(check int) "live handlers untouched" 4 (Listener.live l);
+          Array.iter Unix.close shed_fds;
+          Array.iter Unix.close fillers;
+          Listener.shutdown ~grace:5. l))
+
+(* --- timer races: the retry budget and the per-operation Timer
+       deadline race inside one resilient call, both ways --- *)
+
+let test_budget_bounds_retries () =
+  (* The server never answers in time; per-op deadlines keep cutting
+     attempts, the budget ends the loop — not max_attempts. *)
+  with_lhws_net ~workers:4 (fun p rt ->
+      let module Pl = P.Lhws_instance in
+      Pl.run p (fun () ->
+          let l =
+            Rpc.serve (module Pl) p rt loopback0
+              ~handler:(fun b ->
+                Pl.sleep p 0.5;
+                b)
+          in
+          let policy =
+            Rs.Retry.policy ~max_attempts:50 ~base_backoff:0.001 ~max_backoff:0.002
+              ~budget:0.12 ~seed:chaos_seed ()
+          in
+          let cl =
+            Rs.Client.create (module Pl) p rt ~policy ~read_timeout:0.04
+              (Listener.addr l)
+          in
+          let t0 = Unix.gettimeofday () in
+          (match Rs.Client.call cl (Bytes.of_string "never") with
+          | (_ : bytes) -> Alcotest.fail "server cannot have answered in time"
+          | exception Net.Circuit_open -> Alcotest.fail "no breaker configured"
+          | exception e ->
+              Alcotest.(check bool) "the loop re-raises the transport failure" true
+                (Rs.Retry.default_retryable e));
+          let dt = Unix.gettimeofday () -. t0 in
+          Alcotest.(check bool)
+            (Printf.sprintf "budget bounded the call: %.3fs (CHAOS_SEED=%d)" dt chaos_seed)
+            true
+            (dt >= 0.1 && dt < 0.45);
+          Rs.Client.close cl;
+          Listener.shutdown ~grace:2. l))
+
+let test_deadline_cuts_slow_attempt () =
+  (* The other direction: a per-op Timer deadline kills a slow first
+     attempt early enough that a retry wins well inside the budget. *)
+  with_lhws_net ~workers:4 (fun p rt ->
+      let module Pl = P.Lhws_instance in
+      Pl.run p (fun () ->
+          let served = Atomic.make 0 in
+          let l =
+            Rpc.serve (module Pl) p rt loopback0
+              ~handler:(fun b ->
+                if Atomic.fetch_and_add served 1 = 0 then Pl.sleep p 0.3;
+                b)
+          in
+          let policy =
+            Rs.Retry.policy ~max_attempts:4 ~base_backoff:0.001 ~max_backoff:0.005
+              ~budget:2.0 ~seed:chaos_seed ()
+          in
+          let cl =
+            Rs.Client.create (module Pl) p rt ~policy ~read_timeout:0.05
+              (Listener.addr l)
+          in
+          let t0 = Unix.gettimeofday () in
+          let r = Rs.Client.call cl (Bytes.of_string "again") in
+          let dt = Unix.gettimeofday () -. t0 in
+          Alcotest.(check string) "retry answered" "again" (Bytes.to_string r);
+          Alcotest.(check bool)
+            (Printf.sprintf "deadline cut the stuck attempt: %.3fs" dt)
+            true (dt < 0.28);
+          Alcotest.(check bool) "the cut attempt cost a reconnect" true
+            (Rs.Client.reconnects cl >= 1);
+          Rs.Client.close cl;
+          Listener.shutdown ~grace:2. l))
+
+let () =
+  Alcotest.run "faults"
+    [
+      ("plane", [ Alcotest.test_case "seeded determinism" `Quick test_fault_determinism ]);
+      ( "chaos",
+        [
+          Alcotest.test_case "500-conn echo storm (lhws)" `Quick test_chaos_echo_lhws;
+          Alcotest.test_case "sync echo storm (ws)" `Quick test_chaos_echo_ws;
+          Alcotest.test_case "sync echo storm (threads)" `Quick test_chaos_echo_threads;
+          Alcotest.test_case "net_map_reduce storm, 3 pools" `Quick test_chaos_net_map_reduce;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "breaker converges and recovers" `Quick test_breaker_converges;
+          Alcotest.test_case "overload shedding" `Quick test_overload_shed;
+          Alcotest.test_case "budget bounds retries" `Quick test_budget_bounds_retries;
+          Alcotest.test_case "deadline cuts slow attempt" `Quick test_deadline_cuts_slow_attempt;
+        ] );
+    ]

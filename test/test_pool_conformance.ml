@@ -99,7 +99,7 @@ module Conformance (Pool : Pool_intf.POOL) = struct
         let nonneg (s : Scheduler_core.stats) =
           s.steals >= 0 && s.failed_steals >= 0 && s.deques_allocated >= 0
           && s.suspensions >= 0 && s.resumes >= 0 && s.max_deques_per_worker >= 0
-          && s.io_pending >= 0
+          && s.io_pending >= 0 && s.conns_shed >= 0
         in
         Alcotest.(check bool) "counters non-negative" true (nonneg a);
         burn_some p;
@@ -161,6 +161,106 @@ module Conformance (Pool : Pool_intf.POOL) = struct
             Alcotest.(check string) "echoed" "ping" !got;
             Alcotest.(check int) "drained" 0 (Lhws_net.Listener.live l)))
 
+  (* Retry/breaker semantics must be identical on every pool: the only
+     pool-specific part is what [sleep] costs, which is not observable
+     here.  Socket-level resilience (reconnects, fault storms) lives in
+     test_faults.ml. *)
+
+  let test_retry_eventually_succeeds () =
+    with_pool (fun p ->
+        let module R = Lhws_net.Resilience in
+        let attempts = Atomic.make 0 in
+        let policy = R.Retry.policy ~max_attempts:5 ~base_backoff:0.001 ~max_backoff:0.004 () in
+        let v =
+          Pool.run p (fun () ->
+              R.Retry.call
+                (module Pool)
+                p policy
+                (fun _ ->
+                  if Atomic.fetch_and_add attempts 1 < 3 then raise Lhws_net.Net.Timeout
+                  else 42))
+        in
+        Alcotest.(check int) "value after transient failures" 42 v;
+        Alcotest.(check int) "exactly four attempts" 4 (Atomic.get attempts))
+
+  let test_retry_stops () =
+    with_pool (fun p ->
+        let module R = Lhws_net.Resilience in
+        (* Non-retryable: one attempt, the error passes straight through. *)
+        let attempts = Atomic.make 0 in
+        Alcotest.check_raises "protocol error not retried"
+          (Lhws_net.Net.Protocol_error "junk") (fun () ->
+            Pool.run p (fun () ->
+                R.Retry.call
+                  (module Pool)
+                  p
+                  (R.Retry.policy ~max_attempts:5 ())
+                  (fun _ ->
+                    Atomic.incr attempts;
+                    raise (Lhws_net.Net.Protocol_error "junk"))));
+        Alcotest.(check int) "single attempt" 1 (Atomic.get attempts);
+        (* Retryable but persistent: max_attempts bounds the attempts and
+           the last error is re-raised. *)
+        let attempts = Atomic.make 0 in
+        Alcotest.check_raises "exhaustion re-raises" Lhws_net.Net.Timeout (fun () ->
+            Pool.run p (fun () ->
+                R.Retry.call
+                  (module Pool)
+                  p
+                  (R.Retry.policy ~max_attempts:3 ~base_backoff:0.001 ~max_backoff:0.002 ())
+                  (fun _ ->
+                    Atomic.incr attempts;
+                    raise Lhws_net.Net.Timeout)));
+        Alcotest.(check int) "max_attempts attempts" 3 (Atomic.get attempts))
+
+  let test_breaker_lifecycle () =
+    with_pool (fun p ->
+        let module R = Lhws_net.Resilience in
+        Pool.run p (fun () ->
+            let b = R.Breaker.create ~failure_threshold:3 ~cooldown:0.05 () in
+            let once = R.Retry.no_retry in
+            let fail () =
+              match
+                R.Retry.call (module Pool) p ~breaker:b once (fun _ ->
+                    raise Lhws_net.Net.Timeout)
+              with
+              | () -> Alcotest.fail "failing call returned"
+              | exception Lhws_net.Net.Timeout -> ()
+            in
+            fail ();
+            fail ();
+            Alcotest.(check bool) "still closed below threshold" true
+              (R.Breaker.state b = R.Breaker.Closed);
+            fail ();
+            Alcotest.(check bool) "open at threshold" true (R.Breaker.state b = R.Breaker.Open);
+            Alcotest.(check int) "one trip" 1 (R.Breaker.trips b);
+            (* While open: fail-fast, the protected function never runs. *)
+            let ran = ref false in
+            (match
+               R.Retry.call (module Pool) p ~breaker:b once (fun _ ->
+                   ran := true;
+                   ())
+             with
+            | () -> Alcotest.fail "open breaker admitted a call"
+            | exception Lhws_net.Net.Circuit_open -> ());
+            Alcotest.(check bool) "call not attempted while open" false !ran;
+            (* A failed half-open probe re-opens... *)
+            Pool.sleep p 0.08;
+            Alcotest.(check bool) "half-open after cooldown" true
+              (R.Breaker.state b = R.Breaker.Half_open);
+            fail ();
+            Alcotest.(check bool) "probe failure re-opens" true
+              (R.Breaker.state b = R.Breaker.Open);
+            Alcotest.(check int) "second trip" 2 (R.Breaker.trips b);
+            (* ...and a successful probe closes for good. *)
+            Pool.sleep p 0.08;
+            Alcotest.(check int) "probe admitted" 7
+              (R.Retry.call (module Pool) p ~breaker:b once (fun _ -> 7));
+            Alcotest.(check bool) "closed after good probe" true
+              (R.Breaker.state b = R.Breaker.Closed);
+            Alcotest.(check int) "healthy call flows" 8
+              (R.Retry.call (module Pool) p ~breaker:b once (fun _ -> 8))))
+
   let test_invalid_workers () =
     match Pool.create ~workers:0 () with
     | _ -> Alcotest.fail "expected Invalid_argument"
@@ -193,6 +293,9 @@ module Conformance (Pool : Pool_intf.POOL) = struct
       Alcotest.test_case "sleep at least" `Quick test_sleep_at_least;
       Alcotest.test_case "stats monotone" `Quick test_stats_monotone;
       Alcotest.test_case "echo round trip" `Quick test_echo_roundtrip;
+      Alcotest.test_case "retry eventually succeeds" `Quick test_retry_eventually_succeeds;
+      Alcotest.test_case "retry stops" `Quick test_retry_stops;
+      Alcotest.test_case "breaker lifecycle" `Quick test_breaker_lifecycle;
       Alcotest.test_case "invalid workers" `Quick test_invalid_workers;
       Alcotest.test_case "tracer smoke" `Quick test_tracer_smoke;
     ]

@@ -105,6 +105,48 @@ let ablation_resume_target profile =
     "(the paper's policy recycles deques and respects Lemma 7; the fresh-deque variant's \
      allocation scales with resumes)\n%!"
 
+let ablation_steal_mode profile =
+  R.section
+    "AB5 | Steal mode: one-task vs steal-half as steal latency grows (the steals-cost-latency \
+     regime of arXiv 1805.01768 / 1805.00857)";
+  Printf.printf
+    "(wide map-reduce, P=2, rounds summed over seeds; speedup = one-task rounds / steal-half \
+     rounds)\n";
+  let nseeds = R.pick profile ~full:20 ~smoke:6 in
+  let seeds = List.init nseeds (fun i -> 1 + (37 * i)) in
+  let ls = R.pick profile ~full:[ 0; 8; 32; 64; 128; 256 ] ~smoke:[ 0; 32; 256 ] in
+  let dag = Generate.map_reduce ~n:128 ~leaf_work:1 ~latency:2 in
+  Printf.printf "%8s | %10s %10s %8s | %10s %12s\n" "steal L" "one:rnds" "half:rnds" "speedup"
+    "half:steals" "tasks/steal";
+  List.iter
+    (fun steal_latency ->
+      let total mode =
+        List.fold_left
+          (fun (rounds, steals, tasks) seed ->
+            let r =
+              Lhws_sim.run
+                ~config:{ Config.default with steal_mode = mode; steal_latency; seed }
+                dag ~p:2
+            in
+            ( rounds + r.Run.rounds,
+              steals + r.Run.stats.Stats.steals_ok,
+              tasks + r.Run.stats.Stats.tasks_stolen ))
+          (0, 0, 0) seeds
+      in
+      let one, _, _ = total Config.Steal_one in
+      let half, hsteals, htasks = total Config.Steal_half in
+      let speedup = float_of_int one /. float_of_int half in
+      Bench_json.record
+        ~scenario:(Printf.sprintf "ablation_steal_mode_L%d" steal_latency)
+        ~pool:"lhws-sim" ~workers:2 ~rounds:half ~speedup ();
+      Printf.printf "%8d | %10d %10d %8.3f | %10d %12.2f\n" steal_latency one half speedup
+        hsteals
+        (float_of_int htasks /. float_of_int (max 1 hsteals)))
+    ls;
+  Printf.printf
+    "(parity at L=0; one-task marginally ahead at moderate L on fork trees; steal-half wins \
+     once the per-steal latency dominates)\n%!"
+
 let multiprogrammed profile =
   R.section "MP | Multiprogrammed environment (ABP setting): availability sweep, LHWS P=8";
   let n = R.pick profile ~full:300 ~smoke:30 in
@@ -154,5 +196,6 @@ let register () =
   R.register ~name:"ablation_steal" ablation_steal;
   R.register ~name:"ablation_resume" ablation_resume;
   R.register ~name:"ablation_resume_target" ablation_resume_target;
+  R.register ~name:"ablation_steal_mode" ablation_steal_mode;
   R.register ~name:"multiprogrammed" multiprogrammed;
   R.register ~name:"scale" scale

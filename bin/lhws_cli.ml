@@ -62,6 +62,14 @@ let steal_policy_arg =
   let doc = "Steal policy: deque (analyzed: random global deque) or worker (Section 6)." in
   Arg.(value & opt string "deque" & info [ "steal" ] ~docv:"POLICY" ~doc)
 
+let steal_mode_arg =
+  let doc = "Steal mode: one (one task per steal) or half (batch the oldest half)." in
+  Arg.(value & opt string "one" & info [ "steal-mode" ] ~docv:"MODE" ~doc)
+
+let steal_latency_arg =
+  let doc = "Rounds a successful steal stalls the thief before it can run the loot." in
+  Arg.(value & opt int 0 & info [ "steal-latency" ] ~docv:"ROUNDS" ~doc)
+
 let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Record and validate the schedule.")
 
 let no_ff_arg =
@@ -82,12 +90,20 @@ let resume_target_arg =
   let doc = "Where resumed batches go: orig (the paper) or fresh (new deque per resume)." in
   Arg.(value & opt string "orig" & info [ "resume-target" ] ~docv:"TARGET" ~doc)
 
-let config_of ?(resume = "pfor") ?(target = "orig") ~seed ~steal ~trace ~no_ff () =
+let config_of ?(resume = "pfor") ?(target = "orig") ?(steal_mode = "one") ?(steal_latency = 0)
+    ~seed ~steal ~trace ~no_ff () =
+  if steal_latency < 0 then invalid_arg "steal-latency must be >= 0";
   {
     Config.default with
     seed;
     trace;
     fast_forward = not no_ff;
+    steal_latency;
+    steal_mode =
+      (match steal_mode with
+      | "one" -> Config.Steal_one
+      | "half" -> Config.Steal_half
+      | s -> invalid_arg (Printf.sprintf "unknown steal mode %S" s));
     steal_policy =
       (match steal with
       | "deque" -> Config.Steal_global_deque
@@ -113,9 +129,10 @@ let algo_of = function
 
 (* --- sim command --- *)
 
-let sim workload n leaf_work latency p seed algo steal trace no_ff resume target from_file =
+let sim workload n leaf_work latency p seed algo steal steal_mode steal_latency trace no_ff
+    resume target from_file =
   let dag = build_workload ?from_file ~workload ~n ~leaf_work ~latency ~seed () in
-  let config = config_of ~resume ~target ~seed ~steal ~trace ~no_ff () in
+  let config = config_of ~resume ~target ~steal_mode ~steal_latency ~seed ~steal ~trace ~no_ff () in
   let run = Sweep.run_algo (algo_of algo) ~config dag ~p in
   Format.printf "workload: %s  W=%d  S=%d  heavy=%d  P=%d  algo=%s@." workload (Metrics.work dag)
     (Metrics.span dag) (Metrics.num_heavy_edges dag) p algo;
@@ -130,8 +147,8 @@ let sim_cmd =
   Cmd.v info
     Term.(
       const sim $ workload_arg $ n_arg $ leaf_work_arg $ latency_arg $ p_arg $ seed_arg
-      $ algo_arg $ steal_policy_arg $ trace_arg $ no_ff_arg $ resume_policy_arg
-      $ resume_target_arg $ from_file_arg)
+      $ algo_arg $ steal_policy_arg $ steal_mode_arg $ steal_latency_arg $ trace_arg $ no_ff_arg
+      $ resume_policy_arg $ resume_target_arg $ from_file_arg)
 
 (* --- sweep command --- *)
 
@@ -147,9 +164,9 @@ let csv_arg =
     & opt (some string) None
     & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the sweep as CSV to this file.")
 
-let sweep workload n leaf_work latency seed steal ps csv =
+let sweep workload n leaf_work latency seed steal steal_mode steal_latency ps csv =
   let dag = build_workload ~workload ~n ~leaf_work ~latency ~seed () in
-  let config = config_of ~seed ~steal ~trace:false ~no_ff:false () in
+  let config = config_of ~steal_mode ~steal_latency ~seed ~steal ~trace:false ~no_ff:false () in
   Format.printf "workload: %s  W=%d  S=%d (speedups relative to WS at P=1)@." workload
     (Metrics.work dag) (Metrics.span dag);
   let series = Sweep.speedups ~config ~dag ~ps () in
@@ -167,7 +184,7 @@ let sweep_cmd =
   Cmd.v info
     Term.(
       const sweep $ workload_arg $ n_arg $ leaf_work_arg $ latency_arg $ seed_arg
-      $ steal_policy_arg $ ps_arg $ csv_arg)
+      $ steal_policy_arg $ steal_mode_arg $ steal_latency_arg $ ps_arg $ csv_arg)
 
 (* --- bounds command --- *)
 

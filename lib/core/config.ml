@@ -1,9 +1,12 @@
 type steal_policy = Steal_global_deque | Steal_worker_then_deque
+type steal_mode = Steal_one | Steal_half
 type resume_policy = Resume_pfor_tree | Resume_linear
 type resume_target = Original_deque | Fresh_deque
 
 type t = {
   steal_policy : steal_policy;
+  steal_mode : steal_mode;
+  steal_latency : int;
   resume_policy : resume_policy;
   resume_target : resume_target;
   availability : (int -> int -> bool) option;
@@ -19,6 +22,8 @@ exception Stuck of string
 let default =
   {
     steal_policy = Steal_global_deque;
+    steal_mode = Steal_one;
+    steal_latency = 0;
     resume_policy = Resume_pfor_tree;
     resume_target = Original_deque;
     availability = None;

@@ -9,6 +9,15 @@ type steal_policy =
       (** The implemented policy (Section 6): pick a random worker, then a
           random one of its deques that currently has work. *)
 
+type steal_mode =
+  | Steal_one  (** classical work stealing: one vertex per successful steal *)
+  | Steal_half
+      (** batched steal: the thief takes the older ceil(n/2) of the
+          victim deque's n vertices; the first becomes its assigned
+          vertex, the surplus lands in the thief's fresh deque.  Models
+          the steal-half strategy of the work-stealing-with-latency
+          analyses (arXiv 1805.01768, 1805.00857). *)
+
 type resume_policy =
   | Resume_pfor_tree
       (** The paper's policy: a batch of resumed vertices unfolds as a
@@ -32,6 +41,17 @@ type resume_target =
 
 type t = {
   steal_policy : steal_policy;
+  steal_mode : steal_mode;
+  steal_latency : int;
+      (** Rounds a {e successful} steal costs beyond its own round: the
+          thief is occupied (cannot act) for this many further rounds
+          before its stolen vertex runs, modelling steals whose transfer
+          itself has latency.  Failed attempts stay one round — the
+          victim scan is the cheap part; it is moving the work that is
+          expensive — which keeps fast-forward's skipped-round
+          accounting exact.  Occupied rounds are counted in
+          {!Stats.t.steal_latency_rounds}.  Default 0 (the paper's
+          unit-cost steal). *)
   resume_policy : resume_policy;
   resume_target : resume_target;
   availability : (int -> int -> bool) option;
@@ -62,8 +82,9 @@ exception Stuck of string
     dag) or when [max_rounds] is exceeded. *)
 
 val default : t
-(** [Steal_global_deque], [Resume_pfor_tree], no single-resume wrapping,
-    fast-forward on, no trace, [max_rounds = 1_000_000_000], seed 42. *)
+(** [Steal_global_deque], [Steal_one], zero steal latency,
+    [Resume_pfor_tree], no single-resume wrapping, fast-forward on, no
+    trace, [max_rounds = 1_000_000_000], seed 42. *)
 
 val analysis : t
 (** Faithful-to-the-analysis settings: wraps single resumes, no

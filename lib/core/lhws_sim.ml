@@ -31,6 +31,7 @@ type worker = {
   mutable resumed_deques_rev : deque list;  (* resumedDeques, newest first *)
   mutable empty_deques : deque list;  (* freed deques available for reuse *)
   mutable owned_live : int;  (* non-freed deques owned; Lemma 7: <= U + 1 *)
+  mutable steal_busy_until : int;  (* occupied by steal transfer latency *)
 }
 
 type state = {
@@ -242,6 +243,27 @@ let exec_step st w e =
   d.last_round <- st.now;
   w.assigned <- Deque.pop_bottom d.q
 
+(* Take from victim deque [d] per the configured steal mode: the oldest
+   vertex, plus any surplus (the rest of the older half) in steal order.
+   Rounds serialize deque access, so the observed length is exact. *)
+let steal_from st d =
+  match st.cfg.Config.steal_mode with
+  | Config.Steal_one -> (
+      match Deque.pop_top d.q with Some e -> Some (e, []) | None -> None)
+  | Config.Steal_half -> (
+      let n = Deque.length d.q in
+      match Deque.pop_top d.q with
+      | None -> None
+      | Some first ->
+          let want = (n + 1) / 2 in
+          let surplus = ref [] in
+          for _ = 2 to want do
+            match Deque.pop_top d.q with
+            | Some e -> surplus := e :: !surplus
+            | None -> assert false
+          done;
+          Some (first, List.rev !surplus))
+
 (* Steal target selection. *)
 let try_steal st w =
   match st.cfg.steal_policy with
@@ -249,7 +271,7 @@ let try_steal st w =
       if st.gtotal = 0 then None
       else
         let d = st.gdeques.(Rng.int w.rng st.gtotal) in
-        if d.freed then None else Deque.pop_top d.q
+        if d.freed then None else steal_from st d
   | Config.Steal_worker_then_deque ->
       let victim = st.workers.(Rng.int w.rng (Array.length st.workers)) in
       let candidates =
@@ -264,7 +286,7 @@ let try_steal st w =
       | [] -> None
       | _ ->
           let n = List.length candidates in
-          Deque.pop_top (List.nth candidates (Rng.int w.rng n)).q)
+          steal_from st (List.nth candidates (Rng.int w.rng n)))
 
 (* One worker round without an assigned task: lines 41-56 of Figure 3. *)
 let idle_step st w =
@@ -293,9 +315,18 @@ let idle_step st w =
       (* Steal attempt. *)
       st.stats.steal_attempts <- st.stats.steal_attempts + 1;
       (match try_steal st w with
-      | Some e ->
+      | Some (e, surplus) ->
           st.stats.steals_ok <- st.stats.steals_ok + 1;
+          let k = 1 + List.length surplus in
+          st.stats.tasks_stolen <- st.stats.tasks_stolen + k;
+          if k > 1 then st.stats.steals_batched <- st.stats.steals_batched + 1;
+          (* The transfer's latency occupies the thief starting next round;
+             failed attempts stay unit cost so fast-forward's accounting
+             holds. *)
+          if st.cfg.Config.steal_latency > 0 then
+            w.steal_busy_until <- st.now + 1 + st.cfg.Config.steal_latency;
           let nd = alloc_deque st w in
+          List.iter (fun e -> Deque.push_bottom nd.q e) surplus;
           w.active <- Some nd;
           w.assigned <- Some e
       | None -> ());
@@ -307,7 +338,12 @@ let idle_step st w =
           | None -> ())
       | Some _ -> ())
 
-let step st w = match w.assigned with Some e -> exec_step st w e | None -> idle_step st w
+let step st w =
+  if st.now < w.steal_busy_until then
+    (* Occupied transferring stolen work; the assigned vertex it just stole
+       runs once the transfer completes. *)
+    st.stats.steal_latency_rounds <- st.stats.steal_latency_rounds + 1
+  else match w.assigned with Some e -> exec_step st w e | None -> idle_step st w
 
 (* One round's worth of worker actions, honouring the availability mask. *)
 let step_all st =
@@ -382,6 +418,7 @@ let run ?(config = Config.default) ?observer dag ~p =
                resumed_deques_rev = [];
                empty_deques = [];
                owned_live = 0;
+               steal_busy_until = 0;
              }));
       gdeques = [||];
       gtotal = 0;

@@ -5,6 +5,9 @@ type t = {
   mutable pfor_executed : int;
   mutable steal_attempts : int;
   mutable steals_ok : int;
+  mutable steals_batched : int;
+  mutable tasks_stolen : int;
+  mutable steal_latency_rounds : int;
   mutable switches : int;
   mutable blocked_rounds : int;
   mutable idle_rounds : int;
@@ -26,6 +29,9 @@ let create ~workers =
     pfor_executed = 0;
     steal_attempts = 0;
     steals_ok = 0;
+    steals_batched = 0;
+    tasks_stolen = 0;
+    steal_latency_rounds = 0;
     switches = 0;
     blocked_rounds = 0;
     idle_rounds = 0;
@@ -42,8 +48,8 @@ let create ~workers =
 let work_tokens t = t.vertices_executed + t.pfor_executed
 
 let tokens t =
-  work_tokens t + t.switches + t.steal_attempts + t.blocked_rounds + t.idle_rounds
-  + t.unavailable_rounds
+  work_tokens t + t.switches + t.steal_attempts + t.steal_latency_rounds + t.blocked_rounds
+  + t.idle_rounds + t.unavailable_rounds
 
 let balanced t = tokens t = t.workers * t.rounds
 
@@ -55,6 +61,9 @@ let to_assoc t =
     ("pfor_executed", t.pfor_executed);
     ("steal_attempts", t.steal_attempts);
     ("steals_ok", t.steals_ok);
+    ("steals_batched", t.steals_batched);
+    ("tasks_stolen", t.tasks_stolen);
+    ("steal_latency_rounds", t.steal_latency_rounds);
     ("switches", t.switches);
     ("blocked_rounds", t.blocked_rounds);
     ("idle_rounds", t.idle_rounds);

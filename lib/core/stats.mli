@@ -12,6 +12,15 @@ type t = {
   mutable pfor_executed : int;  (** pfor-tree internal vertices executed *)
   mutable steal_attempts : int;  (** steal-bucket tokens (successful or not) *)
   mutable steals_ok : int;
+  mutable steals_batched : int;
+      (** successful steals that took more than one vertex
+          ([Config.Steal_half] only) *)
+  mutable tasks_stolen : int;
+      (** total vertices moved by stealing; equals [steals_ok] under
+          [Config.Steal_one] *)
+  mutable steal_latency_rounds : int;
+      (** rounds thieves spent occupied by steal transfer latency
+          ([Config.t.steal_latency]; 0 at the default unit-cost steal) *)
   mutable switches : int;  (** deque-switch tokens *)
   mutable blocked_rounds : int;  (** rounds a worker spent blocked on latency (baseline WS only) *)
   mutable idle_rounds : int;  (** rounds with no action at all (should stay 0) *)
@@ -30,7 +39,8 @@ type t = {
 val create : workers:int -> t
 
 val tokens : t -> int
-(** Sum over all buckets (work + pfor + switch + steal + blocked + idle). *)
+(** Sum over all buckets (work + pfor + switch + steal + steal latency +
+    blocked + idle). *)
 
 val balanced : t -> bool
 (** [tokens t = workers * rounds] — the invariant of Lemma 1's accounting. *)

@@ -9,6 +9,7 @@ type worker = {
   mutable assigned : Dag.vertex option;
   mutable blocked_until : int;
   mutable after_block : Dag.vertex list;  (* children to run once unblocked *)
+  mutable steal_busy_until : int;  (* occupied by steal transfer latency *)
 }
 
 type state = {
@@ -51,6 +52,11 @@ let handle_children st w children =
       w.after_block <- List.map fst children;
       w.assigned <- None
 
+(* Returns the vertex to run now and how many vertices were taken.  Under
+   [Steal_half] the thief takes the older ceil(n/2) of the victim's n
+   vertices: the oldest becomes its assigned vertex, the surplus goes to
+   the bottom of its own (empty) deque.  Workers within a round step
+   sequentially, so the observed size is exact and every pop succeeds. *)
 let try_steal st w =
   let p = Array.length st.workers in
   if p = 1 then None
@@ -58,7 +64,22 @@ let try_steal st w =
     (* Uniform among the other workers. *)
     let k = Rng.int w.rng (p - 1) in
     let vid = if k >= w.wid then k + 1 else k in
-    Deque.pop_top st.workers.(vid).q
+    let vq = st.workers.(vid).q in
+    match st.cfg.Config.steal_mode with
+    | Config.Steal_one -> (
+        match Deque.pop_top vq with Some v -> Some (v, 1) | None -> None)
+    | Config.Steal_half -> (
+        let n = Deque.length vq in
+        match Deque.pop_top vq with
+        | None -> None
+        | Some first ->
+            let want = (n + 1) / 2 in
+            for _ = 2 to want do
+              match Deque.pop_top vq with
+              | Some v -> Deque.push_bottom w.q v
+              | None -> assert false
+            done;
+            Some (first, want))
   end
 
 (* One round, honouring the availability mask (multiprogrammed setting). *)
@@ -75,6 +96,10 @@ let step_all step st =
 let step st w =
   if st.now < w.blocked_until then
     st.stats.blocked_rounds <- st.stats.blocked_rounds + 1
+  else if st.now < w.steal_busy_until then
+    (* Occupied transferring a stolen vertex; the assigned vertex it just
+       stole runs once the transfer completes. *)
+    st.stats.steal_latency_rounds <- st.stats.steal_latency_rounds + 1
   else begin
     (match w.after_block with
     | [] -> ()
@@ -96,12 +121,20 @@ let step st w =
                one action per round it costs this round, like a steal. *)
             st.stats.steal_attempts <- st.stats.steal_attempts + 1;
             st.stats.steals_ok <- st.stats.steals_ok + 1;
+            st.stats.tasks_stolen <- st.stats.tasks_stolen + 1;
             w.assigned <- Some v
         | None -> (
             st.stats.steal_attempts <- st.stats.steal_attempts + 1;
             match try_steal st w with
-            | Some v ->
+            | Some (v, k) ->
                 st.stats.steals_ok <- st.stats.steals_ok + 1;
+                st.stats.tasks_stolen <- st.stats.tasks_stolen + k;
+                if k > 1 then st.stats.steals_batched <- st.stats.steals_batched + 1;
+                (* The transfer's latency occupies the thief starting next
+                   round; the failed-attempt round itself stays unit cost,
+                   so fast-forward's skipped-round accounting is exact. *)
+                if st.cfg.Config.steal_latency > 0 then
+                  w.steal_busy_until <- st.now + 1 + st.cfg.Config.steal_latency;
                 w.assigned <- Some v
             | None -> ()))
   end
@@ -139,6 +172,7 @@ let run ?(config = Config.default) dag ~p =
                assigned = None;
                blocked_until = 0;
                after_block = [];
+               steal_busy_until = 0;
              }));
       now = 0;
       finished = false;

@@ -39,6 +39,10 @@ type wrec = {
   owned_snap : deque array Atomic.t;
       (* immutable snapshot of the live owned deques, republished by the
          owner on alloc/free so thieves scan candidates without a lock *)
+  victims : Core.Victim_stats.t;
+      (* EWMA steal hit rate per victim worker; thief-local, used only by
+         the Worker_then_deque policy (Global_deque targets deques, not
+         workers, and stays uniform — it is the analyzed policy) *)
 }
 
 type steal_policy = Global_deque | Worker_then_deque
@@ -50,6 +54,7 @@ type pstate = {
   gdeques : deque option array;
   gtotal : int Atomic.t;
   steal_policy : steal_policy;
+  steal_mode : Core.steal_mode;
   self_wid : unit -> int;
 }
 
@@ -214,6 +219,50 @@ let retire_active w =
         if quiet && Chase_lev.is_empty d.q then free_deque w d
       end
 
+(* Steal from victim deque [d] according to the pool's steal mode.  On
+   success the thief allocates a fresh deque of its own, makes it active,
+   and returns the first (oldest) stolen task to run now.  Under
+   [Steal_half] any surplus goes into that new deque — the thief becomes
+   its owner, so the surplus is reachable by further thieves and pops in
+   LIFO order, exactly like work the thief spawned itself.  The deque is
+   allocated lazily on the first surplus task (or at the end when the
+   batch degenerated to one), so a lost first CAS allocates nothing. *)
+let steal_from p w d =
+  let activate nd task k =
+    Core.count_steal w.ctx.counters ~tasks:k;
+    Core.mark w.ctx Tracing.Steal;
+    w.active <- Some nd;
+    Some task
+  in
+  match p.steal_mode with
+  | Core.Steal_one -> (
+      match Chase_lev.steal d.q with
+      | Some task -> activate (alloc_deque p w) task 1
+      | None -> None)
+  | Core.Steal_half -> (
+      let first = ref None in
+      let nd = ref None in
+      let k =
+        Chase_lev.steal_half d.q (fun task ->
+            match !first with
+            | None -> first := Some task
+            | Some _ ->
+                let target =
+                  match !nd with
+                  | Some target -> target
+                  | None ->
+                      let target = alloc_deque p w in
+                      nd := Some target;
+                      target
+                in
+                Chase_lev.push_bottom target.q task)
+      in
+      match !first with
+      | None -> None
+      | Some task ->
+          let target = match !nd with Some t -> t | None -> alloc_deque p w in
+          activate target task k)
+
 let try_steal p w =
   let fail () =
     w.ctx.counters.failed_steals <- w.ctx.counters.failed_steals + 1;
@@ -229,22 +278,28 @@ let try_steal p w =
         | None -> fail ()
         | Some d ->
             if Atomic.get d.freed then fail ()
-            else (match Chase_lev.steal d.q with Some _ as got -> got | None -> fail ()))
+            else (match steal_from p w d with Some _ as got -> got | None -> fail ()))
   | Worker_then_deque ->
       (* Section 6's implementation: pick a victim worker — never self; a
          "steal" from one's own deque is just a deque switch and would
          corrupt the steal count — then a uniformly random one of its
          currently non-empty deques, read from the victim's published
-         snapshot: no lock taken and no O(n) list walk under one. *)
+         snapshot: no lock taken and no O(n) list walk under one.  The
+         victim worker draw is EWMA-biased (power-of-two-choices over
+         observed hit rates) so thieves drift away from chronically empty
+         workers; the hit/miss below feeds the estimate. *)
       let n = Array.length p.slots in
       if n <= 1 then None
       else begin
-        let k = Random.State.int w.ctx.rng (n - 1) in
-        let vid = if k >= w.ctx.wid then k + 1 else k in
+        let vid = Core.Victim_stats.pick w.victims w.ctx.rng ~self:w.ctx.wid in
+        let miss () =
+          Core.Victim_stats.record w.victims vid ~hit:false;
+          fail ()
+        in
         let owned = Atomic.get p.slots.(vid).owned_snap in
         let nonempty = ref 0 in
         Array.iter (fun d -> if not (Chase_lev.is_empty d.q) then incr nonempty) owned;
-        if !nonempty = 0 then fail ()
+        if !nonempty = 0 then miss ()
         else begin
           let target = Random.State.int w.ctx.rng !nonempty in
           let pick = ref None in
@@ -262,9 +317,13 @@ let try_steal p w =
                owned
            with Exit -> ());
           match !pick with
-          | None -> fail ()  (* emptied between the count and the draw *)
+          | None -> miss ()  (* emptied between the count and the draw *)
           | Some d -> (
-              match Chase_lev.steal d.q with Some _ as got -> got | None -> fail ())
+              match steal_from p w d with
+              | Some _ as got ->
+                  Core.Victim_stats.record w.victims vid ~hit:true;
+                  got
+              | None -> miss ())
         end
       end
 
@@ -295,15 +354,10 @@ let next_task p w =
               (* emptied by thieves since it was enqueued *)
               retire_active w;
               None)
-      | [] -> (
-          match try_steal p w with
-          | Some task ->
-              w.ctx.counters.steals <- w.ctx.counters.steals + 1;
-              Core.mark w.ctx Tracing.Steal;
-              let nd = alloc_deque p w in
-              w.active <- Some nd;
-              Some task
-          | None -> None))
+      | [] ->
+          (* On success [steal_from] has already allocated the thief's new
+             deque, made it active and counted the steal. *)
+          try_steal p w)
 
 (* --- the policy: multi-deque suspend/resume over the shared engine --- *)
 
@@ -311,15 +365,16 @@ module Policy = struct
   let label = "Lhws_pool"
   let rng_salt = 0xACE5
 
-  type config = steal_policy
+  type config = { steal_policy : steal_policy; steal_mode : Core.steal_mode }
 
-  let default_config = Global_deque
+  let default_config = { steal_policy = Global_deque; steal_mode = Core.Steal_one }
 
   type nonrec task = task
   type pool = pstate
   type wstate = wrec
 
-  let make_pool steal_policy ~ctxs ~self_wid =
+  let make_pool { steal_policy; steal_mode } ~ctxs ~self_wid =
+    let victims = Array.length ctxs in
     {
       slots =
         Array.map
@@ -332,11 +387,13 @@ module Policy = struct
               empty = [];
               owned_live = 0;
               owned_snap = Padding.make_atomic [||];
+              victims = Core.Victim_stats.create ~victims;
             })
           ctxs;
       gdeques = Array.make max_gdeques None;
       gtotal = Atomic.make 0;
       steal_policy;
+      steal_mode;
       self_wid;
     }
 
@@ -372,11 +429,17 @@ module C = Core.Make (Policy)
 
 type t = C.t
 
-let create ?workers ?steal_policy () = C.create ?workers ?config:steal_policy ()
+let config ?(steal_policy = Global_deque) ?(steal_mode = Core.Steal_one) () =
+  { Policy.steal_policy; steal_mode }
+
+let create ?workers ?steal_policy ?steal_mode () =
+  C.create ?workers ~config:(config ?steal_policy ?steal_mode ()) ()
+
 let run = C.run
 let shutdown = C.shutdown
 
-let with_pool ?workers ?steal_policy f = C.with_pool ?workers ?config:steal_policy f
+let with_pool ?workers ?steal_policy ?steal_mode f =
+  C.with_pool ?workers ~config:(config ?steal_policy ?steal_mode ()) f
 
 let register_poller = C.register_poller
 let register_shed_counter = C.register_shed_counter
@@ -446,6 +509,9 @@ let rec parallel_map_reduce t ~lo ~hi ~map ~combine ~id =
 type stats = Scheduler_core.stats = {
   steals : int;
   failed_steals : int;
+  steals_batched : int;
+  tasks_stolen : int;
+  tasks_per_steal_hist : int array;
   deques_allocated : int;
   suspensions : int;
   resumes : int;

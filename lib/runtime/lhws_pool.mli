@@ -27,10 +27,24 @@ type steal_policy =
           failed steals, at the cost of synchronizing briefly with the
           victim. *)
 
-val create : ?workers:int -> ?steal_policy:steal_policy -> unit -> t
+val create :
+  ?workers:int ->
+  ?steal_policy:steal_policy ->
+  ?steal_mode:Scheduler_core.steal_mode ->
+  unit ->
+  t
 (** Spawns [workers - 1] extra domains (default: 2 workers,
-    [Global_deque]).  The calling domain becomes worker 0 while inside
-    {!run}. *)
+    [Global_deque], {!Scheduler_core.Steal_one}).  The calling domain
+    becomes worker 0 while inside {!run}.
+
+    [steal_mode] selects classical one-task stealing or batched
+    steal-half: the thief takes up to half the victim deque's visible
+    range, runs the oldest stolen task and parks the surplus in its own
+    fresh deque, where further thieves can find it.  Under
+    [Worker_then_deque] the victim worker draw is additionally biased by
+    a per-thief EWMA of past steal hits (see
+    {!Scheduler_core.Victim_stats}); [Global_deque] keeps the paper's
+    uniform draw. *)
 
 val run : t -> (unit -> 'a) -> 'a
 (** Executes the thunk as the root fiber and participates as worker 0
@@ -45,7 +59,12 @@ val shutdown : t -> unit
     a second [shutdown] is a no-op.  Safe to call after a root fiber
     raised: the workers are still joined cleanly. *)
 
-val with_pool : ?workers:int -> ?steal_policy:steal_policy -> (t -> 'a) -> 'a
+val with_pool :
+  ?workers:int ->
+  ?steal_policy:steal_policy ->
+  ?steal_mode:Scheduler_core.steal_mode ->
+  (t -> 'a) ->
+  'a
 (** [create] / [shutdown] bracket. *)
 
 val set_tracer : t -> Tracing.t -> unit
@@ -96,6 +115,9 @@ val parallel_map_reduce :
 type stats = Scheduler_core.stats = {
   steals : int;
   failed_steals : int;
+  steals_batched : int;
+  tasks_stolen : int;
+  tasks_per_steal_hist : int array;
   deques_allocated : int;
   suspensions : int;
   resumes : int;

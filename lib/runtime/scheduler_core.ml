@@ -1,10 +1,57 @@
+type steal_mode = Steal_one | Steal_half
+
+let steal_hist_buckets = 8
+
 type counters = {
   mutable steals : int;
   mutable failed_steals : int;
+  mutable steals_batched : int;
+  mutable tasks_stolen : int;
+  steal_hist : int array;  (* bucket i: steals that took i+1 tasks; last = larger *)
   mutable suspensions : int;
   mutable resumes : int;
   mutable max_owned : int;
 }
+
+(* Record one successful steal that took [tasks] tasks (>= 1). *)
+let count_steal c ~tasks =
+  c.steals <- c.steals + 1;
+  c.tasks_stolen <- c.tasks_stolen + tasks;
+  if tasks > 1 then c.steals_batched <- c.steals_batched + 1;
+  let bucket = min (tasks - 1) (steal_hist_buckets - 1) in
+  c.steal_hist.(bucket) <- c.steal_hist.(bucket) + 1
+
+(* Per-worker EWMA of steal success per victim slot.  Biases victim
+   selection away from chronically empty deques via power-of-two-choices:
+   draw two candidate victims uniformly (excluding self) and attack the one
+   with the better observed hit rate.  Two-choice keeps the pick O(1) and
+   retains enough exploration that a victim whose rate decayed to ~0 is
+   still probed occasionally, so the estimate can recover when the load
+   shifts.  The array is owner-written (the thief records its own
+   hit/miss), so it is padded to keep it off other workers' lines. *)
+module Victim_stats = struct
+  type t = float array
+
+  let alpha = 0.125
+
+  let create ~victims : t =
+    Lhws_deque.Padding.copy_as_padded (Array.make (max victims 1) 0.5)
+
+  let record (t : t) v ~hit =
+    let x = if hit then 1.0 else 0.0 in
+    t.(v) <- t.(v) +. (alpha *. (x -. t.(v)))
+
+  (* Requires at least two workers (callers only steal when victims exist). *)
+  let pick (t : t) rng ~self =
+    let n = Array.length t in
+    let draw () =
+      let v = Random.State.int rng (n - 1) in
+      if v >= self then v + 1 else v
+    in
+    let a = draw () in
+    let b = draw () in
+    if t.(b) > t.(a) then b else a
+end
 
 type ctx = {
   wid : int;
@@ -20,6 +67,9 @@ let mark ctx kind =
 type stats = {
   steals : int;
   failed_steals : int;
+  steals_batched : int;
+  tasks_stolen : int;
+  tasks_per_steal_hist : int array;
   deques_allocated : int;
   suspensions : int;
   resumes : int;
@@ -180,7 +230,16 @@ module Make (P : POLICY) = struct
             wid;
             rng = Random.State.make [| P.rng_salt; wid |];
             counters =
-              { steals = 0; failed_steals = 0; suspensions = 0; resumes = 0; max_owned = 0 };
+              {
+                steals = 0;
+                failed_steals = 0;
+                steals_batched = 0;
+                tasks_stolen = 0;
+                steal_hist = Array.make steal_hist_buckets 0;
+                suspensions = 0;
+                resumes = 0;
+                max_owned = 0;
+              };
             emit =
               (fun kind ~start_us ~dur_us ->
                 match !tracer with
@@ -246,9 +305,17 @@ module Make (P : POLICY) = struct
 
   let stats t =
     let sum f = Array.fold_left (fun acc c -> acc + f c.counters) 0 t.ctxs in
+    let hist = Array.make steal_hist_buckets 0 in
+    Array.iter
+      (fun c ->
+        Array.iteri (fun i v -> hist.(i) <- hist.(i) + v) c.counters.steal_hist)
+      t.ctxs;
     {
       steals = sum (fun c -> c.steals);
       failed_steals = sum (fun c -> c.failed_steals);
+      steals_batched = sum (fun c -> c.steals_batched);
+      tasks_stolen = sum (fun c -> c.tasks_stolen);
+      tasks_per_steal_hist = hist;
       deques_allocated = P.deques_allocated t.pool;
       suspensions = sum (fun c -> c.suspensions);
       resumes = sum (fun c -> c.resumes);

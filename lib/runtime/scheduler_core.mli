@@ -23,13 +23,54 @@
     {!stats}.  Counters that a policy has no use for stay at their
     degenerate values, so every pool reports the same record. *)
 
+type steal_mode =
+  | Steal_one  (** classical Chase–Lev: one task per successful steal *)
+  | Steal_half
+      (** batched {!Lhws_deque.Chase_lev.steal_half}: take up to half the
+          victim's visible range per steal; surplus lands in the thief's
+          own deque *)
+
+val steal_hist_buckets : int
+(** Number of buckets in the tasks-per-steal histogram (8): bucket [i]
+    counts successful steals that took [i + 1] tasks, the last bucket
+    absorbing everything larger. *)
+
 type counters = {
   mutable steals : int;  (** successful steals landed by this worker *)
   mutable failed_steals : int;  (** steal attempts that found no task *)
+  mutable steals_batched : int;
+      (** successful steals that took more than one task *)
+  mutable tasks_stolen : int;  (** total tasks acquired across all steals *)
+  steal_hist : int array;  (** tasks-per-steal histogram, {!steal_hist_buckets} wide *)
   mutable suspensions : int;  (** fibers suspended on this worker *)
   mutable resumes : int;  (** resumed continuations re-injected by this worker *)
   mutable max_owned : int;  (** high-water mark of live deques owned at once *)
 }
+
+val count_steal : counters -> tasks:int -> unit
+(** Record one successful steal that acquired [tasks] (>= 1) tasks:
+    bumps [steals], [tasks_stolen], [steals_batched] (when [tasks > 1])
+    and the histogram bucket. *)
+
+(** Per-worker EWMA of steal success per victim slot, for biasing victim
+    selection away from chronically empty deques.  Owner-written (each
+    thief tracks its own observations) and padded off shared cache
+    lines. *)
+module Victim_stats : sig
+  type t
+
+  val create : victims:int -> t
+  (** All rates start at 0.5 (uninformative prior). *)
+
+  val record : t -> int -> hit:bool -> unit
+  (** Fold one steal outcome against victim [v] into its EWMA
+      (smoothing factor 1/8). *)
+
+  val pick : t -> Random.State.t -> self:int -> int
+  (** Power-of-two-choices: draw two uniform candidates excluding
+      [self], return the one with the better observed hit rate.
+      Requires at least two workers. *)
+end
 
 type ctx = {
   wid : int;  (** worker index, [0 .. workers-1] *)
@@ -54,6 +95,15 @@ val mark : ctx -> Tracing.kind -> unit
 type stats = {
   steals : int;
   failed_steals : int;
+  steals_batched : int;
+      (** successful steals that took more than one task (0 under
+          [Steal_one]) *)
+  tasks_stolen : int;
+      (** total tasks moved by stealing; equals [steals] under
+          [Steal_one], >= [steals] under [Steal_half] *)
+  tasks_per_steal_hist : int array;
+      (** bucket [i] counts steals that took [i + 1] tasks (last bucket
+          absorbs larger batches); sums to [steals] *)
   deques_allocated : int;
   suspensions : int;
   resumes : int;

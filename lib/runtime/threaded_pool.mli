@@ -70,6 +70,9 @@ val peak_threads : t -> int
 type stats = Scheduler_core.stats = {
   steals : int;
   failed_steals : int;
+  steals_batched : int;
+  tasks_stolen : int;
+  tasks_per_steal_hist : int array;
   deques_allocated : int;
   suspensions : int;
   resumes : int;

@@ -1,22 +1,51 @@
 module Chase_lev = Lhws_deque.Chase_lev
 module Core = Scheduler_core
 
-type wrec = { ctx : Core.ctx; q : (unit -> unit) Chase_lev.t }
-type pstate = { slots : wrec array }
+type wrec = {
+  ctx : Core.ctx;
+  q : (unit -> unit) Chase_lev.t;
+  victims : Core.Victim_stats.t;  (* EWMA steal hit rate per victim, thief-local *)
+}
 
+type pstate = { slots : wrec array; steal_mode : Core.steal_mode }
+
+(* Victim choice is EWMA-biased (power-of-two-choices over observed hit
+   rates), so repeated attempts against a chronically empty worker decay
+   fast.  Under [Steal_half] the first stolen task is returned to run now
+   and the surplus is pushed onto the thief's own (empty — we only steal
+   when out of local work) deque, where other thieves can in turn find
+   it: batching both amortises the victim scan and spreads work in
+   O(log n) rounds instead of one task per round trip. *)
 let try_steal p w =
   let n = Array.length p.slots in
   if n = 1 then None
   else begin
-    let k = Random.State.int w.ctx.rng (n - 1) in
-    let vid = if k >= w.ctx.wid then k + 1 else k in
-    match Chase_lev.steal p.slots.(vid).q with
-    | Some task ->
-        w.ctx.counters.steals <- w.ctx.counters.steals + 1;
+    let vid = Core.Victim_stats.pick w.victims w.ctx.rng ~self:w.ctx.wid in
+    let stolen =
+      match p.steal_mode with
+      | Core.Steal_one -> (
+          match Chase_lev.steal p.slots.(vid).q with
+          | Some task -> Some (task, 1)
+          | None -> None)
+      | Core.Steal_half ->
+          let first = ref None in
+          let k =
+            Chase_lev.steal_half p.slots.(vid).q (fun task ->
+                match !first with
+                | None -> first := Some task
+                | Some _ -> Chase_lev.push_bottom w.q task)
+          in
+          (match !first with Some task -> Some (task, k) | None -> None)
+    in
+    match stolen with
+    | Some (task, k) ->
+        Core.count_steal w.ctx.counters ~tasks:k;
+        Core.Victim_stats.record w.victims vid ~hit:true;
         Core.mark w.ctx Tracing.Steal;
         Some task
     | None ->
         w.ctx.counters.failed_steals <- w.ctx.counters.failed_steals + 1;
+        Core.Victim_stats.record w.victims vid ~hit:false;
         None
   end
 
@@ -26,22 +55,24 @@ module Policy = struct
   let label = "Ws_pool"
   let rng_salt = 0xB10C
 
-  type config = unit
+  type config = Core.steal_mode
 
-  let default_config = ()
+  let default_config = Core.Steal_one
 
   type task = unit -> unit
   type pool = pstate
   type wstate = wrec
 
-  let make_pool () ~ctxs ~self_wid:_ =
+  let make_pool steal_mode ~ctxs ~self_wid:_ =
+    let victims = Array.length ctxs in
     {
       slots =
         Array.map
           (fun (ctx : Core.ctx) ->
             ctx.counters.max_owned <- 1;
-            { ctx; q = Chase_lev.create () })
+            { ctx; q = Chase_lev.create (); victims = Core.Victim_stats.create ~victims })
           ctxs;
+      steal_mode;
     }
 
   let worker p i = p.slots.(i)
@@ -60,11 +91,11 @@ module C = Core.Make (Policy)
 
 type t = C.t
 
-let create ?workers () = C.create ?workers ()
+let create ?workers ?steal_mode () = C.create ?workers ?config:steal_mode ()
 let run = C.run
 let shutdown = C.shutdown
 
-let with_pool ?workers f = C.with_pool ?workers f
+let with_pool ?workers ?steal_mode f = C.with_pool ?workers ?config:steal_mode f
 
 let set_tracer = C.set_tracer
 let register_poller = C.register_poller
@@ -130,6 +161,9 @@ let rec parallel_map_reduce t ~lo ~hi ~map ~combine ~id =
 type stats = Scheduler_core.stats = {
   steals : int;
   failed_steals : int;
+  steals_batched : int;
+  tasks_stolen : int;
+  tasks_per_steal_hist : int array;
   deques_allocated : int;
   suspensions : int;
   resumes : int;

@@ -13,10 +13,15 @@
 
 type t
 
-val create : ?workers:int -> unit -> t
+val create : ?workers:int -> ?steal_mode:Scheduler_core.steal_mode -> unit -> t
+(** [steal_mode] (default {!Scheduler_core.Steal_one}) selects classical
+    one-task stealing or batched steal-half; under steal-half, surplus
+    stolen tasks land in the thief's own deque.  Victim selection is
+    EWMA-biased in both modes (see {!Scheduler_core.Victim_stats}). *)
+
 val run : t -> (unit -> 'a) -> 'a
 val shutdown : t -> unit
-val with_pool : ?workers:int -> (t -> 'a) -> 'a
+val with_pool : ?workers:int -> ?steal_mode:Scheduler_core.steal_mode -> (t -> 'a) -> 'a
 
 val set_tracer : t -> Tracing.t -> unit
 (** Records worker events (task runs, steals, blocking sleeps) into the
@@ -60,6 +65,9 @@ val parallel_map_reduce :
 type stats = Scheduler_core.stats = {
   steals : int;
   failed_steals : int;
+  steals_batched : int;
+  tasks_stolen : int;
+  tasks_per_steal_hist : int array;
   deques_allocated : int;
   suspensions : int;
   resumes : int;

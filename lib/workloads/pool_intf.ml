@@ -35,7 +35,31 @@ end
 module Ws_instance = struct
   include Lhws_runtime.Ws_pool
 
+  let create ?workers () = create ?workers ()
   let name = "ws"
+end
+
+(* Steal-half variants of the stealing pools, so POOL-generic workloads,
+   benches and the conformance matrix can exercise both steal modes by
+   name.  The lhws variant keeps the default (analyzed) steal policy. *)
+module Lhws_steal_half_instance = struct
+  include Lhws_instance
+
+  let create ?workers () =
+    Lhws_runtime.Lhws_pool.create ?workers
+      ~steal_mode:Lhws_runtime.Scheduler_core.Steal_half ()
+
+  let name = "lhws-steal-half"
+end
+
+module Ws_steal_half_instance = struct
+  include Ws_instance
+
+  let create ?workers () =
+    Lhws_runtime.Ws_pool.create ?workers
+      ~steal_mode:Lhws_runtime.Scheduler_core.Steal_half ()
+
+  let name = "ws-steal-half"
 end
 
 module Threaded_instance = struct
@@ -57,9 +81,17 @@ end
 let lhws : pool = (module Lhws_instance)
 let ws : pool = (module Ws_instance)
 let threads : pool = (module Threaded_instance)
+let lhws_steal_half : pool = (module Lhws_steal_half_instance)
+let ws_steal_half : pool = (module Ws_steal_half_instance)
 
 let by_name = function
   | "lhws" -> lhws
   | "ws" -> ws
   | "threads" -> threads
-  | s -> invalid_arg (Printf.sprintf "Pool_intf.by_name: unknown pool %S (want lhws|ws|threads)" s)
+  | "lhws-steal-half" -> lhws_steal_half
+  | "ws-steal-half" -> ws_steal_half
+  | s ->
+      invalid_arg
+        (Printf.sprintf
+           "Pool_intf.by_name: unknown pool %S (want lhws|ws|threads|lhws-steal-half|ws-steal-half)"
+           s)

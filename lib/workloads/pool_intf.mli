@@ -51,6 +51,12 @@ module Lhws_instance : POOL with type t = Lhws_runtime.Lhws_pool.t
 module Ws_instance : POOL with type t = Lhws_runtime.Ws_pool.t
 module Threaded_instance : POOL with type t = Lhws_runtime.Threaded_pool.t
 
+module Lhws_steal_half_instance : POOL with type t = Lhws_runtime.Lhws_pool.t
+(** {!Lhws_instance} with batched steal-half stealing enabled. *)
+
+module Ws_steal_half_instance : POOL with type t = Lhws_runtime.Ws_pool.t
+(** {!Ws_instance} with batched steal-half stealing enabled. *)
+
 val lhws : pool
 (** {!Lhws_runtime.Lhws_pool}: suspending fibers, latency hidden. *)
 
@@ -61,5 +67,9 @@ val threads : pool
 (** {!Lhws_runtime.Threaded_pool}: a thread per task, latency hidden by
     oversubscription. *)
 
+val lhws_steal_half : pool
+val ws_steal_half : pool
+
 val by_name : string -> pool
-(** ["lhws"], ["ws"] or ["threads"].  @raise Invalid_argument otherwise. *)
+(** ["lhws"], ["ws"], ["threads"], ["lhws-steal-half"] or
+    ["ws-steal-half"].  @raise Invalid_argument otherwise. *)

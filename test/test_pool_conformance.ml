@@ -97,9 +97,11 @@ module Conformance (Pool : Pool_intf.POOL) = struct
         burn_some p;
         let a = Pool.stats p in
         let nonneg (s : Scheduler_core.stats) =
-          s.steals >= 0 && s.failed_steals >= 0 && s.deques_allocated >= 0
+          s.steals >= 0 && s.failed_steals >= 0 && s.steals_batched >= 0
+          && s.tasks_stolen >= 0 && s.deques_allocated >= 0
           && s.suspensions >= 0 && s.resumes >= 0 && s.max_deques_per_worker >= 0
           && s.io_pending >= 0 && s.conns_shed >= 0
+          && Array.for_all (fun c -> c >= 0) s.tasks_per_steal_hist
         in
         Alcotest.(check bool) "counters non-negative" true (nonneg a);
         burn_some p;
@@ -107,10 +109,29 @@ module Conformance (Pool : Pool_intf.POOL) = struct
         Alcotest.(check bool) "counters never decrease" true
           (b.steals >= a.steals
           && b.failed_steals >= a.failed_steals
+          && b.steals_batched >= a.steals_batched
+          && b.tasks_stolen >= a.tasks_stolen
           && b.deques_allocated >= a.deques_allocated
           && b.suspensions >= a.suspensions && b.resumes >= a.resumes
           && b.max_deques_per_worker >= a.max_deques_per_worker
           (* io_pending is a gauge, not a counter: deliberately excluded *)))
+
+  let test_steal_stats_consistent () =
+    (* The batched-steal accounting must be internally consistent on every
+       pool, in both steal modes: a batched steal is still one steal, a
+       steal moves at least one task, and the tasks-per-steal histogram is
+       a partition of the successful steals with singletons in bucket 0. *)
+    with_pool ~workers:3 (fun p ->
+        burn_some p;
+        burn_some p;
+        let s = Pool.stats p in
+        Alcotest.(check bool) "batched <= steals" true (s.steals_batched <= s.steals);
+        Alcotest.(check bool) "tasks_stolen >= steals" true (s.tasks_stolen >= s.steals);
+        let hist_sum = Array.fold_left ( + ) 0 s.tasks_per_steal_hist in
+        Alcotest.(check int) "hist partitions steals" s.steals hist_sum;
+        Alcotest.(check int) "bucket 0 = single-task steals"
+          (s.steals - s.steals_batched)
+          s.tasks_per_steal_hist.(0))
 
   let test_echo_roundtrip () =
     (* Serving a socket must work on every pool.  Deliberately the
@@ -292,6 +313,7 @@ module Conformance (Pool : Pool_intf.POOL) = struct
       Alcotest.test_case "map_reduce" `Quick test_parallel_map_reduce;
       Alcotest.test_case "sleep at least" `Quick test_sleep_at_least;
       Alcotest.test_case "stats monotone" `Quick test_stats_monotone;
+      Alcotest.test_case "steal stats consistent" `Quick test_steal_stats_consistent;
       Alcotest.test_case "echo round trip" `Quick test_echo_roundtrip;
       Alcotest.test_case "retry eventually succeeds" `Quick test_retry_eventually_succeeds;
       Alcotest.test_case "retry stops" `Quick test_retry_stops;
@@ -302,9 +324,17 @@ module Conformance (Pool : Pool_intf.POOL) = struct
 end
 
 module Lhws = Conformance (Pool_intf.Lhws_instance)
+module Lhws_half = Conformance (Pool_intf.Lhws_steal_half_instance)
 module Ws = Conformance (Pool_intf.Ws_instance)
+module Ws_half = Conformance (Pool_intf.Ws_steal_half_instance)
 module Threads = Conformance (Pool_intf.Threaded_instance)
 
 let () =
   Alcotest.run "pool_conformance"
-    [ ("lhws", Lhws.suite); ("ws", Ws.suite); ("threads", Threads.suite) ]
+    [
+      ("lhws", Lhws.suite);
+      ("lhws-steal-half", Lhws_half.suite);
+      ("ws", Ws.suite);
+      ("ws-steal-half", Ws_half.suite);
+      ("threads", Threads.suite);
+    ]

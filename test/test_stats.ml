@@ -24,10 +24,18 @@ let test_tokens_sum () =
 let test_to_assoc_complete () =
   let s = Stats.create ~workers:1 in
   let assoc = Stats.to_assoc s in
-  Alcotest.(check int) "17 fields" 17 (List.length assoc);
+  Alcotest.(check int) "20 fields" 20 (List.length assoc);
   List.iter
     (fun key -> Alcotest.(check bool) key true (List.mem_assoc key assoc))
-    [ "rounds"; "steal_attempts"; "max_deques_per_worker"; "max_live_suspended" ]
+    [
+      "rounds";
+      "steal_attempts";
+      "steals_batched";
+      "tasks_stolen";
+      "steal_latency_rounds";
+      "max_deques_per_worker";
+      "max_live_suspended";
+    ]
 
 let test_pp_smoke () =
   let s = Stats.create ~workers:1 in

@@ -29,6 +29,7 @@ let () =
   B.Scenarios_micro.register ();
   B.Scenarios_contention.register ();
   B.Scenarios_net.register ();
+  B.Scenarios_micropools.register ();
   B.Registry.run_all profile;
   (try
      if not (Sys.file_exists "results") then Sys.mkdir "results" 0o755;

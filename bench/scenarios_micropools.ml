@@ -1,0 +1,227 @@
+(* Micropool scenarios: several pools in one process, classes pinned.
+
+   Two experiments:
+   - micropools_bimodal: a bimodal service — short RPC handlers next to
+     long batch compute jobs in the same process — measured three ways:
+     one shared pool (handlers queue behind batch jobs), a 2-pool
+     topology (latency class isolated, so its p99 is bounded by its own
+     work), and the same topology with the latency pool scavenging the
+     batch pool (the isolation/utilisation trade-off made visible).
+     The guarded sample is the shared/topology p99 ratio: splitting the
+     pool must improve the RPC tail.  Pools are deliberately small (the
+     same worker budget, 2 shared vs 1+1 split) so the comparison is a
+     queueing-discipline fact, not a core-count fact — it holds even on
+     a single-core host, where extra spinning domains would only add
+     scheduler noise to both legs.
+   - micropools_scavenge: the payback side of scavenging, with the RPC
+     side quiet — an idle latency pool raids the batch pool's queue, so
+     batch drain time improves (on multi-core hardware) and the
+     scavenge books must balance: every task counted scavenged by the
+     thief is counted donated by its victim. *)
+
+module W = Lhws_workloads
+module P = W.Pool_intf
+module T = W.Topology
+module R = Registry
+module Reactor = Lhws_net.Reactor
+module Listener = Lhws_net.Listener
+module Rpc = Lhws_net.Rpc
+module Load = Lhws_net.Load
+
+let with_lhws_rt ~workers f =
+  Lhws_runtime.Lhws_pool.with_pool ~workers (fun p ->
+      let rt =
+        Reactor.fibers
+          ~register:(fun ~pending poll ->
+            Lhws_runtime.Lhws_pool.register_poller p ?pending poll)
+          ()
+      in
+      f p rt)
+
+(* CPU-bound spin: a handler or batch job that genuinely occupies its
+   worker, so pool structure (not latency hiding) is what's measured. *)
+let spin_for seconds =
+  let t0 = Unix.gettimeofday () in
+  while Unix.gettimeofday () -. t0 < seconds do
+    ()
+  done
+
+let scavenge_totals stats =
+  List.fold_left
+    (fun (sc, dn) (_, s) ->
+      Lhws_runtime.Scheduler_core.
+        (sc + s.tasks_scavenged, dn + s.tasks_donated))
+    (0, 0) stats
+
+(* One bimodal leg: a service topology (its latency class takes the RPC
+   handlers, [batch_class] the compute jobs), a driver pool running the
+   listener plumbing and the closed-loop generator.  Returns the RPC
+   report and the topology's final per-class stats. *)
+let bimodal_leg ~specs ~batch_class ~handler_s ~batch_s ~n_batch ~conns
+    ~inflight ~iters =
+  T.with_topology ~name:"svc" specs (fun topo ->
+      with_lhws_rt ~workers:1 (fun drv rt ->
+          let module Pool = P.Lhws_instance in
+          Pool.run drv (fun () ->
+              let l =
+                Rpc.serve
+                  (module Pool)
+                  drv rt
+                  ~dispatch:(T.dispatcher topo ~class_:T.Latency)
+                  (Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
+                  ~handler:(fun b ->
+                    spin_for handler_s;
+                    b)
+              in
+              let batch_done = Atomic.make 0 in
+              for _ = 1 to n_batch do
+                T.submit topo ~class_:batch_class (fun () ->
+                    spin_for batch_s;
+                    Atomic.incr batch_done)
+              done;
+              let reports =
+                Load.run_classes
+                  (module Pool)
+                  drv rt
+                  ~classes:[ Load.class_spec ~conns ~inflight ~iters "rpc" ]
+                  (Listener.addr l)
+              in
+              (* Let the batch tail drain so every leg pays for its whole
+                 submitted load and the stats are settled. *)
+              while Atomic.get batch_done < n_batch do
+                Pool.sleep drv 0.002
+              done;
+              Listener.shutdown ~grace:5. l;
+              let report = List.assoc "rpc" reports in
+              R.expect (report.Load.errors = 0);
+              (report, T.stats topo))))
+
+let bimodal profile =
+  R.section
+    "MP1 | bimodal service: RPC p99 on one shared pool vs a 2-pool topology \
+     (latency | batch), with and without scavenging";
+  let handler_s = R.pick profile ~full:0.001 ~smoke:0.0005 in
+  let batch_s = R.pick profile ~full:0.08 ~smoke:0.06 in
+  let n_batch = R.pick profile ~full:24 ~smoke:10 in
+  let conns = R.pick profile ~full:4 ~smoke:2 in
+  let inflight = R.pick profile ~full:4 ~smoke:4 in
+  let iters = R.pick profile ~full:60 ~smoke:15 in
+  let run ~specs ~batch_class =
+    bimodal_leg ~specs ~batch_class ~handler_s ~batch_s ~n_batch ~conns ~inflight
+      ~iters
+  in
+  (* Shared: one 2-worker pool owns both classes, so a decoded request
+     waits behind whatever batch job is ahead of it — its p99 is at
+     least one batch-job length, by construction. *)
+  let shared, _ =
+    run ~specs:[ T.spec ~workers:2 T.Latency ] ~batch_class:T.Latency
+  in
+  (* Topology: the same worker budget split 1 + 1; batch jobs can no
+     longer run ahead of handlers on the latency worker. *)
+  let split_specs = [ T.spec ~workers:1 T.Latency; T.spec ~workers:1 T.Batch ] in
+  let topo, _ = run ~specs:split_specs ~batch_class:T.Batch in
+  (* Scavenging: the latency pool may raid the batch queue when idle —
+     utilisation back, at the price of batch jobs sometimes landing on a
+     latency worker mid-load.  Reported, not guarded. *)
+  let scav_specs =
+    [ T.spec ~workers:1 ~scavenges:T.Batch T.Latency; T.spec ~workers:1 T.Batch ]
+  in
+  let scav, scav_stats = run ~specs:scav_specs ~batch_class:T.Batch in
+  let scavenged, donated = scavenge_totals scav_stats in
+  let p99_ratio = shared.Load.p99_us /. Float.max 1. topo.Load.p99_us in
+  (* The tentpole claim: splitting the pool improves the RPC tail. *)
+  R.expect (p99_ratio > 1.);
+  (* The books balance even under live RPC load. *)
+  R.expect (scavenged = donated);
+  Bench_json.record ~scenario:"micropools_bimodal" ~pool:"lhws-shared" ~workers:2
+    ~wall_s:shared.Load.wall_s
+    ~counters:
+      [
+        ("p50_us", int_of_float shared.Load.p50_us);
+        ("p99_us", int_of_float shared.Load.p99_us);
+        ("errors", shared.Load.errors);
+      ]
+    ();
+  Bench_json.record ~scenario:"micropools_bimodal" ~pool:"lhws-topo" ~workers:2
+    ~wall_s:topo.Load.wall_s ~speedup:p99_ratio
+    ~counters:
+      [
+        ("p50_us", int_of_float topo.Load.p50_us);
+        ("p99_us", int_of_float topo.Load.p99_us);
+        ("errors", topo.Load.errors);
+      ]
+    ();
+  Bench_json.record ~scenario:"micropools_bimodal" ~pool:"lhws-topo-scav"
+    ~workers:2 ~wall_s:scav.Load.wall_s
+    ~counters:
+      [
+        ("p50_us", int_of_float scav.Load.p50_us);
+        ("p99_us", int_of_float scav.Load.p99_us);
+        ("tasks_scavenged", scavenged);
+        ("tasks_donated", donated);
+      ]
+    ();
+  Printf.printf
+    "bimodal (%d batch jobs x %.0fms vs %d RPCs x %.1fms):\n\
+     %-28s p50 %8.0f us   p99 %8.0f us\n\
+     %-28s p50 %8.0f us   p99 %8.0f us\n\
+     %-28s p50 %8.0f us   p99 %8.0f us  (%d tasks scavenged)\n\
+     shared/topology p99 ratio: %.1fx\n\
+     %!"
+    n_batch (batch_s *. 1000.)
+    (conns * inflight * iters)
+    (handler_s *. 1000.) "shared pool (2w)" shared.Load.p50_us shared.Load.p99_us
+    "topology 1w+1w" topo.Load.p50_us topo.Load.p99_us "topology + scavenging"
+    scav.Load.p50_us scav.Load.p99_us scavenged p99_ratio
+
+(* Quiet-RPC side: how fast does a batch backlog drain when the latency
+   pool is idle?  Without scavenging its two workers sit out; with the
+   edge they raid the batch queue.  On a multi-core box that approaches
+   2x; the invariant checked everywhere is that the scavenge counters
+   stay consistent. *)
+let scavenge_drain profile =
+  R.section "MP2 | idle latency pool scavenging a batch backlog";
+  let batch_s = R.pick profile ~full:0.02 ~smoke:0.008 in
+  let n_batch = R.pick profile ~full:64 ~smoke:24 in
+  let drain ~scavenging =
+    let specs =
+      if scavenging then
+        [ T.spec ~workers:2 ~scavenges:T.Batch T.Latency; T.spec ~workers:2 T.Batch ]
+      else [ T.spec ~workers:2 T.Latency; T.spec ~workers:2 T.Batch ]
+    in
+    T.with_topology ~name:"drain" specs (fun topo ->
+        let batch_done = Atomic.make 0 in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to n_batch do
+          T.submit topo ~class_:T.Batch (fun () ->
+              spin_for batch_s;
+              Atomic.incr batch_done)
+        done;
+        while Atomic.get batch_done < n_batch do
+          Unix.sleepf 0.001
+        done;
+        let wall = Unix.gettimeofday () -. t0 in
+        (* Settle: no loot is left, so the counters are final. *)
+        Unix.sleepf 0.02;
+        (wall, scavenge_totals (T.stats topo)))
+  in
+  let t_iso, _ = drain ~scavenging:false in
+  let t_scav, (scavenged, donated) = drain ~scavenging:true in
+  let speedup = t_iso /. Float.max 1e-9 t_scav in
+  R.expect (scavenged > 0);
+  R.expect (scavenged = donated);
+  Bench_json.record ~scenario:"micropools_scavenge" ~pool:"isolated" ~workers:4
+    ~wall_s:t_iso ();
+  Bench_json.record ~scenario:"micropools_scavenge" ~pool:"scavenging" ~workers:4
+    ~wall_s:t_scav ~speedup
+    ~counters:[ ("tasks_scavenged", scavenged); ("tasks_donated", donated) ]
+    ();
+  Printf.printf
+    "drain %d x %.0fms batch jobs: isolated %.3fs, scavenging %.3fs (%.2fx), %d \
+     tasks scavenged (= %d donated)\n\
+     %!"
+    n_batch (batch_s *. 1000.) t_iso t_scav speedup scavenged donated
+
+let register () =
+  R.register ~name:"micropools_bimodal" ~skip_in_quick:true bimodal;
+  R.register ~name:"micropools_scavenge" ~skip_in_quick:true scavenge_drain

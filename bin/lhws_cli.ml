@@ -317,6 +317,130 @@ let rt_cmd =
     Term.(const rt $ workload_arg $ n_arg $ rt_latency_arg $ fib_arg $ workers_arg
     $ trace_out_arg)
 
+(* --- topology command: micropools --- *)
+
+let spin_for seconds =
+  let t0 = Unix.gettimeofday () in
+  while Unix.gettimeofday () -. t0 < seconds do
+    Domain.cpu_relax ()
+  done
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5)))
+
+let topology lat_workers batch_workers scavenge n_rpc n_batch handler_s batch_s =
+  let module T = Lhws_workloads.Topology in
+  (* One leg: submit [n_batch] long jobs, then trickle [n_rpc] short
+     handlers behind them, all through [submit ~class_]; returns the
+     sorted handler latencies (submit to completion) and final stats. *)
+  let leg specs ~rpc_class ~batch_class =
+    T.with_topology specs (fun t ->
+        let lat = Array.make n_rpc 0. in
+        let done_ = Atomic.make 0 in
+        for _ = 1 to n_batch do
+          T.submit t ~class_:batch_class (fun () -> spin_for batch_s)
+        done;
+        for i = 0 to n_rpc - 1 do
+          let t0 = Unix.gettimeofday () in
+          T.submit t ~class_:rpc_class (fun () ->
+              spin_for handler_s;
+              lat.(i) <- Unix.gettimeofday () -. t0;
+              Atomic.incr done_);
+          Unix.sleepf (handler_s *. 2.)
+        done;
+        let deadline =
+          Unix.gettimeofday ()
+          +. (4. *. ((float_of_int n_batch *. batch_s) +. (float_of_int n_rpc *. handler_s)))
+          +. 5.
+        in
+        while Atomic.get done_ < n_rpc && Unix.gettimeofday () < deadline do
+          Unix.sleepf 0.002
+        done;
+        if Atomic.get done_ < n_rpc then failwith "topology leg timed out";
+        Array.sort compare lat;
+        (lat, T.stats t))
+  in
+  let print_leg label (lat, stats) =
+    Format.printf "%-12s rpc p50=%6.2fms p99=%6.2fms@." label
+      (1e3 *. percentile lat 0.50)
+      (1e3 *. percentile lat 0.99);
+    List.iter
+      (fun (c, s) ->
+        let open Lhws_runtime.Scheduler_core in
+        Format.printf
+          "  pool %-8s tasks_run=%-5d steals=%-4d scavenged=%-3d donated=%d@."
+          (T.class_name c) s.tasks_run s.steals s.tasks_scavenged s.tasks_donated)
+      stats
+  in
+  Format.printf
+    "bimodal mix: %d handlers of %.1fms behind %d batch jobs of %.0fms@." n_rpc
+    (1e3 *. handler_s) n_batch (1e3 *. batch_s);
+  let shared =
+    leg
+      [ T.spec ~workers:(lat_workers + batch_workers) T.Latency ]
+      ~rpc_class:T.Latency ~batch_class:T.Latency
+  in
+  print_leg "shared" shared;
+  let split =
+    leg
+      [
+        (if scavenge then T.spec ~workers:lat_workers ~scavenges:T.Batch T.Latency
+         else T.spec ~workers:lat_workers T.Latency);
+        T.spec ~workers:batch_workers T.Batch;
+      ]
+      ~rpc_class:T.Latency ~batch_class:T.Batch
+  in
+  print_leg (if scavenge then "split+scav" else "split") split;
+  let p99 (lat, _) = percentile lat 0.99 in
+  Format.printf "isolation: shared p99 / split p99 = %.2fx@." (p99 shared /. p99 split)
+
+let lat_workers_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "latency-workers" ] ~docv:"W" ~doc:"Latency pool worker domains.")
+
+let batch_workers_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "batch-workers" ] ~docv:"W" ~doc:"Batch pool worker domains.")
+
+let scavenge_arg =
+  Arg.(
+    value & flag
+    & info [ "scavenge" ]
+        ~doc:"Let the latency pool raid the batch pool's fresh tasks when idle.")
+
+let n_rpc_arg =
+  Arg.(value & opt int 40 & info [ "rpc" ] ~docv:"N" ~doc:"Short handler tasks.")
+
+let n_batch_arg =
+  Arg.(value & opt int 12 & info [ "batch" ] ~docv:"N" ~doc:"Long batch jobs.")
+
+let handler_s_arg =
+  Arg.(
+    value & opt float 0.001
+    & info [ "handler-s" ] ~docv:"SECONDS" ~doc:"Work per handler task.")
+
+let batch_s_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "batch-s" ] ~docv:"SECONDS" ~doc:"Work per batch job.")
+
+let topology_cmd =
+  let info =
+    Cmd.info "topology"
+      ~doc:
+        "Micropools demo: a bimodal task mix on one shared pool vs a \
+         latency/batch topology (optionally with scavenging), comparing \
+         handler tail latency."
+  in
+  Cmd.v info
+    Term.(
+      const topology $ lat_workers_arg $ batch_workers_arg $ scavenge_arg
+      $ n_rpc_arg $ n_batch_arg $ handler_s_arg $ batch_s_arg)
+
 (* --- gantt command --- *)
 
 let gantt workload n leaf_work latency p seed algo =
@@ -339,4 +463,7 @@ let gantt_cmd =
 
 let () =
   let info = Cmd.info "lhws" ~version:"1.0.0" ~doc:"Latency-hiding work stealing (SPAA 2016)." in
-  exit (Cmd.eval (Cmd.group info [ sim_cmd; sweep_cmd; bounds_cmd; dot_cmd; gantt_cmd; rt_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ sim_cmd; sweep_cmd; bounds_cmd; dot_cmd; gantt_cmd; rt_cmd; topology_cmd ]))

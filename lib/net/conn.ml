@@ -30,6 +30,14 @@ let buf_capacity = 16 * 1024
 
 let create rt ?read_timeout ?write_timeout fd =
   if Reactor.is_fibers rt then Unix.set_nonblock fd;
+  (* Small pipelined frames over one socket hit the classic Nagle +
+     delayed-ACK interaction: a second sub-MSS write stalls until the
+     peer ACKs (~40 ms), which shows up directly as RPC tail latency.
+     This is a latency-first stack, so disable coalescing on every data
+     connection.  Non-TCP fds (Unix-domain sockets) reject the option;
+     that is fine. *)
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true
+   with Unix.Unix_error _ | Invalid_argument _ -> ());
   {
     fd;
     rt;

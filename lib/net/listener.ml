@@ -90,7 +90,17 @@ let rec accept_one s =
     | exception Unix.Unix_error _ when Atomic.get s.stop -> None
 
 let serve (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt
-    ?(config = default_config) addr ~handler =
+    ?(config = default_config) ?dispatch addr ~handler =
+  (* [dispatch] routes each connection's handler task; the default keeps
+     it on the serving pool.  A topology passes its latency class's
+     dispatcher here so batch work sharing the process never queues
+     ahead of connection handling.  The acceptor and reaper always stay
+     on the serving pool — they are this listener's control plane. *)
+  let dispatch =
+    match dispatch with
+    | Some d -> d
+    | None -> fun f -> ignore (P.async pool f : unit Lhws_runtime.Promise.t)
+  in
   let listen_fd = Unix.socket ~cloexec:true (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
@@ -123,16 +133,15 @@ let serve (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt
     Atomic.incr s.live;
     Atomic.incr s.accepted;
     add_conn s id c;
-    ignore
-      (P.async pool (fun () ->
-           Fun.protect
-             ~finally:(fun () ->
-               remove_conn s id;
-               Conn.close c;
-               Atomic.decr s.live)
-             (fun () ->
-               try handler c
-               with Net.Closed | Net.Timeout | Net.Peer_closed | End_of_file -> ())))
+    dispatch (fun () ->
+        Fun.protect
+          ~finally:(fun () ->
+            remove_conn s id;
+            Conn.close c;
+            Atomic.decr s.live)
+          (fun () ->
+            try handler c
+            with Net.Closed | Net.Timeout | Net.Peer_closed | End_of_file -> ()))
   in
   (* Overload shedding: at or above the high-water mark, keep accepting
      but close each arrival immediately — the client gets a prompt EOF

@@ -34,6 +34,7 @@ val serve :
   'p ->
   Reactor.t ->
   ?config:config ->
+  ?dispatch:((unit -> unit) -> unit) ->
   Unix.sockaddr ->
   handler:(Conn.t -> unit) ->
   t
@@ -42,7 +43,13 @@ val serve :
     within [P.run] (or any pool task); the handler's [Net.Closed],
     [Net.Timeout] and [End_of_file] escapes are normal connection
     endings, any other exception also just ends that connection.  The
-    connection is closed when the handler returns. *)
+    connection is closed when the handler returns.
+
+    [dispatch] routes each connection's handler task (default: [P.async]
+    on the serving pool).  Pass a topology class's
+    {!Lhws_workloads.Topology.dispatcher} to pin connection handling to
+    that class's pool — the acceptor and idle reaper always stay on the
+    serving pool. *)
 
 val addr : t -> Unix.sockaddr
 (** The actual bound address — useful after binding port 0. *)

@@ -11,6 +11,14 @@ type report = {
   max_us : float;
 }
 
+type class_spec = {
+  cls : string;
+  conns : int;
+  inflight : int;
+  iters : int;
+  payload : int -> bytes;
+}
+
 let percentile sorted q =
   let n = Array.length sorted in
   if n = 0 then 0.
@@ -23,67 +31,115 @@ let default_payload i =
   Bytes.set_int64_be b 0 (Int64.of_int i);
   b
 
-(* Closed-loop: [conns] pipelined connections, [inflight] generator tasks
-   per connection, each issuing [iters] calls back to back — so exactly
-   conns * inflight requests are outstanding at any moment.  Call from
-   within [P.run]. *)
-let run (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt
-    ?(conns = 4) ?(inflight = 8) ?(iters = 50) ?(payload = default_payload) addr =
+let class_spec ?(conns = 4) ?(inflight = 8) ?(iters = 50)
+    ?(payload = default_payload) cls =
   if conns < 1 || inflight < 1 || iters < 1 then
-    invalid_arg "Load.run: conns, inflight and iters must be >= 1";
-  let lats = Array.init (conns * inflight) (fun _ -> Array.make iters nan) in
-  let errors = Atomic.make 0 in
-  let connect_failures = Atomic.make 0 in
-  (* A refused or reset dial fails that connection's share of the load,
-     not the whole run: an overloaded or fault-injected server refusing
-     some arrivals is a result worth reporting, not a generator crash. *)
-  let clients =
-    Array.init conns (fun _ ->
-        match Rpc.Client.connect (module P) pool rt addr with
-        | cl -> Some cl
-        | exception (Unix.Unix_error _ | Net.Closed) ->
-            Atomic.incr connect_failures;
-            None)
+    invalid_arg "Load.class_spec: conns, inflight and iters must be >= 1";
+  { cls; conns; inflight; iters; payload }
+
+(* Per-class in-flight accounting, shared with the generator tasks. *)
+type class_state = {
+  spec : class_spec;
+  lats : float array array;
+  errors : int Atomic.t;
+  connect_failures : int Atomic.t;
+  clients : Rpc.Client.t option array;
+}
+
+(* Closed-loop: per class, [conns] pipelined connections with [inflight]
+   generator tasks each, every task issuing [iters] calls back to back —
+   so the offered load is Σ conns·inflight outstanding requests, all
+   classes concurrently.  Call from within [P.run]. *)
+let run_classes (type p) (module P : Pool_intf.POOL with type t = p) (pool : p)
+    rt ~classes addr =
+  if classes = [] then invalid_arg "Load.run_classes: no classes";
+  let states =
+    List.map
+      (fun spec ->
+        (* A refused or reset dial fails that connection's share of the
+           load, not the whole run: an overloaded or fault-injected
+           server refusing some arrivals is a result worth reporting,
+           not a generator crash. *)
+        let connect_failures = Atomic.make 0 in
+        {
+          spec;
+          lats =
+            Array.init (spec.conns * spec.inflight) (fun _ ->
+                Array.make spec.iters nan);
+          errors = Atomic.make 0;
+          connect_failures;
+          clients =
+            Array.init spec.conns (fun _ ->
+                match Rpc.Client.connect (module P) pool rt addr with
+                | cl -> Some cl
+                | exception (Unix.Unix_error _ | Net.Closed) ->
+                    Atomic.incr connect_failures;
+                    None);
+        })
+      classes
   in
   let t0 = Unix.gettimeofday () in
   let tasks =
     List.concat_map
-      (fun ci ->
-        List.init inflight (fun j ->
-            let slot = lats.((ci * inflight) + j) in
-            P.async pool (fun () ->
-                match clients.(ci) with
-                | None ->
-                    (* Never connected: its whole share of the offered
-                       load fails. *)
-                    ignore (Atomic.fetch_and_add errors iters : int)
-                | Some cl ->
-                    for k = 0 to iters - 1 do
-                      let t = Unix.gettimeofday () in
-                      match P.await pool (Rpc.Client.call cl (payload k)) with
-                      | (_ : bytes) -> slot.(k) <- (Unix.gettimeofday () -. t) *. 1e6
-                      | exception _ -> Atomic.incr errors
-                    done)))
-      (List.init conns Fun.id)
+      (fun st ->
+        List.concat_map
+          (fun ci ->
+            List.init st.spec.inflight (fun j ->
+                let slot = st.lats.((ci * st.spec.inflight) + j) in
+                P.async pool (fun () ->
+                    match st.clients.(ci) with
+                    | None ->
+                        (* Never connected: its whole share of the
+                           offered load fails. *)
+                        ignore
+                          (Atomic.fetch_and_add st.errors st.spec.iters : int)
+                    | Some cl ->
+                        for k = 0 to st.spec.iters - 1 do
+                          let t = Unix.gettimeofday () in
+                          match
+                            P.await pool (Rpc.Client.call cl (st.spec.payload k))
+                          with
+                          | (_ : bytes) ->
+                              slot.(k) <- (Unix.gettimeofday () -. t) *. 1e6
+                          | exception _ -> Atomic.incr st.errors
+                        done)))
+          (List.init st.spec.conns Fun.id))
+      states
   in
   List.iter (fun t -> P.await pool t) tasks;
   let wall_s = Unix.gettimeofday () -. t0 in
-  Array.iter (Option.iter Rpc.Client.close) clients;
-  let ok =
-    Array.to_list lats
-    |> List.concat_map (fun slot ->
-           Array.to_list slot |> List.filter (fun x -> not (Float.is_nan x)))
-    |> Array.of_list
-  in
-  Array.sort compare ok;
-  let total = conns * inflight * iters in
-  {
-    total;
-    errors = Atomic.get errors;
-    connect_failures = Atomic.get connect_failures;
-    wall_s;
-    throughput_rps = (if wall_s > 0. then float_of_int (Array.length ok) /. wall_s else 0.);
-    p50_us = percentile ok 0.50;
-    p99_us = percentile ok 0.99;
-    max_us = (if Array.length ok = 0 then 0. else ok.(Array.length ok - 1));
-  }
+  List.map
+    (fun st ->
+      Array.iter (Option.iter Rpc.Client.close) st.clients;
+      let ok =
+        Array.to_list st.lats
+        |> List.concat_map (fun slot ->
+               Array.to_list slot |> List.filter (fun x -> not (Float.is_nan x)))
+        |> Array.of_list
+      in
+      Array.sort compare ok;
+      ( st.spec.cls,
+        {
+          total = st.spec.conns * st.spec.inflight * st.spec.iters;
+          errors = Atomic.get st.errors;
+          connect_failures = Atomic.get st.connect_failures;
+          wall_s;
+          throughput_rps =
+            (if wall_s > 0. then float_of_int (Array.length ok) /. wall_s else 0.);
+          p50_us = percentile ok 0.50;
+          p99_us = percentile ok 0.99;
+          max_us = (if Array.length ok = 0 then 0. else ok.(Array.length ok - 1));
+        } ))
+    states
+
+let run (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt
+    ?(conns = 4) ?(inflight = 8) ?(iters = 50) ?(payload = default_payload) addr =
+  if conns < 1 || inflight < 1 || iters < 1 then
+    invalid_arg "Load.run: conns, inflight and iters must be >= 1";
+  match
+    run_classes (module P) pool rt
+      ~classes:[ class_spec ~conns ~inflight ~iters ~payload "all" ]
+      addr
+  with
+  | [ (_, r) ] -> r
+  | _ -> assert false

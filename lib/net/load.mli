@@ -36,3 +36,38 @@ val run :
     within [P.run], on a pool where {!Rpc.Client} is safe (latency-hiding
     or thread pool; defaults: 4 conns, 8 in-flight, 50 iters, 8-byte
     payloads). *)
+
+(** {1 Per-class load}
+
+    A bimodal (or n-modal) workload offers several request classes at
+    once — say 1 ms RPCs next to long compute calls — and what matters
+    is each class's own latency tail, which a single merged histogram
+    hides.  [run_classes] drives every class concurrently against one
+    endpoint and reports p50/p99 {e per class}. *)
+
+type class_spec
+
+val class_spec :
+  ?conns:int ->
+  ?inflight:int ->
+  ?iters:int ->
+  ?payload:(int -> bytes) ->
+  string ->
+  class_spec
+(** One request class: its name plus its own offered load (same
+    defaults as {!run}).  [payload] is how the server tells classes
+    apart — encode the class tag in it and route in the handler. *)
+
+val run_classes :
+  (module Lhws_workloads.Pool_intf.POOL with type t = 'p) ->
+  'p ->
+  Reactor.t ->
+  classes:class_spec list ->
+  Unix.sockaddr ->
+  (string * report) list
+(** Runs every class's closed-loop load concurrently (each class gets
+    its own connections), returning a report per class in input order.
+    [wall_s] is the whole run's wall clock — classes finish at
+    different times but are measured against the shared window.  Same
+    calling restrictions as {!run}.
+    @raise Invalid_argument on an empty class list. *)

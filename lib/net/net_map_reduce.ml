@@ -158,3 +158,21 @@ let run (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt ~addr
           ~finally:(fun () -> Array.iter Conn.close cs)
           (fun () -> reduce (fetch_blocking cs mus))
       end
+
+(* The reduction pinned to a topology class: the whole fetch-and-compute
+   job becomes a root task of that class's pool (batch, typically), so
+   it can share a process with a latency class without ever running on
+   the latency class's workers — scavenging aside, which only moves
+   fresh tasks the other way if an edge says so. *)
+(* The member's own [run] is held by the topology's driver domain, so
+   the reduction travels the pool-pinned submit path ([Topology.run])
+   and, once on a member worker, unpacks the pool to spawn its fetch
+   fibers. *)
+let run_class topo ~class_ rt ~addr ~n ?conns ?fib_n ?retry ?breaker () =
+  W.Topology.run topo ~class_ (fun () ->
+      W.Topology.use topo ~class_
+        {
+          W.Topology.use =
+            (fun (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) ->
+              run (module P) pool rt ~addr ~n ?conns ?fib_n ?retry ?breaker ());
+        })

@@ -58,3 +58,22 @@ val run :
     resets and mid-frame hangups.  [breaker] (shared across the
     connections — it judges the endpoint, not a socket) is only
     consulted when [retry] is given. *)
+
+val run_class :
+  Lhws_workloads.Topology.t ->
+  class_:Lhws_workloads.Topology.class_ ->
+  Reactor.t ->
+  addr:Unix.sockaddr ->
+  n:int ->
+  ?conns:int ->
+  ?fib_n:int ->
+  ?retry:Resilience.Retry.policy ->
+  ?breaker:Resilience.Breaker.t ->
+  unit ->
+  int
+(** {!run} as a task of the topology class's own pool — the shape a
+    batch reduction takes when it shares a process with a latency class:
+    pinned to [Batch], it starts on that pool, never on the latency
+    pool's workers.  Call from outside the topology's pools; the caller
+    blocks until the reduction finishes (it rides
+    {!Lhws_workloads.Topology.run}). *)

@@ -111,7 +111,19 @@ let write_response conn ~id ~status payload =
 let max_pipeline = 256
 
 let serve_handler (type p) (module P : Pool_intf.POOL with type t = p) (pool : p)
-    ~handler conn =
+    ?dispatch ~handler conn =
+  (* [dispatch] routes each decoded request's task; the default keeps it
+     on the serving pool.  A topology passes its latency class's
+     dispatcher so handlers are pool-pinned there while the decode loop
+     (this function) stays wherever the listener put the connection.
+     Everything the dispatched task touches is cross-pool safe: the
+     counters are atomics, and the write lock's sleep suspends whatever
+     fiber calls it (the handle only names the timer wheel). *)
+  let dispatch =
+    match dispatch with
+    | Some d -> d
+    | None -> fun f -> ignore (P.async pool f : unit Lhws_runtime.Promise.t)
+  in
   let wl = make_wlock (fun () -> P.sleep pool 0.0002) in
   let outstanding = Atomic.make 0 in
   let rec loop () =
@@ -125,24 +137,23 @@ let serve_handler (type p) (module P : Pool_intf.POOL with type t = p) (pool : p
         (* Each decoded request becomes a pool task: responses go out in
            completion order, ids let the client demultiplex — this is
            where packet arrival order feeds the scheduler. *)
-        ignore
-          (P.async pool (fun () ->
-               Fun.protect
-                 ~finally:(fun () -> Atomic.decr outstanding)
-                 (fun () ->
-                   let status, resp =
-                     match handler payload with
-                     | v -> (0, v)
-                     | exception e -> (1, Bytes.of_string (Printexc.to_string e))
-                   in
-                   (* A response that cannot be written is not just this
-                      request's problem: the client is now owed a frame
-                      it will never get, so the stream contract is
-                      broken.  Close the connection — the client sees
-                      EOF and can retry on a fresh one — rather than
-                      silently dropping the frame on a live socket. *)
-                   try with_wlock wl (fun () -> write_response conn ~id ~status resp)
-                   with Net.Closed | Net.Timeout -> Conn.close conn)));
+        dispatch (fun () ->
+            Fun.protect
+              ~finally:(fun () -> Atomic.decr outstanding)
+              (fun () ->
+                let status, resp =
+                  match handler payload with
+                  | v -> (0, v)
+                  | exception e -> (1, Bytes.of_string (Printexc.to_string e))
+                in
+                (* A response that cannot be written is not just this
+                   request's problem: the client is now owed a frame
+                   it will never get, so the stream contract is
+                   broken.  Close the connection — the client sees
+                   EOF and can retry on a fresh one — rather than
+                   silently dropping the frame on a live socket. *)
+                try with_wlock wl (fun () -> write_response conn ~id ~status resp)
+                with Net.Closed | Net.Timeout -> Conn.close conn));
         loop ()
   in
   (try loop ()
@@ -156,9 +167,9 @@ let serve_handler (type p) (module P : Pool_intf.POOL with type t = p) (pool : p
   done
 
 let serve (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt ?config
-    addr ~handler =
+    ?dispatch addr ~handler =
   Listener.serve (module P) pool rt ?config addr
-    ~handler:(fun conn -> serve_handler (module P) pool ~handler conn)
+    ~handler:(fun conn -> serve_handler (module P) pool ?dispatch ~handler conn)
 
 (* --- pipelined client --- *)
 

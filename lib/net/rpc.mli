@@ -18,6 +18,7 @@ val max_frame : int
 val serve_handler :
   (module Lhws_workloads.Pool_intf.POOL with type t = 'p) ->
   'p ->
+  ?dispatch:((unit -> unit) -> unit) ->
   handler:(bytes -> bytes) ->
   Conn.t ->
   unit
@@ -27,17 +28,25 @@ val serve_handler :
     stops reading frames until responses drain, so a client pipelining
     without reading responses is throttled through TCP instead of queueing
     unbounded tasks.  Returns when the peer hangs up (after in-flight
-    responses drain). *)
+    responses drain).
+
+    [dispatch] routes each decoded request's task (default: [P.async] on
+    the serving pool).  Pass a topology class's
+    {!Lhws_workloads.Topology.dispatcher} to pin RPC handlers to that
+    class's pool while the decode loop stays put. *)
 
 val serve :
   (module Lhws_workloads.Pool_intf.POOL with type t = 'p) ->
   'p ->
   Reactor.t ->
   ?config:Listener.config ->
+  ?dispatch:((unit -> unit) -> unit) ->
   Unix.sockaddr ->
   handler:(bytes -> bytes) ->
   Listener.t
-(** [Listener.serve] with {!serve_handler} as the connection handler. *)
+(** [Listener.serve] with {!serve_handler} as the connection handler;
+    [dispatch] reaches the per-request tasks (the connection loops stay
+    on the serving pool). *)
 
 (** {1 Pipelined client}
 

@@ -2,8 +2,19 @@ module Chase_lev = Lhws_deque.Chase_lev
 module Padding = Lhws_deque.Padding
 module Core = Scheduler_core
 
-(* Tasks are fresh fibers or captured continuations of suspended ones. *)
-type task = Fresh of (unit -> unit) | Resume of (unit, unit) Effect.Deep.continuation
+(* Tasks are fresh fibers, captured continuations of suspended ones, or
+   pool-pinned internal thunks.  [Fresh] is a user thunk that has not
+   started running: it is {e pool-portable} — a sibling pool's scavenger
+   may take it and run it as its own (the fiber then lives entirely in
+   the thief pool).  [Pinned] is the same representation but for
+   policy-internal re-injections (pfor batch unfolding, resume-batch
+   wrappers) whose closures capture this pool's [pstate]; like [Resume]
+   continuations — whose effect handlers close over it — they must never
+   leave the pool. *)
+type task =
+  | Fresh of (unit -> unit)
+  | Pinned of (unit -> unit)
+  | Resume of (unit, unit) Effect.Deep.continuation
 
 (* The resume and notification paths are multi-producer (any domain may
    complete an I/O or timer and resume a fiber) single-consumer (only the
@@ -34,6 +45,9 @@ type wrec = {
   mutable active : deque option;
   mutable ready : deque list;
   notified : deque list Atomic.t;  (* MPSC: deques with fresh resumes *)
+  inbox : task list Atomic.t;
+      (* MPSC: resumed tasks delivered directly to this worker under the
+         [Spread] placement (unused — always empty — under [Home_worker]) *)
   mutable empty : deque list;  (* freed deques for reuse; owner only *)
   mutable owned_live : int;
   owned_snap : deque array Atomic.t;
@@ -47,14 +61,35 @@ type wrec = {
 
 type steal_policy = Global_deque | Worker_then_deque
 
-let max_gdeques = 1 lsl 16
+(* Where a resumed fiber's continuation is re-injected.  [Home_worker] is
+   the paper-faithful default and what every earlier version hardwired:
+   the batch goes back into the deque the fiber suspended with, on the
+   worker it last ran on — the locality-preserving choice ("Analysis of
+   Work-Stealing and Parallel Cache Complexity", arXiv 2111.04994: steals
+   dominate cache cost, so resumes should not migrate).  [Spread] instead
+   round-robins each resumed continuation across the pool's workers (it
+   lands in the target's inbox and re-enters through its active deque) —
+   the any-worker strawman, exposed so the locality claim is measurable
+   rather than assumed. *)
+type resume_placement = Home_worker | Spread
+
+let default_initial_deques = 1024
 
 type pstate = {
   slots : wrec array;
-  gdeques : deque option array;
+  (* The deque table grows (doubling under [grow_lock]) instead of
+     failing at a fixed bound; thieves read the current snapshot with one
+     atomic load.  All writes — slot publication and growth — happen
+     under the lock, which is only ever taken on the fresh-allocation
+     path ([w.empty] recycling never touches the table), so the steal
+     and pop hot paths stay lock-free. *)
+  gdeques : deque option array Atomic.t;
+  grow_lock : Mutex.t;
   gtotal : int Atomic.t;
   steal_policy : steal_policy;
   steal_mode : Core.steal_mode;
+  resume_placement : resume_placement;
+  spread_rr : int Atomic.t;  (* round-robin cursor for [Spread] delivery *)
   self_wid : unit -> int;
 }
 
@@ -85,8 +120,13 @@ let alloc_deque p w =
         Atomic.set d.freed false;
         d
     | [] ->
-        let id = Atomic.fetch_and_add p.gtotal 1 in
-        if id >= max_gdeques then failwith "Lhws_pool: deque table overflow";
+        (* Fresh allocation: serialize table writes so a concurrent
+           doubling can never lose a just-published slot.  [gtotal] is
+           bumped last, so a reader that sees the new count either reads
+           the slot or (through a stale table snapshot / plain read)
+           sees [None] and treats it as a failed steal. *)
+        Mutex.lock p.grow_lock;
+        let id = Atomic.get p.gtotal in
         let d =
           {
             id;
@@ -98,7 +138,23 @@ let alloc_deque p w =
             in_ready = false;
           }
         in
-        p.gdeques.(id) <- Some d;
+        let arr = Atomic.get p.gdeques in
+        let arr =
+          if id < Array.length arr then arr
+          else begin
+            let len = ref (max 1 (Array.length arr)) in
+            while id >= !len do
+              len := !len * 2
+            done;
+            let grown = Array.make !len None in
+            Array.blit arr 0 grown 0 (Array.length arr);
+            Atomic.set p.gdeques grown;
+            grown
+          end
+        in
+        arr.(id) <- Some d;
+        Atomic.incr p.gtotal;
+        Mutex.unlock p.grow_lock;
         d
   in
   w.owned_live <- w.owned_live + 1;
@@ -125,10 +181,30 @@ let unfree w d =
    One CAS-cons onto the deque's resume channel; the producer that found
    it empty also conses one notification onto the owner's channel. *)
 
-let on_resume p d task =
+(* Hand a task to a deque's resume channel and raise the owner's
+   notification.  Does NOT touch [suspend_ctr] — that belongs to the
+   suspend/resume pairing; cross-pool scavengers also use this to return
+   non-portable loot they cannot run, and those tasks were never
+   suspended. *)
+let requeue_home p d task =
   let was_empty = mpsc_push d.resumed task in
-  Atomic.decr d.suspend_ctr;
   if was_empty then ignore (mpsc_push p.slots.(d.owner).notified d : bool)
+
+let on_resume p d task =
+  match p.resume_placement with
+  | Home_worker ->
+      let was_empty = mpsc_push d.resumed task in
+      Atomic.decr d.suspend_ctr;
+      if was_empty then ignore (mpsc_push p.slots.(d.owner).notified d : bool)
+  | Spread ->
+      (* Any-worker delivery: the continuation goes straight to a
+         round-robin worker's inbox; its home deque only loses the
+         suspension (and may retire normally).  When the fiber suspends
+         again it pairs with wherever it is running then. *)
+      Atomic.decr d.suspend_ctr;
+      let n = Array.length p.slots in
+      let target = Atomic.fetch_and_add p.spread_rr 1 mod n in
+      ignore (mpsc_push p.slots.(target).inbox task : bool)
 
 (* --- fiber execution --- *)
 
@@ -158,7 +234,9 @@ let rec exec_fresh p f =
     }
 
 and run_task p task =
-  match task with Fresh f -> exec_fresh p f | Resume k -> Effect.Deep.continue k ()
+  match task with
+  | Fresh f | Pinned f -> exec_fresh p f
+  | Resume k -> Effect.Deep.continue k ()
 
 (* Execute a batch of resumed continuations as a pfor tree: halves are
    pushed as spawnable tasks, so the batch unfolds in parallel with
@@ -170,7 +248,7 @@ let rec pfor_exec p batch lo hi =
     let mid = lo + (n / 2) in
     let w = self p in
     (match w.active with
-    | Some d -> Chase_lev.push_bottom d.q (Fresh (fun () -> pfor_exec p batch mid hi))
+    | Some d -> Chase_lev.push_bottom d.q (Pinned (fun () -> pfor_exec p batch mid hi))
     | None -> assert false);
     pfor_exec p batch lo mid
   end
@@ -196,7 +274,7 @@ let drain_resumed p w =
               | [ single ] -> single
               | _ ->
                   let arr = Array.of_list (List.rev batch) in
-                  Fresh (fun () -> pfor_exec p arr 0 (Array.length arr))
+                  Pinned (fun () -> pfor_exec p arr 0 (Array.length arr))
             in
             Chase_lev.push_bottom d.q task;
             let is_active = match w.active with Some a -> a == d | None -> false in
@@ -205,6 +283,30 @@ let drain_resumed p w =
               w.ready <- d :: w.ready
             end)
       (List.rev notified)
+  end;
+  (* [Spread] delivery: continuations routed to this worker's inbox
+     re-enter through its active deque (allocated on demand), exactly
+     like a resume batch would through a home deque. *)
+  if Atomic.get w.inbox != [] then begin
+    let batch = mpsc_drain w.inbox in
+    Core.mark w.ctx Tracing.Resume_batch;
+    w.ctx.counters.resumes <- w.ctx.counters.resumes + List.length batch;
+    let d =
+      match w.active with
+      | Some d -> d
+      | None ->
+          let d = alloc_deque p w in
+          w.active <- Some d;
+          d
+    in
+    let task =
+      match batch with
+      | [ single ] -> single
+      | _ ->
+          let arr = Array.of_list (List.rev batch) in
+          Pinned (fun () -> pfor_exec p arr 0 (Array.length arr))
+    in
+    Chase_lev.push_bottom d.q task
   end
 
 (* Retire an exhausted active deque: free it if nothing will come back. *)
@@ -263,6 +365,33 @@ let steal_from p w d =
           let target = match !nd with Some t -> t | None -> alloc_deque p w in
           activate target task k)
 
+(* Uniformly random one of the currently non-empty deques in a published
+   snapshot; [None] when all are empty (or emptied between the count and
+   the draw).  Consumes at most one RNG draw, and only when a candidate
+   exists. *)
+let random_nonempty_deque rng owned =
+  let nonempty = ref 0 in
+  Array.iter (fun d -> if not (Chase_lev.is_empty d.q) then incr nonempty) owned;
+  if !nonempty = 0 then None
+  else begin
+    let target = Random.State.int rng !nonempty in
+    let pick = ref None in
+    let seen = ref 0 in
+    (try
+       Array.iter
+         (fun d ->
+           if not (Chase_lev.is_empty d.q) then begin
+             if !seen = target then begin
+               pick := Some d;
+               raise Exit
+             end;
+             incr seen
+           end)
+         owned
+     with Exit -> ());
+    !pick
+  end
+
 let try_steal p w =
   let fail () =
     w.ctx.counters.failed_steals <- w.ctx.counters.failed_steals + 1;
@@ -270,11 +399,14 @@ let try_steal p w =
   in
   match p.steal_policy with
   | Global_deque -> (
-      (* The analyzed policy: uniform over the global deque table. *)
-      let n = Atomic.get p.gtotal in
+      (* The analyzed policy: uniform over the global deque table.  The
+         table snapshot and the count are read independently; clamping to
+         the shorter of the two keeps a stale snapshot safe. *)
+      let arr = Atomic.get p.gdeques in
+      let n = min (Atomic.get p.gtotal) (Array.length arr) in
       if n = 0 then None
       else
-        match p.gdeques.(Random.State.int w.ctx.rng n) with
+        match arr.(Random.State.int w.ctx.rng n) with
         | None -> fail ()
         | Some d ->
             if Atomic.get d.freed then fail ()
@@ -297,35 +429,58 @@ let try_steal p w =
           fail ()
         in
         let owned = Atomic.get p.slots.(vid).owned_snap in
-        let nonempty = ref 0 in
-        Array.iter (fun d -> if not (Chase_lev.is_empty d.q) then incr nonempty) owned;
-        if !nonempty = 0 then miss ()
-        else begin
-          let target = Random.State.int w.ctx.rng !nonempty in
-          let pick = ref None in
-          let seen = ref 0 in
-          (try
-             Array.iter
-               (fun d ->
-                 if not (Chase_lev.is_empty d.q) then begin
-                   if !seen = target then begin
-                     pick := Some d;
-                     raise Exit
-                   end;
-                   incr seen
-                 end)
-               owned
-           with Exit -> ());
-          match !pick with
-          | None -> miss ()  (* emptied between the count and the draw *)
-          | Some d -> (
-              match steal_from p w d with
-              | Some _ as got ->
-                  Core.Victim_stats.record w.victims vid ~hit:true;
-                  got
-              | None -> miss ())
-        end
+        match random_nonempty_deque w.ctx.rng owned with
+        | None -> miss ()
+        | Some d -> (
+            match steal_from p w d with
+            | Some _ as got ->
+                Core.Victim_stats.record w.victims vid ~hit:true;
+                got
+            | None -> miss ())
       end
+
+(* One cross-pool steal attempt, run by a sibling pool's idle worker — a
+   foreign thread with no [wrec] here, so nothing below may touch this
+   pool's per-worker state or counters.  The victim worker is drawn from
+   the {e thief's} EWMA [tracker] (grown to our worker count by the
+   caller), the deque by the same published-snapshot scan the internal
+   [Worker_then_deque] thief uses; this works whatever our own
+   [steal_policy] is, because every pool maintains the snapshots.  Only
+   [Fresh] thunks are exported: [Resume] continuations re-enter effect
+   handlers closed over this pool, and [Pinned] thunks capture its
+   [pstate]; both go back to their home deque via [requeue_home], never
+   dropped.  Returns how many tasks were delivered to [sink]. *)
+let export_steal p ~rng ~tracker ~mode ~sink =
+  let n = Array.length p.slots in
+  let vid = Core.Victim_stats.pick_foreign tracker rng ~n in
+  let miss () =
+    Core.Victim_stats.record tracker vid ~hit:false;
+    0
+  in
+  let owned = Atomic.get p.slots.(vid).owned_snap in
+  match random_nonempty_deque rng owned with
+  | None -> miss ()
+  | Some d ->
+      let sunk = ref 0 in
+      let deliver task =
+        match task with
+        | Fresh f ->
+            incr sunk;
+            sink f
+        | (Pinned _ | Resume _) as task -> requeue_home p d task
+      in
+      let got =
+        match mode with
+        | Core.Steal_one -> (
+            match Chase_lev.steal d.q with
+            | Some task ->
+                deliver task;
+                1
+            | None -> 0)
+        | Core.Steal_half -> Chase_lev.steal_half d.q deliver
+      in
+      Core.Victim_stats.record tracker vid ~hit:(got > 0);
+      !sunk
 
 (* One scheduling decision: the next task to run, switching or stealing as
    needed.  Mirrors lines 40-56 of Figure 3. *)
@@ -365,15 +520,27 @@ module Policy = struct
   let label = "Lhws_pool"
   let rng_salt = 0xACE5
 
-  type config = { steal_policy : steal_policy; steal_mode : Core.steal_mode }
+  type config = {
+    steal_policy : steal_policy;
+    steal_mode : Core.steal_mode;
+    resume_placement : resume_placement;
+    initial_deques : int;
+  }
 
-  let default_config = { steal_policy = Global_deque; steal_mode = Core.Steal_one }
+  let default_config =
+    {
+      steal_policy = Global_deque;
+      steal_mode = Core.Steal_one;
+      resume_placement = Home_worker;
+      initial_deques = default_initial_deques;
+    }
 
   type nonrec task = task
   type pool = pstate
   type wstate = wrec
 
-  let make_pool { steal_policy; steal_mode } ~ctxs ~self_wid =
+  let make_pool { steal_policy; steal_mode; resume_placement; initial_deques }
+      ~ctxs ~self_wid =
     let victims = Array.length ctxs in
     {
       slots =
@@ -384,24 +551,35 @@ module Policy = struct
               active = None;
               ready = [];
               notified = Padding.make_atomic [];
+              inbox = Padding.make_atomic [];
               empty = [];
               owned_live = 0;
               owned_snap = Padding.make_atomic [||];
               victims = Core.Victim_stats.create ~victims;
             })
           ctxs;
-      gdeques = Array.make max_gdeques None;
+      gdeques = Atomic.make (Array.make (max 1 initial_deques) None);
+      grow_lock = Mutex.create ();
       gtotal = Atomic.make 0;
       steal_policy;
       steal_mode;
+      resume_placement;
+      spread_rr = Atomic.make 0;
       self_wid;
     }
 
   let worker p i = p.slots.(i)
 
   (* Any owned deque with suspended fibers (or an undrained resume batch)
-     means a resume can land at any moment: stay on the fast idle poll. *)
+     means a resume can land at any moment: stay on the fast idle poll.
+     Under [Spread] a resume may land in this worker's inbox even when
+     its own deques are quiet (the suspension lives elsewhere); an
+     undrained inbox always keeps the fast poll, but a quiet worker can
+     still be up to the backoff cap late for the first spread-in resume —
+     acceptable for an explicitly locality-breaking placement. *)
   let expects_resumes _p w =
+    Atomic.get w.inbox != []
+    ||
     let owned = Atomic.get w.owned_snap in
     let n = Array.length owned in
     let rec scan i =
@@ -416,34 +594,48 @@ module Policy = struct
   let next = next_task
   let exec p _w task = run_task p task
 
-  let inject p w thunk =
+  let inject p w ~pinned thunk =
     (* Bootstrap: give the worker an active deque holding the root fiber. *)
     let d = match w.active with Some d -> d | None -> alloc_deque p w in
     w.active <- Some d;
-    Chase_lev.push_bottom d.q (Fresh thunk)
+    Chase_lev.push_bottom d.q (if pinned then Pinned thunk else Fresh thunk)
 
   let deques_allocated p = Atomic.get p.gtotal
+  let export_steal = export_steal
 end
 
 module C = Core.Make (Policy)
 
 type t = C.t
 
-let config ?(steal_policy = Global_deque) ?(steal_mode = Core.Steal_one) () =
-  { Policy.steal_policy; steal_mode }
+let config ?(steal_policy = Global_deque) ?(steal_mode = Core.Steal_one)
+    ?(resume_placement = Home_worker) ?(initial_deques = default_initial_deques)
+    () =
+  { Policy.steal_policy; steal_mode; resume_placement; initial_deques }
 
-let create ?workers ?steal_policy ?steal_mode () =
-  C.create ?workers ~config:(config ?steal_policy ?steal_mode ()) ()
+let create ?name ?workers ?steal_policy ?steal_mode ?resume_placement
+    ?initial_deques () =
+  C.create ?name ?workers
+    ~config:(config ?steal_policy ?steal_mode ?resume_placement ?initial_deques ())
+    ()
 
 let run = C.run
 let shutdown = C.shutdown
 
-let with_pool ?workers ?steal_policy ?steal_mode f =
-  C.with_pool ?workers ~config:(config ?steal_policy ?steal_mode ()) f
+let with_pool ?name ?workers ?steal_policy ?steal_mode ?resume_placement
+    ?initial_deques f =
+  C.with_pool ?name ?workers
+    ~config:(config ?steal_policy ?steal_mode ?resume_placement ?initial_deques ())
+    f
 
 let register_poller = C.register_poller
 let register_shed_counter = C.register_shed_counter
 let set_tracer = C.set_tracer
+let name = C.name
+let submit = C.submit
+let scavenge_source = C.scavenge_source
+let set_scavenge = C.set_scavenge
+let clear_scavenge = C.clear_scavenge
 
 (* --- fiber-facing operations --- *)
 
@@ -507,6 +699,7 @@ let rec parallel_map_reduce t ~lo ~hi ~map ~combine ~id =
 (* --- stats --- *)
 
 type stats = Scheduler_core.stats = {
+  tasks_run : int;
   steals : int;
   failed_steals : int;
   steals_batched : int;
@@ -518,6 +711,9 @@ type stats = Scheduler_core.stats = {
   max_deques_per_worker : int;
   io_pending : int;
   conns_shed : int;
+  scavenge_steals : int;
+  tasks_scavenged : int;
+  tasks_donated : int;
 }
 
 let stats = C.stats

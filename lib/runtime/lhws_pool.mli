@@ -27,15 +27,31 @@ type steal_policy =
           failed steals, at the cost of synchronizing briefly with the
           victim. *)
 
+type resume_placement =
+  | Home_worker
+      (** The paper-faithful default: a resumed fiber's continuation is
+          re-injected into the deque it suspended with, on the worker it
+          last ran on — the locality-preserving choice. *)
+  | Spread
+      (** Any-worker strawman: each resumed continuation is round-robined
+          across the pool's workers, so the locality claim can be
+          measured rather than assumed.  A quiet worker can be up to the
+          idle-backoff cap (1 ms) late for its first spread-in resume. *)
+
 val create :
+  ?name:string ->
   ?workers:int ->
   ?steal_policy:steal_policy ->
   ?steal_mode:Scheduler_core.steal_mode ->
+  ?resume_placement:resume_placement ->
+  ?initial_deques:int ->
   unit ->
   t
 (** Spawns [workers - 1] extra domains (default: 2 workers,
-    [Global_deque], {!Scheduler_core.Steal_one}).  The calling domain
-    becomes worker 0 while inside {!run}.
+    [Global_deque], {!Scheduler_core.Steal_one}, [Home_worker]).  The
+    calling domain becomes worker 0 while inside {!run}.  The instance
+    registers in {!Scheduler_core.Registry} under [name] until
+    {!shutdown}.
 
     [steal_mode] selects classical one-task stealing or batched
     steal-half: the thief takes up to half the victim deque's visible
@@ -44,7 +60,11 @@ val create :
     [Worker_then_deque] the victim worker draw is additionally biased by
     a per-thief EWMA of past steal hits (see
     {!Scheduler_core.Victim_stats}); [Global_deque] keeps the paper's
-    uniform draw. *)
+    uniform draw.
+
+    [initial_deques] sizes the global deque table (default 1024 slots);
+    the table grows by doubling when lifetime allocations exceed it —
+    there is no hard bound. *)
 
 val run : t -> (unit -> 'a) -> 'a
 (** Executes the thunk as the root fiber and participates as worker 0
@@ -60,12 +80,45 @@ val shutdown : t -> unit
     raised: the workers are still joined cleanly. *)
 
 val with_pool :
+  ?name:string ->
   ?workers:int ->
   ?steal_policy:steal_policy ->
   ?steal_mode:Scheduler_core.steal_mode ->
+  ?resume_placement:resume_placement ->
+  ?initial_deques:int ->
   (t -> 'a) ->
   'a
 (** [create] / [shutdown] bracket. *)
+
+val name : t -> string
+(** The {!Scheduler_core.Registry} name this pool was created under. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Pool-pinned external submission: the thunk lands in one worker's
+    inbox (round robin) and is guaranteed to start on a worker of this
+    pool.  Safe from any thread — non-workers and other pools' workers
+    included.  See {!Scheduler_core.Make.submit} for the cold-start
+    latency caveat. *)
+
+(** {2 Cross-pool scavenging}
+
+    See the overview in {!Scheduler_core}.  Only fresh, not-yet-started
+    fibers are exported to a scavenging sibling; captured continuations
+    and internal re-injections stay home.  Off unless {!set_scavenge} is
+    called. *)
+
+val scavenge_source : t -> Scheduler_core.scavenge_source
+(** This pool's stealable surface, to hand to a sibling pool (of any
+    policy) via its [set_scavenge]. *)
+
+val set_scavenge :
+  t -> ?mode:Scheduler_core.steal_mode -> Scheduler_core.scavenge_source -> unit
+(** Designate a sibling to raid when this pool's workers idle (after
+    local steals fail, before deep backoff).  [mode] defaults to
+    [Steal_one].
+    @raise Invalid_argument when handed this pool's own source. *)
+
+val clear_scavenge : t -> unit
 
 val set_tracer : t -> Tracing.t -> unit
 (** Records worker events (task runs, suspensions, resume batches, steals)
@@ -113,6 +166,7 @@ val parallel_map_reduce :
     The unified stats record shared by every pool. *)
 
 type stats = Scheduler_core.stats = {
+  tasks_run : int;
   steals : int;
   failed_steals : int;
   steals_batched : int;
@@ -124,6 +178,9 @@ type stats = Scheduler_core.stats = {
   max_deques_per_worker : int;
   io_pending : int;
   conns_shed : int;
+  scavenge_steals : int;
+  tasks_scavenged : int;
+  tasks_donated : int;
 }
 
 val stats : t -> stats

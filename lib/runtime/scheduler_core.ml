@@ -3,6 +3,7 @@ type steal_mode = Steal_one | Steal_half
 let steal_hist_buckets = 8
 
 type counters = {
+  mutable tasks_run : int;
   mutable steals : int;
   mutable failed_steals : int;
   mutable steals_batched : int;
@@ -11,6 +12,8 @@ type counters = {
   mutable suspensions : int;
   mutable resumes : int;
   mutable max_owned : int;
+  mutable scavenge_steals : int;
+  mutable tasks_scavenged : int;
 }
 
 (* Record one successful steal that took [tasks] tasks (>= 1). *)
@@ -30,27 +33,54 @@ let count_steal c ~tasks =
    shifts.  The array is owner-written (the thief records its own
    hit/miss), so it is padded to keep it off other workers' lines. *)
 module Victim_stats = struct
-  type t = float array
+  (* The rate array is behind a mutable field so it can grow: a scavenger
+     tracking a sibling pool may discover more victim slots than it was
+     created with (sibling pools have independent worker counts).  Growth
+     is owner-only (the thief resizes its own tracker), so no
+     synchronization is needed. *)
+  type t = { mutable rates : float array }
 
   let alpha = 0.125
 
   let create ~victims : t =
-    Lhws_deque.Padding.copy_as_padded (Array.make (max victims 1) 0.5)
+    { rates = Lhws_deque.Padding.copy_as_padded (Array.make (max victims 1) 0.5) }
 
-  let record (t : t) v ~hit =
+  let capacity t = Array.length t.rates
+
+  let ensure_capacity t n =
+    if n > Array.length t.rates then begin
+      let grown = Lhws_deque.Padding.copy_as_padded (Array.make n 0.5) in
+      Array.blit t.rates 0 grown 0 (Array.length t.rates);
+      t.rates <- grown
+    end
+
+  let record t v ~hit =
     let x = if hit then 1.0 else 0.0 in
-    t.(v) <- t.(v) +. (alpha *. (x -. t.(v)))
+    t.rates.(v) <- t.rates.(v) +. (alpha *. (x -. t.rates.(v)))
+
+  let rate t v = t.rates.(v)
 
   (* Requires at least two workers (callers only steal when victims exist). *)
-  let pick (t : t) rng ~self =
-    let n = Array.length t in
+  let pick t rng ~self =
+    let n = Array.length t.rates in
     let draw () =
       let v = Random.State.int rng (n - 1) in
       if v >= self then v + 1 else v
     in
     let a = draw () in
     let b = draw () in
-    if t.(b) > t.(a) then b else a
+    if t.rates.(b) > t.rates.(a) then b else a
+
+  (* Two-choice over [0, n) with no self slot — cross-pool scavengers are
+     never candidate victims of the pool they raid.  [n] may be smaller
+     than capacity (the tracker is grown to the largest sibling seen). *)
+  let pick_foreign t rng ~n =
+    if n <= 1 then 0
+    else begin
+      let a = Random.State.int rng n in
+      let b = Random.State.int rng n in
+      if t.rates.(b) > t.rates.(a) then b else a
+    end
 end
 
 type ctx = {
@@ -65,6 +95,7 @@ let mark ctx kind =
   if ctx.tracing () then ctx.emit kind ~start_us:(Tracing.now_us ()) ~dur_us:0.
 
 type stats = {
+  tasks_run : int;
   steals : int;
   failed_steals : int;
   steals_batched : int;
@@ -76,7 +107,72 @@ type stats = {
   max_deques_per_worker : int;
   io_pending : int;
   conns_shed : int;
+  scavenge_steals : int;
+  tasks_scavenged : int;
+  tasks_donated : int;
 }
+
+(* A pool's stealable surface, as seen by a sibling pool's idle workers.
+   Deliberately first-class (a plain record, not a functor output) so a
+   pool built from one policy can scavenge a pool built from another —
+   the thief only ever sees portable thunks through [sink].  [src_steal]
+   returns how many tasks it delivered; tasks that cannot run outside
+   their home pool (captured continuations, internal batch re-injections)
+   are never exported. *)
+type scavenge_source = {
+  src_name : string;  (* registry name of the donor pool *)
+  src_workers : unit -> int;  (* victim slots to track *)
+  src_steal :
+    rng:Random.State.t ->
+    tracker:Victim_stats.t ->
+    mode:steal_mode ->
+    sink:((unit -> unit) -> unit) ->
+    int;
+  src_donated : int Atomic.t;  (* total tasks this pool gave away *)
+}
+
+(* Process-level registry of live engine instances, so topologies,
+   diagnostics and CLIs can enumerate every pool in the process.  CAS on
+   an immutable list: registration is rare (pool create/shutdown). *)
+type registry_entry = {
+  reg_id : int;
+  reg_name : string;
+  reg_label : string;  (* policy label, e.g. "Lhws_pool" *)
+  reg_workers : int;
+  reg_stats : unit -> stats;
+}
+
+module Registry = struct
+  let next_id = Atomic.make 0
+  let table : registry_entry list Atomic.t = Atomic.make []
+
+  let register ?name ~label ~workers ~stats () =
+    let id = Atomic.fetch_and_add next_id 1 in
+    let name =
+      match name with Some n -> n | None -> label ^ "-" ^ string_of_int id
+    in
+    let e =
+      { reg_id = id; reg_name = name; reg_label = label; reg_workers = workers;
+        reg_stats = stats }
+    in
+    let rec push () =
+      let old = Atomic.get table in
+      if not (Atomic.compare_and_set table old (e :: old)) then push ()
+    in
+    push ();
+    e
+
+  let unregister e =
+    let rec remove () =
+      let old = Atomic.get table in
+      let trimmed = List.filter (fun x -> x.reg_id <> e.reg_id) old in
+      if not (Atomic.compare_and_set table old trimmed) then remove ()
+    in
+    remove ()
+
+  let entries () = List.rev (Atomic.get table)
+  let find name = List.find_opt (fun e -> e.reg_name = name) (entries ())
+end
 
 module type POLICY = sig
   val label : string
@@ -96,8 +192,20 @@ module type POLICY = sig
   val drain : pool -> wstate -> unit
   val next : pool -> wstate -> task option
   val exec : pool -> wstate -> task -> unit
-  val inject : pool -> wstate -> (unit -> unit) -> unit
+  val inject : pool -> wstate -> pinned:bool -> (unit -> unit) -> unit
   val deques_allocated : pool -> int
+
+  val export_steal :
+    pool ->
+    rng:Random.State.t ->
+    tracker:Victim_stats.t ->
+    mode:steal_mode ->
+    sink:((unit -> unit) -> unit) ->
+    int
+  (* One cross-pool steal attempt against this pool: pick a victim via
+     [tracker], steal per [mode], deliver only pool-portable thunks to
+     [sink] and return how many were delivered.  Non-portable loot must
+     be requeued locally, not dropped. *)
 end
 
 type poller = {
@@ -119,6 +227,18 @@ module Make (P : POLICY) = struct
     stop : bool Atomic.t;
     mutable domains : unit Domain.t array;
     mutable running : bool;
+    (* External submission: per-worker Treiber-stack inboxes drained by the
+       owning worker at the top of its scheduling loop, so [submit] is safe
+       from any thread (including non-workers) and the thunk is pinned to
+       this pool — it can only ever start on one of this pool's workers. *)
+    submits : (unit -> unit) list Atomic.t array;
+    submit_rr : int Atomic.t;
+    (* Cross-pool scavenging: when set, idle workers raid the sibling after
+       local steals fail and before climbing the deep-backoff ladder. *)
+    scavenge : (scavenge_source * steal_mode) option Atomic.t;
+    scav_trackers : Victim_stats.t array;  (* per-worker EWMA over sibling slots *)
+    donated : int Atomic.t;  (* tasks exported from this pool via scavenging *)
+    entry : registry_entry;
   }
 
   (* The worker currently executing on this domain; read by effect handlers,
@@ -155,6 +275,43 @@ module Make (P : POLICY) = struct
               ignore (Timer.poll t.timer : int);
             List.iter (fun p -> ignore (p.poll_fn () : int)) t.pollers)
 
+  (* Move externally submitted thunks into the worker's local queue.
+     Exchange empties the Treiber stack in one atomic op; the reverse
+     restores submission order. *)
+  let drain_submits t ctx w =
+    let inbox = t.submits.(ctx.wid) in
+    if Atomic.get inbox != [] then
+      List.iter
+        (fun f -> P.inject t.pool w ~pinned:false f)
+        (List.rev (Atomic.exchange inbox []))
+
+  (* One cross-pool steal attempt.  The loot arrives through [P.inject] on
+     this worker, becoming native local tasks of the thief's pool — so a
+     scavenged thunk's children, suspensions and resumes all live here. *)
+  let try_scavenge t ctx w =
+    match Atomic.get t.scavenge with
+    | None -> false
+    | Some (src, mode) ->
+        let tracker = t.scav_trackers.(ctx.wid) in
+        Victim_stats.ensure_capacity tracker (src.src_workers ());
+        let got =
+          src.src_steal ~rng:ctx.rng ~tracker ~mode
+            ~sink:(fun f -> P.inject t.pool w ~pinned:false f)
+        in
+        if got > 0 then begin
+          ctx.counters.scavenge_steals <- ctx.counters.scavenge_steals + 1;
+          ctx.counters.tasks_scavenged <- ctx.counters.tasks_scavenged + got;
+          ignore (Atomic.fetch_and_add src.src_donated got : int);
+          mark ctx Tracing.Scavenge;
+          true
+        end
+        else false
+
+  (* Idle iterations of pure local spinning before an idle worker starts
+     raiding its scavenge sibling: local steals get first refusal, and the
+     first raid lands before the backoff ladder (spins >= 16) starts. *)
+  let scavenge_after_spins = 8
+
   (* The engine's inner loop: pump event sources, re-inject resumed work,
      pick a task, run it (traced), back off when idle.  Reentrant — a
      blocking join may call [help] from inside a running task. *)
@@ -164,9 +321,11 @@ module Make (P : POLICY) = struct
       if Atomic.get t.stop || until () then ()
       else begin
         pump t;
+        drain_submits t ctx w;
         P.drain t.pool w;
         match P.next t.pool w with
         | Some task ->
+            ctx.counters.tasks_run <- ctx.counters.tasks_run + 1;
             (match !(t.tracer) with
             | None -> P.exec t.pool w task
             | Some tr ->
@@ -174,6 +333,8 @@ module Make (P : POLICY) = struct
                 P.exec t.pool w task;
                 Tracing.record tr ~worker:ctx.wid Tracing.Task_run ~start_us
                   ~dur_us:(Tracing.now_us () -. start_us));
+            loop 0
+        | None when idle_spins >= scavenge_after_spins && try_scavenge t ctx w ->
             loop 0
         | None ->
             (* Nothing runnable: spin briefly, then back off exponentially
@@ -221,7 +382,36 @@ module Make (P : POLICY) = struct
     dls := Some (t.ctxs.(wid), P.worker t.pool wid);
     Fun.protect ~finally:(fun () -> dls := saved) (fun () -> help t ~until)
 
-  let create ?(workers = 2) ?(config = P.default_config) () =
+  let stats t =
+    let sum f = Array.fold_left (fun acc c -> acc + f c.counters) 0 t.ctxs in
+    let hist = Array.make steal_hist_buckets 0 in
+    Array.iter
+      (fun c ->
+        Array.iteri (fun i v -> hist.(i) <- hist.(i) + v) c.counters.steal_hist)
+      t.ctxs;
+    {
+      tasks_run = sum (fun c -> c.tasks_run);
+      steals = sum (fun c -> c.steals);
+      failed_steals = sum (fun c -> c.failed_steals);
+      steals_batched = sum (fun c -> c.steals_batched);
+      tasks_stolen = sum (fun c -> c.tasks_stolen);
+      tasks_per_steal_hist = hist;
+      deques_allocated = P.deques_allocated t.pool;
+      suspensions = sum (fun c -> c.suspensions);
+      resumes = sum (fun c -> c.resumes);
+      max_deques_per_worker =
+        Array.fold_left (fun acc c -> max acc c.counters.max_owned) 0 t.ctxs;
+      io_pending =
+        List.fold_left
+          (fun acc p -> match p.pending_fn with Some f -> acc + f () | None -> acc)
+          0 t.pollers;
+      conns_shed = List.fold_left (fun acc f -> acc + f ()) 0 (Atomic.get t.shed_fns);
+      scavenge_steals = sum (fun c -> c.scavenge_steals);
+      tasks_scavenged = sum (fun c -> c.tasks_scavenged);
+      tasks_donated = Atomic.get t.donated;
+    }
+
+  let create ?name ?(workers = 2) ?(config = P.default_config) () =
     if workers < 1 then invalid_arg (P.label ^ ".create: workers must be >= 1");
     let tracer = ref None in
     let ctxs =
@@ -231,6 +421,7 @@ module Make (P : POLICY) = struct
             rng = Random.State.make [| P.rng_salt; wid |];
             counters =
               {
+                tasks_run = 0;
                 steals = 0;
                 failed_steals = 0;
                 steals_batched = 0;
@@ -239,6 +430,8 @@ module Make (P : POLICY) = struct
                 suspensions = 0;
                 resumes = 0;
                 max_owned = 0;
+                scavenge_steals = 0;
+                tasks_scavenged = 0;
               };
             emit =
               (fun kind ~start_us ~dur_us ->
@@ -247,6 +440,13 @@ module Make (P : POLICY) = struct
                 | None -> ());
             tracing = (fun () -> !tracer <> None);
           })
+    in
+    (* The registry entry needs the stats closure, which needs [t]; tie the
+       knot through a forward ref. *)
+    let stats_fwd = ref (fun () -> failwith "stats before init") in
+    let entry =
+      Registry.register ?name ~label:P.label ~workers
+        ~stats:(fun () -> !stats_fwd ()) ()
     in
     let t =
       {
@@ -260,8 +460,15 @@ module Make (P : POLICY) = struct
         stop = Atomic.make false;
         domains = [||];
         running = false;
+        submits = Array.init workers (fun _ -> Atomic.make []);
+        submit_rr = Atomic.make 0;
+        scavenge = Atomic.make None;
+        scav_trackers = Array.init workers (fun _ -> Victim_stats.create ~victims:1);
+        donated = Atomic.make 0;
+        entry;
       }
     in
+    stats_fwd := (fun () -> stats t);
     t.domains <-
       Array.init (workers - 1) (fun i ->
           Domain.spawn (fun () -> worker_loop t (i + 1) ~until:(fun () -> false)));
@@ -270,10 +477,11 @@ module Make (P : POLICY) = struct
   let shutdown t =
     Atomic.set t.stop true;
     Array.iter Domain.join t.domains;
-    t.domains <- [||]
+    t.domains <- [||];
+    Registry.unregister t.entry
 
-  let with_pool ?workers ?config f =
-    let t = create ?workers ?config () in
+  let with_pool ?name ?workers ?config f =
+    let t = create ?name ?workers ?config () in
     Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
   let run t f =
@@ -284,7 +492,10 @@ module Make (P : POLICY) = struct
       ~finally:(fun () -> t.running <- false)
       (fun () ->
         let p = Promise.create () in
-        P.inject t.pool (P.worker t.pool 0)
+        (* Pinned: a scavenging sibling must never steal the root task —
+           the caller joins on its completion, and a root carried into a
+           pool that shuts down first can never fulfill [p]. *)
+        P.inject t.pool (P.worker t.pool 0) ~pinned:true
           (fun () -> Promise.fulfill p (try Ok (f ()) with e -> Error e));
         worker_loop t 0 ~until:(fun () -> Promise.is_resolved p);
         Promise.get_exn p)
@@ -303,28 +514,38 @@ module Make (P : POLICY) = struct
     in
     push ()
 
-  let stats t =
-    let sum f = Array.fold_left (fun acc c -> acc + f c.counters) 0 t.ctxs in
-    let hist = Array.make steal_hist_buckets 0 in
-    Array.iter
-      (fun c ->
-        Array.iteri (fun i v -> hist.(i) <- hist.(i) + v) c.counters.steal_hist)
-      t.ctxs;
+  let name t = t.entry.reg_name
+  let registry_entry t = t.entry
+
+  (* Pool-pinned submission: the thunk lands in one worker's inbox (round
+     robin) and can only ever start on this pool.  Safe from any thread.
+     A sleeping worker picks its inbox up at its next poll — worst case
+     the idle-backoff cap (see [help]); submitters needing lower cold-start
+     latency should keep the pool warm. *)
+  let submit t f =
+    if Atomic.get t.stop then invalid_arg (P.label ^ ".submit: pool is shut down");
+    let wid = Atomic.fetch_and_add t.submit_rr 1 mod Array.length t.submits in
+    let inbox = t.submits.(wid) in
+    let rec push () =
+      let old = Atomic.get inbox in
+      if not (Atomic.compare_and_set inbox old (f :: old)) then push ()
+    in
+    push ()
+
+  let scavenge_source t =
     {
-      steals = sum (fun c -> c.steals);
-      failed_steals = sum (fun c -> c.failed_steals);
-      steals_batched = sum (fun c -> c.steals_batched);
-      tasks_stolen = sum (fun c -> c.tasks_stolen);
-      tasks_per_steal_hist = hist;
-      deques_allocated = P.deques_allocated t.pool;
-      suspensions = sum (fun c -> c.suspensions);
-      resumes = sum (fun c -> c.resumes);
-      max_deques_per_worker =
-        Array.fold_left (fun acc c -> max acc c.counters.max_owned) 0 t.ctxs;
-      io_pending =
-        List.fold_left
-          (fun acc p -> match p.pending_fn with Some f -> acc + f () | None -> acc)
-          0 t.pollers;
-      conns_shed = List.fold_left (fun acc f -> acc + f ()) 0 (Atomic.get t.shed_fns);
+      src_name = t.entry.reg_name;
+      src_workers = (fun () -> Array.length t.ctxs);
+      src_steal =
+        (fun ~rng ~tracker ~mode ~sink ->
+          P.export_steal t.pool ~rng ~tracker ~mode ~sink);
+      src_donated = t.donated;
     }
+
+  let set_scavenge t ?(mode = Steal_one) src =
+    if src.src_donated == t.donated then
+      invalid_arg (P.label ^ ".set_scavenge: a pool cannot scavenge itself");
+    Atomic.set t.scavenge (Some (src, mode))
+
+  let clear_scavenge t = Atomic.set t.scavenge None
 end

@@ -36,6 +36,7 @@ val steal_hist_buckets : int
     absorbing everything larger. *)
 
 type counters = {
+  mutable tasks_run : int;  (** tasks executed by this worker's loop *)
   mutable steals : int;  (** successful steals landed by this worker *)
   mutable failed_steals : int;  (** steal attempts that found no task *)
   mutable steals_batched : int;
@@ -45,6 +46,10 @@ type counters = {
   mutable suspensions : int;  (** fibers suspended on this worker *)
   mutable resumes : int;  (** resumed continuations re-injected by this worker *)
   mutable max_owned : int;  (** high-water mark of live deques owned at once *)
+  mutable scavenge_steals : int;
+      (** successful cross-pool steals landed by this worker *)
+  mutable tasks_scavenged : int;
+      (** tasks acquired from sibling pools across all scavenge steals *)
 }
 
 val count_steal : counters -> tasks:int -> unit
@@ -62,14 +67,33 @@ module Victim_stats : sig
   val create : victims:int -> t
   (** All rates start at 0.5 (uninformative prior). *)
 
+  val capacity : t -> int
+  (** Victim slots currently tracked. *)
+
+  val ensure_capacity : t -> int -> unit
+  (** Grow the tracker to at least [n] slots (no-op when already large
+      enough); new slots start at the 0.5 prior, existing rates are kept.
+      Owner-only, like {!record} — a thief resizes its own tracker, e.g.
+      when pointed at a sibling pool with more workers than it was
+      created for. *)
+
   val record : t -> int -> hit:bool -> unit
   (** Fold one steal outcome against victim [v] into its EWMA
       (smoothing factor 1/8). *)
+
+  val rate : t -> int -> float
+  (** Current EWMA estimate for victim [v]. *)
 
   val pick : t -> Random.State.t -> self:int -> int
   (** Power-of-two-choices: draw two uniform candidates excluding
       [self], return the one with the better observed hit rate.
       Requires at least two workers. *)
+
+  val pick_foreign : t -> Random.State.t -> n:int -> int
+  (** Power-of-two-choices over victims [0 .. n-1] with no self
+      exclusion — for cross-pool scavenging, where the thief is not a
+      candidate.  [n] may be smaller than {!capacity}; requires
+      [n >= 1] (returns 0 when [n = 1]). *)
 end
 
 type ctx = {
@@ -93,6 +117,9 @@ val mark : ctx -> Tracing.kind -> unit
     [max_deques_per_worker] is 1 and [suspensions]/[resumes] are 0. *)
 
 type stats = {
+  tasks_run : int;
+      (** tasks executed by this pool's scheduling loops (fresh fibers,
+          resumed continuations and scavenged loot alike) *)
   steals : int;
   failed_steals : int;
   steals_batched : int;
@@ -116,7 +143,82 @@ type stats = {
       (** connections rejected fast by overload shedding in serving
           layers running on this pool (see [register_shed_counter]);
           0 when nothing registered one *)
+  scavenge_steals : int;
+      (** successful cross-pool steals this pool's workers landed against
+          their scavenge sibling (0 unless [set_scavenge] was called) *)
+  tasks_scavenged : int;
+      (** total tasks this pool acquired from its scavenge sibling; each
+          scavenged task is counted exactly once, by the thief pool *)
+  tasks_donated : int;
+      (** total tasks sibling pools took {e from} this pool via
+          scavenging; across a topology,
+          sum of [tasks_scavenged] = sum of [tasks_donated] *)
 }
+
+(** {1 Cross-pool scavenging}
+
+    A pool may designate one sibling to raid when idle: after local
+    steals fail and before a worker climbs the deep-backoff ladder, it
+    attempts one steal against the sibling through the sibling's
+    {!scavenge_source}.  Only {e pool-portable} thunks cross — fresh,
+    not-yet-started tasks; captured continuations and policy-internal
+    re-injections stay home (their effect handlers and worker state are
+    bound to the donor pool).  Loot is injected into the thief's own
+    queues and becomes native work there: its children, suspensions and
+    resumes all live in the thief pool.  Off by default; enabling it is
+    a topology decision, not a policy one. *)
+
+type scavenge_source = {
+  src_name : string;  (** registry name of the donor pool *)
+  src_workers : unit -> int;
+      (** victim slots a thief should track (the donor's worker count) *)
+  src_steal :
+    rng:Random.State.t ->
+    tracker:Victim_stats.t ->
+    mode:steal_mode ->
+    sink:((unit -> unit) -> unit) ->
+    int;
+      (** one steal attempt: pick a victim via [tracker], deliver portable
+          thunks to [sink], return how many were delivered *)
+  src_donated : int Atomic.t;
+      (** total tasks this donor has given away (feeds [tasks_donated]) *)
+}
+
+(** {1 Process-level registry}
+
+    Every live engine instance registers here at [create] and leaves at
+    [shutdown], so topologies, CLIs and diagnostics can enumerate all
+    pools in the process.  Names are caller-chosen (default
+    ["<label>-<id>"]) and looked up first-registered-first. *)
+
+type registry_entry = {
+  reg_id : int;  (** unique per process, monotonically assigned *)
+  reg_name : string;
+  reg_label : string;  (** policy label, e.g. ["Lhws_pool"] *)
+  reg_workers : int;
+  reg_stats : unit -> stats;
+}
+
+module Registry : sig
+  val register :
+    ?name:string ->
+    label:string ->
+    workers:int ->
+    stats:(unit -> stats) ->
+    unit ->
+    registry_entry
+  (** Used by {!Make.create}; exposed so pool implementations that do not
+      go through {!Make} (e.g. a thread-per-task pool) can still appear
+      in the registry.  Thread-safe. *)
+
+  val unregister : registry_entry -> unit
+
+  val entries : unit -> registry_entry list
+  (** Live pools, in registration order. *)
+
+  val find : string -> registry_entry option
+  (** First live pool registered under this name. *)
+end
 
 (** {1 Scheduling policies} *)
 
@@ -180,12 +282,36 @@ module type POLICY = sig
   (** Run one task to completion or suspension (installing effect
       handlers as needed). *)
 
-  val inject : pool -> wstate -> (unit -> unit) -> unit
-  (** Push a root thunk onto the given worker's local queue; used to
-      bootstrap {!Make.run}. *)
+  val inject : pool -> wstate -> pinned:bool -> (unit -> unit) -> unit
+  (** Push a thunk onto the given worker's local queue.  Always called
+      from the worker's own thread (bootstrap in {!Make.run}, submit
+      drain, scavenged-loot delivery).  [pinned] marks a thunk that must
+      never be exported by {!export_steal}: the engine pins its [run]
+      root task so a scavenging sibling cannot carry a pool's main fiber
+      away — the root's completion is what [run]'s caller joins on, so
+      exporting it deadlocks teardown if the thief dies first. *)
 
   val deques_allocated : pool -> int
   (** Lifetime deque allocations, for {!stats}. *)
+
+  val export_steal :
+    pool ->
+    rng:Random.State.t ->
+    tracker:Victim_stats.t ->
+    mode:steal_mode ->
+    sink:((unit -> unit) -> unit) ->
+    int
+  (** One cross-pool steal attempt {e against} this pool, run on a
+      foreign thread (a sibling pool's worker): pick a victim with
+      {!Victim_stats.pick_foreign} on [tracker] (already grown to this
+      pool's worker count), steal per [mode] using the policy's normal
+      thief-side machinery, deliver only pool-portable thunks to [sink]
+      and return how many were delivered.  Loot that cannot run outside
+      this pool (captured continuations, policy-internal re-injections)
+      must be requeued locally, never dropped or exported.  The caller
+      records hit/miss bookkeeping against its own counters; this
+      function must not touch the victim pool's [ctx.counters] (it is
+      not running on one of its workers). *)
 end
 
 (** {1 The engine} *)
@@ -193,10 +319,12 @@ end
 module Make (P : POLICY) : sig
   type t
 
-  val create : ?workers:int -> ?config:P.config -> unit -> t
+  val create : ?name:string -> ?workers:int -> ?config:P.config -> unit -> t
   (** Spawns [workers - 1] extra domains (default 2 workers); the
       calling domain becomes worker 0 while inside {!run}.  This is the
-      only place in the runtime that spawns domains. *)
+      only place in the runtime that spawns domains.  The instance is
+      registered in {!Registry} under [name] (default
+      ["<label>-<id>"]) until {!shutdown}. *)
 
   val run : t -> (unit -> 'a) -> 'a
   (** Injects the thunk as the root task on worker 0 and participates
@@ -207,7 +335,8 @@ module Make (P : POLICY) : sig
   (** Stops and joins the worker domains.  Idempotent; the pool cannot
       be reused afterwards. *)
 
-  val with_pool : ?workers:int -> ?config:P.config -> (t -> 'a) -> 'a
+  val with_pool :
+    ?name:string -> ?workers:int -> ?config:P.config -> (t -> 'a) -> 'a
 
   val help : t -> until:(unit -> bool) -> unit
   (** Runs the scheduling loop on the calling worker until the predicate
@@ -236,4 +365,30 @@ module Make (P : POLICY) : sig
       listeners register from within running tasks. *)
 
   val stats : t -> stats
+
+  val name : t -> string
+  (** The registry name this instance was created under. *)
+
+  val registry_entry : t -> registry_entry
+
+  val submit : t -> (unit -> unit) -> unit
+  (** Pool-pinned external submission: the thunk lands in one worker's
+      inbox (round robin over workers) and is guaranteed to start on a
+      worker of {e this} pool.  Safe from any thread, including
+      non-workers and other pools' workers.  Latency note: a worker deep
+      in idle backoff picks its inbox up at its next poll — up to the
+      backoff cap (1 ms) after a cold start.
+      @raise Invalid_argument after {!shutdown}. *)
+
+  val scavenge_source : t -> scavenge_source
+  (** This pool's stealable surface, to hand to a sibling's
+      {!set_scavenge}.  Stays valid for the pool's lifetime. *)
+
+  val set_scavenge : t -> ?mode:steal_mode -> scavenge_source -> unit
+  (** Designate a sibling to raid when idle (see the module-level
+      scavenging overview).  [mode] defaults to {!Steal_one}.  May be
+      called while running; takes effect at workers' next idle episode.
+      @raise Invalid_argument when [src] is this pool's own source. *)
+
+  val clear_scavenge : t -> unit
 end

@@ -8,21 +8,77 @@ type t = {
   trace_mu : Mutex.t;  (* Tracing buffers are single-writer; serialize *)
   mutable tracer : Tracing.t option;
   shed_fns : (unit -> int) list Atomic.t;  (* overload-shed counters, see stats *)
+  mutable entry : Scheduler_core.registry_entry option;
 }
 
-let create ?(max_threads = 512) () =
-  if max_threads < 1 then invalid_arg "Threaded_pool.create: max_threads must be >= 1";
+type stats = Scheduler_core.stats = {
+  tasks_run : int;
+  steals : int;
+  failed_steals : int;
+  steals_batched : int;
+  tasks_stolen : int;
+  tasks_per_steal_hist : int array;
+  deques_allocated : int;
+  suspensions : int;
+  resumes : int;
+  max_deques_per_worker : int;
+  io_pending : int;
+  conns_shed : int;
+  scavenge_steals : int;
+  tasks_scavenged : int;
+  tasks_donated : int;
+}
+
+(* No deques, no steals, no suspensions: every scheduler counter is
+   degenerate; [tasks_run] is the threads spawned and the serving-layer
+   shed counter is real. *)
+let stats t =
   {
-    mu = Mutex.create ();
-    retired = Condition.create ();
-    max_threads;
-    live = 0;
-    spawned = 0;
-    peak = 0;
-    trace_mu = Mutex.create ();
-    tracer = None;
-    shed_fns = Atomic.make [];
+    tasks_run =
+      (Mutex.lock t.mu;
+       let n = t.spawned in
+       Mutex.unlock t.mu;
+       n);
+    steals = 0;
+    failed_steals = 0;
+    steals_batched = 0;
+    tasks_stolen = 0;
+    tasks_per_steal_hist = Array.make Scheduler_core.steal_hist_buckets 0;
+    deques_allocated = 0;
+    suspensions = 0;
+    resumes = 0;
+    max_deques_per_worker = 0;
+    io_pending = 0;
+    conns_shed = List.fold_left (fun acc f -> acc + f ()) 0 (Atomic.get t.shed_fns);
+    scavenge_steals = 0;
+    tasks_scavenged = 0;
+    tasks_donated = 0;
   }
+
+let create ?name ?(max_threads = 512) () =
+  if max_threads < 1 then invalid_arg "Threaded_pool.create: max_threads must be >= 1";
+  let t =
+    {
+      mu = Mutex.create ();
+      retired = Condition.create ();
+      max_threads;
+      live = 0;
+      spawned = 0;
+      peak = 0;
+      trace_mu = Mutex.create ();
+      tracer = None;
+      shed_fns = Atomic.make [];
+      entry = None;
+    }
+  in
+  (* [workers] is a capacity here, not a domain count. *)
+  t.entry <-
+    Some
+      (Scheduler_core.Registry.register ?name ~label:"Threaded_pool"
+         ~workers:max_threads
+         ~stats:(fun () -> stats t)
+         ());
+  t
 
 let set_tracer t tracer = t.tracer <- Some tracer
 
@@ -98,11 +154,24 @@ let shutdown t =
   while t.live > 0 do
     Condition.wait t.retired t.mu
   done;
-  Mutex.unlock t.mu
+  Mutex.unlock t.mu;
+  match t.entry with
+  | Some e ->
+      Scheduler_core.Registry.unregister e;
+      t.entry <- None
+  | None -> ()
 
-let with_pool ?max_threads f =
-  let t = create ?max_threads () in
+let with_pool ?name ?max_threads f =
+  let t = create ?name ?max_threads () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let name t =
+  match t.entry with
+  | Some e -> e.Scheduler_core.reg_name
+  | None -> "Threaded_pool (shut down)"
+
+(* Pool-pinned trivially: every task is its own thread of this pool. *)
+let submit t f = ignore (async t f : unit Promise.t)
 
 let fork2 t f g =
   let pg = async t g in
@@ -166,33 +235,3 @@ let peak_threads t =
   Mutex.unlock t.mu;
   n
 
-type stats = Scheduler_core.stats = {
-  steals : int;
-  failed_steals : int;
-  steals_batched : int;
-  tasks_stolen : int;
-  tasks_per_steal_hist : int array;
-  deques_allocated : int;
-  suspensions : int;
-  resumes : int;
-  max_deques_per_worker : int;
-  io_pending : int;
-  conns_shed : int;
-}
-
-(* No deques, no steals, no suspensions: every scheduler counter is
-   degenerate; only the serving-layer shed counter is real. *)
-let stats t =
-  {
-    steals = 0;
-    failed_steals = 0;
-    steals_batched = 0;
-    tasks_stolen = 0;
-    tasks_per_steal_hist = Array.make Scheduler_core.steal_hist_buckets 0;
-    deques_allocated = 0;
-    suspensions = 0;
-    resumes = 0;
-    max_deques_per_worker = 0;
-    io_pending = 0;
-    conns_shed = List.fold_left (fun acc f -> acc + f ()) 0 (Atomic.get t.shed_fns);
-  }

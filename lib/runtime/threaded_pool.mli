@@ -12,8 +12,10 @@
 
 type t
 
-val create : ?max_threads:int -> unit -> t
-(** Default [max_threads] = 512. *)
+val create : ?name:string -> ?max_threads:int -> unit -> t
+(** Default [max_threads] = 512.  The instance registers in
+    {!Scheduler_core.Registry} under [name] (with [max_threads] as its
+    worker capacity) until {!shutdown}. *)
 
 val run : t -> (unit -> 'a) -> 'a
 (** Runs on the calling thread ([async] from within is fine). *)
@@ -21,7 +23,15 @@ val run : t -> (unit -> 'a) -> 'a
 val shutdown : t -> unit
 (** Waits for all spawned threads to retire. *)
 
-val with_pool : ?max_threads:int -> (t -> 'a) -> 'a
+val with_pool : ?name:string -> ?max_threads:int -> (t -> 'a) -> 'a
+
+val name : t -> string
+(** The {!Scheduler_core.Registry} name this pool was created under. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Pool-pinned external submission: spawns a thread for the thunk,
+    like {!async}, discarding the promise.  Safe from any thread (blocks
+    while at [max_threads], as [async] does). *)
 
 val set_tracer : t -> Tracing.t -> unit
 (** Records task runs and blocking sleeps into the tracer from now on.
@@ -64,10 +74,12 @@ val peak_threads : t -> int
 (** Maximum simultaneously live threads. *)
 
 (** The unified stats record shared by every pool; a thread-per-task pool
-    has no deques, steals or suspensions, so every counter is zero.  Use
+    has no deques, steals or suspensions, so the scheduler counters are
+    zero ([tasks_run] reports {!threads_spawned}).  Use
     {!threads_spawned} / {!peak_threads} for this pool's real costs. *)
 
 type stats = Scheduler_core.stats = {
+  tasks_run : int;
   steals : int;
   failed_steals : int;
   steals_batched : int;
@@ -79,6 +91,9 @@ type stats = Scheduler_core.stats = {
   max_deques_per_worker : int;
   io_pending : int;
   conns_shed : int;
+  scavenge_steals : int;
+  tasks_scavenged : int;
+  tasks_donated : int;
 }
 
 val stats : t -> stats

@@ -1,10 +1,11 @@
-type kind = Task_run | Suspend | Resume_batch | Steal | Blocked
+type kind = Task_run | Suspend | Resume_batch | Steal | Scavenge | Blocked
 
 let kind_name = function
   | Task_run -> "task"
   | Suspend -> "suspend"
   | Resume_batch -> "resume-batch"
   | Steal -> "steal"
+  | Scavenge -> "scavenge"
   | Blocked -> "blocked"
 
 type event = { worker : int; kind : kind; start_us : float; dur_us : float }

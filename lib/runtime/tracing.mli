@@ -12,6 +12,7 @@ type kind =
   | Suspend  (** a fiber suspended on this worker *)
   | Resume_batch  (** a batch of resumed fibers was re-injected *)
   | Steal  (** a successful steal landed on this worker *)
+  | Scavenge  (** a successful cross-pool steal landed on this worker *)
   | Blocked  (** the worker blocked for the event's duration (e.g. a blocking sleep) *)
 
 val kind_name : kind -> string

@@ -5,6 +5,10 @@ type wrec = {
   ctx : Core.ctx;
   q : (unit -> unit) Chase_lev.t;
   victims : Core.Victim_stats.t;  (* EWMA steal hit rate per victim, thief-local *)
+  (* Owner-only stash for pinned injections (the [run] root task): kept
+     out of [q] so neither local thieves nor cross-pool scavengers can
+     export it.  Only touched from the owner's thread. *)
+  mutable pinned : (unit -> unit) list;
 }
 
 type pstate = { slots : wrec array; steal_mode : Core.steal_mode }
@@ -21,6 +25,16 @@ let try_steal p w =
   if n = 1 then None
   else begin
     let vid = Core.Victim_stats.pick w.victims w.ctx.rng ~self:w.ctx.wid in
+    if vid >= n then begin
+      (* [w] can belong to a different (larger) pool than [p]: a blocking
+         [await] inside a scavenged task helps against its home pool with
+         the thief pool's worker state, whose tracker covers more victim
+         slots than [p] has.  Treat an out-of-range draw as a miss. *)
+      w.ctx.counters.failed_steals <- w.ctx.counters.failed_steals + 1;
+      Core.Victim_stats.record w.victims vid ~hit:false;
+      None
+    end
+    else begin
     let stolen =
       match p.steal_mode with
       | Core.Steal_one -> (
@@ -47,7 +61,32 @@ let try_steal p w =
         w.ctx.counters.failed_steals <- w.ctx.counters.failed_steals + 1;
         Core.Victim_stats.record w.victims vid ~hit:false;
         None
+    end
   end
+
+(* One cross-pool steal attempt against this pool, run by a sibling
+   pool's idle worker.  Every task here is a plain thunk, so under
+   [Steal_half] the whole batch is exported to [sink] (there is no
+   thief-local deque to park surplus in — the sink injects each task into
+   the thief pool's own queues).  Caveat: a thunk that uses this pool's
+   fiber operations ([await]/[fork2] capture the pool handle) is only
+   safe to scavenge into another [Ws_pool]; leaf thunks are safe
+   anywhere. *)
+let export_steal p ~rng ~tracker ~mode ~sink =
+  let n = Array.length p.slots in
+  let vid = Core.Victim_stats.pick_foreign tracker rng ~n in
+  let got =
+    match mode with
+    | Core.Steal_one -> (
+        match Chase_lev.steal p.slots.(vid).q with
+        | Some task ->
+            sink task;
+            1
+        | None -> 0)
+    | Core.Steal_half -> Chase_lev.steal_half p.slots.(vid).q sink
+  in
+  Core.Victim_stats.record tracker vid ~hit:(got > 0);
+  got
 
 (* --- the policy: one deque per worker, tasks run to completion --- *)
 
@@ -70,7 +109,12 @@ module Policy = struct
         Array.map
           (fun (ctx : Core.ctx) ->
             ctx.counters.max_owned <- 1;
-            { ctx; q = Chase_lev.create (); victims = Core.Victim_stats.create ~victims })
+            {
+              ctx;
+              q = Chase_lev.create ();
+              victims = Core.Victim_stats.create ~victims;
+              pinned = [];
+            })
           ctxs;
       steal_mode;
     }
@@ -80,26 +124,45 @@ module Policy = struct
   let drain _ _ = ()
 
   let next p w =
-    match Chase_lev.pop_bottom w.q with Some task -> Some task | None -> try_steal p w
+    match w.pinned with
+    | task :: rest ->
+        w.pinned <- rest;
+        Some task
+    | [] -> (
+        match Chase_lev.pop_bottom w.q with
+        | Some task -> Some task
+        | None -> try_steal p w)
 
   let exec _ _ task = task ()
-  let inject _ w thunk = Chase_lev.push_bottom w.q thunk
+
+  let inject _ w ~pinned thunk =
+    if pinned then w.pinned <- w.pinned @ [ thunk ]
+    else Chase_lev.push_bottom w.q thunk
   let deques_allocated p = Array.length p.slots
+  let export_steal = export_steal
 end
 
 module C = Core.Make (Policy)
 
 type t = C.t
 
-let create ?workers ?steal_mode () = C.create ?workers ?config:steal_mode ()
+let create ?name ?workers ?steal_mode () =
+  C.create ?name ?workers ?config:steal_mode ()
+
 let run = C.run
 let shutdown = C.shutdown
 
-let with_pool ?workers ?steal_mode f = C.with_pool ?workers ?config:steal_mode f
+let with_pool ?name ?workers ?steal_mode f =
+  C.with_pool ?name ?workers ?config:steal_mode f
 
 let set_tracer = C.set_tracer
 let register_poller = C.register_poller
 let register_shed_counter = C.register_shed_counter
+let name = C.name
+let submit = C.submit
+let scavenge_source = C.scavenge_source
+let set_scavenge = C.set_scavenge
+let clear_scavenge = C.clear_scavenge
 
 let async _t f =
   let p = Promise.create () in
@@ -159,6 +222,7 @@ let rec parallel_map_reduce t ~lo ~hi ~map ~combine ~id =
     combine a b
 
 type stats = Scheduler_core.stats = {
+  tasks_run : int;
   steals : int;
   failed_steals : int;
   steals_batched : int;
@@ -170,6 +234,9 @@ type stats = Scheduler_core.stats = {
   max_deques_per_worker : int;
   io_pending : int;
   conns_shed : int;
+  scavenge_steals : int;
+  tasks_scavenged : int;
+  tasks_donated : int;
 }
 
 let stats = C.stats

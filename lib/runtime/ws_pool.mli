@@ -13,15 +13,43 @@
 
 type t
 
-val create : ?workers:int -> ?steal_mode:Scheduler_core.steal_mode -> unit -> t
+val create :
+  ?name:string -> ?workers:int -> ?steal_mode:Scheduler_core.steal_mode -> unit -> t
 (** [steal_mode] (default {!Scheduler_core.Steal_one}) selects classical
     one-task stealing or batched steal-half; under steal-half, surplus
     stolen tasks land in the thief's own deque.  Victim selection is
-    EWMA-biased in both modes (see {!Scheduler_core.Victim_stats}). *)
+    EWMA-biased in both modes (see {!Scheduler_core.Victim_stats}).
+    The instance registers in {!Scheduler_core.Registry} under [name]
+    until {!shutdown}. *)
 
 val run : t -> (unit -> 'a) -> 'a
 val shutdown : t -> unit
-val with_pool : ?workers:int -> ?steal_mode:Scheduler_core.steal_mode -> (t -> 'a) -> 'a
+
+val with_pool :
+  ?name:string ->
+  ?workers:int ->
+  ?steal_mode:Scheduler_core.steal_mode ->
+  (t -> 'a) ->
+  'a
+
+val name : t -> string
+(** The {!Scheduler_core.Registry} name this pool was created under. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Pool-pinned external submission; see {!Lhws_pool.submit}. *)
+
+val scavenge_source : t -> Scheduler_core.scavenge_source
+(** This pool's stealable surface.  Caveat: a task that uses this pool's
+    fiber operations ([await]/[fork2] capture the pool handle) is only
+    safe to scavenge into another [Ws_pool]; leaf thunks are safe in any
+    sibling. *)
+
+val set_scavenge :
+  t -> ?mode:Scheduler_core.steal_mode -> Scheduler_core.scavenge_source -> unit
+(** Designate a sibling to raid when this pool's workers idle.
+    @raise Invalid_argument when handed this pool's own source. *)
+
+val clear_scavenge : t -> unit
 
 val set_tracer : t -> Tracing.t -> unit
 (** Records worker events (task runs, steals, blocking sleeps) into the
@@ -63,6 +91,7 @@ val parallel_map_reduce :
     [suspensions] = [resumes] = 0). *)
 
 type stats = Scheduler_core.stats = {
+  tasks_run : int;
   steals : int;
   failed_steals : int;
   steals_batched : int;
@@ -74,6 +103,9 @@ type stats = Scheduler_core.stats = {
   max_deques_per_worker : int;
   io_pending : int;
   conns_shed : int;
+  scavenge_steals : int;
+  tasks_scavenged : int;
+  tasks_donated : int;
 }
 
 val stats : t -> stats

@@ -2,7 +2,7 @@ module type POOL = sig
   type t
 
   val name : string
-  val create : ?workers:int -> unit -> t
+  val create : ?name:string -> ?workers:int -> unit -> t
   val shutdown : t -> unit
   val run : t -> (unit -> 'a) -> 'a
   val async : t -> (unit -> 'a) -> 'a Lhws_runtime.Promise.t
@@ -17,6 +17,16 @@ module type POOL = sig
   val stats : t -> Lhws_runtime.Scheduler_core.stats
   val set_tracer : t -> Lhws_runtime.Tracing.t -> unit
   val register_shed_counter : t -> (unit -> int) -> unit
+  val submit : t -> (unit -> unit) -> unit
+
+  val scavenge_source :
+    t -> Lhws_runtime.Scheduler_core.scavenge_source option
+
+  val set_scavenge :
+    t ->
+    ?mode:Lhws_runtime.Scheduler_core.steal_mode ->
+    Lhws_runtime.Scheduler_core.scavenge_source ->
+    bool
 end
 
 type pool = (module POOL)
@@ -25,18 +35,29 @@ module Lhws_instance = struct
   include Lhws_runtime.Lhws_pool
 
   (* Re-pin optional arguments to the POOL signature. *)
-  let create ?workers () = create ?workers ()
+  let create ?name ?workers () = create ?name ?workers ()
   let name = "lhws"
 
   (* Lhws_pool's await suspends the fiber and needs no pool handle. *)
   let await _t p = await p
+
+  let scavenge_source t = Some (Lhws_runtime.Lhws_pool.scavenge_source t)
+
+  let set_scavenge t ?mode src =
+    Lhws_runtime.Lhws_pool.set_scavenge t ?mode src;
+    true
 end
 
 module Ws_instance = struct
   include Lhws_runtime.Ws_pool
 
-  let create ?workers () = create ?workers ()
+  let create ?name ?workers () = create ?name ?workers ()
   let name = "ws"
+  let scavenge_source t = Some (Lhws_runtime.Ws_pool.scavenge_source t)
+
+  let set_scavenge t ?mode src =
+    Lhws_runtime.Ws_pool.set_scavenge t ?mode src;
+    true
 end
 
 (* Steal-half variants of the stealing pools, so POOL-generic workloads,
@@ -45,8 +66,8 @@ end
 module Lhws_steal_half_instance = struct
   include Lhws_instance
 
-  let create ?workers () =
-    Lhws_runtime.Lhws_pool.create ?workers
+  let create ?name ?workers () =
+    Lhws_runtime.Lhws_pool.create ?name ?workers
       ~steal_mode:Lhws_runtime.Scheduler_core.Steal_half ()
 
   let name = "lhws-steal-half"
@@ -55,8 +76,8 @@ end
 module Ws_steal_half_instance = struct
   include Ws_instance
 
-  let create ?workers () =
-    Lhws_runtime.Ws_pool.create ?workers
+  let create ?name ?workers () =
+    Lhws_runtime.Ws_pool.create ?name ?workers
       ~steal_mode:Lhws_runtime.Scheduler_core.Steal_half ()
 
   let name = "ws-steal-half"
@@ -67,15 +88,22 @@ module Threaded_instance = struct
 
   (* [workers] bounds concurrency only loosely here: threads are created
      per task, so keep the default generous cap and validate the arity. *)
-  let create ?(workers = 2) () =
+  let create ?name ?(workers = 2) () =
     if workers < 1 then invalid_arg "Threaded_pool.create: workers must be >= 1";
-    create ()
+    create ?name ()
 
   let parallel_for t ~lo ~hi body = parallel_for t ?grain:None ~lo ~hi body
 
   let parallel_map_reduce t ~lo ~hi ~map ~combine ~id =
     parallel_map_reduce t ?grain:None ~lo ~hi ~map ~combine ~id
+
   let name = "threads"
+
+  (* A thread-per-task pool has no queued-but-unstarted work to steal
+     (tasks become threads immediately), and its threads never idle-loop,
+     so it can neither donate nor scavenge. *)
+  let scavenge_source _t = None
+  let set_scavenge _t ?mode:_ _src = false
 end
 
 let lhws : pool = (module Lhws_instance)

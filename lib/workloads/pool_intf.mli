@@ -12,7 +12,11 @@ module type POOL = sig
   type t
 
   val name : string
-  val create : ?workers:int -> unit -> t
+
+  (** [create ?name] registers the instance in
+      {!Lhws_runtime.Scheduler_core.Registry} under [name] (topologies
+      name their member pools through it). *)
+  val create : ?name:string -> ?workers:int -> unit -> t
   val shutdown : t -> unit
   val run : t -> (unit -> 'a) -> 'a
 
@@ -39,6 +43,26 @@ module type POOL = sig
   (** Publishes a monotone counter into the [conns_shed] field of
       {!stats} — serving layers report overload-shed connections through
       this.  Thread-safe; callable from running tasks. *)
+
+  val submit : t -> (unit -> unit) -> unit
+  (** Pool-pinned external submission: the thunk is guaranteed to start
+      on this pool.  Safe from any thread, unlike {!async}. *)
+
+  val scavenge_source :
+    t -> Lhws_runtime.Scheduler_core.scavenge_source option
+  (** The pool's stealable surface, or [None] when it has nothing a
+      sibling could steal (thread-per-task: tasks become threads
+      immediately). *)
+
+  val set_scavenge :
+    t ->
+    ?mode:Lhws_runtime.Scheduler_core.steal_mode ->
+    Lhws_runtime.Scheduler_core.scavenge_source ->
+    bool
+  (** Points this pool's idle workers at a sibling's source; returns
+      [false] when this pool cannot scavenge (thread-per-task: its
+      threads never idle-loop).
+      @raise Invalid_argument when handed the pool's own source. *)
 end
 
 type pool = (module POOL)

@@ -142,6 +142,83 @@ let test_timer_and_io_pollers_coexist () =
           in
           Alcotest.(check int) "both event sources served" 3 result))
 
+let test_deque_table_growth () =
+  (* Regression for the fixed-size global deque table, which used to die
+     with [failwith "deque table overflow"] when allocations outran its
+     slots.  Deque ids are never reused (recycling keeps the id), so the
+     table's high-water mark is lifetime fresh allocations; [Spread]
+     resume placement allocates a fresh deque per suspend/resume round
+     (the pinned home deque is abandoned, the continuation re-enters
+     through a new one), which deterministically pushes a 2-slot table
+     through several doublings.  Every suspension must still resume and
+     the grown table must serve normal compute. *)
+  Pool.with_pool ~workers:1 ~resume_placement:Pool.Spread ~initial_deques:2
+    (fun p ->
+      let rounds = 12 in
+      let hits = ref 0 in
+      Pool.run p (fun () ->
+          for _ = 1 to rounds do
+            Pool.sleep p 0.002;
+            incr hits
+          done);
+      Alcotest.(check int) "every round crossed its suspension" rounds !hits;
+      let st = Pool.stats p in
+      Alcotest.(check bool)
+        (Printf.sprintf "grew past the initial table (%d allocated)"
+           st.Pool.deques_allocated)
+        true
+        (st.Pool.deques_allocated > 2);
+      (* The grown table serves normal compute untouched. *)
+      Alcotest.(check int) "map_reduce after growth" 5050
+        (Pool.run p (fun () ->
+             Pool.parallel_map_reduce p ~lo:1 ~hi:101 ~map:Fun.id ~combine:( + )
+               ~id:0)))
+
+let test_victim_stats_growth () =
+  let module VS = Scheduler_core.Victim_stats in
+  let t = VS.create ~victims:2 in
+  Alcotest.(check int) "initial capacity" 2 (VS.capacity t);
+  VS.record t 0 ~hit:true;
+  VS.record t 0 ~hit:true;
+  VS.record t 1 ~hit:false;
+  let r0 = VS.rate t 0 and r1 = VS.rate t 1 in
+  Alcotest.(check bool) "hits raise the rate" true (r0 > 0.5);
+  Alcotest.(check bool) "misses lower the rate" true (r1 < 0.5);
+  VS.ensure_capacity t 8;
+  Alcotest.(check int) "grown" 8 (VS.capacity t);
+  Alcotest.(check (float 1e-9)) "existing rate kept (hit)" r0 (VS.rate t 0);
+  Alcotest.(check (float 1e-9)) "existing rate kept (miss)" r1 (VS.rate t 1);
+  Alcotest.(check (float 1e-9)) "new slots start at the prior" 0.5 (VS.rate t 5);
+  VS.ensure_capacity t 4;
+  Alcotest.(check int) "never shrinks" 8 (VS.capacity t)
+
+let test_victim_stats_pick_foreign () =
+  let module VS = Scheduler_core.Victim_stats in
+  let t = VS.create ~victims:8 in
+  let rng = Random.State.make [| 42 |] in
+  Alcotest.(check int) "single victim" 0 (VS.pick_foreign t rng ~n:1);
+  (* [n] may trail the tracker's capacity: draws stay inside [0, n). *)
+  for _ = 1 to 200 do
+    let v = VS.pick_foreign t rng ~n:3 in
+    if v < 0 || v >= 3 then Alcotest.failf "draw %d out of range" v
+  done;
+  (* Two-choice bias: with one clearly hot slot, most draws find it. *)
+  for v = 0 to 2 do
+    for _ = 1 to 20 do
+      VS.record t v ~hit:(v = 2)
+    done
+  done;
+  let hot = ref 0 in
+  for _ = 1 to 200 do
+    if VS.pick_foreign t rng ~n:3 = 2 then incr hot
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "hot victim favoured (%d/200)" !hot)
+    (* Two-choice sampling over 3 slots draws the hot slot with
+       probability 1 - (2/3)^2 = 5/9, so the mean is 111/200; 90 sits
+       ~3σ below that and well above the unbiased 67. *)
+    true (!hot > 90)
+
 let test_worker_steal_policy () =
   (* Section 6's worker-targeted steals: same results, and with latency in
      play steals still succeed (fibers migrate). *)
@@ -287,6 +364,14 @@ let () =
   Alcotest.run "lhws_pool"
     [
       ("basics", [ Alcotest.test_case "worker steal policy" `Quick test_worker_steal_policy ]);
+      ( "deques",
+        [
+          Alcotest.test_case "table growth under suspension" `Quick
+            test_deque_table_growth;
+          Alcotest.test_case "victim stats growth" `Quick test_victim_stats_growth;
+          Alcotest.test_case "victim stats pick_foreign" `Quick
+            test_victim_stats_pick_foreign;
+        ] );
       ( "latency",
         [
           Alcotest.test_case "sleep duration" `Quick test_sleep_duration;

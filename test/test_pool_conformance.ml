@@ -97,23 +97,30 @@ module Conformance (Pool : Pool_intf.POOL) = struct
         burn_some p;
         let a = Pool.stats p in
         let nonneg (s : Scheduler_core.stats) =
-          s.steals >= 0 && s.failed_steals >= 0 && s.steals_batched >= 0
+          s.tasks_run >= 0 && s.steals >= 0 && s.failed_steals >= 0
+          && s.steals_batched >= 0
           && s.tasks_stolen >= 0 && s.deques_allocated >= 0
           && s.suspensions >= 0 && s.resumes >= 0 && s.max_deques_per_worker >= 0
           && s.io_pending >= 0 && s.conns_shed >= 0
+          && s.scavenge_steals >= 0 && s.tasks_scavenged >= 0
+          && s.tasks_donated >= 0
           && Array.for_all (fun c -> c >= 0) s.tasks_per_steal_hist
         in
         Alcotest.(check bool) "counters non-negative" true (nonneg a);
         burn_some p;
         let b = Pool.stats p in
         Alcotest.(check bool) "counters never decrease" true
-          (b.steals >= a.steals
+          (b.tasks_run >= a.tasks_run
+          && b.steals >= a.steals
           && b.failed_steals >= a.failed_steals
           && b.steals_batched >= a.steals_batched
           && b.tasks_stolen >= a.tasks_stolen
           && b.deques_allocated >= a.deques_allocated
           && b.suspensions >= a.suspensions && b.resumes >= a.resumes
           && b.max_deques_per_worker >= a.max_deques_per_worker
+          && b.scavenge_steals >= a.scavenge_steals
+          && b.tasks_scavenged >= a.tasks_scavenged
+          && b.tasks_donated >= a.tasks_donated
           (* io_pending is a gauge, not a counter: deliberately excluded *)))
 
   let test_steal_stats_consistent () =
@@ -132,6 +139,69 @@ module Conformance (Pool : Pool_intf.POOL) = struct
         Alcotest.(check int) "bucket 0 = single-task steals"
           (s.steals - s.steals_batched)
           s.tasks_per_steal_hist.(0))
+
+  let test_submit_pinned () =
+    (* [submit] is safe from outside [run] and the thunk is pinned: it
+       executes under this pool's own accounting.  The root [await] is
+       what lets worker 0 serve its share of the inboxes (on the ws pool
+       the await IS the helping loop). *)
+    with_pool (fun p ->
+        let before = (Pool.stats p).Scheduler_core.tasks_run in
+        let n = 50 in
+        let hits = Atomic.make 0 in
+        let all_done = Promise.create () in
+        for _ = 1 to n do
+          Pool.submit p (fun () ->
+              if Atomic.fetch_and_add hits 1 = n - 1 then
+                Promise.fulfill all_done (Ok ()))
+        done;
+        Pool.run p (fun () -> Pool.await p all_done);
+        Alcotest.(check int) "every submitted thunk ran once" n (Atomic.get hits);
+        let after = (Pool.stats p).Scheduler_core.tasks_run in
+        Alcotest.(check bool)
+          (Printf.sprintf "pool executed them itself (%d -> %d)" before after)
+          true
+          (after - before >= n))
+
+  let test_scavenge_books_balance () =
+    (* This pool as scavenge donor, a latency-hiding pool as thief: after
+       the work drains, every task the thief counted scavenged must be
+       counted donated by this pool — no loot is double-counted or lost.
+       Pools that export nothing (thread-per-task) skip by construction. *)
+    with_pool (fun donor ->
+        match Pool.scavenge_source donor with
+        | None -> ()
+        | Some src ->
+            let module L = Pool_intf.Lhws_instance in
+            let thief = L.create ~workers:2 () in
+            Fun.protect
+              ~finally:(fun () -> L.shutdown thief)
+              (fun () ->
+                Alcotest.(check bool) "thief accepts the edge" true
+                  (L.set_scavenge thief src);
+                let n = 30 in
+                let hits = Atomic.make 0 in
+                let all_done = Promise.create () in
+                for _ = 1 to n do
+                  Pool.submit donor (fun () ->
+                      let t0 = Unix.gettimeofday () in
+                      while Unix.gettimeofday () -. t0 < 0.001 do
+                        Domain.cpu_relax ()
+                      done;
+                      if Atomic.fetch_and_add hits 1 = n - 1 then
+                        Promise.fulfill all_done (Ok ()))
+                done;
+                Pool.run donor (fun () -> Pool.await donor all_done);
+                (* Let any in-flight raid finish its bookkeeping. *)
+                Unix.sleepf 0.05;
+                let ds = Pool.stats donor and ts = L.stats thief in
+                Alcotest.(check int) "every thunk ran exactly once" n
+                  (Atomic.get hits);
+                Alcotest.(check int) "donor books = thief books"
+                  ds.Scheduler_core.tasks_donated ts.Scheduler_core.tasks_scavenged;
+                Alcotest.(check bool) "thief raids are counted" true
+                  (ts.Scheduler_core.tasks_scavenged
+                  >= ts.Scheduler_core.scavenge_steals)))
 
   let test_echo_roundtrip () =
     (* Serving a socket must work on every pool.  Deliberately the
@@ -314,6 +384,8 @@ module Conformance (Pool : Pool_intf.POOL) = struct
       Alcotest.test_case "sleep at least" `Quick test_sleep_at_least;
       Alcotest.test_case "stats monotone" `Quick test_stats_monotone;
       Alcotest.test_case "steal stats consistent" `Quick test_steal_stats_consistent;
+      Alcotest.test_case "submit is pinned" `Quick test_submit_pinned;
+      Alcotest.test_case "scavenge books balance" `Quick test_scavenge_books_balance;
       Alcotest.test_case "echo round trip" `Quick test_echo_roundtrip;
       Alcotest.test_case "retry eventually succeeds" `Quick test_retry_eventually_succeeds;
       Alcotest.test_case "retry stops" `Quick test_retry_stops;

@@ -1,0 +1,280 @@
+(* Micropool topology: class-pinned submission, cross-pool scavenging,
+   lifecycle.  The conformance suite covers each pool kind in isolation;
+   this file covers what only exists between pools. *)
+
+open Lhws_runtime
+module Pool_intf = Lhws_workloads.Pool_intf
+module T = Lhws_workloads.Topology
+
+let spin_for seconds =
+  let t0 = Unix.gettimeofday () in
+  while Unix.gettimeofday () -. t0 < seconds do
+    Domain.cpu_relax ()
+  done
+
+let scavenge_totals stats =
+  List.fold_left
+    (fun (sc, dn) (_, s) ->
+      Scheduler_core.(sc + s.tasks_scavenged, dn + s.tasks_donated))
+    (0, 0) stats
+
+(* --- construction --- *)
+
+let test_create_rejects_empty () =
+  Alcotest.check_raises "no pools" (Invalid_argument "Topology.create: no pools")
+    (fun () -> ignore (T.create [] : T.t))
+
+let test_create_rejects_duplicate_class () =
+  match T.create [ T.spec ~workers:1 T.Latency; T.spec ~workers:1 T.Latency ] with
+  | t ->
+      T.shutdown t;
+      Alcotest.fail "duplicate class accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_create_rejects_self_scavenge () =
+  match T.create [ T.spec ~workers:1 ~scavenges:T.Latency T.Latency ] with
+  | t ->
+      T.shutdown t;
+      Alcotest.fail "self-scavenge accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_create_rejects_unknown_donor () =
+  match T.create [ T.spec ~workers:1 ~scavenges:T.Batch T.Latency ] with
+  | t ->
+      T.shutdown t;
+      Alcotest.fail "unknown donor accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_create_rejects_threaded_donor () =
+  (* The thread-per-task pool has no deques to raid: an edge pointing at
+     it must fail construction, and the partially built topology must
+     still tear down (this test hangs otherwise). *)
+  match
+    T.create
+      [
+        T.spec ~workers:1 ~scavenges:T.Batch T.Latency;
+        T.spec ~pool:Pool_intf.threads T.Batch;
+      ]
+  with
+  | t ->
+      T.shutdown t;
+      Alcotest.fail "threaded donor accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_classes_and_pool_names () =
+  T.with_topology
+    [ T.spec ~workers:1 T.Latency; T.spec ~pool:Pool_intf.ws ~workers:1 T.Batch ]
+    (fun t ->
+      Alcotest.(check (list string))
+        "classes in spec order" [ "latency"; "batch" ]
+        (List.map T.class_name (T.classes t));
+      Alcotest.(check string)
+        "batch pool kind" "ws"
+        (List.assoc T.Batch (T.pool_names t)))
+
+(* --- submission and run --- *)
+
+let test_submit_unknown_class_raises () =
+  T.with_topology [ T.spec ~workers:1 T.Latency ] (fun t ->
+      match T.submit t ~class_:(T.Custom "nope") (fun () -> ()) with
+      | () -> Alcotest.fail "unknown class accepted"
+      | exception Invalid_argument _ -> ())
+
+let test_submit_runs_without_callers () =
+  (* The driver domains hold every member's [run], so submitted work
+     drains with no caller anywhere near the topology. *)
+  T.with_topology
+    [ T.spec ~workers:2 T.Latency; T.spec ~workers:2 T.Batch ]
+    (fun t ->
+      let n = 40 in
+      let hits = Atomic.make 0 in
+      for i = 1 to n do
+        let class_ = if i mod 2 = 0 then T.Latency else T.Batch in
+        T.submit t ~class_ (fun () -> Atomic.incr hits)
+      done;
+      let deadline = Unix.gettimeofday () +. 5. in
+      while Atomic.get hits < n && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.002
+      done;
+      Alcotest.(check int) "every thunk ran" n (Atomic.get hits))
+
+let test_run_returns_and_raises () =
+  T.with_topology [ T.spec ~workers:1 T.Latency ] (fun t ->
+      Alcotest.(check int) "value" 41 (T.run t ~class_:T.Latency (fun () -> 41));
+      Alcotest.check_raises "exception crosses back" (Failure "boom") (fun () ->
+          T.run t ~class_:T.Latency (fun () -> failwith "boom")))
+
+let test_run_is_class_pinned () =
+  (* The thunk must execute on the named member's workers: its pool's
+     [tasks_run] moves, the sibling's stays put (drivers idle at 0 new
+     tasks once up). *)
+  T.with_topology
+    [ T.spec ~workers:1 T.Latency; T.spec ~workers:1 T.Batch ]
+    (fun t ->
+      let before = List.assoc T.Batch (T.stats t) in
+      for _ = 1 to 10 do
+        T.run t ~class_:T.Batch (fun () -> ())
+      done;
+      let after = List.assoc T.Batch (T.stats t) in
+      Alcotest.(check bool) "batch pool ran them" true
+        Scheduler_core.(after.tasks_run - before.tasks_run >= 10))
+
+let test_use_gives_member_operations () =
+  T.with_topology [ T.spec ~workers:2 T.Latency ] (fun t ->
+      let v =
+        T.run t ~class_:T.Latency (fun () ->
+            T.use t ~class_:T.Latency
+              {
+                T.use =
+                  (fun (type p) (module P : Pool_intf.POOL with type t = p)
+                       (pool : p) -> P.await pool (P.async pool (fun () -> 17)));
+              })
+      in
+      Alcotest.(check int) "async/await through use" 17 v)
+
+(* --- scavenging --- *)
+
+let test_scavenge_books_balance_lhws () =
+  (* An idle 2-worker latency pool raids a loaded batch pool; whatever
+     crossed must be double-entry: thief scavenged = donor donated, and
+     every job still runs exactly once. *)
+  T.with_topology
+    [ T.spec ~workers:2 ~scavenges:T.Batch T.Latency; T.spec ~workers:2 T.Batch ]
+    (fun t ->
+      let n = 32 in
+      let hits = Atomic.make 0 in
+      for _ = 1 to n do
+        T.submit t ~class_:T.Batch (fun () ->
+            spin_for 0.002;
+            Atomic.incr hits)
+      done;
+      let deadline = Unix.gettimeofday () +. 10. in
+      while Atomic.get hits < n && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.002
+      done;
+      Unix.sleepf 0.05;
+      Alcotest.(check int) "every job ran exactly once" n (Atomic.get hits);
+      let scavenged, donated = scavenge_totals (T.stats t) in
+      Alcotest.(check int) "books balance" donated scavenged)
+
+let test_scavenge_books_balance_ws_thief () =
+  (* Mixed kinds: a blocking ws pool scavenging an lhws batch pool —
+     leaf thunks are portable in that direction too. *)
+  T.with_topology
+    [
+      T.spec ~pool:Pool_intf.ws ~workers:2 ~scavenges:T.Batch T.Latency;
+      T.spec ~workers:2 T.Batch;
+    ]
+    (fun t ->
+      let n = 32 in
+      let hits = Atomic.make 0 in
+      for _ = 1 to n do
+        T.submit t ~class_:T.Batch (fun () ->
+            spin_for 0.002;
+            Atomic.incr hits)
+      done;
+      let deadline = Unix.gettimeofday () +. 10. in
+      while Atomic.get hits < n && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.002
+      done;
+      Unix.sleepf 0.05;
+      Alcotest.(check int) "every job ran exactly once" n (Atomic.get hits);
+      let scavenged, donated = scavenge_totals (T.stats t) in
+      Alcotest.(check int) "books balance" donated scavenged)
+
+let test_scavenge_moves_work () =
+  (* Liveness, with slack for scheduling nondeterminism: given a long
+     backlog and an idle sibling, at least one of a few attempts must
+     actually move loot. *)
+  let attempt () =
+    T.with_topology
+      [ T.spec ~workers:2 ~scavenges:T.Batch T.Latency; T.spec ~workers:2 T.Batch ]
+      (fun t ->
+        let n = 24 in
+        let hits = Atomic.make 0 in
+        for _ = 1 to n do
+          T.submit t ~class_:T.Batch (fun () ->
+              spin_for 0.004;
+              Atomic.incr hits)
+        done;
+        let deadline = Unix.gettimeofday () +. 10. in
+        while Atomic.get hits < n && Unix.gettimeofday () < deadline do
+          Unix.sleepf 0.002
+        done;
+        Unix.sleepf 0.05;
+        fst (scavenge_totals (T.stats t)))
+  in
+  let rec go tries =
+    if attempt () > 0 then ()
+    else if tries > 1 then go (tries - 1)
+    else Alcotest.fail "no task scavenged in any attempt"
+  in
+  go 5
+
+(* --- lifecycle --- *)
+
+let test_shutdown_idempotent () =
+  let t = T.create [ T.spec ~workers:1 T.Latency ] in
+  T.shutdown t;
+  T.shutdown t
+
+let test_scavenging_teardown_race () =
+  (* Regression: the [run] root task (the driver's awaiting fiber) used
+     to be exportable, so a scavenger could steal a sibling's root right
+     at startup; once the thief pool died first, the donor's stop
+     promise resumed into a dead pool and [Domain.join] hung forever.
+     Create/destroy scavenging topologies back to back — with the root
+     pinned this terminates, without it this test hangs within a few
+     iterations. *)
+  for _ = 1 to 15 do
+    T.with_topology
+      [ T.spec ~workers:1 ~scavenges:T.Batch T.Latency; T.spec ~workers:1 T.Batch ]
+      (fun t ->
+        T.submit t ~class_:T.Batch (fun () -> ());
+        ())
+  done
+
+let () =
+  Alcotest.run "topology"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "rejects empty" `Quick test_create_rejects_empty;
+          Alcotest.test_case "rejects duplicate class" `Quick
+            test_create_rejects_duplicate_class;
+          Alcotest.test_case "rejects self scavenge" `Quick
+            test_create_rejects_self_scavenge;
+          Alcotest.test_case "rejects unknown donor" `Quick
+            test_create_rejects_unknown_donor;
+          Alcotest.test_case "rejects threaded donor" `Quick
+            test_create_rejects_threaded_donor;
+          Alcotest.test_case "classes and pool names" `Quick
+            test_classes_and_pool_names;
+        ] );
+      ( "submission",
+        [
+          Alcotest.test_case "unknown class raises" `Quick
+            test_submit_unknown_class_raises;
+          Alcotest.test_case "submit drains with no callers" `Quick
+            test_submit_runs_without_callers;
+          Alcotest.test_case "run returns and raises" `Quick
+            test_run_returns_and_raises;
+          Alcotest.test_case "run is class-pinned" `Quick test_run_is_class_pinned;
+          Alcotest.test_case "use exposes member ops" `Quick
+            test_use_gives_member_operations;
+        ] );
+      ( "scavenging",
+        [
+          Alcotest.test_case "books balance (lhws thief)" `Quick
+            test_scavenge_books_balance_lhws;
+          Alcotest.test_case "books balance (ws thief)" `Quick
+            test_scavenge_books_balance_ws_thief;
+          Alcotest.test_case "scavenging moves work" `Slow test_scavenge_moves_work;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+          Alcotest.test_case "teardown race with scavenging" `Quick
+            test_scavenging_teardown_race;
+        ] );
+    ]

@@ -24,6 +24,7 @@ let stat_counters (stats : Lhws_runtime.Scheduler_core.stats) =
     ("suspensions", stats.suspensions);
     ("resumes", stats.resumes);
     ("io_pending", stats.io_pending);
+    ("io_syscalls", stats.io_syscalls);
   ]
 
 let time f =

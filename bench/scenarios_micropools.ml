@@ -32,8 +32,8 @@ let with_lhws_rt ~workers f =
   Lhws_runtime.Lhws_pool.with_pool ~workers (fun p ->
       let rt =
         Reactor.fibers
-          ~register:(fun ~pending poll ->
-            Lhws_runtime.Lhws_pool.register_poller p ?pending poll)
+          ~register:(fun ~pending ~syscalls poll ->
+            Lhws_runtime.Lhws_pool.register_poller p ?pending ?syscalls poll)
           ()
       in
       f p rt)

@@ -17,6 +17,7 @@ let stat_counters (stats : Lhws_runtime.Scheduler_core.stats) =
     ("resumes", stats.resumes);
     ("max_deques_per_worker", stats.max_deques_per_worker);
     ("io_pending", stats.io_pending);
+    ("io_syscalls", stats.io_syscalls);
   ]
 
 let runtime profile =

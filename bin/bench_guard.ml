@@ -14,7 +14,11 @@
      milliseconds-scale timings on a shared runner;
    - resume-storm samples ([contention_resume_storm]): fail when the
      current wall exceeds baseline * 1.25 plus a 25 ms absolute grace, so
-     tiny walls on a shared CI runner don't flake the guard.
+     tiny walls on a shared CI runner don't flake the guard;
+   - net_echo* samples carrying a [p99_us] counter: fail when the current
+     p99 exceeds baseline * 2 plus a 2 ms absolute grace — the "batched
+     reactor must not trade tail latency for syscall count" check, with
+     margins sized for loopback timings on a shared runner.
 
    Other wall-clock samples are reported but not guarded: at smoke sizes
    they are milliseconds and dominated by machine noise.
@@ -183,6 +187,7 @@ type sample = {
   workers : int;
   wall_s : float option;
   speedup : float option;
+  p99_us : float option;  (* from the nested counters object, when present *)
 }
 
 let field k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
@@ -217,6 +222,10 @@ let samples_of_file path =
                     | None -> 0);
                   wall_s = as_num (field "wall_s" item);
                   speedup = as_num (field "speedup" item);
+                  p99_us =
+                    (match field "counters" item with
+                    | Some counters -> as_num (field "p99_us" counters)
+                    | None -> None);
                 }
           | _ -> None)
         items
@@ -232,6 +241,8 @@ let find samples s =
 let threshold = 1.25
 let wall_speedup_threshold = 4. (* both ratio legs are noisy wall-clock timings *)
 let wall_grace_s = 0.025 (* absolute grace for tiny walls on noisy runners *)
+let p99_threshold = 2.
+let p99_grace_us = 2000. (* loopback p99s are hundreds of us; don't flake *)
 
 let () =
   let current_path, baseline_path =
@@ -252,8 +263,21 @@ let () =
     (fun b ->
       match find current b with
       | None -> report "SKIP" b "no matching sample in current run"
-      | Some c -> (
-          match (b.speedup, c.speedup) with
+      | Some c ->
+          (match (b.p99_us, c.p99_us) with
+          | Some bp, Some cp
+            when String.length b.scenario >= 8 && String.sub b.scenario 0 8 = "net_echo" ->
+              incr checked;
+              let limit = (bp *. p99_threshold) +. p99_grace_us in
+              if cp > limit then begin
+                incr failures;
+                report "FAIL" b
+                  (Printf.sprintf "p99 %.0fus > %.0fus (baseline %.0fus * %.1f + %.0f)" cp
+                     limit bp p99_threshold p99_grace_us)
+              end
+              else report "ok" b (Printf.sprintf "p99 %.0fus (baseline %.0fus)" cp bp)
+          | _ -> ());
+          (match (b.speedup, c.speedup) with
           | Some bs, Some cs ->
               incr checked;
               let th = if b.wall_s = None then threshold else wall_speedup_threshold in

@@ -30,7 +30,8 @@ let () =
     Lhws_pool.with_pool ~workers:2 (fun p ->
         let rt =
           Reactor.fibers
-            ~register:(fun ~pending poll -> Lhws_pool.register_poller p ?pending poll)
+            ~register:(fun ~pending ~syscalls poll ->
+            Lhws_pool.register_poller p ?pending ?syscalls poll)
             ~fault ()
         in
         let module Pool = P.Lhws_instance in

@@ -116,7 +116,8 @@ let crawl_latency_hiding addr =
     (fun () ->
       let rt =
         Reactor.fibers
-          ~register:(fun ~pending poll -> Lhws_pool.register_poller pool ?pending poll)
+          ~register:(fun ~pending ~syscalls poll ->
+            Lhws_pool.register_poller pool ?pending ?syscalls poll)
           ()
       in
       let module Pool = P.Lhws_instance in

@@ -130,7 +130,8 @@ let () =
       (fun () ->
         let rt =
           Reactor.fibers
-            ~register:(fun ~pending poll -> Lhws_pool.register_poller pool ?pending poll)
+            ~register:(fun ~pending ~syscalls poll ->
+            Lhws_pool.register_poller pool ?pending ?syscalls poll)
             ()
         in
         run_server (module P.Lhws_instance) pool rt)

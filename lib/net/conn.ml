@@ -1,10 +1,13 @@
 (* A buffered connection over a descriptor.  Reads go through a small
    input buffer (length-prefixed RPC framing issues many tiny reads);
-   writes go straight to the kernel.  Every operation optionally carries
-   a deadline, enforced by the reactor: in fiber mode a parked wait is
-   raced against a timer, in blocking mode the deadline is the select
-   timeout — either way a dead peer costs Net.Timeout, never a worker
-   parked forever. *)
+   writes go straight to the kernel.  Every kernel operation is driven
+   through {!Reactor.run_io}: in fiber mode it is attempted inline once
+   (eager completion) and otherwise submitted as an intent the pump
+   executes on readiness; in blocking mode the deadline becomes the
+   select timeout — either way a dead peer costs Net.Timeout, never a
+   worker parked forever. *)
+
+module Iov = Lhws_runtime.Io.Iov
 
 type t = {
   fd : Unix.file_descr;
@@ -55,6 +58,7 @@ let create rt ?read_timeout ?write_timeout fd =
 let fd t = t.fd
 let is_closed t = Atomic.get t.closed
 let last_active t = t.last_active
+let batched t = Reactor.is_batched t.rt
 
 (* Drop one reference; the last one out actually closes the fd.  The
    [fd_closed] CAS keeps a late arrival (an [enter] that raced past a
@@ -96,55 +100,65 @@ let close t =
 
 let deadline_of = function None -> None | Some s -> Some (Unix.gettimeofday () +. s)
 
-(* Kernel operations consult the reactor's fault plane first.  An
-   injected error is raised as the genuine [Unix.Unix_error], so it
-   flows through exactly the handlers a kernel-reported one would; a
-   [Short] verdict clamps the byte count (framing code must tolerate
-   fragmentation); a [Delay] parks the fiber on the reactor's timer
-   (blocking mode sleeps — its cost model) before the operation runs. *)
-let faulted rt op k = function
-  | Fault.Pass -> k ()
+(* Kernel operations consult the reactor's fault plane from inside the
+   [exec] closure handed to {!Reactor.run_io}, so an injected verdict
+   applies wherever the operation actually runs — the eager inline
+   attempt or the pump.  An injected error is raised as the genuine
+   [Unix.Unix_error], so it flows through exactly the handlers a
+   kernel-reported one would (injected [EAGAIN] in particular forces the
+   real park/submit path); a [Short] verdict clamps the byte count
+   (framing code must tolerate fragmentation).  A [Delay] cannot sleep
+   where [exec] runs — the pump has no fiber to suspend — so it raises
+   {!Injected_delay}, which the operation loop catches back on the fiber
+   to sleep and retry; [owed] then replays the already-drawn verdict so
+   the decision stream advances exactly once per delayed operation,
+   keeping the fault schedule seed-replayable. *)
+exception Injected_delay of float
+
+let draw_or_owed owed draw =
+  match !owed with
+  | Some v ->
+      owed := None;
+      v
+  | None -> draw ()
+
+let apply_verdict owed op v k =
+  match v with
   | Fault.Delay d ->
-      Reactor.sleep rt d;
-      k ()
-  | Fault.Short _ -> k ()  (* caller already clamped the length *)
+      owed := Some Fault.Pass;
+      raise (Injected_delay d)
   | Fault.Fail e -> raise (Unix.Unix_error (e, op, "injected"))
+  | (Fault.Pass | Fault.Short _) as v -> k v
 
 let clamp len = function Fault.Short cap -> min len (max 1 cap) | _ -> len
 
-(* One kernel read into [buf]; in fiber mode optimistic-first, parking
-   only on EAGAIN.  Returns 0 at EOF (and treats a reset peer as EOF —
-   for a server, a client that vanished is indistinguishable from one
-   that hung up). *)
+(* One kernel read into [buf].  Returns 0 at EOF (and treats a reset
+   peer as EOF — for a server, a client that vanished is
+   indistinguishable from one that hung up). *)
 let read_once t buf pos len =
   enter t;
   Fun.protect ~finally:(fun () -> release t) @@ fun () ->
   let deadline = deadline_of t.read_timeout in
-  let kernel_read () =
-    let v = Fault.on_read (Reactor.fault t.rt) t.fd in
-    faulted t.rt "read" (fun () -> Unix.read t.fd buf pos (clamp len v)) v
+  let owed = ref None in
+  let exec () =
+    let v = draw_or_owed owed (fun () -> Fault.on_read (Reactor.fault t.rt) t.fd) in
+    apply_verdict owed "read" v (fun v -> Unix.read t.fd buf pos (clamp len v))
   in
   let rec go () =
-    match kernel_read () with
+    match Reactor.run_io t.rt ?deadline `Readable t.fd ~exec with
     | n ->
         t.last_active <- Unix.gettimeofday ();
         n
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-        Reactor.wait_readable t.rt ?deadline t.fd;
+    | exception Injected_delay d ->
+        Reactor.sleep t.rt d;
         go ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
     | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> 0
+    (* An EBADF after a concurrent [close] (reaper, listener shutdown) —
+       whether from the inline attempt or a parked intent the reactor
+       failed — is this connection ending, not a reactor bug. *)
     | exception Unix.Unix_error (Unix.EBADF, _, _) when Atomic.get t.closed -> raise Net.Closed
   in
-  (* An EBADF out of a parked wait after a concurrent [close] (reaper,
-     listener shutdown) is this connection ending, not a reactor bug. *)
-  try
-    if not (Reactor.is_fibers t.rt) && t.read_timeout <> None then
-      (* Blocking mode cannot be interrupted mid-read: enforce the deadline
-         up front by waiting for readability with a timeout. *)
-      Reactor.wait_readable t.rt ?deadline t.fd;
-    go ()
-  with Unix.Unix_error (Unix.EBADF, _, _) when Atomic.get t.closed -> raise Net.Closed
+  go ()
 
 let refill t =
   let n = read_once t t.rbuf 0 buf_capacity in
@@ -180,25 +194,43 @@ let read_exactly t buf len =
   in
   go 0
 
-let write_all t buf =
+(* The shared engine under [write_all] / [writev_all]: drive the vector
+   through the kernel until empty.  One logical operation draws one fault
+   verdict per kernel attempt, but an injected short-write storm is
+   counted once per logical op ([short_seen]) — a storm that fragments a
+   big buffer into hundreds of 1-byte writes would otherwise swamp the
+   chaos accounting with retry noise. *)
+let writev_all t iovs =
   enter t;
   Fun.protect ~finally:(fun () -> release t) @@ fun () ->
-  let len = Bytes.length buf in
   let deadline = deadline_of t.write_timeout in
-  let kernel_write pos =
-    let v = Fault.on_write (Reactor.fault t.rt) t.fd in
-    faulted t.rt "write" (fun () -> Unix.write t.fd buf pos (clamp (len - pos) v)) v
+  let rem = ref iovs in
+  let owed = ref None in
+  let short_seen = ref false in
+  let exec () =
+    let v =
+      draw_or_owed owed (fun () ->
+          let v =
+            Fault.on_write ~count_short:(not !short_seen) (Reactor.fault t.rt) t.fd
+          in
+          (match v with Fault.Short _ -> short_seen := true | _ -> ());
+          v)
+    in
+    apply_verdict owed "write" v (fun v ->
+        match v with
+        | Fault.Short cap -> Iov.write t.fd (Iov.take !rem (max 1 cap))
+        | _ -> Iov.write t.fd !rem)
   in
-  let rec go pos =
-    if pos < len then
-      match kernel_write pos with
+  let rec go () =
+    if Iov.length !rem > 0 then
+      match Reactor.run_io t.rt ?deadline `Writable t.fd ~exec with
       | n ->
           t.last_active <- Unix.gettimeofday ();
-          go (pos + n)
-      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-          Reactor.wait_writable t.rt ?deadline t.fd;
-          go pos
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+          rem := Iov.drop !rem n;
+          go ()
+      | exception Injected_delay d ->
+          Reactor.sleep t.rt d;
+          go ()
       | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
           (* The stream is broken mid-write: close the connection so
              readers parked on it (ours and, via the FIN, the peer's)
@@ -207,8 +239,6 @@ let write_all t buf =
           raise Net.Closed
       | exception Unix.Unix_error (Unix.EBADF, _, _) when Atomic.get t.closed -> raise Net.Closed
   in
-  try
-    if not (Reactor.is_fibers t.rt) && t.write_timeout <> None then
-      Reactor.wait_writable t.rt ?deadline t.fd;
-    go 0
-  with Unix.Unix_error (Unix.EBADF, _, _) when Atomic.get t.closed -> raise Net.Closed
+  go ()
+
+let write_all t buf = writev_all t [ buf ]

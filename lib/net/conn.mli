@@ -1,10 +1,12 @@
 (** A buffered connection with per-operation deadlines.
 
     Reads are buffered (framing layers issue many small reads); writes
-    go straight through.  [read_timeout] / [write_timeout] are relative
-    seconds applied per operation: a wait that outlives its deadline
-    raises {!Net.Timeout} instead of parking the fiber (or blocking the
-    worker) forever. *)
+    go straight through.  Kernel operations are driven through
+    {!Reactor.run_io}, so in fiber mode each one is attempted eagerly
+    inline and otherwise completes in the reactor pump.  [read_timeout]
+    / [write_timeout] are relative seconds applied per operation: a wait
+    that outlives its deadline raises {!Net.Timeout} instead of parking
+    the fiber (or blocking the worker) forever. *)
 
 type t
 
@@ -14,6 +16,11 @@ val create :
     connection takes ownership: close it only through {!close}. *)
 
 val fd : t -> Unix.file_descr
+
+val batched : t -> bool
+(** Whether the underlying reactor runs the batched
+    submission/completion path (see {!Reactor.is_batched}); {!Rpc} keys
+    its frame-coalescing writes off this. *)
 
 val read : t -> bytes -> int -> int -> int
 (** Returns 0 at end of file (a reset peer reads as EOF).
@@ -27,6 +34,15 @@ val write_all : t -> bytes -> unit
 (** Writes the whole buffer.
     @raise Net.Closed if the peer is gone or {!close} was called.
     @raise Net.Timeout when [write_timeout] expires first. *)
+
+val writev_all : t -> Bytes.t list -> unit
+(** Writes the whole vector, coalescing the buffers into as few kernel
+    writes as the socket accepts (one, absent backpressure) via
+    {!Lhws_runtime.Io.Iov}.  Same errors as {!write_all}.  This is how
+    framing layers send header+payload pairs without a copy per frame.
+    An injected short-write storm against one [writev_all] call is
+    counted once in {!Fault} stats, however many retry chunks it
+    fragments the vector into. *)
 
 val close : t -> unit
 (** Idempotent and thread-safe.  Shuts the socket down immediately,

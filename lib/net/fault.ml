@@ -148,7 +148,7 @@ let forget_fd topt fd =
       Hashtbl.remove t.blackouts_tbl fd;
       Mutex.unlock t.bl_mu
 
-let on_io t ~site ~ix ~hard_error fd =
+let on_io t ~site ~ix ~count_short ~hard_error fd =
   match blackout_remaining t fd with
   | Some left -> Delay left
   | None -> (
@@ -169,7 +169,10 @@ let on_io t ~site ~ix ~hard_error fd =
         Fail Unix.EAGAIN
       end
       else if u < t3 then begin
-        Atomic.incr t.c_shorts;
+        (* The verdict still fires; only the counter is conditional, so
+           the decision stream stays identical whatever the caller's
+           accounting — see [on_write]'s [count_short]. *)
+        if count_short then Atomic.incr t.c_shorts;
         Short 1
       end
       else if u < t4 then begin
@@ -185,12 +188,19 @@ let on_io t ~site ~ix ~hard_error fd =
 let on_read topt fd =
   match topt with
   | None -> Pass
-  | Some t -> on_io t ~site:site_read ~ix:t.read_ix ~hard_error:Unix.ECONNRESET fd
+  | Some t ->
+      on_io t ~site:site_read ~ix:t.read_ix ~count_short:true ~hard_error:Unix.ECONNRESET
+        fd
 
-let on_write topt fd =
+(* [count_short:false] suppresses only the [shorts] counter increment — a
+   logical write retrying through an injected short-write storm counts
+   the storm once, not once per 1-byte retry chunk — while the verdict
+   stream itself still advances one draw per attempt. *)
+let on_write ?(count_short = true) topt fd =
   match topt with
   | None -> Pass
-  | Some t -> on_io t ~site:site_write ~ix:t.write_ix ~hard_error:Unix.EPIPE fd
+  | Some t ->
+      on_io t ~site:site_write ~ix:t.write_ix ~count_short ~hard_error:Unix.EPIPE fd
 
 let on_accept topt =
   match topt with

@@ -71,7 +71,15 @@ type verdict =
   | Fail of Unix.error  (** raise [Unix.Unix_error] instead of the op *)
 
 val on_read : t option -> Unix.file_descr -> verdict
-val on_write : t option -> Unix.file_descr -> verdict
+
+val on_write : ?count_short:bool -> t option -> Unix.file_descr -> verdict
+(** [count_short:false] draws the decision as usual but does not count a
+    [Short] verdict in {!injected}[.shorts].  {!Conn} passes it on every
+    retry chunk after the first short of a logical write, so a storm
+    that fragments one buffer into hundreds of 1-byte writes reads as
+    one injected short, keeping chaos accounting interpretable.  The
+    decision stream is unaffected — replays stay seed-deterministic. *)
+
 val on_accept : t option -> verdict
 
 val forget_fd : t option -> Unix.file_descr -> unit

@@ -58,10 +58,13 @@ let remove_conn s id =
   Hashtbl.remove s.conns id;
   Mutex.unlock s.conns_mu
 
-(* Accept one connection, or return None once [stop] is observed.  In
-   fiber mode the listen fd is non-blocking and the fiber parks on
-   readiness; in blocking mode [accept] occupies the worker and shutdown
-   wakes it with a self-connection. *)
+(* Accept one connection, or return None once [stop] is observed.  The
+   accept is driven through {!Reactor.run_io}: in fiber mode it is tried
+   inline (most accepts under load find a queued connection and never
+   touch the reactor) and otherwise submitted as an intent the pump
+   completes — the accepted descriptor comes back through the
+   completion; in blocking mode [accept] occupies the worker and
+   shutdown wakes it with a self-connection. *)
 let rec accept_one s =
   if Atomic.get s.stop then None
   else
@@ -72,8 +75,11 @@ let rec accept_one s =
       | Fault.Fail e -> raise (Unix.Unix_error (e, "accept", "injected"))
       | Fault.Delay d ->
           Reactor.sleep s.rt d;
-          Unix.accept ~cloexec:true s.listen_fd
-      | Fault.Pass | Fault.Short _ -> Unix.accept ~cloexec:true s.listen_fd
+          Reactor.run_io s.rt `Readable s.listen_fd ~exec:(fun () ->
+              Unix.accept ~cloexec:true s.listen_fd)
+      | Fault.Pass | Fault.Short _ ->
+          Reactor.run_io s.rt `Readable s.listen_fd ~exec:(fun () ->
+              Unix.accept ~cloexec:true s.listen_fd)
     with
     | fd, _ ->
         if Atomic.get s.stop then begin
@@ -82,10 +88,6 @@ let rec accept_one s =
           None
         end
         else Some fd
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> (
-        match Reactor.wait_readable s.rt s.listen_fd with
-        | () -> accept_one s
-        | exception Unix.Unix_error _ when Atomic.get s.stop -> None)
     | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> accept_one s
     | exception Unix.Unix_error _ when Atomic.get s.stop -> None
 

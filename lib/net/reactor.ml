@@ -14,18 +14,26 @@ type t = { mode : mode; fault : Fault.t option }
 let ignore_sigpipe =
   lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
 
-let fibers ~register ?fault () =
+let fibers ~register ?fault ?(legacy = false) () =
   Lazy.force ignore_sigpipe;
-  let io = Io.create () in
+  let io = Io.create ~legacy () in
   let timer = Timer.create () in
-  register ~pending:(Some (fun () -> Io.pending io)) (fun () -> Io.poll io);
-  register ~pending:None (fun () -> Timer.poll timer);
+  register
+    ~pending:(Some (fun () -> Io.pending io))
+    ~syscalls:(Some (fun () -> Io.syscalls io))
+    (fun () -> Io.poll io);
+  register ~pending:None ~syscalls:None (fun () -> Timer.poll timer);
   { mode = Fibers { io; timer }; fault }
 
 let blocking ?fault () =
   Lazy.force ignore_sigpipe;
   { mode = Blocking; fault }
+
 let is_fibers t = match t.mode with Fibers _ -> true | Blocking -> false
+
+let is_batched t =
+  match t.mode with Fibers { io; _ } -> not (Io.is_legacy io) | Blocking -> false
+
 let fault t = t.fault
 
 (* Sleep without holding a worker in fiber mode: park the fiber on the
@@ -40,10 +48,10 @@ let sleep t d =
         let deadline = Unix.gettimeofday () +. d in
         Fiber.suspend (fun resume -> Timer.add timer ~deadline resume)
 
-(* A fiber wait raced against a deadline.  Both the Io waiter callback and
-   the timer callback funnel through the reactor's Io mutex: the timer side
-   only wins if [Io.cancel] claims the still-live waiter, so exactly one of
-   them resumes the fiber, exactly once. *)
+(* A fiber wait raced against a deadline.  Both the Io completion and the
+   timer callback funnel through the reactor's intent-state mutex: the
+   timer side only wins if [Io.cancel] claims the still-armed intent, so
+   exactly one of them resumes the fiber, exactly once. *)
 type verdict = Ready | Timed_out | Bad of exn
 
 let wait_fibers io timer kind fd ~deadline =
@@ -109,3 +117,106 @@ let wait t kind fd ~deadline =
 
 let wait_readable t ?deadline fd = wait t `Readable fd ~deadline
 let wait_writable t ?deadline fd = wait t `Writable fd ~deadline
+
+(* --- the submission/completion operation driver --- *)
+
+(* Fiber mode, batched: try [exec] inline once (eager completion — most
+   loopback operations succeed immediately and never touch the reactor);
+   on would-block, submit an intent whose pump-side [run] re-issues
+   [exec] directly when the fd turns ready, stashing the result, so the
+   fiber wakes with its operation already done.  Fiber mode, legacy:
+   identical eager attempt, but readiness only wakes the fiber, which
+   loops back and re-issues [exec] itself — the pre-batching shape.
+   Both race the park against [deadline] through {!Io.cancel}.
+
+   Exceptions from [exec] other than EAGAIN/EINTR — kernel errors and
+   injected faults alike, whether raised inline or in the pump — re-raise
+   in the calling fiber, so call-site handlers see exactly what a plain
+   syscall would have thrown. *)
+let run_io_fibers io timer kind fd ~deadline ~eager ~exec =
+  let ikind = match kind with `Readable -> `R | `Writable -> `W in
+  let counted () =
+    Io.count_syscall io;
+    exec ()
+  in
+  let rec attempt ~eager =
+    if not eager then park ()
+    else
+      match counted () with
+      | v -> v
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> attempt ~eager:true
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> park ()
+  and park () =
+    let res = ref None in
+    let verdict = ref Ready in
+    let th = ref None in
+    Fiber.suspend (fun resume ->
+        let rec run () =
+          match counted () with
+          | v ->
+              res := Some v;
+              `Done
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> run ()
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+              `Again
+        in
+        let w =
+          Io.submit io ~kind:ikind ~fd ~run (fun o ->
+              (match o with
+              | Io.Complete -> ()
+              | Io.Cancelled -> verdict := Timed_out
+              | Io.Error e -> verdict := Bad e);
+              resume ())
+        in
+        match deadline with
+        | None -> ()
+        | Some d ->
+            th :=
+              Some
+                (Timer.add_cancellable timer ~deadline:d (fun () ->
+                     if Io.cancel io w then begin
+                       verdict := Timed_out;
+                       resume ()
+                     end)));
+    (match !th with None -> () | Some h -> Timer.cancel timer h);
+    match !verdict with
+    | Ready -> (
+        match !res with
+        | Some v -> v
+        (* Legacy mode (readiness-only wake), or nothing stashed: the
+           fiber re-issues the operation itself. *)
+        | None -> attempt ~eager:true)
+    | Timed_out -> raise Net.Timeout
+    | Bad e -> raise e
+  in
+  attempt ~eager
+
+(* Blocking mode keeps the pre-change shape: enforce the deadline up
+   front by waiting with a timeout (a blocking op cannot be interrupted
+   mid-call), then loop the plain syscall. *)
+let run_io_blocking kind fd ~deadline ~exec =
+  let rec go () =
+    match exec () with
+    | v -> v
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        wait_blocking kind fd ~deadline;
+        go ()
+  in
+  if deadline <> None then wait_blocking kind fd ~deadline;
+  go ()
+
+let run_io t ?deadline ?(eager = true) kind fd ~exec =
+  match t.mode with
+  | Fibers { io; timer } -> run_io_fibers io timer kind fd ~deadline ~eager ~exec
+  | Blocking -> run_io_blocking kind fd ~deadline ~exec
+
+(* Expose the reactor's I/O counter for benches that want syscalls/op
+   without going through a pool's stats plumbing. *)
+let io_syscalls t = match t.mode with Fibers { io; _ } -> Io.syscalls io | Blocking -> 0
+
+(* Test-only: see {!Lhws_runtime.Io.chaos_drop_completions}. *)
+let chaos_drop_completions t ~every =
+  match t.mode with
+  | Fibers { io; _ } -> Io.chaos_drop_completions io ~every
+  | Blocking -> ()

@@ -1,34 +1,48 @@
-(** How a pool does I/O: parked fibers over the {!Lhws_runtime.Io}
-    reactor, or plain blocking syscalls.
+(** How a pool does I/O: intents submitted to the
+    {!Lhws_runtime.Io} submission/completion reactor, or plain blocking
+    syscalls.
 
     Every [lib/net] entry point takes one of these, so the same listener
     / connection / RPC code serves both the latency-hiding pools (fibers
-    park on readiness, workers keep running other tasks — the paper's
-    heavy-edge suspension) and the blocking baselines (a wait occupies
-    the worker — the comparison the paper draws). *)
+    park on submitted intents, workers keep running other tasks — the
+    paper's heavy-edge suspension) and the blocking baselines (a wait
+    occupies the worker — the comparison the paper draws). *)
 
 type t
 
 val fibers :
   register:
-    (pending:(unit -> int) option -> (unit -> int) -> unit) ->
+    (pending:(unit -> int) option ->
+    syscalls:(unit -> int) option ->
+    (unit -> int) ->
+    unit) ->
   ?fault:Fault.t ->
+  ?legacy:bool ->
   unit ->
   t
 (** Builds a fiber-mode reactor: a fresh {!Lhws_runtime.Io.t} plus a
     dedicated deadline {!Lhws_runtime.Timer.t}, both handed to
     [register] so the pool's worker loop pumps them.  Call as
-    [Reactor.fibers ~register:(fun ~pending poll ->
-       Lhws_pool.register_poller p ?pending poll) ()].
+    [Reactor.fibers ~register:(fun ~pending ~syscalls poll ->
+       Lhws_pool.register_poller p ?pending ?syscalls poll) ()].
     Only meaningful on suspension-capable pools.  [fault] attaches a
     {!Fault} plane: every connection and listener using this reactor
-    consults it before kernel operations. *)
+    consults it before kernel operations.  [legacy:true] selects the
+    pre-batching wait-then-retry reactor (readiness wakes the fiber,
+    which reissues its own syscall; no pump-side execution, no paced
+    readiness pass) — the comparison leg of the NET3 bench. *)
 
 val blocking : ?fault:Fault.t -> unit -> t
 (** Blocking mode: waits are [select] calls with the deadline as
     timeout, reads/writes plain syscalls.  For the WS and thread pools. *)
 
 val is_fibers : t -> bool
+
+val is_batched : t -> bool
+(** Fiber mode with the batched submission/completion path active
+    (i.e. not [legacy], not blocking).  Upper layers use this to enable
+    optimizations that only pay off with batching, such as {!Rpc}'s
+    frame-coalescing writes. *)
 
 val fault : t -> Fault.t option
 (** The attached fault plane, if any. *)
@@ -45,3 +59,35 @@ val wait_readable : t -> ?deadline:float -> Unix.file_descr -> unit
     @raise Unix.Unix_error when the descriptor turns bad while parked. *)
 
 val wait_writable : t -> ?deadline:float -> Unix.file_descr -> unit
+
+val run_io :
+  t ->
+  ?deadline:float ->
+  ?eager:bool ->
+  [ `Readable | `Writable ] ->
+  Unix.file_descr ->
+  exec:(unit -> 'a) ->
+  'a
+(** Drives one kernel operation through the reactor.  [exec] performs
+    the operation and may raise [EAGAIN]/[EWOULDBLOCK] (would block —
+    retried through the reactor) or [EINTR] (retried immediately).
+
+    Fiber mode: [exec] runs inline once first (eager completion; skip
+    with [eager:false]); if it would block, an intent is submitted and
+    the pump re-issues [exec] the moment the descriptor turns ready, so
+    the fiber resumes with the result already produced.  Every [exec]
+    invocation is counted in the reactor's [io_syscalls].  Blocking
+    mode: waits with the deadline as timeout, then loops the syscall.
+
+    Other exceptions from [exec] (kernel errors, injected faults)
+    re-raise at this call, whether [exec] ran inline or in the pump.
+    @raise Net.Timeout when [deadline] passes before completion. *)
+
+val io_syscalls : t -> int
+(** Kernel I/O calls issued through this reactor so far (0 in blocking
+    mode, which has no reactor-side accounting). *)
+
+val chaos_drop_completions : t -> every:int -> unit
+(** Test-only mutation hook; see
+    {!Lhws_runtime.Io.chaos_drop_completions}.  No-op in blocking
+    mode. *)

@@ -32,6 +32,66 @@ let with_wlock l f =
   acquire ();
   Fun.protect ~finally:(fun () -> Atomic.set l.locked false) f
 
+(* --- the combining outbox ---
+
+   On a batched reactor, frame atomicity comes from a combining queue
+   instead of serialized whole-frame writes: a writer pushes its frame
+   (an iov, no copy) onto a Treiber stack and whichever writer claims
+   the lock flushes {e everything} queued as a single [Conn.writev_all]
+   — so [k] concurrent responses (or pipelined requests) cost one
+   gathering syscall, not [k].  Each frame carries its own outcome cell;
+   a writer loops — claim the lock and flush, or sleep — until its cell
+   resolves, so no frame is ever abandoned and a flush failure reaches
+   exactly the writers whose frames were in that batch. *)
+
+type fstate = Fpending | Fdone | Ffailed of exn
+
+type outbox = {
+  q : (Bytes.t list * fstate Atomic.t) list Atomic.t;  (* push order reversed *)
+  wl : wlock;
+}
+
+let make_outbox sleep = { q = Atomic.make []; wl = make_wlock sleep }
+
+let flush_outbox ob conn =
+  match List.rev (Atomic.exchange ob.q []) with
+  | [] -> ()
+  | frames -> (
+      let iov = List.concat_map fst frames in
+      match Conn.writev_all conn iov with
+      | () -> List.iter (fun (_, st) -> Atomic.set st Fdone) frames
+      | exception e -> List.iter (fun (_, st) -> Atomic.set st (Ffailed e)) frames)
+
+let send_combined ob conn iov =
+  let st = Atomic.make Fpending in
+  let rec push () =
+    let cur = Atomic.get ob.q in
+    if not (Atomic.compare_and_set ob.q cur ((iov, st) :: cur)) then push ()
+  in
+  push ();
+  let rec resolve () =
+    match Atomic.get st with
+    | Fdone -> ()
+    | Ffailed e -> raise e
+    | Fpending ->
+        if Atomic.compare_and_set ob.wl.locked false true then
+          Fun.protect
+            ~finally:(fun () -> Atomic.set ob.wl.locked false)
+            (fun () -> flush_outbox ob conn)
+        else ob.wl.sleep ();
+        resolve ()
+  in
+  resolve ()
+
+(* One frame write, atomic on the wire.  Batched reactor: through the
+   combining outbox.  Legacy/blocking reactor: the pre-batching shape —
+   hold the lock for the whole (still vectored, still copy-free) frame
+   write — so the NET3 comparison leg measures the old syscall
+   behaviour. *)
+let write_frame ob conn iov =
+  if Conn.batched conn then send_combined ob conn iov
+  else with_wlock ob.wl (fun () -> Conn.writev_all conn iov)
+
 let check_len len =
   if len < 0 || len > max_frame then
     raise (Net.Protocol_error (Printf.sprintf "frame length %d out of range" len))
@@ -82,24 +142,25 @@ let read_response conn =
       in
       Some (id, status, payload)
 
-let write_request conn ~id payload =
+(* Frames are header+payload iovs, not copies: the vectored write path
+   sends both in one syscall, so there is no reason to blit the payload
+   into a fresh buffer first. *)
+let request_frame ~id payload =
   let len = Bytes.length payload in
   if len > max_frame then invalid_arg "Rpc: request payload exceeds max_frame";
-  let b = Bytes.create (12 + len) in
-  Bytes.set_int32_be b 0 (Int32.of_int len);
-  Bytes.set_int64_be b 4 (Int64.of_int id);
-  Bytes.blit payload 0 b 12 len;
-  Conn.write_all conn b
+  let hdr = Bytes.create 12 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int len);
+  Bytes.set_int64_be hdr 4 (Int64.of_int id);
+  if len = 0 then [ hdr ] else [ hdr; payload ]
 
-let write_response conn ~id ~status payload =
+let response_frame ~id ~status payload =
   let len = Bytes.length payload in
   if len > max_frame then invalid_arg "Rpc: response payload exceeds max_frame";
-  let b = Bytes.create (13 + len) in
-  Bytes.set_int32_be b 0 (Int32.of_int len);
-  Bytes.set_int64_be b 4 (Int64.of_int id);
-  Bytes.set_uint8 b 12 status;
-  Bytes.blit payload 0 b 13 len;
-  Conn.write_all conn b
+  let hdr = Bytes.create 13 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int len);
+  Bytes.set_int64_be hdr 4 (Int64.of_int id);
+  Bytes.set_uint8 hdr 12 status;
+  if len = 0 then [ hdr ] else [ hdr; payload ]
 
 (* --- server --- *)
 
@@ -124,7 +185,7 @@ let serve_handler (type p) (module P : Pool_intf.POOL with type t = p) (pool : p
     | Some d -> d
     | None -> fun f -> ignore (P.async pool f : unit Lhws_runtime.Promise.t)
   in
-  let wl = make_wlock (fun () -> P.sleep pool 0.0002) in
+  let ob = make_outbox (fun () -> P.sleep pool 0.0002) in
   let outstanding = Atomic.make 0 in
   let rec loop () =
     while Atomic.get outstanding >= max_pipeline do
@@ -152,7 +213,7 @@ let serve_handler (type p) (module P : Pool_intf.POOL with type t = p) (pool : p
                    broken.  Close the connection — the client sees
                    EOF and can retry on a fresh one — rather than
                    silently dropping the frame on a live socket. *)
-                try with_wlock wl (fun () -> write_response conn ~id ~status resp)
+                try write_frame ob conn (response_frame ~id ~status resp)
                 with Net.Closed | Net.Timeout -> Conn.close conn));
         loop ()
   in
@@ -176,7 +237,7 @@ let serve (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt ?co
 module Client = struct
   type t = {
     conn : Conn.t;
-    wl : wlock;
+    ob : outbox;
     pending_mu : Mutex.t;
     pending : (int, Bytes.t Promise.t) Hashtbl.t;
     next_id : int Atomic.t;
@@ -250,7 +311,7 @@ module Client = struct
     let c =
       {
         conn;
-        wl = make_wlock (fun () -> P.sleep pool 0.0002);
+        ob = make_outbox (fun () -> P.sleep pool 0.0002);
         pending_mu = Mutex.create ();
         pending = Hashtbl.create 32;
         next_id = Atomic.make 1;
@@ -279,7 +340,7 @@ module Client = struct
       ignore (take_pending c id : _ option);
       raise Net.Closed
     end;
-    (try with_wlock c.wl (fun () -> write_request c.conn ~id payload)
+    (try write_frame c.ob c.conn (request_frame ~id payload)
      with e ->
        ignore (take_pending c id : _ option);
        raise e);
@@ -299,14 +360,14 @@ module Client = struct
       fail_all c Net.Closed
     end;
     while not (Atomic.get c.demux_done) do
-      c.wl.sleep ()
+      c.ob.wl.sleep ()
     done
 end
 
 (* --- synchronous round-trip, for blocking pools --- *)
 
 let call_sync conn payload =
-  write_request conn ~id:0 payload;
+  Conn.writev_all conn (request_frame ~id:0 payload);
   match read_response conn with
   | None -> raise Net.Closed
   | Some (_, 0, resp) -> resp

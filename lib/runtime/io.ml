@@ -1,89 +1,320 @@
-(* select-based reactor.  Waiter lists are keyed by descriptor; a mutex
-   guards them (contention is low: one lock per suspension/resume).
+(* Submission/completion reactor.
 
-   Each parked fiber is represented by a [waiter] record with a [live]
-   flag, giving exactly-once resumption between three competitors: fd
-   readiness, an fd error discovered during [select], and external
-   cancellation (deadline timers race waiters through {!cancel}).  The
-   mutex is the arbiter: whoever flips [live] under the lock owns the
-   callback. *)
+   Fibers no longer talk to the readiness backend directly: they enqueue
+   *intents* (fd, direction, an optional kernel operation to run once
+   the fd is ready, and a completion callback) into per-worker lock-free
+   submission rings.  The CAS-elected pump worker drains every ring,
+   registers the drained intents in its waiter table, issues one batched
+   readiness pass over the incrementally-maintained fd sets, executes
+   the ready operations directly, and delivers completions through the
+   callbacks — which ride the pools' existing Treiber-stack MPSC resume
+   channels back to each fiber's home deque.
 
-type kind = Read | Write
+   Exactly-once resumption survives the restructure.  An intent moves
+   through three states under [t.mu]: [Armed] (submitted or re-armed,
+   claimable), [Claimed] (the pump owns it and is running its op) and
+   [Done] (its outcome is decided).  The three competitors — readiness,
+   an fd error discovered during the readiness pass, and external
+   cancellation (deadline timers, through {!cancel}) — each claim by
+   flipping [Armed -> Done/Claimed] under the mutex.  The one subtle
+   window: a cancel that arrives while the pump holds the intent
+   [Claimed] cannot revoke the claim, so it records [cancel_requested]
+   and returns [false]; if the pump's op then comes back would-block
+   (which would normally re-arm the intent), the pump sees the flag and
+   delivers a [Cancelled] completion instead of parking the fiber past
+   its deadline.
 
-type waiter = {
-  wfd : Unix.file_descr;
-  wkind : kind;
-  notify : exn option -> unit;  (* [None] = ready; [Some e] = fd error *)
-  mutable live : bool;  (* guarded by [t.mu] *)
+   Submission takes no lock (one CAS on a ring plus two atomic bumps);
+   the mutex now serializes only the pump, cancellation and the error
+   sweep. *)
+
+(* What finally happened to an intent.  [Cancelled] is only delivered
+   for intents whose {!cancel} lost the claim race as described above;
+   a cancel that wins the race means no completion is ever delivered. *)
+type outcome = Complete | Error of exn | Cancelled
+
+type state = Armed | Claimed | Done
+
+type intent = {
+  ifd : Unix.file_descr;
+  ikind : [ `R | `W ];
+  (* The operation to run in the pump once the fd is ready.  [`Done]
+     means the result was produced (stashed by the closure itself);
+     [`Again] means the kernel said would-block after all — re-arm
+     without waking the fiber.  Raising delivers [Error].  Plain
+     readiness waits use a closure that just returns [`Done]. *)
+  run : unit -> [ `Done | `Again ];
+  notify : outcome -> unit;
+  mutable istate : state;  (* guarded by [t.mu] *)
+  mutable cancel_requested : bool;  (* guarded by [t.mu] *)
 }
+
+type waiter = intent
+
+(* The readiness backend seam.  [select] today; an epoll or io_uring
+   backend slots in by implementing the same contract: [add]/[remove]
+   maintain interest incrementally (satisfying the no-rebuild-per-poll
+   requirement by construction), [wait] performs one batched readiness
+   pass with zero timeout and may raise [Unix.Unix_error] ([EBADF] /
+   [EINVAL]) when the registered set is rejected wholesale — the pump
+   answers with a per-fd probe sweep. *)
+module type BACKEND = sig
+  type t
+
+  val create : unit -> t
+  val add : t -> [ `R | `W ] -> Unix.file_descr -> unit
+  (** Called once when the first waiter for (fd, direction) registers. *)
+
+  val remove : t -> [ `R | `W ] -> Unix.file_descr -> unit
+  (** Called once when the last waiter for (fd, direction) leaves. *)
+
+  val armed : t -> bool
+  (** Whether any interest is registered at all. *)
+
+  val wait : t -> Unix.file_descr list * Unix.file_descr list
+  (** One batched readiness pass (ready-to-read, ready-to-write). *)
+end
+
+module Select_backend : BACKEND = struct
+  (* Interest lists maintained incrementally on register/unregister —
+     the old reactor rebuilt both lists from the waiter tables on every
+     poll.  Removal is O(interest-set size), but removals happen once
+     per fd transition while polls happen once per pump iteration, so
+     the trade is the right way around. *)
+  type t = {
+    mutable rfds : Unix.file_descr list;
+    mutable wfds : Unix.file_descr list;
+  }
+
+  let create () = { rfds = []; wfds = [] }
+
+  let add t kind fd =
+    match kind with
+    | `R -> t.rfds <- fd :: t.rfds
+    | `W -> t.wfds <- fd :: t.wfds
+
+  let remove t kind fd =
+    match kind with
+    | `R -> t.rfds <- List.filter (fun fd' -> fd' <> fd) t.rfds
+    | `W -> t.wfds <- List.filter (fun fd' -> fd' <> fd) t.wfds
+
+  let armed t = t.rfds <> [] || t.wfds <> []
+
+  let wait t =
+    match Unix.select t.rfds t.wfds [] 0. with
+    | r, w, _ -> (r, w)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
+end
 
 type waiters = (Unix.file_descr, waiter list ref) Hashtbl.t
 
-type t = { mu : Mutex.t; readers : waiters; writers : waiters }
+(* Keep select-frequency amortized in batched mode: when no new intent
+   arrived since the last readiness pass and that pass was a moment ago,
+   the pump skips the syscall.  Worst case this defers detection of a
+   readiness edge by the pacing interval — the same order as the worker
+   idle-backoff base (50 us), far below the parked operations' own
+   latency — and in exchange the steady-state pump stops burning one
+   select per loop iteration. *)
+let select_pacing_s = 0.00005
 
-let create () = { mu = Mutex.create (); readers = Hashtbl.create 16; writers = Hashtbl.create 16 }
+let ring_count = 8 (* power of two; rings are indexed by domain id *)
 
-let tbl_of t = function Read -> t.readers | Write -> t.writers
+type t = {
+  mu : Mutex.t;
+  readers : waiters;
+  writers : waiters;
+  backend : Select_backend.t;
+  rings : intent list Atomic.t array;  (* per-worker submission rings *)
+  npending : int Atomic.t;  (* intents submitted, not yet decided *)
+  syscalls : int Atomic.t;  (* kernel I/O calls made through this reactor *)
+  gen : int Atomic.t;  (* bumped per submission; drives select pacing *)
+  mutable last_pass : float;  (* pump-only: when the last select ran *)
+  mutable last_gen : int;  (* pump-only: gen as of the last select *)
+  legacy : bool;
+  (* Test-only mutation hook: drop every [drop_every]-th completion on
+     the floor (the fiber stays parked forever).  Exists so the chaos
+     suite can prove it *detects* a lost completion — see
+     [test/test_reactor.ml] — and is never set in production paths. *)
+  drop_every : int Atomic.t;
+  drop_tick : int Atomic.t;
+}
 
-let add_waiter t kind fd notify =
-  let w = { wfd = fd; wkind = kind; notify; live = true } in
-  Mutex.lock t.mu;
-  let tbl = tbl_of t kind in
-  (match Hashtbl.find_opt tbl fd with
+let create ?(legacy = false) () =
+  {
+    mu = Mutex.create ();
+    readers = Hashtbl.create 16;
+    writers = Hashtbl.create 16;
+    backend = Select_backend.create ();
+    rings = Array.init ring_count (fun _ -> Atomic.make []);
+    npending = Atomic.make 0;
+    syscalls = Atomic.make 0;
+    gen = Atomic.make 0;
+    last_pass = 0.;
+    last_gen = -1;
+    legacy;
+    drop_every = Atomic.make 0;
+    drop_tick = Atomic.make 0;
+  }
+
+let is_legacy t = t.legacy
+let syscalls t = Atomic.get t.syscalls
+let count_syscall t = Atomic.incr t.syscalls
+let pending t = Atomic.get t.npending
+let chaos_drop_completions t ~every = Atomic.set t.drop_every every
+
+let tbl_of t = function `R -> t.readers | `W -> t.writers
+
+(* --- registration table (pump + cancel only; guarded by [t.mu]) --- *)
+
+let register_locked t w =
+  let tbl = tbl_of t w.ikind in
+  match Hashtbl.find_opt tbl w.ifd with
   | Some l -> l := w :: !l
-  | None -> Hashtbl.add tbl fd (ref [ w ]));
-  Mutex.unlock t.mu;
-  w
+  | None ->
+      Hashtbl.add tbl w.ifd (ref [ w ]);
+      Select_backend.add t.backend w.ikind w.ifd
 
-let add_readable t fd notify = add_waiter t Read fd notify
-let add_writable t fd notify = add_waiter t Write fd notify
-
-(* Detach every waiter currently parked on [fd] in [tbl].  Owner of
-   [t.mu] only; the returned waiters are already marked dead, so the
-   caller runs their callbacks outside the lock. *)
-let take_all tbl fd =
+(* Detach every armed waiter on [fd], marking them [Claimed]: the caller
+   (the pump) owns them and must decide each one.  Owner of [t.mu]. *)
+let take_all_locked t kind fd =
+  let tbl = tbl_of t kind in
   match Hashtbl.find_opt tbl fd with
   | None -> []
   | Some l ->
-      let ws = List.filter (fun w -> w.live) !l in
-      List.iter (fun w -> w.live <- false) ws;
+      let ws = List.filter (fun w -> w.istate = Armed) !l in
+      List.iter (fun w -> w.istate <- Claimed) ws;
       Hashtbl.remove tbl fd;
+      Select_backend.remove t.backend kind fd;
       ws
+
+(* --- submission: the lock-free fiber-side entry point --- *)
+
+let rec ring_push r w =
+  let old = Atomic.get r in
+  if not (Atomic.compare_and_set r old (w :: old)) then ring_push r w
+
+let submit t ~kind ~fd ~run notify =
+  let w =
+    { ifd = fd; ikind = kind; run; notify; istate = Armed; cancel_requested = false }
+  in
+  Atomic.incr t.npending;
+  let slot = (Domain.self () :> int) land (ring_count - 1) in
+  ring_push t.rings.(slot) w;
+  Atomic.incr t.gen;
+  w
+
+let submit_wait t ~kind ~fd notify = submit t ~kind ~fd ~run:(fun () -> `Done) notify
+
+(* Compatibility shims for the (exn option -> unit) callback layer. *)
+let wrap_notify f = function
+  | Complete -> f None
+  | Error e -> f (Some e)
+  | Cancelled -> f None (* unreachable: nothing cancels these externally *)
+
+let add_readable t fd notify = submit_wait t ~kind:`R ~fd (wrap_notify notify)
+let add_writable t fd notify = submit_wait t ~kind:`W ~fd (wrap_notify notify)
 
 let cancel t w =
   Mutex.lock t.mu;
-  let claimed = w.live in
-  if claimed then begin
-    w.live <- false;
-    let tbl = tbl_of t w.wkind in
-    match Hashtbl.find_opt tbl w.wfd with
-    | None -> ()
-    | Some l -> (
-        match List.filter (fun w' -> w' != w) !l with
-        | [] -> Hashtbl.remove tbl w.wfd
-        | rest -> l := rest)
-  end;
+  let claimed =
+    match w.istate with
+    | Armed ->
+        w.istate <- Done;
+        (* The intent may still sit in a submission ring (the pump
+           discards [Done] intents when it drains) or in the table. *)
+        let tbl = tbl_of t w.ikind in
+        (match Hashtbl.find_opt tbl w.ifd with
+        | None -> ()
+        | Some l -> (
+            match List.filter (fun w' -> w' != w) !l with
+            | [] ->
+                Hashtbl.remove tbl w.ifd;
+                Select_backend.remove t.backend w.ikind w.ifd
+            | rest -> l := rest));
+        true
+    | Claimed ->
+        (* The pump is mid-operation; it checks this flag before
+           re-arming and completes with [Cancelled] instead. *)
+        w.cancel_requested <- true;
+        false
+    | Done -> false
+  in
   Mutex.unlock t.mu;
+  if claimed then Atomic.decr t.npending;
   claimed
 
-let wait_on t kind fd =
-  let err = ref None in
-  Fiber.suspend (fun resume ->
-      ignore
-        (add_waiter t kind fd (fun e ->
-             err := e;
-             resume ())
-          : waiter));
-  match !err with Some e -> raise e | None -> ()
+(* --- completion delivery (pump side) --- *)
 
-let wait_readable t fd = wait_on t Read fd
-let wait_writable t fd = wait_on t Write fd
+let deliver t w outcome =
+  let every = Atomic.get t.drop_every in
+  if every > 0 && Atomic.fetch_and_add t.drop_tick 1 mod every = every - 1 then begin
+    (* Chaos hook: the completion is lost in transit — exactly the bug
+       being simulated.  The intent goes back to [Armed] but is NOT
+       re-registered, so nothing will ever complete it: [npending] (the
+       io_pending gauge) sticks, and a deadline's {!cancel} can still
+       claim the intent and fail the fiber with a timeout.  That is the
+       observable signature the mutation test asserts on, instead of a
+       silent hang. *)
+    Mutex.lock t.mu;
+    w.istate <- Armed;
+    Mutex.unlock t.mu
+  end
+  else begin
+    Mutex.lock t.mu;
+    w.istate <- Done;
+    Mutex.unlock t.mu;
+    Atomic.decr t.npending;
+    w.notify outcome
+  end
 
-(* A descriptor that [select] rejects wholesale (closed under a parked
+(* Run a claimed intent's operation in the pump.  A would-block answer
+   re-arms the intent (no completion, the fiber stays parked) unless a
+   cancel arrived while we held the claim. *)
+let execute t w =
+  if t.legacy then begin
+    (* Legacy mode reproduces the wait-then-retry reactor: readiness
+       just wakes the fiber, which reissues the kernel op itself. *)
+    deliver t w Complete;
+    1
+  end
+  else
+    match w.run () with
+    | `Done ->
+        deliver t w Complete;
+        1
+    | `Again ->
+        Mutex.lock t.mu;
+        if w.cancel_requested then begin
+          Mutex.unlock t.mu;
+          deliver t w Cancelled;
+          1
+        end
+        else begin
+          w.istate <- Armed;
+          register_locked t w;
+          Mutex.unlock t.mu;
+          0
+        end
+    | exception e ->
+        deliver t w (Error e);
+        1
+
+(* --- the pump --- *)
+
+let drain_rings_locked t =
+  Array.iter
+    (fun r ->
+      if Atomic.get r != [] then
+        List.iter
+          (fun w -> if w.istate = Armed then register_locked t w)
+          (Atomic.exchange r []))
+    t.rings
+
+(* A descriptor the backend rejects wholesale (closed under a parked
    fiber -> EBADF, or beyond FD_SETSIZE -> EINVAL) poisons the whole
-   readiness call without naming itself.  Probe each registered fd alone:
-   the ones that still fail get their waiters resumed with the exception —
-   a parked fiber must fail loudly, never park forever. *)
+   readiness pass without naming itself.  Probe each registered fd
+   alone: the ones that still fail get their waiters completed with the
+   exception — a parked fiber must fail loudly, never park forever. *)
 let sweep_bad t =
   Mutex.lock t.mu;
   let rfds = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.readers [] in
@@ -93,6 +324,7 @@ let sweep_bad t =
     List.filter_map
       (fun fd ->
         let r, w = if write then ([], [ fd ]) else ([ fd ], []) in
+        count_syscall t;
         match Unix.select r w [] 0. with
         | _ -> None
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> None
@@ -103,51 +335,158 @@ let sweep_bad t =
   let bad_w = probe wfds ~write:true in
   Mutex.lock t.mu;
   let victims =
-    List.concat_map (fun (fd, e) -> List.map (fun w -> (w, e)) (take_all t.readers fd)) bad_r
-    @ List.concat_map (fun (fd, e) -> List.map (fun w -> (w, e)) (take_all t.writers fd)) bad_w
+    List.concat_map
+      (fun (fd, e) -> List.map (fun w -> (w, e)) (take_all_locked t `R fd))
+      bad_r
+    @ List.concat_map
+        (fun (fd, e) -> List.map (fun w -> (w, e)) (take_all_locked t `W fd))
+        bad_w
   in
   Mutex.unlock t.mu;
-  List.iter (fun (w, e) -> w.notify (Some e)) victims;
+  List.iter (fun (w, e) -> deliver t w (Error e)) victims;
   List.length victims
 
 let poll t =
-  Mutex.lock t.mu;
-  let rfds = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.readers [] in
-  let wfds = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.writers [] in
-  Mutex.unlock t.mu;
-  if rfds = [] && wfds = [] then 0
-  else
-    match Unix.select rfds wfds [] 0. with
-    | [], [], _ -> 0
-    | ready_r, ready_w, _ ->
-        Mutex.lock t.mu;
-        let ws =
-          List.concat_map (take_all t.readers) ready_r
-          @ List.concat_map (take_all t.writers) ready_w
-        in
-        Mutex.unlock t.mu;
-        List.iter (fun w -> w.notify None) ws;
-        List.length ws
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
-    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> sweep_bad t
+  (* 1. Drain the submission rings into the registration table. *)
+  let fresh = Array.exists (fun r -> Atomic.get r != []) t.rings in
+  if fresh then begin
+    Mutex.lock t.mu;
+    drain_rings_locked t;
+    Mutex.unlock t.mu
+  end;
+  if Atomic.get t.npending = 0 || not (Select_backend.armed t.backend) then 0
+  else begin
+    (* 2. One batched readiness pass — paced, so an idle-spinning pump
+       does not burn a select per loop iteration on an unchanged set. *)
+    let g = Atomic.get t.gen in
+    let now = Unix.gettimeofday () in
+    if
+      (not t.legacy) && g = t.last_gen
+      && now -. t.last_pass < select_pacing_s
+    then 0
+    else begin
+      t.last_gen <- g;
+      t.last_pass <- now;
+      count_syscall t;
+      match Select_backend.wait t.backend with
+      | [], [] -> 0
+      | ready_r, ready_w -> (
+          Mutex.lock t.mu;
+          let ws =
+            List.concat_map (take_all_locked t `R) ready_r
+            @ List.concat_map (take_all_locked t `W) ready_w
+          in
+          Mutex.unlock t.mu;
+          (* 3. Execute the ready operations right here and deliver the
+             completions; re-armed intents go back without a wake-up. *)
+          List.fold_left (fun acc w -> acc + execute t w) 0 ws)
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> sweep_bad t
+    end
+  end
 
-let pending t =
-  Mutex.lock t.mu;
-  let count tbl =
-    Hashtbl.fold
-      (fun _ l acc -> acc + List.length (List.filter (fun w -> w.live) !l))
-      tbl 0
-  in
-  let n = count t.readers + count t.writers in
-  Mutex.unlock t.mu;
-  n
+(* --- blocking fiber waits (compatibility surface) --- *)
+
+let wait_on t kind fd =
+  let err = ref None in
+  Fiber.suspend (fun resume ->
+      ignore
+        (submit_wait t ~kind ~fd (function
+          | Complete | Cancelled -> resume ()
+          | Error e ->
+              err := Some e;
+              resume ())
+          : waiter));
+  match !err with Some e -> raise e | None -> ()
+
+let wait_readable t fd = wait_on t `R fd
+let wait_writable t fd = wait_on t `W fd
+
+(* --- vectored I/O shim ---
+
+   ExtUnix-free: a single buffer goes straight through; several buffers
+   are coalesced into one scratch write/read, so the whole vector still
+   costs one kernel round trip (one copy stands in for the missing
+   writev(2)/readv(2) binding — this, not the call sites, is where a C
+   stub would slot in). *)
+
+module Iov = struct
+  let length iovs = List.fold_left (fun acc b -> acc + Bytes.length b) 0 iovs
+
+  (* Drop the first [n] bytes: the remaining vector after a short write. *)
+  let rec drop iovs n =
+    if n <= 0 then iovs
+    else
+      match iovs with
+      | [] -> []
+      | b :: rest ->
+          let len = Bytes.length b in
+          if n >= len then drop rest (n - len)
+          else [ Bytes.sub b n (len - n) ] @ rest
+
+  (* Clamp the vector to its first [cap] bytes (injected short writes). *)
+  let take iovs cap =
+    let rec go acc left = function
+      | [] -> List.rev acc
+      | b :: rest ->
+          let len = Bytes.length b in
+          if len >= left then List.rev (Bytes.sub b 0 left :: acc)
+          else go (b :: acc) (left - len) rest
+    in
+    if cap <= 0 then [] else go [] cap iovs
+
+  let write fd iovs =
+    match iovs with
+    | [] -> 0
+    | [ b ] -> Unix.write fd b 0 (Bytes.length b)
+    | bs ->
+        let total = length bs in
+        let scratch = Bytes.create total in
+        let _ =
+          List.fold_left
+            (fun pos b ->
+              let len = Bytes.length b in
+              Bytes.blit b 0 scratch pos len;
+              pos + len)
+            0 bs
+        in
+        Unix.write fd scratch 0 total
+
+  let read fd iovs =
+    match iovs with
+    | [] -> 0
+    | [ b ] -> Unix.read fd b 0 (Bytes.length b)
+    | bs ->
+        let total = length bs in
+        let scratch = Bytes.create total in
+        let n = Unix.read fd scratch 0 total in
+        let rec scatter pos = function
+          | [] -> ()
+          | b :: rest ->
+              if pos < n then begin
+                let k = min (Bytes.length b) (n - pos) in
+                Bytes.blit scratch pos b 0 k;
+                scatter (pos + k) rest
+              end
+        in
+        scatter 0 bs;
+        n
+end
+
+(* --- blocking helpers over the wait surface ---
+
+   Wait-first on purpose: these serve descriptors that may still be in
+   blocking mode (tests, pipes), where an eager kernel call could hold
+   the worker.  The eager-completion fast path lives in
+   [Reactor.run_io], which only sees non-blocking descriptors. *)
 
 let read t fd buf pos len =
   wait_readable t fd;
+  count_syscall t;
   Unix.read fd buf pos len
 
 let write t fd buf pos len =
   wait_writable t fd;
+  count_syscall t;
   Unix.write fd buf pos len
 
 let read_exactly t fd buf len =

@@ -1,25 +1,96 @@
-(** File-descriptor readiness for fibers: real I/O latency, hidden.
+(** Submission/completion I/O for fibers: real I/O latency, hidden —
+    and batched.
 
-    A reactor holds fibers suspended on descriptor readability or
-    writability.  Workers drive it by polling — register {!poll} with
-    {!Lhws_pool.register_poller} — exactly the polling implementation of
-    resume callbacks sketched in Section 6.  [select]-based, so it works
-    on pipes and sockets portably.
+    Fibers submit {e intents} — (fd, direction, an optional kernel
+    operation, a completion callback) — into per-worker lock-free
+    submission rings.  The worker that wins the pool's pump election
+    drains the rings, registers the intents against an incrementally
+    maintained interest set, issues {e one} batched readiness pass per
+    pump (see {!BACKEND}; [select] today), executes the ready
+    operations directly, and delivers completions through the
+    callbacks, which resume fibers over the pools' existing MPSC
+    resume channels.  Register {!poll} with
+    {!Lhws_pool.register_poller} — exactly the polling implementation
+    of resume callbacks sketched in Section 6 of the paper.
 
     All waits must happen on fibers of a suspension-capable pool.  The
-    blocking baseline simply issues blocking reads/writes instead — that
-    is the comparison the paper draws.
+    blocking baseline simply issues blocking reads/writes instead —
+    that is the comparison the paper draws.
 
-    Descriptor errors are surfaced, never swallowed: when [select]
+    Descriptor errors are surfaced, never swallowed: when the backend
     rejects the registered set (a waiter's fd was closed — [EBADF] — or
     exceeds [FD_SETSIZE] — [EINVAL]), {!poll} probes each fd in
-    isolation and resumes the offending fds' waiters with the
-    [Unix.Unix_error]; the blocking-wait entry points re-raise it in the
-    parked fiber. *)
+    isolation and completes the offending fds' intents with the
+    [Unix.Unix_error]; the blocking-wait entry points re-raise it in
+    the parked fiber. *)
 
 type t
 
-val create : unit -> t
+val create : ?legacy:bool -> unit -> t
+(** [legacy:true] reproduces the pre-batching reactor for comparison
+    benchmarks: readiness wakes the fiber instead of executing its
+    operation in the pump, and the readiness pass is never paced.
+    Default is the batched behaviour. *)
+
+val is_legacy : t -> bool
+
+(** {1 The backend seam}
+
+    The readiness mechanism behind {!poll}, kept behind a signature so
+    an [epoll] or [io_uring] backend can replace [select] without
+    touching the intent machinery: implement interest registration
+    ([add]/[remove], called once per (fd, direction) transition — never
+    per poll) and one batched zero-timeout readiness pass ([wait]). *)
+
+module type BACKEND = sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> [ `R | `W ] -> Unix.file_descr -> unit
+  val remove : t -> [ `R | `W ] -> Unix.file_descr -> unit
+  val armed : t -> bool
+
+  val wait : t -> Unix.file_descr list * Unix.file_descr list
+  (** May raise [Unix.Unix_error (EBADF | EINVAL, _, _)] to reject the
+      whole set; {!poll} recovers with a per-fd probe sweep. *)
+end
+
+(** {1 Intent submission}
+
+    The core entry points.  Submission is lock-free: one CAS onto the
+    calling worker's ring. *)
+
+type intent
+
+type outcome =
+  | Complete  (** the operation ran (or the fd is ready, for waits) *)
+  | Error of exn  (** the operation raised, or the fd turned bad *)
+  | Cancelled
+      (** a {!cancel} lost its claim race while the pump held the
+          intent; delivered so the canceller's deadline still wins *)
+
+val submit :
+  t ->
+  kind:[ `R | `W ] ->
+  fd:Unix.file_descr ->
+  run:(unit -> [ `Done | `Again ]) ->
+  (outcome -> unit) ->
+  intent
+(** Enqueues an intent.  Once the fd is ready the pump calls [run]:
+    [`Done] means the operation completed (stash results in the
+    closure); [`Again] means it would still block — the intent is
+    re-armed without a completion; raising delivers [Error].  Exactly
+    one completion is delivered unless {!cancel} claims the intent
+    first. *)
+
+val cancel : t -> intent -> bool
+(** Atomically claims the intent: [true] guarantees its callback will
+    never fire iff it had not already fired (or been claimed).  The
+    arbiter for wait-vs-deadline races.  When the pump is mid-operation
+    on the intent, [cancel] returns [false] and the pump delivers
+    either the operation's outcome or [Cancelled] — exactly one of the
+    two — so the caller can still lose the race it asked to win. *)
 
 (** {1 Blocking fiber waits} *)
 
@@ -33,7 +104,8 @@ val wait_writable : t -> Unix.file_descr -> unit
 
 val read : t -> Unix.file_descr -> bytes -> int -> int -> int
 (** [read t fd buf pos len] waits for readability, then [Unix.read].
-    Returns the number of bytes read (0 at end of file). *)
+    Returns the number of bytes read (0 at end of file).  Wait-first
+    (no eager attempt): safe on descriptors still in blocking mode. *)
 
 val write : t -> Unix.file_descr -> bytes -> int -> int -> int
 (** Waits for writability, then [Unix.write]. *)
@@ -47,32 +119,70 @@ val write_all : t -> Unix.file_descr -> bytes -> unit
 
 (** {1 Cancellable waiter handles}
 
-    The callback layer under the blocking waits, for callers that race a
-    readiness wait against something else (deadline timers in
-    [lib/net]).  Exactly one of these happens to a registered waiter:
-    its callback fires with [None] (ready), fires with [Some exn] (fd
-    error), or {!cancel} returns [true] (the caller claimed it first). *)
+    The [(exn option -> unit)] compatibility layer over {!submit}, for
+    callers that race a readiness wait against something else (deadline
+    timers in [lib/net]).  Exactly one of these happens to a registered
+    waiter: its callback fires with [None] (ready), fires with
+    [Some exn] (fd error), or {!cancel} returns [true]. *)
 
-type waiter
+type waiter = intent
 
 val add_readable : t -> Unix.file_descr -> (exn option -> unit) -> waiter
-(** Registers a callback to run once when the fd is readable ([None]) or
-    found bad ([Some (Unix.Unix_error _)]).  The callback runs on the
-    polling worker, outside the reactor lock. *)
+(** Registers a callback to run once when the fd is readable ([None])
+    or found bad ([Some (Unix.Unix_error _)]).  The callback runs on
+    the pumping worker, outside the reactor lock. *)
 
 val add_writable : t -> Unix.file_descr -> (exn option -> unit) -> waiter
 
-val cancel : t -> waiter -> bool
-(** Atomically claims the waiter: returns [true] and guarantees the
-    callback will never fire iff it had not already fired (or been
-    claimed).  The arbiter for wait-vs-deadline races. *)
+(** {1 Vectored I/O}
 
-(** {1 Polling} *)
+    ExtUnix-free [writev]/[readv]: one kernel round trip for a whole
+    buffer vector.  A single buffer goes straight through; several are
+    coalesced through one scratch copy — the seam where a C
+    [writev(2)]/[readv(2)] stub would slot in without touching call
+    sites. *)
+
+module Iov : sig
+  val length : Bytes.t list -> int
+
+  val drop : Bytes.t list -> int -> Bytes.t list
+  (** The vector minus its first [n] bytes (resume after a short write). *)
+
+  val take : Bytes.t list -> int -> Bytes.t list
+  (** The vector clamped to its first [cap] bytes (injected shorts). *)
+
+  val write : Unix.file_descr -> Bytes.t list -> int
+  (** One gathering write; returns bytes written (may be short). *)
+
+  val read : Unix.file_descr -> Bytes.t list -> int
+  (** One scattering read; returns bytes read (0 at end of file). *)
+end
+
+(** {1 Polling and introspection} *)
 
 val poll : t -> int
-(** Checks readiness with a zero timeout and resumes every ready waiter;
-    returns how many were resumed (including waiters failed with a
-    descriptor error).  Thread-safe; call from worker loops. *)
+(** The pump: drains the submission rings, issues at most one batched
+    readiness pass, executes ready operations and delivers their
+    completions; returns how many completions were delivered (including
+    intents failed with a descriptor error).  Thread-safe; call from
+    worker loops. *)
 
 val pending : t -> int
-(** Fibers currently parked in the reactor. *)
+(** Intents currently submitted and undecided (parked fibers). *)
+
+val syscalls : t -> int
+(** Kernel I/O calls issued through this reactor so far: readiness
+    passes, probe sweeps, and every operation counted via
+    {!count_syscall}.  Feeds the pools' [io_syscalls] stats counter. *)
+
+val count_syscall : t -> unit
+(** Adds one kernel I/O call to {!syscalls}.  Called by the layers that
+    issue operations outside {!poll} (eager attempts, blocking-mode
+    syscalls) so the counter stays a complete census. *)
+
+val chaos_drop_completions : t -> every:int -> unit
+(** Test-only mutation hook: silently drop every [every]-th completion
+    (the submitting fiber stays parked).  Exists so the chaos suite can
+    prove a lost completion is {e detected} — deadline waits fire, the
+    [io_pending] gauge sticks — rather than hanging the run.  [0]
+    disables. *)

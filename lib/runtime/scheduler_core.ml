@@ -106,6 +106,7 @@ type stats = {
   resumes : int;
   max_deques_per_worker : int;
   io_pending : int;
+  io_syscalls : int;
   conns_shed : int;
   scavenge_steals : int;
   tasks_scavenged : int;
@@ -211,6 +212,7 @@ end
 type poller = {
   poll_fn : unit -> int;
   pending_fn : (unit -> int) option;  (* gauge: fibers parked in this source *)
+  syscalls_fn : (unit -> int) option;  (* counter: kernel I/O calls issued *)
 }
 
 module Make (P : POLICY) = struct
@@ -405,6 +407,10 @@ module Make (P : POLICY) = struct
         List.fold_left
           (fun acc p -> match p.pending_fn with Some f -> acc + f () | None -> acc)
           0 t.pollers;
+      io_syscalls =
+        List.fold_left
+          (fun acc p -> match p.syscalls_fn with Some f -> acc + f () | None -> acc)
+          0 t.pollers;
       conns_shed = List.fold_left (fun acc f -> acc + f ()) 0 (Atomic.get t.shed_fns);
       scavenge_steals = sum (fun c -> c.scavenge_steals);
       tasks_scavenged = sum (fun c -> c.tasks_scavenged);
@@ -504,8 +510,8 @@ module Make (P : POLICY) = struct
   let timer t = t.timer
   let workers t = Array.length t.ctxs
   let set_tracer t tracer = t.tracer := Some tracer
-  let register_poller t ?pending poll =
-    t.pollers <- { poll_fn = poll; pending_fn = pending } :: t.pollers
+  let register_poller t ?pending ?syscalls poll =
+    t.pollers <- { poll_fn = poll; pending_fn = pending; syscalls_fn = syscalls } :: t.pollers
 
   let register_shed_counter t f =
     let rec push () =

@@ -139,6 +139,12 @@ type stats = {
       (** gauge, not a counter: fibers currently parked in registered
           pollers (see [register_poller]'s [?pending]); 0 for pools with
           no pollers attached *)
+  io_syscalls : int;
+      (** kernel I/O calls issued through registered pollers' reactors —
+          readiness passes, probe sweeps and the operations themselves
+          (see [register_poller]'s [?syscalls]); 0 for pools with no
+          pollers attached.  Divide by operations served to measure the
+          batched reactor's syscalls/op *)
   conns_shed : int;
       (** connections rejected fast by overload shedding in serving
           layers running on this pool (see [register_shed_counter]);
@@ -353,10 +359,13 @@ module Make (P : POLICY) : sig
   val timer : t -> Timer.t
   val workers : t -> int
   val set_tracer : t -> Tracing.t -> unit
-  val register_poller : t -> ?pending:(unit -> int) -> (unit -> int) -> unit
-  (** [register_poller t ?pending poll] adds an event source pumped by the
-      worker loop.  [pending] (e.g. {!Io.pending}) feeds the [io_pending]
-      stats gauge; sources without parked fibers omit it. *)
+  val register_poller :
+    t -> ?pending:(unit -> int) -> ?syscalls:(unit -> int) -> (unit -> int) -> unit
+  (** [register_poller t ?pending ?syscalls poll] adds an event source
+      pumped by the worker loop.  [pending] (e.g. {!Io.pending}) feeds
+      the [io_pending] stats gauge; [syscalls] (e.g. {!Io.syscalls})
+      feeds the [io_syscalls] counter; sources without parked fibers or
+      kernel traffic omit them. *)
 
   val register_shed_counter : t -> (unit -> int) -> unit
   (** Adds a monotone counter summed into the [conns_shed] stats field —

@@ -23,6 +23,7 @@ type stats = Scheduler_core.stats = {
   resumes : int;
   max_deques_per_worker : int;
   io_pending : int;
+  io_syscalls : int;
   conns_shed : int;
   scavenge_steals : int;
   tasks_scavenged : int;
@@ -49,6 +50,7 @@ let stats t =
     resumes = 0;
     max_deques_per_worker = 0;
     io_pending = 0;
+    io_syscalls = 0;
     conns_shed = List.fold_left (fun acc f -> acc + f ()) 0 (Atomic.get t.shed_fns);
     scavenge_steals = 0;
     tasks_scavenged = 0;

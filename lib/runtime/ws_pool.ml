@@ -233,6 +233,7 @@ type stats = Scheduler_core.stats = {
   resumes : int;
   max_deques_per_worker : int;
   io_pending : int;
+  io_syscalls : int;
   conns_shed : int;
   scavenge_steals : int;
   tasks_scavenged : int;

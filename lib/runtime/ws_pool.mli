@@ -56,7 +56,8 @@ val set_tracer : t -> Tracing.t -> unit
     tracer from now on; see {!Tracing.to_chrome_json}.  Set before
     {!run}; adds two clock reads per task. *)
 
-val register_poller : t -> ?pending:(unit -> int) -> (unit -> int) -> unit
+val register_poller :
+  t -> ?pending:(unit -> int) -> ?syscalls:(unit -> int) -> (unit -> int) -> unit
 (** Adds an event source that workers poll once per scheduling iteration.
     The callback returns how many events it fired.  Register before
     {!run}; not thread-safe against concurrent registration. *)
@@ -102,6 +103,7 @@ type stats = Scheduler_core.stats = {
   resumes : int;
   max_deques_per_worker : int;
   io_pending : int;
+  io_syscalls : int;
   conns_shed : int;
   scavenge_steals : int;
   tasks_scavenged : int;

@@ -29,7 +29,8 @@ let with_lhws_net ?(workers = 4) ?fault f =
   Lhws_pool.with_pool ~workers (fun p ->
       let rt =
         Reactor.fibers
-          ~register:(fun ~pending poll -> Lhws_pool.register_poller p ?pending poll)
+          ~register:(fun ~pending ~syscalls poll ->
+            Lhws_pool.register_poller p ?pending ?syscalls poll)
           ?fault ()
       in
       f p rt)

@@ -101,7 +101,7 @@ module Conformance (Pool : Pool_intf.POOL) = struct
           && s.steals_batched >= 0
           && s.tasks_stolen >= 0 && s.deques_allocated >= 0
           && s.suspensions >= 0 && s.resumes >= 0 && s.max_deques_per_worker >= 0
-          && s.io_pending >= 0 && s.conns_shed >= 0
+          && s.io_pending >= 0 && s.io_syscalls >= 0 && s.conns_shed >= 0
           && s.scavenge_steals >= 0 && s.tasks_scavenged >= 0
           && s.tasks_donated >= 0
           && Array.for_all (fun c -> c >= 0) s.tasks_per_steal_hist
@@ -121,6 +121,7 @@ module Conformance (Pool : Pool_intf.POOL) = struct
           && b.scavenge_steals >= a.scavenge_steals
           && b.tasks_scavenged >= a.tasks_scavenged
           && b.tasks_donated >= a.tasks_donated
+          && b.io_syscalls >= a.io_syscalls
           (* io_pending is a gauge, not a counter: deliberately excluded *)))
 
   let test_steal_stats_consistent () =

@@ -8,19 +8,36 @@
    Run with: dune exec bench/main.exe            (all sections, full sizes)
              dune exec bench/main.exe -- quick   (skip bechamel + real-pool sections)
              dune exec bench/main.exe -- smoke   (everything tiny; CI)
+             dune exec bench/main.exe -- full --only http   (one section)
 *)
 
 module B = Lhws_bench
 
 let () =
-  let profile =
-    if Array.length Sys.argv < 2 then B.Registry.Full
-    else
-      match B.Registry.profile_of_string Sys.argv.(1) with
-      | Some p -> p
-      | None ->
-          Printf.eprintf "usage: %s [full|quick|smoke]\n" Sys.argv.(0);
-          exit 2
+  (* Server-child mode: the HTTP scenarios re-exec this binary to host
+     the server in its own process (its own descriptor budget, nothing
+     shared with the load generator).  Dispatch before anything else. *)
+  if Array.length Sys.argv >= 2 && Sys.argv.(1) = "--http-child" then begin
+    B.Scenarios_http.child_main (Array.sub Sys.argv 2 (Array.length Sys.argv - 2));
+    exit 0
+  end;
+  let usage () =
+    Printf.eprintf "usage: %s [full|quick|smoke] [--only SUBSTRING]\n" Sys.argv.(0);
+    exit 2
+  in
+  let profile, only =
+    let rec parse i profile only =
+      if i >= Array.length Sys.argv then (profile, only)
+      else
+        match Sys.argv.(i) with
+        | "--only" when i + 1 < Array.length Sys.argv ->
+            parse (i + 2) profile (Some Sys.argv.(i + 1))
+        | arg -> (
+            match B.Registry.profile_of_string arg with
+            | Some p -> parse (i + 1) p only
+            | None -> usage ())
+    in
+    parse 1 B.Registry.Full None
   in
   B.Scenarios_speedup.register ();
   B.Scenarios_bounds.register ();
@@ -30,7 +47,8 @@ let () =
   B.Scenarios_contention.register ();
   B.Scenarios_net.register ();
   B.Scenarios_micropools.register ();
-  B.Registry.run_all profile;
+  B.Scenarios_http.register ();
+  B.Registry.run_all ?only profile;
   (try
      if not (Sys.file_exists "results") then Sys.mkdir "results" 0o755;
      B.Bench_json.write ~path:"results/BENCH_results.json";

@@ -40,7 +40,16 @@ let section title =
   Printf.printf "%s\n" title;
   Printf.printf "================================================================\n%!"
 
-let run_all profile =
+(* [only] narrows the run to scenarios whose registered name contains
+   the given substring — the way to re-run one expensive section (say,
+   the 10k-connection HTTP leg at full profile) without paying for the
+   whole suite. *)
+let name_matches sub name =
+  let nl = String.length name and sl = String.length sub in
+  let rec go i = i + sl <= nl && (String.sub name i sl = sub || go (i + 1)) in
+  sl = 0 || go 0
+
+let run_all ?only profile =
   List.iter
     (fun s ->
       let skip =
@@ -49,5 +58,8 @@ let run_all profile =
         | Quick -> s.skip_in_quick
         | Smoke -> s.skip_in_smoke
       in
-      if not skip then s.run profile)
+      let selected =
+        match only with None -> true | Some sub -> name_matches sub s.name
+      in
+      if selected && not skip then s.run profile)
     (List.rev !scenarios)

@@ -15,10 +15,13 @@
    - resume-storm samples ([contention_resume_storm]): fail when the
      current wall exceeds baseline * 1.25 plus a 25 ms absolute grace, so
      tiny walls on a shared CI runner don't flake the guard;
-   - net_echo* samples carrying a [p99_us] counter: fail when the current
-     p99 exceeds baseline * 2 plus a 2 ms absolute grace — the "batched
-     reactor must not trade tail latency for syscall count" check, with
-     margins sized for loopback timings on a shared runner.
+   - net_echo* and http_* samples carrying a [p99_us] counter: fail when
+     the current p99 exceeds baseline * 2 plus a 2 ms absolute grace —
+     the "batched reactor must not trade tail latency for syscall count"
+     check, with margins sized for loopback timings on a shared runner;
+   - http_* samples carrying a [throughput_rps] counter: fail when the
+     current req/s drops below baseline * 0.8 — the serving-layer
+     regression pin for the keep-alive and mixed-topology legs.
 
    Other wall-clock samples are reported but not guarded: at smoke sizes
    they are milliseconds and dominated by machine noise.
@@ -188,6 +191,7 @@ type sample = {
   wall_s : float option;
   speedup : float option;
   p99_us : float option;  (* from the nested counters object, when present *)
+  throughput_rps : float option;  (* likewise *)
 }
 
 let field k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
@@ -226,6 +230,10 @@ let samples_of_file path =
                     (match field "counters" item with
                     | Some counters -> as_num (field "p99_us" counters)
                     | None -> None);
+                  throughput_rps =
+                    (match field "counters" item with
+                    | Some counters -> as_num (field "throughput_rps" counters)
+                    | None -> None);
                 }
           | _ -> None)
         items
@@ -243,6 +251,10 @@ let wall_speedup_threshold = 4. (* both ratio legs are noisy wall-clock timings 
 let wall_grace_s = 0.025 (* absolute grace for tiny walls on noisy runners *)
 let p99_threshold = 2.
 let p99_grace_us = 2000. (* loopback p99s are hundreds of us; don't flake *)
+let rps_floor = 0.8 (* http_* req/s must stay within 20% of baseline *)
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
 
 let () =
   let current_path, baseline_path =
@@ -264,9 +276,23 @@ let () =
       match find current b with
       | None -> report "SKIP" b "no matching sample in current run"
       | Some c ->
+          (match (b.throughput_rps, c.throughput_rps) with
+          | Some br, Some cr when has_prefix "http_" b.scenario ->
+              incr checked;
+              let floor = br *. rps_floor in
+              if cr < floor then begin
+                incr failures;
+                report "FAIL" b
+                  (Printf.sprintf "throughput %.0f req/s < %.0f (baseline %.0f * %.2f)"
+                     cr floor br rps_floor)
+              end
+              else
+                report "ok" b
+                  (Printf.sprintf "throughput %.0f req/s (baseline %.0f)" cr br)
+          | _ -> ());
           (match (b.p99_us, c.p99_us) with
           | Some bp, Some cp
-            when String.length b.scenario >= 8 && String.sub b.scenario 0 8 = "net_echo" ->
+            when has_prefix "net_echo" b.scenario || has_prefix "http_" b.scenario ->
               incr checked;
               let limit = (bp *. p99_threshold) +. p99_grace_us in
               if cp > limit then begin
@@ -289,9 +315,7 @@ let () =
               end
               else report "ok" b (Printf.sprintf "speedup %.3f (baseline %.3f)" cs bs)
           | _ -> (
-              if String.length b.scenario >= 23
-                 && String.sub b.scenario 0 23 = "contention_resume_storm"
-              then
+              if has_prefix "contention_resume_storm" b.scenario then
                 match (b.wall_s, c.wall_s) with
                 | Some bw, Some cw ->
                     incr checked;

@@ -1,0 +1,104 @@
+(* A routed HTTP/1.1 server on a two-class micropool topology: the
+   serving shape the paper's introduction gestures at, in ~60 lines.
+
+   Routes carry their own dispatcher, so the topology decides where
+   each request class runs:
+
+   - GET /fib/:n  — pure compute, pinned to the batch pool.  A slow
+     fib can never sit ahead of an echo request in the latency pool's
+     deque, so the I/O class's tail latency is bounded by its own work.
+   - POST /echo   — latency-bound I/O, pinned to the latency pool.
+
+   The driver pool owns the accept loop, the parser fibers and the
+   reactor; handlers run wherever their route says.  The example
+   serves itself over loopback (so `dune runtest` keeps it honest) and
+   prints the curl lines to try against a long-running copy.
+
+   Run with: dune exec examples/http_server.exe *)
+
+open Lhws_runtime
+module W = Lhws_workloads
+module P = W.Pool_intf
+module T = W.Topology
+module Reactor = Lhws_net.Reactor
+module Http = Lhws_net.Http
+
+let router topo =
+  Http.Router.create
+    [
+      Http.Router.route
+        ~dispatch:(T.dispatcher topo ~class_:T.Batch)
+        ~meth:"GET" "/fib/:n"
+        (fun params _req ->
+          match int_of_string_opt (List.assoc "n" params) with
+          | Some n when n >= 0 && n <= 35 ->
+              Http.text (Printf.sprintf "fib(%d) = %d\n" n (W.Fib.seq n))
+          | _ -> Http.text ~status:400 "n must be an integer in 0..35\n");
+      Http.Router.route
+        ~dispatch:(T.dispatcher topo ~class_:T.Latency)
+        ~meth:"POST" "/echo"
+        (fun _params req -> Http.response req.Http.body);
+    ]
+
+let () =
+  T.with_topology ~name:"web"
+    [ T.spec ~workers:1 T.Latency; T.spec ~workers:1 T.Batch ]
+    (fun topo ->
+      Lhws_pool.with_pool ~workers:1 (fun drv ->
+          let rt =
+            Reactor.fibers
+              ~register:(fun ~pending ~syscalls poll ->
+                Lhws_pool.register_poller drv ?pending ?syscalls poll)
+              ()
+          in
+          let module Pool = P.Lhws_instance in
+          Pool.run drv (fun () ->
+              let srv =
+                Http.serve_router
+                  (module Pool)
+                  drv rt
+                  (Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
+                  ~router:(router topo)
+              in
+              let port =
+                match Http.addr srv with
+                | Unix.ADDR_INET (_, p) -> p
+                | Unix.ADDR_UNIX _ -> assert false
+              in
+              Format.printf "routed HTTP server on 127.0.0.1:%d@." port;
+              Format.printf "  curl http://127.0.0.1:%d/fib/25@." port;
+              Format.printf "  curl -d 'hello' http://127.0.0.1:%d/echo@." port;
+              (* Exercise both routes over one keep-alive connection. *)
+              let cl = Http.Client.connect (module Pool) drv rt (Http.addr srv) in
+              let fib =
+                Pool.await drv (Http.Client.call cl ~meth:"GET" ~target:"/fib/20" ())
+              in
+              assert (fib.Http.Client.status = 200);
+              assert (Bytes.to_string fib.Http.Client.body = "fib(20) = 6765\n");
+              let echo =
+                Pool.await drv
+                  (Http.Client.call cl ~body:(Bytes.of_string "hello") ~meth:"POST"
+                     ~target:"/echo" ())
+              in
+              assert (echo.Http.Client.status = 200);
+              assert (Bytes.to_string echo.Http.Client.body = "hello");
+              let missing =
+                Pool.await drv (Http.Client.call cl ~meth:"GET" ~target:"/nope" ())
+              in
+              assert (missing.Http.Client.status = 404);
+              Format.printf "  GET /fib/20 -> %d %S@." fib.Http.Client.status
+                (Bytes.to_string fib.Http.Client.body);
+              Format.printf "  POST /echo  -> %d %S@." echo.Http.Client.status
+                (Bytes.to_string echo.Http.Client.body);
+              Http.Client.close cl;
+              (* Each class ran on its own pool: the batch member did the
+                 fib, the latency member the echo. *)
+              let ran cls =
+                let s = List.assoc cls (T.stats topo) in
+                s.Lhws_runtime.Scheduler_core.tasks_run > 0
+              in
+              assert (ran T.Batch);
+              assert (ran T.Latency);
+              Http.shutdown ~grace:2. srv;
+              Format.printf "served %d requests, shut down clean@."
+                (Http.served srv))))

@@ -1,0 +1,1236 @@
+module Pool_intf = Lhws_workloads.Pool_intf
+module Promise = Lhws_runtime.Promise
+
+(* ------------------------------------------------------------------ *)
+(* Messages                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type version = [ `Http_1_0 | `Http_1_1 ]
+
+type request = {
+  meth : string;
+  target : string;
+  path : string;
+  query : string;
+  version : version;
+  headers : (string * string) list;
+  body : Bytes.t;
+  keep_alive : bool;
+}
+
+let header req name = List.assoc_opt name req.headers
+
+type response = {
+  status : int;
+  reason : string;
+  resp_headers : (string * string) list;
+  resp_body : Bytes.t;
+}
+
+let reason_phrase = function
+  | 100 -> "Continue"
+  | 200 -> "OK"
+  | 201 -> "Created"
+  | 202 -> "Accepted"
+  | 204 -> "No Content"
+  | 301 -> "Moved Permanently"
+  | 302 -> "Found"
+  | 304 -> "Not Modified"
+  | 400 -> "Bad Request"
+  | 403 -> "Forbidden"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 411 -> "Length Required"
+  | 413 -> "Content Too Large"
+  | 414 -> "URI Too Long"
+  | 417 -> "Expectation Failed"
+  | 429 -> "Too Many Requests"
+  | 431 -> "Request Header Fields Too Large"
+  | 500 -> "Internal Server Error"
+  | 501 -> "Not Implemented"
+  | 502 -> "Bad Gateway"
+  | 503 -> "Service Unavailable"
+  | 505 -> "HTTP Version Not Supported"
+  | _ -> "Status"
+
+let response ?(status = 200) ?(reason = "") ?(headers = []) body =
+  { status; reason; resp_headers = headers; resp_body = body }
+
+let text ?(status = 200) s =
+  response ~status
+    ~headers:[ ("content-type", "text/plain") ]
+    (Bytes.of_string s)
+
+(* ------------------------------------------------------------------ *)
+(* Lexical helpers (RFC 9110 token / whitespace)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Parse failures carry the status code the server answers with before
+   closing; the client translates them to [Net.Protocol_error]. *)
+exception Parse_err of int * string
+
+let parse_err status reason = raise (Parse_err (status, reason))
+
+let is_tchar = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true
+  | '!' | '#' | '$' | '%' | '&' | '\'' | '*' | '+' | '-' | '.' | '^' | '_' | '`'
+  | '|' | '~' ->
+      true
+  | _ -> false
+
+let is_token s =
+  s <> "" && String.for_all is_tchar s
+
+let trim_ows s =
+  let n = String.length s in
+  let i = ref 0 and j = ref n in
+  while !i < !j && (s.[!i] = ' ' || s.[!i] = '\t') do incr i done;
+  while !j > !i && (s.[!j - 1] = ' ' || s.[!j - 1] = '\t') do decr j done;
+  if !i = 0 && !j = n then s else String.sub s !i (!j - !i)
+
+(* Split a head block (no trailing CRLF) into lines.  A '\r' not
+   followed by '\n' stays inside its line and is rejected by the line
+   parsers below — bare-CR smuggling never silently splits a header. *)
+let split_crlf s =
+  let n = String.length s in
+  let rec sep i =
+    match String.index_from_opt s i '\r' with
+    | Some j when j + 1 < n && s.[j + 1] = '\n' -> Some j
+    | Some j when j + 1 < n -> sep (j + 1)
+    | _ -> None
+  in
+  let rec go acc i =
+    if i > n then List.rev acc
+    else
+      match sep i with
+      | None -> List.rev (String.sub s i (n - i) :: acc)
+      | Some j -> go (String.sub s i (j - i) :: acc) (j + 2)
+  in
+  go [] 0
+
+let clean_line kind s =
+  if String.contains s '\r' then parse_err 400 (kind ^ " contains a bare CR");
+  s
+
+(* "name: value" with no whitespace allowed before the colon (a
+   smuggling vector: two hops disagreeing on where the name ends). *)
+let parse_header_line line =
+  let line = clean_line "header line" line in
+  match String.index_opt line ':' with
+  | None -> parse_err 400 "header line without a colon"
+  | Some i ->
+      let name = String.sub line 0 i in
+      if not (is_token name) then parse_err 400 "invalid header field name";
+      let value = trim_ows (String.sub line (i + 1) (String.length line - i - 1)) in
+      (String.lowercase_ascii name, value)
+
+let parse_header_lines lines =
+  List.map
+    (fun line ->
+      if line <> "" && (line.[0] = ' ' || line.[0] = '\t') then
+        parse_err 400 "obsolete line folding";
+      parse_header_line line)
+    lines
+
+(* Comma-separated list membership, case-insensitive — for
+   [Connection: keep-alive, te] style values. *)
+let list_has value member =
+  String.split_on_char ',' value
+  |> List.exists (fun tok -> String.lowercase_ascii (trim_ows tok) = member)
+
+let keep_alive_of ~version headers =
+  let conn = List.filter (fun (n, _) -> n = "connection") headers in
+  let has m = List.exists (fun (_, v) -> list_has v m) conn in
+  if has "close" then false
+  else match version with `Http_1_1 -> true | `Http_1_0 -> has "keep-alive"
+
+(* All Content-Length occurrences — separate headers and comma-joined
+   values alike — must be the same pure-digit string; anything else is
+   request smuggling material and poisons the stream. *)
+let content_length_of headers ~max_body =
+  let values =
+    List.concat_map
+      (fun (n, v) ->
+        if n <> "content-length" then []
+        else List.map trim_ows (String.split_on_char ',' v))
+      headers
+  in
+  match values with
+  | [] -> None
+  | v :: rest ->
+      if not (String.for_all (function '0' .. '9' -> true | _ -> false) v) || v = ""
+      then parse_err 400 "malformed content-length";
+      if List.exists (fun v' -> v' <> v) rest then
+        parse_err 400 "conflicting content-length values";
+      if String.length v > 15 then parse_err 413 "content-length out of range";
+      let n = int_of_string v in
+      if n > max_body then parse_err 413 "body exceeds the configured limit";
+      Some n
+
+type framing = Fixed of int | Chunked
+
+let framing_of headers ~max_body =
+  let te = List.filter (fun (n, _) -> n = "transfer-encoding") headers in
+  let cl = content_length_of headers ~max_body in
+  match (te, cl) with
+  | [], None -> Fixed 0
+  | [], Some n -> Fixed n
+  | _ :: _, Some _ ->
+      (* The classic CL.TE desync: two intermediaries picking different
+         framings see different request boundaries.  Refuse. *)
+      parse_err 400 "content-length alongside transfer-encoding"
+  | tes, None ->
+      let codings =
+        List.concat_map
+          (fun (_, v) ->
+            List.map (fun c -> String.lowercase_ascii (trim_ows c))
+              (String.split_on_char ',' v))
+          tes
+      in
+      if codings = [ "chunked" ] then Chunked
+      else parse_err 501 "unsupported transfer-encoding"
+
+(* ------------------------------------------------------------------ *)
+(* Incremental request parser                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Parser = struct
+  type error = { status : int; reason : string }
+
+  type event = Need_more | Request of request | Failed of error
+
+  (* Everything about the current request learned from its head. *)
+  type head = {
+    h_meth : string;
+    h_target : string;
+    h_path : string;
+    h_query : string;
+    h_version : version;
+    h_headers : (string * string) list;
+    h_keep : bool;
+  }
+
+  type state =
+    | Scan_head
+    | Body_fixed of head * int
+    | Chunk_size of head * Buffer.t
+    | Chunk_data of head * Buffer.t * int
+    | Chunk_trailer of head * Buffer.t * int  (* trailer bytes consumed *)
+    | Broken of error
+
+  type t = {
+    mutable buf : Bytes.t;
+    mutable pos : int;  (* consumed prefix *)
+    mutable len : int;  (* filled prefix *)
+    mutable scanned : int;  (* head-terminator scan high-water mark *)
+    mutable st : state;
+    max_header : int;
+    max_body : int;
+  }
+
+  let create ?(max_header_bytes = 16 * 1024) ?(max_body_bytes = 8 * 1024 * 1024) () =
+    {
+      buf = Bytes.create 4096;
+      pos = 0;
+      len = 0;
+      scanned = 0;
+      st = Scan_head;
+      max_header = max_header_bytes;
+      max_body = max_body_bytes;
+    }
+
+  let buffered t = t.len - t.pos
+  let at_boundary t = (match t.st with Scan_head -> true | _ -> false) && buffered t = 0
+
+  let feed t ?(off = 0) ?len src =
+    let n = match len with Some n -> n | None -> Bytes.length src - off in
+    if n < 0 || off < 0 || off + n > Bytes.length src then
+      invalid_arg "Http.Parser.feed";
+    match t.st with
+    | Broken _ -> ()  (* poisoned stream: bytes are discarded *)
+    | _ ->
+        let cap = Bytes.length t.buf in
+        if t.len + n > cap then begin
+          (* Compact the consumed prefix first; grow only if the live
+             region still does not fit. *)
+          if t.pos > 0 then begin
+            Bytes.blit t.buf t.pos t.buf 0 (t.len - t.pos);
+            t.len <- t.len - t.pos;
+            t.scanned <- max 0 (t.scanned - t.pos);
+            t.pos <- 0
+          end;
+          if t.len + n > cap then begin
+            let cap' =
+              let c = ref (max 1 cap) in
+              while t.len + n > !c do
+                c := !c * 2
+              done;
+              !c
+            in
+            let b = Bytes.create cap' in
+            Bytes.blit t.buf 0 b 0 t.len;
+            t.buf <- b
+          end
+        end;
+        Bytes.blit src off t.buf t.len n;
+        t.len <- t.len + n
+
+  (* Find "\r\n" at or after [from]; [None] if it is not buffered yet. *)
+  let find_crlf t from =
+    let rec go i =
+      if i + 1 >= t.len then None
+      else if Bytes.get t.buf i = '\r' && Bytes.get t.buf (i + 1) = '\n' then Some i
+      else go (i + 1)
+    in
+    go (max from t.pos)
+
+  let find_crlfcrlf t from =
+    let rec go i =
+      if i + 3 >= t.len then None
+      else if
+        Bytes.get t.buf i = '\r'
+        && Bytes.get t.buf (i + 1) = '\n'
+        && Bytes.get t.buf (i + 2) = '\r'
+        && Bytes.get t.buf (i + 3) = '\n'
+      then Some i
+      else go (i + 1)
+    in
+    go (max from t.pos)
+
+  let parse_request_line line =
+    let line = clean_line "request line" line in
+    match String.split_on_char ' ' line with
+    | [ meth; target; version ] ->
+        if not (is_token meth) then parse_err 400 "invalid method";
+        if target = "" then parse_err 400 "empty request-target";
+        let version =
+          match version with
+          | "HTTP/1.1" -> `Http_1_1
+          | "HTTP/1.0" -> `Http_1_0
+          | v when String.length v >= 5 && String.sub v 0 5 = "HTTP/" ->
+              parse_err 505 ("unsupported protocol version " ^ v)
+          | _ -> parse_err 400 "malformed request line"
+        in
+        (meth, target, version)
+    | _ -> parse_err 400 "malformed request line"
+
+  let parse_head_block t text =
+    match split_crlf text with
+    | [] -> parse_err 400 "empty head"
+    | rline :: hlines ->
+        let meth, target, version = parse_request_line rline in
+        let headers = parse_header_lines hlines in
+        let path, query =
+          match String.index_opt target '?' with
+          | None -> (target, "")
+          | Some i ->
+              ( String.sub target 0 i,
+                String.sub target (i + 1) (String.length target - i - 1) )
+        in
+        let keep = keep_alive_of ~version headers in
+        let h =
+          {
+            h_meth = meth;
+            h_target = target;
+            h_path = path;
+            h_query = query;
+            h_version = version;
+            h_headers = headers;
+            h_keep = keep;
+          }
+        in
+        (h, framing_of headers ~max_body:t.max_body)
+
+  let emit t h body =
+    t.st <- Scan_head;
+    t.scanned <- t.pos;
+    Request
+      {
+        meth = h.h_meth;
+        target = h.h_target;
+        path = h.h_path;
+        query = h.h_query;
+        version = h.h_version;
+        headers = h.h_headers;
+        body;
+        keep_alive = h.h_keep;
+      }
+
+  (* Chunk-size lines are tiny ("<hex>[;ext]"); a kilobyte of slack
+     covers any sane extension without letting a hostile peer buffer
+     forever looking for CRLF. *)
+  let max_chunk_line = 1024
+
+  let parse_chunk_size line =
+    let line = clean_line "chunk size line" line in
+    let hex =
+      match String.index_opt line ';' with
+      | None -> trim_ows line
+      | Some i -> trim_ows (String.sub line 0 i)
+    in
+    if hex = "" || String.length hex > 14
+       || not
+            (String.for_all
+               (function 'a' .. 'f' | 'A' .. 'F' | '0' .. '9' -> true | _ -> false)
+               hex)
+    then parse_err 400 "malformed chunk size";
+    int_of_string ("0x" ^ hex)
+
+  let rec next t =
+    match t.st with
+    | Broken e -> Failed e
+    | st -> (
+        match step t st with
+        | ev -> ev
+        | exception Parse_err (status, reason) ->
+            let e = { status; reason } in
+            t.st <- Broken e;
+            Failed e)
+
+  and step t st =
+    match st with
+    | Broken e -> Failed e
+    | Scan_head -> (
+        match find_crlfcrlf t t.scanned with
+        | None ->
+            (* Remember how far we scanned (a terminator can still start
+               in the last three bytes), and refuse heads that outgrow
+               the limit before terminating. *)
+            t.scanned <- max t.scanned (max t.pos (t.len - 3));
+            if buffered t > t.max_header then
+              parse_err 431 "request head exceeds the configured limit";
+            Need_more
+        | Some i ->
+            let head_len = i + 4 - t.pos in
+            if head_len > t.max_header then
+              parse_err 431 "request head exceeds the configured limit";
+            let text = Bytes.sub_string t.buf t.pos (i - t.pos) in
+            let h, framing = parse_head_block t text in
+            t.pos <- i + 4;
+            t.scanned <- t.pos;
+            (match framing with
+            | Fixed 0 -> t.st <- Body_fixed (h, 0)
+            | Fixed n -> t.st <- Body_fixed (h, n)
+            | Chunked -> t.st <- Chunk_size (h, Buffer.create 256));
+            next t)
+    | Body_fixed (h, n) ->
+        if buffered t < n then Need_more
+        else begin
+          let body = Bytes.sub t.buf t.pos n in
+          t.pos <- t.pos + n;
+          emit t h body
+        end
+    | Chunk_size (h, body) -> (
+        match find_crlf t t.pos with
+        | None ->
+            if buffered t > max_chunk_line then
+              parse_err 400 "chunk size line too long";
+            Need_more
+        | Some i ->
+            if i - t.pos > max_chunk_line then
+              parse_err 400 "chunk size line too long";
+            let line = Bytes.sub_string t.buf t.pos (i - t.pos) in
+            let size = parse_chunk_size line in
+            if size > t.max_body || Buffer.length body + size > t.max_body then
+              parse_err 413 "chunked body exceeds the configured limit";
+            t.pos <- i + 2;
+            t.st <-
+              (if size = 0 then Chunk_trailer (h, body, 0)
+               else Chunk_data (h, body, size));
+            next t)
+    | Chunk_data (h, body, n) ->
+        (* Wait for the data plus its trailing CRLF: the boundary check
+           below is what catches a peer whose chunk sizes lie. *)
+        if buffered t < n + 2 then Need_more
+        else begin
+          Buffer.add_subbytes body t.buf t.pos n;
+          if Bytes.get t.buf (t.pos + n) <> '\r' || Bytes.get t.buf (t.pos + n + 1) <> '\n'
+          then parse_err 400 "chunk data not terminated by CRLF";
+          t.pos <- t.pos + n + 2;
+          t.st <- Chunk_size (h, body);
+          next t
+        end
+    | Chunk_trailer (h, body, consumed) -> (
+        match find_crlf t t.pos with
+        | None ->
+            if consumed + buffered t > t.max_header then
+              parse_err 431 "chunked trailer exceeds the configured limit";
+            Need_more
+        | Some i when i = t.pos ->
+            (* Blank line: the chunked message ends.  Trailer fields
+               above were validated and discarded. *)
+            t.pos <- t.pos + 2;
+            emit t h (Buffer.to_bytes body)
+        | Some i ->
+            let line = Bytes.sub_string t.buf t.pos (i - t.pos) in
+            ignore (parse_header_line line : string * string);
+            let consumed = consumed + (i + 2 - t.pos) in
+            if consumed > t.max_header then
+              parse_err 431 "chunked trailer exceeds the configured limit";
+            t.pos <- i + 2;
+            t.st <- Chunk_trailer (h, body, consumed);
+            next t)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Response serialization                                             *)
+(* ------------------------------------------------------------------ *)
+
+let day_name = [| "Sun"; "Mon"; "Tue"; "Wed"; "Thu"; "Fri"; "Sat" |]
+
+let month_name =
+  [| "Jan"; "Feb"; "Mar"; "Apr"; "May"; "Jun"; "Jul"; "Aug"; "Sep"; "Oct"; "Nov"; "Dec" |]
+
+let imf_fixdate t =
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%s, %02d %s %04d %02d:%02d:%02d GMT" day_name.(tm.Unix.tm_wday)
+    tm.Unix.tm_mday month_name.(tm.Unix.tm_mon) (tm.Unix.tm_year + 1900)
+    tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+(* Every response carries a Date header; formatting one per response
+   would dominate small-request serialization, so cache per second.
+   Racing writers at a second boundary at worst format it twice. *)
+let date_cache = Atomic.make (0., "")
+
+let date_header () =
+  let now = Unix.time () in
+  let sec, str = Atomic.get date_cache in
+  if sec = now && str <> "" then str
+  else begin
+    let s = imf_fixdate now in
+    Atomic.set date_cache (now, s);
+    s
+  end
+
+let reserved_header = function
+  | "date" | "content-length" | "connection" -> true
+  | _ -> false
+
+(* Header block + body as an iov: the ordered outbox hands batches of
+   these to one [Conn.writev_all], so a burst of pipelined responses
+   costs one gathering syscall. *)
+let serialize ?(head_only = false) ~keep_alive r =
+  let b = Buffer.create 256 in
+  let reason = if r.reason = "" then reason_phrase r.status else r.reason in
+  Buffer.add_string b "HTTP/1.1 ";
+  Buffer.add_string b (string_of_int r.status);
+  Buffer.add_char b ' ';
+  Buffer.add_string b reason;
+  Buffer.add_string b "\r\nDate: ";
+  Buffer.add_string b (date_header ());
+  Buffer.add_string b "\r\nContent-Length: ";
+  Buffer.add_string b (string_of_int (Bytes.length r.resp_body));
+  Buffer.add_string b
+    (if keep_alive then "\r\nConnection: keep-alive" else "\r\nConnection: close");
+  List.iter
+    (fun (n, v) ->
+      if not (reserved_header (String.lowercase_ascii n)) then begin
+        Buffer.add_string b "\r\n";
+        Buffer.add_string b n;
+        Buffer.add_string b ": ";
+        Buffer.add_string b v
+      end)
+    r.resp_headers;
+  Buffer.add_string b "\r\n\r\n";
+  let head = Buffer.to_bytes b in
+  if head_only || Bytes.length r.resp_body = 0 then [ head ] else [ head; r.resp_body ]
+
+(* ------------------------------------------------------------------ *)
+(* The request-ordered combining outbox                               *)
+(* ------------------------------------------------------------------ *)
+
+(* {!Rpc}'s outbox flushes in completion order — correct there because
+   request ids let the client demultiplex.  HTTP/1.1 has no ids:
+   pipelined responses must leave in request order.  So instead of a
+   stack, completed responses land in a slot table keyed by the
+   sequence number their request was decoded with, and the flusher
+   walks [next_send] upward, coalescing every {e consecutive} ready
+   response into one vectored write.  A response finishing ahead of a
+   still-running earlier handler parks in the table until the gap
+   fills; its writer loops on its outcome cell exactly like Rpc's
+   writers, so flush failures reach the writers whose frames were in
+   the failed batch and no frame is ever abandoned. *)
+
+type fstate = Fpending | Fdone | Ffailed of exn
+
+type oentry = { iov : Bytes.t list; cell : fstate Atomic.t; close_after : bool }
+
+type ordered_outbox = {
+  mu : Mutex.t;  (* guards [ready] + [next_send]; never held across I/O *)
+  ready : (int, oentry) Hashtbl.t;
+  mutable next_send : int;
+  next_seq : int Atomic.t;
+  flushing : bool Atomic.t;  (* thread-agnostic: holder may park mid-writev *)
+  sleep : unit -> unit;
+}
+
+let make_oob sleep =
+  {
+    mu = Mutex.create ();
+    ready = Hashtbl.create 16;
+    next_send = 0;
+    next_seq = Atomic.make 0;
+    flushing = Atomic.make false;
+    sleep;
+  }
+
+let alloc_seq ob = Atomic.fetch_and_add ob.next_seq 1
+
+let rec flush_oob ob conn =
+  Mutex.lock ob.mu;
+  let rec collect acc n =
+    match Hashtbl.find_opt ob.ready n with
+    | Some e ->
+        Hashtbl.remove ob.ready n;
+        collect (e :: acc) (n + 1)
+    | None -> (List.rev acc, n)
+  in
+  let batch, n' = collect [] ob.next_send in
+  ob.next_send <- n';
+  Mutex.unlock ob.mu;
+  match batch with
+  | [] -> ()
+  | batch ->
+      (match Conn.writev_all conn (List.concat_map (fun e -> e.iov) batch) with
+      | () ->
+          List.iter (fun e -> Atomic.set e.cell Fdone) batch;
+          (* [Connection: close] takes effect only after the bytes are
+             out; anything sequenced after it fails with Net.Closed on
+             the next pass. *)
+          if List.exists (fun e -> e.close_after) batch then Conn.close conn
+      | exception ex ->
+          List.iter (fun e -> Atomic.set e.cell (Ffailed ex)) batch;
+          Conn.close conn);
+      flush_oob ob conn
+
+(* Blocks (suspending the fiber via [sleep]) until this sequence slot's
+   bytes are on the wire or the write failed.  Raising on failure lets
+   the caller treat an unwritable response like Rpc does: the peer is
+   owed bytes it will never get, so the connection must die. *)
+let send_ordered ob conn ~seq iov ~close_after =
+  let e = { iov; cell = Atomic.make Fpending; close_after } in
+  Mutex.lock ob.mu;
+  Hashtbl.replace ob.ready seq e;
+  Mutex.unlock ob.mu;
+  let rec resolve () =
+    match Atomic.get e.cell with
+    | Fdone -> ()
+    | Ffailed ex -> raise ex
+    | Fpending ->
+        if Atomic.compare_and_set ob.flushing false true then
+          Fun.protect
+            ~finally:(fun () -> Atomic.set ob.flushing false)
+            (fun () -> flush_oob ob conn);
+        (* Unlike Rpc's outbox, a successful flush need not include our
+           frame: an earlier sequence number may still be computing, in
+           which case nothing was written.  Sleep on any pass that left
+           the cell unresolved, or this loop hot-spins a worker for the
+           whole gap. *)
+        (match Atomic.get e.cell with Fpending -> ob.sleep () | _ -> ());
+        resolve ()
+  in
+  resolve ()
+
+(* ------------------------------------------------------------------ *)
+(* Router                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Router = struct
+  type params = (string * string) list
+
+  type seg = Lit of string | Cap of string | Tail
+
+  type route = {
+    r_meth : string;
+    r_segs : seg list;
+    r_dispatch : ((unit -> unit) -> unit) option;
+    r_handler : params -> request -> response;
+  }
+
+  let split_path p = String.split_on_char '/' p |> List.filter (fun s -> s <> "")
+
+  let route ?dispatch ~meth pattern handler =
+    if pattern = "" then invalid_arg "Http.Router.route: empty pattern";
+    let segs =
+      split_path pattern
+      |> List.map (fun s ->
+             if s = "*" then Tail
+             else if String.length s > 1 && s.[0] = ':' then
+               Cap (String.sub s 1 (String.length s - 1))
+             else Lit s)
+    in
+    let rec check = function
+      | [] | [ Tail ] -> ()
+      | Tail :: _ -> invalid_arg "Http.Router.route: * must be the last segment"
+      | _ :: tl -> check tl
+    in
+    check segs;
+    { r_meth = meth; r_segs = segs; r_dispatch = dispatch; r_handler = handler }
+
+  type t = { routes : route list; fallback : (request -> response) option }
+
+  let create ?fallback routes = { routes; fallback }
+
+  let match_segs segs path =
+    let rec go acc segs path =
+      match (segs, path) with
+      | [], [] -> Some (List.rev acc)
+      | [ Tail ], rest -> Some (List.rev (("*", String.concat "/" rest) :: acc))
+      | Lit l :: tl, p :: ptl when l = p -> go acc tl ptl
+      | Cap n :: tl, p :: ptl -> go ((n, p) :: acc) tl ptl
+      | _ -> None
+    in
+    go [] segs path
+
+  let dispatch_of t req =
+    let psegs = split_path req.path in
+    let rec find allow = function
+      | [] ->
+          let thunk =
+            match t.fallback with
+            | Some f -> fun () -> f req
+            | None ->
+                if allow <> [] then
+                  let allow = String.concat ", " (List.rev allow) in
+                  fun () ->
+                    response ~status:405
+                      ~headers:
+                        [ ("allow", allow); ("content-type", "text/plain") ]
+                      (Bytes.of_string "method not allowed\n")
+                else fun () -> text ~status:404 "not found\n"
+          in
+          (None, thunk)
+      | r :: tl -> (
+          match match_segs r.r_segs psegs with
+          | Some ps when r.r_meth = req.meth ->
+              (r.r_dispatch, fun () -> r.r_handler ps req)
+          | Some _ ->
+              let allow = if List.mem r.r_meth allow then allow else r.r_meth :: allow in
+              find allow tl
+          | None -> find allow tl)
+    in
+    find [] t.routes
+end
+
+(* ------------------------------------------------------------------ *)
+(* Server                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  listener : Listener.config;
+  max_header_bytes : int;
+  max_body_bytes : int;
+  max_pipeline : int;
+  shed_above : int option;
+}
+
+let default_config =
+  {
+    listener = { Listener.default_config with max_conns = 16384 };
+    max_header_bytes = 16 * 1024;
+    max_body_bytes = 8 * 1024 * 1024;
+    max_pipeline = 64;
+    shed_above = None;
+  }
+
+type server = {
+  mutable lst : Listener.t option;  (* filled right after Listener.serve *)
+  s_draining : bool Atomic.t;
+  s_inflight : int Atomic.t;
+  s_served : int Atomic.t;
+  s_shed : int Atomic.t;
+}
+
+let listener s =
+  match s.lst with
+  | Some l -> l
+  | None -> invalid_arg "Http.listener: server not fully started"
+
+let addr s = Listener.addr (listener s)
+let inflight s = Atomic.get s.s_inflight
+let served s = Atomic.get s.s_served
+let shed_503 s = Atomic.get s.s_shed
+let draining s = Atomic.get s.s_draining
+
+(* One connection's serve loop: decode requests with the incremental
+   parser, hand each to the pool through its dispatcher, and sequence
+   responses through the ordered outbox.  The loop itself runs as the
+   listener's per-connection task on the serving pool; handlers go
+   wherever [route] says (default dispatcher, or a route's own — the
+   topology pinning seam). *)
+let serve_conn (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) ~cfg
+    ~st ~default_dispatch ~route conn =
+  let parser =
+    Parser.create ~max_header_bytes:cfg.max_header_bytes
+      ~max_body_bytes:cfg.max_body_bytes ()
+  in
+  let ob = make_oob (fun () -> P.sleep pool 0.0002) in
+  let outstanding = Atomic.make 0 in
+  let stop = ref false in
+  let chunk = Bytes.create 8192 in
+  let submit ~seq ~head_only ~keep_alive resp =
+    let iov = serialize ~head_only ~keep_alive resp in
+    (try send_ordered ob conn ~seq iov ~close_after:(not keep_alive)
+     with Net.Closed | Net.Timeout | Unix.Unix_error _ -> Conn.close conn);
+    Atomic.incr st.s_served
+  in
+  let handle (req : request) =
+    let seq = alloc_seq ob in
+    let head_only = req.meth = "HEAD" in
+    if Atomic.get st.s_draining then begin
+      (* Drain: answer, announce the close, stop decoding. *)
+      Atomic.incr st.s_shed;
+      submit ~seq ~head_only ~keep_alive:false (text ~status:503 "draining\n");
+      stop := true
+    end
+    else if
+      match cfg.shed_above with
+      | Some hi -> Atomic.get st.s_inflight >= hi
+      | None -> false
+    then begin
+      (* Overload shed: reject fast without spending a pool task, but
+         keep the connection — the peer may retry after backing off. *)
+      Atomic.incr st.s_shed;
+      submit ~seq ~head_only ~keep_alive:req.keep_alive
+        (response ~status:503
+           ~headers:[ ("retry-after", "1"); ("content-type", "text/plain") ]
+           (Bytes.of_string "overloaded\n"));
+      if not req.keep_alive then stop := true
+    end
+    else begin
+      let dispatch_override, thunk = route req in
+      let dispatch =
+        match dispatch_override with Some d -> d | None -> default_dispatch
+      in
+      Atomic.incr outstanding;
+      Atomic.incr st.s_inflight;
+      dispatch (fun () ->
+          Fun.protect
+            ~finally:(fun () ->
+              Atomic.decr outstanding;
+              Atomic.decr st.s_inflight)
+            (fun () ->
+              let resp =
+                match thunk () with
+                | r -> r
+                | exception e -> text ~status:500 (Printexc.to_string e ^ "\n")
+              in
+              submit ~seq ~head_only ~keep_alive:req.keep_alive resp));
+      if not req.keep_alive then stop := true
+    end
+  in
+  let step () =
+    match Parser.next parser with
+    | Parser.Request req -> handle req
+    | Parser.Failed err ->
+        (* Poisoned stream: answer with the parse error's status and
+           close — never leave the peer hanging, never keep reading. *)
+        let seq = alloc_seq ob in
+        submit ~seq ~head_only:false ~keep_alive:false
+          (text ~status:err.Parser.status (err.Parser.reason ^ "\n"));
+        stop := true
+    | Parser.Need_more -> (
+        while Atomic.get outstanding >= cfg.max_pipeline do
+          P.sleep pool 0.0002
+        done;
+        match Conn.read conn chunk 0 (Bytes.length chunk) with
+        | 0 -> stop := true  (* EOF; a partial request has no one to answer *)
+        | n -> Parser.feed parser ~len:n chunk
+        | exception Net.Timeout ->
+            if Parser.at_boundary parser then
+              (* Idle keep-alive connection: close silently. *)
+              stop := true
+            else begin
+              (* The peer stalled mid-request: tell it before closing. *)
+              let seq = alloc_seq ob in
+              submit ~seq ~head_only:false ~keep_alive:false
+                (text ~status:408 "request timeout\n");
+              stop := true
+            end)
+  in
+  (try
+     while not !stop do
+       step ()
+     done
+   with Net.Closed | Net.Timeout | Net.Peer_closed | End_of_file -> ());
+  (* The listener closes the conn the moment we return; in-flight
+     handlers still owe responses — wait them out (each one's [submit]
+     resolves even on failure, so this terminates). *)
+  while Atomic.get outstanding > 0 do
+    P.sleep pool 0.0002
+  done
+
+let serve_gen (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt
+    ?(config = default_config) ?dispatch addr ~route =
+  let st =
+    {
+      lst = None;
+      s_draining = Atomic.make false;
+      s_inflight = Atomic.make 0;
+      s_served = Atomic.make 0;
+      s_shed = Atomic.make 0;
+    }
+  in
+  let default_dispatch =
+    match dispatch with
+    | Some d -> d
+    | None -> fun f -> ignore (P.async pool f : unit Promise.t)
+  in
+  let l =
+    Listener.serve
+      (module P)
+      pool rt ~config:config.listener addr
+      ~handler:(fun conn ->
+        serve_conn (module P) pool ~cfg:config ~st ~default_dispatch ~route conn)
+  in
+  st.lst <- Some l;
+  st
+
+let serve (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt ?config
+    ?dispatch addr ~handler =
+  serve_gen (module P) pool rt ?config ?dispatch addr ~route:(fun req ->
+      (None, fun () -> handler req))
+
+let serve_router (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt
+    ?config ?dispatch addr ~router =
+  serve_gen (module P) pool rt ?config ?dispatch addr
+    ~route:(Router.dispatch_of router)
+
+let shutdown ?grace s =
+  Atomic.set s.s_draining true;
+  Listener.shutdown ?grace (listener s)
+
+(* ------------------------------------------------------------------ *)
+(* Client                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Client = struct
+  type resp = {
+    status : int;
+    reason : string;
+    headers : (string * string) list;
+    body : Bytes.t;
+  }
+
+  (* Sequential buffered reader over a Conn — the demux task is the
+     only reader, so plain mutable state is fine.  Never reads past
+     what the current response can contain only in the aggregate sense:
+     overshoot stays buffered for the next response on the same
+     connection. *)
+  type rdbuf = { rconn : Conn.t; mutable b : Bytes.t; mutable rpos : int; mutable rlen : int }
+
+  let make_rdbuf conn = { rconn = conn; b = Bytes.create 8192; rpos = 0; rlen = 0 }
+
+  let max_resp_head = 64 * 1024
+
+  (* Returns false at EOF. *)
+  let refill rb =
+    let cap = Bytes.length rb.b in
+    if rb.rlen = cap then
+      if rb.rpos > 0 then begin
+        Bytes.blit rb.b rb.rpos rb.b 0 (rb.rlen - rb.rpos);
+        rb.rlen <- rb.rlen - rb.rpos;
+        rb.rpos <- 0
+      end
+      else begin
+        let b = Bytes.create (cap * 2) in
+        Bytes.blit rb.b 0 b 0 rb.rlen;
+        rb.b <- b
+      end;
+    match Conn.read rb.rconn rb.b rb.rlen (Bytes.length rb.b - rb.rlen) with
+    | 0 -> false
+    | n ->
+        rb.rlen <- rb.rlen + n;
+        true
+
+  let proto what = raise (Net.Protocol_error what)
+
+  (* [None] on clean EOF before any byte of a head; Peer_closed on EOF
+     anywhere inside a message — same boundary contract as Rpc. *)
+  let read_head rb =
+    let find_term () =
+      let rec go i =
+        if i + 3 >= rb.rlen then None
+        else if
+          Bytes.get rb.b i = '\r'
+          && Bytes.get rb.b (i + 1) = '\n'
+          && Bytes.get rb.b (i + 2) = '\r'
+          && Bytes.get rb.b (i + 3) = '\n'
+        then Some i
+        else go (i + 1)
+      in
+      go rb.rpos
+    in
+    let rec wait () =
+      match find_term () with
+      | Some i -> Some i
+      | None ->
+          if rb.rlen - rb.rpos > max_resp_head then proto "response head too large";
+          if refill rb then wait ()
+          else if rb.rlen = rb.rpos then None
+          else raise Net.Peer_closed
+    in
+    match wait () with
+    | None -> None
+    | Some i ->
+        let text = Bytes.sub_string rb.b rb.rpos (i - rb.rpos) in
+        rb.rpos <- i + 4;
+        (match split_crlf text with
+        | [] -> proto "empty response head"
+        | sline :: hlines -> (
+            let status, reason =
+              match String.split_on_char ' ' sline with
+              | version :: code :: rest
+                when String.length version >= 5 && String.sub version 0 5 = "HTTP/"
+                ->
+                  let status =
+                    match int_of_string_opt code with
+                    | Some s when s >= 100 && s <= 999 -> s
+                    | _ -> proto "malformed status code"
+                  in
+                  (status, String.concat " " rest)
+              | _ -> proto "malformed status line"
+            in
+            match parse_header_lines hlines with
+            | headers -> Some (status, reason, headers)
+            | exception Parse_err (_, why) -> proto why))
+
+  let read_exact rb n =
+    let out = Bytes.create n in
+    let rec go filled =
+      if filled >= n then out
+      else begin
+        let avail = min (rb.rlen - rb.rpos) (n - filled) in
+        Bytes.blit rb.b rb.rpos out filled avail;
+        rb.rpos <- rb.rpos + avail;
+        let filled = filled + avail in
+        if filled < n && not (refill rb) then raise Net.Peer_closed;
+        go filled
+      end
+    in
+    go 0
+
+  let read_line rb =
+    let find () =
+      let rec go i =
+        if i + 1 >= rb.rlen then None
+        else if Bytes.get rb.b i = '\r' && Bytes.get rb.b (i + 1) = '\n' then Some i
+        else go (i + 1)
+      in
+      go rb.rpos
+    in
+    let rec wait () =
+      match find () with
+      | Some i ->
+          let line = Bytes.sub_string rb.b rb.rpos (i - rb.rpos) in
+          rb.rpos <- i + 2;
+          line
+      | None ->
+          if rb.rlen - rb.rpos > max_resp_head then proto "response line too long";
+          if refill rb then wait () else raise Net.Peer_closed
+    in
+    wait ()
+
+  let parse_chunk_size_line line =
+    match Parser.parse_chunk_size line with
+    | n -> n
+    | exception Parse_err (_, why) -> proto why
+
+  let read_body rb ~head_only ~status headers =
+    if head_only || status = 204 || status = 304 || (status >= 100 && status < 200)
+    then Bytes.create 0
+    else
+      match framing_of headers ~max_body:max_int with
+      | Fixed n -> if n = 0 then Bytes.create 0 else read_exact rb n
+      | Chunked ->
+          let body = Buffer.create 256 in
+          let rec chunks () =
+            let size = parse_chunk_size_line (read_line rb) in
+            if size > 0 then begin
+              Buffer.add_bytes body (read_exact rb size);
+              let crlf = read_exact rb 2 in
+              if Bytes.to_string crlf <> "\r\n" then
+                proto "chunk data not terminated by CRLF";
+              chunks ()
+            end
+            else
+              (* Trailers: discard lines until the blank one. *)
+              let rec trailers () =
+                if read_line rb <> "" then trailers ()
+              in
+              trailers ()
+          in
+          chunks ();
+          Buffer.to_bytes body
+      | exception Parse_err (_, why) -> proto why
+
+  type entry = { e_promise : resp Promise.t; e_head_only : bool }
+
+  type t = {
+    conn : Conn.t;
+    rb : rdbuf;
+    q_mu : Mutex.t;
+    q : entry Queue.t;
+    wl : bool Atomic.t;  (* write lock: thread-agnostic, see Rpc.wlock *)
+    sleep : unit -> unit;
+    closed : bool Atomic.t;
+    demux_done : bool Atomic.t;
+  }
+
+  let pop_entry c =
+    Mutex.lock c.q_mu;
+    let e = if Queue.is_empty c.q then None else Some (Queue.pop c.q) in
+    Mutex.unlock c.q_mu;
+    e
+
+  let fail_all c e =
+    Mutex.lock c.q_mu;
+    let es = Queue.fold (fun acc en -> en :: acc) [] c.q in
+    Queue.clear c.q;
+    Mutex.unlock c.q_mu;
+    List.iter
+      (fun en ->
+        try Promise.fulfill en.e_promise (Error e) with Invalid_argument _ -> ())
+      es
+
+  (* Same teardown discipline as Rpc.Client: mark closed before the
+     drain so racing calls observe it, and close the conn ourselves so
+     neither the fd nor the peer's handler outlives the client. *)
+  let fail_conn c e =
+    Atomic.set c.closed true;
+    Conn.close c.conn;
+    fail_all c e
+
+  let demux c =
+    let rec loop () =
+      match read_head c.rb with
+      | None -> fail_conn c Net.Closed
+      | Some (status, reason, headers) -> (
+          match pop_entry c with
+          | None -> proto "response with no outstanding request"
+          | Some en ->
+              let body =
+                read_body c.rb ~head_only:en.e_head_only ~status headers
+              in
+              (try
+                 Promise.fulfill en.e_promise (Ok { status; reason; headers; body })
+               with Invalid_argument _ -> ());
+              let close =
+                List.exists
+                  (fun (n, v) -> n = "connection" && list_has v "close")
+                  headers
+              in
+              if close then fail_conn c Net.Closed else loop ())
+    in
+    try loop () with
+    | Net.Closed | Net.Timeout | End_of_file -> fail_conn c Net.Closed
+    | e -> fail_conn c e
+
+  let connect (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt
+      ?read_timeout ?write_timeout addr =
+    let fd =
+      Unix.socket ~cloexec:true (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0
+    in
+    (try Unix.connect fd addr
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    let conn = Conn.create rt ?read_timeout ?write_timeout fd in
+    let c =
+      {
+        conn;
+        rb = make_rdbuf conn;
+        q_mu = Mutex.create ();
+        q = Queue.create ();
+        wl = Atomic.make false;
+        sleep = (fun () -> P.sleep pool 0.0002);
+        closed = Atomic.make false;
+        demux_done = Atomic.make false;
+      }
+    in
+    ignore
+      (P.async pool (fun () ->
+           Fun.protect
+             ~finally:(fun () -> Atomic.set c.demux_done true)
+             (fun () -> demux c))
+        : unit Promise.t);
+    c
+
+  let request_iov ?(headers = []) ?body ~meth ~target () =
+    let b = Buffer.create 128 in
+    Buffer.add_string b meth;
+    Buffer.add_char b ' ';
+    Buffer.add_string b target;
+    Buffer.add_string b " HTTP/1.1\r\nHost: lhws";
+    let body_len = match body with None -> 0 | Some bd -> Bytes.length bd in
+    if
+      not
+        (List.exists
+           (fun (n, _) -> String.lowercase_ascii n = "content-length")
+           headers)
+    then begin
+      Buffer.add_string b "\r\nContent-Length: ";
+      Buffer.add_string b (string_of_int body_len)
+    end;
+    List.iter
+      (fun (n, v) ->
+        Buffer.add_string b "\r\n";
+        Buffer.add_string b n;
+        Buffer.add_string b ": ";
+        Buffer.add_string b v)
+      headers;
+    Buffer.add_string b "\r\n\r\n";
+    let head = Buffer.to_bytes b in
+    match body with
+    | Some bd when Bytes.length bd > 0 -> [ head; bd ]
+    | _ -> [ head ]
+
+  (* The wire order of requests must equal the FIFO order of promises —
+     that is the whole demultiplexing scheme — so the enqueue and the
+     write happen under one lock, held across the (possibly parking)
+     write.  Thread-agnostic flag lock, as everywhere a fiber can
+     migrate workers mid-critical-section. *)
+  let call c ?headers ?body ~meth ~target () =
+    if Atomic.get c.closed then raise Net.Closed;
+    let iov = request_iov ?headers ?body ~meth ~target () in
+    let p = Promise.create () in
+    let entry = { e_promise = p; e_head_only = meth = "HEAD" } in
+    let rec acquire () =
+      if not (Atomic.compare_and_set c.wl false true) then begin
+        c.sleep ();
+        acquire ()
+      end
+    in
+    acquire ();
+    Fun.protect
+      ~finally:(fun () -> Atomic.set c.wl false)
+      (fun () ->
+        if Atomic.get c.closed then raise Net.Closed;
+        Mutex.lock c.q_mu;
+        Queue.push entry c.q;
+        Mutex.unlock c.q_mu;
+        try Conn.writev_all c.conn iov
+        with e ->
+          fail_conn c e;
+          raise e);
+    p
+
+  let close c =
+    if Atomic.compare_and_set c.closed false true then begin
+      Conn.close c.conn;
+      fail_all c Net.Closed
+    end;
+    while not (Atomic.get c.demux_done) do
+      c.sleep ()
+    done
+
+  let call_sync conn ?headers ?body ~meth ~target () =
+    Conn.writev_all conn (request_iov ?headers ?body ~meth ~target ());
+    let rb = make_rdbuf conn in
+    match read_head rb with
+    | None -> raise Net.Closed
+    | Some (status, reason, headers) ->
+        let body = read_body rb ~head_only:(meth = "HEAD") ~status headers in
+        { status; reason; headers; body }
+end

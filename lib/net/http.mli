@@ -1,0 +1,270 @@
+(** HTTP/1.1 serving layer over {!Conn}/{!Listener}/{!Reactor}.
+
+    The paper's thesis is about {e interacting} parallel computations:
+    many small latency-bound requests interleaved with parallel
+    compute.  The RPC stack proves the scheduler story over a custom
+    length-prefixed framing; this module speaks the protocol real
+    traffic arrives in, so the c10k-class load legs measure the same
+    scheduler under HTTP/1.1 keep-alive connections.
+
+    Three layers:
+
+    - {!Parser}: an incremental, allocation-conscious request parser —
+      feed it arbitrary byte slices (any split boundary, byte-at-a-time
+      if need be), pull complete requests out.  Bodies are framed by
+      [Content-Length] or chunked transfer-encoding; malformed input
+      yields a typed error carrying the status to answer with (400 /
+      413 / 431 / 501 / 505) instead of an exception or a hang.
+    - {!serve} / {!Router}: each parsed request is dispatched as a pool
+      task; responses are serialized {e in request order} through a
+      per-connection outbox that coalesces whatever is ready into one
+      vectored write (the {!Rpc} combining-outbox idiom, plus
+      ordering), so pipelined clients get correct ordering and the
+      server pays ~one gathering syscall for a burst of responses.
+      Routes can carry their own dispatcher, which is how a
+      {!Lhws_workloads.Topology} pins a compute route to the batch
+      micropool while I/O routes stay on the latency pool.
+    - {!Client}: a pipelined keep-alive client for the load generator
+      and tests, plus {!Client.call_sync} for blocking pools.
+
+    Overload and shutdown map onto status codes: a read deadline that
+    expires {e mid-request} is answered with 408 before closing; a
+    server past its [shed_above] high-water mark or draining after
+    {!shutdown} answers 503 (draining adds [Connection: close]).  A
+    request that cannot be parsed is answered with its error's status
+    and the connection closed — never silently dropped, never a parked
+    fiber leaked. *)
+
+type version = [ `Http_1_0 | `Http_1_1 ]
+
+type request = {
+  meth : string;  (** verb as sent, e.g. ["GET"] — case-sensitive *)
+  target : string;  (** raw request-target *)
+  path : string;  (** [target] up to [?] *)
+  query : string;  (** after [?], [""] when absent *)
+  version : version;
+  headers : (string * string) list;
+      (** in arrival order, names lowercased, values trimmed *)
+  body : Bytes.t;
+  keep_alive : bool;
+      (** the connection semantics the peer asked for: 1.1 default
+          persistent unless [Connection: close]; 1.0 default close
+          unless [Connection: keep-alive] *)
+}
+
+val header : request -> string -> string option
+(** First header with this (lowercased) name. *)
+
+type response = {
+  status : int;
+  reason : string;  (** [""] picks the standard reason phrase *)
+  resp_headers : (string * string) list;
+      (** extra headers; [Date], [Content-Length] and [Connection] are
+          emitted by the serializer — occurrences here are dropped *)
+  resp_body : Bytes.t;
+}
+
+val response :
+  ?status:int -> ?reason:string -> ?headers:(string * string) list -> Bytes.t -> response
+(** Defaults: status 200, derived reason, no extra headers. *)
+
+val text : ?status:int -> string -> response
+(** Plain-text response ([Content-Type: text/plain]). *)
+
+val reason_phrase : int -> string
+
+(** {1 Incremental request parsing} *)
+
+module Parser : sig
+  type t
+
+  type error = { status : int; reason : string }
+  (** What to answer before closing: 400 (malformed, including
+      smuggling-shaped input: conflicting [Content-Length] pairs,
+      [Content-Length] alongside [Transfer-Encoding]), 413 (body over
+      [max_body_bytes]), 431 (head over [max_header_bytes]), 501
+      (transfer-coding other than chunked), 505 (version). *)
+
+  type event =
+    | Need_more  (** no complete request buffered; feed more bytes *)
+    | Request of request
+    | Failed of error
+        (** the stream is poisoned: answer, close, stop feeding *)
+
+  val create : ?max_header_bytes:int -> ?max_body_bytes:int -> unit -> t
+  (** Defaults: 16 KiB head, 8 MiB body. *)
+
+  val feed : t -> ?off:int -> ?len:int -> Bytes.t -> unit
+  (** Appends a slice ([off]/[len] default to the whole buffer).  Any
+      fragmentation is fine — the parser's results are identical
+      whether the stream arrives in one slab or byte-at-a-time (the
+      property the robustness battery pins). *)
+
+  val next : t -> event
+  (** Pulls the next complete request.  Call repeatedly: several
+      pipelined requests fed in one slice come back one per call.
+      After [Failed] every subsequent call returns the same error. *)
+
+  val at_boundary : t -> bool
+  (** No partial request buffered — distinguishes an idle keep-alive
+      connection timing out (just close) from a peer dying mid-request
+      (answer 408).  True initially and after each complete request. *)
+
+  val buffered : t -> int
+  (** Bytes fed but not yet consumed into a request. *)
+end
+
+(** {1 Routing} *)
+
+module Router : sig
+  type params = (string * string) list
+  (** Captured path segments, e.g. [[("n", "32")]] for [/fib/:n]. *)
+
+  type route
+
+  val route :
+    ?dispatch:((unit -> unit) -> unit) ->
+    meth:string ->
+    string ->
+    (params -> request -> response) ->
+    route
+  (** [route ~meth pattern handler].  Pattern segments: literals,
+      [:name] captures one segment, a trailing [*] captures the rest
+      (param ["*"]).  [dispatch] overrides the server's dispatcher for
+      this route — pass {!Lhws_workloads.Topology.dispatcher} to pin a
+      route class to its micropool.
+      @raise Invalid_argument on an empty pattern. *)
+
+  type t
+
+  val create : ?fallback:(request -> response) -> route list -> t
+  (** First match in list order wins.  Without [fallback], unmatched
+      paths get 404 and matched paths with the wrong method 405 (with
+      an [Allow] header). *)
+
+  val dispatch_of : t -> request -> ((unit -> unit) -> unit) option * (unit -> response)
+  (** The route's dispatcher override (if any) and a thunk producing
+      the response — what {!serve_router} runs as a pool task. *)
+end
+
+(** {1 Serving} *)
+
+type config = {
+  listener : Listener.config;
+  max_header_bytes : int;
+  max_body_bytes : int;
+  max_pipeline : int;
+      (** per-connection cap on decoded-but-unanswered requests; past
+          it the connection stops being read, so backpressure reaches
+          the peer through TCP (same idiom as {!Rpc}) *)
+  shed_above : int option;
+      (** server-wide in-flight request high-water mark: at/above it
+          new requests are answered 503 without dispatching *)
+}
+
+val default_config : config
+(** {!Listener.default_config} with [max_conns] raised to 16384 (the
+    c10k legs need headroom; the reactor's poll backend has no
+    descriptor ceiling), 16 KiB heads, 8 MiB bodies, 64 pipelined
+    requests, no shedding. *)
+
+type server
+
+val serve :
+  (module Lhws_workloads.Pool_intf.POOL with type t = 'p) ->
+  'p ->
+  Reactor.t ->
+  ?config:config ->
+  ?dispatch:((unit -> unit) -> unit) ->
+  Unix.sockaddr ->
+  handler:(request -> response) ->
+  server
+(** Binds, listens, serves.  Every parsed request runs as a pool task
+    through [dispatch] (default: [P.async] on the serving pool); the
+    decode loop stays on the serving pool.  A handler that raises is
+    answered 500 with the exception text. *)
+
+val serve_router :
+  (module Lhws_workloads.Pool_intf.POOL with type t = 'p) ->
+  'p ->
+  Reactor.t ->
+  ?config:config ->
+  ?dispatch:((unit -> unit) -> unit) ->
+  Unix.sockaddr ->
+  router:Router.t ->
+  server
+(** {!serve} with per-route dispatcher overrides honoured. *)
+
+val listener : server -> Listener.t
+val addr : server -> Unix.sockaddr
+
+val inflight : server -> int
+(** Requests dispatched and not yet answered, server-wide. *)
+
+val served : server -> int
+(** Responses written (all statuses). *)
+
+val shed_503 : server -> int
+(** Requests answered 503 by the shed / drain fast path. *)
+
+val draining : server -> bool
+
+val shutdown : ?grace:float -> server -> unit
+(** Drain: mark the server draining (new requests on live connections
+    answer 503 + [Connection: close]), stop accepting, give in-flight
+    handlers [grace] seconds (default 5), then force-close stragglers.
+    Idempotent. *)
+
+(** {1 Client} *)
+
+module Client : sig
+  type t
+
+  type resp = {
+    status : int;
+    reason : string;
+    headers : (string * string) list;  (** names lowercased *)
+    body : Bytes.t;
+  }
+
+  val connect :
+    (module Lhws_workloads.Pool_intf.POOL with type t = 'p) ->
+    'p ->
+    Reactor.t ->
+    ?read_timeout:float ->
+    ?write_timeout:float ->
+    Unix.sockaddr ->
+    t
+  (** One keep-alive connection plus a demux task reading responses in
+      order.  Same pool restrictions as {!Rpc.Client.connect} (not the
+      helping-await WS pool; blocking pools should use {!call_sync}
+      over a connection per thread). *)
+
+  val call :
+    t ->
+    ?headers:(string * string) list ->
+    ?body:Bytes.t ->
+    meth:string ->
+    target:string ->
+    unit ->
+    resp Lhws_runtime.Promise.t
+  (** Pipelined: requests from concurrent fibers are serialized onto
+      the wire and responses matched back in wire order.
+      @raise Net.Closed once the connection is gone. *)
+
+  val close : t -> unit
+
+  (** {2 Blocking round trip} *)
+
+  val call_sync :
+    Conn.t ->
+    ?headers:(string * string) list ->
+    ?body:Bytes.t ->
+    meth:string ->
+    target:string ->
+    unit ->
+    resp
+  (** One request, one response, on a caller-owned connection: the
+      blocking-baseline shape (the wait occupies the worker).
+      @raise Net.Closed / Net.Peer_closed / Net.Protocol_error. *)
+end

@@ -4,6 +4,7 @@ type report = {
   total : int;
   errors : int;
   connect_failures : int;
+  non_2xx : int;
   wall_s : float;
   throughput_rps : float;
   p50_us : float;
@@ -11,12 +12,21 @@ type report = {
   max_us : float;
 }
 
+type http_req = { meth : string; target : string; req_body : bytes option }
+
+let get target = { meth = "GET"; target; req_body = None }
+
+(* One generator machinery, two protocols: the driver decides what a
+   "call" is and whether its answer counts as success (latency sample),
+   an application-level failure (non-2xx) or a transport error. *)
+type driver = Rpc_driver of (int -> bytes) | Http_driver of (int -> http_req)
+
 type class_spec = {
   cls : string;
   conns : int;
   inflight : int;
   iters : int;
-  payload : int -> bytes;
+  driver : driver;
 }
 
 let percentile sorted q =
@@ -31,11 +41,21 @@ let default_payload i =
   Bytes.set_int64_be b 0 (Int64.of_int i);
   b
 
+let check_arity ~what conns inflight iters =
+  if conns < 1 || inflight < 1 || iters < 1 then
+    invalid_arg (what ^ ": conns, inflight and iters must be >= 1")
+
 let class_spec ?(conns = 4) ?(inflight = 8) ?(iters = 50)
     ?(payload = default_payload) cls =
-  if conns < 1 || inflight < 1 || iters < 1 then
-    invalid_arg "Load.class_spec: conns, inflight and iters must be >= 1";
-  { cls; conns; inflight; iters; payload }
+  check_arity ~what:"Load.class_spec" conns inflight iters;
+  { cls; conns; inflight; iters; driver = Rpc_driver payload }
+
+let http_spec ?(conns = 4) ?(inflight = 8) ?(iters = 50)
+    ?(req = fun _ -> get "/") cls =
+  check_arity ~what:"Load.http_spec" conns inflight iters;
+  { cls; conns; inflight; iters; driver = Http_driver req }
+
+type client = Crpc of Rpc.Client.t | Chttp of Http.Client.t
 
 (* Per-class in-flight accounting, shared with the generator tasks. *)
 type class_state = {
@@ -43,7 +63,8 @@ type class_state = {
   lats : float array array;
   errors : int Atomic.t;
   connect_failures : int Atomic.t;
-  clients : Rpc.Client.t option array;
+  non_2xx : int Atomic.t;
+  clients : client option array;
 }
 
 (* Closed-loop: per class, [conns] pipelined connections with [inflight]
@@ -61,6 +82,11 @@ let run_classes (type p) (module P : Pool_intf.POOL with type t = p) (pool : p)
            server refusing some arrivals is a result worth reporting,
            not a generator crash. *)
         let connect_failures = Atomic.make 0 in
+        let dial () =
+          match spec.driver with
+          | Rpc_driver _ -> Crpc (Rpc.Client.connect (module P) pool rt addr)
+          | Http_driver _ -> Chttp (Http.Client.connect (module P) pool rt addr)
+        in
         {
           spec;
           lats =
@@ -68,9 +94,10 @@ let run_classes (type p) (module P : Pool_intf.POOL with type t = p) (pool : p)
                 Array.make spec.iters nan);
           errors = Atomic.make 0;
           connect_failures;
+          non_2xx = Atomic.make 0;
           clients =
             Array.init spec.conns (fun _ ->
-                match Rpc.Client.connect (module P) pool rt addr with
+                match dial () with
                 | cl -> Some cl
                 | exception (Unix.Unix_error _ | Net.Closed) ->
                     Atomic.incr connect_failures;
@@ -93,14 +120,39 @@ let run_classes (type p) (module P : Pool_intf.POOL with type t = p) (pool : p)
                            offered load fails. *)
                         ignore
                           (Atomic.fetch_and_add st.errors st.spec.iters : int)
-                    | Some cl ->
+                    | Some (Crpc cl) ->
+                        let payload =
+                          match st.spec.driver with
+                          | Rpc_driver f -> f
+                          | Http_driver _ -> assert false
+                        in
                         for k = 0 to st.spec.iters - 1 do
                           let t = Unix.gettimeofday () in
-                          match
-                            P.await pool (Rpc.Client.call cl (st.spec.payload k))
-                          with
+                          match P.await pool (Rpc.Client.call cl (payload k)) with
                           | (_ : bytes) ->
                               slot.(k) <- (Unix.gettimeofday () -. t) *. 1e6
+                          | exception Net.Remote_error _ ->
+                              Atomic.incr st.non_2xx
+                          | exception _ -> Atomic.incr st.errors
+                        done
+                    | Some (Chttp cl) ->
+                        let req =
+                          match st.spec.driver with
+                          | Http_driver f -> f
+                          | Rpc_driver _ -> assert false
+                        in
+                        for k = 0 to st.spec.iters - 1 do
+                          let r = req k in
+                          let t = Unix.gettimeofday () in
+                          match
+                            P.await pool
+                              (Http.Client.call cl ?body:r.req_body ~meth:r.meth
+                                 ~target:r.target ())
+                          with
+                          | resp ->
+                              if resp.Http.Client.status / 100 = 2 then
+                                slot.(k) <- (Unix.gettimeofday () -. t) *. 1e6
+                              else Atomic.incr st.non_2xx
                           | exception _ -> Atomic.incr st.errors
                         done)))
           (List.init st.spec.conns Fun.id))
@@ -110,7 +162,11 @@ let run_classes (type p) (module P : Pool_intf.POOL with type t = p) (pool : p)
   let wall_s = Unix.gettimeofday () -. t0 in
   List.map
     (fun st ->
-      Array.iter (Option.iter Rpc.Client.close) st.clients;
+      Array.iter
+        (Option.iter (function
+          | Crpc cl -> Rpc.Client.close cl
+          | Chttp cl -> Http.Client.close cl))
+        st.clients;
       let ok =
         Array.to_list st.lats
         |> List.concat_map (fun slot ->
@@ -123,6 +179,7 @@ let run_classes (type p) (module P : Pool_intf.POOL with type t = p) (pool : p)
           total = st.spec.conns * st.spec.inflight * st.spec.iters;
           errors = Atomic.get st.errors;
           connect_failures = Atomic.get st.connect_failures;
+          non_2xx = Atomic.get st.non_2xx;
           wall_s;
           throughput_rps =
             (if wall_s > 0. then float_of_int (Array.length ok) /. wall_s else 0.);
@@ -134,11 +191,21 @@ let run_classes (type p) (module P : Pool_intf.POOL with type t = p) (pool : p)
 
 let run (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt
     ?(conns = 4) ?(inflight = 8) ?(iters = 50) ?(payload = default_payload) addr =
-  if conns < 1 || inflight < 1 || iters < 1 then
-    invalid_arg "Load.run: conns, inflight and iters must be >= 1";
+  check_arity ~what:"Load.run" conns inflight iters;
   match
     run_classes (module P) pool rt
       ~classes:[ class_spec ~conns ~inflight ~iters ~payload "all" ]
+      addr
+  with
+  | [ (_, r) ] -> r
+  | _ -> assert false
+
+let run_http (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt
+    ?(conns = 4) ?(inflight = 8) ?(iters = 50) ?req addr =
+  check_arity ~what:"Load.run_http" conns inflight iters;
+  match
+    run_classes (module P) pool rt
+      ~classes:[ http_spec ~conns ~inflight ~iters ?req "all" ]
       addr
   with
   | [ (_, r) ] -> r

@@ -4,17 +4,28 @@
     connection, each issuing [iters] requests back to back: the offered
     load is fixed at [conns * inflight] outstanding requests, and the
     report carries wall-clock throughput plus a latency histogram
-    summary.  Used by both the tests and [bench/scenarios_net.ml]. *)
+    summary.  Used by both the tests and [bench/scenarios_net.ml].
+
+    Two drivers share the machinery: {!Rpc.Client} calls against an
+    {!Rpc.serve} endpoint, and {!Http.Client} requests against an
+    {!Http.serve} endpoint (keep-alive connections, pipelined) — the
+    c10k serving legs in [bench/scenarios_http.ml] run the latter. *)
 
 type report = {
   total : int;  (** requests offered ([conns * inflight * iters]) *)
   errors : int;
-      (** calls that failed (timeout, closed, remote error, mid-run
+      (** calls whose transport failed (timeout, closed, mid-run
           reset) — includes the full share of connections that never
           connected *)
   connect_failures : int;
       (** connections whose dial was refused or reset; their calls are
           counted in [errors], and the run carries on with the rest *)
+  non_2xx : int;
+      (** requests the server answered, but not with success: HTTP
+          statuses outside 2xx (503 shed, 500 handler failure, …), or
+          [Net.Remote_error] on the RPC driver.  Disjoint from
+          [errors]; excluded from [throughput_rps] and the latency
+          summary. *)
   wall_s : float;
   throughput_rps : float;  (** successful requests per second *)
   p50_us : float;  (** median request latency, microseconds *)
@@ -54,9 +65,25 @@ val class_spec :
   ?payload:(int -> bytes) ->
   string ->
   class_spec
-(** One request class: its name plus its own offered load (same
+(** One RPC request class: its name plus its own offered load (same
     defaults as {!run}).  [payload] is how the server tells classes
     apart — encode the class tag in it and route in the handler. *)
+
+type http_req = { meth : string; target : string; req_body : bytes option }
+
+val get : string -> http_req
+(** [get target] — the GET request most serving legs issue. *)
+
+val http_spec :
+  ?conns:int ->
+  ?inflight:int ->
+  ?iters:int ->
+  ?req:(int -> http_req) ->
+  string ->
+  class_spec
+(** One HTTP request class (default request: [GET /]).  Classes tell
+    themselves apart by [target], which is also how a routed server
+    pins them to different micropools. *)
 
 val run_classes :
   (module Lhws_workloads.Pool_intf.POOL with type t = 'p) ->
@@ -69,5 +96,18 @@ val run_classes :
     its own connections), returning a report per class in input order.
     [wall_s] is the whole run's wall clock — classes finish at
     different times but are measured against the shared window.  Same
-    calling restrictions as {!run}.
+    calling restrictions as {!run}; HTTP and RPC classes must not be
+    mixed against one endpoint (the server speaks one protocol).
     @raise Invalid_argument on an empty class list. *)
+
+val run_http :
+  (module Lhws_workloads.Pool_intf.POOL with type t = 'p) ->
+  'p ->
+  Reactor.t ->
+  ?conns:int ->
+  ?inflight:int ->
+  ?iters:int ->
+  ?req:(int -> http_req) ->
+  Unix.sockaddr ->
+  report
+(** {!run}'s shape for an {!Http.serve} endpoint. *)

@@ -87,28 +87,31 @@ let wait_fibers io timer kind fd ~deadline =
   | Timed_out -> raise Net.Timeout
   | Bad e -> raise e
 
-(* Blocking pools park in [select] itself; the deadline becomes its
-   timeout argument, so a dead peer still cannot hold a worker forever. *)
+(* Blocking pools park in [poll(2)] itself ({!Io.poll_single} — select
+   would cap descriptor numbers at FD_SETSIZE, far below the serving
+   layer's connection counts); the deadline becomes its timeout, so a
+   dead peer still cannot hold a worker forever.  poll's millisecond
+   granularity rounds the timeout {e up}: a deadline may be overshot by
+   up to 1 ms but never fires early with the fd unready. *)
 let wait_blocking kind fd ~deadline =
-  let timeout =
+  let kind = match kind with `Readable -> `R | `Writable -> `W in
+  let timeout_ms () =
     match deadline with
-    | None -> -1. (* no deadline: block until ready *)
-    | Some d -> Float.max 0. (d -. Unix.gettimeofday ())
+    | None -> -1 (* no deadline: block until ready *)
+    | Some d ->
+        let left = d -. Unix.gettimeofday () in
+        if left <= 0. then 0 else int_of_float (ceil (left *. 1000.))
   in
-  let r, w = match kind with `Readable -> ([ fd ], []) | `Writable -> ([], [ fd ]) in
-  let rec go timeout =
-    match Unix.select r w [] timeout with
-    | [], [], [] -> if deadline <> None then raise Net.Timeout
-    | _ -> ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
-        let timeout =
-          match deadline with
-          | None -> -1.
-          | Some d -> Float.max 0. (d -. Unix.gettimeofday ())
-        in
-        go timeout
+  let rec go () =
+    match Io.poll_single kind fd ~timeout_ms:(timeout_ms ()) with
+    | `Ready -> ()
+    | `Interrupted -> go ()
+    | `Timeout ->
+        if deadline = None then go () (* spurious zero-timeout wake *)
+        else if timeout_ms () = 0 then raise Net.Timeout
+        else go ()
   in
-  go timeout
+  go ()
 
 let wait t kind fd ~deadline =
   match t.mode with

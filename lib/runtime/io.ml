@@ -61,6 +61,8 @@ type waiter = intent
 module type BACKEND = sig
   type t
 
+  val name : string
+
   val create : unit -> t
   val add : t -> [ `R | `W ] -> Unix.file_descr -> unit
   (** Called once when the first waiter for (fd, direction) registers. *)
@@ -71,9 +73,48 @@ module type BACKEND = sig
   val armed : t -> bool
   (** Whether any interest is registered at all. *)
 
+  val size : t -> int
+  (** Number of distinct descriptors registered — the cost driver of one
+      batched pass, which the pump's pacing scales with. *)
+
   val wait : t -> Unix.file_descr list * Unix.file_descr list
   (** One batched readiness pass (ready-to-read, ready-to-write). *)
+
+  val probe : [ `R | `W ] -> Unix.file_descr -> exn option
+  (** One fd tested in isolation, with this backend's own mechanism
+      (the sweep must agree with [wait] about which descriptors the
+      backend can express at all): [Some exn] when the descriptor would
+      poison a batched pass, [None] when it is merely not ready. *)
 end
+
+(* --- poll(2) stubs (see poll_stubs.c) ---
+
+   [poll_raw] drives parallel int arrays: interest bit 1 = readable,
+   2 = writable; result adds bit 4 for POLLNVAL.  Returns the number of
+   ready entries, or -1 for EINTR. *)
+external poll_raw :
+  Unix.file_descr array -> int array -> int array -> int -> int -> int
+  = "lhws_poll_stub"
+
+external raise_nofile_raw : int -> int = "lhws_raise_nofile_stub"
+
+let raise_nofile want = raise_nofile_raw want
+
+(* One descriptor, one direction, a millisecond timeout (-1 = forever):
+   the single-fd wait used by blocking-mode reactors, with none of
+   select's FD_SETSIZE ceiling.  [`Ready] covers error/hang-up too —
+   the caller's own syscall surfaces whatever is wrong with the fd. *)
+let poll_single kind fd ~timeout_ms =
+  let fds = [| fd |] in
+  let events = [| (match kind with `R -> 1 | `W -> 2) |] in
+  let revents = [| 0 |] in
+  match poll_raw fds events revents 1 timeout_ms with
+  | 0 -> `Timeout
+  | -1 -> `Interrupted
+  | _ ->
+      if revents.(0) land 4 <> 0 then
+        raise (Unix.Unix_error (Unix.EBADF, "poll", ""))
+      else `Ready
 
 module Select_backend : BACKEND = struct
   (* Interest lists maintained incrementally on register/unregister —
@@ -99,23 +140,151 @@ module Select_backend : BACKEND = struct
     | `W -> t.wfds <- List.filter (fun fd' -> fd' <> fd) t.wfds
 
   let armed t = t.rfds <> [] || t.wfds <> []
+  let size t = List.length t.rfds + List.length t.wfds
 
   let wait t =
     match Unix.select t.rfds t.wfds [] 0. with
     | r, w, _ -> (r, w)
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
+
+  let name = "select"
+
+  (* A select probe, so an fd select cannot express (>= FD_SETSIZE)
+     stays an error under this backend instead of livelocking the
+     sweep: a poll-based probe would pass it, it would stay registered,
+     and every subsequent batched pass would reject the set again. *)
+  let probe kind fd =
+    let r, w = match kind with `W -> ([], [ fd ]) | `R -> ([ fd ], []) in
+    match Unix.select r w [] 0. with
+    | _ -> None
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> None
+    | exception (Unix.Unix_error _ as e) -> Some e
 end
+
+module Poll_backend : BACKEND = struct
+  (* Incrementally maintained pollfd mirror: parallel growable arrays
+     plus an fd -> slot index, so [add]/[remove] are O(1) (remove swaps
+     the last entry down) and [wait] hands the arrays to poll(2) as-is.
+     Both directions of one fd share a slot; interest is the bit mask
+     the stub expects (1 = R, 2 = W). *)
+  type t = {
+    mutable fds : Unix.file_descr array;
+    mutable events : int array;
+    mutable revents : int array;
+    mutable n : int;
+    index : (Unix.file_descr, int) Hashtbl.t;
+  }
+
+  let name = "poll"
+
+  let create () =
+    {
+      fds = Array.make 64 Unix.stdin;
+      events = Array.make 64 0;
+      revents = Array.make 64 0;
+      n = 0;
+      index = Hashtbl.create 64;
+    }
+
+  let grow t =
+    let cap = Array.length t.fds in
+    if t.n = cap then begin
+      let fds = Array.make (2 * cap) Unix.stdin in
+      let events = Array.make (2 * cap) 0 in
+      Array.blit t.fds 0 fds 0 cap;
+      Array.blit t.events 0 events 0 cap;
+      t.fds <- fds;
+      t.events <- events;
+      t.revents <- Array.make (2 * cap) 0
+    end
+
+  let bit = function `R -> 1 | `W -> 2
+
+  let add t kind fd =
+    match Hashtbl.find_opt t.index fd with
+    | Some i -> t.events.(i) <- t.events.(i) lor bit kind
+    | None ->
+        grow t;
+        t.fds.(t.n) <- fd;
+        t.events.(t.n) <- bit kind;
+        Hashtbl.replace t.index fd t.n;
+        t.n <- t.n + 1
+
+  let remove t kind fd =
+    match Hashtbl.find_opt t.index fd with
+    | None -> ()
+    | Some i ->
+        let ev = t.events.(i) land lnot (bit kind) in
+        if ev <> 0 then t.events.(i) <- ev
+        else begin
+          let last = t.n - 1 in
+          Hashtbl.remove t.index fd;
+          if i < last then begin
+            t.fds.(i) <- t.fds.(last);
+            t.events.(i) <- t.events.(last);
+            Hashtbl.replace t.index t.fds.(i) i
+          end;
+          t.n <- last
+        end
+
+  let armed t = t.n > 0
+  let size t = t.n
+
+  (* POLLNVAL entries are reported ready for whatever direction they
+     registered: the pump then runs (or wakes) their operations, whose
+     own syscall raises EBADF — the same loud-failure contract as the
+     probe sweep, without a second syscall to find the culprit. *)
+  let wait t =
+    match poll_raw t.fds t.events t.revents t.n 0 with
+    | 0 | -1 -> ([], [])
+    | _ ->
+        let r = ref [] and w = ref [] in
+        for i = 0 to t.n - 1 do
+          let re = t.revents.(i) in
+          if re <> 0 then begin
+            let interest = t.events.(i) in
+            let nval = re land 4 <> 0 in
+            if interest land 1 <> 0 && (re land 1 <> 0 || nval) then
+              r := t.fds.(i) :: !r;
+            if interest land 2 <> 0 && (re land 2 <> 0 || nval) then
+              w := t.fds.(i) :: !w
+          end
+        done;
+        (!r, !w)
+
+  let probe kind fd =
+    match poll_single kind fd ~timeout_ms:0 with
+    | `Ready | `Timeout | `Interrupted -> None
+    | exception (Unix.Unix_error _ as e) -> Some e
+end
+
+(* The active backend, chosen once per reactor: poll by default (no
+   descriptor ceiling — the c10k serving legs depend on it), select
+   when LHWS_BACKEND=select asks for the comparison baseline. *)
+type backend = B : (module BACKEND with type t = 'b) * 'b -> backend
+
+let make_backend () =
+  match Sys.getenv_opt "LHWS_BACKEND" with
+  | Some "select" -> B ((module Select_backend), Select_backend.create ())
+  | _ -> B ((module Poll_backend), Poll_backend.create ())
 
 type waiters = (Unix.file_descr, waiter list ref) Hashtbl.t
 
-(* Keep select-frequency amortized in batched mode: when no new intent
-   arrived since the last readiness pass and that pass was a moment ago,
-   the pump skips the syscall.  Worst case this defers detection of a
-   readiness edge by the pacing interval — the same order as the worker
-   idle-backoff base (50 us), far below the parked operations' own
-   latency — and in exchange the steady-state pump stops burning one
-   select per loop iteration. *)
+(* Keep readiness-pass frequency amortized in batched mode: the pass is
+   paced by wall clock, and the interval grows with the registered-set
+   size.  Time-based pacing is sound because eager completion already
+   ran every operation once before it parked — a parked fd only becomes
+   ready when the peer acts, so there is never a correctness reason to
+   re-poll immediately on submission; worst case a readiness edge is
+   detected one interval late.  The size scaling is what makes c10k
+   serving work: poll(2) walks every registered fd, so with 10k parked
+   connections one pass costs hundreds of microseconds, and re-passing
+   every 50 us (the old fixed interval, fired on every submission under
+   load) burns the whole core in the kernel.  At 0.2 us per registered
+   fd the steady-state polling duty cycle stays bounded regardless of
+   scale, while small interest sets keep the 50 us floor. *)
 let select_pacing_s = 0.00005
+let per_fd_pacing_s = 2e-7
 
 let ring_count = 8 (* power of two; rings are indexed by domain id *)
 
@@ -123,13 +292,11 @@ type t = {
   mu : Mutex.t;
   readers : waiters;
   writers : waiters;
-  backend : Select_backend.t;
+  backend : backend;
   rings : intent list Atomic.t array;  (* per-worker submission rings *)
   npending : int Atomic.t;  (* intents submitted, not yet decided *)
   syscalls : int Atomic.t;  (* kernel I/O calls made through this reactor *)
-  gen : int Atomic.t;  (* bumped per submission; drives select pacing *)
-  mutable last_pass : float;  (* pump-only: when the last select ran *)
-  mutable last_gen : int;  (* pump-only: gen as of the last select *)
+  mutable last_pass : float;  (* pump-only: when the last readiness pass ran *)
   legacy : bool;
   (* Test-only mutation hook: drop every [drop_every]-th completion on
      the floor (the fiber stays parked forever).  Exists so the chaos
@@ -144,19 +311,24 @@ let create ?(legacy = false) () =
     mu = Mutex.create ();
     readers = Hashtbl.create 16;
     writers = Hashtbl.create 16;
-    backend = Select_backend.create ();
+    backend = make_backend ();
     rings = Array.init ring_count (fun _ -> Atomic.make []);
     npending = Atomic.make 0;
     syscalls = Atomic.make 0;
-    gen = Atomic.make 0;
     last_pass = 0.;
-    last_gen = -1;
     legacy;
     drop_every = Atomic.make 0;
     drop_tick = Atomic.make 0;
   }
 
 let is_legacy t = t.legacy
+let backend_name t = match t.backend with B ((module B), _) -> B.name
+let bk_add t kind fd = match t.backend with B ((module B), b) -> B.add b kind fd
+let bk_remove t kind fd = match t.backend with B ((module B), b) -> B.remove b kind fd
+let bk_armed t = match t.backend with B ((module B), b) -> B.armed b
+let bk_size t = match t.backend with B ((module B), b) -> B.size b
+let bk_wait t = match t.backend with B ((module B), b) -> B.wait b
+let bk_probe t kind fd = match t.backend with B ((module B), _) -> B.probe kind fd
 let syscalls t = Atomic.get t.syscalls
 let count_syscall t = Atomic.incr t.syscalls
 let pending t = Atomic.get t.npending
@@ -172,7 +344,7 @@ let register_locked t w =
   | Some l -> l := w :: !l
   | None ->
       Hashtbl.add tbl w.ifd (ref [ w ]);
-      Select_backend.add t.backend w.ikind w.ifd
+      bk_add t w.ikind w.ifd
 
 (* Detach every armed waiter on [fd], marking them [Claimed]: the caller
    (the pump) owns them and must decide each one.  Owner of [t.mu]. *)
@@ -184,7 +356,7 @@ let take_all_locked t kind fd =
       let ws = List.filter (fun w -> w.istate = Armed) !l in
       List.iter (fun w -> w.istate <- Claimed) ws;
       Hashtbl.remove tbl fd;
-      Select_backend.remove t.backend kind fd;
+      bk_remove t kind fd;
       ws
 
 (* --- submission: the lock-free fiber-side entry point --- *)
@@ -200,7 +372,6 @@ let submit t ~kind ~fd ~run notify =
   Atomic.incr t.npending;
   let slot = (Domain.self () :> int) land (ring_count - 1) in
   ring_push t.rings.(slot) w;
-  Atomic.incr t.gen;
   w
 
 let submit_wait t ~kind ~fd notify = submit t ~kind ~fd ~run:(fun () -> `Done) notify
@@ -229,7 +400,7 @@ let cancel t w =
             match List.filter (fun w' -> w' != w) !l with
             | [] ->
                 Hashtbl.remove tbl w.ifd;
-                Select_backend.remove t.backend w.ikind w.ifd
+                bk_remove t w.ikind w.ifd
             | rest -> l := rest));
         true
     | Claimed ->
@@ -320,19 +491,15 @@ let sweep_bad t =
   let rfds = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.readers [] in
   let wfds = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.writers [] in
   Mutex.unlock t.mu;
-  let probe fds ~write =
+  let probe kind fds =
     List.filter_map
       (fun fd ->
-        let r, w = if write then ([], [ fd ]) else ([ fd ], []) in
         count_syscall t;
-        match Unix.select r w [] 0. with
-        | _ -> None
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> None
-        | exception (Unix.Unix_error _ as e) -> Some (fd, e))
+        match bk_probe t kind fd with None -> None | Some e -> Some (fd, e))
       fds
   in
-  let bad_r = probe rfds ~write:false in
-  let bad_w = probe wfds ~write:true in
+  let bad_r = probe `R rfds in
+  let bad_w = probe `W wfds in
   Mutex.lock t.mu;
   let victims =
     List.concat_map
@@ -354,21 +521,20 @@ let poll t =
     drain_rings_locked t;
     Mutex.unlock t.mu
   end;
-  if Atomic.get t.npending = 0 || not (Select_backend.armed t.backend) then 0
+  if Atomic.get t.npending = 0 || not (bk_armed t) then 0
   else begin
-    (* 2. One batched readiness pass — paced, so an idle-spinning pump
-       does not burn a select per loop iteration on an unchanged set. *)
-    let g = Atomic.get t.gen in
+    (* 2. One batched readiness pass — paced by wall clock and scaled by
+       the registered-set size, so neither an idle-spinning pump nor a
+       saturated one burns a full-set walk per loop iteration. *)
     let now = Unix.gettimeofday () in
-    if
-      (not t.legacy) && g = t.last_gen
-      && now -. t.last_pass < select_pacing_s
-    then 0
+    let interval =
+      select_pacing_s +. (float_of_int (bk_size t) *. per_fd_pacing_s)
+    in
+    if (not t.legacy) && now -. t.last_pass < interval then 0
     else begin
-      t.last_gen <- g;
       t.last_pass <- now;
       count_syscall t;
-      match Select_backend.wait t.backend with
+      match bk_wait t with
       | [], [] -> 0
       | ready_r, ready_w -> (
           Mutex.lock t.mu;

@@ -37,13 +37,22 @@ val is_legacy : t -> bool
 (** {1 The backend seam}
 
     The readiness mechanism behind {!poll}, kept behind a signature so
-    an [epoll] or [io_uring] backend can replace [select] without
-    touching the intent machinery: implement interest registration
-    ([add]/[remove], called once per (fd, direction) transition — never
-    per poll) and one batched zero-timeout readiness pass ([wait]). *)
+    an [epoll] or [io_uring] backend can slot in without touching the
+    intent machinery: implement interest registration ([add]/[remove],
+    called once per (fd, direction) transition — never per poll) and one
+    batched zero-timeout readiness pass ([wait]).
+
+    Two implementations exist.  The default is a [poll(2)] C stub with
+    an incrementally maintained pollfd mirror — no descriptor ceiling,
+    which the 10k-connection HTTP serving legs require.  [select]
+    remains available as a comparison baseline via [LHWS_BACKEND=select]
+    in the environment; it caps descriptor {e numbers} at [FD_SETSIZE]
+    (1024). *)
 
 module type BACKEND = sig
   type t
+
+  val name : string
 
   val create : unit -> t
 
@@ -51,10 +60,46 @@ module type BACKEND = sig
   val remove : t -> [ `R | `W ] -> Unix.file_descr -> unit
   val armed : t -> bool
 
+  val size : t -> int
+  (** Distinct descriptors registered: one batched pass walks this many
+      entries, so the pump paces its passes proportionally. *)
+
   val wait : t -> Unix.file_descr list * Unix.file_descr list
   (** May raise [Unix.Unix_error (EBADF | EINVAL, _, _)] to reject the
       whole set; {!poll} recovers with a per-fd probe sweep. *)
+
+  val probe : [ `R | `W ] -> Unix.file_descr -> exn option
+  (** Tests one fd with this backend's own mechanism — the recovery
+      sweep must agree with [wait] about which descriptors the backend
+      can express at all.  [Some exn] marks an fd that would poison a
+      batched pass; [None] means merely not ready. *)
 end
+
+val backend_name : t -> string
+(** ["poll"] or ["select"], for logging and bench records. *)
+
+(** {1 Descriptor-scale helpers}
+
+    The pieces of the c10k story that are not about intents at all. *)
+
+val poll_single :
+  [ `R | `W ] ->
+  Unix.file_descr ->
+  timeout_ms:int ->
+  [ `Ready | `Timeout | `Interrupted ]
+(** One descriptor, one direction, a millisecond timeout ([-1] waits
+    forever) — the blocking-mode wait primitive, free of [select]'s
+    [FD_SETSIZE] ceiling so the threaded baselines can hold thousands
+    of connections too.  [`Ready] includes error/hang-up conditions
+    (the caller's next syscall surfaces the actual error);
+    [`Interrupted] is [EINTR] (recompute the timeout and retry).
+    @raise Unix.Unix_error [EBADF] when the descriptor is not open. *)
+
+val raise_nofile : int -> int
+(** Best-effort bump of the process's soft [RLIMIT_NOFILE] toward
+    [min want hard]; returns the soft limit now in force.  The
+    10k-connection bench legs call it so a conservative shell default
+    does not read as a scheduler ceiling. *)
 
 (** {1 Intent submission}
 

@@ -21,7 +21,13 @@
      check, with margins sized for loopback timings on a shared runner;
    - http_* samples carrying a [throughput_rps] counter: fail when the
      current req/s drops below baseline * 0.8 — the serving-layer
-     regression pin for the keep-alive and mixed-topology legs.
+     regression pin for the keep-alive and mixed-topology legs;
+   - http_* samples from an age-fair pool (pool name contains "aged")
+     carrying both [p99_us] and [mean_us]: fail when the CURRENT run's
+     p99 exceeds 3x its own mean plus a 30 ms absolute grace — the
+     starvation pin: under Aged_fifo resume fairness the tail must stay
+     a bounded multiple of the mean, regardless of what the baseline
+     recorded.
 
    Other wall-clock samples are reported but not guarded: at smoke sizes
    they are milliseconds and dominated by machine noise.
@@ -192,6 +198,7 @@ type sample = {
   speedup : float option;
   p99_us : float option;  (* from the nested counters object, when present *)
   throughput_rps : float option;  (* likewise *)
+  mean_us : float option;  (* likewise *)
 }
 
 let field k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
@@ -234,6 +241,10 @@ let samples_of_file path =
                     (match field "counters" item with
                     | Some counters -> as_num (field "throughput_rps" counters)
                     | None -> None);
+                  mean_us =
+                    (match field "counters" item with
+                    | Some counters -> as_num (field "mean_us" counters)
+                    | None -> None);
                 }
           | _ -> None)
         items
@@ -252,9 +263,16 @@ let wall_grace_s = 0.025 (* absolute grace for tiny walls on noisy runners *)
 let p99_threshold = 2.
 let p99_grace_us = 2000. (* loopback p99s are hundreds of us; don't flake *)
 let rps_floor = 0.8 (* http_* req/s must stay within 20% of baseline *)
+let fairness_ratio = 3. (* age-fair legs: p99 must stay <= 3x own mean... *)
+let fairness_grace_us = 30_000. (* ...plus the smoke-size connect transient *)
 
 let has_prefix p s =
   String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let contains_sub sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
 
 let () =
   let current_path, baseline_path =
@@ -302,6 +320,26 @@ let () =
                      limit bp p99_threshold p99_grace_us)
               end
               else report "ok" b (Printf.sprintf "p99 %.0fus (baseline %.0fus)" cp bp)
+          | _ -> ());
+          (* Starvation pin: an age-fair leg's tail is judged against its
+             own mean in the CURRENT run — the baseline only tells us the
+             sample is expected to exist. *)
+          (match (c.p99_us, c.mean_us) with
+          | Some cp, Some cm
+            when has_prefix "http_" b.scenario && contains_sub "aged" b.pool ->
+              incr checked;
+              let limit = (cm *. fairness_ratio) +. fairness_grace_us in
+              if cp > limit then begin
+                incr failures;
+                report "FAIL" b
+                  (Printf.sprintf
+                     "fairness: p99 %.0fus > %.0fus (own mean %.0fus * %.1f + %.0f)" cp
+                     limit cm fairness_ratio fairness_grace_us)
+              end
+              else
+                report "ok" b
+                  (Printf.sprintf "fairness: p99 %.0fus <= %.1fx mean %.0fus + grace" cp
+                     fairness_ratio cm)
           | _ -> ());
           (match (b.speedup, c.speedup) with
           | Some bs, Some cs ->

@@ -714,6 +714,57 @@ module Router = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Oldest-pending-request age gauge                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Deadline-aware admission needs one number: how long ago was the
+   oldest request we admitted and have not yet answered?  Admissions are
+   FIFO by construction (ids increase with time), so a lazy-deletion
+   queue gives it in O(1) amortized: completions mark their id done, and
+   the reader pops marked entries off the front before peeking. *)
+type age_gauge = {
+  ag_mu : Mutex.t;
+  ag_q : (int * float) Queue.t;  (* (id, admitted-at), oldest first *)
+  ag_done : (int, unit) Hashtbl.t;  (* completed ids not yet popped *)
+  mutable ag_next : int;
+}
+
+let make_gauge () =
+  {
+    ag_mu = Mutex.create ();
+    ag_q = Queue.create ();
+    ag_done = Hashtbl.create 64;
+    ag_next = 0;
+  }
+
+let gauge_admit g =
+  Mutex.lock g.ag_mu;
+  let id = g.ag_next in
+  g.ag_next <- id + 1;
+  Queue.push (id, Unix.gettimeofday ()) g.ag_q;
+  Mutex.unlock g.ag_mu;
+  id
+
+let gauge_finish g id =
+  Mutex.lock g.ag_mu;
+  Hashtbl.replace g.ag_done id ();
+  Mutex.unlock g.ag_mu
+
+let gauge_oldest_age g =
+  Mutex.lock g.ag_mu;
+  let rec front () =
+    match Queue.peek_opt g.ag_q with
+    | Some (id, _) when Hashtbl.mem g.ag_done id ->
+        Hashtbl.remove g.ag_done id;
+        ignore (Queue.pop g.ag_q : int * float);
+        front ()
+    | other -> other
+  in
+  let f = front () in
+  Mutex.unlock g.ag_mu;
+  match f with None -> 0. | Some (_, t) -> Unix.gettimeofday () -. t
+
+(* ------------------------------------------------------------------ *)
 (* Server                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -723,6 +774,7 @@ type config = {
   max_body_bytes : int;
   max_pipeline : int;
   shed_above : int option;
+  max_queue_age : float option;
 }
 
 let default_config =
@@ -732,6 +784,7 @@ let default_config =
     max_body_bytes = 8 * 1024 * 1024;
     max_pipeline = 64;
     shed_above = None;
+    max_queue_age = None;
   }
 
 type server = {
@@ -740,6 +793,7 @@ type server = {
   s_inflight : int Atomic.t;
   s_served : int Atomic.t;
   s_shed : int Atomic.t;
+  s_gauge : age_gauge;
 }
 
 let listener s =
@@ -752,6 +806,7 @@ let inflight s = Atomic.get s.s_inflight
 let served s = Atomic.get s.s_served
 let shed_503 s = Atomic.get s.s_shed
 let draining s = Atomic.get s.s_draining
+let oldest_pending_age s = gauge_oldest_age s.s_gauge
 
 (* One connection's serve loop: decode requests with the incremental
    parser, hand each to the pool through its dispatcher, and sequence
@@ -785,8 +840,17 @@ let serve_conn (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) ~
       stop := true
     end
     else if
-      match cfg.shed_above with
+      (match cfg.shed_above with
       | Some hi -> Atomic.get st.s_inflight >= hi
+      | None -> false)
+      ||
+      (* Deadline-aware brownout: when the oldest admitted-but-unanswered
+         request is already older than the budget, admitting more work
+         only deepens the queue everyone is stuck behind.  Answer 503
+         with a Retry-After instead — the freshest arrivals are exactly
+         the ones whose deadline a retry can still meet. *)
+      match cfg.max_queue_age with
+      | Some age -> gauge_oldest_age st.s_gauge > age
       | None -> false
     then begin
       (* Overload shed: reject fast without spending a pool task, but
@@ -803,11 +867,13 @@ let serve_conn (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) ~
       let dispatch =
         match dispatch_override with Some d -> d | None -> default_dispatch
       in
+      let gid = gauge_admit st.s_gauge in
       Atomic.incr outstanding;
       Atomic.incr st.s_inflight;
       dispatch (fun () ->
           Fun.protect
             ~finally:(fun () ->
+              gauge_finish st.s_gauge gid;
               Atomic.decr outstanding;
               Atomic.decr st.s_inflight)
             (fun () ->
@@ -870,6 +936,7 @@ let serve_gen (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt
       s_inflight = Atomic.make 0;
       s_served = Atomic.make 0;
       s_shed = Atomic.make 0;
+      s_gauge = make_gauge ();
     }
   in
   let default_dispatch =
@@ -877,10 +944,26 @@ let serve_gen (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt
     | Some d -> d
     | None -> fun f -> ignore (P.async pool f : unit Promise.t)
   in
+  (* With a queue-age budget, admission control reaches all the way to
+     the acceptor: while the oldest pending request is over age, new
+     {e connections} are shed at accept (closed immediately) on top of
+     the per-request 503s on live connections. *)
+  let lcfg =
+    match config.max_queue_age with
+    | None -> config.listener
+    | Some age ->
+        let over_age () = gauge_oldest_age st.s_gauge > age in
+        let pred =
+          match config.listener.Listener.shed_pred with
+          | None -> over_age
+          | Some p -> fun () -> p () || over_age ()
+        in
+        { config.listener with Listener.shed_pred = Some pred }
+  in
   let l =
     Listener.serve
       (module P)
-      pool rt ~config:config.listener addr
+      pool rt ~config:lcfg addr
       ~handler:(fun conn ->
         serve_conn (module P) pool ~cfg:config ~st ~default_dispatch ~route conn)
   in

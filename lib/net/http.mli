@@ -160,6 +160,15 @@ type config = {
   shed_above : int option;
       (** server-wide in-flight request high-water mark: at/above it
           new requests are answered 503 without dispatching *)
+  max_queue_age : float option;
+      (** deadline-aware brownout budget, seconds: while the oldest
+          admitted-but-unanswered request is older than this, new
+          requests on live connections are answered 503 +
+          [Retry-After] and new connections are shed at accept (the
+          gauge is wired into the listener's [shed_pred]) — admission
+          stops the moment queued work is already too old to serve in
+          time, instead of deepening the queue everyone waits behind
+          (default [None]) *)
 }
 
 val default_config : config
@@ -205,9 +214,14 @@ val served : server -> int
 (** Responses written (all statuses). *)
 
 val shed_503 : server -> int
-(** Requests answered 503 by the shed / drain fast path. *)
+(** Requests answered 503 by the shed / drain / brownout fast paths. *)
 
 val draining : server -> bool
+
+val oldest_pending_age : server -> float
+(** Age in seconds of the oldest admitted-but-unanswered request (0
+    when none are pending) — the gauge the [max_queue_age] brownout
+    reads. *)
 
 val shutdown : ?grace:float -> server -> unit
 (** Drain: mark the server draining (new requests on live connections

@@ -7,6 +7,10 @@ type config = {
       (* overload high-water mark: at/above this many live handlers,
          reject-fast (accept then close immediately) instead of letting
          arrivals queue — see [shed] and the [conns_shed] stats field *)
+  shed_pred : (unit -> bool) option;
+      (* extra deadline-aware shed signal, ORed with [shed_above]: the
+         serving layer reports "my oldest pending request is too old" and
+         the acceptor sheds arrivals while the condition holds *)
   idle_timeout : float option;
   read_timeout : float option;
   write_timeout : float option;
@@ -18,6 +22,7 @@ let default_config =
     backlog = 128;
     max_conns = 1024;
     shed_above = None;
+    shed_pred = None;
     idle_timeout = None;
     read_timeout = None;
     write_timeout = None;
@@ -151,9 +156,10 @@ let serve (type p) (module P : Pool_intf.POOL with type t = p) (pool : p) rt
      a queue that only grows.  Without a mark, the [max_conns] gate
      holds arrivals in the kernel backlog as before. *)
   let shed_now () =
-    match config.shed_above with
+    (match config.shed_above with
     | Some hw -> Atomic.get s.live >= hw
-    | None -> false
+    | None -> false)
+    || (match config.shed_pred with Some pred -> pred () | None -> false)
   in
   let rec accept_loop () =
     if Atomic.get s.stop then ()

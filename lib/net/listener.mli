@@ -18,6 +18,13 @@ type config = {
           arrivals are rejected fast — accepted and closed immediately,
           counted in {!shed} and the pool's [conns_shed] stats field —
           instead of queueing unanswered (default [None]: no shedding) *)
+  shed_pred : (unit -> bool) option;
+      (** deadline-aware shed signal ORed with [shed_above]: while it
+          returns [true] arrivals are rejected fast.  The serving layer
+          supplies an age check — e.g. {!Http}'s oldest-pending-request
+          gauge against its [max_queue_age] — so admission stops the
+          moment queued work is already too old to serve in time
+          (default [None]) *)
   idle_timeout : float option;
       (** reap connections with no completed I/O for this long *)
   read_timeout : float option;  (** per-operation deadline handed to each {!Conn.t} *)

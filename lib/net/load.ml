@@ -10,6 +10,9 @@ type report = {
   p50_us : float;
   p99_us : float;
   max_us : float;
+  mean_us : float;
+  max_rounds_behind : int;
+  slowest_conn_mean_us : float;
 }
 
 type http_req = { meth : string; target : string; req_body : bytes option }
@@ -65,7 +68,30 @@ type class_state = {
   connect_failures : int Atomic.t;
   non_2xx : int Atomic.t;
   clients : client option array;
+  (* Fairness tallies: per-connection completed-call counters, and a
+     one-shot snapshot of their spread taken the moment the first
+     generator task finishes its share.  A scheduler that always favours
+     the freshest work lets some connections race ahead while others
+     crawl — the spread at first-finish, in units of full pipeline
+     rounds, is exactly the starvation the Aged_fifo knob bounds. *)
+  rounds : int Atomic.t array;
+  behind : int Atomic.t;
+  snapped : bool Atomic.t;
 }
+
+let snapshot_behind st =
+  if Atomic.compare_and_set st.snapped false true then begin
+    let hi = ref 0 and lo = ref max_int in
+    Array.iteri
+      (fun i cl ->
+        if Option.is_some cl then begin
+          let c = Atomic.get st.rounds.(i) in
+          if c > !hi then hi := c;
+          if c < !lo then lo := c
+        end)
+      st.clients;
+    if !lo <= !hi then Atomic.set st.behind ((!hi - !lo) / st.spec.inflight)
+  end
 
 (* Closed-loop: per class, [conns] pipelined connections with [inflight]
    generator tasks each, every task issuing [iters] calls back to back —
@@ -102,6 +128,9 @@ let run_classes (type p) (module P : Pool_intf.POOL with type t = p) (pool : p)
                 | exception (Unix.Unix_error _ | Net.Closed) ->
                     Atomic.incr connect_failures;
                     None);
+          rounds = Array.init spec.conns (fun _ -> Atomic.make 0);
+          behind = Atomic.make 0;
+          snapped = Atomic.make false;
         })
       classes
   in
@@ -128,13 +157,15 @@ let run_classes (type p) (module P : Pool_intf.POOL with type t = p) (pool : p)
                         in
                         for k = 0 to st.spec.iters - 1 do
                           let t = Unix.gettimeofday () in
-                          match P.await pool (Rpc.Client.call cl (payload k)) with
+                          (match P.await pool (Rpc.Client.call cl (payload k)) with
                           | (_ : bytes) ->
                               slot.(k) <- (Unix.gettimeofday () -. t) *. 1e6
                           | exception Net.Remote_error _ ->
                               Atomic.incr st.non_2xx
-                          | exception _ -> Atomic.incr st.errors
-                        done
+                          | exception _ -> Atomic.incr st.errors);
+                          Atomic.incr st.rounds.(ci)
+                        done;
+                        snapshot_behind st
                     | Some (Chttp cl) ->
                         let req =
                           match st.spec.driver with
@@ -144,17 +175,19 @@ let run_classes (type p) (module P : Pool_intf.POOL with type t = p) (pool : p)
                         for k = 0 to st.spec.iters - 1 do
                           let r = req k in
                           let t = Unix.gettimeofday () in
-                          match
-                            P.await pool
-                              (Http.Client.call cl ?body:r.req_body ~meth:r.meth
-                                 ~target:r.target ())
-                          with
+                          (match
+                             P.await pool
+                               (Http.Client.call cl ?body:r.req_body ~meth:r.meth
+                                  ~target:r.target ())
+                           with
                           | resp ->
                               if resp.Http.Client.status / 100 = 2 then
                                 slot.(k) <- (Unix.gettimeofday () -. t) *. 1e6
                               else Atomic.incr st.non_2xx
-                          | exception _ -> Atomic.incr st.errors
-                        done)))
+                          | exception _ -> Atomic.incr st.errors);
+                          Atomic.incr st.rounds.(ci)
+                        done;
+                        snapshot_behind st)))
           (List.init st.spec.conns Fun.id))
       states
   in
@@ -174,6 +207,30 @@ let run_classes (type p) (module P : Pool_intf.POOL with type t = p) (pool : p)
         |> Array.of_list
       in
       Array.sort compare ok;
+      let mean arr =
+        if Array.length arr = 0 then 0.
+        else Array.fold_left ( +. ) 0. arr /. float_of_int (Array.length arr)
+      in
+      (* Per-connection mean: samples of connection [ci] live in lats
+         slots [ci*inflight .. (ci+1)*inflight).  The slowest
+         connection's mean is the fairness headline's denominator-side
+         witness — a starved connection shows up here long before it
+         moves the pooled p99. *)
+      let slowest_conn_mean =
+        let worst = ref 0. in
+        for ci = 0 to st.spec.conns - 1 do
+          let samples =
+            List.init st.spec.inflight (fun j ->
+                st.lats.((ci * st.spec.inflight) + j))
+            |> List.concat_map (fun slot ->
+                   Array.to_list slot |> List.filter (fun x -> not (Float.is_nan x)))
+            |> Array.of_list
+          in
+          let m = mean samples in
+          if m > !worst then worst := m
+        done;
+        !worst
+      in
       ( st.spec.cls,
         {
           total = st.spec.conns * st.spec.inflight * st.spec.iters;
@@ -186,6 +243,9 @@ let run_classes (type p) (module P : Pool_intf.POOL with type t = p) (pool : p)
           p50_us = percentile ok 0.50;
           p99_us = percentile ok 0.99;
           max_us = (if Array.length ok = 0 then 0. else ok.(Array.length ok - 1));
+          mean_us = mean ok;
+          max_rounds_behind = Atomic.get st.behind;
+          slowest_conn_mean_us = slowest_conn_mean;
         } ))
     states
 

@@ -31,6 +31,18 @@ type report = {
   p50_us : float;  (** median request latency, microseconds *)
   p99_us : float;
   max_us : float;
+  mean_us : float;  (** mean successful-request latency, microseconds *)
+  max_rounds_behind : int;
+      (** fairness tally: when the first generator task finished its
+          share, how many full pipeline rounds ([inflight] calls) the
+          most-starved connection lagged behind the farthest-ahead one.
+          Near 0 under an age-fair scheduler; grows with [conns] when
+          the freshest work always wins ([Newest_first] under
+          saturation). *)
+  slowest_conn_mean_us : float;
+      (** the worst single connection's mean latency — a starved
+          connection surfaces here long before it moves the pooled
+          p99 *)
 }
 
 val run :

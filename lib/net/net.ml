@@ -5,6 +5,8 @@ exception Protocol_error of string
 exception Remote_error of string
 exception Circuit_open
 
+exception Stalled = Lhws_runtime.Watchdog.Stalled
+
 let () =
   Printexc.register_printer (function
     | Timeout -> Some "Net.Timeout"

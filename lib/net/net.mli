@@ -29,3 +29,13 @@ exception Circuit_open
 (** A {!Resilience.Breaker} rejected the call without issuing it: the
     endpoint has failed repeatedly and its cooldown has not yet passed.
     Fail-fast signal — callers should shed or redirect, not spin. *)
+
+exception Stalled of string
+(** Rebinding of {!Lhws_runtime.Watchdog.Stalled}: the stall watchdog
+    declared this fiber's parked I/O intent lost (no registration backing
+    it past the grace period, or a registration the kernel no longer
+    honours) and failed it loudly instead of letting it hang.  The
+    payload describes the stall.  Distinct from {!Timeout}: a timeout is
+    the {e expected} expiry of a configured deadline; a stall is the
+    runtime detecting its own lost wakeup — a bug signal, not a slow
+    peer. *)

@@ -14,7 +14,7 @@ type t = { mode : mode; fault : Fault.t option }
 let ignore_sigpipe =
   lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
 
-let fibers ~register ?fault ?(legacy = false) () =
+let fibers ~register ?fault ?watchdog ?(legacy = false) () =
   Lazy.force ignore_sigpipe;
   let io = Io.create ~legacy () in
   let timer = Timer.create () in
@@ -23,6 +23,15 @@ let fibers ~register ?fault ?(legacy = false) () =
     ~syscalls:(Some (fun () -> Io.syscalls io))
     (fun () -> Io.poll io);
   register ~pending:None ~syscalls:None (fun () -> Timer.poll timer);
+  (* Watchdog sweep rides the same pump as Io.poll.  Registered after it,
+     and pollers run last-registered-first, so the sweep tends to run
+     before the poll pass — harmless either way: [Io.sweep_stalled]
+     drains the submission rings itself before judging intents. *)
+  (match watchdog with
+  | None -> ()
+  | Some wd ->
+      Watchdog.attach_io wd io;
+      register ~pending:None ~syscalls:None (fun () -> Watchdog.poll wd));
   { mode = Fibers { io; timer }; fault }
 
 let blocking ?fault () =

@@ -17,6 +17,7 @@ val fibers :
     (unit -> int) ->
     unit) ->
   ?fault:Fault.t ->
+  ?watchdog:Lhws_runtime.Watchdog.t ->
   ?legacy:bool ->
   unit ->
   t
@@ -27,10 +28,16 @@ val fibers :
        Lhws_pool.register_poller p ?pending ?syscalls poll) ()].
     Only meaningful on suspension-capable pools.  [fault] attaches a
     {!Fault} plane: every connection and listener using this reactor
-    consults it before kernel operations.  [legacy:true] selects the
-    pre-batching wait-then-retry reactor (readiness wakes the fiber,
-    which reissues its own syscall; no pump-side execution, no paced
-    readiness pass) — the comparison leg of the NET3 bench. *)
+    consults it before kernel operations.  [watchdog] puts this
+    reactor's parked intents under stall surveillance: the watchdog's
+    sweep is registered as one more pump-driven poller and the fresh
+    {!Lhws_runtime.Io.t} is attached to it, so lost wakeups and stale
+    fd registrations fail loudly (see {!Lhws_runtime.Watchdog}).  Pair
+    with the pool-side [register_watchdog] for heartbeat coverage and
+    stats/tracing integration.  [legacy:true] selects the pre-batching
+    wait-then-retry reactor (readiness wakes the fiber, which reissues
+    its own syscall; no pump-side execution, no paced readiness pass) —
+    the comparison leg of the NET3 bench. *)
 
 val blocking : ?fault:Fault.t -> unit -> t
 (** Blocking mode: waits are [select] calls with the deadline as

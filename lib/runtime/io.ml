@@ -47,6 +47,12 @@ type intent = {
   notify : outcome -> unit;
   mutable istate : state;  (* guarded by [t.mu] *)
   mutable cancel_requested : bool;  (* guarded by [t.mu] *)
+  isubmitted : float;  (* when the fiber parked; feeds the staleness gauge *)
+  mutable iregistered : bool;
+      (* guarded by [t.mu]: in the waiter tables right now.  An [Armed]
+         intent that is neither registered nor sitting in a submission
+         ring has lost its wakeup — the signature the stall sweep hunts. *)
+  mutable iflagged : bool;  (* stall already counted (warn mode); sweep-only *)
 }
 
 type waiter = intent
@@ -304,6 +310,11 @@ type t = {
      [test/test_reactor.ml] — and is never set in production paths. *)
   drop_every : int Atomic.t;
   drop_tick : int Atomic.t;
+  (* Census of every live intent, consed lock-free at submission and
+     pruned of decided intents by the stall sweep.  Lets a watchdog ask
+     two questions the waiter tables cannot answer: how old is the
+     oldest parked fiber, and is any [Armed] intent tracked nowhere? *)
+  tracked : intent list Atomic.t;
 }
 
 let create ?(legacy = false) () =
@@ -319,6 +330,7 @@ let create ?(legacy = false) () =
     legacy;
     drop_every = Atomic.make 0;
     drop_tick = Atomic.make 0;
+    tracked = Atomic.make [];
   }
 
 let is_legacy t = t.legacy
@@ -339,6 +351,7 @@ let tbl_of t = function `R -> t.readers | `W -> t.writers
 (* --- registration table (pump + cancel only; guarded by [t.mu]) --- *)
 
 let register_locked t w =
+  w.iregistered <- true;
   let tbl = tbl_of t w.ikind in
   match Hashtbl.find_opt tbl w.ifd with
   | Some l -> l := w :: !l
@@ -354,7 +367,11 @@ let take_all_locked t kind fd =
   | None -> []
   | Some l ->
       let ws = List.filter (fun w -> w.istate = Armed) !l in
-      List.iter (fun w -> w.istate <- Claimed) ws;
+      List.iter
+        (fun w ->
+          w.istate <- Claimed;
+          w.iregistered <- false)
+        ws;
       Hashtbl.remove tbl fd;
       bk_remove t kind fd;
       ws
@@ -367,9 +384,20 @@ let rec ring_push r w =
 
 let submit t ~kind ~fd ~run notify =
   let w =
-    { ifd = fd; ikind = kind; run; notify; istate = Armed; cancel_requested = false }
+    {
+      ifd = fd;
+      ikind = kind;
+      run;
+      notify;
+      istate = Armed;
+      cancel_requested = false;
+      isubmitted = Unix.gettimeofday ();
+      iregistered = false;
+      iflagged = false;
+    }
   in
   Atomic.incr t.npending;
+  ring_push t.tracked w;
   let slot = (Domain.self () :> int) land (ring_count - 1) in
   ring_push t.rings.(slot) w;
   w
@@ -385,6 +413,20 @@ let wrap_notify f = function
 let add_readable t fd notify = submit_wait t ~kind:`R ~fd (wrap_notify notify)
 let add_writable t fd notify = submit_wait t ~kind:`W ~fd (wrap_notify notify)
 
+(* Remove one intent from the waiter table (it may not be there — e.g.
+   still in a submission ring).  Owner of [t.mu]. *)
+let detach_locked t w =
+  w.iregistered <- false;
+  let tbl = tbl_of t w.ikind in
+  match Hashtbl.find_opt tbl w.ifd with
+  | None -> ()
+  | Some l -> (
+      match List.filter (fun w' -> w' != w) !l with
+      | [] ->
+          Hashtbl.remove tbl w.ifd;
+          bk_remove t w.ikind w.ifd
+      | rest -> l := rest)
+
 let cancel t w =
   Mutex.lock t.mu;
   let claimed =
@@ -393,15 +435,7 @@ let cancel t w =
         w.istate <- Done;
         (* The intent may still sit in a submission ring (the pump
            discards [Done] intents when it drains) or in the table. *)
-        let tbl = tbl_of t w.ikind in
-        (match Hashtbl.find_opt tbl w.ifd with
-        | None -> ()
-        | Some l -> (
-            match List.filter (fun w' -> w' != w) !l with
-            | [] ->
-                Hashtbl.remove tbl w.ifd;
-                bk_remove t w.ikind w.ifd
-            | rest -> l := rest));
+        detach_locked t w;
         true
     | Claimed ->
         (* The pump is mid-operation; it checks this flag before
@@ -415,6 +449,16 @@ let cancel t w =
   claimed
 
 (* --- completion delivery (pump side) --- *)
+
+(* The real completion path, immune to the chaos hook: the stall sweep
+   uses it directly so a watchdog's loud failure cannot itself be
+   "lost in transit" by the very fault it is reporting. *)
+let deliver_direct t w outcome =
+  Mutex.lock t.mu;
+  w.istate <- Done;
+  Mutex.unlock t.mu;
+  Atomic.decr t.npending;
+  w.notify outcome
 
 let deliver t w outcome =
   let every = Atomic.get t.drop_every in
@@ -430,13 +474,7 @@ let deliver t w outcome =
     w.istate <- Armed;
     Mutex.unlock t.mu
   end
-  else begin
-    Mutex.lock t.mu;
-    w.istate <- Done;
-    Mutex.unlock t.mu;
-    Atomic.decr t.npending;
-    w.notify outcome
-  end
+  else deliver_direct t w outcome
 
 (* Run a claimed intent's operation in the pump.  A would-block answer
    re-arms the intent (no completion, the fiber stays parked) unless a
@@ -550,7 +588,112 @@ let poll t =
     end
   end
 
-(* --- blocking fiber waits (compatibility surface) --- *)
+(* --- stall surveillance (the watchdog's view of the reactor) --- *)
+
+let oldest_parked_ms t =
+  let now = Unix.gettimeofday () in
+  List.fold_left
+    (fun acc w ->
+      if w.istate = Armed then Float.max acc ((now -. w.isubmitted) *. 1e3)
+      else acc)
+    0. (Atomic.get t.tracked)
+
+(* One stall sweep over the intent census.  Two signatures, both only
+   checked for intents parked longer than [grace]:
+
+   - {e lost wakeup}: [Armed] but in neither the waiter tables nor a
+     submission ring (the rings are drained first, so "unregistered"
+     is conclusive).  Nothing will ever complete such an intent — the
+     exact state the [chaos_drop_completions] hook manufactures, and
+     what a completion-dropping backend bug would leave behind.  With
+     [fail = Some mk] the fiber is completed loudly with [Error (mk
+     msg)] through the chaos-immune direct path; with [fail = None] it
+     is counted once and left parked (warn mode).
+
+   - {e stale registration}: [Armed], registered, but the backend's
+     probe rejects the fd.  The batched pass protects against this for
+     select (wholesale EBADF -> [sweep_bad]) and poll (POLLNVAL reported
+     ready), but an epoll-style backend silently forgets closed fds —
+     this age-gated probe keeps the parked-fiber-fails-loudly invariant
+     backend-independent.  Always delivered (the real [Unix_error]),
+     whatever [fail] says: a bad descriptor is an error, not a warning.
+
+   Returns how many stalls were newly detected.  Intended to run from a
+   registered poller at watchdog pace — every sweep walks the census,
+   but probes touch only over-age registered intents. *)
+let sweep_stalled t ~grace ~fail =
+  let now = Unix.gettimeofday () in
+  Mutex.lock t.mu;
+  drain_rings_locked t;
+  let census = Atomic.exchange t.tracked [] in
+  let keep = ref [] in
+  let orphans = ref [] in
+  let warned = ref 0 in
+  let stale = ref [] in
+  List.iter
+    (fun w ->
+      match w.istate with
+      | Done -> ()  (* decided; falls out of the census *)
+      | Claimed -> keep := w :: !keep
+      | Armed ->
+          if now -. w.isubmitted <= grace then keep := w :: !keep
+          else if not w.iregistered then begin
+            match fail with
+            | Some _ ->
+                w.istate <- Done;  (* claim: a racing deadline now loses *)
+                orphans := w :: !orphans
+            | None ->
+                if not w.iflagged then begin
+                  w.iflagged <- true;
+                  incr warned
+                end;
+                keep := w :: !keep
+          end
+          else stale := w :: !stale)
+    census;
+  Mutex.unlock t.mu;
+  let failed_orphans =
+    match fail with
+    | None -> 0
+    | Some mk ->
+        List.iter
+          (fun w ->
+            let age_ms = (now -. w.isubmitted) *. 1e3 in
+            let dir = match w.ikind with `R -> "readable" | `W -> "writable" in
+            Atomic.decr t.npending;
+            w.notify
+              (Error
+                 (mk
+                    (Printf.sprintf
+                       "lost wakeup: fiber parked on %s fd for %.1f ms with no \
+                        registration"
+                       dir age_ms))))
+          !orphans;
+        List.length !orphans
+  in
+  (* Probe over-age registered intents outside the lock; deliver the
+     descriptor error to any whose fd the backend can no longer serve. *)
+  let stale_failures = ref 0 in
+  List.iter
+    (fun w ->
+      count_syscall t;
+      match bk_probe t w.ikind w.ifd with
+      | None -> keep := w :: !keep
+      | Some e ->
+          Mutex.lock t.mu;
+          let ours = w.istate = Armed in
+          if ours then begin
+            w.istate <- Claimed;
+            detach_locked t w
+          end;
+          Mutex.unlock t.mu;
+          if ours then begin
+            incr stale_failures;
+            deliver_direct t w (Error e)
+          end)
+    !stale;
+  List.iter (fun w -> ring_push t.tracked w) !keep;
+  failed_orphans + !warned + !stale_failures
 
 let wait_on t kind fd =
   let err = ref None in

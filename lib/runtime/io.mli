@@ -225,6 +225,25 @@ val count_syscall : t -> unit
     issue operations outside {!poll} (eager attempts, blocking-mode
     syscalls) so the counter stays a complete census. *)
 
+val oldest_parked_ms : t -> float
+(** Age in milliseconds of the oldest intent still armed in this
+    reactor (0 when nothing is parked) — the staleness gauge behind the
+    pools' [oldest_parked_ms] stats field. *)
+
+val sweep_stalled : t -> grace:float -> fail:(string -> exn) option -> int
+(** One stall sweep over every live intent older than [grace] seconds
+    (younger intents are never touched).  Detects {e lost wakeups} —
+    armed intents registered nowhere, which nothing will ever complete
+    (exactly what {!chaos_drop_completions} manufactures) — and {e stale
+    registrations} — armed intents whose fd the backend's probe rejects,
+    the hazard an epoll-style backend's silent auto-deregistration would
+    introduce.  With [fail = Some mk], a lost wakeup completes the fiber
+    loudly with [Error (mk description)], claiming the intent so a
+    racing deadline loses; with [None] it is counted once and left
+    parked.  Stale descriptors always complete with the underlying
+    [Unix.Unix_error].  Returns how many stalls were newly detected.
+    Normally driven by {!Watchdog.poll}, not called directly. *)
+
 val chaos_drop_completions : t -> every:int -> unit
 (** Test-only mutation hook: silently drop every [every]-th completion
     (the submitting fiber stays parked).  Exists so the chaos suite can

@@ -44,6 +44,10 @@ type wrec = {
   ctx : Core.ctx;
   mutable active : deque option;
   mutable ready : deque list;
+  resume_fifo : task Queue.t;
+      (* the [Aged_fifo] lane: resumed continuations in arrival order,
+         oldest first.  Owner-only (fed and drained by this worker's own
+         drain/next steps); permanently empty under [Newest_first] *)
   notified : deque list Atomic.t;  (* MPSC: deques with fresh resumes *)
   inbox : task list Atomic.t;
       (* MPSC: resumed tasks delivered directly to this worker under the
@@ -89,6 +93,7 @@ type pstate = {
   steal_policy : steal_policy;
   steal_mode : Core.steal_mode;
   resume_placement : resume_placement;
+  resume_order : Core.resume_order;
   spread_rr : int Atomic.t;  (* round-robin cursor for [Spread] delivery *)
   self_wid : unit -> int;
 }
@@ -256,7 +261,19 @@ let rec pfor_exec p batch lo hi =
 (* addResumedVertices: drain notifications, re-inject each deque's resumed
    batch, move the deque to the ready set.  Owner only.  The empty check
    first keeps the idle fast path to one atomic load (no exchange, which
-   is a store even when the channel is empty). *)
+   is a store even when the channel is empty).
+
+   Resume-order policy decides where the batch lands.  [Newest_first]
+   (the historical discipline): the batch re-enters its home deque as
+   one task — a pfor tree when there are several, so it unfolds in
+   parallel and is stealable — and the deque joins the owner's ready
+   {e stack}; LIFO at both levels, maximal locality, but under a
+   saturating closed loop the newest arrivals monopolize the worker.
+   [Aged_fifo]: each continuation is appended individually, in arrival
+   order, to the worker's FIFO resume lane — oldest batch first, no
+   batch-unfolding parallelism, lane tasks not stealable — trading peak
+   locality for a bounded-staleness guarantee (c10k p99 within a small
+   factor of the mean instead of the wall clock). *)
 let drain_resumed p w =
   if Atomic.get w.notified != [] then begin
     let notified = mpsc_drain w.notified in
@@ -265,48 +282,62 @@ let drain_resumed p w =
         let batch = mpsc_drain d.resumed in
         match batch with
         | [] -> ()
-        | _ ->
+        | _ -> (
             Core.mark w.ctx Tracing.Resume_batch;
             w.ctx.counters.resumes <- w.ctx.counters.resumes + List.length batch;
-            if Atomic.get d.freed then unfree w d;
-            let task =
-              match batch with
-              | [ single ] -> single
-              | _ ->
-                  let arr = Array.of_list (List.rev batch) in
-                  Pinned (fun () -> pfor_exec p arr 0 (Array.length arr))
-            in
-            Chase_lev.push_bottom d.q task;
-            let is_active = match w.active with Some a -> a == d | None -> false in
-            if (not is_active) && not d.in_ready then begin
-              d.in_ready <- true;
-              w.ready <- d :: w.ready
-            end)
+            match p.resume_order with
+            | Core.Aged_fifo ->
+                (* The continuations bypass the deque entirely, so its
+                   revival bookkeeping is not needed: a freed deque with
+                   no suspensions left simply stays recycled. *)
+                List.iter (fun task -> Queue.add task w.resume_fifo) (List.rev batch)
+            | Core.Newest_first ->
+                if Atomic.get d.freed then unfree w d;
+                let task =
+                  match batch with
+                  | [ single ] -> single
+                  | _ ->
+                      let arr = Array.of_list (List.rev batch) in
+                      Pinned (fun () -> pfor_exec p arr 0 (Array.length arr))
+                in
+                Chase_lev.push_bottom d.q task;
+                let is_active =
+                  match w.active with Some a -> a == d | None -> false
+                in
+                if (not is_active) && not d.in_ready then begin
+                  d.in_ready <- true;
+                  w.ready <- d :: w.ready
+                end))
       (List.rev notified)
   end;
   (* [Spread] delivery: continuations routed to this worker's inbox
      re-enter through its active deque (allocated on demand), exactly
-     like a resume batch would through a home deque. *)
+     like a resume batch would through a home deque — or through the
+     FIFO lane under [Aged_fifo]. *)
   if Atomic.get w.inbox != [] then begin
     let batch = mpsc_drain w.inbox in
     Core.mark w.ctx Tracing.Resume_batch;
     w.ctx.counters.resumes <- w.ctx.counters.resumes + List.length batch;
-    let d =
-      match w.active with
-      | Some d -> d
-      | None ->
-          let d = alloc_deque p w in
-          w.active <- Some d;
-          d
-    in
-    let task =
-      match batch with
-      | [ single ] -> single
-      | _ ->
-          let arr = Array.of_list (List.rev batch) in
-          Pinned (fun () -> pfor_exec p arr 0 (Array.length arr))
-    in
-    Chase_lev.push_bottom d.q task
+    match p.resume_order with
+    | Core.Aged_fifo ->
+        List.iter (fun task -> Queue.add task w.resume_fifo) (List.rev batch)
+    | Core.Newest_first ->
+        let d =
+          match w.active with
+          | Some d -> d
+          | None ->
+              let d = alloc_deque p w in
+              w.active <- Some d;
+              d
+        in
+        let task =
+          match batch with
+          | [ single ] -> single
+          | _ ->
+              let arr = Array.of_list (List.rev batch) in
+              Pinned (fun () -> pfor_exec p arr 0 (Array.length arr))
+        in
+        Chase_lev.push_bottom d.q task
   end
 
 (* Retire an exhausted active deque: free it if nothing will come back. *)
@@ -483,36 +514,57 @@ let export_steal p ~rng ~tracker ~mode ~sink =
       !sunk
 
 (* One scheduling decision: the next task to run, switching or stealing as
-   needed.  Mirrors lines 40-56 of Figure 3. *)
+   needed.  Mirrors lines 40-56 of Figure 3, with one insertion: under
+   [Aged_fifo] the worker's FIFO resume lane is serviced once the active
+   deque is exhausted — before ready-deque switches and steals, so the
+   oldest resumed continuation in the lane strictly precedes newer work.
+   A lane task needs an active deque to land its spawns and suspensions
+   in (the [Suspend] handler requires one), so the current deque is kept
+   active — or one is allocated — before the task is returned. *)
 let next_task p w =
+  let take_lane () =
+    if Queue.is_empty w.resume_fifo then None
+    else begin
+      (match w.active with
+      | Some _ -> ()
+      | None -> w.active <- Some (alloc_deque p w));
+      Some (Queue.pop w.resume_fifo)
+    end
+  in
   let from_active () =
     match w.active with
     | Some d -> (
         match Chase_lev.pop_bottom d.q with
         | Some task -> Some task
-        | None ->
-            retire_active w;
-            None)
+        | None -> (
+            match take_lane () with
+            | Some _ as got -> got  (* keep [d] active as the landing pad *)
+            | None ->
+                retire_active w;
+                None))
     | None -> None
   in
   match from_active () with
   | Some task -> Some task
   | None -> (
-      match w.ready with
-      | d :: rest -> (
-          w.ready <- rest;
-          d.in_ready <- false;
-          w.active <- Some d;
-          match Chase_lev.pop_bottom d.q with
-          | Some task -> Some task
-          | None ->
-              (* emptied by thieves since it was enqueued *)
-              retire_active w;
-              None)
-      | [] ->
-          (* On success [steal_from] has already allocated the thief's new
-             deque, made it active and counted the steal. *)
-          try_steal p w)
+      match take_lane () with
+      | Some _ as got -> got
+      | None -> (
+          match w.ready with
+          | d :: rest -> (
+              w.ready <- rest;
+              d.in_ready <- false;
+              w.active <- Some d;
+              match Chase_lev.pop_bottom d.q with
+              | Some task -> Some task
+              | None ->
+                  (* emptied by thieves since it was enqueued *)
+                  retire_active w;
+                  None)
+          | [] ->
+              (* On success [steal_from] has already allocated the thief's
+                 new deque, made it active and counted the steal. *)
+              try_steal p w))
 
 (* --- the policy: multi-deque suspend/resume over the shared engine --- *)
 
@@ -524,6 +576,7 @@ module Policy = struct
     steal_policy : steal_policy;
     steal_mode : Core.steal_mode;
     resume_placement : resume_placement;
+    resume_order : Core.resume_order;
     initial_deques : int;
   }
 
@@ -532,6 +585,7 @@ module Policy = struct
       steal_policy = Global_deque;
       steal_mode = Core.Steal_one;
       resume_placement = Home_worker;
+      resume_order = Core.Newest_first;
       initial_deques = default_initial_deques;
     }
 
@@ -539,7 +593,8 @@ module Policy = struct
   type pool = pstate
   type wstate = wrec
 
-  let make_pool { steal_policy; steal_mode; resume_placement; initial_deques }
+  let make_pool
+      { steal_policy; steal_mode; resume_placement; resume_order; initial_deques }
       ~ctxs ~self_wid =
     let victims = Array.length ctxs in
     {
@@ -550,6 +605,7 @@ module Policy = struct
               ctx;
               active = None;
               ready = [];
+              resume_fifo = Queue.create ();
               notified = Padding.make_atomic [];
               inbox = Padding.make_atomic [];
               empty = [];
@@ -564,6 +620,7 @@ module Policy = struct
       steal_policy;
       steal_mode;
       resume_placement;
+      resume_order;
       spread_rr = Atomic.make 0;
       self_wid;
     }
@@ -609,27 +666,33 @@ module C = Core.Make (Policy)
 type t = C.t
 
 let config ?(steal_policy = Global_deque) ?(steal_mode = Core.Steal_one)
-    ?(resume_placement = Home_worker) ?(initial_deques = default_initial_deques)
-    () =
-  { Policy.steal_policy; steal_mode; resume_placement; initial_deques }
+    ?(resume_placement = Home_worker) ?(resume_order = Core.Newest_first)
+    ?(initial_deques = default_initial_deques) () =
+  { Policy.steal_policy; steal_mode; resume_placement; resume_order; initial_deques }
 
 let create ?name ?workers ?steal_policy ?steal_mode ?resume_placement
-    ?initial_deques () =
+    ?resume_order ?initial_deques () =
   C.create ?name ?workers
-    ~config:(config ?steal_policy ?steal_mode ?resume_placement ?initial_deques ())
+    ~config:
+      (config ?steal_policy ?steal_mode ?resume_placement ?resume_order
+         ?initial_deques ())
     ()
 
 let run = C.run
 let shutdown = C.shutdown
 
 let with_pool ?name ?workers ?steal_policy ?steal_mode ?resume_placement
-    ?initial_deques f =
+    ?resume_order ?initial_deques f =
   C.with_pool ?name ?workers
-    ~config:(config ?steal_policy ?steal_mode ?resume_placement ?initial_deques ())
+    ~config:
+      (config ?steal_policy ?steal_mode ?resume_placement ?resume_order
+         ?initial_deques ())
     f
 
 let register_poller = C.register_poller
 let register_shed_counter = C.register_shed_counter
+let register_watchdog = C.register_watchdog
+let heartbeats = C.heartbeats
 let set_tracer = C.set_tracer
 let name = C.name
 let submit = C.submit
@@ -715,6 +778,8 @@ type stats = Scheduler_core.stats = {
   scavenge_steals : int;
   tasks_scavenged : int;
   tasks_donated : int;
+  stalls_detected : int;
+  oldest_parked_ms : float;
 }
 
 let stats = C.stats

@@ -44,14 +44,27 @@ val create :
   ?steal_policy:steal_policy ->
   ?steal_mode:Scheduler_core.steal_mode ->
   ?resume_placement:resume_placement ->
+  ?resume_order:Scheduler_core.resume_order ->
   ?initial_deques:int ->
   unit ->
   t
 (** Spawns [workers - 1] extra domains (default: 2 workers,
-    [Global_deque], {!Scheduler_core.Steal_one}, [Home_worker]).  The
+    [Global_deque], {!Scheduler_core.Steal_one}, [Home_worker],
+    {!Scheduler_core.Newest_first}).  The
     calling domain becomes worker 0 while inside {!run}.  The instance
     registers in {!Scheduler_core.Registry} under [name] until
     {!shutdown}.
+
+    [resume_order] is the fairness knob: [Newest_first] keeps the
+    historical LIFO discipline (resume batches re-enter their home
+    deque as a stealable pfor tree, notified deques stack up
+    newest-first — best locality, but a saturating closed loop starves
+    its oldest connections); [Aged_fifo] routes every resumed
+    continuation through a per-worker FIFO lane in arrival order,
+    serviced after the active deque and before switches or steals,
+    bounding staleness (c10k p99 within a small factor of the mean) at
+    the cost of batch-unfolding parallelism — lane tasks are not
+    stealable.
 
     [steal_mode] selects classical one-task stealing or batched
     steal-half: the thief takes up to half the victim deque's visible
@@ -85,6 +98,7 @@ val with_pool :
   ?steal_policy:steal_policy ->
   ?steal_mode:Scheduler_core.steal_mode ->
   ?resume_placement:resume_placement ->
+  ?resume_order:Scheduler_core.resume_order ->
   ?initial_deques:int ->
   (t -> 'a) ->
   'a
@@ -136,6 +150,18 @@ val register_shed_counter : t -> (unit -> int) -> unit
 (** Adds a monotone overload-shed counter summed into the [conns_shed]
     stats field; thread-safe, may be called from running tasks. *)
 
+val register_watchdog : t -> Watchdog.t -> unit
+(** Complete pool-side watchdog wiring in one call: the sweep rides this
+    pool's pump, detections feed [stalls_detected] / [oldest_parked_ms]
+    and emit {!Tracing.Stalled}, and this pool's workers come under
+    heartbeat surveillance.  Pair with [Reactor.fibers ~watchdog] to put
+    the reactor's parked intents under the same watchdog.  See
+    {!Scheduler_core.Make.register_watchdog}. *)
+
+val heartbeats : t -> int array
+(** Per-worker scheduling-loop iteration counts, for
+    {!Watchdog.attach_heartbeats}. *)
+
 (** {2 Operations usable inside fibers of this pool} *)
 
 val async : t -> (unit -> 'a) -> 'a Promise.t
@@ -183,6 +209,8 @@ type stats = Scheduler_core.stats = {
   scavenge_steals : int;
   tasks_scavenged : int;
   tasks_donated : int;
+  stalls_detected : int;
+  oldest_parked_ms : float;
 }
 
 val stats : t -> stats

@@ -1,5 +1,16 @@
 type steal_mode = Steal_one | Steal_half
 
+(* Where resumed continuations re-enter the scheduling order.
+   [Newest_first] is the historical behaviour: resume batches are pushed
+   onto their home deque (popped LIFO) and freshly notified deques are
+   pushed onto the owner's ready stack — great locality, but under
+   saturation the newest connections monopolize the workers and the
+   oldest starve (ROADMAP item 2: c10k p99 ~ wall clock).  [Aged_fifo]
+   routes resumed continuations through a per-worker FIFO lane in
+   arrival order — oldest batch first — bounding staleness at the cost
+   of the batch-unfolding parallelism. *)
+type resume_order = Newest_first | Aged_fifo
+
 let steal_hist_buckets = 8
 
 type counters = {
@@ -14,6 +25,9 @@ type counters = {
   mutable max_owned : int;
   mutable scavenge_steals : int;
   mutable tasks_scavenged : int;
+  mutable heartbeats : int;
+      (* bumped once per scheduling-loop iteration; a stall watchdog reads
+         it to tell a progressing worker from a stuck one *)
 }
 
 (* Record one successful steal that took [tasks] tasks (>= 1). *)
@@ -111,6 +125,8 @@ type stats = {
   scavenge_steals : int;
   tasks_scavenged : int;
   tasks_donated : int;
+  stalls_detected : int;
+  oldest_parked_ms : float;
 }
 
 (* A pool's stealable surface, as seen by a sibling pool's idle workers.
@@ -225,6 +241,9 @@ module Make (P : POLICY) = struct
     (* overload-shed counters published by serving layers (listeners);
        CAS-pushed because registration happens from worker tasks *)
     shed_fns : (unit -> int) list Atomic.t;
+    (* stall-watchdog snapshots: each closure yields (stalls so far,
+       oldest parked age in ms); same CAS-push discipline as [shed_fns] *)
+    watchdog_fns : (unit -> int * float) list Atomic.t;
     pump_lock : bool Atomic.t;  (* elects the one worker pumping timer/pollers *)
     stop : bool Atomic.t;
     mutable domains : unit Domain.t array;
@@ -322,6 +341,7 @@ module Make (P : POLICY) = struct
     let rec loop idle_spins =
       if Atomic.get t.stop || until () then ()
       else begin
+        ctx.counters.heartbeats <- ctx.counters.heartbeats + 1;
         pump t;
         drain_submits t ctx w;
         P.drain t.pool w;
@@ -391,6 +411,13 @@ module Make (P : POLICY) = struct
       (fun c ->
         Array.iteri (fun i v -> hist.(i) <- hist.(i) + v) c.counters.steal_hist)
       t.ctxs;
+    let wd_stalls, wd_oldest =
+      List.fold_left
+        (fun (s, o) f ->
+          let s', o' = f () in
+          (s + s', Float.max o o'))
+        (0, 0.) (Atomic.get t.watchdog_fns)
+    in
     {
       tasks_run = sum (fun c -> c.tasks_run);
       steals = sum (fun c -> c.steals);
@@ -415,6 +442,8 @@ module Make (P : POLICY) = struct
       scavenge_steals = sum (fun c -> c.scavenge_steals);
       tasks_scavenged = sum (fun c -> c.tasks_scavenged);
       tasks_donated = Atomic.get t.donated;
+      stalls_detected = wd_stalls;
+      oldest_parked_ms = wd_oldest;
     }
 
   let create ?name ?(workers = 2) ?(config = P.default_config) () =
@@ -438,6 +467,7 @@ module Make (P : POLICY) = struct
                 max_owned = 0;
                 scavenge_steals = 0;
                 tasks_scavenged = 0;
+                heartbeats = 0;
               };
             emit =
               (fun kind ~start_us ~dur_us ->
@@ -462,6 +492,7 @@ module Make (P : POLICY) = struct
         tracer;
         pollers = [];
         shed_fns = Atomic.make [];
+        watchdog_fns = Atomic.make [];
         pump_lock = Lhws_deque.Padding.make_atomic false;
         stop = Atomic.make false;
         domains = [||];
@@ -519,6 +550,34 @@ module Make (P : POLICY) = struct
       if not (Atomic.compare_and_set t.shed_fns old (f :: old)) then push ()
     in
     push ()
+
+  let register_watchdog_stats t f =
+    let rec push () =
+      let old = Atomic.get t.watchdog_fns in
+      if not (Atomic.compare_and_set t.watchdog_fns old (f :: old)) then push ()
+    in
+    push ()
+
+  let heartbeats t = Array.map (fun c -> c.counters.heartbeats) t.ctxs
+
+  (* Emit a [Stalled] tracing event from a registered poller: the pump
+     runs on a worker domain, whose per-worker trace buffer is safe to
+     write from here (single writer).  Dropped when the caller is not a
+     worker of this pool (e.g. stats readers probing from outside). *)
+  let mark_stall t =
+    ignore t;
+    match self_opt () with Some (ctx, _) -> mark ctx Tracing.Stalled | None -> ()
+
+  (* Full pool-side watchdog wiring in one call: the sweep rides this
+     pool's pump, detections land in this pool's stats and trace, and
+     this pool's workers come under heartbeat surveillance.  The
+     reactor side ([Watchdog.attach_io]) is wired by whoever owns the
+     reactor (e.g. [Reactor.fibers ~watchdog]). *)
+  let register_watchdog t wd =
+    Watchdog.add_on_stall wd (fun _msg -> mark_stall t);
+    Watchdog.attach_heartbeats wd ~name:t.entry.reg_name (fun () -> heartbeats t);
+    register_poller t (fun () -> Watchdog.poll wd);
+    register_watchdog_stats t (fun () -> Watchdog.snapshot wd)
 
   let name t = t.entry.reg_name
   let registry_entry t = t.entry

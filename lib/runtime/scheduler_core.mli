@@ -30,6 +30,23 @@ type steal_mode =
           victim's visible range per steal; surplus lands in the thief's
           own deque *)
 
+(** Where resumed continuations re-enter the scheduling order — the
+    fairness knob for interacting computations under saturation. *)
+type resume_order =
+  | Newest_first
+      (** the historical (and locality-best) discipline: resume batches
+          are pushed onto their home deque and popped LIFO, freshly
+          notified deques onto the owner's ready stack — under
+          saturation the newest connections monopolize the workers and
+          the oldest starve *)
+  | Aged_fifo
+      (** resumed continuations flow through a per-worker FIFO lane in
+          arrival order (oldest batch first), bounding staleness: with a
+          closed-loop saturating load, round-time p99 stays within a
+          small factor of the mean instead of approaching the wall
+          clock.  Lane tasks are serviced after the active deque and
+          before ready-deque switches or steals, and are not stealable *)
+
 val steal_hist_buckets : int
 (** Number of buckets in the tasks-per-steal histogram (8): bucket [i]
     counts successful steals that took [i + 1] tasks, the last bucket
@@ -50,6 +67,11 @@ type counters = {
       (** successful cross-pool steals landed by this worker *)
   mutable tasks_scavenged : int;
       (** tasks acquired from sibling pools across all scavenge steals *)
+  mutable heartbeats : int;
+      (** scheduling-loop iterations completed by this worker; advances
+          while idling (backoff sleeps return to the loop) and stops only
+          when the worker is wedged inside a task — what {!Watchdog}
+          compares across sweeps to tell progress from a stuck worker *)
 }
 
 val count_steal : counters -> tasks:int -> unit
@@ -159,6 +181,16 @@ type stats = {
       (** total tasks sibling pools took {e from} this pool via
           scavenging; across a topology,
           sum of [tasks_scavenged] = sum of [tasks_donated] *)
+  stalls_detected : int;
+      (** stalls flagged by watchdogs registered on this pool (lost
+          wakeups swept out of the reactor, workers whose heartbeat
+          stopped); 0 when no watchdog registered (see
+          [register_watchdog_stats]) *)
+  oldest_parked_ms : float;
+      (** gauge: age in milliseconds of the oldest intent currently
+          parked in a watchdog-tracked reactor — the staleness bound the
+          fairness work exists to keep small; 0 when nothing is parked
+          or no watchdog registered *)
 }
 
 (** {1 Cross-pool scavenging}
@@ -372,6 +404,34 @@ module Make (P : POLICY) : sig
       serving layers (e.g. a listener with overload shedding) publish how
       many connections they rejected fast.  Thread-safe (CAS push):
       listeners register from within running tasks. *)
+
+  val register_watchdog_stats : t -> (unit -> int * float) -> unit
+  (** Adds a watchdog snapshot source: the closure yields
+      [(stalls_detected, oldest_parked_ms)].  Stall counts are summed
+      and parked ages maxed into the corresponding stats fields.
+      Thread-safe (CAS push). *)
+
+  val heartbeats : t -> int array
+  (** Per-worker scheduling-loop iteration counts (see
+      {!counters.heartbeats}) — hand
+      [(fun () -> heartbeats t)] to {!Watchdog.attach_heartbeats} to put
+      this pool's workers under stuck-worker surveillance. *)
+
+  val mark_stall : t -> unit
+  (** Emit a {!Tracing.Stalled} event on the calling worker's trace
+      buffer; no-op when no tracer is set or the caller is not a worker
+      of this pool.  Watchdog sweeps run inside the pump (on a worker),
+      so wiring this as the watchdog's [on_stall] puts detections on the
+      timeline next to the work they interrupted. *)
+
+  val register_watchdog : t -> Watchdog.t -> unit
+  (** Complete pool-side wiring for a watchdog in one call: registers
+      {!Watchdog.poll} as a poller (the sweep rides this pool's pump),
+      feeds detections into [stalls_detected] / [oldest_parked_ms] via
+      [register_watchdog_stats], emits {!Tracing.Stalled} on detection,
+      and puts this pool's workers under heartbeat surveillance.  Pair
+      with [Reactor.fibers ~watchdog] (or {!Watchdog.attach_io}) to put
+      a reactor's parked intents under the same watchdog. *)
 
   val stats : t -> stats
 

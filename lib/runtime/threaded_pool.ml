@@ -28,6 +28,8 @@ type stats = Scheduler_core.stats = {
   scavenge_steals : int;
   tasks_scavenged : int;
   tasks_donated : int;
+  stalls_detected : int;
+  oldest_parked_ms : float;
 }
 
 (* No deques, no steals, no suspensions: every scheduler counter is
@@ -55,6 +57,8 @@ let stats t =
     scavenge_steals = 0;
     tasks_scavenged = 0;
     tasks_donated = 0;
+    stalls_detected = 0;
+    oldest_parked_ms = 0.;
   }
 
 let create ?name ?(max_threads = 512) () =

@@ -1,4 +1,4 @@
-type kind = Task_run | Suspend | Resume_batch | Steal | Scavenge | Blocked
+type kind = Task_run | Suspend | Resume_batch | Steal | Scavenge | Blocked | Stalled
 
 let kind_name = function
   | Task_run -> "task"
@@ -7,6 +7,7 @@ let kind_name = function
   | Steal -> "steal"
   | Scavenge -> "scavenge"
   | Blocked -> "blocked"
+  | Stalled -> "stalled"
 
 type event = { worker : int; kind : kind; start_us : float; dur_us : float }
 

@@ -14,6 +14,9 @@ type kind =
   | Steal  (** a successful steal landed on this worker *)
   | Scavenge  (** a successful cross-pool steal landed on this worker *)
   | Blocked  (** the worker blocked for the event's duration (e.g. a blocking sleep) *)
+  | Stalled
+      (** the watchdog detected a stall: a parked intent whose wakeup was
+          lost, or a worker whose heartbeat stopped advancing *)
 
 val kind_name : kind -> string
 

@@ -238,6 +238,8 @@ type stats = Scheduler_core.stats = {
   scavenge_steals : int;
   tasks_scavenged : int;
   tasks_donated : int;
+  stalls_detected : int;
+  oldest_parked_ms : float;
 }
 
 let stats = C.stats

@@ -108,6 +108,8 @@ type stats = Scheduler_core.stats = {
   scavenge_steals : int;
   tasks_scavenged : int;
   tasks_donated : int;
+  stalls_detected : int;
+  oldest_parked_ms : float;
 }
 
 val stats : t -> stats

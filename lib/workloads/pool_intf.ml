@@ -83,6 +83,19 @@ module Ws_steal_half_instance = struct
   let name = "ws-steal-half"
 end
 
+(* Age-fair resume variant of the lhws pool: resumed continuations are
+   serviced oldest-batch-first through per-worker FIFO lanes instead of
+   newest-first — the starvation-bounding leg of the fairness study. *)
+module Lhws_aged_fifo_instance = struct
+  include Lhws_instance
+
+  let create ?name ?workers () =
+    Lhws_runtime.Lhws_pool.create ?name ?workers
+      ~resume_order:Lhws_runtime.Scheduler_core.Aged_fifo ()
+
+  let name = "lhws-aged-fifo"
+end
+
 module Threaded_instance = struct
   include Lhws_runtime.Threaded_pool
 
@@ -111,6 +124,7 @@ let ws : pool = (module Ws_instance)
 let threads : pool = (module Threaded_instance)
 let lhws_steal_half : pool = (module Lhws_steal_half_instance)
 let ws_steal_half : pool = (module Ws_steal_half_instance)
+let lhws_aged_fifo : pool = (module Lhws_aged_fifo_instance)
 
 let by_name = function
   | "lhws" -> lhws
@@ -118,8 +132,10 @@ let by_name = function
   | "threads" -> threads
   | "lhws-steal-half" -> lhws_steal_half
   | "ws-steal-half" -> ws_steal_half
+  | "lhws-aged-fifo" -> lhws_aged_fifo
   | s ->
       invalid_arg
         (Printf.sprintf
-           "Pool_intf.by_name: unknown pool %S (want lhws|ws|threads|lhws-steal-half|ws-steal-half)"
+           "Pool_intf.by_name: unknown pool %S (want \
+            lhws|ws|threads|lhws-steal-half|ws-steal-half|lhws-aged-fifo)"
            s)

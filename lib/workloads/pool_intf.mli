@@ -81,6 +81,12 @@ module Lhws_steal_half_instance : POOL with type t = Lhws_runtime.Lhws_pool.t
 module Ws_steal_half_instance : POOL with type t = Lhws_runtime.Ws_pool.t
 (** {!Ws_instance} with batched steal-half stealing enabled. *)
 
+module Lhws_aged_fifo_instance : POOL with type t = Lhws_runtime.Lhws_pool.t
+(** {!Lhws_instance} with [Aged_fifo] resume fairness: resumed
+    continuations are serviced oldest-batch-first through per-worker
+    FIFO lanes, bounding how stale any suspended request can get under
+    saturation. *)
+
 val lhws : pool
 (** {!Lhws_runtime.Lhws_pool}: suspending fibers, latency hidden. *)
 
@@ -93,7 +99,9 @@ val threads : pool
 
 val lhws_steal_half : pool
 val ws_steal_half : pool
+val lhws_aged_fifo : pool
 
 val by_name : string -> pool
-(** ["lhws"], ["ws"], ["threads"], ["lhws-steal-half"] or
-    ["ws-steal-half"].  @raise Invalid_argument otherwise. *)
+(** ["lhws"], ["ws"], ["threads"], ["lhws-steal-half"],
+    ["ws-steal-half"] or ["lhws-aged-fifo"].
+    @raise Invalid_argument otherwise. *)

@@ -432,6 +432,150 @@ let test_http_shed_503 () =
           Http.Client.close cl;
           Http.shutdown ~grace:2. srv))
 
+(* --- slowloris: concurrent trickled headers must all be 408'd, with
+       no hung fiber and no leaked descriptor.  Seeded via CHAOS_SEED so
+       a failing drip pattern replays exactly. --- *)
+
+let test_http_slowloris_chaos () =
+  let count_fds () = Array.length (Sys.readdir "/proc/self/fd") in
+  let before = count_fds () in
+  let seed =
+    match Sys.getenv_opt "CHAOS_SEED" with Some s -> int_of_string s | None -> 0x51f
+  in
+  with_lhws_net ~workers:2 (fun p rt ->
+      let module Pl = P.Lhws_instance in
+      Pl.run p (fun () ->
+          let config =
+            {
+              Http.default_config with
+              listener =
+                { Listener.default_config with read_timeout = Some 0.05 };
+            }
+          in
+          let srv = Http.serve (module Pl) p rt ~config loopback0 ~handler:echo_handler in
+          let addr = Http.addr srv in
+          let n = 8 in
+          let answers = Array.make n "" in
+          let finished = Atomic.make 0 in
+          (* Raw OS threads so the trickling clients can block freely
+             without occupying pool workers. *)
+          let clients =
+            List.init n (fun i ->
+                Thread.create
+                  (fun () ->
+                    let rng = Random.State.make [| seed; i |] in
+                    let fd = raw_connect addr in
+                    (* A header that never terminates, dripped 1-3 bytes
+                       at a time with every gap longer than the read
+                       timeout: the server must 408 the first stalled
+                       read rather than wait for a complete request. *)
+                    let header =
+                      Printf.sprintf
+                        "GET /drip-%d HTTP/1.1\r\nHost: slow\r\nX-Drip: 0123456789\r\n" i
+                    in
+                    (try
+                       let off = ref 0 in
+                       while !off < String.length header do
+                         let k =
+                           min (1 + Random.State.int rng 3) (String.length header - !off)
+                         in
+                         ignore (Unix.write_substring fd header !off k : int);
+                         off := !off + k;
+                         Unix.sleepf (0.08 +. Random.State.float rng 0.05)
+                       done
+                     with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+                       (* The 408+close landed mid-drip — expected. *)
+                       ());
+                    answers.(i) <-
+                      (try slurp fd with Unix.Unix_error _ -> "");
+                    Unix.close fd;
+                    Atomic.incr finished)
+                  ())
+          in
+          (* Keep this worker scheduling (fiber sleeps) while the clients
+             drip: joining now would take it out of the engine, and any
+             parked resume it owns — the acceptor, a conn reader — could
+             never be delivered. *)
+          let rec wait i =
+            if Atomic.get finished < n then
+              if i > 2000 then Alcotest.fail "slowloris clients stuck"
+              else begin
+                Pl.sleep p 0.01;
+                wait (i + 1)
+              end
+          in
+          wait 0;
+          List.iter Thread.join clients;
+          Array.iteri
+            (fun i a ->
+              Alcotest.(check bool)
+                (Printf.sprintf "slowloris conn %d answered 408 (seed %#x)" i seed)
+                true
+                (Astring.String.is_prefix ~affix:"HTTP/1.1 408" a))
+            answers;
+          Http.shutdown ~grace:5. srv);
+      (* Every stalled connection was reclaimed: nothing left parked. *)
+      Alcotest.(check int) "io_pending gauge drained" 0
+        (Pl.stats p).Scheduler_core.io_pending);
+  Alcotest.(check int) "no descriptor leaked" before (count_fds ())
+
+(* --- deadline-aware admission: once the oldest admitted request has
+       waited past [max_queue_age], fresh work is browned out --- *)
+
+let test_http_brownout_max_queue_age () =
+  with_lhws_net ~workers:2 (fun p rt ->
+      let module Pl = P.Lhws_instance in
+      Pl.run p (fun () ->
+          let config = { Http.default_config with max_queue_age = Some 0.05 } in
+          let srv =
+            Http.serve (module Pl) p rt ~config loopback0
+              ~handler:(fun req ->
+                if req.Http.path = "/slow" then Pl.sleep p 0.4;
+                Http.text "done")
+          in
+          let cl = Http.Client.connect (module Pl) p rt (Http.addr srv) in
+          let slow = Http.Client.call cl ~meth:"GET" ~target:"/slow" () in
+          Pl.sleep p 0.15;
+          Alcotest.(check bool) "age gauge sees the stuck head" true
+            (Http.oldest_pending_age srv > 0.05);
+          (* Pipelined on the live connection: refused per-request. *)
+          let late = Http.Client.call cl ~meth:"GET" ~target:"/fresh" () in
+          (* Brand-new connection: shed at accept with a prompt EOF,
+             before it can park a parser fiber the server can't afford.
+             Spin on the shed counter with fiber sleeps BEFORE touching
+             the raw socket: a blocking [slurp] would take this worker
+             out of the engine while the acceptor's resume may be parked
+             on it (see test_faults's overload-shed note). *)
+          let fd = raw_connect (Http.addr srv) in
+          let rec wait_shed i =
+            if Listener.shed (Http.listener srv) < 1 then
+              if i > 1000 then Alcotest.fail "fresh connection not shed"
+              else begin
+                Pl.sleep p 0.005;
+                wait_shed (i + 1)
+              end
+          in
+          wait_shed 0;
+          let eof = slurp fd in
+          Unix.close fd;
+          Alcotest.(check string) "fresh connection shed at accept" "" eof;
+          let late_resp = Pl.await p late in
+          Alcotest.(check int) "brownout refuses fresh work with 503" 503
+            late_resp.Http.Client.status;
+          Alcotest.(check (option string))
+            "brownout advertises retry" (Some "1")
+            (List.assoc_opt "retry-after" late_resp.Http.Client.headers);
+          let slow_resp = Pl.await p slow in
+          Alcotest.(check int) "aged request still completes" 200
+            slow_resp.Http.Client.status;
+          (* Pressure gone: admission recovers without intervention. *)
+          let ok = Pl.await p (Http.Client.call cl ~meth:"GET" ~target:"/again" ()) in
+          Alcotest.(check int) "admission recovers after the queue drains" 200
+            ok.Http.Client.status;
+          Alcotest.(check bool) "brownout counted as shed" true (Http.shed_503 srv >= 1);
+          Http.Client.close cl;
+          Http.shutdown ~grace:2. srv))
+
 let test_http_drain_503 () =
   with_lhws_net ~workers:2 (fun p rt ->
       let module Pl = P.Lhws_instance in
@@ -565,6 +709,9 @@ let () =
           Alcotest.test_case "chunked roundtrip" `Quick test_http_chunked_request_roundtrip;
           Alcotest.test_case "408 mid-request" `Quick test_http_408_mid_request;
           Alcotest.test_case "503 shed" `Quick test_http_shed_503;
+          Alcotest.test_case "slowloris chaos" `Quick test_http_slowloris_chaos;
+          Alcotest.test_case "brownout max_queue_age" `Quick
+            test_http_brownout_max_queue_age;
           Alcotest.test_case "503 drain" `Quick test_http_drain_503;
           Alcotest.test_case "fault storm" `Quick test_http_fault_storm;
           Alcotest.test_case "load counters" `Quick test_http_load_counters;

@@ -398,6 +398,7 @@ end
 
 module Lhws = Conformance (Pool_intf.Lhws_instance)
 module Lhws_half = Conformance (Pool_intf.Lhws_steal_half_instance)
+module Lhws_aged = Conformance (Pool_intf.Lhws_aged_fifo_instance)
 module Ws = Conformance (Pool_intf.Ws_instance)
 module Ws_half = Conformance (Pool_intf.Ws_steal_half_instance)
 module Threads = Conformance (Pool_intf.Threaded_instance)
@@ -407,6 +408,7 @@ let () =
     [
       ("lhws", Lhws.suite);
       ("lhws-steal-half", Lhws_half.suite);
+      ("lhws-aged-fifo", Lhws_aged.suite);
       ("ws", Ws.suite);
       ("ws-steal-half", Ws_half.suite);
       ("threads", Threads.suite);

@@ -53,6 +53,10 @@ type intent = {
          intent that is neither registered nor sitting in a submission
          ring has lost its wakeup — the signature the stall sweep hunts. *)
   mutable iflagged : bool;  (* stall already counted (warn mode); sweep-only *)
+  mutable iprobed : float;
+      (* when the stall sweep last probed this fd (0. = never); sweep-only.
+         Rate-limits per-intent probe syscalls so long-parked idle
+         connections are not probed on every sweep. *)
 }
 
 type waiter = intent
@@ -394,6 +398,7 @@ let submit t ~kind ~fd ~run notify =
       isubmitted = Unix.gettimeofday ();
       iregistered = false;
       iflagged = false;
+      iprobed = 0.;
     }
   in
   Atomic.incr t.npending;
@@ -617,11 +622,19 @@ let oldest_parked_ms t =
      this age-gated probe keeps the parked-fiber-fails-loudly invariant
      backend-independent.  Always delivered (the real [Unix_error]),
      whatever [fail] says: a bad descriptor is an error, not a warning.
+     Probes cost one syscall per intent, so each intent is probed at
+     most once per [probe_every] — without that gate, every idle
+     keep-alive connection parked past [grace] would be re-probed on
+     every sweep, O(idle connections) syscalls at watchdog pace.
 
    Returns how many stalls were newly detected.  Intended to run from a
    registered poller at watchdog pace — every sweep walks the census,
-   but probes touch only over-age registered intents. *)
-let sweep_stalled t ~grace ~fail =
+   but probe syscalls touch only over-age registered intents whose last
+   probe is older than [probe_every]. *)
+let sweep_stalled t ~grace ?probe_every ~fail () =
+  let probe_every =
+    match probe_every with Some p -> p | None -> Float.max (10. *. grace) 1.
+  in
   let now = Unix.gettimeofday () in
   Mutex.lock t.mu;
   drain_rings_locked t;
@@ -649,7 +662,11 @@ let sweep_stalled t ~grace ~fail =
                 end;
                 keep := w :: !keep
           end
-          else stale := w :: !stale)
+          else if now -. w.iprobed >= probe_every then begin
+            w.iprobed <- now;
+            stale := w :: !stale
+          end
+          else keep := w :: !keep)
     census;
   Mutex.unlock t.mu;
   let failed_orphans =
@@ -690,7 +707,12 @@ let sweep_stalled t ~grace ~fail =
           if ours then begin
             incr stale_failures;
             deliver_direct t w (Error e)
-          end)
+          end
+          else
+            (* The pump claimed it first; if it re-arms on would-block the
+               intent is still live, so it must stay in the census (a Done
+               intent is pruned on the next sweep anyway). *)
+            keep := w :: !keep)
     !stale;
   List.iter (fun w -> ring_push t.tracked w) !keep;
   failed_orphans + !warned + !stale_failures

@@ -230,7 +230,13 @@ val oldest_parked_ms : t -> float
     reactor (0 when nothing is parked) — the staleness gauge behind the
     pools' [oldest_parked_ms] stats field. *)
 
-val sweep_stalled : t -> grace:float -> fail:(string -> exn) option -> int
+val sweep_stalled :
+  t ->
+  grace:float ->
+  ?probe_every:float ->
+  fail:(string -> exn) option ->
+  unit ->
+  int
 (** One stall sweep over every live intent older than [grace] seconds
     (younger intents are never touched).  Detects {e lost wakeups} —
     armed intents registered nowhere, which nothing will ever complete
@@ -241,8 +247,13 @@ val sweep_stalled : t -> grace:float -> fail:(string -> exn) option -> int
     loudly with [Error (mk description)], claiming the intent so a
     racing deadline loses; with [None] it is counted once and left
     parked.  Stale descriptors always complete with the underlying
-    [Unix.Unix_error].  Returns how many stalls were newly detected.
-    Normally driven by {!Watchdog.poll}, not called directly. *)
+    [Unix.Unix_error].  Stale-registration probes cost one syscall per
+    intent, so each intent is probed at most once per [probe_every]
+    seconds (default [max (10 * grace) 1s], mirroring the watchdog's
+    stuck-worker threshold) — long-parked idle connections are not
+    re-probed on every sweep.  Returns how many stalls were newly
+    detected.  Normally driven by {!Watchdog.poll}, not called
+    directly. *)
 
 val chaos_drop_completions : t -> every:int -> unit
 (** Test-only mutation hook: silently drop every [every]-th completion

@@ -134,7 +134,9 @@ let sweep_now t =
   in
   let io_stalls =
     List.fold_left
-      (fun acc io -> acc + Io.sweep_stalled io ~grace:t.grace ~fail)
+      (fun acc io ->
+        acc
+        + Io.sweep_stalled io ~grace:t.grace ~probe_every:t.stuck_after ~fail ())
       0 (Atomic.get t.ios)
   in
   if io_stalls > 0 then begin

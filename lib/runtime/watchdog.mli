@@ -42,7 +42,11 @@ val create :
     (default [max (10 * grace) 1s]) is the no-heartbeat threshold for
     declaring a worker stuck; it is deliberately far above [grace]
     because a long-running legitimate task is indistinguishable from a
-    wedged worker (stuck workers are warn-only, never failed). *)
+    wedged worker (stuck workers are warn-only, never failed).  It also
+    paces per-intent stale-fd probes in the reactor sweep: a parked
+    intent's descriptor is probed at most once per [stuck_after], so
+    idle long-parked connections cost one syscall per threshold, not
+    one per sweep. *)
 
 val grace : t -> float
 
